@@ -1,0 +1,296 @@
+//! Common infrastructure shared by the six benchmark applications.
+//!
+//! Every application provides:
+//!
+//! * a deterministic **workload generator** reproducing the redundancy
+//!   sources described in §V-D of the paper (repetitive program inputs,
+//!   algorithmic convergence, saturated random initialisation);
+//! * a **sequential reference** implementation used both as the correctness
+//!   baseline and to validate the taskified version;
+//! * a **taskified version** built on [`atm_runtime`], with the
+//!   paper's memoized task type opted into ATM through the task-type
+//!   annotations (Table I / Table II);
+//! * a **correctness metric** on the program output (Table I, "Correctness
+//!   measured on").
+
+use atm_core::{AtmConfig, AtmEngine, AtmMode, AtmStatsSnapshot, ReuseEvent, TypeSummary};
+use atm_metrics::{correctness_percent, euclidean_relative_error};
+use atm_runtime::{
+    Runtime, RuntimeBuilder, RuntimeStatsSnapshot, TaskTypeId, TraceSummary, Tracer,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Problem-size scale of a benchmark instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Very small problems for unit/integration tests (tens of milliseconds).
+    Tiny,
+    /// The default evaluation scale: large enough to show the ATM behaviour,
+    /// small enough that the full harness runs on a laptop.
+    Small,
+    /// The paper's original problem sizes (documented for reference; running
+    /// them requires several GiB of memory and long runtimes).
+    Paper,
+}
+
+/// How a benchmark run should be executed.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Number of worker threads (the paper's "number of cores").
+    pub workers: usize,
+    /// ATM configuration (use [`AtmConfig::off`] for the baseline).
+    pub atm: AtmConfig,
+    /// Whether to record execution traces and ready-queue samples.
+    pub tracing: bool,
+}
+
+impl RunOptions {
+    /// Baseline: no ATM, given number of workers.
+    pub fn baseline(workers: usize) -> Self {
+        RunOptions { workers, atm: AtmConfig::off(), tracing: false }
+    }
+
+    /// ATM-enabled run with the given configuration.
+    pub fn with_atm(workers: usize, atm: AtmConfig) -> Self {
+        RunOptions { workers, atm, tracing: false }
+    }
+
+    /// Enables tracing.
+    #[must_use]
+    pub fn traced(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions::baseline(1)
+    }
+}
+
+/// Result of one taskified benchmark run.
+#[derive(Debug, Clone)]
+pub struct AppRun {
+    /// The program output the correctness metric is measured on.
+    pub output: Vec<f64>,
+    /// Wall-clock time of the parallel section (excludes input generation).
+    pub wall: Duration,
+    /// Runtime-level counters.
+    pub runtime_stats: RuntimeStatsSnapshot,
+    /// ATM engine counters.
+    pub atm_stats: AtmStatsSnapshot,
+    /// Per-task-type ATM summaries (chosen `p`, hits, phase).
+    pub type_summaries: HashMap<TaskTypeId, TypeSummary>,
+    /// Reuse provenance events (Figure 9).
+    pub reuse_events: Vec<ReuseEvent>,
+    /// ATM memory overhead in bytes (Table III numerator).
+    pub atm_memory_bytes: usize,
+    /// Application data footprint in bytes (Table III denominator).
+    pub app_memory_bytes: usize,
+    /// Trace summary, when tracing was enabled (Figure 7).
+    pub trace: Option<TraceSummary>,
+    /// Ready-queue depth samples, when tracing was enabled (Figure 8).
+    pub ready_samples: Vec<atm_runtime::trace::ReadySample>,
+}
+
+impl AppRun {
+    /// The reuse metric of §IV-C over the memoizable tasks.
+    pub fn reuse_percent(&self) -> f64 {
+        self.atm_stats.reuse_percent()
+    }
+
+    /// ATM memory overhead relative to the application footprint (Table III).
+    pub fn memory_overhead_percent(&self) -> f64 {
+        if self.app_memory_bytes == 0 {
+            return 0.0;
+        }
+        100.0 * self.atm_memory_bytes as f64 / self.app_memory_bytes as f64
+    }
+}
+
+/// Table I row: static description of a benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableInfo {
+    /// "Program Inputs" column.
+    pub program_inputs: String,
+    /// "Task Inputs Size (bytes)" column — input bytes of one memoized task.
+    pub task_input_bytes: usize,
+    /// "Task Inputs Types" column.
+    pub task_input_types: String,
+    /// "Memoized Task Type" column.
+    pub memoized_task_type: String,
+    /// "Number of tasks" column (tasks of the memoized type).
+    pub num_tasks: u64,
+    /// "Correctness Measured on" column.
+    pub correctness_on: String,
+}
+
+/// The interface every benchmark application implements.
+pub trait BenchmarkApp: Send + Sync {
+    /// Benchmark name as used in the paper's tables and figures.
+    fn name(&self) -> &'static str;
+
+    /// Table I information for this instance.
+    fn table_info(&self) -> TableInfo;
+
+    /// Table II dynamic-ATM parameters (`L_training`, `τ_max`).
+    fn atm_params(&self) -> atm_runtime::AtmTaskParams;
+
+    /// Runs the sequential reference and returns the correctness output.
+    fn run_sequential(&self) -> Vec<f64>;
+
+    /// Runs the taskified version under the given options.
+    fn run_tasked(&self, options: &RunOptions) -> AppRun;
+
+    /// Relative error of `output` against the exact result (Eq. 3, or Eq. 4
+    /// for Sparse LU). The default compares against the cached sequential
+    /// reference with the Euclidean relative error.
+    fn output_error(&self, output: &[f64]) -> f64 {
+        euclidean_relative_error(self.reference(), output)
+    }
+
+    /// The cached sequential reference output.
+    fn reference(&self) -> &[f64];
+
+    /// Correctness percentage of a run (Figures 4 and 5).
+    fn correctness_percent(&self, output: &[f64]) -> f64 {
+        correctness_percent(self.output_error(output))
+    }
+}
+
+/// Helper holding everything a taskified run needs and producing an [`AppRun`].
+///
+/// Applications use it as:
+/// ```ignore
+/// let mut harness = TaskedRun::new(options);
+/// // … register regions and task types through harness.runtime() …
+/// let output = harness.finish(|store| collect_output(store));
+/// ```
+pub struct TaskedRun {
+    runtime: Runtime,
+    engine: Arc<AtmEngine>,
+    started: Instant,
+}
+
+impl TaskedRun {
+    /// Builds the runtime + ATM engine pair described by `options`.
+    pub fn new(options: &RunOptions) -> Self {
+        let engine = AtmEngine::shared(options.atm);
+        let runtime = RuntimeBuilder::new()
+            .workers(options.workers)
+            .tracing(options.tracing)
+            .interceptor(Arc::clone(&engine) as Arc<dyn atm_runtime::TaskInterceptor>)
+            .build();
+        TaskedRun { runtime, engine, started: Instant::now() }
+    }
+
+    /// The underlying runtime (register regions / task types, submit tasks).
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// The ATM engine (rarely needed directly; statistics are collected by
+    /// [`TaskedRun::finish`]).
+    pub fn engine(&self) -> &Arc<AtmEngine> {
+        &self.engine
+    }
+
+    /// Marks the start of the timed parallel section (call after input
+    /// regions are registered, before the first submit).
+    pub fn start_timer(&mut self) {
+        self.started = Instant::now();
+    }
+
+    /// The tracer of the underlying runtime.
+    pub fn tracer(&self) -> &Tracer {
+        self.runtime.tracer()
+    }
+
+    /// Waits for all tasks, collects statistics and produces the [`AppRun`].
+    /// `collect_output` extracts the correctness output from the data store.
+    pub fn finish(self, collect_output: impl FnOnce(&atm_runtime::DataStore) -> Vec<f64>) -> AppRun {
+        self.runtime.taskwait();
+        let wall = self.started.elapsed();
+        let output = collect_output(self.runtime.store());
+        let app_memory_bytes = self.runtime.store().total_bytes();
+        let trace =
+            if self.runtime.tracer().is_enabled() { Some(self.runtime.tracer().summary()) } else { None };
+        let ready_samples = self.runtime.tracer().ready_samples();
+        let run = AppRun {
+            output,
+            wall,
+            runtime_stats: self.runtime.stats(),
+            atm_stats: self.engine.stats(),
+            type_summaries: self.engine.type_summaries(),
+            reuse_events: self.engine.reuse_events(),
+            atm_memory_bytes: self.engine.memory_bytes(),
+            app_memory_bytes,
+            trace,
+            ready_samples,
+        };
+        self.runtime.shutdown();
+        run
+    }
+}
+
+/// Returns true when the engine mode memoizes anything at all (used by apps
+/// to decide whether a baseline run needs the engine's bookkeeping).
+pub fn atm_is_enabled(config: &AtmConfig) -> bool {
+    !matches!(config.mode, AtmMode::Off)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_options_constructors() {
+        let base = RunOptions::baseline(4);
+        assert_eq!(base.workers, 4);
+        assert!(!atm_is_enabled(&base.atm));
+        let with = RunOptions::with_atm(2, AtmConfig::static_atm()).traced();
+        assert!(with.tracing);
+        assert!(atm_is_enabled(&with.atm));
+    }
+
+    #[test]
+    fn memory_overhead_percent_is_ratio_of_footprints() {
+        let run = AppRun {
+            output: vec![],
+            wall: Duration::from_secs(1),
+            runtime_stats: Default::default(),
+            atm_stats: Default::default(),
+            type_summaries: Default::default(),
+            reuse_events: vec![],
+            atm_memory_bytes: 50,
+            app_memory_bytes: 1000,
+            trace: None,
+            ready_samples: vec![],
+        };
+        assert!((run.memory_overhead_percent() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tasked_run_smoke_test() {
+        let mut harness = TaskedRun::new(&RunOptions::baseline(1));
+        let region = harness
+            .runtime()
+            .store()
+            .register("out", atm_runtime::RegionData::F64(vec![0.0; 2]));
+        let tt = harness.runtime().register_task_type(
+            atm_runtime::TaskTypeBuilder::new("fill", |ctx| ctx.write_f64(0, &[1.0, 2.0])).build(),
+        );
+        harness.start_timer();
+        harness.runtime().submit(atm_runtime::TaskDesc::new(
+            tt,
+            vec![atm_runtime::Access::output(region, atm_runtime::ElemType::F64)],
+        ));
+        let run = harness.finish(|store| store.read(region).lock().as_f64().to_vec());
+        assert_eq!(run.output, vec![1.0, 2.0]);
+        assert_eq!(run.runtime_stats.executed, 1);
+        assert!(run.app_memory_bytes >= 16);
+    }
+}

@@ -1,0 +1,561 @@
+//! Sparse LU: blocked LU decomposition of a sparse matrix.
+//!
+//! The matrix is an `NB × NB` grid of `B × B` blocks, many of which are
+//! null. The classic OmpSs SparseLU task decomposition is used:
+//!
+//! * `lu0`   — factorises the diagonal block of the current panel;
+//! * `fwd`   — applies the L factor to a block of the pivot row;
+//! * `bdiv`  — applies the U factor to a block of the pivot column;
+//! * `bmod`  — the trailing-matrix update `A[i][j] -= A[i][k] · A[k][j]`,
+//!   by far the most frequently executed routine and the task type the
+//!   paper memoizes.
+//!
+//! Redundancy source (§V-D): the non-null blocks of the input matrix are
+//! drawn from a small pool of distinct block patterns, so `bmod` repeatedly
+//! sees the same `(A[i][k], A[k][j], A[i][j])` operand combinations — reuse
+//! at short distances, spread over the whole execution.
+//!
+//! Correctness is application specific (Eq. 4): `|A − L·U|² / |A|²`, where
+//! `L` and `U` are re-assembled from the factorised blocks.
+
+use crate::common::{AppRun, BenchmarkApp, RunOptions, Scale, TableInfo, TaskedRun};
+use atm_hash::Xoshiro256StarStar;
+use atm_metrics::lu_residual_error;
+use atm_runtime::{Access, AtmTaskParams, ElemType, RegionData, TaskDesc, TaskTypeBuilder};
+use std::sync::OnceLock;
+
+/// Configuration of a Sparse LU instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseLuConfig {
+    /// Blocks per side (`NB`).
+    pub blocks: usize,
+    /// Elements per block side (`B`).
+    pub block_size: usize,
+    /// Probability that an off-diagonal block is non-null.
+    pub density: f64,
+    /// Number of distinct non-null block patterns in the generator pool.
+    pub distinct_blocks: usize,
+    /// Workload generator seed.
+    pub seed: u64,
+}
+
+impl SparseLuConfig {
+    /// Configuration for a given scale.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Tiny => {
+                SparseLuConfig { blocks: 5, block_size: 12, density: 0.6, distinct_blocks: 1, seed: 0x10 }
+            }
+            Scale::Small => {
+                SparseLuConfig { blocks: 10, block_size: 24, density: 0.5, distinct_blocks: 2, seed: 0x10 }
+            }
+            // The paper: 20×20 blocks of 256×256 floats, 670 bmod tasks,
+            // 786,432 bytes of task input.
+            Scale::Paper => {
+                SparseLuConfig { blocks: 20, block_size: 256, density: 0.3, distinct_blocks: 8, seed: 0x10 }
+            }
+        }
+    }
+
+    /// Elements per block.
+    pub fn block_elems(&self) -> usize {
+        self.block_size * self.block_size
+    }
+
+    /// Elements per matrix side.
+    pub fn matrix_side(&self) -> usize {
+        self.blocks * self.block_size
+    }
+}
+
+impl Default for SparseLuConfig {
+    fn default() -> Self {
+        Self::for_scale(Scale::Small)
+    }
+}
+
+/// `lu0`: in-place LU factorisation (no pivoting) of a diagonal block.
+pub fn lu0(diag: &mut [f32], b: usize) {
+    for k in 0..b {
+        let pivot = diag[k * b + k];
+        for i in k + 1..b {
+            diag[i * b + k] /= pivot;
+            let lik = diag[i * b + k];
+            for j in k + 1..b {
+                diag[i * b + j] -= lik * diag[k * b + j];
+            }
+        }
+    }
+}
+
+/// `fwd`: applies the unit-lower-triangular factor of `diag` to a block of
+/// the pivot row (solves `L·X = block` in place).
+pub fn fwd(diag: &[f32], block: &mut [f32], b: usize) {
+    for k in 0..b {
+        for i in k + 1..b {
+            let lik = diag[i * b + k];
+            for j in 0..b {
+                block[i * b + j] -= lik * block[k * b + j];
+            }
+        }
+    }
+}
+
+/// `bdiv`: applies the upper-triangular factor of `diag` to a block of the
+/// pivot column (solves `X·U = block` in place).
+pub fn bdiv(diag: &[f32], block: &mut [f32], b: usize) {
+    for k in 0..b {
+        let pivot = diag[k * b + k];
+        for i in 0..b {
+            block[i * b + k] /= pivot;
+            let xik = block[i * b + k];
+            for j in k + 1..b {
+                block[i * b + j] -= xik * diag[k * b + j];
+            }
+        }
+    }
+}
+
+/// `bmod`: the trailing update `target -= row · col` (the memoized task type).
+pub fn bmod(row: &[f32], col: &[f32], target: &mut [f32], b: usize) {
+    for i in 0..b {
+        for k in 0..b {
+            let rik = row[i * b + k];
+            if rik == 0.0 {
+                continue;
+            }
+            for j in 0..b {
+                target[i * b + j] -= rik * col[k * b + j];
+            }
+        }
+    }
+}
+
+/// A generated Sparse LU problem instance.
+pub struct SparseLu {
+    config: SparseLuConfig,
+    /// `blocks × blocks` grid; `None` = null block.
+    initial: Vec<Option<Vec<f32>>>,
+    /// The dense original matrix (for the Eq. 4 residual).
+    dense_a: Vec<f64>,
+    reference: OnceLock<Vec<f64>>,
+}
+
+impl SparseLu {
+    /// Generates a sparse, diagonally-dominant block matrix whose non-null
+    /// blocks are drawn from a small pool of patterns.
+    pub fn new(config: SparseLuConfig) -> Self {
+        assert!(config.blocks >= 2 && config.block_size >= 2);
+        let nb = config.blocks;
+        let b = config.block_size;
+        let mut rng = Xoshiro256StarStar::new(config.seed);
+
+        // Pool of distinct off-diagonal block patterns (small values so the
+        // matrix stays well conditioned without pivoting).
+        let pool: Vec<Vec<f32>> = (0..config.distinct_blocks.max(1))
+            .map(|_| (0..b * b).map(|_| (rng.next_f32() - 0.5) * 0.2).collect())
+            .collect();
+
+        let mut initial: Vec<Option<Vec<f32>>> = vec![None; nb * nb];
+        for i in 0..nb {
+            for j in 0..nb {
+                if i == j {
+                    // Diagonal blocks: a pool pattern plus strong diagonal dominance.
+                    let mut block = pool[(i + j) % pool.len()].clone();
+                    for d in 0..b {
+                        block[d * b + d] += b as f32;
+                    }
+                    initial[i * nb + j] = Some(block);
+                } else if rng.next_f64() < config.density {
+                    initial[i * nb + j] = Some(pool[rng.below(pool.len())].clone());
+                }
+            }
+        }
+
+        let dense_a = Self::to_dense(&initial, nb, b);
+        SparseLu { config, initial, dense_a, reference: OnceLock::new() }
+    }
+
+    /// Builds the default instance for a scale.
+    pub fn at_scale(scale: Scale) -> Self {
+        Self::new(SparseLuConfig::for_scale(scale))
+    }
+
+    /// The configuration of this instance.
+    pub fn config(&self) -> &SparseLuConfig {
+        &self.config
+    }
+
+    /// The original matrix as a dense row-major `f64` vector.
+    pub fn dense_a(&self) -> &[f64] {
+        &self.dense_a
+    }
+
+    fn idx(&self, i: usize, j: usize) -> usize {
+        i * self.config.blocks + j
+    }
+
+    fn to_dense(blocks: &[Option<Vec<f32>>], nb: usize, b: usize) -> Vec<f64> {
+        let n = nb * b;
+        let mut dense = vec![0.0f64; n * n];
+        for bi in 0..nb {
+            for bj in 0..nb {
+                if let Some(block) = &blocks[bi * nb + bj] {
+                    for r in 0..b {
+                        for c in 0..b {
+                            dense[(bi * b + r) * n + bj * b + c] = f64::from(block[r * b + c]);
+                        }
+                    }
+                }
+            }
+        }
+        dense
+    }
+
+    /// Sequential blocked factorisation (also records which blocks fill in).
+    fn factorise_sequential(&self) -> Vec<Option<Vec<f32>>> {
+        let nb = self.config.blocks;
+        let b = self.config.block_size;
+        let mut m = self.initial.clone();
+        for k in 0..nb {
+            {
+                let diag = m[self.idx(k, k)].as_mut().expect("diagonal blocks are always present");
+                lu0(diag, b);
+            }
+            let diag = m[self.idx(k, k)].clone().unwrap();
+            for j in k + 1..nb {
+                if m[self.idx(k, j)].is_some() {
+                    fwd(&diag, m[self.idx(k, j)].as_mut().unwrap(), b);
+                }
+            }
+            for i in k + 1..nb {
+                if m[self.idx(i, k)].is_some() {
+                    bdiv(&diag, m[self.idx(i, k)].as_mut().unwrap(), b);
+                }
+            }
+            for i in k + 1..nb {
+                if m[self.idx(i, k)].is_none() {
+                    continue;
+                }
+                let row = m[self.idx(i, k)].clone().unwrap();
+                for j in k + 1..nb {
+                    if m[self.idx(k, j)].is_none() {
+                        continue;
+                    }
+                    let col = m[self.idx(k, j)].clone().unwrap();
+                    let target = m[self.idx(i, j)].get_or_insert_with(|| vec![0.0f32; b * b]);
+                    bmod(&row, &col, target, b);
+                }
+            }
+        }
+        m
+    }
+
+    /// Reconstructs `L·U` from a factorised matrix (flattened dense, f64).
+    pub fn reconstruct_lu(&self, factorised_dense: &[f64]) -> Vec<f64> {
+        let n = self.config.matrix_side();
+        assert_eq!(factorised_dense.len(), n * n);
+        let mut product = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                // (L·U)[i][j] = Σ_k L[i][k] · U[k][j], with L unit lower
+                // triangular and U upper triangular, both stored in place.
+                let mut sum = 0.0;
+                let kmax = i.min(j);
+                for k in 0..=kmax {
+                    let l = if k == i { 1.0 } else { factorised_dense[i * n + k] };
+                    let u = factorised_dense[k * n + j];
+                    sum += l * u;
+                }
+                product[i * n + j] = sum;
+            }
+        }
+        product
+    }
+
+    fn count_bmod_tasks(&self) -> u64 {
+        // Replays the symbolic factorisation to count bmod invocations.
+        let nb = self.config.blocks;
+        let mut present: Vec<bool> = self.initial.iter().map(Option::is_some).collect();
+        let mut count = 0u64;
+        for k in 0..nb {
+            for i in k + 1..nb {
+                if !present[i * nb + k] {
+                    continue;
+                }
+                for j in k + 1..nb {
+                    if present[k * nb + j] {
+                        count += 1;
+                        present[i * nb + j] = true;
+                    }
+                }
+            }
+        }
+        count
+    }
+}
+
+impl BenchmarkApp for SparseLu {
+    fn name(&self) -> &'static str {
+        "LU"
+    }
+
+    fn table_info(&self) -> TableInfo {
+        // bmod inputs: two B×B blocks plus the in-out target block.
+        let bytes = 3 * self.config.block_elems() * 4;
+        TableInfo {
+            program_inputs: format!(
+                "{0}x{0} blocks of {1}x{1} elements, density {2}",
+                self.config.blocks, self.config.block_size, self.config.density
+            ),
+            task_input_bytes: bytes,
+            task_input_types: "float".to_string(),
+            memoized_task_type: "bmod".to_string(),
+            num_tasks: self.count_bmod_tasks(),
+            correctness_on: "L*U-A".to_string(),
+        }
+    }
+
+    fn atm_params(&self) -> AtmTaskParams {
+        // Table II: L_training = 30, τ_max = 1 %.
+        AtmTaskParams { l_training: 30, tau_max: 0.01, type_aware: true }
+    }
+
+    fn run_sequential(&self) -> Vec<f64> {
+        Self::to_dense(&self.factorise_sequential(), self.config.blocks, self.config.block_size)
+    }
+
+    fn run_tasked(&self, options: &RunOptions) -> AppRun {
+        let nb = self.config.blocks;
+        let b = self.config.block_size;
+        let mut harness = TaskedRun::new(options);
+        let rt = harness.runtime();
+
+        // Determine the fill-in pattern up front so every block that will
+        // ever be non-null has a region (fill-ins start as zero blocks).
+        let mut present: Vec<bool> = self.initial.iter().map(Option::is_some).collect();
+        {
+            let mut p = present.clone();
+            for k in 0..nb {
+                for i in k + 1..nb {
+                    if !p[i * nb + k] {
+                        continue;
+                    }
+                    for j in k + 1..nb {
+                        if p[k * nb + j] {
+                            p[i * nb + j] = true;
+                        }
+                    }
+                }
+            }
+            present = p;
+        }
+        let regions: Vec<Option<atm_runtime::RegionId>> = (0..nb * nb)
+            .map(|idx| {
+                if present[idx] {
+                    let data = self.initial[idx].clone().unwrap_or_else(|| vec![0.0f32; b * b]);
+                    Some(rt.store().register(format!("A[{}][{}]", idx / nb, idx % nb), RegionData::F32(data)))
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        let lu0_type = rt.register_task_type(
+            TaskTypeBuilder::new("lu0", move |ctx| {
+                let mut diag = ctx.read_f32(0);
+                lu0(&mut diag, b);
+                ctx.write_f32(0, &diag);
+            })
+            .build(),
+        );
+        let fwd_type = rt.register_task_type(
+            TaskTypeBuilder::new("fwd", move |ctx| {
+                let diag = ctx.read_f32(0);
+                let mut block = ctx.read_f32(1);
+                fwd(&diag, &mut block, b);
+                ctx.write_f32(1, &block);
+            })
+            .build(),
+        );
+        let bdiv_type = rt.register_task_type(
+            TaskTypeBuilder::new("bdiv", move |ctx| {
+                let diag = ctx.read_f32(0);
+                let mut block = ctx.read_f32(1);
+                bdiv(&diag, &mut block, b);
+                ctx.write_f32(1, &block);
+            })
+            .build(),
+        );
+        let bmod_type = rt.register_task_type(
+            TaskTypeBuilder::new("bmod", move |ctx| {
+                let row = ctx.read_f32(0);
+                let col = ctx.read_f32(1);
+                let mut target = ctx.read_f32(2);
+                bmod(&row, &col, &mut target, b);
+                ctx.write_f32(2, &target);
+            })
+            .memoizable()
+            .atm_params(self.atm_params())
+            .build(),
+        );
+
+        // Presence evolves as in the sequential symbolic pass: a bmod task is
+        // submitted once its operands are (or will be) non-null.
+        let mut live: Vec<bool> = self.initial.iter().map(Option::is_some).collect();
+        harness.start_timer();
+        for k in 0..nb {
+            let diag = regions[self.idx(k, k)].expect("diagonal block present");
+            harness
+                .runtime()
+                .submit(TaskDesc::new(lu0_type, vec![Access::inout(diag, ElemType::F32)]));
+            for j in k + 1..nb {
+                if live[self.idx(k, j)] {
+                    let block = regions[self.idx(k, j)].unwrap();
+                    harness.runtime().submit(TaskDesc::new(
+                        fwd_type,
+                        vec![Access::input(diag, ElemType::F32), Access::inout(block, ElemType::F32)],
+                    ));
+                }
+            }
+            for i in k + 1..nb {
+                if live[self.idx(i, k)] {
+                    let block = regions[self.idx(i, k)].unwrap();
+                    harness.runtime().submit(TaskDesc::new(
+                        bdiv_type,
+                        vec![Access::input(diag, ElemType::F32), Access::inout(block, ElemType::F32)],
+                    ));
+                }
+            }
+            for i in k + 1..nb {
+                if !live[self.idx(i, k)] {
+                    continue;
+                }
+                for j in k + 1..nb {
+                    if !live[self.idx(k, j)] {
+                        continue;
+                    }
+                    let row = regions[self.idx(i, k)].unwrap();
+                    let col = regions[self.idx(k, j)].unwrap();
+                    let target = regions[self.idx(i, j)].expect("fill-in region pre-allocated");
+                    live[self.idx(i, j)] = true;
+                    harness.runtime().submit(TaskDesc::new(
+                        bmod_type,
+                        vec![
+                            Access::input(row, ElemType::F32),
+                            Access::input(col, ElemType::F32),
+                            Access::inout(target, ElemType::F32),
+                        ],
+                    ));
+                }
+            }
+        }
+
+        let nb_copy = nb;
+        let b_copy = b;
+        harness.finish(move |store| {
+            let n = nb_copy * b_copy;
+            let mut dense = vec![0.0f64; n * n];
+            for bi in 0..nb_copy {
+                for bj in 0..nb_copy {
+                    if let Some(region) = regions[bi * nb_copy + bj] {
+                        let block = store.read(region).lock().to_f64_vec();
+                        for r in 0..b_copy {
+                            for c in 0..b_copy {
+                                dense[(bi * b_copy + r) * n + bj * b_copy + c] = block[r * b_copy + c];
+                            }
+                        }
+                    }
+                }
+            }
+            dense
+        })
+    }
+
+    fn output_error(&self, output: &[f64]) -> f64 {
+        // Application-specific correctness (Eq. 4): |A − L·U|² / |A|².
+        let product = self.reconstruct_lu(output);
+        lu_residual_error(&self.dense_a, &product)
+    }
+
+    fn reference(&self) -> &[f64] {
+        self.reference.get_or_init(|| self.run_sequential())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_core::AtmConfig;
+    use atm_metrics::euclidean_relative_error;
+
+    #[test]
+    fn lu0_factorises_a_small_block_exactly() {
+        // A = [[4, 3], [6, 3]] -> L = [[1,0],[1.5,1]], U = [[4,3],[0,-1.5]].
+        let mut a = vec![4.0, 3.0, 6.0, 3.0];
+        lu0(&mut a, 2);
+        assert_eq!(a, vec![4.0, 3.0, 1.5, -1.5]);
+    }
+
+    #[test]
+    fn bmod_subtracts_the_block_product() {
+        let row = vec![1.0, 0.0, 0.0, 1.0]; // identity
+        let col = vec![2.0, 3.0, 4.0, 5.0];
+        let mut target = vec![10.0, 10.0, 10.0, 10.0];
+        bmod(&row, &col, &mut target, 2);
+        assert_eq!(target, vec![8.0, 7.0, 6.0, 5.0]);
+    }
+
+    #[test]
+    fn sequential_factorisation_has_tiny_residual() {
+        let app = SparseLu::at_scale(Scale::Tiny);
+        let factorised = app.run_sequential();
+        let err = app.output_error(&factorised);
+        assert!(err < 1e-6, "sequential LU residual too large: {err}");
+    }
+
+    #[test]
+    fn tasked_matches_sequential_without_atm() {
+        let app = SparseLu::at_scale(Scale::Tiny);
+        let run = app.run_tasked(&RunOptions::baseline(2));
+        let err = euclidean_relative_error(app.reference(), &run.output);
+        assert!(err < 1e-10, "taskified LU factorisation mismatch: {err}");
+    }
+
+    #[test]
+    fn static_atm_keeps_the_residual_tiny() {
+        let app = SparseLu::at_scale(Scale::Tiny);
+        let run = app.run_tasked(&RunOptions::with_atm(2, AtmConfig::static_atm()));
+        let err = app.output_error(&run.output);
+        assert!(err < 1e-6, "static ATM LU residual too large: {err}");
+    }
+
+    #[test]
+    fn static_atm_finds_reuse_from_repeated_block_patterns() {
+        let app = SparseLu::at_scale(Scale::Tiny);
+        let run = app.run_tasked(&RunOptions::with_atm(1, AtmConfig::static_atm()));
+        assert!(
+            run.reuse_percent() > 5.0,
+            "repeated block patterns must produce bmod reuse, got {:.1}%",
+            run.reuse_percent()
+        );
+    }
+
+    #[test]
+    fn bmod_task_count_matches_symbolic_factorisation() {
+        let app = SparseLu::at_scale(Scale::Tiny);
+        let run = app.run_tasked(&RunOptions::with_atm(1, AtmConfig::static_atm()));
+        assert_eq!(run.atm_stats.seen, app.count_bmod_tasks());
+    }
+
+    #[test]
+    fn reconstruct_lu_of_identity_is_identity() {
+        let app = SparseLu::at_scale(Scale::Tiny);
+        let n = app.config.matrix_side();
+        let mut identity = vec![0.0f64; n * n];
+        for i in 0..n {
+            identity[i * n + i] = 1.0;
+        }
+        assert_eq!(app.reconstruct_lu(&identity), identity);
+    }
+}

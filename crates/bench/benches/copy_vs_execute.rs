@@ -1,0 +1,59 @@
+//! Copying memoized outputs vs executing the task kernel.
+//!
+//! §III-A of the paper reports that copying the outputs of a memoized task
+//! from/to the THT is roughly an order of magnitude faster than executing
+//! the task (10.75× / 10.31× on their machine). This bench reproduces the
+//! *measurement* for two representative kernels: a Blackscholes block and a
+//! Jacobi stencil block.
+
+use atm_apps::blackscholes::{price_block, FIELDS};
+use atm_apps::stencil::jacobi_block;
+use atm_core::OutputSnapshot;
+use atm_runtime::{Access, DataStore, ElemType, RegionData};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn blackscholes_block(c: &mut Criterion) {
+    let block = 4096usize;
+    let options: Vec<f32> = (0..block)
+        .flat_map(|i| {
+            let base = 50.0 + (i % 100) as f32;
+            [base, base * 0.95, 0.05, 0.2, 1.0 + (i % 5) as f32, (i % 2) as f32]
+        })
+        .collect();
+    let mut prices = vec![0.0f32; block];
+
+    let store = DataStore::new();
+    let out_region = store.register("prices", RegionData::F32(vec![1.0; block]));
+    let snapshot = OutputSnapshot::capture(&store, &Access::output(out_region, ElemType::F32));
+    let dst_region = store.register("dst", RegionData::F32(vec![0.0; block]));
+    let dst_access = Access::output(dst_region, ElemType::F32);
+
+    let mut group = c.benchmark_group("copy_vs_execute_blackscholes");
+    group.measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200)).sample_size(10);
+    group.bench_function("execute_block", |b| b.iter(|| price_block(&options, &mut prices)));
+    group.bench_function("copy_outputs_from_tht", |b| b.iter(|| snapshot.apply_to(&store, &dst_access)));
+    group.finish();
+    assert_eq!(options.len(), block * FIELDS);
+}
+
+fn jacobi_stencil_block(c: &mut Criterion) {
+    let bs = 96usize;
+    let center = vec![0.3f32; bs * bs];
+    let halo = vec![1.0f32; bs];
+
+    let store = DataStore::new();
+    let out_region = store.register("block", RegionData::F32(vec![0.5; bs * bs]));
+    let snapshot = OutputSnapshot::capture(&store, &Access::output(out_region, ElemType::F32));
+    let dst_region = store.register("dst", RegionData::F32(vec![0.0; bs * bs]));
+    let dst_access = Access::output(dst_region, ElemType::F32);
+
+    let mut group = c.benchmark_group("copy_vs_execute_stencil");
+    group.measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200)).sample_size(10);
+    group.bench_function("execute_block", |b| b.iter(|| jacobi_block(&center, &halo, &halo, &halo, &halo, bs)));
+    group.bench_function("copy_outputs_from_tht", |b| b.iter(|| snapshot.apply_to(&store, &dst_access)));
+    group.finish();
+}
+
+criterion_group!(benches, blackscholes_block, jacobi_stencil_block);
+criterion_main!(benches);

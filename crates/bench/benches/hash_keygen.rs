@@ -1,0 +1,54 @@
+//! Hash-key generation cost as a function of the selection percentage `p`
+//! and of the task-input size (§III-B: the hashing overhead is what Dynamic
+//! ATM reduces by selecting a small `p`).
+
+use atm_core::{KeyGenerator, Percentage};
+use atm_runtime::{Access, DataStore, ElemType, RegionData};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn keygen_vs_percentage(c: &mut Criterion) {
+    let store = DataStore::new();
+    // 1 MiB of f32 input, comparable to a mid-sized stencil block.
+    let elems = 256 * 1024;
+    let region = store.register("input", RegionData::F32((0..elems).map(|i| i as f32).collect()));
+    let accesses = vec![Access::input(region, ElemType::F32)];
+    let keygen = KeyGenerator::new(7, true);
+
+    let mut group = c.benchmark_group("hash_keygen_vs_p");
+    group.measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200)).sample_size(10);
+    for (label, p) in [
+        ("p=2^-15", Percentage::MIN),
+        ("p=0.1%", Percentage::from_fraction(0.001)),
+        ("p=1%", Percentage::from_fraction(0.01)),
+        ("p=25%", Percentage::from_fraction(0.25)),
+        ("p=100%", Percentage::FULL),
+    ] {
+        group.throughput(Throughput::Bytes(p.bytes_of(elems * 4) as u64));
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| keygen.compute(&store, &accesses, p))
+        });
+    }
+    group.finish();
+}
+
+fn keygen_vs_input_size(c: &mut Criterion) {
+    let store = DataStore::new();
+    let keygen = KeyGenerator::new(9, true);
+    let mut group = c.benchmark_group("hash_keygen_vs_input_size");
+    group.measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200)).sample_size(10);
+    for kib in [4usize, 64, 1024] {
+        let elems = kib * 1024 / 4;
+        let region =
+            store.register(format!("in_{kib}k"), RegionData::F32((0..elems).map(|i| i as f32).collect()));
+        let accesses = vec![Access::input(region, ElemType::F32)];
+        group.throughput(Throughput::Bytes((elems * 4) as u64));
+        group.bench_function(BenchmarkId::new("full_p", format!("{kib}KiB")), |b| {
+            b.iter(|| keygen.compute(&store, &accesses, Percentage::FULL))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, keygen_vs_percentage, keygen_vs_input_size);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! End-to-end memoization benchmark: the same (tiny) application run with
+//! the baseline runtime, Static ATM and Dynamic ATM. The relative ordering
+//! of these three bars is the headline result of the paper (Figure 3) in
+//! miniature.
+
+use atm_apps::blackscholes::{Blackscholes, BlackscholesConfig};
+use atm_apps::{BenchmarkApp, RunOptions, Scale};
+use atm_core::AtmConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn blackscholes_end_to_end(c: &mut Criterion) {
+    let app = Blackscholes::new(BlackscholesConfig::for_scale(Scale::Tiny));
+    let mut group = c.benchmark_group("blackscholes_e2e");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
+    group.bench_function("baseline", |b| b.iter(|| app.run_tasked(&RunOptions::baseline(2))));
+    group.bench_function("static_atm", |b| {
+        b.iter(|| app.run_tasked(&RunOptions::with_atm(2, AtmConfig::static_atm())))
+    });
+    group.bench_function("dynamic_atm", |b| {
+        b.iter(|| app.run_tasked(&RunOptions::with_atm(2, AtmConfig::dynamic_atm())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, blackscholes_end_to_end);
+criterion_main!(benches);

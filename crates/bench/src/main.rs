@@ -1,0 +1,136 @@
+//! `atm-eval` — regenerates the tables and figures of the ATM paper.
+//!
+//! ```text
+//! atm-eval <experiment>|all [--scale tiny|small] [--workers N] [--csv DIR] [--list]
+//! ```
+//!
+//! Experiments: table1 table2 table3 sizing figure3 figure4 figure5 figure6
+//! figure7 figure8 figure9.
+
+use atm_apps::Scale;
+use atm_eval::{all_experiments, run_experiment, EvalContext, Experiment};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    experiments: Vec<Experiment>,
+    scale: Scale,
+    workers: usize,
+    csv_dir: Option<PathBuf>,
+}
+
+fn usage() -> String {
+    format!(
+        "usage: atm-eval <experiment>|all [--scale tiny|small] [--workers N] [--csv DIR]\n       atm-eval --list\n\nexperiments: {}",
+        all_experiments().join(" ")
+    )
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut experiments = Vec::new();
+    let mut scale = Scale::Small;
+    let mut workers = 8usize;
+    let mut csv_dir = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                return Err(format!("available experiments: {}", all_experiments().join(" ")));
+            }
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    other => return Err(format!("unknown scale {other:?}\n{}", usage())),
+                };
+            }
+            "--workers" => {
+                i += 1;
+                workers = args
+                    .get(i)
+                    .and_then(|w| w.parse().ok())
+                    .filter(|&w| w >= 1)
+                    .ok_or_else(|| format!("--workers needs a positive integer\n{}", usage()))?;
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(PathBuf::from(
+                    args.get(i).ok_or_else(|| format!("--csv needs a directory\n{}", usage()))?,
+                ));
+            }
+            "all" => experiments.extend(Experiment::ALL),
+            name => {
+                let experiment = Experiment::parse(name)
+                    .ok_or_else(|| format!("unknown experiment '{name}'\n{}", usage()))?;
+                experiments.push(experiment);
+            }
+        }
+        i += 1;
+    }
+    if experiments.is_empty() {
+        return Err(usage());
+    }
+    Ok(Cli { experiments, scale, workers, csv_dir })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "ATM evaluation harness — scale: {:?}, workers: {}\n",
+        cli.scale, cli.workers
+    );
+    let ctx = EvalContext::new(cli.scale, cli.workers);
+    for experiment in &cli.experiments {
+        let started = std::time::Instant::now();
+        let report = run_experiment(*experiment, &ctx);
+        println!("{}", report.render());
+        println!("[{} completed in {:.1?}]\n", report.id, started.elapsed());
+        if let Some(dir) = &cli.csv_dir {
+            match report.write_csv(dir) {
+                Ok(path) => println!("  csv written to {}", path.display()),
+                Err(err) => eprintln!("  failed to write csv: {err}"),
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(values: &[&str]) -> Vec<String> {
+        values.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_experiments_scale_and_workers() {
+        let cli = parse_args(&strings(&["figure3", "table1", "--scale", "tiny", "--workers", "2"])).unwrap();
+        assert_eq!(cli.experiments, vec![Experiment::Figure3, Experiment::Table1]);
+        assert_eq!(cli.scale, Scale::Tiny);
+        assert_eq!(cli.workers, 2);
+        assert!(cli.csv_dir.is_none());
+    }
+
+    #[test]
+    fn all_expands_to_every_experiment() {
+        let cli = parse_args(&strings(&["all"])).unwrap();
+        assert_eq!(cli.experiments.len(), Experiment::ALL.len());
+    }
+
+    #[test]
+    fn rejects_unknown_experiment_and_empty_invocation() {
+        assert!(parse_args(&strings(&["figure42"])).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! Measurement plumbing shared by all experiments: workload caching,
+//! baseline timing, the selection-percentage sweep and the Oracle
+//! configurations derived from it.
+
+use atm_apps::{build_app, AppId, AppRun, BenchmarkApp, RunOptions, Scale};
+use atm_core::{AtmConfig, Percentage};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One measured run of one application under one configuration.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Wall-clock seconds of the parallel section.
+    pub wall_seconds: f64,
+    /// Correctness percentage against the sequential reference (Figures 4/5).
+    pub correctness: f64,
+    /// Reuse percentage over the memoizable tasks (§IV-C).
+    pub reuse_percent: f64,
+    /// Memory overhead of ATM relative to the application footprint (Table III).
+    pub memory_overhead_percent: f64,
+    /// The selection percentage in effect at the end of the run (Dynamic ATM).
+    pub final_p: Option<f64>,
+    /// The full run record (statistics, reuse events, traces).
+    pub run: AppRun,
+}
+
+/// One point of the selection-percentage sweep of Figure 5.
+#[derive(Debug, Clone)]
+pub struct PSweepEntry {
+    /// The constant selection percentage used for the run.
+    pub p: f64,
+    /// The resulting program correctness (%).
+    pub correctness: f64,
+    /// Wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Reuse percentage.
+    pub reuse_percent: f64,
+}
+
+/// The two Oracle configurations of Figures 3/4/6 for one application.
+#[derive(Debug, Clone)]
+pub struct OracleTable {
+    /// Smallest constant `p` whose run kept correctness at 100 %.
+    pub oracle_100: Option<PSweepEntry>,
+    /// Smallest constant `p` whose run kept correctness ≥ 95 %.
+    pub oracle_95: Option<PSweepEntry>,
+}
+
+/// Shared context for all experiments: caches the generated workloads, their
+/// sequential references, the baseline timings and the per-app `p` sweeps so
+/// the full `atm-eval all` run does not regenerate them per figure.
+pub struct EvalContext {
+    /// Problem-size scale.
+    pub scale: Scale,
+    /// Default number of worker threads (the paper evaluates on 8 cores).
+    pub workers: usize,
+    apps: Mutex<HashMap<AppId, Arc<dyn BenchmarkApp>>>,
+    baselines: Mutex<HashMap<(AppId, usize), f64>>,
+    sweeps: Mutex<HashMap<AppId, Arc<Vec<PSweepEntry>>>>,
+}
+
+impl EvalContext {
+    /// Creates a context.
+    pub fn new(scale: Scale, workers: usize) -> Self {
+        EvalContext {
+            scale,
+            workers,
+            apps: Mutex::new(HashMap::new()),
+            baselines: Mutex::new(HashMap::new()),
+            sweeps: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The (cached) generated workload of one application.
+    pub fn app(&self, id: AppId) -> Arc<dyn BenchmarkApp> {
+        let mut apps = self.apps.lock();
+        Arc::clone(apps.entry(id).or_insert_with(|| Arc::from(build_app(id, self.scale))))
+    }
+
+    /// Runs one application under the given options and packages the result.
+    pub fn measure(&self, id: AppId, options: &RunOptions) -> Measurement {
+        let app = self.app(id);
+        let run = app.run_tasked(options);
+        let correctness = app.correctness_percent(&run.output);
+        let final_p = run
+            .type_summaries
+            .values()
+            .find(|s| !s.name.is_empty() && s.seen > 0 && s.tht_bypassed + s.training_hits + s.ikt_deferred > 0 || s.seen > 0)
+            .map(|s| s.final_p);
+        Measurement {
+            wall_seconds: run.wall.as_secs_f64(),
+            correctness,
+            reuse_percent: run.reuse_percent(),
+            memory_overhead_percent: run.memory_overhead_percent(),
+            final_p,
+            run,
+        }
+    }
+
+    /// Baseline (no ATM) wall-clock seconds for `(app, workers)`, cached.
+    pub fn baseline_seconds(&self, id: AppId, workers: usize) -> f64 {
+        if let Some(&cached) = self.baselines.lock().get(&(id, workers)) {
+            return cached;
+        }
+        let measurement = self.measure(id, &RunOptions::baseline(workers));
+        let wall = measurement.wall_seconds;
+        self.baselines.lock().insert((id, workers), wall);
+        wall
+    }
+
+    /// Speedup of a measurement against the cached baseline with the same
+    /// number of workers (Eq. 2 of the paper).
+    pub fn speedup(&self, id: AppId, workers: usize, measurement: &Measurement) -> f64 {
+        let baseline = self.baseline_seconds(id, workers);
+        if measurement.wall_seconds <= 0.0 {
+            return f64::INFINITY;
+        }
+        baseline / measurement.wall_seconds
+    }
+
+    /// The Figure 5 sweep: one run per value of the training ladder
+    /// (p = 2⁻¹⁵ … 100 %), with the IKT enabled, at the default worker count.
+    pub fn p_sweep(&self, id: AppId) -> Arc<Vec<PSweepEntry>> {
+        if let Some(cached) = self.sweeps.lock().get(&id) {
+            return Arc::clone(cached);
+        }
+        let mut entries = Vec::with_capacity(Percentage::STEPS + 1);
+        for step in 0..=Percentage::STEPS {
+            let p = Percentage::from_training_step(step).fraction();
+            let measurement =
+                self.measure(id, &RunOptions::with_atm(self.workers, AtmConfig::fixed_p(p)));
+            entries.push(PSweepEntry {
+                p,
+                correctness: measurement.correctness,
+                wall_seconds: measurement.wall_seconds,
+                reuse_percent: measurement.reuse_percent,
+            });
+        }
+        let entries = Arc::new(entries);
+        self.sweeps.lock().insert(id, Arc::clone(&entries));
+        entries
+    }
+
+    /// Derives the Oracle configurations from the sweep: the smallest `p`
+    /// that keeps correctness at 100 % (within floating-point noise) and the
+    /// smallest `p` that keeps correctness ≥ 95 %.
+    pub fn oracle(&self, id: AppId) -> OracleTable {
+        let sweep = self.p_sweep(id);
+        let oracle_100 = sweep.iter().find(|e| e.correctness >= 99.999_999).cloned();
+        let oracle_95 = sweep.iter().find(|e| e.correctness >= 95.0).cloned();
+        OracleTable { oracle_100, oracle_95 }
+    }
+
+    /// Measures an Oracle configuration (a fixed-`p` run) at a given worker
+    /// count, or `None` when no `p` in the sweep met the correctness bound.
+    pub fn measure_oracle(&self, id: AppId, workers: usize, min_correctness: f64) -> Option<Measurement> {
+        let sweep = self.p_sweep(id);
+        let entry = sweep.iter().find(|e| e.correctness >= min_correctness)?;
+        Some(self.measure(id, &RunOptions::with_atm(workers, AtmConfig::fixed_p(entry.p))))
+    }
+}
+
+/// Geometric-mean helper that ignores non-finite values (used for the
+/// "geomean" bars of the figures).
+pub fn geomean(values: &[f64]) -> f64 {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite() && *v > 0.0).collect();
+    if finite.is_empty() {
+        return f64::NAN;
+    }
+    atm_metrics::geometric_mean(&finite)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_and_speedup_at_tiny_scale() {
+        let ctx = EvalContext::new(Scale::Tiny, 2);
+        let baseline = ctx.baseline_seconds(AppId::Blackscholes, 2);
+        assert!(baseline > 0.0);
+        let atm = ctx.measure(AppId::Blackscholes, &RunOptions::with_atm(2, AtmConfig::static_atm()));
+        assert!((0.0..=100.0).contains(&atm.correctness));
+        assert!(atm.reuse_percent > 0.0);
+        let speedup = ctx.speedup(AppId::Blackscholes, 2, &atm);
+        assert!(speedup.is_finite() && speedup > 0.0);
+    }
+
+    #[test]
+    fn workload_and_baseline_are_cached() {
+        let ctx = EvalContext::new(Scale::Tiny, 1);
+        let a = ctx.app(AppId::Swaptions);
+        let b = ctx.app(AppId::Swaptions);
+        assert!(Arc::ptr_eq(&a, &b), "the generated workload must be cached");
+        let t1 = ctx.baseline_seconds(AppId::Swaptions, 1);
+        let t2 = ctx.baseline_seconds(AppId::Swaptions, 1);
+        assert_eq!(t1, t2, "the baseline timing must be cached");
+    }
+
+    #[test]
+    fn p_sweep_covers_the_training_ladder_and_oracles_exist() {
+        let ctx = EvalContext::new(Scale::Tiny, 1);
+        let sweep = ctx.p_sweep(AppId::Blackscholes);
+        assert_eq!(sweep.len(), Percentage::STEPS + 1);
+        assert!((sweep.last().unwrap().p - 1.0).abs() < 1e-12, "the sweep must end at p = 100%");
+        // p = 100% is exact, so Oracle(100%) always exists.
+        let oracle = ctx.oracle(AppId::Blackscholes);
+        assert!(oracle.oracle_100.is_some());
+        assert!(oracle.oracle_95.is_some());
+        assert!(oracle.oracle_95.as_ref().unwrap().p <= oracle.oracle_100.as_ref().unwrap().p);
+    }
+
+    #[test]
+    fn geomean_ignores_non_finite_values() {
+        assert!((geomean(&[2.0, 8.0, f64::INFINITY]) - 4.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+}

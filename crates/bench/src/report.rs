@@ -1,0 +1,97 @@
+//! Textual + CSV report produced by every experiment.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The output of one experiment: a title, a free-form text block (what the
+/// user sees on stdout) and a set of CSV rows (what plotting scripts read).
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Experiment identifier (e.g. `figure3`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The rendered text table(s).
+    pub text: String,
+    /// CSV header.
+    pub csv_header: String,
+    /// CSV data rows.
+    pub csv_rows: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, csv_header: impl Into<String>) -> Self {
+        Report { id: id.into(), title: title.into(), text: String::new(), csv_header: csv_header.into(), csv_rows: Vec::new() }
+    }
+
+    /// Appends one line to the text block.
+    pub fn line(&mut self, line: impl AsRef<str>) {
+        self.text.push_str(line.as_ref());
+        self.text.push('\n');
+    }
+
+    /// Appends a formatted line to the text block.
+    pub fn linef(&mut self, args: std::fmt::Arguments<'_>) {
+        let _ = writeln!(self.text, "{args}");
+    }
+
+    /// Appends one CSV row.
+    pub fn row(&mut self, row: impl Into<String>) {
+        self.csv_rows.push(row.into());
+    }
+
+    /// Renders the full report (title + text) for printing.
+    pub fn render(&self) -> String {
+        let bar = "=".repeat(self.title.len().max(8));
+        format!("{bar}\n{}\n{bar}\n{}", self.title, self.text)
+    }
+
+    /// The CSV contents (header + rows).
+    pub fn csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.csv_header);
+        out.push('\n');
+        for row in &self.csv_rows {
+            out.push_str(row);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV to `<dir>/<id>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        std::fs::write(&path, self.csv())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_text_and_csv() {
+        let mut report = Report::new("figX", "A figure", "a,b");
+        report.line("hello");
+        report.linef(format_args!("x = {}", 42));
+        report.row("1,2");
+        report.row("3,4");
+        assert!(report.render().contains("A figure"));
+        assert!(report.render().contains("x = 42"));
+        assert_eq!(report.csv(), "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn csv_is_written_to_disk() {
+        let dir = std::env::temp_dir().join("atm-eval-test-report");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut report = Report::new("t1", "T", "h");
+        report.row("v");
+        let path = report.write_csv(&dir).unwrap();
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "h\nv\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,713 @@
+//! The ATM engine: the [`TaskInterceptor`] that implements Approximate Task
+//! Memoization on top of the runtime.
+//!
+//! Control flow (Figure 1 of the paper):
+//!
+//! 1. A worker pulls task A from the Ready Queue and calls
+//!    [`AtmEngine::before_execute`]. If A's type is memoizable, the engine
+//!    computes A's hash key over a percentage `p` of its input bytes.
+//! 2. The Task History Table is probed. On a hit the stored outputs are
+//!    copied into A's output regions (`copyOuts()`) and A never executes —
+//!    unless the Dynamic ATM controller is still training, in which case A
+//!    executes anyway so the approximation error can be measured.
+//! 3. On a THT miss the In-flight Key Table is probed. If a task B with the
+//!    same key is currently executing, A registers a postponed copy-out and
+//!    is deferred (`postponeCopyOuts()`).
+//! 4. Otherwise A executes; its key is put in the IKT while it runs. When it
+//!    finishes, [`AtmEngine::after_execute`] retires the key, performs the
+//!    postponed copy-outs for any tasks that deferred onto A, and stores A's
+//!    outputs in the THT (`updateTHT&IKT()`).
+
+use crate::ikt::{InFlightKeyTable, Waiter};
+use crate::key::KeyGenerator;
+use crate::snapshot::{apply_snapshots_to, outputs_as_f64, OutputSnapshot};
+use crate::stats::{AtmStats, AtmStatsSnapshot, ReuseEvent, TypeSummaries, TypeSummary};
+use crate::tht::{EntryKey, TaskHistoryTable, ThtConfig};
+use crate::training::TrainingController;
+use atm_hash::Percentage;
+use atm_metrics::chebyshev_relative_error;
+use atm_runtime::{
+    DataStore, Decision, RegionId, TaskId, TaskInterceptor, TaskTypeId, TaskView, ThreadState,
+    Tracer,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Operating mode of the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AtmMode {
+    /// ATM disabled: every task executes (the paper's baseline).
+    Off,
+    /// Static ATM: exact memoization with `p = 100 %` (§III-B). Guarantees
+    /// bit-identical results.
+    Static,
+    /// Dynamic ATM: the runtime trains the selection percentage `p` per task
+    /// type, bounded by the task type's `τ_max` and `L_training` (§III-D).
+    Dynamic,
+    /// A fixed selection percentage chosen offline — the "Oracle"
+    /// configurations of the evaluation (Figures 3–6) are produced by
+    /// sweeping this mode over the 16 values of the training ladder.
+    FixedP(f64),
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtmConfig {
+    /// Operating mode.
+    pub mode: AtmMode,
+    /// Whether the In-flight Key Table is used (Figure 3 separates THT-only
+    /// from THT+IKT configurations).
+    pub use_ikt: bool,
+    /// Task History Table sizing.
+    pub tht: ThtConfig,
+    /// Seed for the hash and the per-type index shuffles (reproducibility).
+    pub key_seed: u64,
+}
+
+impl Default for AtmConfig {
+    fn default() -> Self {
+        AtmConfig { mode: AtmMode::Static, use_ikt: true, tht: ThtConfig::default(), key_seed: 0x5EED }
+    }
+}
+
+impl AtmConfig {
+    /// Baseline configuration: ATM disabled.
+    pub fn off() -> Self {
+        AtmConfig { mode: AtmMode::Off, ..Default::default() }
+    }
+
+    /// Static ATM (exact memoization).
+    pub fn static_atm() -> Self {
+        AtmConfig { mode: AtmMode::Static, ..Default::default() }
+    }
+
+    /// Dynamic ATM (adaptive approximation).
+    pub fn dynamic_atm() -> Self {
+        AtmConfig { mode: AtmMode::Dynamic, ..Default::default() }
+    }
+
+    /// Oracle-style fixed selection percentage.
+    pub fn fixed_p(p: f64) -> Self {
+        AtmConfig { mode: AtmMode::FixedP(p), ..Default::default() }
+    }
+
+    /// Disables the IKT (THT-only configurations of Figure 3).
+    #[must_use]
+    pub fn without_ikt(mut self) -> Self {
+        self.use_ikt = false;
+        self
+    }
+
+    /// Overrides the THT sizing.
+    #[must_use]
+    pub fn with_tht(mut self, tht: ThtConfig) -> Self {
+        self.tht = tht;
+        self
+    }
+}
+
+/// Per-task-type engine state.
+struct TypeState {
+    keygen: KeyGenerator,
+    controller: Mutex<TrainingController>,
+}
+
+/// Bookkeeping attached to a task between `before_execute` and `after_execute`.
+struct PendingExec {
+    key: EntryKey,
+    registered_ikt: bool,
+    /// THT outputs to compare against after execution (training phase).
+    training_reference: Option<Arc<Vec<OutputSnapshot>>>,
+    /// True when the task writes an unstable output region and must not be
+    /// stored in the THT.
+    skip_tht_update: bool,
+}
+
+/// The ATM engine. Install it into the runtime with
+/// [`atm_runtime::RuntimeBuilder::interceptor`].
+pub struct AtmEngine {
+    config: AtmConfig,
+    tht: TaskHistoryTable,
+    ikt: InFlightKeyTable,
+    types: Mutex<HashMap<TaskTypeId, Arc<TypeState>>>,
+    pending: Mutex<HashMap<TaskId, PendingExec>>,
+    stats: AtmStats,
+    summaries: TypeSummaries,
+}
+
+impl AtmEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: AtmConfig) -> Self {
+        AtmEngine {
+            tht: TaskHistoryTable::new(config.tht),
+            ikt: InFlightKeyTable::new(),
+            types: Mutex::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            stats: AtmStats::new(),
+            summaries: TypeSummaries::new(),
+            config,
+        }
+    }
+
+    /// Convenience: creates the engine already wrapped in an [`Arc`] so it
+    /// can be both installed as the runtime interceptor and queried for
+    /// statistics afterwards.
+    pub fn shared(config: AtmConfig) -> Arc<Self> {
+        Arc::new(Self::new(config))
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> AtmConfig {
+        self.config
+    }
+
+    /// Aggregate statistics snapshot.
+    pub fn stats(&self) -> AtmStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Reuse provenance events (Figure 9).
+    pub fn reuse_events(&self) -> Vec<ReuseEvent> {
+        self.stats.reuse_events()
+    }
+
+    /// Per-task-type summaries (chosen `p`, phase, hit counts).
+    pub fn type_summaries(&self) -> HashMap<TaskTypeId, TypeSummary> {
+        self.refresh_summaries();
+        self.summaries.all()
+    }
+
+    /// The Task History Table (for sizing experiments and diagnostics).
+    pub fn tht(&self) -> &TaskHistoryTable {
+        &self.tht
+    }
+
+    /// The In-flight Key Table (diagnostics).
+    pub fn ikt(&self) -> &InFlightKeyTable {
+        &self.ikt
+    }
+
+    /// ATM memory overhead in bytes: THT contents, IKT bookkeeping and the
+    /// cached index-shuffle vectors (Table III numerator).
+    pub fn memory_bytes(&self) -> usize {
+        let keygens: usize = self.types.lock().values().map(|t| t.keygen.memory_bytes()).sum();
+        self.tht.memory_bytes() + self.ikt.memory_bytes() + keygens
+    }
+
+    /// The selection percentage currently in effect for a task type (the
+    /// starred values of Figure 5 / the `p` columns of §V-C).
+    pub fn current_p(&self, type_id: TaskTypeId) -> Option<f64> {
+        self.types.lock().get(&type_id).map(|t| t.controller.lock().current_p().fraction())
+    }
+
+    fn mode_enabled(&self) -> bool {
+        !matches!(self.config.mode, AtmMode::Off)
+    }
+
+    fn type_state(&self, view: &TaskView<'_>) -> Arc<TypeState> {
+        let mut types = self.types.lock();
+        if let Some(existing) = types.get(&view.type_id) {
+            return Arc::clone(existing);
+        }
+        let controller = match self.config.mode {
+            AtmMode::Off | AtmMode::Static => TrainingController::fixed(Percentage::FULL),
+            AtmMode::FixedP(p) => TrainingController::fixed(Percentage::from_fraction(p)),
+            AtmMode::Dynamic => TrainingController::new(view.info.atm.l_training, view.info.atm.tau_max),
+        };
+        let state = Arc::new(TypeState {
+            keygen: KeyGenerator::new(
+                self.config.key_seed ^ (view.type_id.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                view.info.atm.type_aware,
+            ),
+            controller: Mutex::new(controller),
+        });
+        types.insert(view.type_id, Arc::clone(&state));
+        state
+    }
+
+    /// The output signature of a task: the element count of every write
+    /// access, in declaration order. Stored outputs (THT entries, in-flight
+    /// producers) can only serve tasks with an identical signature; task
+    /// types normally have a fixed signature, but the engine must not trust
+    /// that (§III-E: under-declared or irregular outputs are a user-side
+    /// hazard the runtime has to survive).
+    fn output_signature(store: &DataStore, view: &TaskView<'_>) -> Vec<usize> {
+        view.accesses
+            .iter()
+            .filter(|a| a.mode.is_write())
+            .map(|a| crate::snapshot::elem_range_of(store, a).len())
+            .collect()
+    }
+
+    /// True when a stored set of output snapshots can be copied into a task
+    /// with the given output signature.
+    fn entry_matches_shape(outputs: &[OutputSnapshot], signature: &[usize]) -> bool {
+        outputs.len() == signature.len()
+            && outputs.iter().zip(signature).all(|(snapshot, &len)| snapshot.elem_range.len() == len)
+    }
+
+    fn writes_unstable_region(&self, state: &TypeState, view: &TaskView<'_>) -> bool {
+        let controller = state.controller.lock();
+        if controller.unstable_outputs().is_empty() {
+            return false;
+        }
+        view.accesses.iter().filter(|a| a.mode.is_write()).any(|a| controller.is_unstable(a.region))
+    }
+
+    fn refresh_summaries(&self) {
+        let types = self.types.lock();
+        for (type_id, state) in types.iter() {
+            let controller = state.controller.lock();
+            let p = controller.current_p().fraction();
+            let steady = !controller.is_training();
+            let unstable = controller.unstable_outputs().len();
+            self.summaries.update(*type_id, |s| {
+                s.final_p = p;
+                s.steady = steady;
+                s.unstable_outputs = unstable;
+            });
+        }
+    }
+
+    fn failing_output_regions(
+        &self,
+        store: &DataStore,
+        view: &TaskView<'_>,
+        reference: &[OutputSnapshot],
+        tau_max: f64,
+    ) -> (f64, Vec<RegionId>) {
+        // Overall τ across all outputs plus the per-output failures.
+        let writes: Vec<_> = view.accesses.iter().filter(|a| a.mode.is_write()).collect();
+        let mut failing = Vec::new();
+        let mut overall_tau = 0.0f64;
+        for (access, snapshot) in writes.iter().zip(reference) {
+            let correct = outputs_as_f64(store, std::slice::from_ref(*access));
+            let approx = snapshot.as_f64_vec();
+            if correct.len() != approx.len() {
+                // Shape mismatch (should not happen for a well-formed task
+                // type); treat as a failed approximation of this output.
+                failing.push(access.region);
+                overall_tau = f64::INFINITY;
+                continue;
+            }
+            let tau = chebyshev_relative_error(&correct, &approx);
+            overall_tau = overall_tau.max(tau);
+            if tau >= tau_max {
+                failing.push(access.region);
+            }
+        }
+        (overall_tau, failing)
+    }
+}
+
+impl TaskInterceptor for AtmEngine {
+    fn before_execute(
+        &self,
+        task: TaskView<'_>,
+        store: &DataStore,
+        tracer: &Tracer,
+        worker: usize,
+    ) -> Decision {
+        if !self.mode_enabled() || !task.info.memoizable {
+            return Decision::Execute;
+        }
+
+        self.stats.incr(&self.stats.seen);
+        let type_name = task.info.name.clone();
+        self.summaries.update(task.type_id, |s| {
+            if s.name.is_empty() {
+                s.name = type_name;
+            }
+            s.seen += 1;
+        });
+
+        let state = self.type_state(&task);
+        let (p, training, tau_max) = {
+            let controller = state.controller.lock();
+            (controller.current_p(), controller.is_training(), controller.tau_max())
+        };
+        let _ = tau_max;
+
+        // Hash-key computation (traced as its own state, Figure 7).
+        let hash_start = tracer.now_ns();
+        let key_result = state.keygen.compute(store, task.accesses, p);
+        let hash_end = tracer.now_ns();
+        tracer.record(worker, ThreadState::HashKeyComputation, hash_start, hash_end);
+        self.stats.add(&self.stats.hash_ns, hash_end - hash_start);
+        let key = EntryKey::new(task.type_id, key_result.key, p.fraction());
+
+        // Outputs black-listed during training are never memoized in the
+        // steady state (§III-D): execute, and skip the THT update later.
+        if !training && self.writes_unstable_region(&state, &task) {
+            self.pending.lock().insert(
+                task.id,
+                PendingExec { key, registered_ikt: false, training_reference: None, skip_tht_update: true },
+            );
+            self.stats.incr(&self.stats.executed);
+            return Decision::Execute;
+        }
+
+        // Task History Table probe. An entry only counts as a hit when its
+        // stored outputs have exactly the shape this task declares.
+        let signature = Self::output_signature(store, &task);
+        if let Some(entry) =
+            self.tht.lookup(&key).filter(|e| Self::entry_matches_shape(&e.outputs, &signature))
+        {
+            if training {
+                // Training phase: execute anyway and verify the
+                // approximation in `after_execute`.
+                self.stats.incr(&self.stats.training_hits);
+                self.summaries.update(task.type_id, |s| s.training_hits += 1);
+                self.pending.lock().insert(
+                    task.id,
+                    PendingExec {
+                        key,
+                        registered_ikt: false,
+                        training_reference: Some(Arc::clone(&entry.outputs)),
+                        skip_tht_update: true,
+                    },
+                );
+                self.stats.incr(&self.stats.executed);
+                return Decision::Execute;
+            }
+
+            // Steady state: provide the outputs without executing.
+            let copy_start = tracer.now_ns();
+            apply_snapshots_to(store, &entry.outputs, task.accesses);
+            let copy_end = tracer.now_ns();
+            tracer.record(worker, ThreadState::Memoization, copy_start, copy_end);
+            self.stats.add(&self.stats.copy_ns, copy_end - copy_start);
+            self.stats.incr(&self.stats.tht_bypassed);
+            self.summaries.update(task.type_id, |s| s.tht_bypassed += 1);
+            self.stats.record_reuse(ReuseEvent { producer: entry.producer, consumer: task.id, from_tht: true });
+            return Decision::Memoized;
+        }
+
+        // In-flight Key Table probe (steady state only; during training the
+        // task must execute so there is nothing to defer onto).
+        if self.config.use_ikt && !training {
+            let waiter = Waiter { task: task.id, accesses: task.accesses.to_vec() };
+            if let Some(producer) = self.ikt.register_waiter(&key, waiter) {
+                self.stats.incr(&self.stats.ikt_deferred);
+                self.summaries.update(task.type_id, |s| s.ikt_deferred += 1);
+                self.stats.record_reuse(ReuseEvent { producer, consumer: task.id, from_tht: false });
+                return Decision::Deferred;
+            }
+        }
+
+        // Miss everywhere: execute, leaving the key in the IKT while in flight.
+        let registered_ikt = self.config.use_ikt && self.ikt.register_producer(key, task.id);
+        self.pending.lock().insert(
+            task.id,
+            PendingExec { key, registered_ikt, training_reference: None, skip_tht_update: false },
+        );
+        self.stats.incr(&self.stats.executed);
+        Decision::Execute
+    }
+
+    fn after_execute(
+        &self,
+        task: TaskView<'_>,
+        store: &DataStore,
+        tracer: &Tracer,
+        worker: usize,
+        executed: bool,
+    ) -> Vec<TaskId> {
+        if !self.mode_enabled() || !task.info.memoizable || !executed {
+            return Vec::new();
+        }
+        let Some(pending) = self.pending.lock().remove(&task.id) else {
+            return Vec::new();
+        };
+        let state = self.type_state(&task);
+
+        // Dynamic ATM training: compare the stored (approximate) outputs
+        // against the freshly computed ones.
+        if let Some(reference) = &pending.training_reference {
+            let tau_max = state.controller.lock().tau_max();
+            let (tau, failing) = self.failing_output_regions(store, &task, reference, tau_max);
+            let mut controller = state.controller.lock();
+            if controller.is_training() {
+                controller.record_comparison(tau, &failing);
+            }
+        }
+
+        // Snapshot the outputs once; they serve both the postponed IKT
+        // copy-outs and the THT update.
+        let mut completed = Vec::new();
+        let need_snapshot = pending.registered_ikt || !pending.skip_tht_update;
+        let outputs: Option<Arc<Vec<OutputSnapshot>>> = if need_snapshot {
+            let copy_start = tracer.now_ns();
+            let snaps = Arc::new(OutputSnapshot::capture_all(store, task.accesses));
+            let copy_end = tracer.now_ns();
+            tracer.record(worker, ThreadState::Memoization, copy_start, copy_end);
+            self.stats.add(&self.stats.copy_ns, copy_end - copy_start);
+            Some(snaps)
+        } else {
+            None
+        };
+
+        // Retire the in-flight key and satisfy the tasks deferred onto this one.
+        if pending.registered_ikt {
+            let waiters = self.ikt.retire(&pending.key, task.id);
+            if !waiters.is_empty() {
+                let snaps = outputs.as_ref().expect("snapshot exists when registered in the IKT");
+                for waiter in waiters {
+                    let waiter_signature: Vec<usize> = waiter
+                        .accesses
+                        .iter()
+                        .filter(|a| a.mode.is_write())
+                        .map(|a| crate::snapshot::elem_range_of(store, a).len())
+                        .collect();
+                    if Self::entry_matches_shape(snaps, &waiter_signature) {
+                        let copy_start = tracer.now_ns();
+                        apply_snapshots_to(store, snaps, &waiter.accesses);
+                        let copy_end = tracer.now_ns();
+                        tracer.record(worker, ThreadState::Memoization, copy_start, copy_end);
+                        self.stats.add(&self.stats.copy_ns, copy_end - copy_start);
+                    } else {
+                        // Shape mismatch (same key, different output layout):
+                        // the deferred task cannot be satisfied by a copy, so
+                        // run its kernel here — its dependences were already
+                        // satisfied when it was deferred — and complete it.
+                        let ctx = atm_runtime::TaskContext::new(store, &waiter.accesses);
+                        (task.info.kernel)(&ctx);
+                        self.stats.incr(&self.stats.executed);
+                    }
+                    completed.push(waiter.task);
+                }
+            }
+        }
+
+        // Store the outputs in the THT for future reuse, unless this task's
+        // outputs were black-listed.
+        if !pending.skip_tht_update {
+            let still_stable = !self.writes_unstable_region(&state, &task);
+            if still_stable {
+                let snaps = outputs.expect("snapshot exists when the THT is updated");
+                self.tht.insert(pending.key, task.id, snaps);
+            }
+        }
+
+        completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_runtime::{Access, AtmTaskParams, ElemType, RegionData, TaskTypeBuilder};
+
+    fn view_for<'a>(
+        id: u64,
+        type_id: u32,
+        info: &'a atm_runtime::TaskTypeInfo,
+        accesses: &'a [Access],
+    ) -> TaskView<'a> {
+        TaskView { id: TaskId::from_raw(id), type_id: TaskTypeId::from_raw(type_id), info, accesses }
+    }
+
+    fn memoizable_info() -> atm_runtime::TaskTypeInfo {
+        TaskTypeBuilder::new("square", |ctx| {
+            let x = ctx.read_f64(0);
+            let out: Vec<f64> = x.iter().map(|v| v * v).collect();
+            ctx.write_f64(1, &out);
+        })
+        .memoizable()
+        .build()
+    }
+
+    /// Drives the engine by hand (without the scheduler) the way a worker
+    /// would: before_execute, optionally run the kernel, after_execute.
+    fn drive(
+        engine: &AtmEngine,
+        store: &DataStore,
+        view: TaskView<'_>,
+    ) -> (Decision, Vec<TaskId>) {
+        let tracer = Tracer::new(false);
+        let decision = engine.before_execute(view, store, &tracer, 0);
+        let executed = decision == Decision::Execute;
+        if executed {
+            let ctx = atm_runtime::TaskContext::new(store, view.accesses);
+            (view.info.kernel)(&ctx);
+        }
+        let completed = engine.after_execute(view, store, &tracer, 0, executed);
+        (decision, completed)
+    }
+
+    #[test]
+    fn static_atm_memoizes_identical_inputs() {
+        let engine = AtmEngine::new(AtmConfig::static_atm());
+        let store = DataStore::new();
+        let info = memoizable_info();
+        let input = store.register("in", RegionData::F64(vec![1.0, 2.0, 3.0]));
+        let out_a = store.register("a", RegionData::F64(vec![0.0; 3]));
+        let out_b = store.register("b", RegionData::F64(vec![0.0; 3]));
+
+        let acc_a = vec![Access::input(input, ElemType::F64), Access::output(out_a, ElemType::F64)];
+        let (d1, _) = drive(&engine, &store, view_for(0, 0, &info, &acc_a));
+        assert_eq!(d1, Decision::Execute);
+        assert_eq!(store.read(out_a).lock().as_f64(), &[1.0, 4.0, 9.0]);
+
+        // Second task, same input, different output region: must be bypassed
+        // and still produce the right output.
+        let acc_b = vec![Access::input(input, ElemType::F64), Access::output(out_b, ElemType::F64)];
+        let (d2, _) = drive(&engine, &store, view_for(1, 0, &info, &acc_b));
+        assert_eq!(d2, Decision::Memoized);
+        assert_eq!(store.read(out_b).lock().as_f64(), &[1.0, 4.0, 9.0]);
+
+        let stats = engine.stats();
+        assert_eq!(stats.seen, 2);
+        assert_eq!(stats.executed, 1);
+        assert_eq!(stats.tht_bypassed, 1);
+        assert_eq!(engine.reuse_events().len(), 1);
+        assert!(engine.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn static_atm_does_not_memoize_different_inputs() {
+        let engine = AtmEngine::new(AtmConfig::static_atm());
+        let store = DataStore::new();
+        let info = memoizable_info();
+        let in_a = store.register("ia", RegionData::F64(vec![1.0, 2.0]));
+        let in_b = store.register("ib", RegionData::F64(vec![1.0, 2.5]));
+        let out_a = store.register("oa", RegionData::F64(vec![0.0; 2]));
+        let out_b = store.register("ob", RegionData::F64(vec![0.0; 2]));
+
+        let acc_a = vec![Access::input(in_a, ElemType::F64), Access::output(out_a, ElemType::F64)];
+        let acc_b = vec![Access::input(in_b, ElemType::F64), Access::output(out_b, ElemType::F64)];
+        assert_eq!(drive(&engine, &store, view_for(0, 0, &info, &acc_a)).0, Decision::Execute);
+        assert_eq!(drive(&engine, &store, view_for(1, 0, &info, &acc_b)).0, Decision::Execute);
+        assert_eq!(store.read(out_b).lock().as_f64(), &[1.0, 6.25]);
+        assert_eq!(engine.stats().tht_bypassed, 0);
+    }
+
+    #[test]
+    fn non_memoizable_types_are_ignored() {
+        let engine = AtmEngine::new(AtmConfig::static_atm());
+        let store = DataStore::new();
+        let info = TaskTypeBuilder::new("plain", |_| {}).build();
+        let r = store.register("r", RegionData::F64(vec![1.0]));
+        let accesses = vec![Access::inout(r, ElemType::F64)];
+        let (d, _) = drive(&engine, &store, view_for(0, 0, &info, &accesses));
+        assert_eq!(d, Decision::Execute);
+        assert_eq!(engine.stats().seen, 0);
+    }
+
+    #[test]
+    fn off_mode_never_touches_the_tables() {
+        let engine = AtmEngine::new(AtmConfig::off());
+        let store = DataStore::new();
+        let info = memoizable_info();
+        let input = store.register("in", RegionData::F64(vec![1.0]));
+        let out = store.register("out", RegionData::F64(vec![0.0]));
+        let accesses = vec![Access::input(input, ElemType::F64), Access::output(out, ElemType::F64)];
+        for id in 0..3 {
+            let (d, _) = drive(&engine, &store, view_for(id, 0, &info, &accesses));
+            assert_eq!(d, Decision::Execute);
+        }
+        assert!(engine.tht().is_empty());
+        assert_eq!(engine.stats().seen, 0);
+    }
+
+    #[test]
+    fn dynamic_atm_trains_then_bypasses() {
+        let engine = AtmEngine::new(AtmConfig::dynamic_atm());
+        let store = DataStore::new();
+        let info = TaskTypeBuilder::new("square", |ctx| {
+            let x = ctx.read_f64(0);
+            let out: Vec<f64> = x.iter().map(|v| v * v).collect();
+            ctx.write_f64(1, &out);
+        })
+        .memoizable()
+        .atm_params(AtmTaskParams { l_training: 2, tau_max: 0.01, type_aware: true })
+        .build();
+
+        let input = store.register("in", RegionData::F64(vec![2.0; 16]));
+        let outs: Vec<_> = (0..6).map(|i| store.register(format!("o{i}"), RegionData::F64(vec![0.0; 16]))).collect();
+
+        let mut decisions = Vec::new();
+        for (i, &out) in outs.iter().enumerate() {
+            let accesses = vec![Access::input(input, ElemType::F64), Access::output(out, ElemType::F64)];
+            let (d, _) = drive(&engine, &store, view_for(i as u64, 0, &info, &accesses));
+            decisions.push(d);
+        }
+        // Task 0 misses and executes; tasks 1 and 2 are training hits (still
+        // executed); from task 3 on the controller is steady and hits bypass.
+        assert_eq!(decisions[0], Decision::Execute);
+        assert_eq!(decisions[1], Decision::Execute);
+        assert_eq!(decisions[2], Decision::Execute);
+        assert_eq!(decisions[3], Decision::Memoized);
+        assert_eq!(decisions[4], Decision::Memoized);
+        // All outputs are correct either way (identical inputs).
+        for &out in &outs {
+            assert_eq!(store.read(out).lock().as_f64(), &[4.0; 16]);
+        }
+        let summary = engine.type_summaries().into_values().next().unwrap();
+        assert!(summary.steady);
+        assert_eq!(summary.training_hits, 2);
+        assert!(summary.final_p <= Percentage::MIN.fraction() * 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn ikt_defers_onto_in_flight_producer() {
+        let engine = AtmEngine::new(AtmConfig::static_atm());
+        let store = DataStore::new();
+        let info = memoizable_info();
+        let input = store.register("in", RegionData::F64(vec![3.0, 4.0]));
+        let out_a = store.register("a", RegionData::F64(vec![0.0; 2]));
+        let out_b = store.register("b", RegionData::F64(vec![0.0; 2]));
+        let tracer = Tracer::new(false);
+
+        let acc_a = vec![Access::input(input, ElemType::F64), Access::output(out_a, ElemType::F64)];
+        let acc_b = vec![Access::input(input, ElemType::F64), Access::output(out_b, ElemType::F64)];
+        let view_a = view_for(0, 0, &info, &acc_a);
+        let view_b = view_for(1, 0, &info, &acc_b);
+
+        // A starts executing (registers its key in the IKT)…
+        assert_eq!(engine.before_execute(view_a, &store, &tracer, 0), Decision::Execute);
+        // …and B, with the same inputs, arrives while A is still in flight.
+        assert_eq!(engine.before_execute(view_b, &store, &tracer, 1), Decision::Deferred);
+
+        // A's kernel runs and finishes: B must be completed with A's outputs.
+        let ctx = atm_runtime::TaskContext::new(&store, &acc_a);
+        (info.kernel)(&ctx);
+        let completed = engine.after_execute(view_a, &store, &tracer, 0, true);
+        assert_eq!(completed, vec![TaskId::from_raw(1)]);
+        assert_eq!(store.read(out_b).lock().as_f64(), &[9.0, 16.0]);
+        assert_eq!(engine.stats().ikt_deferred, 1);
+    }
+
+    #[test]
+    fn disabling_ikt_prevents_deferral() {
+        let engine = AtmEngine::new(AtmConfig::static_atm().without_ikt());
+        let store = DataStore::new();
+        let info = memoizable_info();
+        let input = store.register("in", RegionData::F64(vec![1.0]));
+        let out_a = store.register("a", RegionData::F64(vec![0.0]));
+        let out_b = store.register("b", RegionData::F64(vec![0.0]));
+        let tracer = Tracer::new(false);
+
+        let acc_a = vec![Access::input(input, ElemType::F64), Access::output(out_a, ElemType::F64)];
+        let acc_b = vec![Access::input(input, ElemType::F64), Access::output(out_b, ElemType::F64)];
+        assert_eq!(engine.before_execute(view_for(0, 0, &info, &acc_a), &store, &tracer, 0), Decision::Execute);
+        assert_eq!(
+            engine.before_execute(view_for(1, 0, &info, &acc_b), &store, &tracer, 1),
+            Decision::Execute,
+            "without the IKT a concurrent identical task cannot be deferred"
+        );
+    }
+
+    #[test]
+    fn fixed_p_mode_uses_the_requested_percentage() {
+        let engine = AtmEngine::new(AtmConfig::fixed_p(0.5));
+        let store = DataStore::new();
+        let info = memoizable_info();
+        let input = store.register("in", RegionData::F64(vec![1.0; 8]));
+        let out = store.register("out", RegionData::F64(vec![0.0; 8]));
+        let accesses = vec![Access::input(input, ElemType::F64), Access::output(out, ElemType::F64)];
+        let _ = drive(&engine, &store, view_for(0, 0, &info, &accesses));
+        assert!((engine.current_p(TaskTypeId::from_raw(0)).unwrap() - 0.5).abs() < 1e-12);
+    }
+}

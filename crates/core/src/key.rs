@@ -1,0 +1,249 @@
+//! Hash-key generation for task instances.
+//!
+//! Combines the runtime's view of a task (its read accesses over typed
+//! regions) with the `atm-hash` sampling machinery (§III-B/§III-C of the
+//! paper): the concatenated input bytes are sampled through a per-task-type
+//! shuffled index vector (built once and cached) and hashed with the Jenkins
+//! hash into the 8-byte key stored in the THT/IKT.
+//!
+//! The cost of computing a key is proportional to the number of *selected*
+//! bytes: the sampled bytes are gathered directly from the typed region
+//! storage, without serialising the whole input first. This is what makes
+//! Dynamic ATM's small `p` values reduce the hashing overhead (the gap
+//! between "Static ATM" and "Oracle (100%)" in Figure 3).
+
+use crate::snapshot::elem_range_of;
+use atm_hash::shuffle::InputSpec;
+use atm_hash::{jenkins_hash64, ByteLayout, InputSampler, Percentage};
+use atm_runtime::{Access, DataStore};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shape of a task instance's inputs: `(elements, elem_width)` per read
+/// access. Task types normally have a fixed shape, but the paper explicitly
+/// supports input sizes that vary at execution time, so samplers are cached
+/// per shape.
+pub type LayoutSignature = Vec<(usize, usize)>;
+
+/// Per-task-type hash-key generator with cached shuffled index vectors.
+#[derive(Debug)]
+pub struct KeyGenerator {
+    samplers: Mutex<HashMap<LayoutSignature, Arc<InputSampler>>>,
+    type_aware: bool,
+    seed: u64,
+}
+
+impl KeyGenerator {
+    /// Creates a generator for one task type. `seed` makes the index
+    /// shuffle (and therefore the keys) reproducible; `type_aware` selects
+    /// the significance-ordered byte selection of §III-C.
+    pub fn new(seed: u64, type_aware: bool) -> Self {
+        KeyGenerator { samplers: Mutex::new(HashMap::new()), type_aware, seed }
+    }
+
+    /// Whether type-aware selection is enabled.
+    pub fn is_type_aware(&self) -> bool {
+        self.type_aware
+    }
+
+    /// Layout signature of a task instance (read accesses only).
+    pub fn signature(store: &DataStore, accesses: &[Access]) -> LayoutSignature {
+        accesses
+            .iter()
+            .filter(|a| a.mode.is_read())
+            .map(|a| (elem_range_of(store, a).len(), a.elem.width()))
+            .collect()
+    }
+
+    /// Computes the hash key of a task instance at selection percentage `p`.
+    ///
+    /// Returns `(key, selected_bytes, total_input_bytes)`.
+    pub fn compute(&self, store: &DataStore, accesses: &[Access], p: Percentage) -> KeyResult {
+        let reads: Vec<&Access> = accesses.iter().filter(|a| a.mode.is_read()).collect();
+        let ranges: Vec<std::ops::Range<usize>> = reads.iter().map(|a| elem_range_of(store, a)).collect();
+        let signature: LayoutSignature =
+            ranges.iter().zip(&reads).map(|(r, a)| (r.len(), a.elem.width())).collect();
+        let total_bytes: usize = signature.iter().map(|(n, w)| n * w).sum();
+
+        if total_bytes == 0 {
+            return KeyResult { key: jenkins_hash64(&[], self.seed), selected_bytes: 0, total_bytes: 0 };
+        }
+
+        // Full selection (Static ATM): hash the inputs contiguously without
+        // going through the index vector.
+        if p.is_full() {
+            let mut buf = Vec::with_capacity(total_bytes);
+            for (access, range) in reads.iter().zip(&ranges) {
+                let region = store.read(access.region);
+                let guard = region.lock();
+                buf.extend_from_slice(&guard.bytes_in_elem_range(range.clone()));
+            }
+            return KeyResult {
+                key: jenkins_hash64(&buf, self.seed),
+                selected_bytes: total_bytes,
+                total_bytes,
+            };
+        }
+
+        let sampler = self.sampler_for(&signature);
+        let selected = sampler.selected_indices(p);
+
+        // Gather the selected bytes directly from the typed region storage.
+        let layout = sampler.layout();
+        let region_handles: Vec<_> = reads.iter().map(|a| store.read(a.region)).collect();
+        let guards: Vec<_> = region_handles.iter().map(|h| h.lock()).collect();
+        let mut buf = Vec::with_capacity(selected.len());
+        for &flat in selected {
+            let (segment, offset) = layout.locate(flat as usize);
+            let access = reads[segment];
+            let base_byte = ranges[segment].start * access.elem.width();
+            buf.push(guards[segment].byte_at(base_byte + offset));
+        }
+        KeyResult { key: jenkins_hash64(&buf, self.seed), selected_bytes: buf.len(), total_bytes }
+    }
+
+    /// Memory held by the cached index vectors (Table III accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.samplers.lock().values().map(|s| s.memory_bytes()).sum()
+    }
+
+    fn sampler_for(&self, signature: &LayoutSignature) -> Arc<InputSampler> {
+        let mut samplers = self.samplers.lock();
+        if let Some(existing) = samplers.get(signature) {
+            return Arc::clone(existing);
+        }
+        let layout = ByteLayout::new(
+            signature.iter().map(|&(elements, elem_width)| InputSpec { elements, elem_width }).collect(),
+        );
+        let sampler = Arc::new(InputSampler::new(layout, self.type_aware, self.seed));
+        samplers.insert(signature.clone(), Arc::clone(&sampler));
+        sampler
+    }
+}
+
+/// Result of one key computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyResult {
+    /// The 8-byte Jenkins key.
+    pub key: u64,
+    /// Number of input bytes selected and hashed.
+    pub selected_bytes: usize,
+    /// Total number of input bytes of the task.
+    pub total_bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_runtime::{ElemType, RegionData};
+
+    fn store_with_f32(values: &[f32]) -> (DataStore, atm_runtime::RegionId) {
+        let store = DataStore::new();
+        let id = store.register("in", RegionData::F32(values.to_vec()));
+        (store, id)
+    }
+
+    #[test]
+    fn identical_inputs_give_identical_keys_and_changed_inputs_differ() {
+        let (store, region) = store_with_f32(&[1.0, 2.0, 3.0, 4.0]);
+        let keygen = KeyGenerator::new(1, true);
+        let accesses = vec![Access::input(region, ElemType::F32)];
+        let k1 = keygen.compute(&store, &accesses, Percentage::FULL);
+        let k2 = keygen.compute(&store, &accesses, Percentage::FULL);
+        assert_eq!(k1, k2);
+        assert_eq!(k1.total_bytes, 16);
+        assert_eq!(k1.selected_bytes, 16);
+
+        store.write(region).lock().as_f32_mut()[2] = 3.5;
+        let k3 = keygen.compute(&store, &accesses, Percentage::FULL);
+        assert_ne!(k1.key, k3.key);
+    }
+
+    #[test]
+    fn sampled_key_matches_between_instances_with_equal_selected_bytes() {
+        // Two different regions with data that agrees on the high-order
+        // bytes but differs in the low mantissa bits: a small p with
+        // type-aware selection must produce the same key for both.
+        let store = DataStore::new();
+        let a = store.register("a", RegionData::F32((0..64).map(|i| 1.0 + i as f32).collect()));
+        let b_data: Vec<f32> = (0..64).map(|i| f32::from_bits((1.0f32 + i as f32).to_bits() ^ 0x1)).collect();
+        let b = store.register("b", RegionData::F32(b_data));
+        let keygen = KeyGenerator::new(3, true);
+        let p = Percentage::from_fraction(0.25);
+        let ka = keygen.compute(&store, &[Access::input(a, ElemType::F32)], p);
+        let kb = keygen.compute(&store, &[Access::input(b, ElemType::F32)], p);
+        assert_eq!(ka.key, kb.key);
+        assert_eq!(ka.selected_bytes, 64);
+    }
+
+    #[test]
+    fn ranged_accesses_hash_only_their_window() {
+        let store = DataStore::new();
+        let region = store.register("m", RegionData::F64((0..32).map(f64::from).collect()));
+        let keygen = KeyGenerator::new(9, false);
+        let first_half = vec![Access::input(region, ElemType::F64).with_range(0..128)];
+        let second_half = vec![Access::input(region, ElemType::F64).with_range(128..256)];
+        let k1 = keygen.compute(&store, &first_half, Percentage::FULL);
+        let k2 = keygen.compute(&store, &second_half, Percentage::FULL);
+        assert_ne!(k1.key, k2.key);
+        assert_eq!(k1.total_bytes, 128);
+
+        // Changing data outside the window must not change the key.
+        store.write(region).lock().as_f64_mut()[20] = 99.0;
+        let k1_again = keygen.compute(&store, &first_half, Percentage::FULL);
+        assert_eq!(k1.key, k1_again.key);
+    }
+
+    #[test]
+    fn write_only_accesses_do_not_contribute_to_the_key() {
+        let store = DataStore::new();
+        let input = store.register("in", RegionData::F32(vec![1.0, 2.0]));
+        let output = store.register("out", RegionData::F32(vec![0.0, 0.0]));
+        let keygen = KeyGenerator::new(5, true);
+        let accesses =
+            vec![Access::input(input, ElemType::F32), Access::output(output, ElemType::F32)];
+        let k1 = keygen.compute(&store, &accesses, Percentage::FULL);
+        store.write(output).lock().as_f32_mut()[0] = 7.0;
+        let k2 = keygen.compute(&store, &accesses, Percentage::FULL);
+        assert_eq!(k1.key, k2.key, "outputs must not affect the key");
+    }
+
+    #[test]
+    fn sampled_and_full_keys_use_the_same_generator_consistently() {
+        let (store, region) = store_with_f32(&[5.0; 1024]);
+        let keygen = KeyGenerator::new(11, true);
+        let accesses = vec![Access::input(region, ElemType::F32)];
+        let p = Percentage::from_training_step(3);
+        let k_small = keygen.compute(&store, &accesses, p);
+        assert_eq!(k_small.selected_bytes, p.bytes_of(4096));
+        assert!(k_small.selected_bytes < k_small.total_bytes);
+        // Deterministic across calls.
+        assert_eq!(keygen.compute(&store, &accesses, p), k_small);
+    }
+
+    #[test]
+    fn different_shapes_get_their_own_samplers() {
+        let store = DataStore::new();
+        let big = store.register("big", RegionData::F32(vec![0.0; 128]));
+        let small = store.register("small", RegionData::F32(vec![0.0; 16]));
+        let keygen = KeyGenerator::new(2, true);
+        let p = Percentage::from_fraction(0.5);
+        let _ = keygen.compute(&store, &[Access::input(big, ElemType::F32)], p);
+        let _ = keygen.compute(&store, &[Access::input(small, ElemType::F32)], p);
+        assert_eq!(keygen.samplers.lock().len(), 2);
+        assert_eq!(keygen.memory_bytes(), (128 * 4 + 16 * 4) * 4);
+    }
+
+    #[test]
+    fn empty_inputs_produce_a_stable_key() {
+        let store = DataStore::new();
+        let out = store.register("out", RegionData::F32(vec![0.0]));
+        let keygen = KeyGenerator::new(1, true);
+        let accesses = vec![Access::output(out, ElemType::F32)];
+        let k1 = keygen.compute(&store, &accesses, Percentage::FULL);
+        let k2 = keygen.compute(&store, &accesses, Percentage::MIN);
+        assert_eq!(k1.key, k2.key);
+        assert_eq!(k1.total_bytes, 0);
+    }
+}

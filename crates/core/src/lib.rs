@@ -1,0 +1,75 @@
+//! # ATM — Approximate Task Memoization
+//!
+//! This crate implements the runtime-system technique of *"ATM: Approximate
+//! Task Memoization in the Runtime System"* (Brumar, Casas, Moretó, Valero,
+//! Sohi — IPDPS 2017) on top of the [`atm_runtime`] task-dataflow runtime.
+//!
+//! ATM transparently eliminates redundant task executions:
+//!
+//! * **Static ATM** hashes the complete data inputs of every task of a
+//!   programmer-selected task type and stores the task outputs in a
+//!   [`tht::TaskHistoryTable`]. A later task with the same input hash gets
+//!   its outputs copied instead of executing, with zero accuracy loss.
+//! * **Dynamic ATM** additionally *approximates*: it hashes only a
+//!   percentage `p` of the input bytes (most-significant bytes first), so
+//!   similar-but-not-identical tasks can also be memoized. An adaptive
+//!   [`training::TrainingController`] picks the smallest `p` that keeps the
+//!   per-task Chebyshev error below the programmer's `τ_max`.
+//! * The [`ikt::InFlightKeyTable`] catches redundancy between concurrently
+//!   running tasks: a ready task whose twin is still executing defers to it
+//!   instead of recomputing.
+//!
+//! The engine plugs into the runtime as a
+//! [`TaskInterceptor`](atm_runtime::TaskInterceptor):
+//!
+//! ```
+//! use atm_core::{AtmConfig, AtmEngine};
+//! use atm_runtime::prelude::*;
+//!
+//! let engine = AtmEngine::shared(AtmConfig::static_atm());
+//! let rt = RuntimeBuilder::new().workers(2).interceptor(engine.clone()).build();
+//!
+//! let input = rt.store().register("in", RegionData::F64(vec![1.0, 2.0, 3.0, 4.0]));
+//! let out_a = rt.store().register("a", RegionData::F64(vec![0.0]));
+//! let out_b = rt.store().register("b", RegionData::F64(vec![0.0]));
+//!
+//! // The programmer opts the task type into memoization, as in the paper.
+//! let sum = rt.register_task_type(
+//!     TaskTypeBuilder::new("sum", |ctx| {
+//!         let total: f64 = ctx.read_f64(0).iter().sum();
+//!         ctx.write_f64(1, &[total]);
+//!     })
+//!     .memoizable()
+//!     .build(),
+//! );
+//!
+//! // Two tasks with identical inputs: the second one is memoized.
+//! rt.submit(TaskDesc::new(sum, vec![Access::input(input, ElemType::F64), Access::output(out_a, ElemType::F64)]));
+//! rt.taskwait();
+//! rt.submit(TaskDesc::new(sum, vec![Access::input(input, ElemType::F64), Access::output(out_b, ElemType::F64)]));
+//! rt.taskwait();
+//!
+//! assert_eq!(rt.store().read(out_b).lock().as_f64(), &[10.0]);
+//! assert_eq!(engine.stats().tht_bypassed, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod ikt;
+pub mod key;
+pub mod snapshot;
+pub mod stats;
+pub mod tht;
+pub mod training;
+
+pub use engine::{AtmConfig, AtmEngine, AtmMode};
+pub use ikt::{InFlightKeyTable, Waiter};
+pub use key::{KeyGenerator, KeyResult};
+pub use snapshot::OutputSnapshot;
+pub use stats::{AtmStats, AtmStatsSnapshot, ReuseEvent, TypeSummary};
+pub use tht::{EntryKey, TaskHistoryTable, ThtConfig, ThtEntry};
+pub use training::{Phase, TrainingController, TrainingOutcome};
+
+/// Re-export of the selection-percentage type used throughout the API.
+pub use atm_hash::Percentage;

@@ -1,0 +1,217 @@
+//! Output snapshots: the task outputs stored in the Task History Table.
+//!
+//! The paper stores a *compressed* (hashed) representation of the task
+//! inputs but has to keep the **full outputs** in the THT so that a future
+//! task with a matching key can have its outputs provided without executing
+//! (`copyOuts()` in Figure 1). An [`OutputSnapshot`] is one write access of a
+//! completed task: which region, which element range, and a copy of the data.
+
+use atm_runtime::{Access, DataStore, RegionData, RegionId};
+use std::ops::Range;
+
+/// A copy of one task output (one `Out`/`InOut` access) at task completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputSnapshot {
+    /// The region the output lives in.
+    pub region: RegionId,
+    /// Element range covered by the access.
+    pub elem_range: Range<usize>,
+    /// The copied data (exactly `elem_range.len()` elements).
+    pub data: RegionData,
+}
+
+impl OutputSnapshot {
+    /// Captures the current contents of the output covered by `access`.
+    ///
+    /// # Panics
+    /// Panics if `access` is not a write access.
+    pub fn capture(store: &DataStore, access: &Access) -> Self {
+        assert!(access.mode.is_write(), "output snapshots are only taken of write accesses");
+        let elem_range = elem_range_of(store, access);
+        let region = store.read(access.region);
+        let guard = region.lock();
+        OutputSnapshot {
+            region: access.region,
+            elem_range: elem_range.clone(),
+            data: guard.slice_elems(elem_range),
+        }
+    }
+
+    /// Captures all write accesses of a task, in declaration order.
+    pub fn capture_all(store: &DataStore, accesses: &[Access]) -> Vec<OutputSnapshot> {
+        accesses.iter().filter(|a| a.mode.is_write()).map(|a| Self::capture(store, a)).collect()
+    }
+
+    /// Writes the snapshot back into its own region/range. This is how a
+    /// THT hit provides the outputs of the *same* blocks again.
+    pub fn apply(&self, store: &DataStore) {
+        let region = store.write(self.region);
+        let mut guard = region.lock();
+        guard.write_elems(self.elem_range.clone(), &self.data);
+    }
+
+    /// Writes the snapshot into *another* task's output access (same task
+    /// type, so same shape). This is the `copyOuts()` used when the matching
+    /// THT entry was produced by a task operating on different regions, and
+    /// the postponed copy-out of the In-flight Key Table.
+    ///
+    /// # Panics
+    /// Panics if the destination access covers a different number of elements.
+    pub fn apply_to(&self, store: &DataStore, access: &Access) {
+        assert!(access.mode.is_write(), "cannot copy outputs into a read-only access");
+        let dst_range = elem_range_of(store, access);
+        assert_eq!(
+            dst_range.len(),
+            self.elem_range.len(),
+            "output shape mismatch: snapshot has {} elements, destination access covers {}",
+            self.elem_range.len(),
+            dst_range.len()
+        );
+        let region = store.write(access.region);
+        let mut guard = region.lock();
+        guard.write_elems(dst_range, &self.data);
+    }
+
+    /// Size of the stored data in bytes (THT memory accounting, Table III).
+    pub fn size_bytes(&self) -> usize {
+        self.data.size_bytes()
+    }
+
+    /// The stored output as `f64` values (for the Chebyshev comparison of
+    /// the Dynamic ATM training phase).
+    pub fn as_f64_vec(&self) -> Vec<f64> {
+        self.data.to_f64_vec()
+    }
+}
+
+/// Applies a set of snapshots to the corresponding write accesses of another
+/// task (pairing snapshots and write accesses in declaration order).
+///
+/// # Panics
+/// Panics if the number of write accesses differs from the number of snapshots.
+pub fn apply_snapshots_to(store: &DataStore, snapshots: &[OutputSnapshot], accesses: &[Access]) {
+    let writes: Vec<&Access> = accesses.iter().filter(|a| a.mode.is_write()).collect();
+    assert_eq!(
+        writes.len(),
+        snapshots.len(),
+        "task declares {} outputs but the history entry holds {}",
+        writes.len(),
+        snapshots.len()
+    );
+    for (snapshot, access) in snapshots.iter().zip(writes) {
+        snapshot.apply_to(store, access);
+    }
+}
+
+/// Captures the current contents of a task's outputs as flat `f64` values
+/// (concatenating all write accesses). Used as the "correct" side of the
+/// training-phase Chebyshev comparison.
+pub fn outputs_as_f64(store: &DataStore, accesses: &[Access]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for access in accesses.iter().filter(|a| a.mode.is_write()) {
+        let elem_range = elem_range_of(store, access);
+        let region = store.read(access.region);
+        let guard = region.lock();
+        out.extend(guard.slice_elems(elem_range).to_f64_vec());
+    }
+    out
+}
+
+/// Element range covered by an access (whole region when unranged).
+pub fn elem_range_of(store: &DataStore, access: &Access) -> Range<usize> {
+    let width = access.elem.width();
+    match &access.range {
+        Some(r) => (r.start / width)..(r.end / width),
+        None => {
+            let region = store.read(access.region);
+            let len = region.lock().len();
+            0..len
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_runtime::ElemType;
+
+    #[test]
+    fn capture_and_apply_round_trip() {
+        let store = DataStore::new();
+        let r = store.register("r", RegionData::F32(vec![1.0, 2.0, 3.0, 4.0]));
+        let access = Access::output(r, ElemType::F32).with_range(4..12);
+        let snap = OutputSnapshot::capture(&store, &access);
+        assert_eq!(snap.elem_range, 1..3);
+        assert_eq!(snap.data.as_f32(), &[2.0, 3.0]);
+        assert_eq!(snap.size_bytes(), 8);
+
+        // Clobber the region, then re-apply the snapshot.
+        store.write(r).lock().as_f32_mut().copy_from_slice(&[9.0; 4]);
+        snap.apply(&store);
+        assert_eq!(store.read(r).lock().as_f32(), &[9.0, 2.0, 3.0, 9.0]);
+    }
+
+    #[test]
+    fn apply_to_copies_into_a_different_region() {
+        let store = DataStore::new();
+        let src = store.register("src", RegionData::F64(vec![1.0, 2.0]));
+        let dst = store.register("dst", RegionData::F64(vec![0.0, 0.0]));
+        let snap = OutputSnapshot::capture(&store, &Access::output(src, ElemType::F64));
+        snap.apply_to(&store, &Access::output(dst, ElemType::F64));
+        assert_eq!(store.read(dst).lock().as_f64(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn capture_all_and_apply_snapshots_to_pair_by_order() {
+        let store = DataStore::new();
+        let in_r = store.register("in", RegionData::F32(vec![5.0]));
+        let out_a = store.register("a", RegionData::F32(vec![1.0, 2.0]));
+        let out_b = store.register("b", RegionData::I32(vec![7]));
+        let accesses = vec![
+            Access::input(in_r, ElemType::F32),
+            Access::output(out_a, ElemType::F32),
+            Access::output(out_b, ElemType::I32),
+        ];
+        let snaps = OutputSnapshot::capture_all(&store, &accesses);
+        assert_eq!(snaps.len(), 2);
+
+        let dst_a = store.register("da", RegionData::F32(vec![0.0, 0.0]));
+        let dst_b = store.register("db", RegionData::I32(vec![0]));
+        let dst_accesses = vec![
+            Access::input(in_r, ElemType::F32),
+            Access::output(dst_a, ElemType::F32),
+            Access::output(dst_b, ElemType::I32),
+        ];
+        apply_snapshots_to(&store, &snaps, &dst_accesses);
+        assert_eq!(store.read(dst_a).lock().as_f32(), &[1.0, 2.0]);
+        assert_eq!(store.read(dst_b).lock().as_i32(), &[7]);
+    }
+
+    #[test]
+    fn outputs_as_f64_concatenates_write_accesses() {
+        let store = DataStore::new();
+        let a = store.register("a", RegionData::F32(vec![1.0, 2.0]));
+        let b = store.register("b", RegionData::I32(vec![3]));
+        let accesses =
+            vec![Access::output(a, ElemType::F32), Access::input(a, ElemType::F32), Access::inout(b, ElemType::I32)];
+        assert_eq!(outputs_as_f64(&store, &accesses), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "output shape mismatch")]
+    fn apply_to_with_wrong_shape_panics() {
+        let store = DataStore::new();
+        let src = store.register("src", RegionData::F64(vec![1.0, 2.0]));
+        let dst = store.register("dst", RegionData::F64(vec![0.0]));
+        let snap = OutputSnapshot::capture(&store, &Access::output(src, ElemType::F64));
+        snap.apply_to(&store, &Access::output(dst, ElemType::F64));
+    }
+
+    #[test]
+    #[should_panic(expected = "write accesses")]
+    fn capturing_a_read_access_panics() {
+        let store = DataStore::new();
+        let r = store.register("r", RegionData::F32(vec![1.0]));
+        let _ = OutputSnapshot::capture(&store, &Access::input(r, ElemType::F32));
+    }
+}

@@ -1,0 +1,279 @@
+//! The Task History Table (THT).
+//!
+//! The THT is the central memoization structure of ATM (§III-A, Figure 1):
+//! a table of `2^N` buckets, each holding up to `M` entries. An entry stores
+//! the 8-byte hash key of a completed task's (sampled) inputs, the
+//! percentage `p` the key was computed with, and a full copy of the task's
+//! outputs. Buckets are protected by individual locks that allow parallel
+//! reads and exclusive writes; when a bucket is full the oldest entry is
+//! evicted first-in-first-out.
+
+use crate::snapshot::OutputSnapshot;
+use atm_runtime::{TaskId, TaskTypeId};
+use parking_lot::RwLock;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Sizing of the THT: `N` (bucket bits) and `M` (ways per bucket).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThtConfig {
+    /// Number of index bits: the table has `2^bucket_bits` buckets. The
+    /// paper reports that N = 8 avoids lock contention (§IV-B).
+    pub bucket_bits: u32,
+    /// Maximum number of entries per bucket. The paper uses M = 128 (Kmeans
+    /// needs it; the other benchmarks saturate at M = 16).
+    pub ways: usize,
+}
+
+impl Default for ThtConfig {
+    fn default() -> Self {
+        ThtConfig { bucket_bits: 8, ways: 128 }
+    }
+}
+
+/// The lookup key of a THT entry.
+///
+/// Besides the Jenkins hash of the sampled inputs, an entry is only valid
+/// for the same task type and the same selection percentage (the paper
+/// extends the THT to store `p` together with the hash key because `p`
+/// affects key generation, §III-D). `p` is stored as its raw bit pattern so
+/// the struct stays `Eq`/hashable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EntryKey {
+    /// The task type that produced the entry.
+    pub task_type: TaskTypeId,
+    /// The Jenkins hash of the sampled inputs.
+    pub hash: u64,
+    /// Bit pattern of the selection percentage used for the hash.
+    pub p_bits: u64,
+}
+
+impl EntryKey {
+    /// Builds a key from a task type, hash and percentage fraction.
+    pub fn new(task_type: TaskTypeId, hash: u64, p: f64) -> Self {
+        EntryKey { task_type, hash, p_bits: p.to_bits() }
+    }
+}
+
+/// One memoized task in the THT.
+#[derive(Debug, Clone)]
+pub struct ThtEntry {
+    /// The lookup key.
+    pub key: EntryKey,
+    /// The task that produced the outputs (reuse provenance for Figure 9).
+    pub producer: TaskId,
+    /// The stored outputs.
+    pub outputs: Arc<Vec<OutputSnapshot>>,
+}
+
+impl ThtEntry {
+    fn size_bytes(&self) -> usize {
+        // 8-byte hash + 8-byte p + type id + the stored outputs.
+        let meta = std::mem::size_of::<EntryKey>() + std::mem::size_of::<TaskId>();
+        meta + self.outputs.iter().map(OutputSnapshot::size_bytes).sum::<usize>()
+    }
+}
+
+/// The Task History Table.
+#[derive(Debug)]
+pub struct TaskHistoryTable {
+    buckets: Vec<RwLock<VecDeque<ThtEntry>>>,
+    config: ThtConfig,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    stored_bytes: AtomicUsize,
+}
+
+impl TaskHistoryTable {
+    /// Creates an empty table with the given sizing.
+    pub fn new(config: ThtConfig) -> Self {
+        assert!(config.bucket_bits <= 20, "more than 2^20 buckets is never useful");
+        assert!(config.ways >= 1, "each bucket needs at least one way");
+        let buckets = (0..(1usize << config.bucket_bits)).map(|_| RwLock::new(VecDeque::new())).collect();
+        TaskHistoryTable {
+            buckets,
+            config,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            stored_bytes: AtomicUsize::new(0),
+        }
+    }
+
+    /// The table sizing.
+    pub fn config(&self) -> ThtConfig {
+        self.config
+    }
+
+    /// Number of buckets (`2^N`).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: &EntryKey) -> usize {
+        // Index with the lower N bits of the hash, as in Figure 1.
+        (key.hash as usize) & (self.buckets.len() - 1)
+    }
+
+    /// Looks up an entry with exactly this key. Takes the bucket's read
+    /// lock, so concurrent lookups proceed in parallel.
+    pub fn lookup(&self, key: &EntryKey) -> Option<ThtEntry> {
+        let bucket = self.buckets[self.bucket_of(key)].read();
+        let found = bucket.iter().rev().find(|e| e.key == *key).cloned();
+        drop(bucket);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Inserts the outputs of a completed task. If the bucket already holds
+    /// `M` entries the oldest is evicted (FIFO).
+    pub fn insert(&self, key: EntryKey, producer: TaskId, outputs: Arc<Vec<OutputSnapshot>>) {
+        let entry = ThtEntry { key, producer, outputs };
+        let added = entry.size_bytes();
+        let mut bucket = self.buckets[self.bucket_of(&key)].write();
+        bucket.push_back(entry);
+        let mut removed = 0usize;
+        while bucket.len() > self.config.ways {
+            if let Some(old) = bucket.pop_front() {
+                removed += old.size_bytes();
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        drop(bucket);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.stored_bytes.fetch_add(added, Ordering::Relaxed);
+        self.stored_bytes.fetch_sub(removed, Ordering::Relaxed);
+    }
+
+    /// Total number of stored entries (diagnostic; takes every bucket lock).
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.read().len()).sum()
+    }
+
+    /// True when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently stored in the table (keys + outputs), the main
+    /// contributor to the ATM memory overhead of Table III.
+    pub fn memory_bytes(&self) -> usize {
+        self.stored_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Counter snapshot: `(hits, misses, insertions, evictions)`.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.insertions.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_runtime::{Access, DataStore, ElemType, RegionData};
+
+    fn snapshot(store: &DataStore, values: &[f32]) -> Arc<Vec<OutputSnapshot>> {
+        let r = store.register("out", RegionData::F32(values.to_vec()));
+        Arc::new(vec![OutputSnapshot::capture(store, &Access::output(r, ElemType::F32))])
+    }
+
+    fn key(hash: u64) -> EntryKey {
+        EntryKey::new(TaskTypeId::from_raw(0), hash, 1.0)
+    }
+
+    fn producer() -> TaskId {
+        TaskId::from_raw(0)
+    }
+
+    #[test]
+    fn insert_then_lookup_hits() {
+        let store = DataStore::new();
+        let tht = TaskHistoryTable::new(ThtConfig::default());
+        let outputs = snapshot(&store, &[1.0, 2.0]);
+        tht.insert(key(42), producer(), outputs);
+        let entry = tht.lookup(&key(42)).expect("entry must be found");
+        assert_eq!(entry.outputs[0].data.as_f32(), &[1.0, 2.0]);
+        assert!(tht.lookup(&key(43)).is_none());
+        let (hits, misses, insertions, evictions) = tht.counters();
+        assert_eq!((hits, misses, insertions, evictions), (1, 1, 1, 0));
+    }
+
+    #[test]
+    fn different_p_or_type_does_not_match() {
+        let store = DataStore::new();
+        let tht = TaskHistoryTable::new(ThtConfig::default());
+        tht.insert(EntryKey::new(TaskTypeId::from_raw(0), 7, 1.0), producer(), snapshot(&store, &[1.0]));
+        assert!(tht.lookup(&EntryKey::new(TaskTypeId::from_raw(0), 7, 0.5)).is_none());
+        assert!(tht.lookup(&EntryKey::new(TaskTypeId::from_raw(1), 7, 1.0)).is_none());
+        assert!(tht.lookup(&EntryKey::new(TaskTypeId::from_raw(0), 7, 1.0)).is_some());
+    }
+
+    #[test]
+    fn fifo_eviction_keeps_the_newest_m_entries() {
+        let store = DataStore::new();
+        let tht = TaskHistoryTable::new(ThtConfig { bucket_bits: 0, ways: 2 });
+        for hash_high in 0..4u64 {
+            // Same bucket (bucket_bits = 0 means a single bucket).
+            tht.insert(key(hash_high << 32), producer(), snapshot(&store, &[hash_high as f32]));
+        }
+        assert_eq!(tht.len(), 2);
+        let (_, _, insertions, evictions) = tht.counters();
+        assert_eq!(insertions, 4);
+        assert_eq!(evictions, 2);
+        // The two most recent entries survive.
+        assert!(tht.lookup(&key(2 << 32)).is_some());
+        assert!(tht.lookup(&key(3 << 32)).is_some());
+        assert!(tht.lookup(&key(0)).is_none());
+    }
+
+    #[test]
+    fn memory_accounting_grows_and_shrinks() {
+        let store = DataStore::new();
+        let tht = TaskHistoryTable::new(ThtConfig { bucket_bits: 0, ways: 1 });
+        assert_eq!(tht.memory_bytes(), 0);
+        tht.insert(key(1), producer(), snapshot(&store, &[1.0; 100]));
+        let after_one = tht.memory_bytes();
+        assert!(after_one >= 400, "at least the 400 output bytes must be accounted");
+        // Inserting a second entry evicts the first; memory should not double.
+        tht.insert(key(1 << 40), producer(), snapshot(&store, &[1.0; 100]));
+        assert_eq!(tht.memory_bytes(), after_one);
+    }
+
+    #[test]
+    fn keys_with_same_low_bits_land_in_same_bucket_but_do_not_collide() {
+        let store = DataStore::new();
+        let tht = TaskHistoryTable::new(ThtConfig { bucket_bits: 4, ways: 8 });
+        let a = key(0x10);
+        let b = key(0xA0_0010); // same low 4 bits
+        tht.insert(a, producer(), snapshot(&store, &[1.0]));
+        tht.insert(b, producer(), snapshot(&store, &[2.0]));
+        assert_eq!(tht.lookup(&a).unwrap().outputs[0].data.as_f32(), &[1.0]);
+        assert_eq!(tht.lookup(&b).unwrap().outputs[0].data.as_f32(), &[2.0]);
+    }
+
+    #[test]
+    fn bucket_count_is_power_of_two() {
+        assert_eq!(TaskHistoryTable::new(ThtConfig { bucket_bits: 0, ways: 1 }).bucket_count(), 1);
+        assert_eq!(TaskHistoryTable::new(ThtConfig { bucket_bits: 8, ways: 1 }).bucket_count(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_is_rejected() {
+        let _ = TaskHistoryTable::new(ThtConfig { bucket_bits: 1, ways: 0 });
+    }
+}

@@ -1,0 +1,204 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Everything random in this reproduction must be reproducible from a seed:
+//! the per-task-type index shuffle (§III-B of the paper is shuffled *once*
+//! and cached), the workload generators (the redundancy in the inputs is a
+//! property of the workload, so it has to be stable across runs), and the
+//! in-task Monte Carlo of Swaptions (task kernels must be deterministic
+//! functions of their inputs for memoization to be sound, §III-E).
+//!
+//! We therefore ship a small, well-known generator instead of pulling the
+//! `rand` crate: SplitMix64 for seeding and Xoshiro256** for the stream.
+
+/// SplitMix64: a tiny, fast generator mainly used to expand a single `u64`
+/// seed into the larger state of [`Xoshiro256StarStar`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Xoshiro256**: the general-purpose generator used across the workspace.
+///
+/// Passes BigCrush; period 2²⁵⁶ − 1. Not cryptographic — it does not need to
+/// be: it only drives workload generation, index shuffling and Monte Carlo
+/// sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Creates a generator by expanding `seed` with SplitMix64.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // An all-zero state is the only invalid state; SplitMix64 cannot
+        // produce four consecutive zeros from any seed, but guard anyway.
+        if s.iter().all(|&x| x == 0) {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256StarStar { s }
+    }
+
+    /// Returns the next 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns the next 32-bit value (upper bits of [`Self::next_u64`]).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's multiply-shift method
+    /// (slightly biased for astronomically large bounds, which is fine for
+    /// workload generation and shuffling of < 2³² elements).
+    #[inline]
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below() requires a positive bound");
+        ((u128::from(self.next_u64()) * bound as u128) >> 64) as usize
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    ///
+    /// Used by the HJM Monte Carlo kernel in Swaptions; one value per call
+    /// (the second Box–Muller value is discarded to keep the generator state
+    /// a pure function of the number of calls).
+    pub fn next_gaussian(&mut self) -> f64 {
+        // Avoid ln(0) by nudging u1 away from zero.
+        let u1 = self.next_f64().max(1e-300);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for SplitMix64 with seed 1234567 (from the
+        // published reference implementation by Sebastiano Vigna).
+        let mut g = SplitMix64::new(1234567);
+        assert_eq!(g.next_u64(), 6457827717110365317);
+        assert_eq!(g.next_u64(), 3203168211198807973);
+        assert_eq!(g.next_u64(), 9817491932198370423);
+        assert_eq!(g.next_u64(), 4593380528125082431);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_per_seed() {
+        let mut a = Xoshiro256StarStar::new(99);
+        let mut b = Xoshiro256StarStar::new(99);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Xoshiro256StarStar::new(100);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn floats_are_in_unit_interval() {
+        let mut g = Xoshiro256StarStar::new(7);
+        for _ in 0..10_000 {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = g.next_f32();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound_and_covers_values() {
+        let mut g = Xoshiro256StarStar::new(3);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v = g.below(8);
+            assert!(v < 8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear in 1000 draws");
+    }
+
+    #[test]
+    fn range_f64_stays_in_range() {
+        let mut g = Xoshiro256StarStar::new(11);
+        for _ in 0..1000 {
+            let v = g.range_f64(-3.5, 2.25);
+            assert!((-3.5..2.25).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut g = Xoshiro256StarStar::new(2024);
+        let n = 50_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let x = g.next_gaussian();
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "gaussian mean too far from 0: {mean}");
+        assert!((var - 1.0).abs() < 0.05, "gaussian variance too far from 1: {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn below_zero_bound_panics() {
+        let mut g = Xoshiro256StarStar::new(1);
+        let _ = g.below(0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Index shuffling for input-byte selection.
+//!
+//! §III-B of the paper: the concatenated task inputs are viewed as a vector
+//! of `N` bytes; a vector of `N` indexes is shuffled **once per task type**
+//! and cached in the runtime, and the first `N·p` shuffled indexes select
+//! the bytes to hash.
+//!
+//! §III-C (type-aware input selection): bytes are not equally informative —
+//! the most significant byte of a float carries the sign and most of the
+//! exponent, the least significant byte only low mantissa bits. The
+//! type-aware shuffle therefore shuffles the indexes of the most significant
+//! bytes of every element first, then the next-most-significant bytes, and
+//! so on, so that a small `p` still covers the sign/exponent of every input
+//! element before touching low-order mantissa bytes.
+
+use crate::prng::Xoshiro256StarStar;
+
+/// In-place Fisher–Yates shuffle driven by the deterministic PRNG.
+pub fn fisher_yates<T>(items: &mut [T], rng: &mut Xoshiro256StarStar) {
+    let n = items.len();
+    if n < 2 {
+        return;
+    }
+    for i in (1..n).rev() {
+        let j = rng.below(i + 1);
+        items.swap(i, j);
+    }
+}
+
+/// Description of one data input: how many elements it holds and how wide
+/// each element is, in bytes. Used to rank byte significance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputSpec {
+    /// Number of elements in the data input.
+    pub elements: usize,
+    /// Width of each element in bytes (1 for raw bytes, 4 for f32/i32, 8 for f64/i64).
+    pub elem_width: usize,
+}
+
+impl InputSpec {
+    /// Total number of bytes covered by this input.
+    pub fn bytes(&self) -> usize {
+        self.elements * self.elem_width
+    }
+}
+
+/// Produces a shuffled index vector over the concatenation of `inputs`.
+///
+/// When `type_aware` is false this is a plain Fisher–Yates permutation of
+/// `0..total_bytes`. When true, indexes are grouped by byte significance
+/// (most significant byte of each element first, assuming little-endian
+/// element storage, so byte `elem_width - 1` of each element ranks first),
+/// each significance group is shuffled independently, and the groups are
+/// concatenated from most to least significant.
+pub fn significance_ordered_indices(
+    inputs: &[InputSpec],
+    type_aware: bool,
+    rng: &mut Xoshiro256StarStar,
+) -> Vec<u32> {
+    let total: usize = inputs.iter().map(InputSpec::bytes).sum();
+    assert!(total <= u32::MAX as usize, "task inputs larger than 4 GiB are not supported");
+
+    if !type_aware {
+        let mut indices: Vec<u32> = (0..total as u32).collect();
+        fisher_yates(&mut indices, rng);
+        return indices;
+    }
+
+    // Group byte indexes by significance rank: rank 0 holds the most
+    // significant byte of every element across all inputs, rank 1 the next,
+    // and so on. Inputs with narrower elements simply stop contributing to
+    // ranks beyond their width.
+    let max_width = inputs.iter().map(|s| s.elem_width).max().unwrap_or(1).max(1);
+    let mut groups: Vec<Vec<u32>> = vec![Vec::new(); max_width];
+
+    let mut base = 0usize;
+    for spec in inputs {
+        let width = spec.elem_width.max(1);
+        for elem in 0..spec.elements {
+            let elem_base = base + elem * width;
+            for rank in 0..width {
+                // Little-endian storage: the most significant byte of an
+                // element is its last byte.
+                let byte_in_elem = width - 1 - rank;
+                groups[rank].push((elem_base + byte_in_elem) as u32);
+            }
+        }
+        base += spec.bytes();
+    }
+
+    let mut out = Vec::with_capacity(total);
+    for group in &mut groups {
+        fisher_yates(group, rng);
+        out.append(group);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(indices: &[u32], total: usize) -> bool {
+        if indices.len() != total {
+            return false;
+        }
+        let mut seen = vec![false; total];
+        for &i in indices {
+            let i = i as usize;
+            if i >= total || seen[i] {
+                return false;
+            }
+            seen[i] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn fisher_yates_is_a_permutation_and_seed_deterministic() {
+        let mut a: Vec<u32> = (0..1000).collect();
+        let mut b: Vec<u32> = (0..1000).collect();
+        fisher_yates(&mut a, &mut Xoshiro256StarStar::new(5));
+        fisher_yates(&mut b, &mut Xoshiro256StarStar::new(5));
+        assert_eq!(a, b);
+        assert!(is_permutation(&a, 1000));
+        let mut c: Vec<u32> = (0..1000).collect();
+        fisher_yates(&mut c, &mut Xoshiro256StarStar::new(6));
+        assert_ne!(a, c, "different seeds should give different permutations");
+    }
+
+    #[test]
+    fn fisher_yates_handles_trivial_slices() {
+        let mut empty: Vec<u32> = vec![];
+        fisher_yates(&mut empty, &mut Xoshiro256StarStar::new(1));
+        let mut one = vec![42u32];
+        fisher_yates(&mut one, &mut Xoshiro256StarStar::new(1));
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn plain_shuffle_covers_all_bytes() {
+        let inputs = [InputSpec { elements: 16, elem_width: 4 }, InputSpec { elements: 8, elem_width: 8 }];
+        let total: usize = inputs.iter().map(InputSpec::bytes).sum();
+        let idx = significance_ordered_indices(&inputs, false, &mut Xoshiro256StarStar::new(3));
+        assert!(is_permutation(&idx, total));
+    }
+
+    #[test]
+    fn type_aware_shuffle_covers_all_bytes() {
+        let inputs = [InputSpec { elements: 5, elem_width: 4 }, InputSpec { elements: 3, elem_width: 8 }];
+        let total: usize = inputs.iter().map(InputSpec::bytes).sum();
+        let idx = significance_ordered_indices(&inputs, true, &mut Xoshiro256StarStar::new(3));
+        assert!(is_permutation(&idx, total));
+    }
+
+    #[test]
+    fn type_aware_shuffle_ranks_msbs_first() {
+        // Two inputs of 4-byte elements: the first `elements_total` selected
+        // indexes must all be MSB positions (byte 3 of each element).
+        let inputs = [InputSpec { elements: 10, elem_width: 4 }, InputSpec { elements: 6, elem_width: 4 }];
+        let idx = significance_ordered_indices(&inputs, true, &mut Xoshiro256StarStar::new(9));
+        let elements_total = 16;
+        for &i in idx.iter().take(elements_total) {
+            assert_eq!(i % 4, 3, "index {i} in the first rank group is not an MSB");
+        }
+        // And the next group must be the second-most-significant bytes.
+        for &i in idx.iter().skip(elements_total).take(elements_total) {
+            assert_eq!(i % 4, 2, "index {i} in the second rank group is not byte 2");
+        }
+    }
+
+    #[test]
+    fn type_aware_shuffle_mixed_widths_orders_by_rank() {
+        // One f64 input (8-byte elements) and one f32 input (4-byte
+        // elements): rank 0 has one byte per element from both inputs;
+        // ranks 4..8 only contain bytes from the f64 input.
+        let inputs = [InputSpec { elements: 4, elem_width: 8 }, InputSpec { elements: 4, elem_width: 4 }];
+        let idx = significance_ordered_indices(&inputs, true, &mut Xoshiro256StarStar::new(1));
+        // Rank group 0 size = 8 elements total.
+        let rank0: Vec<u32> = idx.iter().copied().take(8).collect();
+        for &i in &rank0 {
+            let i = i as usize;
+            if i < 32 {
+                assert_eq!(i % 8, 7, "f64 MSB expected");
+            } else {
+                assert_eq!((i - 32) % 4, 3, "f32 MSB expected");
+            }
+        }
+        // The last 4 rank groups (ranks 4..7) can only contain f64 bytes.
+        let tail: Vec<u32> = idx.iter().copied().skip(idx.len() - 16).collect();
+        for &i in &tail {
+            assert!((i as usize) < 32, "low-significance ranks must come from the 8-byte input only");
+        }
+    }
+
+    #[test]
+    fn byte_width_one_treats_every_byte_as_msb() {
+        let inputs = [InputSpec { elements: 12, elem_width: 1 }];
+        let idx = significance_ordered_indices(&inputs, true, &mut Xoshiro256StarStar::new(4));
+        assert!(is_permutation(&idx, 12));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the hashing and sampling substrate.
+
+use atm_hash::shuffle::InputSpec;
+use atm_hash::{
+    fisher_yates, jenkins_hash64, significance_ordered_indices, ByteLayout, InputSampler,
+    Percentage, Xoshiro256StarStar,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The hash is a pure function of (bytes, seed).
+    #[test]
+    fn hash_is_deterministic(data in proptest::collection::vec(any::<u8>(), 0..512), seed in any::<u64>()) {
+        prop_assert_eq!(jenkins_hash64(&data, seed), jenkins_hash64(&data, seed));
+    }
+
+    /// Appending a byte changes the hash (no trivial prefix collisions).
+    #[test]
+    fn hash_changes_when_extended(data in proptest::collection::vec(any::<u8>(), 0..256), extra in any::<u8>()) {
+        let base = jenkins_hash64(&data, 0);
+        let mut longer = data.clone();
+        longer.push(extra);
+        prop_assert_ne!(base, jenkins_hash64(&longer, 0));
+    }
+
+    /// Fisher–Yates always produces a permutation of its input.
+    #[test]
+    fn shuffle_is_permutation(len in 0usize..2000, seed in any::<u64>()) {
+        let mut v: Vec<u32> = (0..len as u32).collect();
+        fisher_yates(&mut v, &mut Xoshiro256StarStar::new(seed));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        let expected: Vec<u32> = (0..len as u32).collect();
+        prop_assert_eq!(sorted, expected);
+    }
+
+    /// The significance-ordered index vector is always a permutation of all
+    /// byte positions, for any mix of input element widths.
+    #[test]
+    fn significance_order_is_permutation(
+        spec in proptest::collection::vec((1usize..64, prop_oneof![Just(1usize), Just(4), Just(8)]), 1..5),
+        type_aware in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let specs: Vec<InputSpec> = spec.iter().map(|&(elements, elem_width)| InputSpec { elements, elem_width }).collect();
+        let total: usize = specs.iter().map(InputSpec::bytes).sum();
+        let idx = significance_ordered_indices(&specs, type_aware, &mut Xoshiro256StarStar::new(seed));
+        prop_assert_eq!(idx.len(), total);
+        let mut seen = vec![false; total];
+        for &i in &idx {
+            prop_assert!(!std::mem::replace(&mut seen[i as usize], true), "duplicate index {}", i);
+        }
+    }
+
+    /// Equal inputs hash equal and the selected byte count respects p, for
+    /// any p on the training ladder.
+    #[test]
+    fn sampler_key_is_stable_for_equal_inputs(
+        elements in 1usize..256,
+        step in 0usize..16,
+        type_aware in any::<bool>(),
+        fill in any::<u32>(),
+    ) {
+        let layout = ByteLayout::from_pairs(&[(elements, 4)]);
+        let sampler = InputSampler::new(layout, type_aware, 99);
+        let data: Vec<u8> = std::iter::repeat(fill.to_le_bytes()).take(elements).flatten().collect();
+        let p = Percentage::from_training_step(step);
+        let k1 = sampler.key(&[&data], p);
+        let k2 = sampler.key(&[&data], p);
+        prop_assert_eq!(k1.key, k2.key);
+        prop_assert_eq!(k1.selected_bytes, p.bytes_of(elements * 4));
+    }
+
+    /// At p = 100 % any single-byte difference must change the key
+    /// (this is the exactness guarantee behind Static ATM's 100 % correctness).
+    #[test]
+    fn full_p_detects_any_single_byte_change(
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+        pos_seed in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let layout = ByteLayout::from_pairs(&[(data.len(), 1)]);
+        let sampler = InputSampler::new(layout, false, 5);
+        let mut other = data.clone();
+        let pos = pos_seed % data.len();
+        other[pos] ^= flip;
+        let ka = sampler.key(&[&data], Percentage::FULL);
+        let kb = sampler.key(&[&other], Percentage::FULL);
+        prop_assert_ne!(ka.key, kb.key);
+    }
+
+    /// Doubling p never decreases the number of selected bytes, and the
+    /// selected index set grows monotonically (prefix property).
+    #[test]
+    fn selection_grows_monotonically_with_p(elements in 1usize..200, type_aware in any::<bool>()) {
+        let layout = ByteLayout::from_pairs(&[(elements, 8)]);
+        let sampler = InputSampler::new(layout, type_aware, 17);
+        let mut prev_len = 0usize;
+        let mut p = Percentage::MIN;
+        for _ in 0..=Percentage::STEPS {
+            let sel = sampler.selected_indices(p);
+            prop_assert!(sel.len() >= prev_len);
+            prev_len = sel.len();
+            p = p.doubled();
+        }
+        prop_assert_eq!(prev_len, elements * 8);
+    }
+}

@@ -1,0 +1,156 @@
+//! Task data-access annotations.
+//!
+//! These are the runtime-level equivalent of the `in(...)`, `out(...)` and
+//! `inout(...)` clauses of OmpSs / OpenMP 4.0 task pragmas. Every submitted
+//! task carries a list of [`Access`]es; the dependence tracker derives the
+//! task dependence graph from overlaps between them, and the ATM engine uses
+//! the `In`/`InOut` accesses as the bytes to hash and the `Out`/`InOut`
+//! accesses as the outputs to memoize.
+
+use crate::region::{ElemType, RegionId};
+use std::ops::Range;
+
+/// Direction of a data access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// The task only reads the data (`in` clause).
+    In,
+    /// The task only produces the data (`out` clause).
+    Out,
+    /// The task reads and updates the data (`inout` clause).
+    InOut,
+}
+
+impl AccessMode {
+    /// True for `In` and `InOut`: the bytes participate in the hash key.
+    pub fn is_read(self) -> bool {
+        matches!(self, AccessMode::In | AccessMode::InOut)
+    }
+
+    /// True for `Out` and `InOut`: the bytes are produced by the task and
+    /// stored in the Task History Table when it is memoizable.
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessMode::Out | AccessMode::InOut)
+    }
+}
+
+/// One data access of a task: a byte range of a region, with a direction and
+/// the element type of the accessed data (the paper extends the runtime API
+/// with element types to enable type-aware input selection, §III-C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Access {
+    /// The region being accessed.
+    pub region: RegionId,
+    /// Byte range inside the region. `None` means the whole region.
+    pub range: Option<Range<usize>>,
+    /// Access direction.
+    pub mode: AccessMode,
+    /// Element type of the accessed data.
+    pub elem: ElemType,
+}
+
+impl Access {
+    /// Whole-region read access.
+    pub fn input(region: RegionId, elem: ElemType) -> Self {
+        Access { region, range: None, mode: AccessMode::In, elem }
+    }
+
+    /// Whole-region write access.
+    pub fn output(region: RegionId, elem: ElemType) -> Self {
+        Access { region, range: None, mode: AccessMode::Out, elem }
+    }
+
+    /// Whole-region read-write access.
+    pub fn inout(region: RegionId, elem: ElemType) -> Self {
+        Access { region, range: None, mode: AccessMode::InOut, elem }
+    }
+
+    /// Restricts the access to a byte range of the region.
+    #[must_use]
+    pub fn with_range(mut self, range: Range<usize>) -> Self {
+        self.range = Some(range);
+        self
+    }
+
+    /// True when this access byte-overlaps `other` (same region and
+    /// intersecting ranges; `None` ranges cover the whole region).
+    pub fn overlaps(&self, other: &Access) -> bool {
+        if self.region != other.region {
+            return false;
+        }
+        match (&self.range, &other.range) {
+            (None, _) | (_, None) => true,
+            (Some(a), Some(b)) => a.start.max(b.start) < a.end.min(b.end),
+        }
+    }
+
+    /// True when the pair of accesses creates a dependence (at least one of
+    /// the two writes and the ranges overlap).
+    pub fn conflicts_with(&self, other: &Access) -> bool {
+        (self.mode.is_write() || other.mode.is_write()) && self.overlaps(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> RegionId {
+        RegionId(i)
+    }
+
+    #[test]
+    fn mode_classification() {
+        assert!(AccessMode::In.is_read());
+        assert!(!AccessMode::In.is_write());
+        assert!(!AccessMode::Out.is_read());
+        assert!(AccessMode::Out.is_write());
+        assert!(AccessMode::InOut.is_read());
+        assert!(AccessMode::InOut.is_write());
+    }
+
+    #[test]
+    fn whole_region_accesses_always_overlap_same_region() {
+        let a = Access::input(r(0), ElemType::F32);
+        let b = Access::output(r(0), ElemType::F32);
+        let c = Access::output(r(1), ElemType::F32);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn ranged_overlap_detection() {
+        let a = Access::output(r(0), ElemType::U8).with_range(0..10);
+        let b = Access::input(r(0), ElemType::U8).with_range(10..20);
+        let c = Access::input(r(0), ElemType::U8).with_range(5..15);
+        assert!(!a.overlaps(&b), "touching but disjoint ranges do not overlap");
+        assert!(a.overlaps(&c));
+        assert!(b.overlaps(&c));
+    }
+
+    #[test]
+    fn conflicts_require_a_writer() {
+        let read_a = Access::input(r(0), ElemType::F64);
+        let read_b = Access::input(r(0), ElemType::F64);
+        let write = Access::output(r(0), ElemType::F64);
+        assert!(!read_a.conflicts_with(&read_b), "two reads never conflict");
+        assert!(read_a.conflicts_with(&write));
+        assert!(write.conflicts_with(&read_a));
+        assert!(write.conflicts_with(&write.clone()));
+    }
+
+    #[test]
+    fn ranged_whole_region_mix_overlaps() {
+        let whole = Access::inout(r(2), ElemType::F32);
+        let part = Access::input(r(2), ElemType::F32).with_range(100..200);
+        assert!(whole.overlaps(&part));
+        assert!(part.conflicts_with(&whole));
+    }
+
+    #[test]
+    fn empty_range_never_overlaps() {
+        let empty = Access::input(r(0), ElemType::U8).with_range(5..5);
+        let other = Access::output(r(0), ElemType::U8).with_range(0..10);
+        assert!(!empty.overlaps(&other));
+    }
+}

@@ -1,0 +1,81 @@
+//! A task-based dataflow runtime system, the substrate on which Approximate
+//! Task Memoization (ATM) is built.
+//!
+//! The ATM paper (Brumar et al., IPDPS 2017) implements its technique inside
+//! the Nanos++ runtime of the OmpSs programming model. This crate is a
+//! from-scratch Rust reproduction of the runtime abstractions ATM needs:
+//!
+//! * **data regions** with typed contents ([`region`]), registered with the
+//!   runtime so tasks can declare which data they read and produce;
+//! * **task types and task instances** ([`task`]) — one task type per
+//!   annotated function, one instance per dynamic submission;
+//! * **dependence tracking and the Task Dependence Graph** ([`dependence`]):
+//!   read-after-write, write-after-read and write-after-write orderings
+//!   derived from byte-range overlaps between declared accesses;
+//! * a single **Ready Queue** ([`ready_queue`]) and a **worker pool**
+//!   ([`scheduler`]) that pulls ready tasks and executes them;
+//! * the **interceptor hook** ([`interceptor`]) where the ATM engine plugs
+//!   in: it is consulted right after a task is pulled from the Ready Queue
+//!   (memoize / defer / execute) and right after a task completes (update
+//!   the history tables, perform postponed copy-outs);
+//! * **tracing** ([`trace`]) of per-thread states and ready-queue depth,
+//!   which is the data behind the execution-trace figures of the paper;
+//! * **statistics** ([`stats`]) of what the runtime did.
+//!
+//! # Example
+//!
+//! ```
+//! use atm_runtime::prelude::*;
+//!
+//! let rt = RuntimeBuilder::new().workers(2).build();
+//! let data = rt.store().register("v", RegionData::F64(vec![1.0, 2.0, 3.0, 4.0]));
+//! let sums = rt.store().register("sum", RegionData::F64(vec![0.0]));
+//!
+//! let sum_type = rt.register_task_type(
+//!     TaskTypeBuilder::new("sum", |ctx| {
+//!         let total: f64 = ctx.read_f64(0).iter().sum();
+//!         ctx.write_f64(1, &[total]);
+//!     })
+//!     .build(),
+//! );
+//!
+//! rt.submit(TaskDesc::new(
+//!     sum_type,
+//!     vec![Access::input(data, ElemType::F64), Access::output(sums, ElemType::F64)],
+//! ));
+//! rt.taskwait();
+//! assert_eq!(rt.store().read(sums).lock().as_f64(), &[10.0]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod dependence;
+pub mod interceptor;
+pub mod ready_queue;
+pub mod region;
+pub mod scheduler;
+pub mod stats;
+pub mod task;
+pub mod trace;
+
+pub use access::{Access, AccessMode};
+pub use interceptor::{Decision, NoopInterceptor, TaskInterceptor};
+pub use region::{DataStore, ElemType, RegionData, RegionId};
+pub use scheduler::{Runtime, RuntimeBuilder};
+pub use stats::{RuntimeStats, RuntimeStatsSnapshot};
+pub use task::{AtmTaskParams, TaskContext, TaskDesc, TaskId, TaskTypeBuilder, TaskTypeId, TaskTypeInfo, TaskView};
+pub use trace::{ThreadState, TraceEvent, TraceSummary, Tracer};
+
+/// Convenient glob import for applications built on the runtime.
+pub mod prelude {
+    pub use crate::access::{Access, AccessMode};
+    pub use crate::interceptor::{Decision, NoopInterceptor, TaskInterceptor};
+    pub use crate::region::{DataStore, ElemType, RegionData, RegionId};
+    pub use crate::scheduler::{Runtime, RuntimeBuilder};
+    pub use crate::task::{
+        AtmTaskParams, TaskContext, TaskDesc, TaskId, TaskTypeBuilder, TaskTypeId, TaskTypeInfo,
+        TaskView,
+    };
+    pub use crate::trace::{ThreadState, Tracer};
+}

@@ -1,0 +1,194 @@
+//! The Ready Queue (RQ).
+//!
+//! Tasks whose dependences are satisfied are moved here; idle worker threads
+//! pull from it. The paper uses a single ready queue in the runtime system
+//! and even identifies the task-creation throughput of the master thread as
+//! a bottleneck once ATM makes tasks extremely cheap (Figure 8) — keeping a
+//! single queue preserves that behaviour. Pushes and pops optionally sample
+//! the queue depth into the tracer, which is the data behind Figure 8(b)/(d).
+
+use crate::task::TaskId;
+use crate::trace::Tracer;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Outcome of a blocking pop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Popped {
+    /// A task was obtained.
+    Task(TaskId),
+    /// The queue was closed and drained; the worker should exit.
+    Closed,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    tasks: VecDeque<TaskId>,
+    closed: bool,
+}
+
+/// A blocking MPMC FIFO queue of ready tasks.
+#[derive(Debug)]
+pub struct ReadyQueue {
+    state: Mutex<QueueState>,
+    condvar: Condvar,
+    tracer: Arc<Tracer>,
+}
+
+impl ReadyQueue {
+    /// Creates an empty, open queue. Depth samples are recorded through
+    /// `tracer` when tracing is enabled.
+    pub fn new(tracer: Arc<Tracer>) -> Self {
+        ReadyQueue { state: Mutex::new(QueueState::default()), condvar: Condvar::new(), tracer }
+    }
+
+    /// Adds a ready task and wakes one waiting worker.
+    pub fn push(&self, id: TaskId) {
+        let mut state = self.state.lock();
+        state.tasks.push_back(id);
+        self.tracer.sample_ready_depth(state.tasks.len());
+        drop(state);
+        self.condvar.notify_one();
+    }
+
+    /// Adds a batch of ready tasks and wakes as many workers.
+    pub fn push_all(&self, ids: &[TaskId]) {
+        if ids.is_empty() {
+            return;
+        }
+        let mut state = self.state.lock();
+        state.tasks.extend(ids.iter().copied());
+        self.tracer.sample_ready_depth(state.tasks.len());
+        drop(state);
+        for _ in ids {
+            self.condvar.notify_one();
+        }
+    }
+
+    /// Blocks until a task is available or the queue is closed and empty.
+    pub fn pop(&self) -> Popped {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(id) = state.tasks.pop_front() {
+                self.tracer.sample_ready_depth(state.tasks.len());
+                return Popped::Task(id);
+            }
+            if state.closed {
+                return Popped::Closed;
+            }
+            self.condvar.wait(&mut state);
+        }
+    }
+
+    /// Non-blocking pop; returns `None` when the queue is currently empty.
+    pub fn try_pop(&self) -> Option<TaskId> {
+        let mut state = self.state.lock();
+        let id = state.tasks.pop_front();
+        if id.is_some() {
+            self.tracer.sample_ready_depth(state.tasks.len());
+        }
+        id
+    }
+
+    /// Current number of queued ready tasks.
+    pub fn depth(&self) -> usize {
+        self.state.lock().tasks.len()
+    }
+
+    /// Closes the queue: workers drain the remaining tasks and then receive
+    /// [`Popped::Closed`].
+    pub fn close(&self) {
+        let mut state = self.state.lock();
+        state.closed = true;
+        drop(state);
+        self.condvar.notify_all();
+    }
+
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    fn queue() -> ReadyQueue {
+        ReadyQueue::new(Arc::new(Tracer::new(false)))
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let q = queue();
+        q.push(TaskId(1));
+        q.push(TaskId(2));
+        q.push_all(&[TaskId(3), TaskId(4)]);
+        assert_eq!(q.depth(), 4);
+        assert_eq!(q.pop(), Popped::Task(TaskId(1)));
+        assert_eq!(q.try_pop(), Some(TaskId(2)));
+        assert_eq!(q.pop(), Popped::Task(TaskId(3)));
+        assert_eq!(q.pop(), Popped::Task(TaskId(4)));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn close_drains_then_signals_closed() {
+        let q = queue();
+        q.push(TaskId(7));
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.pop(), Popped::Task(TaskId(7)));
+        assert_eq!(q.pop(), Popped::Closed);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let q = Arc::new(queue());
+        let q2 = Arc::clone(&q);
+        let handle = thread::spawn(move || q2.pop());
+        thread::sleep(Duration::from_millis(20));
+        q.push(TaskId(9));
+        assert_eq!(handle.join().unwrap(), Popped::Task(TaskId(9)));
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_close() {
+        let q = Arc::new(queue());
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.pop())
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Popped::Closed);
+        }
+    }
+
+    #[test]
+    fn depth_samples_are_recorded_when_tracing() {
+        let tracer = Arc::new(Tracer::new(true));
+        let q = ReadyQueue::new(Arc::clone(&tracer));
+        q.push(TaskId(1));
+        q.push(TaskId(2));
+        let _ = q.pop();
+        let samples = tracer.ready_samples();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].depth, 1);
+        assert_eq!(samples[1].depth, 2);
+        assert_eq!(samples[2].depth, 1);
+    }
+
+    #[test]
+    fn push_all_empty_is_a_noop() {
+        let q = queue();
+        q.push_all(&[]);
+        assert_eq!(q.depth(), 0);
+    }
+}

@@ -1,0 +1,528 @@
+//! Data regions: the memory the runtime tracks dependences on.
+//!
+//! Task-based dataflow programming models (OmpSs, OpenMP 4.0 tasks) require
+//! the programmer to annotate, for every task, which data it reads and which
+//! data it produces. In the original system those annotations are raw
+//! address ranges; in this Rust reproduction application data lives in
+//! *regions* registered with the runtime's [`DataStore`]. A region is a
+//! typed, contiguous buffer (a block of a matrix, a vector of option
+//! records, a set of cluster centres, …). Tasks declare `In`/`Out`/`InOut`
+//! accesses to byte ranges of regions and the runtime derives dependences
+//! from the overlaps.
+//!
+//! Regions are protected by `parking_lot::RwLock`. The dependence tracker
+//! already serialises conflicting tasks, so in a correct execution there is
+//! never lock contention on a region; the lock is a cheap safety net that
+//! keeps the whole crate free of `unsafe`.
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::Arc;
+
+/// Identifier of a region inside a [`DataStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub(crate) u32);
+
+impl RegionId {
+    /// The raw index of the region.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a region id from a raw index. Intended for tests and tooling;
+    /// ids obtained this way are only meaningful against the store that
+    /// assigned them.
+    pub fn from_raw(index: u32) -> Self {
+        RegionId(index)
+    }
+}
+
+/// Element type stored in a region.
+///
+/// The paper extends the runtime API so the compiler can communicate the
+/// element types of each data input (§III-C); the type-aware input selection
+/// of the hash-key generator needs the element width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElemType {
+    /// 32-bit IEEE-754 floating point.
+    F32,
+    /// 64-bit IEEE-754 floating point.
+    F64,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// Raw bytes.
+    U8,
+}
+
+impl ElemType {
+    /// Width of one element in bytes.
+    pub fn width(self) -> usize {
+        match self {
+            ElemType::F32 | ElemType::I32 => 4,
+            ElemType::F64 | ElemType::I64 => 8,
+            ElemType::U8 => 1,
+        }
+    }
+}
+
+/// Typed storage of one region.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegionData {
+    /// 32-bit floats.
+    F32(Vec<f32>),
+    /// 64-bit floats.
+    F64(Vec<f64>),
+    /// 32-bit signed integers.
+    I32(Vec<i32>),
+    /// 64-bit signed integers.
+    I64(Vec<i64>),
+    /// Raw bytes.
+    U8(Vec<u8>),
+}
+
+impl RegionData {
+    /// The element type of the stored data.
+    pub fn elem_type(&self) -> ElemType {
+        match self {
+            RegionData::F32(_) => ElemType::F32,
+            RegionData::F64(_) => ElemType::F64,
+            RegionData::I32(_) => ElemType::I32,
+            RegionData::I64(_) => ElemType::I64,
+            RegionData::U8(_) => ElemType::U8,
+        }
+    }
+
+    /// Number of elements stored.
+    pub fn len(&self) -> usize {
+        match self {
+            RegionData::F32(v) => v.len(),
+            RegionData::F64(v) => v.len(),
+            RegionData::I32(v) => v.len(),
+            RegionData::I64(v) => v.len(),
+            RegionData::U8(v) => v.len(),
+        }
+    }
+
+    /// True when the region holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of the stored data in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.len() * self.elem_type().width()
+    }
+
+    /// Copies the raw little-endian byte representation of the data into a
+    /// new vector. Used by the ATM key generator and output snapshots.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            RegionData::F32(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+            RegionData::F64(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+            RegionData::I32(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+            RegionData::I64(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+            RegionData::U8(v) => v.clone(),
+        }
+    }
+
+    /// Returns the byte at `offset` of the little-endian serialisation of
+    /// the data, without materialising the whole byte vector. Used by the
+    /// ATM key generator to gather the sampled input bytes directly from the
+    /// region storage (the cost of key generation must stay proportional to
+    /// the number of *selected* bytes, not to the total input size).
+    #[inline]
+    pub fn byte_at(&self, offset: usize) -> u8 {
+        let width = self.elem_type().width();
+        let (elem, byte) = (offset / width, offset % width);
+        match self {
+            RegionData::F32(v) => v[elem].to_le_bytes()[byte],
+            RegionData::F64(v) => v[elem].to_le_bytes()[byte],
+            RegionData::I32(v) => v[elem].to_le_bytes()[byte],
+            RegionData::I64(v) => v[elem].to_le_bytes()[byte],
+            RegionData::U8(v) => v[elem],
+        }
+    }
+
+    /// Serialises the elements in `elem_range` to little-endian bytes.
+    pub fn bytes_in_elem_range(&self, elem_range: std::ops::Range<usize>) -> Vec<u8> {
+        match self {
+            RegionData::F32(v) => v[elem_range].iter().flat_map(|x| x.to_le_bytes()).collect(),
+            RegionData::F64(v) => v[elem_range].iter().flat_map(|x| x.to_le_bytes()).collect(),
+            RegionData::I32(v) => v[elem_range].iter().flat_map(|x| x.to_le_bytes()).collect(),
+            RegionData::I64(v) => v[elem_range].iter().flat_map(|x| x.to_le_bytes()).collect(),
+            RegionData::U8(v) => v[elem_range].to_vec(),
+        }
+    }
+
+    /// Clones the elements in `elem_range` as a new [`RegionData`] of the
+    /// same type. Used to snapshot ranged task outputs into the Task
+    /// History Table.
+    pub fn slice_elems(&self, elem_range: std::ops::Range<usize>) -> RegionData {
+        match self {
+            RegionData::F32(v) => RegionData::F32(v[elem_range].to_vec()),
+            RegionData::F64(v) => RegionData::F64(v[elem_range].to_vec()),
+            RegionData::I32(v) => RegionData::I32(v[elem_range].to_vec()),
+            RegionData::I64(v) => RegionData::I64(v[elem_range].to_vec()),
+            RegionData::U8(v) => RegionData::U8(v[elem_range].to_vec()),
+        }
+    }
+
+    /// Overwrites the elements in `elem_range` with the contents of `src`
+    /// (which must have the same type and exactly `elem_range.len()`
+    /// elements). This is the ranged variant of [`RegionData::copy_from`].
+    pub fn write_elems(&mut self, elem_range: std::ops::Range<usize>, src: &RegionData) {
+        match (self, src) {
+            (RegionData::F32(dst), RegionData::F32(s)) => dst[elem_range].copy_from_slice(s),
+            (RegionData::F64(dst), RegionData::F64(s)) => dst[elem_range].copy_from_slice(s),
+            (RegionData::I32(dst), RegionData::I32(s)) => dst[elem_range].copy_from_slice(s),
+            (RegionData::I64(dst), RegionData::I64(s)) => dst[elem_range].copy_from_slice(s),
+            (RegionData::U8(dst), RegionData::U8(s)) => dst[elem_range].copy_from_slice(s),
+            (dst, src) => panic!(
+                "write_elems between incompatible region types ({:?} <- {:?})",
+                dst.elem_type(),
+                src.elem_type()
+            ),
+        }
+    }
+
+    /// Overwrites this region's contents from another region of the same
+    /// type and length. This is the runtime's `copyOuts()` primitive: it is
+    /// how a memoized task's stored outputs are written into the bypassed
+    /// task's output regions.
+    ///
+    /// # Panics
+    /// Panics if the types or lengths differ.
+    pub fn copy_from(&mut self, other: &RegionData) {
+        match (self, other) {
+            (RegionData::F32(dst), RegionData::F32(src)) => dst.copy_from_slice(src),
+            (RegionData::F64(dst), RegionData::F64(src)) => dst.copy_from_slice(src),
+            (RegionData::I32(dst), RegionData::I32(src)) => dst.copy_from_slice(src),
+            (RegionData::I64(dst), RegionData::I64(src)) => dst.copy_from_slice(src),
+            (RegionData::U8(dst), RegionData::U8(src)) => dst.copy_from_slice(src),
+            (dst, src) => panic!(
+                "copy_from between incompatible region types ({:?} <- {:?})",
+                dst.elem_type(),
+                src.elem_type()
+            ),
+        }
+    }
+
+    /// View of the data as `f64` values regardless of the stored type
+    /// (integers are converted). Used by the correctness metrics, which are
+    /// defined on real-valued vectors.
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        match self {
+            RegionData::F32(v) => v.iter().map(|&x| f64::from(x)).collect(),
+            RegionData::F64(v) => v.clone(),
+            RegionData::I32(v) => v.iter().map(|&x| f64::from(x)).collect(),
+            RegionData::I64(v) => v.iter().map(|&x| x as f64).collect(),
+            RegionData::U8(v) => v.iter().map(|&x| f64::from(x)).collect(),
+        }
+    }
+
+    /// Immutable access to `f32` contents.
+    ///
+    /// # Panics
+    /// Panics if the region does not hold `f32` data.
+    pub fn as_f32(&self) -> &[f32] {
+        match self {
+            RegionData::F32(v) => v,
+            other => panic!("region holds {:?}, expected F32", other.elem_type()),
+        }
+    }
+
+    /// Mutable access to `f32` contents.
+    ///
+    /// # Panics
+    /// Panics if the region does not hold `f32` data.
+    pub fn as_f32_mut(&mut self) -> &mut [f32] {
+        match self {
+            RegionData::F32(v) => v,
+            other => panic!("region holds {:?}, expected F32", other.elem_type()),
+        }
+    }
+
+    /// Immutable access to `f64` contents.
+    ///
+    /// # Panics
+    /// Panics if the region does not hold `f64` data.
+    pub fn as_f64(&self) -> &[f64] {
+        match self {
+            RegionData::F64(v) => v,
+            other => panic!("region holds {:?}, expected F64", other.elem_type()),
+        }
+    }
+
+    /// Mutable access to `f64` contents.
+    ///
+    /// # Panics
+    /// Panics if the region does not hold `f64` data.
+    pub fn as_f64_mut(&mut self) -> &mut [f64] {
+        match self {
+            RegionData::F64(v) => v,
+            other => panic!("region holds {:?}, expected F64", other.elem_type()),
+        }
+    }
+
+    /// Immutable access to `i32` contents.
+    ///
+    /// # Panics
+    /// Panics if the region does not hold `i32` data.
+    pub fn as_i32(&self) -> &[i32] {
+        match self {
+            RegionData::I32(v) => v,
+            other => panic!("region holds {:?}, expected I32", other.elem_type()),
+        }
+    }
+
+    /// Mutable access to `i32` contents.
+    ///
+    /// # Panics
+    /// Panics if the region does not hold `i32` data.
+    pub fn as_i32_mut(&mut self) -> &mut [i32] {
+        match self {
+            RegionData::I32(v) => v,
+            other => panic!("region holds {:?}, expected I32", other.elem_type()),
+        }
+    }
+}
+
+/// One registered region: its data plus bookkeeping.
+#[derive(Debug)]
+struct RegionSlot {
+    data: RwLock<RegionData>,
+    name: String,
+}
+
+/// The registry of all regions an application has handed to the runtime.
+///
+/// Shared (via `Arc`) between the application, the scheduler's worker
+/// threads and the ATM engine.
+#[derive(Debug, Default)]
+pub struct DataStore {
+    regions: RwLock<Vec<Arc<RegionSlot>>>,
+}
+
+impl DataStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new region and returns its id.
+    pub fn register(&self, name: impl Into<String>, data: RegionData) -> RegionId {
+        let mut regions = self.regions.write();
+        let id = RegionId(u32::try_from(regions.len()).expect("more than u32::MAX regions"));
+        regions.push(Arc::new(RegionSlot { data: RwLock::new(data), name: name.into() }));
+        id
+    }
+
+    /// Registers a region of `len` `f32` zeros.
+    pub fn register_f32_zeros(&self, name: impl Into<String>, len: usize) -> RegionId {
+        self.register(name, RegionData::F32(vec![0.0; len]))
+    }
+
+    /// Registers a region of `len` `f64` zeros.
+    pub fn register_f64_zeros(&self, name: impl Into<String>, len: usize) -> RegionId {
+        self.register(name, RegionData::F64(vec![0.0; len]))
+    }
+
+    /// Number of registered regions.
+    pub fn len(&self) -> usize {
+        self.regions.read().len()
+    }
+
+    /// True when no regions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The human-readable name given at registration.
+    pub fn name(&self, id: RegionId) -> String {
+        self.slot(id).name.clone()
+    }
+
+    /// Size of a region in bytes.
+    pub fn size_bytes(&self, id: RegionId) -> usize {
+        self.slot(id).data.read().size_bytes()
+    }
+
+    /// Element type of a region.
+    pub fn elem_type(&self, id: RegionId) -> ElemType {
+        self.slot(id).data.read().elem_type()
+    }
+
+    /// Total application footprint: the sum of all region sizes in bytes.
+    /// Used as the denominator of the Table III memory-overhead figures.
+    pub fn total_bytes(&self) -> usize {
+        let regions = self.regions.read();
+        regions.iter().map(|r| r.data.read().size_bytes()).sum()
+    }
+
+    /// Read access to a region's data.
+    pub fn read(&self, id: RegionId) -> RegionReadGuard<'_> {
+        RegionReadGuard { slot: self.slot(id), _marker: std::marker::PhantomData }
+    }
+
+    /// Write access to a region's data.
+    pub fn write(&self, id: RegionId) -> RegionWriteGuard<'_> {
+        RegionWriteGuard { slot: self.slot(id), _marker: std::marker::PhantomData }
+    }
+
+    /// Clones a region's current contents (used for output snapshots and for
+    /// the sequential references in tests).
+    pub fn snapshot(&self, id: RegionId) -> RegionData {
+        self.slot(id).data.read().clone()
+    }
+
+    /// Replaces a region's contents.
+    ///
+    /// # Panics
+    /// Panics if the new data has a different type or length than the
+    /// current contents (regions are fixed-shape once registered).
+    pub fn restore(&self, id: RegionId, data: &RegionData) {
+        self.slot(id).data.write().copy_from(data);
+    }
+
+    fn slot(&self, id: RegionId) -> Arc<RegionSlot> {
+        let regions = self.regions.read();
+        regions
+            .get(id.index())
+            .unwrap_or_else(|| panic!("unknown region id {:?}", id))
+            .clone()
+    }
+}
+
+/// RAII read guard over a region.
+pub struct RegionReadGuard<'a> {
+    slot: Arc<RegionSlot>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl RegionReadGuard<'_> {
+    /// Locks the region for reading and returns the guard.
+    pub fn lock(&self) -> RwLockReadGuard<'_, RegionData> {
+        self.slot.data.read()
+    }
+}
+
+/// RAII write guard over a region.
+pub struct RegionWriteGuard<'a> {
+    slot: Arc<RegionSlot>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl RegionWriteGuard<'_> {
+    /// Locks the region for writing and returns the guard.
+    pub fn lock(&self) -> RwLockWriteGuard<'_, RegionData> {
+        self.slot.data.write()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_read_back() {
+        let store = DataStore::new();
+        let id = store.register("prices", RegionData::F32(vec![1.0, 2.0, 3.0]));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.name(id), "prices");
+        assert_eq!(store.size_bytes(id), 12);
+        assert_eq!(store.elem_type(id), ElemType::F32);
+        assert_eq!(store.read(id).lock().as_f32(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn write_then_snapshot_then_restore() {
+        let store = DataStore::new();
+        let id = store.register_f64_zeros("block", 4);
+        store.write(id).lock().as_f64_mut().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let snap = store.snapshot(id);
+        store.write(id).lock().as_f64_mut().copy_from_slice(&[9.0, 9.0, 9.0, 9.0]);
+        store.restore(id, &snap);
+        assert_eq!(store.read(id).lock().as_f64(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn total_bytes_sums_all_regions() {
+        let store = DataStore::new();
+        store.register_f32_zeros("a", 10);
+        store.register_f64_zeros("b", 10);
+        store.register("c", RegionData::U8(vec![0; 7]));
+        assert_eq!(store.total_bytes(), 40 + 80 + 7);
+    }
+
+    #[test]
+    fn to_bytes_round_trips_f32_layout() {
+        let data = RegionData::F32(vec![1.5, -2.5]);
+        let bytes = data.to_bytes();
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(&bytes[0..4], &1.5f32.to_le_bytes());
+        assert_eq!(&bytes[4..8], &(-2.5f32).to_le_bytes());
+    }
+
+    #[test]
+    fn byte_at_matches_full_serialisation() {
+        let data = RegionData::F64(vec![3.25, -7.5, 1e-9]);
+        let bytes = data.to_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            assert_eq!(data.byte_at(i), b, "byte_at({i}) mismatch");
+        }
+        let ints = RegionData::I32(vec![0x01020304, -5]);
+        let int_bytes = ints.to_bytes();
+        for (i, &b) in int_bytes.iter().enumerate() {
+            assert_eq!(ints.byte_at(i), b);
+        }
+    }
+
+    #[test]
+    fn slice_and_write_elems_round_trip() {
+        let src = RegionData::F32(vec![1.0, 2.0, 3.0, 4.0]);
+        let slice = src.slice_elems(1..3);
+        assert_eq!(slice.as_f32(), &[2.0, 3.0]);
+        let mut dst = RegionData::F32(vec![0.0; 4]);
+        dst.write_elems(2..4, &slice);
+        assert_eq!(dst.as_f32(), &[0.0, 0.0, 2.0, 3.0]);
+        assert_eq!(src.bytes_in_elem_range(0..2), RegionData::F32(vec![1.0, 2.0]).to_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible region types")]
+    fn write_elems_type_mismatch_panics() {
+        let mut dst = RegionData::F32(vec![0.0; 2]);
+        dst.write_elems(0..1, &RegionData::I32(vec![1]));
+    }
+
+    #[test]
+    fn to_f64_vec_converts_integer_regions() {
+        assert_eq!(RegionData::I32(vec![1, -2]).to_f64_vec(), vec![1.0, -2.0]);
+        assert_eq!(RegionData::U8(vec![3, 4]).to_f64_vec(), vec![3.0, 4.0]);
+        assert_eq!(RegionData::I64(vec![5]).to_f64_vec(), vec![5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible region types")]
+    fn copy_from_type_mismatch_panics() {
+        let mut a = RegionData::F32(vec![0.0]);
+        a.copy_from(&RegionData::F64(vec![0.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown region id")]
+    fn unknown_region_panics() {
+        let store = DataStore::new();
+        let _ = store.read(RegionId(3));
+    }
+
+    #[test]
+    fn elem_type_widths() {
+        assert_eq!(ElemType::F32.width(), 4);
+        assert_eq!(ElemType::F64.width(), 8);
+        assert_eq!(ElemType::I32.width(), 4);
+        assert_eq!(ElemType::I64.width(), 8);
+        assert_eq!(ElemType::U8.width(), 1);
+    }
+}

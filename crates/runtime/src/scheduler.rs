@@ -1,0 +1,443 @@
+//! The scheduler: worker pool, task submission, dependence release and the
+//! taskwait barrier.
+//!
+//! The execution model follows §II-C of the paper: the master thread submits
+//! tasks (annotated with their data accesses); the runtime builds the task
+//! dependence graph; tasks whose dependences are satisfied move to the Ready
+//! Queue; idle worker threads pull tasks from the queue and, *before
+//! executing them*, give the configured [`TaskInterceptor`] (the ATM engine)
+//! the chance to memoize or defer them.
+
+use crate::dependence::TaskGraph;
+use crate::interceptor::{Decision, NoopInterceptor, TaskInterceptor};
+use crate::ready_queue::{Popped, ReadyQueue};
+use crate::region::DataStore;
+use crate::stats::{RuntimeStats, RuntimeStatsSnapshot};
+use crate::task::{TaskContext, TaskDesc, TaskId, TaskTypeId, TaskTypeInfo, TaskView};
+use crate::trace::{ThreadState, Tracer};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Configuration and construction of a [`Runtime`].
+pub struct RuntimeBuilder {
+    workers: usize,
+    tracing: bool,
+    interceptor: Arc<dyn TaskInterceptor>,
+}
+
+impl Default for RuntimeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RuntimeBuilder {
+    /// Starts a builder with 1 worker, tracing disabled and no interceptor
+    /// (the "no ATM" baseline).
+    pub fn new() -> Self {
+        RuntimeBuilder { workers: 1, tracing: false, interceptor: Arc::new(NoopInterceptor) }
+    }
+
+    /// Sets the number of worker threads (the paper's "number of cores").
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "the runtime needs at least one worker thread");
+        self.workers = workers;
+        self
+    }
+
+    /// Enables execution tracing (Figures 7/8). Disabled by default so the
+    /// instrumentation does not distort speedup measurements.
+    #[must_use]
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.tracing = enabled;
+        self
+    }
+
+    /// Installs a task interceptor (the ATM engine).
+    #[must_use]
+    pub fn interceptor(mut self, interceptor: Arc<dyn TaskInterceptor>) -> Self {
+        self.interceptor = interceptor;
+        self
+    }
+
+    /// Builds the runtime and spawns its worker threads.
+    pub fn build(self) -> Runtime {
+        let tracer = Arc::new(Tracer::new(self.tracing));
+        let inner = Arc::new(Inner {
+            store: DataStore::new(),
+            registry: RwLock::new(Vec::new()),
+            graph: Mutex::new(TaskGraph::new()),
+            queue: ReadyQueue::new(Arc::clone(&tracer)),
+            interceptor: self.interceptor,
+            tracer,
+            stats: RuntimeStats::new(),
+            outstanding: Mutex::new(0),
+            all_done: Condvar::new(),
+            workers: self.workers,
+        });
+        let handles = (0..self.workers)
+            .map(|worker| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("atm-worker-{worker}"))
+                    .spawn(move || worker_loop(&inner, worker))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Runtime { inner, handles }
+    }
+}
+
+struct Inner {
+    store: DataStore,
+    registry: RwLock<Vec<TaskTypeInfo>>,
+    graph: Mutex<TaskGraph>,
+    queue: ReadyQueue,
+    interceptor: Arc<dyn TaskInterceptor>,
+    tracer: Arc<Tracer>,
+    stats: RuntimeStats,
+    outstanding: Mutex<u64>,
+    all_done: Condvar,
+    workers: usize,
+}
+
+impl Inner {
+    fn finish_task(&self, id: TaskId) {
+        let newly_ready = self.graph.lock().finish(id);
+        self.queue.push_all(&newly_ready);
+        let mut outstanding = self.outstanding.lock();
+        debug_assert!(*outstanding > 0, "finishing a task with no outstanding work");
+        *outstanding -= 1;
+        if *outstanding == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn task_type(&self, id: TaskTypeId) -> TaskTypeInfo {
+        self.registry.read()[id.index()].clone()
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>, worker: usize) {
+    loop {
+        let idle_start = inner.tracer.now_ns();
+        let popped = inner.queue.pop();
+        inner.tracer.record(worker, ThreadState::Idle, idle_start, inner.tracer.now_ns());
+        let id = match popped {
+            Popped::Task(id) => id,
+            Popped::Closed => break,
+        };
+
+        inner.graph.lock().mark_running(id);
+        let desc = inner.graph.lock().desc(id).clone();
+        let info = inner.task_type(desc.task_type);
+        let view = TaskView { id, type_id: desc.task_type, info: &info, accesses: &desc.accesses };
+
+        let decision = inner.interceptor.before_execute(view, &inner.store, &inner.tracer, worker);
+        let executed = match decision {
+            Decision::Execute => {
+                let start = inner.tracer.now_ns();
+                let ctx = TaskContext::new(&inner.store, &desc.accesses);
+                (info.kernel)(&ctx);
+                let end = inner.tracer.now_ns();
+                inner.tracer.record(worker, ThreadState::TaskExecution, start, end);
+                inner.stats.add(&inner.stats.kernel_ns, end - start);
+                inner.stats.incr(&inner.stats.executed);
+                true
+            }
+            Decision::Memoized => {
+                inner.stats.incr(&inner.stats.bypassed);
+                false
+            }
+            Decision::Deferred => {
+                // The interceptor registered this task with an in-flight
+                // producer; its completion will arrive through that
+                // producer's `after_execute`. Do not finish it here.
+                inner.stats.incr(&inner.stats.deferred);
+                inner.graph.lock().mark_deferred(id);
+                continue;
+            }
+        };
+
+        let completed_deferred =
+            inner.interceptor.after_execute(view, &inner.store, &inner.tracer, worker, executed);
+        inner.finish_task(id);
+        for deferred in completed_deferred {
+            inner.finish_task(deferred);
+        }
+    }
+}
+
+/// The task-based dataflow runtime.
+///
+/// Create one with [`RuntimeBuilder`], register regions through
+/// [`Runtime::store`], register task types with
+/// [`Runtime::register_task_type`], submit work with [`Runtime::submit`] and
+/// synchronise with [`Runtime::taskwait`]. Dropping the runtime (or calling
+/// [`Runtime::shutdown`]) stops the workers.
+pub struct Runtime {
+    inner: Arc<Inner>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// The data store holding all registered regions.
+    pub fn store(&self) -> &DataStore {
+        &self.inner.store
+    }
+
+    /// The execution tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Registers a task type and returns its id.
+    pub fn register_task_type(&self, info: TaskTypeInfo) -> TaskTypeId {
+        let mut registry = self.inner.registry.write();
+        let id = TaskTypeId(u32::try_from(registry.len()).expect("too many task types"));
+        registry.push(info);
+        id
+    }
+
+    /// Submits one task instance. Dependences on previously submitted,
+    /// unfinished tasks are derived from the declared accesses; the task
+    /// starts executing as soon as they are satisfied.
+    pub fn submit(&self, desc: TaskDesc) -> TaskId {
+        let start = self.inner.tracer.now_ns();
+        {
+            let registry = self.inner.registry.read();
+            assert!(
+                desc.task_type.index() < registry.len(),
+                "task type {:?} was not registered",
+                desc.task_type
+            );
+        }
+        *self.inner.outstanding.lock() += 1;
+        let (id, ready) = self.inner.graph.lock().submit(desc);
+        if ready {
+            self.inner.queue.push(id);
+        }
+        let end = self.inner.tracer.now_ns();
+        self.inner.stats.incr(&self.inner.stats.submitted);
+        self.inner.stats.add(&self.inner.stats.creation_ns, end - start);
+        // The master (submitting) thread is traced as worker index `workers`.
+        self.inner.tracer.record(self.inner.workers, ThreadState::TaskCreation, start, end);
+        id
+    }
+
+    /// Convenience: registers the type and submits in one call (used by tests).
+    pub fn submit_simple(&self, task_type: TaskTypeId, accesses: Vec<crate::access::Access>) -> TaskId {
+        self.submit(TaskDesc::new(task_type, accesses))
+    }
+
+    /// Blocks until every submitted task has finished (the `#pragma omp taskwait`
+    /// of the programming model).
+    pub fn taskwait(&self) {
+        let start = self.inner.tracer.now_ns();
+        let mut outstanding = self.inner.outstanding.lock();
+        while *outstanding > 0 {
+            self.inner.all_done.wait(&mut outstanding);
+        }
+        drop(outstanding);
+        self.inner.tracer.record(self.inner.workers, ThreadState::Idle, start, self.inner.tracer.now_ns());
+    }
+
+    /// Snapshot of the runtime counters.
+    pub fn stats(&self) -> RuntimeStatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Current depth of the ready queue (diagnostic).
+    pub fn ready_depth(&self) -> usize {
+        self.inner.queue.depth()
+    }
+
+    /// Waits for all outstanding tasks and stops the worker threads.
+    pub fn shutdown(mut self) {
+        self.taskwait();
+        self.stop_workers();
+    }
+
+    fn stop_workers(&mut self) {
+        self.inner.queue.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Do not taskwait here: if the user code panicked mid-submission we
+        // only want to stop the workers, not hang.
+        self.stop_workers();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::Access;
+    use crate::region::{ElemType, RegionData};
+    use crate::task::TaskTypeBuilder;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_task_executes_and_writes_output() {
+        let rt = RuntimeBuilder::new().workers(2).build();
+        let out = rt.store().register("out", RegionData::F32(vec![0.0; 4]));
+        let tt = rt.register_task_type(
+            TaskTypeBuilder::new("fill", |ctx| {
+                ctx.write_f32(0, &[1.0, 2.0, 3.0, 4.0]);
+            })
+            .build(),
+        );
+        rt.submit(TaskDesc::new(tt, vec![Access::output(out, ElemType::F32)]));
+        rt.taskwait();
+        assert_eq!(rt.store().read(out).lock().as_f32(), &[1.0, 2.0, 3.0, 4.0]);
+        let stats = rt.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.executed, 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn dependent_tasks_run_in_dataflow_order() {
+        let rt = RuntimeBuilder::new().workers(4).build();
+        let a = rt.store().register("a", RegionData::F64(vec![0.0]));
+        let b = rt.store().register("b", RegionData::F64(vec![0.0]));
+        let produce = rt.register_task_type(
+            TaskTypeBuilder::new("produce", |ctx| ctx.write_f64(0, &[21.0])).build(),
+        );
+        let double = rt.register_task_type(
+            TaskTypeBuilder::new("double", |ctx| {
+                let x = ctx.read_f64(0)[0];
+                ctx.write_f64(1, &[x * 2.0]);
+            })
+            .build(),
+        );
+        rt.submit(TaskDesc::new(produce, vec![Access::output(a, ElemType::F64)]));
+        rt.submit(TaskDesc::new(
+            double,
+            vec![Access::input(a, ElemType::F64), Access::output(b, ElemType::F64)],
+        ));
+        rt.taskwait();
+        assert_eq!(rt.store().read(b).lock().as_f64(), &[42.0]);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn chain_of_inout_tasks_is_serialised() {
+        let rt = RuntimeBuilder::new().workers(4).build();
+        let counter = rt.store().register("counter", RegionData::I32(vec![0]));
+        let incr = rt.register_task_type(
+            TaskTypeBuilder::new("incr", |ctx| {
+                let v = ctx.read_i32(0)[0];
+                ctx.write_i32(0, &[v + 1]);
+            })
+            .build(),
+        );
+        for _ in 0..100 {
+            rt.submit(TaskDesc::new(incr, vec![Access::inout(counter, ElemType::I32)]));
+        }
+        rt.taskwait();
+        assert_eq!(rt.store().read(counter).lock().as_i32(), &[100]);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn independent_tasks_can_run_on_many_workers() {
+        let rt = RuntimeBuilder::new().workers(4).build();
+        let regions: Vec<_> =
+            (0..64).map(|i| rt.store().register(format!("r{i}"), RegionData::F32(vec![0.0]))).collect();
+        let executions = Arc::new(AtomicUsize::new(0));
+        let executions_in_kernel = Arc::clone(&executions);
+        let tt = rt.register_task_type(
+            TaskTypeBuilder::new("mark", move |ctx| {
+                executions_in_kernel.fetch_add(1, Ordering::Relaxed);
+                ctx.write_f32(0, &[1.0]);
+            })
+            .build(),
+        );
+        for &r in &regions {
+            rt.submit(TaskDesc::new(tt, vec![Access::output(r, ElemType::F32)]));
+        }
+        rt.taskwait();
+        assert_eq!(executions.load(Ordering::Relaxed), 64);
+        for &r in &regions {
+            assert_eq!(rt.store().read(r).lock().as_f32(), &[1.0]);
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn taskwait_can_be_called_repeatedly_between_submission_waves() {
+        let rt = RuntimeBuilder::new().workers(2).build();
+        let acc = rt.store().register("acc", RegionData::F64(vec![0.0]));
+        let add_one =
+            rt.register_task_type(TaskTypeBuilder::new("add", |ctx| {
+                let v = ctx.read_f64(0)[0];
+                ctx.write_f64(0, &[v + 1.0]);
+            })
+            .build());
+        for _wave in 0..5 {
+            for _ in 0..10 {
+                rt.submit(TaskDesc::new(add_one, vec![Access::inout(acc, ElemType::F64)]));
+            }
+            rt.taskwait();
+        }
+        assert_eq!(rt.store().read(acc).lock().as_f64(), &[50.0]);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn stats_and_tracer_capture_execution() {
+        let rt = RuntimeBuilder::new().workers(1).tracing(true).build();
+        let r = rt.store().register("r", RegionData::F32(vec![0.0; 128]));
+        let tt = rt.register_task_type(
+            TaskTypeBuilder::new("work", |ctx| {
+                let v: Vec<f32> = (0..128).map(|i| (i as f32).sin()).collect();
+                ctx.write_f32(0, &v);
+            })
+            .build(),
+        );
+        for _ in 0..10 {
+            rt.submit(TaskDesc::new(tt, vec![Access::inout(r, ElemType::F32)]));
+        }
+        rt.taskwait();
+        let stats = rt.stats();
+        assert_eq!(stats.submitted, 10);
+        assert_eq!(stats.executed, 10);
+        assert!(stats.kernel_ns > 0);
+        let summary = rt.tracer().summary();
+        assert!(summary.state_ns(ThreadState::TaskExecution) > 0);
+        assert!(summary.state_ns(ThreadState::TaskCreation) > 0);
+        assert!(!rt.tracer().ready_samples().is_empty());
+        rt.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "was not registered")]
+    fn submitting_unregistered_task_type_panics() {
+        let rt = RuntimeBuilder::new().workers(1).build();
+        let r = rt.store().register("r", RegionData::F32(vec![0.0]));
+        rt.submit(TaskDesc::new(TaskTypeId(5), vec![Access::output(r, ElemType::F32)]));
+    }
+
+    #[test]
+    fn drop_without_shutdown_does_not_hang() {
+        let rt = RuntimeBuilder::new().workers(2).build();
+        let r = rt.store().register("r", RegionData::F32(vec![0.0]));
+        let tt = rt.register_task_type(TaskTypeBuilder::new("t", |_| {}).build());
+        rt.submit(TaskDesc::new(tt, vec![Access::output(r, ElemType::F32)]));
+        rt.taskwait();
+        drop(rt);
+    }
+}

@@ -1,0 +1,112 @@
+//! Runtime-level execution statistics.
+//!
+//! These counters describe what the *runtime* did (tasks created, executed,
+//! bypassed, deferred); the ATM engine keeps its own finer-grained counters
+//! (hash hits per table, chosen `p`, training progress) in `atm-core`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters updated by the scheduler.
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    /// Tasks submitted to the runtime.
+    pub submitted: AtomicU64,
+    /// Tasks whose kernel was actually executed.
+    pub executed: AtomicU64,
+    /// Tasks bypassed because the interceptor memoized them (THT hit).
+    pub bypassed: AtomicU64,
+    /// Tasks deferred to an in-flight producer (IKT hit).
+    pub deferred: AtomicU64,
+    /// Total nanoseconds spent executing task kernels (across workers).
+    pub kernel_ns: AtomicU64,
+    /// Total nanoseconds spent in task creation (dependence analysis + TDG insertion).
+    pub creation_ns: AtomicU64,
+}
+
+impl RuntimeStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Immutable snapshot of all counters.
+    pub fn snapshot(&self) -> RuntimeStatsSnapshot {
+        RuntimeStatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            bypassed: self.bypassed.load(Ordering::Relaxed),
+            deferred: self.deferred.load(Ordering::Relaxed),
+            kernel_ns: self.kernel_ns.load(Ordering::Relaxed),
+            creation_ns: self.creation_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn add(&self, counter: &AtomicU64, value: u64) {
+        counter.fetch_add(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn incr(&self, counter: &AtomicU64) {
+        self.add(counter, 1);
+    }
+}
+
+/// A point-in-time copy of the runtime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStatsSnapshot {
+    /// Tasks submitted to the runtime.
+    pub submitted: u64,
+    /// Tasks whose kernel was actually executed.
+    pub executed: u64,
+    /// Tasks bypassed because the interceptor memoized them (THT hit).
+    pub bypassed: u64,
+    /// Tasks deferred to an in-flight producer (IKT hit).
+    pub deferred: u64,
+    /// Total nanoseconds spent executing task kernels.
+    pub kernel_ns: u64,
+    /// Total nanoseconds spent creating tasks.
+    pub creation_ns: u64,
+}
+
+impl RuntimeStatsSnapshot {
+    /// Tasks that did not run their kernel (memoized + deferred).
+    pub fn reused(&self) -> u64 {
+        self.bypassed + self.deferred
+    }
+
+    /// The paper's reuse metric: percentage of submitted tasks whose
+    /// execution was avoided.
+    pub fn reuse_percent(&self) -> f64 {
+        if self.submitted == 0 {
+            return 0.0;
+        }
+        100.0 * self.reused() as f64 / self.submitted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let stats = RuntimeStats::new();
+        stats.incr(&stats.submitted);
+        stats.incr(&stats.submitted);
+        stats.incr(&stats.executed);
+        stats.incr(&stats.bypassed);
+        stats.add(&stats.kernel_ns, 500);
+        let snap = stats.snapshot();
+        assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.executed, 1);
+        assert_eq!(snap.bypassed, 1);
+        assert_eq!(snap.deferred, 0);
+        assert_eq!(snap.kernel_ns, 500);
+        assert_eq!(snap.reused(), 1);
+        assert!((snap.reuse_percent() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_reuse_is_zero() {
+        assert_eq!(RuntimeStatsSnapshot::default().reuse_percent(), 0.0);
+    }
+}

@@ -1,0 +1,401 @@
+//! Task types, task descriptors and the execution context handed to kernels.
+//!
+//! A *task type* corresponds to one annotated function in the OmpSs/OpenMP
+//! source program (e.g. `bs_thread`, `stencilComputation`, `bmod`, …): it
+//! carries the kernel code, whether the programmer marked it as suitable for
+//! memoization, and the ATM pragma parameters (`L_training`, `τ_max`).
+//! A *task instance* ([`TaskDesc`]) is one submission of that type with a
+//! concrete list of data accesses.
+
+use crate::access::{Access, AccessMode};
+use crate::region::DataStore;
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Identifier of a registered task type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskTypeId(pub(crate) u32);
+
+impl TaskTypeId {
+    /// Raw index of the task type in the registry.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a task type id from a raw index. Intended for tests and
+    /// tooling; ids obtained this way are only meaningful against the
+    /// runtime that assigned them.
+    pub fn from_raw(index: u32) -> Self {
+        TaskTypeId(index)
+    }
+}
+
+/// Identifier of a submitted task instance.
+///
+/// Ids are assigned in submission order, which is exactly the "task id"
+/// (task-creation order) used on the x axis of Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) u64);
+
+impl TaskId {
+    /// Raw creation-order index of the task.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a task id from a raw creation-order index. Intended for tests
+    /// and tooling.
+    pub fn from_raw(index: u64) -> Self {
+        TaskId(index)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+/// The kernel of a task type: a deterministic function of its declared data
+/// inputs that writes its declared data outputs through the [`TaskContext`].
+pub type TaskKernel = Arc<dyn Fn(&TaskContext<'_>) + Send + Sync>;
+
+/// ATM parameters attached to a task type by the programmer (the paper's
+/// extended pragma annotations, §III-E and Table II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtmTaskParams {
+    /// Number of correctly-approximated training tasks required before the
+    /// Dynamic ATM controller freezes `p` and enters the steady-state phase.
+    pub l_training: usize,
+    /// Maximum tolerated per-task Chebyshev relative error τ_max.
+    pub tau_max: f64,
+    /// Whether the hash-key generator uses type-aware (MSB-first) input
+    /// selection (§III-C).
+    pub type_aware: bool,
+}
+
+impl Default for AtmTaskParams {
+    fn default() -> Self {
+        // τ_max = 1 % "provides good results" for most benchmarks (§IV-A);
+        // at least 15 training tasks are needed to let Dynamic ATM reach
+        // p = 100 %.
+        AtmTaskParams { l_training: 15, tau_max: 0.01, type_aware: true }
+    }
+}
+
+/// A registered task type.
+#[derive(Clone)]
+pub struct TaskTypeInfo {
+    /// Human-readable name (matches the paper's task-type names).
+    pub name: String,
+    /// The kernel to execute.
+    pub kernel: TaskKernel,
+    /// Whether the programmer marked the type as suitable for ATM.
+    pub memoizable: bool,
+    /// ATM pragma parameters.
+    pub atm: AtmTaskParams,
+}
+
+impl fmt::Debug for TaskTypeInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskTypeInfo")
+            .field("name", &self.name)
+            .field("memoizable", &self.memoizable)
+            .field("atm", &self.atm)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builder for registering a task type with the runtime.
+pub struct TaskTypeBuilder {
+    info: TaskTypeInfo,
+}
+
+impl TaskTypeBuilder {
+    /// Starts building a task type with the given name and kernel.
+    pub fn new(name: impl Into<String>, kernel: impl Fn(&TaskContext<'_>) + Send + Sync + 'static) -> Self {
+        TaskTypeBuilder {
+            info: TaskTypeInfo {
+                name: name.into(),
+                kernel: Arc::new(kernel),
+                memoizable: false,
+                atm: AtmTaskParams::default(),
+            },
+        }
+    }
+
+    /// Marks the task type as suitable for ATM (the programmer's opt-in).
+    #[must_use]
+    pub fn memoizable(mut self) -> Self {
+        self.info.memoizable = true;
+        self
+    }
+
+    /// Sets the ATM pragma parameters.
+    #[must_use]
+    pub fn atm_params(mut self, params: AtmTaskParams) -> Self {
+        self.info.atm = params;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> TaskTypeInfo {
+        self.info
+    }
+}
+
+/// One task instance to submit: a task type plus its data accesses.
+#[derive(Debug, Clone)]
+pub struct TaskDesc {
+    /// The task type.
+    pub task_type: TaskTypeId,
+    /// The declared data accesses, in the order the kernel expects them.
+    pub accesses: Vec<Access>,
+}
+
+impl TaskDesc {
+    /// Creates a descriptor.
+    pub fn new(task_type: TaskTypeId, accesses: Vec<Access>) -> Self {
+        TaskDesc { task_type, accesses }
+    }
+
+    /// The accesses the kernel reads (`In` and `InOut`).
+    pub fn read_accesses(&self) -> impl Iterator<Item = &Access> {
+        self.accesses.iter().filter(|a| a.mode.is_read())
+    }
+
+    /// The accesses the kernel writes (`Out` and `InOut`).
+    pub fn write_accesses(&self) -> impl Iterator<Item = &Access> {
+        self.accesses.iter().filter(|a| a.mode.is_write())
+    }
+}
+
+/// Read-only view of a task handed to interceptors (the ATM engine).
+#[derive(Clone, Copy)]
+pub struct TaskView<'a> {
+    /// The task instance id (creation order).
+    pub id: TaskId,
+    /// The task type id.
+    pub type_id: TaskTypeId,
+    /// The registered task type information.
+    pub info: &'a TaskTypeInfo,
+    /// The task's data accesses.
+    pub accesses: &'a [Access],
+}
+
+impl fmt::Debug for TaskView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskView")
+            .field("id", &self.id)
+            .field("type", &self.info.name)
+            .field("accesses", &self.accesses.len())
+            .finish()
+    }
+}
+
+/// Execution context handed to a task kernel.
+///
+/// Gives the kernel access to the data store and to its own declared
+/// accesses; kernels must only touch regions they declared (the dependence
+/// tracker and, transitively, the soundness of ATM rely on it — §III-E of
+/// the paper lists under-declared outputs as the main source-code hazard).
+pub struct TaskContext<'a> {
+    store: &'a DataStore,
+    accesses: &'a [Access],
+}
+
+impl<'a> TaskContext<'a> {
+    /// Creates a context (used by the scheduler and by unit tests).
+    pub fn new(store: &'a DataStore, accesses: &'a [Access]) -> Self {
+        TaskContext { store, accesses }
+    }
+
+    /// The data store.
+    pub fn store(&self) -> &DataStore {
+        self.store
+    }
+
+    /// The task's declared accesses.
+    pub fn accesses(&self) -> &[Access] {
+        self.accesses
+    }
+
+    /// The `idx`-th declared access.
+    pub fn access(&self, idx: usize) -> &Access {
+        &self.accesses[idx]
+    }
+
+    /// Element index range of the `idx`-th access (byte range divided by the
+    /// element width; whole region when no range was declared).
+    pub fn elem_range(&self, idx: usize) -> Range<usize> {
+        let access = self.access(idx);
+        let width = access.elem.width();
+        match &access.range {
+            Some(r) => {
+                debug_assert_eq!(r.start % width, 0, "byte range not aligned to element width");
+                debug_assert_eq!(r.end % width, 0, "byte range not aligned to element width");
+                (r.start / width)..(r.end / width)
+            }
+            None => {
+                let len = self.store.read(access.region).lock().len();
+                0..len
+            }
+        }
+    }
+
+    /// Clones the `f32` elements covered by the `idx`-th access.
+    pub fn read_f32(&self, idx: usize) -> Vec<f32> {
+        let access = self.access(idx);
+        let range = self.elem_range(idx);
+        let region = self.store.read(access.region);
+        let guard = region.lock();
+        guard.as_f32()[range].to_vec()
+    }
+
+    /// Clones the `f64` elements covered by the `idx`-th access.
+    pub fn read_f64(&self, idx: usize) -> Vec<f64> {
+        let access = self.access(idx);
+        let range = self.elem_range(idx);
+        let region = self.store.read(access.region);
+        let guard = region.lock();
+        guard.as_f64()[range].to_vec()
+    }
+
+    /// Clones the `i32` elements covered by the `idx`-th access.
+    pub fn read_i32(&self, idx: usize) -> Vec<i32> {
+        let access = self.access(idx);
+        let range = self.elem_range(idx);
+        let region = self.store.read(access.region);
+        let guard = region.lock();
+        guard.as_i32()[range].to_vec()
+    }
+
+    /// Writes `values` into the `f32` elements covered by the `idx`-th access.
+    ///
+    /// # Panics
+    /// Panics if the access is not a write access or the lengths differ.
+    pub fn write_f32(&self, idx: usize, values: &[f32]) {
+        let access = self.access(idx);
+        assert!(access.mode.is_write(), "write_f32 on a read-only access");
+        let range = self.elem_range(idx);
+        let region = self.store.write(access.region);
+        let mut guard = region.lock();
+        guard.as_f32_mut()[range].copy_from_slice(values);
+    }
+
+    /// Writes `values` into the `f64` elements covered by the `idx`-th access.
+    ///
+    /// # Panics
+    /// Panics if the access is not a write access or the lengths differ.
+    pub fn write_f64(&self, idx: usize, values: &[f64]) {
+        let access = self.access(idx);
+        assert!(access.mode.is_write(), "write_f64 on a read-only access");
+        let range = self.elem_range(idx);
+        let region = self.store.write(access.region);
+        let mut guard = region.lock();
+        guard.as_f64_mut()[range].copy_from_slice(values);
+    }
+
+    /// Writes `values` into the `i32` elements covered by the `idx`-th access.
+    ///
+    /// # Panics
+    /// Panics if the access is not a write access or the lengths differ.
+    pub fn write_i32(&self, idx: usize, values: &[i32]) {
+        let access = self.access(idx);
+        assert!(access.mode.is_write(), "write_i32 on a read-only access");
+        let range = self.elem_range(idx);
+        let region = self.store.write(access.region);
+        let mut guard = region.lock();
+        guard.as_i32_mut()[range].copy_from_slice(values);
+    }
+
+    /// Number of write accesses declared by the task.
+    pub fn output_count(&self) -> usize {
+        self.accesses.iter().filter(|a| a.mode == AccessMode::Out || a.mode == AccessMode::InOut).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{ElemType, RegionData};
+
+    #[test]
+    fn builder_sets_flags_and_params() {
+        let info = TaskTypeBuilder::new("bs_thread", |_ctx| {})
+            .memoizable()
+            .atm_params(AtmTaskParams { l_training: 100, tau_max: 0.2, type_aware: false })
+            .build();
+        assert_eq!(info.name, "bs_thread");
+        assert!(info.memoizable);
+        assert_eq!(info.atm.l_training, 100);
+        assert!((info.atm.tau_max - 0.2).abs() < 1e-12);
+        assert!(!info.atm.type_aware);
+    }
+
+    #[test]
+    fn default_params_match_paper_defaults() {
+        let p = AtmTaskParams::default();
+        assert_eq!(p.l_training, 15);
+        assert!((p.tau_max - 0.01).abs() < 1e-12);
+        assert!(p.type_aware);
+    }
+
+    #[test]
+    fn context_reads_and_writes_ranged_accesses() {
+        let store = DataStore::new();
+        let input = store.register("in", RegionData::F32(vec![1.0, 2.0, 3.0, 4.0]));
+        let output = store.register("out", RegionData::F32(vec![0.0; 4]));
+        let accesses = vec![
+            Access::input(input, ElemType::F32).with_range(4..12),
+            Access::output(output, ElemType::F32).with_range(8..16),
+        ];
+        let ctx = TaskContext::new(&store, &accesses);
+        assert_eq!(ctx.elem_range(0), 1..3);
+        assert_eq!(ctx.read_f32(0), vec![2.0, 3.0]);
+        ctx.write_f32(1, &[7.0, 8.0]);
+        assert_eq!(store.read(output).lock().as_f32(), &[0.0, 0.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn context_whole_region_access_covers_everything() {
+        let store = DataStore::new();
+        let region = store.register("v", RegionData::F64(vec![1.0, 2.0]));
+        let accesses = vec![Access::inout(region, ElemType::F64)];
+        let ctx = TaskContext::new(&store, &accesses);
+        assert_eq!(ctx.elem_range(0), 0..2);
+        assert_eq!(ctx.read_f64(0), vec![1.0, 2.0]);
+        ctx.write_f64(0, &[3.0, 4.0]);
+        assert_eq!(store.read(region).lock().as_f64(), &[3.0, 4.0]);
+        assert_eq!(ctx.output_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only access")]
+    fn writing_through_input_access_panics() {
+        let store = DataStore::new();
+        let region = store.register("v", RegionData::F32(vec![1.0]));
+        let accesses = vec![Access::input(region, ElemType::F32)];
+        let ctx = TaskContext::new(&store, &accesses);
+        ctx.write_f32(0, &[2.0]);
+    }
+
+    #[test]
+    fn task_desc_splits_reads_and_writes() {
+        let store = DataStore::new();
+        let a = store.register_f32_zeros("a", 1);
+        let b = store.register_f32_zeros("b", 1);
+        let c = store.register_f32_zeros("c", 1);
+        let desc = TaskDesc::new(
+            TaskTypeId(0),
+            vec![
+                Access::input(a, ElemType::F32),
+                Access::inout(b, ElemType::F32),
+                Access::output(c, ElemType::F32),
+            ],
+        );
+        assert_eq!(desc.read_accesses().count(), 2);
+        assert_eq!(desc.write_accesses().count(), 2);
+    }
+}

@@ -1,0 +1,288 @@
+//! Execution tracing: per-thread state intervals and ready-queue sampling.
+//!
+//! Figures 7 and 8 of the paper are Paraver execution traces: per-core time
+//! lines coloured by thread state (task execution, ATM hash-key computation,
+//! ATM memoization copies, task creation & scheduling, idle) and, for
+//! Figure 8, the number of ready tasks in the runtime over time. The
+//! [`Tracer`] collects exactly that information so the evaluation harness can
+//! print state breakdowns and ready-task time series.
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Thread states distinguished by the tracer (the legend of Figures 7/8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ThreadState {
+    /// Executing a task kernel.
+    TaskExecution,
+    /// Creating and scheduling tasks (dependence analysis, TDG insertion).
+    TaskCreation,
+    /// ATM: computing the hash key of a task's inputs.
+    HashKeyComputation,
+    /// ATM: copying outputs from/to the Task History Table (memoization).
+    Memoization,
+    /// Waiting for work (empty ready queue) or in the taskwait barrier.
+    Idle,
+    /// Everything else (scheduler bookkeeping, task finish processing).
+    Other,
+}
+
+impl ThreadState {
+    /// All states, in display order.
+    pub const ALL: [ThreadState; 6] = [
+        ThreadState::TaskExecution,
+        ThreadState::TaskCreation,
+        ThreadState::HashKeyComputation,
+        ThreadState::Memoization,
+        ThreadState::Idle,
+        ThreadState::Other,
+    ];
+
+    /// Display name matching the paper's trace legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            ThreadState::TaskExecution => "Task Execution",
+            ThreadState::TaskCreation => "Task Creation & Scheduling",
+            ThreadState::HashKeyComputation => "ATM:Hash-key computation",
+            ThreadState::Memoization => "ATM:Task Memoization",
+            ThreadState::Idle => "Thread Idle",
+            ThreadState::Other => "Other states",
+        }
+    }
+}
+
+/// One recorded interval on a worker's time line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Worker index (0 = master / submitting thread, 1.. = workers).
+    pub worker: usize,
+    /// The state the worker was in.
+    pub state: ThreadState,
+    /// Interval start, nanoseconds since the tracer was created.
+    pub start_ns: u64,
+    /// Interval end, nanoseconds since the tracer was created.
+    pub end_ns: u64,
+}
+
+impl TraceEvent {
+    /// Interval length.
+    pub fn duration(&self) -> Duration {
+        Duration::from_nanos(self.end_ns.saturating_sub(self.start_ns))
+    }
+}
+
+/// One sample of the ready-queue depth (Figure 8's "number of ready tasks").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadySample {
+    /// Nanoseconds since the tracer was created.
+    pub at_ns: u64,
+    /// Number of tasks in the ready queue after the event.
+    pub depth: usize,
+}
+
+/// Collects trace events and ready-queue samples.
+///
+/// The tracer can be disabled (the default for performance runs); in that
+/// case recording is a cheap no-op so the instrumentation does not distort
+/// the speedup measurements.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: bool,
+    origin: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+    ready_samples: Mutex<Vec<ReadySample>>,
+}
+
+impl Tracer {
+    /// Creates a tracer; `enabled = false` turns all recording into no-ops.
+    pub fn new(enabled: bool) -> Self {
+        Tracer {
+            enabled,
+            origin: Instant::now(),
+            events: Mutex::new(Vec::new()),
+            ready_samples: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Nanoseconds elapsed since the tracer was created.
+    pub fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// Records an interval in `state` on `worker`'s time line.
+    pub fn record(&self, worker: usize, state: ThreadState, start_ns: u64, end_ns: u64) {
+        if !self.enabled || end_ns <= start_ns {
+            return;
+        }
+        self.events.lock().push(TraceEvent { worker, state, start_ns, end_ns });
+    }
+
+    /// Times `f` and records it as one interval of `state`.
+    pub fn scope<R>(&self, worker: usize, state: ThreadState, f: impl FnOnce() -> R) -> R {
+        if !self.enabled {
+            return f();
+        }
+        let start = self.now_ns();
+        let result = f();
+        let end = self.now_ns();
+        self.record(worker, state, start, end);
+        result
+    }
+
+    /// Records the current ready-queue depth.
+    pub fn sample_ready_depth(&self, depth: usize) {
+        if !self.enabled {
+            return;
+        }
+        self.ready_samples.lock().push(ReadySample { at_ns: self.now_ns(), depth });
+    }
+
+    /// All recorded events (cloned).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// All recorded ready-queue samples (cloned).
+    pub fn ready_samples(&self) -> Vec<ReadySample> {
+        self.ready_samples.lock().clone()
+    }
+
+    /// Aggregates the total time per (worker, state).
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary::from_events(&self.events.lock())
+    }
+}
+
+/// Aggregated per-state times, the textual equivalent of Figures 7 and 8.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Total time per state across all workers, in nanoseconds.
+    pub per_state_ns: Vec<(ThreadState, u64)>,
+    /// Number of workers that recorded at least one event.
+    pub workers: usize,
+    /// Wall-clock span covered by the events (max end − min start), ns.
+    pub span_ns: u64,
+}
+
+impl TraceSummary {
+    fn from_events(events: &[TraceEvent]) -> Self {
+        let mut per_state: Vec<(ThreadState, u64)> =
+            ThreadState::ALL.iter().map(|&s| (s, 0u64)).collect();
+        let mut min_start = u64::MAX;
+        let mut max_end = 0u64;
+        let mut max_worker = None::<usize>;
+        for ev in events {
+            let slot = per_state.iter_mut().find(|(s, _)| *s == ev.state).expect("state table covers all states");
+            slot.1 += ev.end_ns - ev.start_ns;
+            min_start = min_start.min(ev.start_ns);
+            max_end = max_end.max(ev.end_ns);
+            max_worker = Some(max_worker.map_or(ev.worker, |w: usize| w.max(ev.worker)));
+        }
+        TraceSummary {
+            per_state_ns: per_state,
+            workers: max_worker.map_or(0, |w| w + 1),
+            span_ns: if events.is_empty() { 0 } else { max_end - min_start },
+        }
+    }
+
+    /// Total recorded time in a given state, nanoseconds.
+    pub fn state_ns(&self, state: ThreadState) -> u64 {
+        self.per_state_ns.iter().find(|(s, _)| *s == state).map_or(0, |(_, ns)| *ns)
+    }
+
+    /// Fraction of all recorded busy time spent in `state`.
+    pub fn state_fraction(&self, state: ThreadState) -> f64 {
+        let total: u64 = self.per_state_ns.iter().map(|(_, ns)| ns).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.state_ns(state) as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::new(false);
+        tracer.record(0, ThreadState::TaskExecution, 0, 100);
+        tracer.sample_ready_depth(5);
+        let value = tracer.scope(0, ThreadState::Memoization, || 42);
+        assert_eq!(value, 42);
+        assert!(tracer.events().is_empty());
+        assert!(tracer.ready_samples().is_empty());
+    }
+
+    #[test]
+    fn record_and_summarise() {
+        let tracer = Tracer::new(true);
+        tracer.record(0, ThreadState::TaskExecution, 0, 100);
+        tracer.record(1, ThreadState::TaskExecution, 50, 150);
+        tracer.record(1, ThreadState::HashKeyComputation, 150, 170);
+        tracer.record(0, ThreadState::Idle, 100, 130);
+        let summary = tracer.summary();
+        assert_eq!(summary.state_ns(ThreadState::TaskExecution), 200);
+        assert_eq!(summary.state_ns(ThreadState::HashKeyComputation), 20);
+        assert_eq!(summary.state_ns(ThreadState::Idle), 30);
+        assert_eq!(summary.workers, 2);
+        assert_eq!(summary.span_ns, 170);
+        assert!((summary.state_fraction(ThreadState::TaskExecution) - 200.0 / 250.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_length_intervals_are_dropped() {
+        let tracer = Tracer::new(true);
+        tracer.record(0, ThreadState::Other, 10, 10);
+        tracer.record(0, ThreadState::Other, 10, 5);
+        assert!(tracer.events().is_empty());
+    }
+
+    #[test]
+    fn scope_measures_and_returns() {
+        let tracer = Tracer::new(true);
+        let out = tracer.scope(3, ThreadState::Memoization, || {
+            std::thread::sleep(Duration::from_millis(2));
+            "done"
+        });
+        assert_eq!(out, "done");
+        let events = tracer.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].worker, 3);
+        assert_eq!(events[0].state, ThreadState::Memoization);
+        assert!(events[0].duration() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn ready_samples_are_ordered_by_time() {
+        let tracer = Tracer::new(true);
+        for depth in [1usize, 2, 3, 2, 1, 0] {
+            tracer.sample_ready_depth(depth);
+        }
+        let samples = tracer.ready_samples();
+        assert_eq!(samples.len(), 6);
+        assert!(samples.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        assert_eq!(samples.last().unwrap().depth, 0);
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let summary = Tracer::new(true).summary();
+        assert_eq!(summary.workers, 0);
+        assert_eq!(summary.span_ns, 0);
+        assert_eq!(summary.state_fraction(ThreadState::TaskExecution), 0.0);
+    }
+
+    #[test]
+    fn state_labels_match_paper_legend() {
+        assert_eq!(ThreadState::HashKeyComputation.label(), "ATM:Hash-key computation");
+        assert_eq!(ThreadState::Memoization.label(), "ATM:Task Memoization");
+        assert_eq!(ThreadState::ALL.len(), 6);
+    }
+}

@@ -1,0 +1,58 @@
+//! Kmeans clustering with Approximate Task Memoization: the workload where
+//! *exact* memoization finds nothing (the centres move every iteration) and
+//! only the approximate keys of Dynamic ATM can exploit the redundancy of
+//! already-converged clusters.
+//!
+//! Run with: `cargo run --release --example clustering`
+
+use atm_apps::kmeans::{Kmeans, KmeansConfig};
+use atm_apps::{BenchmarkApp, RunOptions};
+use atm_suite::prelude::*;
+
+fn main() {
+    let config = KmeansConfig {
+        points: 32_768,
+        dims: 16,
+        clusters: 8,
+        block_size: 2_048,
+        iterations: 12,
+        seed: 1234,
+    };
+    println!(
+        "Kmeans: {} points, {} dimensions, {} clusters, {} Lloyd iterations",
+        config.points, config.dims, config.clusters, config.iterations
+    );
+    let app = Kmeans::new(config);
+    let workers = 4;
+
+    let baseline = app.run_tasked(&RunOptions::baseline(workers));
+    let static_run = app.run_tasked(&RunOptions::with_atm(workers, AtmConfig::static_atm()));
+    let dynamic_run = app.run_tasked(&RunOptions::with_atm(workers, AtmConfig::dynamic_atm()));
+
+    for (label, run) in [("baseline", &baseline), ("static ATM", &static_run), ("dynamic ATM", &dynamic_run)] {
+        println!(
+            "{label:<12} wall {:>8.2} ms   reuse {:>5.1}%   correctness {:>7.3}%   speedup {:>5.2}x",
+            run.wall.as_secs_f64() * 1e3,
+            run.reuse_percent(),
+            app.correctness_percent(&run.output),
+            baseline.wall.as_secs_f64() / run.wall.as_secs_f64(),
+        );
+    }
+
+    println!(
+        "\nexact matches found by static ATM : {:>5} of {} tasks",
+        static_run.atm_stats.reused(),
+        static_run.atm_stats.seen
+    );
+    println!(
+        "approximate matches by dynamic ATM: {:>5} of {} tasks (τ_max = 20%, trained p = {:.4}%)",
+        dynamic_run.atm_stats.reused() + dynamic_run.atm_stats.training_hits,
+        dynamic_run.atm_stats.seen,
+        dynamic_run
+            .type_summaries
+            .values()
+            .find(|s| s.name == "kmeans_calculate")
+            .map(|s| s.final_p * 100.0)
+            .unwrap_or(100.0)
+    );
+}

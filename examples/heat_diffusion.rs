@@ -1,0 +1,60 @@
+//! Heat diffusion (Gauss-Seidel) with and without Approximate Task
+//! Memoization: the stencil-computation workload the paper's evaluation
+//! uses, at a laptop-friendly size.
+//!
+//! Run with: `cargo run --release --example heat_diffusion`
+
+use atm_apps::stencil::{Stencil, StencilConfig, StencilVariant};
+use atm_apps::{BenchmarkApp, RunOptions};
+use atm_suite::prelude::*;
+
+fn main() {
+    let config = StencilConfig {
+        blocks: 8,
+        block_size: 32,
+        iterations: 8,
+        wall_temperature: 1.0,
+        init_levels: 2,
+        seed: 7,
+    };
+    println!(
+        "Gauss-Seidel heat diffusion: {0}x{0} blocks of {1}x{1} cells, {2} sweeps",
+        config.blocks, config.block_size, config.iterations
+    );
+    let app = Stencil::new(StencilVariant::GaussSeidel, config);
+
+    // Baseline (no ATM), Static ATM and Dynamic ATM, all with 4 workers.
+    let workers = 4;
+    let baseline = app.run_tasked(&RunOptions::baseline(workers));
+    let static_run = app.run_tasked(&RunOptions::with_atm(workers, AtmConfig::static_atm()));
+    let dynamic_run = app.run_tasked(&RunOptions::with_atm(workers, AtmConfig::dynamic_atm()));
+
+    let report = |label: &str, run: &atm_apps::AppRun| {
+        println!(
+            "{label:<14} wall {:>8.2} ms   reuse {:>5.1}%   correctness {:>7.3}%   speedup {:>5.2}x",
+            run.wall.as_secs_f64() * 1e3,
+            run.reuse_percent(),
+            app.correctness_percent(&run.output),
+            baseline.wall.as_secs_f64() / run.wall.as_secs_f64(),
+        );
+    };
+    report("baseline", &baseline);
+    report("static ATM", &static_run);
+    report("dynamic ATM", &dynamic_run);
+
+    // The interesting qualitative facts from the paper, checked here:
+    assert_eq!(
+        app.correctness_percent(&static_run.output),
+        100.0,
+        "static ATM never loses accuracy"
+    );
+    println!(
+        "\ndynamic ATM settled on p = {:.4}% of the task input bytes",
+        dynamic_run
+            .type_summaries
+            .values()
+            .find(|s| s.name == "stencilComputation")
+            .map(|s| s.final_p * 100.0)
+            .unwrap_or(100.0)
+    );
+}

@@ -1,0 +1,53 @@
+//! Portfolio pricing (Blackscholes) with Approximate Task Memoization:
+//! the financial-analysis workload that shows the largest gains in the
+//! paper, because its program input replicates a small pool of distinct
+//! option records and the pricing loop runs several times over the same
+//! portfolio.
+//!
+//! Run with: `cargo run --release --example options_pricing`
+
+use atm_apps::blackscholes::{Blackscholes, BlackscholesConfig};
+use atm_apps::{BenchmarkApp, RunOptions};
+use atm_suite::prelude::*;
+
+fn main() {
+    let config = BlackscholesConfig {
+        options: 131_072,
+        block_size: 4_096,
+        distinct_options: 16_384,
+        iterations: 5,
+        seed: 42,
+    };
+    println!(
+        "Blackscholes: {} options ({} distinct records), {} blocks, {} iterations",
+        config.options,
+        config.distinct_options,
+        config.blocks(),
+        config.iterations
+    );
+    let app = Blackscholes::new(config);
+    let workers = 4;
+
+    let baseline = app.run_tasked(&RunOptions::baseline(workers));
+    let static_run = app.run_tasked(&RunOptions::with_atm(workers, AtmConfig::static_atm()));
+    let dynamic_run = app.run_tasked(&RunOptions::with_atm(workers, AtmConfig::dynamic_atm()));
+
+    for (label, run) in [("baseline", &baseline), ("static ATM", &static_run), ("dynamic ATM", &dynamic_run)] {
+        println!(
+            "{label:<12} wall {:>8.2} ms   executed {:>5}/{:<5}   reuse {:>5.1}%   correctness {:>7.3}%   speedup {:>5.2}x",
+            run.wall.as_secs_f64() * 1e3,
+            run.runtime_stats.executed,
+            run.runtime_stats.submitted,
+            run.reuse_percent(),
+            app.correctness_percent(&run.output),
+            baseline.wall.as_secs_f64() / run.wall.as_secs_f64(),
+        );
+    }
+
+    assert_eq!(app.correctness_percent(&static_run.output), 100.0);
+    println!(
+        "\nATM memory overhead: static {:.1}% / dynamic {:.1}% of the application footprint",
+        static_run.memory_overhead_percent(),
+        dynamic_run.memory_overhead_percent()
+    );
+}

@@ -1,0 +1,83 @@
+//! # atm-suite — Approximate Task Memoization in Rust
+//!
+//! Umbrella crate of the reproduction of *"ATM: Approximate Task Memoization
+//! in the Runtime System"* (Brumar, Casas, Moretó, Valero, Sohi — IPDPS
+//! 2017). It re-exports the component crates so applications can depend on a
+//! single package:
+//!
+//! * [`runtime`] — the task-based dataflow runtime (regions, dependences,
+//!   ready queue, worker pool, tracing);
+//! * [`atm`] — the ATM engine (Task History Table, In-flight Key Table,
+//!   hash-key pipeline, static/dynamic/oracle modes);
+//! * [`hash`] — the hashing and input-sampling substrate (Jenkins lookup3,
+//!   deterministic PRNG, type-aware byte selection);
+//! * [`metrics`] — correctness and performance metrics (Chebyshev and
+//!   Euclidean relative errors, speedup, reuse);
+//! * [`apps`] — the six evaluated applications (Blackscholes, Gauss-Seidel,
+//!   Jacobi, Kmeans, Sparse LU, Swaptions).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use atm_suite::prelude::*;
+//!
+//! // 1. Create the ATM engine and a runtime with 2 workers.
+//! let engine = AtmEngine::shared(AtmConfig::static_atm());
+//! let rt = RuntimeBuilder::new().workers(2).interceptor(engine.clone()).build();
+//!
+//! // 2. Register data regions and a memoizable task type.
+//! let input = rt.store().register("in", RegionData::F64(vec![2.0; 1024]));
+//! let out_a = rt.store().register("a", RegionData::F64(vec![0.0; 1024]));
+//! let out_b = rt.store().register("b", RegionData::F64(vec![0.0; 1024]));
+//! let square = rt.register_task_type(
+//!     TaskTypeBuilder::new("square", |ctx| {
+//!         let x = ctx.read_f64(0);
+//!         let y: Vec<f64> = x.iter().map(|v| v * v).collect();
+//!         ctx.write_f64(1, &y);
+//!     })
+//!     .memoizable()
+//!     .build(),
+//! );
+//!
+//! // 3. Submit two tasks with identical inputs: the second is memoized.
+//! rt.submit(TaskDesc::new(square, vec![
+//!     Access::input(input, ElemType::F64), Access::output(out_a, ElemType::F64),
+//! ]));
+//! rt.taskwait();
+//! rt.submit(TaskDesc::new(square, vec![
+//!     Access::input(input, ElemType::F64), Access::output(out_b, ElemType::F64),
+//! ]));
+//! rt.taskwait();
+//!
+//! assert_eq!(rt.store().read(out_b).lock().as_f64()[0], 4.0);
+//! assert_eq!(engine.stats().tht_bypassed, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+/// The ATM engine (re-export of [`atm_core`]).
+pub use atm_core as atm;
+/// The six evaluated applications (re-export of [`atm_apps`]).
+pub use atm_apps as apps;
+/// Hashing and input sampling (re-export of [`atm_hash`]).
+pub use atm_hash as hash;
+/// Correctness and performance metrics (re-export of [`atm_metrics`]).
+pub use atm_metrics as metrics;
+/// The task-dataflow runtime (re-export of [`atm_runtime`]).
+pub use atm_runtime as runtime;
+
+/// Everything needed to write an ATM-accelerated task application.
+pub mod prelude {
+    pub use atm_core::{AtmConfig, AtmEngine, AtmMode, Percentage, ThtConfig};
+    pub use atm_runtime::prelude::*;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn re_exports_are_wired() {
+        let _ = crate::atm::AtmConfig::static_atm();
+        let _ = crate::hash::Percentage::FULL;
+        assert_eq!(crate::apps::AppId::ALL.len(), 6);
+    }
+}
