@@ -15,7 +15,7 @@
 
 use crate::common::{AppRun, BenchmarkApp, RunOptions, Scale, TableInfo, TaskedRun};
 use atm_hash::Xoshiro256StarStar;
-use atm_runtime::{Access, AtmTaskParams, ElemType, RegionData, TaskDesc, TaskTypeBuilder};
+use atm_runtime::{AtmTaskParams, Region, TaskTypeBuilder};
 use std::sync::OnceLock;
 
 /// Number of `f32` fields per option record.
@@ -91,10 +91,11 @@ impl Default for BlackscholesConfig {
 fn cndf(x: f32) -> f32 {
     let sign = x < 0.0;
     let x_abs = x.abs();
-    let exp_term = (-0.5 * x_abs * x_abs).exp() * 0.398_942_28_f32;
+    let exp_term = (-0.5 * x_abs * x_abs).exp() * 0.398_942_3_f32;
     let k = 1.0 / (1.0 + 0.231_641_9 * x_abs);
     let poly = k
-        * (0.319_381_53 + k * (-0.356_563_78 + k * (1.781_477_9 + k * (-1.821_255_98 + k * 1.330_274_43))));
+        * (0.319_381_53
+            + k * (-0.356_563_78 + k * (1.781_477_9 + k * (-1.821_255_9 + k * 1.330_274_5))));
     let value = 1.0 - exp_term * poly;
     if sign {
         1.0 - value
@@ -167,7 +168,11 @@ impl Blackscholes {
             portfolio.extend_from_slice(&pool[j * FIELDS..(j + 1) * FIELDS]);
         }
 
-        Blackscholes { config, portfolio, reference: OnceLock::new() }
+        Blackscholes {
+            config,
+            portfolio,
+            reference: OnceLock::new(),
+        }
     }
 
     /// Builds the default instance for a scale.
@@ -183,7 +188,9 @@ impl Blackscholes {
     fn block_ranges(&self) -> Vec<std::ops::Range<usize>> {
         let n = self.config.options;
         let bs = self.config.block_size;
-        (0..self.config.blocks()).map(|b| (b * bs)..(((b + 1) * bs).min(n))).collect()
+        (0..self.config.blocks())
+            .map(|b| (b * bs)..(((b + 1) * bs).min(n)))
+            .collect()
     }
 }
 
@@ -208,7 +215,11 @@ impl BenchmarkApp for Blackscholes {
 
     fn atm_params(&self) -> AtmTaskParams {
         // Table II: L_training = 15, τ_max = 1 %.
-        AtmTaskParams { l_training: 15, tau_max: 0.01, type_aware: true }
+        AtmTaskParams {
+            l_training: 15,
+            tau_max: 0.01,
+            type_aware: true,
+        }
     }
 
     fn run_sequential(&self) -> Vec<f64> {
@@ -229,39 +240,53 @@ impl BenchmarkApp for Blackscholes {
 
         // One input region per block of option records, one output region
         // per block of prices.
-        let option_regions: Vec<_> = ranges
+        let option_regions: Vec<Region<f32>> = ranges
             .iter()
             .enumerate()
             .map(|(b, range)| {
                 let data = self.portfolio[range.start * FIELDS..range.end * FIELDS].to_vec();
-                rt.store().register(format!("options[{b}]"), RegionData::F32(data))
+                rt.store()
+                    .register_typed(format!("options[{b}]"), data)
+                    .expect("unique name")
             })
             .collect();
-        let price_regions: Vec<_> = ranges
+        let price_regions: Vec<Region<f32>> = ranges
             .iter()
             .enumerate()
-            .map(|(b, range)| rt.store().register(format!("prices[{b}]"), RegionData::F32(vec![0.0; range.len()])))
+            .map(|(b, range)| {
+                rt.store()
+                    .register_zeros(format!("prices[{b}]"), range.len())
+                    .expect("unique name")
+            })
             .collect();
 
+        // The pricing task: the memoization opt-in is per submission here
+        // (the `memo(...)` clause of the fluent builder), equivalent to the
+        // type-level `.memoizable()` opt-in the other applications use.
         let bs_thread = rt.register_task_type(
             TaskTypeBuilder::new("bs_thread", |ctx| {
-                let options = ctx.read_f32(0);
+                let options = ctx.arg::<f32>(0);
                 let mut prices = vec![0.0f32; options.len() / FIELDS];
                 price_block(&options, &mut prices);
-                ctx.write_f32(1, &prices);
+                ctx.out(1, &prices);
             })
-            .memoizable()
-            .atm_params(self.atm_params())
+            .arg::<f32>()
+            .out::<f32>()
             .build(),
         );
 
+        let atm_params = self.atm_params();
         harness.start_timer();
         for _iter in 0..self.config.iterations {
             for (opt_region, price_region) in option_regions.iter().zip(&price_regions) {
-                harness.runtime().submit(TaskDesc::new(
-                    bs_thread,
-                    vec![Access::input(*opt_region, ElemType::F32), Access::output(*price_region, ElemType::F32)],
-                ));
+                harness
+                    .runtime()
+                    .task(bs_thread)
+                    .reads(opt_region)
+                    .writes(price_region)
+                    .memo(atm_params)
+                    .submit()
+                    .expect("bs_thread submission matches the declared signature");
             }
         }
 
@@ -324,7 +349,10 @@ mod tests {
         assert_eq!(a.portfolio, b.portfolio);
         // The portfolio cycles through the pool: option 0 equals option `distinct`.
         let d = a.config.distinct_options;
-        assert_eq!(a.portfolio[0..FIELDS], a.portfolio[d * FIELDS..(d + 1) * FIELDS]);
+        assert_eq!(
+            a.portfolio[0..FIELDS],
+            a.portfolio[d * FIELDS..(d + 1) * FIELDS]
+        );
     }
 
     #[test]
@@ -332,7 +360,10 @@ mod tests {
         let app = Blackscholes::at_scale(Scale::Tiny);
         let run = app.run_tasked(&RunOptions::baseline(2));
         let err = euclidean_relative_error(app.reference(), &run.output);
-        assert!(err < 1e-12, "taskified output must equal the sequential reference, err={err}");
+        assert!(
+            err < 1e-12,
+            "taskified output must equal the sequential reference, err={err}"
+        );
         assert_eq!(run.runtime_stats.executed, run.runtime_stats.submitted);
     }
 
@@ -340,7 +371,11 @@ mod tests {
     fn static_atm_is_exact_and_finds_reuse() {
         let app = Blackscholes::at_scale(Scale::Tiny);
         let run = app.run_tasked(&RunOptions::with_atm(2, AtmConfig::static_atm()));
-        assert_eq!(app.output_error(&run.output), 0.0, "static ATM must be bit-exact");
+        assert_eq!(
+            app.output_error(&run.output),
+            0.0,
+            "static ATM must be bit-exact"
+        );
         assert!(
             run.reuse_percent() > 50.0,
             "repetitive portfolio + iterations must produce >50% reuse, got {:.1}%",
@@ -354,8 +389,14 @@ mod tests {
         let app = Blackscholes::at_scale(Scale::Tiny);
         let run = app.run_tasked(&RunOptions::with_atm(1, AtmConfig::dynamic_atm()));
         let correctness = app.correctness_percent(&run.output);
-        assert!(correctness > 90.0, "dynamic ATM correctness too low: {correctness:.2}%");
-        assert!(run.atm_stats.training_hits > 0, "the training phase must have verified some hits");
+        assert!(
+            correctness > 90.0,
+            "dynamic ATM correctness too low: {correctness:.2}%"
+        );
+        assert!(
+            run.atm_stats.training_hits > 0,
+            "the training phase must have verified some hits"
+        );
     }
 
     #[test]
@@ -363,7 +404,10 @@ mod tests {
         let app = Blackscholes::at_scale(Scale::Tiny);
         let info = app.table_info();
         assert_eq!(info.memoized_task_type, "bs_thread");
-        assert_eq!(info.num_tasks, (app.config.blocks() * app.config.iterations) as u64);
+        assert_eq!(
+            info.num_tasks,
+            (app.config.blocks() * app.config.iterations) as u64
+        );
         assert_eq!(info.task_input_bytes, app.config.block_size * FIELDS * 4);
     }
 }

@@ -49,12 +49,20 @@ pub struct RunOptions {
 impl RunOptions {
     /// Baseline: no ATM, given number of workers.
     pub fn baseline(workers: usize) -> Self {
-        RunOptions { workers, atm: AtmConfig::off(), tracing: false }
+        RunOptions {
+            workers,
+            atm: AtmConfig::off(),
+            tracing: false,
+        }
     }
 
     /// ATM-enabled run with the given configuration.
     pub fn with_atm(workers: usize, atm: AtmConfig) -> Self {
-        RunOptions { workers, atm, tracing: false }
+        RunOptions {
+            workers,
+            atm,
+            tracing: false,
+        }
     }
 
     /// Enables tracing.
@@ -184,7 +192,11 @@ impl TaskedRun {
             .tracing(options.tracing)
             .interceptor(Arc::clone(&engine) as Arc<dyn atm_runtime::TaskInterceptor>)
             .build();
-        TaskedRun { runtime, engine, started: Instant::now() }
+        TaskedRun {
+            runtime,
+            engine,
+            started: Instant::now(),
+        }
     }
 
     /// The underlying runtime (register regions / task types, submit tasks).
@@ -211,13 +223,19 @@ impl TaskedRun {
 
     /// Waits for all tasks, collects statistics and produces the [`AppRun`].
     /// `collect_output` extracts the correctness output from the data store.
-    pub fn finish(self, collect_output: impl FnOnce(&atm_runtime::DataStore) -> Vec<f64>) -> AppRun {
+    pub fn finish(
+        self,
+        collect_output: impl FnOnce(&atm_runtime::DataStore) -> Vec<f64>,
+    ) -> AppRun {
         self.runtime.taskwait();
         let wall = self.started.elapsed();
         let output = collect_output(self.runtime.store());
         let app_memory_bytes = self.runtime.store().total_bytes();
-        let trace =
-            if self.runtime.tracer().is_enabled() { Some(self.runtime.tracer().summary()) } else { None };
+        let trace = if self.runtime.tracer().is_enabled() {
+            Some(self.runtime.tracer().summary())
+        } else {
+            None
+        };
         let ready_samples = self.runtime.tracer().ready_samples();
         let run = AppRun {
             output,
@@ -279,15 +297,15 @@ mod tests {
         let region = harness
             .runtime()
             .store()
-            .register("out", atm_runtime::RegionData::F64(vec![0.0; 2]));
+            .register_zeros::<f64>("out", 2)
+            .unwrap();
         let tt = harness.runtime().register_task_type(
-            atm_runtime::TaskTypeBuilder::new("fill", |ctx| ctx.write_f64(0, &[1.0, 2.0])).build(),
+            atm_runtime::TaskTypeBuilder::new("fill", |ctx| ctx.out(0, &[1.0f64, 2.0]))
+                .out::<f64>()
+                .build(),
         );
         harness.start_timer();
-        harness.runtime().submit(atm_runtime::TaskDesc::new(
-            tt,
-            vec![atm_runtime::Access::output(region, atm_runtime::ElemType::F64)],
-        ));
+        harness.runtime().task(tt).writes(&region).submit().unwrap();
         let run = harness.finish(|store| store.read(region).lock().as_f64().to_vec());
         assert_eq!(run.output, vec![1.0, 2.0]);
         assert_eq!(run.runtime_stats.executed, 1);

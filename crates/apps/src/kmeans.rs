@@ -15,7 +15,7 @@
 
 use crate::common::{AppRun, BenchmarkApp, RunOptions, Scale, TableInfo, TaskedRun};
 use atm_hash::Xoshiro256StarStar;
-use atm_runtime::{Access, AtmTaskParams, ElemType, RegionData, TaskDesc, TaskTypeBuilder};
+use atm_runtime::{AtmTaskParams, Region, TaskTypeBuilder};
 use std::sync::OnceLock;
 
 /// Configuration of a Kmeans instance.
@@ -39,15 +39,32 @@ impl KmeansConfig {
     /// Configuration for a given scale.
     pub fn for_scale(scale: Scale) -> Self {
         match scale {
-            Scale::Tiny => KmeansConfig { points: 2_048, dims: 8, clusters: 4, block_size: 256, iterations: 5, seed: 0x4B },
-            Scale::Small => {
-                KmeansConfig { points: 16_384, dims: 16, clusters: 8, block_size: 1_024, iterations: 10, seed: 0x4B }
-            }
+            Scale::Tiny => KmeansConfig {
+                points: 2_048,
+                dims: 8,
+                clusters: 4,
+                block_size: 256,
+                iterations: 5,
+                seed: 0x4B,
+            },
+            Scale::Small => KmeansConfig {
+                points: 16_384,
+                dims: 16,
+                clusters: 8,
+                block_size: 1_024,
+                iterations: 10,
+                seed: 0x4B,
+            },
             // The paper: 2·10⁶ points, 16 centres, 100 dimensions, 39,063
             // kmeans_calculate tasks, 219,716 bytes of task input.
-            Scale::Paper => {
-                KmeansConfig { points: 2_000_000, dims: 100, clusters: 16, block_size: 512, iterations: 20, seed: 0x4B }
-            }
+            Scale::Paper => KmeansConfig {
+                points: 2_000_000,
+                dims: 100,
+                clusters: 16,
+                block_size: 512,
+                iterations: 20,
+                seed: 0x4B,
+            },
         }
     }
 
@@ -94,7 +111,12 @@ pub fn assign_block(points: &[f32], centers: &[f32], dims: usize, clusters: usiz
 
 /// Reduces per-block partial sums into new centres. Clusters that received
 /// no points keep their previous centre.
-pub fn reduce_centers(partials: &[Vec<f32>], old_centers: &[f32], dims: usize, clusters: usize) -> Vec<f32> {
+pub fn reduce_centers(
+    partials: &[Vec<f32>],
+    old_centers: &[f32],
+    dims: usize,
+    clusters: usize,
+) -> Vec<f32> {
     let mut sums = vec![0.0f32; clusters * dims];
     let mut counts = vec![0.0f32; clusters];
     for partial in partials {
@@ -133,7 +155,11 @@ impl Kmeans {
         let mut rng = Xoshiro256StarStar::new(config.seed);
         // True cluster centres on a coarse grid, clearly separated.
         let true_centers: Vec<Vec<f32>> = (0..config.clusters)
-            .map(|c| (0..config.dims).map(|j| ((c * 7 + j * 3) % 13) as f32 * 2.0).collect())
+            .map(|c| {
+                (0..config.dims)
+                    .map(|j| ((c * 7 + j * 3) % 13) as f32 * 2.0)
+                    .collect()
+            })
             .collect();
         // The clusters overlap substantially (σ = 2.5 against a grid spacing
         // of 2): boundary points keep switching clusters for many Lloyd
@@ -159,7 +185,12 @@ impl Kmeans {
             let idx = c * config.clusters;
             initial_centers.extend_from_slice(&points[idx * config.dims..(idx + 1) * config.dims]);
         }
-        Kmeans { config, points, initial_centers, reference: OnceLock::new() }
+        Kmeans {
+            config,
+            points,
+            initial_centers,
+            reference: OnceLock::new(),
+        }
     }
 
     /// Builds the default instance for a scale.
@@ -175,7 +206,9 @@ impl Kmeans {
     fn block_ranges(&self) -> Vec<std::ops::Range<usize>> {
         let n = self.config.points;
         let bs = self.config.block_size;
-        (0..self.config.blocks()).map(|b| (b * bs)..((b + 1) * bs).min(n)).collect()
+        (0..self.config.blocks())
+            .map(|b| (b * bs)..((b + 1) * bs).min(n))
+            .collect()
     }
 
     fn partial_len(&self) -> usize {
@@ -190,7 +223,9 @@ impl BenchmarkApp for Kmeans {
 
     fn table_info(&self) -> TableInfo {
         // Task inputs: the block of points plus the centres.
-        let bytes = (self.config.block_size * self.config.dims + self.config.clusters * self.config.dims) * 4;
+        let bytes = (self.config.block_size * self.config.dims
+            + self.config.clusters * self.config.dims)
+            * 4;
         TableInfo {
             program_inputs: format!(
                 "{} points, {} centers, {} dimensions, {} iterations",
@@ -206,7 +241,11 @@ impl BenchmarkApp for Kmeans {
 
     fn atm_params(&self) -> AtmTaskParams {
         // Table II: L_training = 15, τ_max = 20 %.
-        AtmTaskParams { l_training: 15, tau_max: 0.20, type_aware: true }
+        AtmTaskParams {
+            l_training: 15,
+            tau_max: 0.20,
+            type_aware: true,
+        }
     }
 
     fn run_sequential(&self) -> Vec<f64> {
@@ -231,25 +270,40 @@ impl BenchmarkApp for Kmeans {
         let rt = harness.runtime();
         let ranges = self.block_ranges();
 
-        let point_regions: Vec<_> = ranges
+        let point_regions: Vec<Region<f32>> = ranges
             .iter()
             .enumerate()
             .map(|(b, r)| {
-                rt.store().register(format!("points[{b}]"), RegionData::F32(self.points[r.start * d..r.end * d].to_vec()))
+                rt.store()
+                    .register_typed(
+                        format!("points[{b}]"),
+                        self.points[r.start * d..r.end * d].to_vec(),
+                    )
+                    .expect("unique name")
             })
             .collect();
-        let centers_region = rt.store().register("centers", RegionData::F32(self.initial_centers.clone()));
-        let partial_regions: Vec<_> = (0..ranges.len())
-            .map(|b| rt.store().register(format!("partials[{b}]"), RegionData::F32(vec![0.0; self.partial_len()])))
+        let centers_region = rt
+            .store()
+            .register_typed("centers", self.initial_centers.clone())
+            .expect("unique name");
+        let partial_regions: Vec<Region<f32>> = (0..ranges.len())
+            .map(|b| {
+                rt.store()
+                    .register_zeros(format!("partials[{b}]"), self.partial_len())
+                    .expect("unique name")
+            })
             .collect();
 
         let calculate = rt.register_task_type(
             TaskTypeBuilder::new("kmeans_calculate", move |ctx| {
-                let points = ctx.read_f32(0);
-                let centers = ctx.read_f32(1);
+                let points = ctx.arg::<f32>(0);
+                let centers = ctx.arg::<f32>(1);
                 let partial = assign_block(&points, &centers, d, k);
-                ctx.write_f32(2, &partial);
+                ctx.out(2, &partial);
             })
+            .arg::<f32>()
+            .arg::<f32>()
+            .out::<f32>()
             .memoizable()
             .atm_params(self.atm_params())
             .build(),
@@ -257,29 +311,37 @@ impl BenchmarkApp for Kmeans {
         let reduce = rt.register_task_type(
             TaskTypeBuilder::new("kmeans_reduce", move |ctx| {
                 // Accesses: 0 = centres (inout), 1.. = partial blocks (in).
-                let old_centers = ctx.read_f32(0);
-                let partials: Vec<Vec<f32>> = (1..ctx.accesses().len()).map(|i| ctx.read_f32(i)).collect();
+                let old_centers = ctx.arg::<f32>(0);
+                let partials: Vec<Vec<f32>> = (1..ctx.accesses().len())
+                    .map(|i| ctx.arg::<f32>(i))
+                    .collect();
                 let new_centers = reduce_centers(&partials, &old_centers, d, k);
-                ctx.write_f32(0, &new_centers);
+                ctx.out(0, &new_centers);
             })
+            .inout::<f32>()
+            .variadic_args::<f32>(1)
             .build(),
         );
 
         harness.start_timer();
         for _iter in 0..self.config.iterations {
             for (points, partial) in point_regions.iter().zip(&partial_regions) {
-                harness.runtime().submit(TaskDesc::new(
-                    calculate,
-                    vec![
-                        Access::input(*points, ElemType::F32),
-                        Access::input(centers_region, ElemType::F32),
-                        Access::output(*partial, ElemType::F32),
-                    ],
-                ));
+                harness
+                    .runtime()
+                    .task(calculate)
+                    .reads(points)
+                    .reads(&centers_region)
+                    .writes(partial)
+                    .submit()
+                    .expect("kmeans_calculate submission matches the declared signature");
             }
-            let mut reduce_accesses = vec![Access::inout(centers_region, ElemType::F32)];
-            reduce_accesses.extend(partial_regions.iter().map(|&p| Access::input(p, ElemType::F32)));
-            harness.runtime().submit(TaskDesc::new(reduce, reduce_accesses));
+            let mut reduce_task = harness.runtime().task(reduce).reads_writes(&centers_region);
+            for partial in &partial_regions {
+                reduce_task = reduce_task.reads(partial);
+            }
+            reduce_task
+                .submit()
+                .expect("kmeans_reduce submission matches the declared signature");
         }
 
         harness.finish(move |store| store.read(centers_region).lock().to_f64_vec())
@@ -308,7 +370,10 @@ mod tests {
 
     #[test]
     fn reduce_centers_averages_assigned_points() {
-        let partials = vec![vec![2.0, 4.0, 0.0, 0.0, 2.0, 0.0], vec![4.0, 8.0, 0.0, 0.0, 2.0, 0.0]];
+        let partials = vec![
+            vec![2.0, 4.0, 0.0, 0.0, 2.0, 0.0],
+            vec![4.0, 8.0, 0.0, 0.0, 2.0, 0.0],
+        ];
         let old = vec![9.0, 9.0, 5.0, 5.0];
         let new = reduce_centers(&partials, &old, 2, 2);
         // Cluster 0: sums (6, 12) over 4 points -> (1.5, 3). Cluster 1 kept.
@@ -322,12 +387,16 @@ mod tests {
         let d = app.config.dims;
         let k = app.config.clusters;
         // Centres must stay inside the data range (the grid spans 0..26 plus noise).
-        assert!(centers.iter().all(|&x| (-10.0..36.0).contains(&x)), "centres escaped the data range");
+        assert!(
+            centers.iter().all(|&x| (-10.0..36.0).contains(&x)),
+            "centres escaped the data range"
+        );
         // And the k centres must be pairwise distinct (no cluster collapse).
         for a in 0..k {
             for b in a + 1..k {
-                let dist: f64 =
-                    (0..d).map(|j| (centers[a * d + j] - centers[b * d + j]).powi(2)).sum::<f64>();
+                let dist: f64 = (0..d)
+                    .map(|j| (centers[a * d + j] - centers[b * d + j]).powi(2))
+                    .sum::<f64>();
                 assert!(dist > 1e-3, "centres {a} and {b} collapsed onto each other");
             }
         }
@@ -345,7 +414,11 @@ mod tests {
     fn static_atm_is_exact_but_finds_little_reuse() {
         let app = Kmeans::at_scale(Scale::Tiny);
         let run = app.run_tasked(&RunOptions::with_atm(2, AtmConfig::static_atm()));
-        assert_eq!(app.output_error(&run.output), 0.0, "static ATM must be exact");
+        assert_eq!(
+            app.output_error(&run.output),
+            0.0,
+            "static ATM must be exact"
+        );
         // The centres change every iteration, so exact memoization finds
         // much less than approximate memoization could — the paper's
         // observation for Kmeans.
@@ -361,14 +434,20 @@ mod tests {
         let app = Kmeans::at_scale(Scale::Tiny);
         let run = app.run_tasked(&RunOptions::with_atm(1, AtmConfig::dynamic_atm()));
         let correctness = app.correctness_percent(&run.output);
-        assert!(correctness > 80.0, "Kmeans dynamic correctness too low: {correctness:.2}%");
+        assert!(
+            correctness > 80.0,
+            "Kmeans dynamic correctness too low: {correctness:.2}%"
+        );
     }
 
     #[test]
     fn table_info_counts_only_calculate_tasks() {
         let app = Kmeans::at_scale(Scale::Tiny);
         let info = app.table_info();
-        assert_eq!(info.num_tasks, (app.config.blocks() * app.config.iterations) as u64);
+        assert_eq!(
+            info.num_tasks,
+            (app.config.blocks() * app.config.iterations) as u64
+        );
         assert_eq!(info.memoized_task_type, "kmeans_calculate");
     }
 }

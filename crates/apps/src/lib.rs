@@ -131,8 +131,14 @@ mod tests {
             let app = build_app(app_id, Scale::Tiny);
             assert_eq!(app.name(), app_id.name());
             let info = app.table_info();
-            assert!(info.task_input_bytes > 0, "{app_id}: task inputs must be non-empty");
-            assert!(info.num_tasks > 0, "{app_id}: there must be memoizable tasks");
+            assert!(
+                info.task_input_bytes > 0,
+                "{app_id}: task inputs must be non-empty"
+            );
+            assert!(
+                info.num_tasks > 0,
+                "{app_id}: there must be memoizable tasks"
+            );
             assert!(!info.memoized_task_type.is_empty());
             assert!(app.atm_params().l_training >= 1);
         }

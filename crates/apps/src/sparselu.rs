@@ -21,7 +21,7 @@
 use crate::common::{AppRun, BenchmarkApp, RunOptions, Scale, TableInfo, TaskedRun};
 use atm_hash::Xoshiro256StarStar;
 use atm_metrics::lu_residual_error;
-use atm_runtime::{Access, AtmTaskParams, ElemType, RegionData, TaskDesc, TaskTypeBuilder};
+use atm_runtime::{AtmTaskParams, Region, TaskTypeBuilder};
 use std::sync::OnceLock;
 
 /// Configuration of a Sparse LU instance.
@@ -43,17 +43,29 @@ impl SparseLuConfig {
     /// Configuration for a given scale.
     pub fn for_scale(scale: Scale) -> Self {
         match scale {
-            Scale::Tiny => {
-                SparseLuConfig { blocks: 5, block_size: 12, density: 0.6, distinct_blocks: 1, seed: 0x10 }
-            }
-            Scale::Small => {
-                SparseLuConfig { blocks: 10, block_size: 24, density: 0.5, distinct_blocks: 2, seed: 0x10 }
-            }
+            Scale::Tiny => SparseLuConfig {
+                blocks: 5,
+                block_size: 12,
+                density: 0.6,
+                distinct_blocks: 1,
+                seed: 0x10,
+            },
+            Scale::Small => SparseLuConfig {
+                blocks: 10,
+                block_size: 24,
+                density: 0.5,
+                distinct_blocks: 2,
+                seed: 0x10,
+            },
             // The paper: 20×20 blocks of 256×256 floats, 670 bmod tasks,
             // 786,432 bytes of task input.
-            Scale::Paper => {
-                SparseLuConfig { blocks: 20, block_size: 256, density: 0.3, distinct_blocks: 8, seed: 0x10 }
-            }
+            Scale::Paper => SparseLuConfig {
+                blocks: 20,
+                block_size: 256,
+                density: 0.3,
+                distinct_blocks: 8,
+                seed: 0x10,
+            },
         }
     }
 
@@ -173,7 +185,12 @@ impl SparseLu {
         }
 
         let dense_a = Self::to_dense(&initial, nb, b);
-        SparseLu { config, initial, dense_a, reference: OnceLock::new() }
+        SparseLu {
+            config,
+            initial,
+            dense_a,
+            reference: OnceLock::new(),
+        }
     }
 
     /// Builds the default instance for a scale.
@@ -219,7 +236,9 @@ impl SparseLu {
         let mut m = self.initial.clone();
         for k in 0..nb {
             {
-                let diag = m[self.idx(k, k)].as_mut().expect("diagonal blocks are always present");
+                let diag = m[self.idx(k, k)]
+                    .as_mut()
+                    .expect("diagonal blocks are always present");
                 lu0(diag, b);
             }
             let diag = m[self.idx(k, k)].clone().unwrap();
@@ -263,7 +282,11 @@ impl SparseLu {
                 let mut sum = 0.0;
                 let kmax = i.min(j);
                 for k in 0..=kmax {
-                    let l = if k == i { 1.0 } else { factorised_dense[i * n + k] };
+                    let l = if k == i {
+                        1.0
+                    } else {
+                        factorised_dense[i * n + k]
+                    };
                     let u = factorised_dense[k * n + j];
                     sum += l * u;
                 }
@@ -318,11 +341,19 @@ impl BenchmarkApp for SparseLu {
 
     fn atm_params(&self) -> AtmTaskParams {
         // Table II: L_training = 30, τ_max = 1 %.
-        AtmTaskParams { l_training: 30, tau_max: 0.01, type_aware: true }
+        AtmTaskParams {
+            l_training: 30,
+            tau_max: 0.01,
+            type_aware: true,
+        }
     }
 
     fn run_sequential(&self) -> Vec<f64> {
-        Self::to_dense(&self.factorise_sequential(), self.config.blocks, self.config.block_size)
+        Self::to_dense(
+            &self.factorise_sequential(),
+            self.config.blocks,
+            self.config.block_size,
+        )
     }
 
     fn run_tasked(&self, options: &RunOptions) -> AppRun {
@@ -350,11 +381,17 @@ impl BenchmarkApp for SparseLu {
             }
             present = p;
         }
-        let regions: Vec<Option<atm_runtime::RegionId>> = (0..nb * nb)
+        let regions: Vec<Option<Region<f32>>> = (0..nb * nb)
             .map(|idx| {
                 if present[idx] {
-                    let data = self.initial[idx].clone().unwrap_or_else(|| vec![0.0f32; b * b]);
-                    Some(rt.store().register(format!("A[{}][{}]", idx / nb, idx % nb), RegionData::F32(data)))
+                    let data = self.initial[idx]
+                        .clone()
+                        .unwrap_or_else(|| vec![0.0f32; b * b]);
+                    Some(
+                        rt.store()
+                            .register_typed(format!("A[{}][{}]", idx / nb, idx % nb), data)
+                            .expect("unique name"),
+                    )
                 } else {
                     None
                 }
@@ -363,38 +400,46 @@ impl BenchmarkApp for SparseLu {
 
         let lu0_type = rt.register_task_type(
             TaskTypeBuilder::new("lu0", move |ctx| {
-                let mut diag = ctx.read_f32(0);
+                let mut diag = ctx.arg::<f32>(0);
                 lu0(&mut diag, b);
-                ctx.write_f32(0, &diag);
+                ctx.out(0, &diag);
             })
+            .inout::<f32>()
             .build(),
         );
         let fwd_type = rt.register_task_type(
             TaskTypeBuilder::new("fwd", move |ctx| {
-                let diag = ctx.read_f32(0);
-                let mut block = ctx.read_f32(1);
+                let diag = ctx.arg::<f32>(0);
+                let mut block = ctx.arg::<f32>(1);
                 fwd(&diag, &mut block, b);
-                ctx.write_f32(1, &block);
+                ctx.out(1, &block);
             })
+            .arg::<f32>()
+            .inout::<f32>()
             .build(),
         );
         let bdiv_type = rt.register_task_type(
             TaskTypeBuilder::new("bdiv", move |ctx| {
-                let diag = ctx.read_f32(0);
-                let mut block = ctx.read_f32(1);
+                let diag = ctx.arg::<f32>(0);
+                let mut block = ctx.arg::<f32>(1);
                 bdiv(&diag, &mut block, b);
-                ctx.write_f32(1, &block);
+                ctx.out(1, &block);
             })
+            .arg::<f32>()
+            .inout::<f32>()
             .build(),
         );
         let bmod_type = rt.register_task_type(
             TaskTypeBuilder::new("bmod", move |ctx| {
-                let row = ctx.read_f32(0);
-                let col = ctx.read_f32(1);
-                let mut target = ctx.read_f32(2);
+                let row = ctx.arg::<f32>(0);
+                let col = ctx.arg::<f32>(1);
+                let mut target = ctx.arg::<f32>(2);
                 bmod(&row, &col, &mut target, b);
-                ctx.write_f32(2, &target);
+                ctx.out(2, &target);
             })
+            .arg::<f32>()
+            .arg::<f32>()
+            .inout::<f32>()
             .memoizable()
             .atm_params(self.atm_params())
             .build(),
@@ -408,23 +453,32 @@ impl BenchmarkApp for SparseLu {
             let diag = regions[self.idx(k, k)].expect("diagonal block present");
             harness
                 .runtime()
-                .submit(TaskDesc::new(lu0_type, vec![Access::inout(diag, ElemType::F32)]));
+                .task(lu0_type)
+                .reads_writes(&diag)
+                .submit()
+                .expect("lu0 submission matches the declared signature");
             for j in k + 1..nb {
                 if live[self.idx(k, j)] {
                     let block = regions[self.idx(k, j)].unwrap();
-                    harness.runtime().submit(TaskDesc::new(
-                        fwd_type,
-                        vec![Access::input(diag, ElemType::F32), Access::inout(block, ElemType::F32)],
-                    ));
+                    harness
+                        .runtime()
+                        .task(fwd_type)
+                        .reads(&diag)
+                        .reads_writes(&block)
+                        .submit()
+                        .expect("fwd submission matches the declared signature");
                 }
             }
             for i in k + 1..nb {
                 if live[self.idx(i, k)] {
                     let block = regions[self.idx(i, k)].unwrap();
-                    harness.runtime().submit(TaskDesc::new(
-                        bdiv_type,
-                        vec![Access::input(diag, ElemType::F32), Access::inout(block, ElemType::F32)],
-                    ));
+                    harness
+                        .runtime()
+                        .task(bdiv_type)
+                        .reads(&diag)
+                        .reads_writes(&block)
+                        .submit()
+                        .expect("bdiv submission matches the declared signature");
                 }
             }
             for i in k + 1..nb {
@@ -439,14 +493,14 @@ impl BenchmarkApp for SparseLu {
                     let col = regions[self.idx(k, j)].unwrap();
                     let target = regions[self.idx(i, j)].expect("fill-in region pre-allocated");
                     live[self.idx(i, j)] = true;
-                    harness.runtime().submit(TaskDesc::new(
-                        bmod_type,
-                        vec![
-                            Access::input(row, ElemType::F32),
-                            Access::input(col, ElemType::F32),
-                            Access::inout(target, ElemType::F32),
-                        ],
-                    ));
+                    harness
+                        .runtime()
+                        .task(bmod_type)
+                        .reads(&row)
+                        .reads(&col)
+                        .reads_writes(&target)
+                        .submit()
+                        .expect("bmod submission matches the declared signature");
                 }
             }
         }
@@ -462,7 +516,8 @@ impl BenchmarkApp for SparseLu {
                         let block = store.read(region).lock().to_f64_vec();
                         for r in 0..b_copy {
                             for c in 0..b_copy {
-                                dense[(bi * b_copy + r) * n + bj * b_copy + c] = block[r * b_copy + c];
+                                dense[(bi * b_copy + r) * n + bj * b_copy + c] =
+                                    block[r * b_copy + c];
                             }
                         }
                     }

@@ -23,10 +23,7 @@
 
 use crate::common::{AppRun, BenchmarkApp, RunOptions, Scale, TableInfo, TaskedRun};
 use atm_hash::Xoshiro256StarStar;
-use atm_runtime::{
-    Access, AtmTaskParams, ElemType, RegionData, RegionId, Runtime, TaskDesc, TaskTypeBuilder,
-    TaskTypeId,
-};
+use atm_runtime::{AtmTaskParams, Region, Runtime, TaskTypeBuilder, TaskTypeId};
 use std::sync::OnceLock;
 
 /// Which stencil solver to run.
@@ -115,10 +112,26 @@ pub fn jacobi_block(
     let mut new = vec![0.0f32; bs * bs];
     for r in 0..bs {
         for c in 0..bs {
-            let v_up = if r > 0 { old_center[(r - 1) * bs + c] } else { halo_up[c] };
-            let v_down = if r + 1 < bs { old_center[(r + 1) * bs + c] } else { halo_down[c] };
-            let v_left = if c > 0 { old_center[r * bs + c - 1] } else { halo_left[r] };
-            let v_right = if c + 1 < bs { old_center[r * bs + c + 1] } else { halo_right[r] };
+            let v_up = if r > 0 {
+                old_center[(r - 1) * bs + c]
+            } else {
+                halo_up[c]
+            };
+            let v_down = if r + 1 < bs {
+                old_center[(r + 1) * bs + c]
+            } else {
+                halo_down[c]
+            };
+            let v_left = if c > 0 {
+                old_center[r * bs + c - 1]
+            } else {
+                halo_left[r]
+            };
+            let v_right = if c + 1 < bs {
+                old_center[r * bs + c + 1]
+            } else {
+                halo_right[r]
+            };
             new[r * bs + c] = 0.25 * (v_up + v_down + v_left + v_right);
         }
     }
@@ -137,10 +150,26 @@ pub fn gauss_seidel_block(
 ) {
     for r in 0..bs {
         for c in 0..bs {
-            let v_up = if r > 0 { center[(r - 1) * bs + c] } else { halo_up[c] };
-            let v_down = if r + 1 < bs { center[(r + 1) * bs + c] } else { halo_down[c] };
-            let v_left = if c > 0 { center[r * bs + c - 1] } else { halo_left[r] };
-            let v_right = if c + 1 < bs { center[r * bs + c + 1] } else { halo_right[r] };
+            let v_up = if r > 0 {
+                center[(r - 1) * bs + c]
+            } else {
+                halo_up[c]
+            };
+            let v_down = if r + 1 < bs {
+                center[(r + 1) * bs + c]
+            } else {
+                halo_down[c]
+            };
+            let v_left = if c > 0 {
+                center[r * bs + c - 1]
+            } else {
+                halo_left[r]
+            };
+            let v_right = if c + 1 < bs {
+                center[r * bs + c + 1]
+            } else {
+                halo_right[r]
+            };
             center[r * bs + c] = 0.25 * (v_up + v_down + v_left + v_right);
         }
     }
@@ -163,7 +192,12 @@ pub enum HaloSide {
 
 impl HaloSide {
     /// All four sides.
-    pub const ALL: [HaloSide; 4] = [HaloSide::Up, HaloSide::Down, HaloSide::Left, HaloSide::Right];
+    pub const ALL: [HaloSide; 4] = [
+        HaloSide::Up,
+        HaloSide::Down,
+        HaloSide::Left,
+        HaloSide::Right,
+    ];
 
     /// Extracts the halo values from the neighbour block's contents.
     pub fn extract(self, neighbour: &[f32], bs: usize) -> Vec<f32> {
@@ -199,7 +233,12 @@ impl Stencil {
                 vec![level * config.wall_temperature * 0.5; config.block_elems()]
             })
             .collect();
-        Stencil { variant, config, initial_blocks, reference: OnceLock::new() }
+        Stencil {
+            variant,
+            config,
+            initial_blocks,
+            reference: OnceLock::new(),
+        }
     }
 
     /// Builds the default instance for a scale.
@@ -226,7 +265,10 @@ impl Stencil {
     }
 
     fn flatten(blocks: &[Vec<f32>]) -> Vec<f64> {
-        blocks.iter().flat_map(|b| b.iter().map(|&x| f64::from(x))).collect()
+        blocks
+            .iter()
+            .flat_map(|b| b.iter().map(|&x| f64::from(x)))
+            .collect()
     }
 
     /// Gathers the four halos of block `(bi, bj)` from the given block
@@ -294,7 +336,11 @@ impl BenchmarkApp for Stencil {
             StencilVariant::GaussSeidel => 100.min(cap),
             StencilVariant::Jacobi => 150.min(cap),
         };
-        AtmTaskParams { l_training, tau_max: 0.01, type_aware: true }
+        AtmTaskParams {
+            l_training,
+            tau_max: 0.01,
+            type_aware: true,
+        }
     }
 
     fn run_sequential(&self) -> Vec<f64> {
@@ -337,31 +383,41 @@ impl BenchmarkApp for Stencil {
         let rt = harness.runtime();
 
         // Block regions: one buffer for Gauss-Seidel, two (old/new) for Jacobi.
-        let register_blocks = |rt: &Runtime, tag: &str| -> Vec<RegionId> {
+        let register_blocks = |rt: &Runtime, tag: &str| -> Vec<Region<f32>> {
             self.initial_blocks
                 .iter()
                 .enumerate()
-                .map(|(i, b)| rt.store().register(format!("{tag}[{i}]"), RegionData::F32(b.clone())))
+                .map(|(i, b)| {
+                    rt.store()
+                        .register_typed(format!("{tag}[{i}]"), b.clone())
+                        .expect("unique name")
+                })
                 .collect()
         };
-        let buffers: Vec<Vec<RegionId>> = if jacobi {
+        let buffers: Vec<Vec<Region<f32>>> = if jacobi {
             vec![register_blocks(rt, "old"), register_blocks(rt, "new")]
         } else {
             vec![register_blocks(rt, "block")]
         };
 
         // Halo regions: 4 per block, plus one shared wall halo.
-        let halos: Vec<[RegionId; 4]> = (0..nb * nb)
+        let register_halo = |name: String| -> Region<f32> {
+            rt.store().register_zeros(name, bs).expect("unique name")
+        };
+        let halos: Vec<[Region<f32>; 4]> = (0..nb * nb)
             .map(|i| {
                 [
-                    rt.store().register(format!("halo_up[{i}]"), RegionData::F32(vec![0.0; bs])),
-                    rt.store().register(format!("halo_down[{i}]"), RegionData::F32(vec![0.0; bs])),
-                    rt.store().register(format!("halo_left[{i}]"), RegionData::F32(vec![0.0; bs])),
-                    rt.store().register(format!("halo_right[{i}]"), RegionData::F32(vec![0.0; bs])),
+                    register_halo(format!("halo_up[{i}]")),
+                    register_halo(format!("halo_down[{i}]")),
+                    register_halo(format!("halo_left[{i}]")),
+                    register_halo(format!("halo_right[{i}]")),
                 ]
             })
             .collect();
-        let wall_halo = rt.store().register("wall_halo", RegionData::F32(self.wall_halo()));
+        let wall_halo = rt
+            .store()
+            .register_typed("wall_halo", self.wall_halo())
+            .expect("unique name");
 
         // Copy tasks (not memoized): extract one row/column of a neighbour
         // block into a halo region.
@@ -377,48 +433,61 @@ impl BenchmarkApp for Stencil {
                             HaloSide::Right => "copy_halo_right",
                         },
                         move |ctx| {
-                            let neighbour = ctx.read_f32(0);
+                            let neighbour = ctx.arg::<f32>(0);
                             let bs = (neighbour.len() as f64).sqrt() as usize;
-                            ctx.write_f32(1, &side.extract(&neighbour, bs));
+                            ctx.out(1, &side.extract(&neighbour, bs));
                         },
                     )
+                    .arg::<f32>()
+                    .out::<f32>()
                     .build(),
                 )
             })
             .collect();
 
-        // The memoized heat-diffusion task type.
+        // The memoized heat-diffusion task type. The declared signature
+        // follows the variant's access layout.
+        let stencil_builder = TaskTypeBuilder::new("stencilComputation", move |ctx| {
+            if jacobi {
+                // Accesses: 0 = new centre (out), 1 = old centre (in), 2..=5 halos (in).
+                let old_center = ctx.arg::<f32>(1);
+                let new = jacobi_block(
+                    &old_center,
+                    &ctx.arg::<f32>(2),
+                    &ctx.arg::<f32>(3),
+                    &ctx.arg::<f32>(4),
+                    &ctx.arg::<f32>(5),
+                    bs,
+                );
+                ctx.out(0, &new);
+            } else {
+                // Accesses: 0 = centre (inout), 1..=4 halos (in).
+                let mut center = ctx.arg::<f32>(0);
+                gauss_seidel_block(
+                    &mut center,
+                    &ctx.arg::<f32>(1),
+                    &ctx.arg::<f32>(2),
+                    &ctx.arg::<f32>(3),
+                    &ctx.arg::<f32>(4),
+                    bs,
+                );
+                ctx.out(0, &center);
+            }
+        });
+        let stencil_builder = if jacobi {
+            stencil_builder.out::<f32>().arg::<f32>()
+        } else {
+            stencil_builder.inout::<f32>()
+        };
         let stencil_type = rt.register_task_type(
-            TaskTypeBuilder::new("stencilComputation", move |ctx| {
-                if jacobi {
-                    // Accesses: 0 = new centre (out), 1 = old centre (in), 2..=5 halos (in).
-                    let old_center = ctx.read_f32(1);
-                    let new = jacobi_block(
-                        &old_center,
-                        &ctx.read_f32(2),
-                        &ctx.read_f32(3),
-                        &ctx.read_f32(4),
-                        &ctx.read_f32(5),
-                        bs,
-                    );
-                    ctx.write_f32(0, &new);
-                } else {
-                    // Accesses: 0 = centre (inout), 1..=4 halos (in).
-                    let mut center = ctx.read_f32(0);
-                    gauss_seidel_block(
-                        &mut center,
-                        &ctx.read_f32(1),
-                        &ctx.read_f32(2),
-                        &ctx.read_f32(3),
-                        &ctx.read_f32(4),
-                        bs,
-                    );
-                    ctx.write_f32(0, &center);
-                }
-            })
-            .memoizable()
-            .atm_params(self.atm_params())
-            .build(),
+            stencil_builder
+                .arg::<f32>()
+                .arg::<f32>()
+                .arg::<f32>()
+                .arg::<f32>()
+                .memoizable()
+                .atm_params(self.atm_params())
+                .build(),
         );
 
         harness.start_timer();
@@ -443,29 +512,29 @@ impl BenchmarkApp for Stencil {
                     let mut halo_inputs = [wall_halo; 4];
                     for (s, &side) in HaloSide::ALL.iter().enumerate() {
                         if let Some(n_idx) = neighbour_of(side) {
-                            harness.runtime().submit(TaskDesc::new(
-                                copy_types[s],
-                                vec![
-                                    Access::input(read_buf[n_idx], ElemType::F32),
-                                    Access::output(halos[idx][s], ElemType::F32),
-                                ],
-                            ));
+                            harness
+                                .runtime()
+                                .task(copy_types[s])
+                                .reads(&read_buf[n_idx])
+                                .writes(&halos[idx][s])
+                                .submit()
+                                .expect("halo copy matches the declared signature");
                             halo_inputs[s] = halos[idx][s];
                         }
                     }
 
                     // The heat-diffusion task itself.
-                    let mut accesses = Vec::with_capacity(6);
+                    let mut task = harness.runtime().task(stencil_type);
                     if jacobi {
-                        accesses.push(Access::output(write_buf[idx], ElemType::F32));
-                        accesses.push(Access::input(read_buf[idx], ElemType::F32));
+                        task = task.writes(&write_buf[idx]).reads(&read_buf[idx]);
                     } else {
-                        accesses.push(Access::inout(read_buf[idx], ElemType::F32));
+                        task = task.reads_writes(&read_buf[idx]);
                     }
-                    for &halo in &halo_inputs {
-                        accesses.push(Access::input(halo, ElemType::F32));
+                    for halo in &halo_inputs {
+                        task = task.reads(halo);
                     }
-                    harness.runtime().submit(TaskDesc::new(stencil_type, accesses));
+                    task.submit()
+                        .expect("stencil task matches the declared signature");
                 }
             }
             if jacobi {
@@ -474,7 +543,11 @@ impl BenchmarkApp for Stencil {
             }
         }
 
-        let final_buffer = if jacobi { buffers[self.config.iterations % 2].clone() } else { buffers[0].clone() };
+        let final_buffer = if jacobi {
+            buffers[self.config.iterations % 2].clone()
+        } else {
+            buffers[0].clone()
+        };
         harness.finish(move |store| {
             let mut out = Vec::new();
             for region in &final_buffer {
@@ -541,7 +614,10 @@ mod tests {
                 result.iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)),
                 "{variant:?} produced out-of-range temperatures"
             );
-            assert!(result.iter().any(|&x| x > 0.0), "heat must have entered the matrix");
+            assert!(
+                result.iter().any(|&x| x > 0.0),
+                "heat must have entered the matrix"
+            );
         }
     }
 
@@ -549,9 +625,18 @@ mod tests {
     fn gauss_seidel_converges_faster_than_jacobi() {
         // After the same number of sweeps the Gauss-Seidel room must be
         // globally warmer (its sweeps propagate heat across the whole matrix).
-        let gs: f64 = Stencil::at_scale(StencilVariant::GaussSeidel, Scale::Tiny).run_sequential().iter().sum();
-        let ja: f64 = Stencil::at_scale(StencilVariant::Jacobi, Scale::Tiny).run_sequential().iter().sum();
-        assert!(gs > ja, "Gauss-Seidel should be ahead of Jacobi after equal sweeps (GS={gs:.3}, J={ja:.3})");
+        let gs: f64 = Stencil::at_scale(StencilVariant::GaussSeidel, Scale::Tiny)
+            .run_sequential()
+            .iter()
+            .sum();
+        let ja: f64 = Stencil::at_scale(StencilVariant::Jacobi, Scale::Tiny)
+            .run_sequential()
+            .iter()
+            .sum();
+        assert!(
+            gs > ja,
+            "Gauss-Seidel should be ahead of Jacobi after equal sweeps (GS={gs:.3}, J={ja:.3})"
+        );
     }
 
     #[test]
@@ -575,7 +660,11 @@ mod tests {
         for variant in [StencilVariant::GaussSeidel, StencilVariant::Jacobi] {
             let app = Stencil::at_scale(variant, Scale::Tiny);
             let run = app.run_tasked(&RunOptions::with_atm(2, AtmConfig::static_atm()));
-            assert_eq!(app.output_error(&run.output), 0.0, "{variant:?}: static ATM must be exact");
+            assert_eq!(
+                app.output_error(&run.output),
+                0.0,
+                "{variant:?}: static ATM must be exact"
+            );
         }
     }
 

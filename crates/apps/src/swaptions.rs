@@ -16,7 +16,7 @@
 
 use crate::common::{AppRun, BenchmarkApp, RunOptions, Scale, TableInfo, TaskedRun};
 use atm_hash::{jenkins_hash64, Xoshiro256StarStar};
-use atm_runtime::{Access, AtmTaskParams, ElemType, RegionData, TaskDesc, TaskTypeBuilder};
+use atm_runtime::{AtmTaskParams, Region, TaskTypeBuilder};
 use std::sync::OnceLock;
 
 /// Number of points on the initial forward-rate curve carried by every
@@ -48,11 +48,29 @@ impl SwaptionsConfig {
     /// Configuration for a given scale.
     pub fn for_scale(scale: Scale) -> Self {
         match scale {
-            Scale::Tiny => SwaptionsConfig { swaptions: 96, distinct: 12, trials: 128, steps: 16, seed: 0x5A },
-            Scale::Small => SwaptionsConfig { swaptions: 256, distinct: 48, trials: 512, steps: 24, seed: 0x5A },
+            Scale::Tiny => SwaptionsConfig {
+                swaptions: 96,
+                distinct: 12,
+                trials: 128,
+                steps: 16,
+                seed: 0x5A,
+            },
+            Scale::Small => SwaptionsConfig {
+                swaptions: 256,
+                distinct: 48,
+                trials: 512,
+                steps: 24,
+                seed: 0x5A,
+            },
             // The paper: the native input enlarged to 512 swaptions, 376
             // bytes of (double) task inputs, 512 HJM_Swaption_Blocking tasks.
-            Scale::Paper => SwaptionsConfig { swaptions: 512, distinct: 64, trials: 20_000, steps: 50, seed: 0x5A },
+            Scale::Paper => SwaptionsConfig {
+                swaptions: 512,
+                distinct: 64,
+                trials: 20_000,
+                steps: 50,
+                seed: 0x5A,
+            },
         }
     }
 }
@@ -101,13 +119,16 @@ pub fn price_swaption(record: &[f64], steps: usize) -> (f64, f64) {
         }
         // Swap rate at maturity: average of the shifted forward curve over
         // the swap tenor.
-        let swap_rate: f64 =
-            curve[..tenor_points].iter().map(|f| (f + shift).max(0.0)).sum::<f64>() / tenor_points as f64;
+        let swap_rate: f64 = curve[..tenor_points]
+            .iter()
+            .map(|f| (f + shift).max(0.0))
+            .sum::<f64>()
+            / tenor_points as f64;
         // Annuity of the fixed leg (yearly payments over the tenor).
         let mut annuity = 0.0f64;
         let mut df = discount;
-        for year in 0..tenor_points {
-            df *= (-(curve[year] + shift).max(0.0)).exp();
+        for rate in curve.iter().take(tenor_points) {
+            df *= (-(rate + shift).max(0.0)).exp();
             annuity += df;
         }
         let payoff = (swap_rate - strike).max(0.0) * annuity;
@@ -137,8 +158,9 @@ impl Swaptions {
         let mut rng = Xoshiro256StarStar::new(config.seed);
 
         // Shared base yield curve, gently upward sloping.
-        let base_curve: Vec<f64> =
-            (0..CURVE_POINTS).map(|i| 0.02 + 0.0005 * i as f64 + rng.next_f64() * 1e-4).collect();
+        let base_curve: Vec<f64> = (0..CURVE_POINTS)
+            .map(|i| 0.02 + 0.0005 * i as f64 + rng.next_f64() * 1e-4)
+            .collect();
 
         let mut pool = Vec::with_capacity(config.distinct * RECORD_LEN);
         for _ in 0..config.distinct {
@@ -168,7 +190,11 @@ impl Swaptions {
             }
             portfolio.extend_from_slice(&record);
         }
-        Swaptions { config, portfolio, reference: OnceLock::new() }
+        Swaptions {
+            config,
+            portfolio,
+            reference: OnceLock::new(),
+        }
     }
 
     /// Builds the default instance for a scale.
@@ -193,7 +219,10 @@ impl BenchmarkApp for Swaptions {
 
     fn table_info(&self) -> TableInfo {
         TableInfo {
-            program_inputs: format!("{} swaptions ({} distinct), {} trials", self.config.swaptions, self.config.distinct, self.config.trials),
+            program_inputs: format!(
+                "{} swaptions ({} distinct), {} trials",
+                self.config.swaptions, self.config.distinct, self.config.trials
+            ),
             task_input_bytes: RECORD_LEN * 8,
             task_input_types: "double".to_string(),
             memoized_task_type: "HJM_Swaption_Blocking".to_string(),
@@ -204,7 +233,11 @@ impl BenchmarkApp for Swaptions {
 
     fn atm_params(&self) -> AtmTaskParams {
         // Table II: L_training = 15, τ_max = 20 %.
-        AtmTaskParams { l_training: 15, tau_max: 0.20, type_aware: true }
+        AtmTaskParams {
+            l_training: 15,
+            tau_max: 0.20,
+            type_aware: true,
+        }
     }
 
     fn run_sequential(&self) -> Vec<f64> {
@@ -221,34 +254,52 @@ impl BenchmarkApp for Swaptions {
         let mut harness = TaskedRun::new(options);
         let rt = harness.runtime();
 
-        let record_regions: Vec<_> = (0..self.config.swaptions)
-            .map(|i| rt.store().register(format!("swaption[{i}]"), RegionData::F64(self.record(i).to_vec())))
+        let record_regions: Vec<Region<f64>> = (0..self.config.swaptions)
+            .map(|i| {
+                rt.store()
+                    .register_typed(format!("swaption[{i}]"), self.record(i).to_vec())
+                    .expect("unique name")
+            })
             .collect();
-        let result_regions: Vec<_> = (0..self.config.swaptions)
-            .map(|i| rt.store().register(format!("price[{i}]"), RegionData::F64(vec![0.0; 2])))
+        let result_regions: Vec<Region<f64>> = (0..self.config.swaptions)
+            .map(|i| {
+                rt.store()
+                    .register_zeros(format!("price[{i}]"), 2)
+                    .expect("unique name")
+            })
             .collect();
 
+        // As in Blackscholes, the memoization opt-in is attached per
+        // submission through the fluent builder's `memo(...)` clause.
         let hjm_type = rt.register_task_type(
             TaskTypeBuilder::new("HJM_Swaption_Blocking", move |ctx| {
-                let record = ctx.read_f64(0);
+                let record = ctx.arg::<f64>(0);
                 let (price, stderr) = price_swaption(&record, steps);
-                ctx.write_f64(1, &[price, stderr]);
+                ctx.out(1, &[price, stderr]);
             })
-            .memoizable()
-            .atm_params(self.atm_params())
+            .arg::<f64>()
+            .out::<f64>()
             .build(),
         );
 
+        let atm_params = self.atm_params();
         harness.start_timer();
         for (record, result) in record_regions.iter().zip(&result_regions) {
-            harness.runtime().submit(TaskDesc::new(
-                hjm_type,
-                vec![Access::input(*record, ElemType::F64), Access::output(*result, ElemType::F64)],
-            ));
+            harness
+                .runtime()
+                .task(hjm_type)
+                .reads(record)
+                .writes(result)
+                .memo(atm_params)
+                .submit()
+                .expect("HJM submission matches the declared signature");
         }
 
         harness.finish(move |store| {
-            result_regions.iter().map(|r| store.read(*r).lock().as_f64()[0]).collect()
+            result_regions
+                .iter()
+                .map(|r| store.read(*r).lock().as_f64()[0])
+                .collect()
         })
     }
 
@@ -316,22 +367,38 @@ mod tests {
     fn static_atm_is_exact_and_reuses_only_exact_duplicates() {
         let app = Swaptions::at_scale(Scale::Tiny);
         let run = app.run_tasked(&RunOptions::with_atm(1, AtmConfig::static_atm()));
-        assert_eq!(app.output_error(&run.output), 0.0, "static ATM must be exact");
+        assert_eq!(
+            app.output_error(&run.output),
+            0.0,
+            "static ATM must be exact"
+        );
         // Tiny scale: 96 swaptions, 12 distinct; the even replicas of each
         // pool entry are exact copies, the odd replicas carry distinct
         // perturbations — so exact matching can find at most the even ones.
         let reuse = run.reuse_percent();
-        assert!(reuse > 5.0 && reuse < 60.0, "static reuse should be modest, got {reuse:.1}%");
+        assert!(
+            reuse > 5.0 && reuse < 60.0,
+            "static reuse should be modest, got {reuse:.1}%"
+        );
     }
 
     #[test]
     fn dynamic_atm_trains_reuses_and_stays_accurate() {
         let app = Swaptions::at_scale(Scale::Tiny);
         let run = app.run_tasked(&RunOptions::with_atm(1, AtmConfig::dynamic_atm()));
-        assert!(run.atm_stats.training_hits > 0, "the training phase must verify some approximations");
-        assert!(run.reuse_percent() > 0.0, "dynamic ATM must bypass some swaptions after training");
+        assert!(
+            run.atm_stats.training_hits > 0,
+            "the training phase must verify some approximations"
+        );
+        assert!(
+            run.reuse_percent() > 0.0,
+            "dynamic ATM must bypass some swaptions after training"
+        );
         let correctness = app.correctness_percent(&run.output);
-        assert!(correctness > 90.0, "dynamic Swaptions correctness too low: {correctness:.2}%");
+        assert!(
+            correctness > 90.0,
+            "dynamic Swaptions correctness too low: {correctness:.2}%"
+        );
     }
 
     #[test]

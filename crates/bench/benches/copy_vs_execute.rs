@@ -5,55 +5,79 @@
 //! the task (10.75× / 10.31× on their machine). This bench reproduces the
 //! *measurement* for two representative kernels: a Blackscholes block and a
 //! Jacobi stencil block.
+//!
+//! Run with: `cargo bench --bench copy_vs_execute`
 
 use atm_apps::blackscholes::{price_block, FIELDS};
 use atm_apps::stencil::jacobi_block;
 use atm_core::OutputSnapshot;
-use atm_runtime::{Access, DataStore, ElemType, RegionData};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use atm_eval::bench;
+use atm_runtime::{Access, DataStore};
 
-fn blackscholes_block(c: &mut Criterion) {
+fn blackscholes_block() {
     let block = 4096usize;
     let options: Vec<f32> = (0..block)
         .flat_map(|i| {
             let base = 50.0 + (i % 100) as f32;
-            [base, base * 0.95, 0.05, 0.2, 1.0 + (i % 5) as f32, (i % 2) as f32]
+            [
+                base,
+                base * 0.95,
+                0.05,
+                0.2,
+                1.0 + (i % 5) as f32,
+                (i % 2) as f32,
+            ]
         })
         .collect();
     let mut prices = vec![0.0f32; block];
+    assert_eq!(options.len(), block * FIELDS);
 
     let store = DataStore::new();
-    let out_region = store.register("prices", RegionData::F32(vec![1.0; block]));
-    let snapshot = OutputSnapshot::capture(&store, &Access::output(out_region, ElemType::F32));
-    let dst_region = store.register("dst", RegionData::F32(vec![0.0; block]));
-    let dst_access = Access::output(dst_region, ElemType::F32);
+    let out_region = store.register_typed("prices", vec![1.0f32; block]).unwrap();
+    let snapshot = OutputSnapshot::capture(&store, &Access::write(&out_region));
+    let dst_region = store.register_zeros::<f32>("dst", block).unwrap();
+    let dst_access = Access::write(&dst_region);
 
-    let mut group = c.benchmark_group("copy_vs_execute_blackscholes");
-    group.measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200)).sample_size(10);
-    group.bench_function("execute_block", |b| b.iter(|| price_block(&options, &mut prices)));
-    group.bench_function("copy_outputs_from_tht", |b| b.iter(|| snapshot.apply_to(&store, &dst_access)));
-    group.finish();
-    assert_eq!(options.len(), block * FIELDS);
+    let execute = bench("copy_vs_execute_blackscholes", "execute_block", || {
+        price_block(&options, &mut prices)
+    });
+    let copy = bench(
+        "copy_vs_execute_blackscholes",
+        "copy_outputs_from_tht",
+        || snapshot.apply_to(&store, &dst_access),
+    );
+    println!(
+        "copy_vs_execute_blackscholes: copy is {:.2}x faster than execute\n",
+        execute.median_ns / copy.median_ns
+    );
 }
 
-fn jacobi_stencil_block(c: &mut Criterion) {
+fn jacobi_stencil_block() {
     let bs = 96usize;
     let center = vec![0.3f32; bs * bs];
     let halo = vec![1.0f32; bs];
 
     let store = DataStore::new();
-    let out_region = store.register("block", RegionData::F32(vec![0.5; bs * bs]));
-    let snapshot = OutputSnapshot::capture(&store, &Access::output(out_region, ElemType::F32));
-    let dst_region = store.register("dst", RegionData::F32(vec![0.0; bs * bs]));
-    let dst_access = Access::output(dst_region, ElemType::F32);
+    let out_region = store
+        .register_typed("block", vec![0.5f32; bs * bs])
+        .unwrap();
+    let snapshot = OutputSnapshot::capture(&store, &Access::write(&out_region));
+    let dst_region = store.register_zeros::<f32>("dst", bs * bs).unwrap();
+    let dst_access = Access::write(&dst_region);
 
-    let mut group = c.benchmark_group("copy_vs_execute_stencil");
-    group.measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200)).sample_size(10);
-    group.bench_function("execute_block", |b| b.iter(|| jacobi_block(&center, &halo, &halo, &halo, &halo, bs)));
-    group.bench_function("copy_outputs_from_tht", |b| b.iter(|| snapshot.apply_to(&store, &dst_access)));
-    group.finish();
+    let execute = bench("copy_vs_execute_stencil", "execute_block", || {
+        let _ = jacobi_block(&center, &halo, &halo, &halo, &halo, bs);
+    });
+    let copy = bench("copy_vs_execute_stencil", "copy_outputs_from_tht", || {
+        snapshot.apply_to(&store, &dst_access)
+    });
+    println!(
+        "copy_vs_execute_stencil: copy is {:.2}x faster than execute\n",
+        execute.median_ns / copy.median_ns
+    );
 }
 
-criterion_group!(benches, blackscholes_block, jacobi_stencil_block);
-criterion_main!(benches);
+fn main() {
+    blackscholes_block();
+    jacobi_stencil_block();
+}

@@ -1,22 +1,23 @@
 //! Hash-key generation cost as a function of the selection percentage `p`
 //! and of the task-input size (§III-B: the hashing overhead is what Dynamic
 //! ATM reduces by selecting a small `p`).
+//!
+//! Run with: `cargo bench --bench hash_keygen`
 
 use atm_core::{KeyGenerator, Percentage};
-use atm_runtime::{Access, DataStore, ElemType, RegionData};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
+use atm_eval::bench;
+use atm_runtime::{Access, DataStore};
 
-fn keygen_vs_percentage(c: &mut Criterion) {
+fn keygen_vs_percentage() {
     let store = DataStore::new();
     // 1 MiB of f32 input, comparable to a mid-sized stencil block.
     let elems = 256 * 1024;
-    let region = store.register("input", RegionData::F32((0..elems).map(|i| i as f32).collect()));
-    let accesses = vec![Access::input(region, ElemType::F32)];
+    let region = store
+        .register_typed("input", (0..elems).map(|i| i as f32).collect::<Vec<f32>>())
+        .unwrap();
+    let accesses = vec![Access::read(&region)];
     let keygen = KeyGenerator::new(7, true);
 
-    let mut group = c.benchmark_group("hash_keygen_vs_p");
-    group.measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200)).sample_size(10);
     for (label, p) in [
         ("p=2^-15", Percentage::MIN),
         ("p=0.1%", Percentage::from_fraction(0.001)),
@@ -24,31 +25,40 @@ fn keygen_vs_percentage(c: &mut Criterion) {
         ("p=25%", Percentage::from_fraction(0.25)),
         ("p=100%", Percentage::FULL),
     ] {
-        group.throughput(Throughput::Bytes(p.bytes_of(elems * 4) as u64));
-        group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| keygen.compute(&store, &accesses, p))
+        let result = bench("hash_keygen_vs_p", label, || {
+            let _ = keygen.compute(&store, &accesses, p);
         });
+        println!(
+            "  -> {:.1} MiB/s over the selected bytes",
+            result.mib_per_second(p.bytes_of(elems * 4))
+        );
     }
-    group.finish();
 }
 
-fn keygen_vs_input_size(c: &mut Criterion) {
+fn keygen_vs_input_size() {
     let store = DataStore::new();
     let keygen = KeyGenerator::new(9, true);
-    let mut group = c.benchmark_group("hash_keygen_vs_input_size");
-    group.measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200)).sample_size(10);
     for kib in [4usize, 64, 1024] {
         let elems = kib * 1024 / 4;
-        let region =
-            store.register(format!("in_{kib}k"), RegionData::F32((0..elems).map(|i| i as f32).collect()));
-        let accesses = vec![Access::input(region, ElemType::F32)];
-        group.throughput(Throughput::Bytes((elems * 4) as u64));
-        group.bench_function(BenchmarkId::new("full_p", format!("{kib}KiB")), |b| {
-            b.iter(|| keygen.compute(&store, &accesses, Percentage::FULL))
-        });
+        let region = store
+            .register_typed(
+                format!("in_{kib}k"),
+                (0..elems).map(|i| i as f32).collect::<Vec<f32>>(),
+            )
+            .unwrap();
+        let accesses = vec![Access::read(&region)];
+        let result = bench(
+            "hash_keygen_vs_input_size",
+            &format!("full_p/{kib}KiB"),
+            || {
+                let _ = keygen.compute(&store, &accesses, Percentage::FULL);
+            },
+        );
+        println!("  -> {:.1} MiB/s", result.mib_per_second(elems * 4));
     }
-    group.finish();
 }
 
-criterion_group!(benches, keygen_vs_percentage, keygen_vs_input_size);
-criterion_main!(benches);
+fn main() {
+    keygen_vs_percentage();
+    keygen_vs_input_size();
+}

@@ -2,29 +2,23 @@
 //! the baseline runtime, Static ATM and Dynamic ATM. The relative ordering
 //! of these three bars is the headline result of the paper (Figure 3) in
 //! miniature.
+//!
+//! Run with: `cargo bench --bench memoization_e2e`
 
 use atm_apps::blackscholes::{Blackscholes, BlackscholesConfig};
 use atm_apps::{BenchmarkApp, RunOptions, Scale};
 use atm_core::AtmConfig;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use atm_eval::bench;
 
-fn blackscholes_end_to_end(c: &mut Criterion) {
+fn main() {
     let app = Blackscholes::new(BlackscholesConfig::for_scale(Scale::Tiny));
-    let mut group = c.benchmark_group("blackscholes_e2e");
-    group
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(300))
-        .sample_size(10);
-    group.bench_function("baseline", |b| b.iter(|| app.run_tasked(&RunOptions::baseline(2))));
-    group.bench_function("static_atm", |b| {
-        b.iter(|| app.run_tasked(&RunOptions::with_atm(2, AtmConfig::static_atm())))
+    bench("blackscholes_e2e", "baseline", || {
+        let _ = app.run_tasked(&RunOptions::baseline(2));
     });
-    group.bench_function("dynamic_atm", |b| {
-        b.iter(|| app.run_tasked(&RunOptions::with_atm(2, AtmConfig::dynamic_atm())))
+    bench("blackscholes_e2e", "static_atm", || {
+        let _ = app.run_tasked(&RunOptions::with_atm(2, AtmConfig::static_atm()));
     });
-    group.finish();
+    bench("blackscholes_e2e", "dynamic_atm", || {
+        let _ = app.run_tasked(&RunOptions::with_atm(2, AtmConfig::dynamic_atm()));
+    });
 }
-
-criterion_group!(benches, blackscholes_end_to_end);
-criterion_main!(benches);

@@ -1,64 +1,77 @@
 //! Task History Table and In-flight Key Table operation costs: lookup hits,
 //! lookup misses, inserts with FIFO eviction, IKT producer/waiter traffic.
+//!
+//! Run with: `cargo bench --bench tht_ops`
 
 use atm_core::{EntryKey, InFlightKeyTable, OutputSnapshot, TaskHistoryTable, ThtConfig, Waiter};
-use atm_runtime::{Access, DataStore, ElemType, RegionData, TaskId, TaskTypeId};
-use criterion::{criterion_group, criterion_main, Criterion};
+use atm_eval::bench;
+use atm_runtime::{Access, DataStore, TaskId, TaskTypeId};
 use std::sync::Arc;
-use std::time::Duration;
 
 fn snapshot(store: &DataStore, len: usize, tag: &str) -> Arc<Vec<OutputSnapshot>> {
-    let region = store.register(tag, RegionData::F32(vec![1.0; len]));
-    Arc::new(vec![OutputSnapshot::capture(store, &Access::output(region, ElemType::F32))])
+    let region = store.register_typed(tag, vec![1.0f32; len]).unwrap();
+    Arc::new(vec![OutputSnapshot::capture(
+        store,
+        &Access::write(&region),
+    )])
 }
 
 fn key(hash: u64) -> EntryKey {
     EntryKey::new(TaskTypeId::from_raw(0), hash, 1.0)
 }
 
-fn tht_operations(c: &mut Criterion) {
+fn tht_operations() {
     let store = DataStore::new();
     let outputs = snapshot(&store, 1024, "out");
 
-    let mut group = c.benchmark_group("tht");
-    group.measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200)).sample_size(10);
-
     // Pre-populated table for hit/miss lookups.
-    let tht = TaskHistoryTable::new(ThtConfig { bucket_bits: 8, ways: 128 });
+    let tht = TaskHistoryTable::new(ThtConfig {
+        bucket_bits: 8,
+        ways: 128,
+    });
     for i in 0..4096u64 {
-        tht.insert(key(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)), TaskId::from_raw(i), Arc::clone(&outputs));
+        tht.insert(
+            key(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            TaskId::from_raw(i),
+            Arc::clone(&outputs),
+        );
     }
     let hit_key = key(5u64.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    group.bench_function("lookup_hit", |b| b.iter(|| tht.lookup(&hit_key)));
+    bench("tht", "lookup_hit", || {
+        let _ = tht.lookup(&hit_key);
+    });
     let miss_key = key(0xDEAD_BEEF_0000_0001);
-    group.bench_function("lookup_miss", |b| b.iter(|| tht.lookup(&miss_key)));
-
-    group.bench_function("insert_with_fifo_eviction", |b| {
-        let tht = TaskHistoryTable::new(ThtConfig { bucket_bits: 4, ways: 16 });
-        let mut i = 0u64;
-        b.iter(|| {
-            tht.insert(key(i), TaskId::from_raw(i), Arc::clone(&outputs));
-            i = i.wrapping_add(1);
-        })
+    bench("tht", "lookup_miss", || {
+        let _ = tht.lookup(&miss_key);
     });
-    group.finish();
 
-    let mut group = c.benchmark_group("ikt");
-    group.measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200)).sample_size(10);
-    group.bench_function("register_then_retire", |b| {
-        let ikt = InFlightKeyTable::new();
-        let mut i = 0u64;
-        b.iter(|| {
-            let k = key(i);
-            ikt.register_producer(k, TaskId::from_raw(i));
-            ikt.register_waiter(&k, Waiter { task: TaskId::from_raw(i + 1), accesses: vec![] });
-            let waiters = ikt.retire(&k, TaskId::from_raw(i));
-            i = i.wrapping_add(2);
-            waiters
-        })
+    let evicting = TaskHistoryTable::new(ThtConfig {
+        bucket_bits: 4,
+        ways: 16,
     });
-    group.finish();
+    let mut i = 0u64;
+    bench("tht", "insert_with_fifo_eviction", || {
+        evicting.insert(key(i), TaskId::from_raw(i), Arc::clone(&outputs));
+        i = i.wrapping_add(1);
+    });
+
+    let ikt = InFlightKeyTable::new();
+    let mut j = 0u64;
+    bench("ikt", "register_then_retire", || {
+        let k = key(j);
+        ikt.register_producer(k, TaskId::from_raw(j));
+        ikt.register_waiter(
+            &k,
+            Waiter {
+                task: TaskId::from_raw(j + 1),
+                accesses: vec![],
+            },
+        );
+        let _ = ikt.retire(&k, TaskId::from_raw(j));
+        j = j.wrapping_add(2);
+    });
 }
 
-criterion_group!(benches, tht_operations);
-criterion_main!(benches);
+fn main() {
+    tht_operations();
+}

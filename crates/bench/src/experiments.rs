@@ -140,7 +140,10 @@ pub fn table2(ctx: &EvalContext) -> Report {
         "Table II — Dynamic ATM parameters",
         "benchmark,l_training,tau_max_percent",
     );
-    report.linef(format_args!("{:<13} {:>10} {:>9}", "Benchmark", "Ltraining", "tau_max"));
+    report.linef(format_args!(
+        "{:<13} {:>10} {:>9}",
+        "Benchmark", "Ltraining", "tau_max"
+    ));
     for id in AppId::ALL {
         let params = ctx.app(id).atm_params();
         report.linef(format_args!(
@@ -149,7 +152,12 @@ pub fn table2(ctx: &EvalContext) -> Report {
             params.l_training,
             params.tau_max * 100.0
         ));
-        report.row(format!("{},{},{}", id.short_name(), params.l_training, params.tau_max * 100.0));
+        report.row(format!(
+            "{},{},{}",
+            id.short_name(),
+            params.l_training,
+            params.tau_max * 100.0
+        ));
     }
     report
 }
@@ -167,7 +175,10 @@ pub fn table3(ctx: &EvalContext) -> Report {
     ));
     let mut overheads = Vec::new();
     for id in AppId::ALL {
-        let m = ctx.measure(id, &RunOptions::with_atm(ctx.workers, AtmConfig::dynamic_atm()));
+        let m = ctx.measure(
+            id,
+            &RunOptions::with_atm(ctx.workers, AtmConfig::dynamic_atm()),
+        );
         let overhead = m.memory_overhead_percent;
         overheads.push(overhead);
         report.linef(format_args!(
@@ -206,19 +217,40 @@ pub fn sizing(ctx: &EvalContext) -> Report {
 
     report.line("N sweep (Blackscholes, Dynamic ATM, M = 128):");
     for &n in &n_values {
-        let config = AtmConfig::dynamic_atm().with_tht(ThtConfig { bucket_bits: n, ways: 128 });
-        let m = ctx.measure(AppId::Blackscholes, &RunOptions::with_atm(ctx.workers, config));
+        let config = AtmConfig::dynamic_atm().with_tht(ThtConfig {
+            bucket_bits: n,
+            ways: 128,
+        });
+        let m = ctx.measure(
+            AppId::Blackscholes,
+            &RunOptions::with_atm(ctx.workers, config),
+        );
         let speedup = ctx.speedup(AppId::Blackscholes, ctx.workers, &m);
-        report.linef(format_args!("  N = {n:>2}  speedup {speedup:>6.2}x  reuse {:>5.1}%", m.reuse_percent));
-        report.row(format!("blackscholes,N,{n},{speedup:.4},{:.2}", m.reuse_percent));
+        report.linef(format_args!(
+            "  N = {n:>2}  speedup {speedup:>6.2}x  reuse {:>5.1}%",
+            m.reuse_percent
+        ));
+        report.row(format!(
+            "blackscholes,N,{n},{speedup:.4},{:.2}",
+            m.reuse_percent
+        ));
     }
     report.line("M sweep (Kmeans, Dynamic ATM, N = 8):");
     for &ways in &m_values {
-        let config = AtmConfig::dynamic_atm().with_tht(ThtConfig { bucket_bits: 8, ways });
+        let config = AtmConfig::dynamic_atm().with_tht(ThtConfig {
+            bucket_bits: 8,
+            ways,
+        });
         let m = ctx.measure(AppId::Kmeans, &RunOptions::with_atm(ctx.workers, config));
         let speedup = ctx.speedup(AppId::Kmeans, ctx.workers, &m);
-        report.linef(format_args!("  M = {ways:>3}  speedup {speedup:>6.2}x  reuse {:>5.1}%", m.reuse_percent));
-        report.row(format!("kmeans,M,{ways},{speedup:.4},{:.2}", m.reuse_percent));
+        report.linef(format_args!(
+            "  M = {ways:>3}  speedup {speedup:>6.2}x  reuse {:>5.1}%",
+            m.reuse_percent
+        ));
+        report.row(format!(
+            "kmeans,M,{ways},{speedup:.4},{:.2}",
+            m.reuse_percent
+        ));
     }
     report
 }
@@ -239,7 +271,13 @@ pub fn figure3(ctx: &EvalContext) -> Report {
     ];
     report.linef(format_args!(
         "{:<13} {:>14} {:>15} {:>18} {:>19} {:>13} {:>12}",
-        "Benchmark", "Static(THT)", "Dynamic(THT)", "Static(THT+IKT)", "Dynamic(THT+IKT)", "Oracle(100%)", "Oracle(95%)"
+        "Benchmark",
+        "Static(THT)",
+        "Dynamic(THT)",
+        "Static(THT+IKT)",
+        "Dynamic(THT+IKT)",
+        "Oracle(100%)",
+        "Oracle(95%)"
     ));
 
     let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); 6];
@@ -266,7 +304,14 @@ pub fn figure3(ctx: &EvalContext) -> Report {
             row[4],
             row[5]
         ));
-        let labels = ["static_tht", "dynamic_tht", "static_tht_ikt", "dynamic_tht_ikt", "oracle_100", "oracle_95"];
+        let labels = [
+            "static_tht",
+            "dynamic_tht",
+            "static_tht_ikt",
+            "dynamic_tht_ikt",
+            "oracle_100",
+            "oracle_95",
+        ];
         for (label, value) in labels.iter().zip(&row) {
             report.row(format!("{},{},{:.4}", id.short_name(), label, value));
         }
@@ -279,7 +324,14 @@ pub fn figure3(ctx: &EvalContext) -> Report {
         "{:<13} {:>13.2}x {:>14.2}x {:>17.2}x {:>18.2}x {:>12.2}x {:>11.2}x",
         "geomean", geo[0], geo[1], geo[2], geo[3], geo[4], geo[5]
     ));
-    let labels = ["static_tht", "dynamic_tht", "static_tht_ikt", "dynamic_tht_ikt", "oracle_100", "oracle_95"];
+    let labels = [
+        "static_tht",
+        "dynamic_tht",
+        "static_tht_ikt",
+        "dynamic_tht_ikt",
+        "oracle_100",
+        "oracle_95",
+    ];
     for (label, value) in labels.iter().zip(&geo) {
         report.row(format!("geomean,{label},{value:.4}"));
     }
@@ -299,8 +351,18 @@ pub fn figure4(ctx: &EvalContext) -> Report {
     ));
     let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); 3];
     for id in AppId::ALL {
-        let static_c = ctx.measure(id, &RunOptions::with_atm(ctx.workers, AtmConfig::static_atm())).correctness;
-        let dynamic_c = ctx.measure(id, &RunOptions::with_atm(ctx.workers, AtmConfig::dynamic_atm())).correctness;
+        let static_c = ctx
+            .measure(
+                id,
+                &RunOptions::with_atm(ctx.workers, AtmConfig::static_atm()),
+            )
+            .correctness;
+        let dynamic_c = ctx
+            .measure(
+                id,
+                &RunOptions::with_atm(ctx.workers, AtmConfig::dynamic_atm()),
+            )
+            .correctness;
         let oracle_c = ctx
             .measure_oracle(id, ctx.workers, 95.0)
             .map(|m| m.correctness)
@@ -312,7 +374,11 @@ pub fn figure4(ctx: &EvalContext) -> Report {
             dynamic_c,
             oracle_c
         ));
-        for (label, value) in [("static", static_c), ("dynamic", dynamic_c), ("oracle_95", oracle_c)] {
+        for (label, value) in [
+            ("static", static_c),
+            ("dynamic", dynamic_c),
+            ("oracle_95", oracle_c),
+        ] {
             report.row(format!("{},{},{:.4}", id.short_name(), label, value));
         }
         per_config[0].push(static_c);
@@ -339,7 +405,10 @@ pub fn figure5(ctx: &EvalContext) -> Report {
     );
     for id in AppId::ALL {
         let sweep = ctx.p_sweep(id);
-        let dynamic_run = ctx.measure(id, &RunOptions::with_atm(ctx.workers, AtmConfig::dynamic_atm()));
+        let dynamic_run = ctx.measure(
+            id,
+            &RunOptions::with_atm(ctx.workers, AtmConfig::dynamic_atm()),
+        );
         let chosen = dynamic_run.final_p.unwrap_or(1.0);
         report.linef(format_args!(
             "{} (dynamic ATM chose p = {:.5}%, correctness {:.2}%):",
@@ -348,7 +417,11 @@ pub fn figure5(ctx: &EvalContext) -> Report {
             dynamic_run.correctness
         ));
         for entry in sweep.iter() {
-            let star = if (entry.p - chosen).abs() / chosen.max(1e-12) < 0.5 { "  <-- dynamic" } else { "" };
+            let star = if (entry.p - chosen).abs() / chosen.max(1e-12) < 0.5 {
+                "  <-- dynamic"
+            } else {
+                ""
+            };
             report.linef(format_args!(
                 "  p = {:>9.5}%  correctness {:>7.2}%  reuse {:>5.1}%{}",
                 entry.p * 100.0,
@@ -390,8 +463,18 @@ pub fn figure6(ctx: &EvalContext) -> Report {
             report.linef(format_args!(
                 "  {workers} cores: dynamic {dynamic_speedup:>6.2}x   oracle(95%) {oracle_speedup:>6.2}x"
             ));
-            report.row(format!("{},{},dynamic,{:.4}", id.short_name(), workers, dynamic_speedup));
-            report.row(format!("{},{},oracle_95,{:.4}", id.short_name(), workers, oracle_speedup));
+            report.row(format!(
+                "{},{},dynamic,{:.4}",
+                id.short_name(),
+                workers,
+                dynamic_speedup
+            ));
+            report.row(format!(
+                "{},{},oracle_95,{:.4}",
+                id.short_name(),
+                workers,
+                oracle_speedup
+            ));
         }
     }
     report
@@ -413,13 +496,28 @@ pub fn figure7(ctx: &EvalContext) -> Report {
     for workers in [2usize, 8] {
         let options = RunOptions::with_atm(workers, AtmConfig::fixed_p(oracle_p)).traced();
         let m = ctx.measure(AppId::GaussSeidel, &options);
-        report.linef(format_args!("{} cores (p = {:.4}%):", workers, oracle_p * 100.0));
+        report.linef(format_args!(
+            "{} cores (p = {:.4}%):",
+            workers,
+            oracle_p * 100.0
+        ));
         if let Some(trace) = &m.run.trace {
             for state in ThreadState::ALL {
                 let ms = trace.state_ns(state) as f64 / 1e6;
                 let fraction = trace.state_fraction(state);
-                report.linef(format_args!("  {:<28} {:>9.3} ms  ({:>5.1}%)", state.label(), ms, fraction * 100.0));
-                report.row(format!("{},{},{:.4},{:.4}", workers, state.label(), ms, fraction));
+                report.linef(format_args!(
+                    "  {:<28} {:>9.3} ms  ({:>5.1}%)",
+                    state.label(),
+                    ms,
+                    fraction * 100.0
+                ));
+                report.row(format!(
+                    "{},{},{:.4},{:.4}",
+                    workers,
+                    state.label(),
+                    ms,
+                    fraction
+                ));
             }
         } else {
             report.line("  (tracing unavailable)");
@@ -439,7 +537,10 @@ pub fn figure8(ctx: &EvalContext) -> Report {
         "Figure 8 — Blackscholes ready tasks over time, with and without ATM",
         "configuration,sample_index,time_ms,ready_depth",
     );
-    for (label, config) in [("no ATM", None), ("dynamic ATM", Some(AtmConfig::dynamic_atm()))] {
+    for (label, config) in [
+        ("no ATM", None),
+        ("dynamic ATM", Some(AtmConfig::dynamic_atm())),
+    ] {
         let options = match config {
             Some(atm) => RunOptions::with_atm(ctx.workers, atm).traced(),
             None => RunOptions::baseline(ctx.workers).traced(),
@@ -459,7 +560,13 @@ pub fn figure8(ctx: &EvalContext) -> Report {
         // Down-sample the series to ~32 points for the textual output.
         let step = (samples.len() / 32).max(1);
         for (i, sample) in samples.iter().enumerate().step_by(step) {
-            report.row(format!("{},{},{:.4},{}", label.replace(' ', "_"), i, sample.at_ns as f64 / 1e6, sample.depth));
+            report.row(format!(
+                "{},{},{:.4},{}",
+                label.replace(' ', "_"),
+                i,
+                sample.at_ns as f64 / 1e6,
+                sample.depth
+            ));
         }
         report.linef(format_args!(
             "  depth profile (each char = {} samples): {}",
@@ -495,10 +602,17 @@ pub fn figure9(ctx: &EvalContext) -> Report {
         "benchmark,normalized_task_id,cumulative_reuse_fraction",
     );
     for id in AppId::ALL {
-        let m = ctx.measure(id, &RunOptions::with_atm(ctx.workers, AtmConfig::dynamic_atm()));
+        let m = ctx.measure(
+            id,
+            &RunOptions::with_atm(ctx.workers, AtmConfig::dynamic_atm()),
+        );
         let total_tasks = m.run.runtime_stats.submitted.max(1);
-        let mut producer_ids: Vec<u64> =
-            m.run.reuse_events.iter().map(|e| e.producer.index() as u64).collect();
+        let mut producer_ids: Vec<u64> = m
+            .run
+            .reuse_events
+            .iter()
+            .map(|e| e.producer.index() as u64)
+            .collect();
         producer_ids.sort_unstable();
         let total_reuse = producer_ids.len();
         report.linef(format_args!(
@@ -520,7 +634,12 @@ pub fn figure9(ctx: &EvalContext) -> Report {
             let generated = producer_ids.iter().filter(|&&p| p <= cutoff).count();
             let fraction = generated as f64 / total_reuse as f64;
             line.push_str(&format!("{:.2} ", fraction));
-            report.row(format!("{},{:.1},{:.4}", id.short_name(), decile as f64 / 10.0, fraction));
+            report.row(format!(
+                "{},{:.1},{:.4}",
+                id.short_name(),
+                decile as f64 / 10.0,
+                fraction
+            ));
         }
         report.line(line);
     }
@@ -562,18 +681,32 @@ mod tests {
         let ctx = EvalContext::new(Scale::Tiny, 1);
         let report = figure9(&ctx);
         for id in AppId::ALL {
-            let rows: Vec<&String> =
-                report.csv_rows.iter().filter(|r| r.starts_with(id.short_name())).collect();
+            let rows: Vec<&String> = report
+                .csv_rows
+                .iter()
+                .filter(|r| r.starts_with(id.short_name()))
+                .collect();
             assert!(!rows.is_empty(), "{id} must contribute rows to figure 9");
             // Cumulative fractions must be non-decreasing and end at 1.0
             // (or stay at 0.0 when no reuse was generated at all).
-            let fractions: Vec<f64> =
-                rows.iter().map(|r| r.rsplit(',').next().unwrap().parse().unwrap()).collect();
-            assert!(fractions.windows(2).all(|w| w[1] >= w[0] - 1e-9), "{id}: curve not monotone: {fractions:?}");
+            let fractions: Vec<f64> = rows
+                .iter()
+                .map(|r| r.rsplit(',').next().unwrap().parse().unwrap())
+                .collect();
+            assert!(
+                fractions.windows(2).all(|w| w[1] >= w[0] - 1e-9),
+                "{id}: curve not monotone: {fractions:?}"
+            );
             let last = *fractions.last().unwrap();
-            assert!(last == 0.0 || (last - 1.0).abs() < 1e-9, "{id}: curve must end at 0 or 1, got {last}");
+            assert!(
+                last == 0.0 || (last - 1.0).abs() < 1e-9,
+                "{id}: curve must end at 0 or 1, got {last}"
+            );
         }
         // At least one benchmark must actually generate reuse at tiny scale.
-        assert!(report.csv_rows.iter().any(|r| r.ends_with("1.0000")), "no benchmark generated any reuse");
+        assert!(
+            report.csv_rows.iter().any(|r| r.ends_with("1.0000")),
+            "no benchmark generated any reuse"
+        );
     }
 }

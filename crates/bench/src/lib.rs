@@ -17,8 +17,10 @@
 
 pub mod experiments;
 pub mod measure;
+pub mod microbench;
 pub mod report;
 
 pub use experiments::{all_experiments, run_experiment, Experiment};
 pub use measure::{EvalContext, Measurement, OracleTable, PSweepEntry};
+pub use microbench::{bench, BenchResult};
 pub use report::Report;

@@ -35,7 +35,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     while i < args.len() {
         match args[i].as_str() {
             "--list" => {
-                return Err(format!("available experiments: {}", all_experiments().join(" ")));
+                return Err(format!(
+                    "available experiments: {}",
+                    all_experiments().join(" ")
+                ));
             }
             "--scale" => {
                 i += 1;
@@ -56,9 +59,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--csv" => {
                 i += 1;
-                csv_dir = Some(PathBuf::from(
-                    args.get(i).ok_or_else(|| format!("--csv needs a directory\n{}", usage()))?,
-                ));
+                csv_dir =
+                    Some(PathBuf::from(args.get(i).ok_or_else(|| {
+                        format!("--csv needs a directory\n{}", usage())
+                    })?));
             }
             "all" => experiments.extend(Experiment::ALL),
             name => {
@@ -72,7 +76,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     if experiments.is_empty() {
         return Err(usage());
     }
-    Ok(Cli { experiments, scale, workers, csv_dir })
+    Ok(Cli {
+        experiments,
+        scale,
+        workers,
+        csv_dir,
+    })
 }
 
 fn main() -> ExitCode {
@@ -115,8 +124,19 @@ mod tests {
 
     #[test]
     fn parses_experiments_scale_and_workers() {
-        let cli = parse_args(&strings(&["figure3", "table1", "--scale", "tiny", "--workers", "2"])).unwrap();
-        assert_eq!(cli.experiments, vec![Experiment::Figure3, Experiment::Table1]);
+        let cli = parse_args(&strings(&[
+            "figure3",
+            "table1",
+            "--scale",
+            "tiny",
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli.experiments,
+            vec![Experiment::Figure3, Experiment::Table1]
+        );
         assert_eq!(cli.scale, Scale::Tiny);
         assert_eq!(cli.workers, 2);
         assert!(cli.csv_dir.is_none());

@@ -4,7 +4,7 @@
 
 use atm_apps::{build_app, AppId, AppRun, BenchmarkApp, RunOptions, Scale};
 use atm_core::{AtmConfig, Percentage};
-use parking_lot::Mutex;
+use atm_sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -75,7 +75,10 @@ impl EvalContext {
     /// The (cached) generated workload of one application.
     pub fn app(&self, id: AppId) -> Arc<dyn BenchmarkApp> {
         let mut apps = self.apps.lock();
-        Arc::clone(apps.entry(id).or_insert_with(|| Arc::from(build_app(id, self.scale))))
+        Arc::clone(
+            apps.entry(id)
+                .or_insert_with(|| Arc::from(build_app(id, self.scale))),
+        )
     }
 
     /// Runs one application under the given options and packages the result.
@@ -86,7 +89,7 @@ impl EvalContext {
         let final_p = run
             .type_summaries
             .values()
-            .find(|s| !s.name.is_empty() && s.seen > 0 && s.tht_bypassed + s.training_hits + s.ikt_deferred > 0 || s.seen > 0)
+            .find(|s| s.seen > 0)
             .map(|s| s.final_p);
         Measurement {
             wall_seconds: run.wall.as_secs_f64(),
@@ -128,8 +131,10 @@ impl EvalContext {
         let mut entries = Vec::with_capacity(Percentage::STEPS + 1);
         for step in 0..=Percentage::STEPS {
             let p = Percentage::from_training_step(step).fraction();
-            let measurement =
-                self.measure(id, &RunOptions::with_atm(self.workers, AtmConfig::fixed_p(p)));
+            let measurement = self.measure(
+                id,
+                &RunOptions::with_atm(self.workers, AtmConfig::fixed_p(p)),
+            );
             entries.push(PSweepEntry {
                 p,
                 correctness: measurement.correctness,
@@ -149,22 +154,37 @@ impl EvalContext {
         let sweep = self.p_sweep(id);
         let oracle_100 = sweep.iter().find(|e| e.correctness >= 99.999_999).cloned();
         let oracle_95 = sweep.iter().find(|e| e.correctness >= 95.0).cloned();
-        OracleTable { oracle_100, oracle_95 }
+        OracleTable {
+            oracle_100,
+            oracle_95,
+        }
     }
 
     /// Measures an Oracle configuration (a fixed-`p` run) at a given worker
     /// count, or `None` when no `p` in the sweep met the correctness bound.
-    pub fn measure_oracle(&self, id: AppId, workers: usize, min_correctness: f64) -> Option<Measurement> {
+    pub fn measure_oracle(
+        &self,
+        id: AppId,
+        workers: usize,
+        min_correctness: f64,
+    ) -> Option<Measurement> {
         let sweep = self.p_sweep(id);
         let entry = sweep.iter().find(|e| e.correctness >= min_correctness)?;
-        Some(self.measure(id, &RunOptions::with_atm(workers, AtmConfig::fixed_p(entry.p))))
+        Some(self.measure(
+            id,
+            &RunOptions::with_atm(workers, AtmConfig::fixed_p(entry.p)),
+        ))
     }
 }
 
 /// Geometric-mean helper that ignores non-finite values (used for the
 /// "geomean" bars of the figures).
 pub fn geomean(values: &[f64]) -> f64 {
-    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite() && *v > 0.0).collect();
+    let finite: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .collect();
     if finite.is_empty() {
         return f64::NAN;
     }
@@ -180,7 +200,10 @@ mod tests {
         let ctx = EvalContext::new(Scale::Tiny, 2);
         let baseline = ctx.baseline_seconds(AppId::Blackscholes, 2);
         assert!(baseline > 0.0);
-        let atm = ctx.measure(AppId::Blackscholes, &RunOptions::with_atm(2, AtmConfig::static_atm()));
+        let atm = ctx.measure(
+            AppId::Blackscholes,
+            &RunOptions::with_atm(2, AtmConfig::static_atm()),
+        );
         assert!((0.0..=100.0).contains(&atm.correctness));
         assert!(atm.reuse_percent > 0.0);
         let speedup = ctx.speedup(AppId::Blackscholes, 2, &atm);
@@ -203,7 +226,10 @@ mod tests {
         let ctx = EvalContext::new(Scale::Tiny, 1);
         let sweep = ctx.p_sweep(AppId::Blackscholes);
         assert_eq!(sweep.len(), Percentage::STEPS + 1);
-        assert!((sweep.last().unwrap().p - 1.0).abs() < 1e-12, "the sweep must end at p = 100%");
+        assert!(
+            (sweep.last().unwrap().p - 1.0).abs() < 1e-12,
+            "the sweep must end at p = 100%"
+        );
         // p = 100% is exact, so Oracle(100%) always exists.
         let oracle = ctx.oracle(AppId::Blackscholes);
         assert!(oracle.oracle_100.is_some());

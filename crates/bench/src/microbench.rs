@@ -1,0 +1,100 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The bench targets under `benches/` are plain `harness = false` binaries
+//! built on this module: each benchmark warms up, then runs batches of the
+//! measured closure until a time budget is exhausted, and reports the median
+//! per-iteration time. The goal is the *relative ordering* of configurations
+//! (execute vs copy, hash cost vs `p`, …), matching how the paper presents
+//! its micro-measurements; it is not a statistics suite.
+
+use std::time::{Duration, Instant};
+
+/// Default time budget per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(400);
+/// Default warm-up budget per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(80);
+
+/// Result of one measured benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchResult {
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Total iterations executed during measurement.
+    pub iterations: u64,
+}
+
+impl BenchResult {
+    /// Throughput in MiB/s given the bytes processed per iteration.
+    pub fn mib_per_second(&self, bytes_per_iter: usize) -> f64 {
+        if self.median_ns <= 0.0 {
+            return f64::INFINITY;
+        }
+        (bytes_per_iter as f64 / (1024.0 * 1024.0)) / (self.median_ns * 1e-9)
+    }
+}
+
+/// Measures `f`, printing the median per-iteration time under `label`.
+pub fn bench(group: &str, label: &str, mut f: impl FnMut()) -> BenchResult {
+    // Warm-up: also calibrates the batch size so one batch is neither a
+    // single enormous iteration nor millions of timer calls.
+    let warmup_start = Instant::now();
+    let mut warmup_iters = 0u64;
+    while warmup_start.elapsed() < WARMUP_BUDGET {
+        f();
+        warmup_iters += 1;
+    }
+    let per_iter = WARMUP_BUDGET.as_nanos() as u64 / warmup_iters.max(1);
+    let batch = (10_000_000 / per_iter.max(1)).clamp(1, 10_000);
+
+    let mut samples = Vec::new();
+    let mut iterations = 0u64;
+    let measure_start = Instant::now();
+    while measure_start.elapsed() < MEASURE_BUDGET {
+        let batch_start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let elapsed = batch_start.elapsed().as_nanos() as f64;
+        samples.push(elapsed / batch as f64);
+        iterations += batch;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median_ns = samples.get(samples.len() / 2).copied().unwrap_or(f64::NAN);
+    let result = BenchResult {
+        median_ns,
+        iterations,
+    };
+    println!(
+        "{group}/{label:<28} median {:>12.1} ns/iter  ({iterations} iters)",
+        median_ns
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_time_for_real_work() {
+        let mut acc = 0u64;
+        let result = bench("selftest", "sum", || {
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+        });
+        assert!(result.median_ns > 0.0);
+        assert!(result.iterations > 0);
+        assert!(acc > 0);
+    }
+
+    #[test]
+    fn throughput_is_finite_for_positive_times() {
+        let result = BenchResult {
+            median_ns: 1000.0,
+            iterations: 1,
+        };
+        let mib = result.mib_per_second(1024 * 1024);
+        assert!((mib - 1e6).abs() < 1e-6);
+    }
+}

@@ -21,8 +21,18 @@ pub struct Report {
 
 impl Report {
     /// Creates an empty report.
-    pub fn new(id: impl Into<String>, title: impl Into<String>, csv_header: impl Into<String>) -> Self {
-        Report { id: id.into(), title: title.into(), text: String::new(), csv_header: csv_header.into(), csv_rows: Vec::new() }
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        csv_header: impl Into<String>,
+    ) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            text: String::new(),
+            csv_header: csv_header.into(),
+            csv_rows: Vec::new(),
+        }
     }
 
     /// Appends one line to the text block.

@@ -30,7 +30,7 @@ use atm_runtime::{
     DataStore, Decision, RegionId, TaskId, TaskInterceptor, TaskTypeId, TaskView, ThreadState,
     Tracer,
 };
-use parking_lot::Mutex;
+use atm_sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -67,29 +67,46 @@ pub struct AtmConfig {
 
 impl Default for AtmConfig {
     fn default() -> Self {
-        AtmConfig { mode: AtmMode::Static, use_ikt: true, tht: ThtConfig::default(), key_seed: 0x5EED }
+        AtmConfig {
+            mode: AtmMode::Static,
+            use_ikt: true,
+            tht: ThtConfig::default(),
+            key_seed: 0x5EED,
+        }
     }
 }
 
 impl AtmConfig {
     /// Baseline configuration: ATM disabled.
     pub fn off() -> Self {
-        AtmConfig { mode: AtmMode::Off, ..Default::default() }
+        AtmConfig {
+            mode: AtmMode::Off,
+            ..Default::default()
+        }
     }
 
     /// Static ATM (exact memoization).
     pub fn static_atm() -> Self {
-        AtmConfig { mode: AtmMode::Static, ..Default::default() }
+        AtmConfig {
+            mode: AtmMode::Static,
+            ..Default::default()
+        }
     }
 
     /// Dynamic ATM (adaptive approximation).
     pub fn dynamic_atm() -> Self {
-        AtmConfig { mode: AtmMode::Dynamic, ..Default::default() }
+        AtmConfig {
+            mode: AtmMode::Dynamic,
+            ..Default::default()
+        }
     }
 
     /// Oracle-style fixed selection percentage.
     pub fn fixed_p(p: f64) -> Self {
-        AtmConfig { mode: AtmMode::FixedP(p), ..Default::default() }
+        AtmConfig {
+            mode: AtmMode::FixedP(p),
+            ..Default::default()
+        }
     }
 
     /// Disables the IKT (THT-only configurations of Figure 3).
@@ -191,14 +208,22 @@ impl AtmEngine {
     /// ATM memory overhead in bytes: THT contents, IKT bookkeeping and the
     /// cached index-shuffle vectors (Table III numerator).
     pub fn memory_bytes(&self) -> usize {
-        let keygens: usize = self.types.lock().values().map(|t| t.keygen.memory_bytes()).sum();
+        let keygens: usize = self
+            .types
+            .lock()
+            .values()
+            .map(|t| t.keygen.memory_bytes())
+            .sum();
         self.tht.memory_bytes() + self.ikt.memory_bytes() + keygens
     }
 
     /// The selection percentage currently in effect for a task type (the
     /// starred values of Figure 5 / the `p` columns of §V-C).
     pub fn current_p(&self, type_id: TaskTypeId) -> Option<f64> {
-        self.types.lock().get(&type_id).map(|t| t.controller.lock().current_p().fraction())
+        self.types
+            .lock()
+            .get(&type_id)
+            .map(|t| t.controller.lock().current_p().fraction())
     }
 
     fn mode_enabled(&self) -> bool {
@@ -213,12 +238,16 @@ impl AtmEngine {
         let controller = match self.config.mode {
             AtmMode::Off | AtmMode::Static => TrainingController::fixed(Percentage::FULL),
             AtmMode::FixedP(p) => TrainingController::fixed(Percentage::from_fraction(p)),
-            AtmMode::Dynamic => TrainingController::new(view.info.atm.l_training, view.info.atm.tau_max),
+            AtmMode::Dynamic => {
+                let params = view.atm_params();
+                TrainingController::new(params.l_training, params.tau_max)
+            }
         };
         let state = Arc::new(TypeState {
             keygen: KeyGenerator::new(
-                self.config.key_seed ^ (view.type_id.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                view.info.atm.type_aware,
+                self.config.key_seed
+                    ^ (view.type_id.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                view.atm_params().type_aware,
             ),
             controller: Mutex::new(controller),
         });
@@ -244,7 +273,10 @@ impl AtmEngine {
     /// with the given output signature.
     fn entry_matches_shape(outputs: &[OutputSnapshot], signature: &[usize]) -> bool {
         outputs.len() == signature.len()
-            && outputs.iter().zip(signature).all(|(snapshot, &len)| snapshot.elem_range.len() == len)
+            && outputs
+                .iter()
+                .zip(signature)
+                .all(|(snapshot, &len)| snapshot.elem_range.len() == len)
     }
 
     fn writes_unstable_region(&self, state: &TypeState, view: &TaskView<'_>) -> bool {
@@ -252,7 +284,10 @@ impl AtmEngine {
         if controller.unstable_outputs().is_empty() {
             return false;
         }
-        view.accesses.iter().filter(|a| a.mode.is_write()).any(|a| controller.is_unstable(a.region))
+        view.accesses
+            .iter()
+            .filter(|a| a.mode.is_write())
+            .any(|a| controller.is_unstable(a.region))
     }
 
     fn refresh_summaries(&self) {
@@ -309,7 +344,7 @@ impl TaskInterceptor for AtmEngine {
         tracer: &Tracer,
         worker: usize,
     ) -> Decision {
-        if !self.mode_enabled() || !task.info.memoizable {
+        if !self.mode_enabled() || !task.memoizable() {
             return Decision::Execute;
         }
 
@@ -325,7 +360,11 @@ impl TaskInterceptor for AtmEngine {
         let state = self.type_state(&task);
         let (p, training, tau_max) = {
             let controller = state.controller.lock();
-            (controller.current_p(), controller.is_training(), controller.tau_max())
+            (
+                controller.current_p(),
+                controller.is_training(),
+                controller.tau_max(),
+            )
         };
         let _ = tau_max;
 
@@ -333,7 +372,12 @@ impl TaskInterceptor for AtmEngine {
         let hash_start = tracer.now_ns();
         let key_result = state.keygen.compute(store, task.accesses, p);
         let hash_end = tracer.now_ns();
-        tracer.record(worker, ThreadState::HashKeyComputation, hash_start, hash_end);
+        tracer.record(
+            worker,
+            ThreadState::HashKeyComputation,
+            hash_start,
+            hash_end,
+        );
         self.stats.add(&self.stats.hash_ns, hash_end - hash_start);
         let key = EntryKey::new(task.type_id, key_result.key, p.fraction());
 
@@ -342,7 +386,12 @@ impl TaskInterceptor for AtmEngine {
         if !training && self.writes_unstable_region(&state, &task) {
             self.pending.lock().insert(
                 task.id,
-                PendingExec { key, registered_ikt: false, training_reference: None, skip_tht_update: true },
+                PendingExec {
+                    key,
+                    registered_ikt: false,
+                    training_reference: None,
+                    skip_tht_update: true,
+                },
             );
             self.stats.incr(&self.stats.executed);
             return Decision::Execute;
@@ -351,14 +400,17 @@ impl TaskInterceptor for AtmEngine {
         // Task History Table probe. An entry only counts as a hit when its
         // stored outputs have exactly the shape this task declares.
         let signature = Self::output_signature(store, &task);
-        if let Some(entry) =
-            self.tht.lookup(&key).filter(|e| Self::entry_matches_shape(&e.outputs, &signature))
+        if let Some(entry) = self
+            .tht
+            .lookup(&key)
+            .filter(|e| Self::entry_matches_shape(&e.outputs, &signature))
         {
             if training {
                 // Training phase: execute anyway and verify the
                 // approximation in `after_execute`.
                 self.stats.incr(&self.stats.training_hits);
-                self.summaries.update(task.type_id, |s| s.training_hits += 1);
+                self.summaries
+                    .update(task.type_id, |s| s.training_hits += 1);
                 self.pending.lock().insert(
                     task.id,
                     PendingExec {
@@ -380,18 +432,29 @@ impl TaskInterceptor for AtmEngine {
             self.stats.add(&self.stats.copy_ns, copy_end - copy_start);
             self.stats.incr(&self.stats.tht_bypassed);
             self.summaries.update(task.type_id, |s| s.tht_bypassed += 1);
-            self.stats.record_reuse(ReuseEvent { producer: entry.producer, consumer: task.id, from_tht: true });
+            self.stats.record_reuse(ReuseEvent {
+                producer: entry.producer,
+                consumer: task.id,
+                from_tht: true,
+            });
             return Decision::Memoized;
         }
 
         // In-flight Key Table probe (steady state only; during training the
         // task must execute so there is nothing to defer onto).
         if self.config.use_ikt && !training {
-            let waiter = Waiter { task: task.id, accesses: task.accesses.to_vec() };
+            let waiter = Waiter {
+                task: task.id,
+                accesses: task.accesses.to_vec(),
+            };
             if let Some(producer) = self.ikt.register_waiter(&key, waiter) {
                 self.stats.incr(&self.stats.ikt_deferred);
                 self.summaries.update(task.type_id, |s| s.ikt_deferred += 1);
-                self.stats.record_reuse(ReuseEvent { producer, consumer: task.id, from_tht: false });
+                self.stats.record_reuse(ReuseEvent {
+                    producer,
+                    consumer: task.id,
+                    from_tht: false,
+                });
                 return Decision::Deferred;
             }
         }
@@ -400,7 +463,12 @@ impl TaskInterceptor for AtmEngine {
         let registered_ikt = self.config.use_ikt && self.ikt.register_producer(key, task.id);
         self.pending.lock().insert(
             task.id,
-            PendingExec { key, registered_ikt, training_reference: None, skip_tht_update: false },
+            PendingExec {
+                key,
+                registered_ikt,
+                training_reference: None,
+                skip_tht_update: false,
+            },
         );
         self.stats.incr(&self.stats.executed);
         Decision::Execute
@@ -414,7 +482,7 @@ impl TaskInterceptor for AtmEngine {
         worker: usize,
         executed: bool,
     ) -> Vec<TaskId> {
-        if !self.mode_enabled() || !task.info.memoizable || !executed {
+        if !self.mode_enabled() || !task.memoizable() || !executed {
             return Vec::new();
         }
         let Some(pending) = self.pending.lock().remove(&task.id) else {
@@ -452,7 +520,9 @@ impl TaskInterceptor for AtmEngine {
         if pending.registered_ikt {
             let waiters = self.ikt.retire(&pending.key, task.id);
             if !waiters.is_empty() {
-                let snaps = outputs.as_ref().expect("snapshot exists when registered in the IKT");
+                let snaps = outputs
+                    .as_ref()
+                    .expect("snapshot exists when registered in the IKT");
                 for waiter in waiters {
                     let waiter_signature: Vec<usize> = waiter
                         .accesses
@@ -497,7 +567,7 @@ impl TaskInterceptor for AtmEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use atm_runtime::{Access, AtmTaskParams, ElemType, RegionData, TaskTypeBuilder};
+    use atm_runtime::{Access, AtmTaskParams, Region, TaskTypeBuilder};
 
     fn view_for<'a>(
         id: u64,
@@ -505,26 +575,30 @@ mod tests {
         info: &'a atm_runtime::TaskTypeInfo,
         accesses: &'a [Access],
     ) -> TaskView<'a> {
-        TaskView { id: TaskId::from_raw(id), type_id: TaskTypeId::from_raw(type_id), info, accesses }
+        TaskView {
+            id: TaskId::from_raw(id),
+            type_id: TaskTypeId::from_raw(type_id),
+            info,
+            accesses,
+            memo: None,
+        }
     }
 
     fn memoizable_info() -> atm_runtime::TaskTypeInfo {
         TaskTypeBuilder::new("square", |ctx| {
-            let x = ctx.read_f64(0);
+            let x = ctx.arg::<f64>(0);
             let out: Vec<f64> = x.iter().map(|v| v * v).collect();
-            ctx.write_f64(1, &out);
+            ctx.out(1, &out);
         })
+        .arg::<f64>()
+        .out::<f64>()
         .memoizable()
         .build()
     }
 
     /// Drives the engine by hand (without the scheduler) the way a worker
     /// would: before_execute, optionally run the kernel, after_execute.
-    fn drive(
-        engine: &AtmEngine,
-        store: &DataStore,
-        view: TaskView<'_>,
-    ) -> (Decision, Vec<TaskId>) {
+    fn drive(engine: &AtmEngine, store: &DataStore, view: TaskView<'_>) -> (Decision, Vec<TaskId>) {
         let tracer = Tracer::new(false);
         let decision = engine.before_execute(view, store, &tracer, 0);
         let executed = decision == Decision::Execute;
@@ -541,18 +615,18 @@ mod tests {
         let engine = AtmEngine::new(AtmConfig::static_atm());
         let store = DataStore::new();
         let info = memoizable_info();
-        let input = store.register("in", RegionData::F64(vec![1.0, 2.0, 3.0]));
-        let out_a = store.register("a", RegionData::F64(vec![0.0; 3]));
-        let out_b = store.register("b", RegionData::F64(vec![0.0; 3]));
+        let input = store.register_typed("in", vec![1.0f64, 2.0, 3.0]).unwrap();
+        let out_a = store.register_zeros::<f64>("a", 3).unwrap();
+        let out_b = store.register_zeros::<f64>("b", 3).unwrap();
 
-        let acc_a = vec![Access::input(input, ElemType::F64), Access::output(out_a, ElemType::F64)];
+        let acc_a = vec![Access::read(&input), Access::write(&out_a)];
         let (d1, _) = drive(&engine, &store, view_for(0, 0, &info, &acc_a));
         assert_eq!(d1, Decision::Execute);
         assert_eq!(store.read(out_a).lock().as_f64(), &[1.0, 4.0, 9.0]);
 
         // Second task, same input, different output region: must be bypassed
         // and still produce the right output.
-        let acc_b = vec![Access::input(input, ElemType::F64), Access::output(out_b, ElemType::F64)];
+        let acc_b = vec![Access::read(&input), Access::write(&out_b)];
         let (d2, _) = drive(&engine, &store, view_for(1, 0, &info, &acc_b));
         assert_eq!(d2, Decision::Memoized);
         assert_eq!(store.read(out_b).lock().as_f64(), &[1.0, 4.0, 9.0]);
@@ -570,15 +644,21 @@ mod tests {
         let engine = AtmEngine::new(AtmConfig::static_atm());
         let store = DataStore::new();
         let info = memoizable_info();
-        let in_a = store.register("ia", RegionData::F64(vec![1.0, 2.0]));
-        let in_b = store.register("ib", RegionData::F64(vec![1.0, 2.5]));
-        let out_a = store.register("oa", RegionData::F64(vec![0.0; 2]));
-        let out_b = store.register("ob", RegionData::F64(vec![0.0; 2]));
+        let in_a = store.register_typed("ia", vec![1.0f64, 2.0]).unwrap();
+        let in_b = store.register_typed("ib", vec![1.0f64, 2.5]).unwrap();
+        let out_a = store.register_zeros::<f64>("oa", 2).unwrap();
+        let out_b = store.register_zeros::<f64>("ob", 2).unwrap();
 
-        let acc_a = vec![Access::input(in_a, ElemType::F64), Access::output(out_a, ElemType::F64)];
-        let acc_b = vec![Access::input(in_b, ElemType::F64), Access::output(out_b, ElemType::F64)];
-        assert_eq!(drive(&engine, &store, view_for(0, 0, &info, &acc_a)).0, Decision::Execute);
-        assert_eq!(drive(&engine, &store, view_for(1, 0, &info, &acc_b)).0, Decision::Execute);
+        let acc_a = vec![Access::read(&in_a), Access::write(&out_a)];
+        let acc_b = vec![Access::read(&in_b), Access::write(&out_b)];
+        assert_eq!(
+            drive(&engine, &store, view_for(0, 0, &info, &acc_a)).0,
+            Decision::Execute
+        );
+        assert_eq!(
+            drive(&engine, &store, view_for(1, 0, &info, &acc_b)).0,
+            Decision::Execute
+        );
         assert_eq!(store.read(out_b).lock().as_f64(), &[1.0, 6.25]);
         assert_eq!(engine.stats().tht_bypassed, 0);
     }
@@ -588,8 +668,8 @@ mod tests {
         let engine = AtmEngine::new(AtmConfig::static_atm());
         let store = DataStore::new();
         let info = TaskTypeBuilder::new("plain", |_| {}).build();
-        let r = store.register("r", RegionData::F64(vec![1.0]));
-        let accesses = vec![Access::inout(r, ElemType::F64)];
+        let r = store.register_typed("r", vec![1.0f64]).unwrap();
+        let accesses = vec![Access::read_write(&r)];
         let (d, _) = drive(&engine, &store, view_for(0, 0, &info, &accesses));
         assert_eq!(d, Decision::Execute);
         assert_eq!(engine.stats().seen, 0);
@@ -600,9 +680,9 @@ mod tests {
         let engine = AtmEngine::new(AtmConfig::off());
         let store = DataStore::new();
         let info = memoizable_info();
-        let input = store.register("in", RegionData::F64(vec![1.0]));
-        let out = store.register("out", RegionData::F64(vec![0.0]));
-        let accesses = vec![Access::input(input, ElemType::F64), Access::output(out, ElemType::F64)];
+        let input = store.register_typed("in", vec![1.0f64]).unwrap();
+        let out = store.register_zeros::<f64>("out", 1).unwrap();
+        let accesses = vec![Access::read(&input), Access::write(&out)];
         for id in 0..3 {
             let (d, _) = drive(&engine, &store, view_for(id, 0, &info, &accesses));
             assert_eq!(d, Decision::Execute);
@@ -616,20 +696,28 @@ mod tests {
         let engine = AtmEngine::new(AtmConfig::dynamic_atm());
         let store = DataStore::new();
         let info = TaskTypeBuilder::new("square", |ctx| {
-            let x = ctx.read_f64(0);
+            let x = ctx.arg::<f64>(0);
             let out: Vec<f64> = x.iter().map(|v| v * v).collect();
-            ctx.write_f64(1, &out);
+            ctx.out(1, &out);
         })
+        .arg::<f64>()
+        .out::<f64>()
         .memoizable()
-        .atm_params(AtmTaskParams { l_training: 2, tau_max: 0.01, type_aware: true })
+        .atm_params(AtmTaskParams {
+            l_training: 2,
+            tau_max: 0.01,
+            type_aware: true,
+        })
         .build();
 
-        let input = store.register("in", RegionData::F64(vec![2.0; 16]));
-        let outs: Vec<_> = (0..6).map(|i| store.register(format!("o{i}"), RegionData::F64(vec![0.0; 16]))).collect();
+        let input = store.register_typed("in", vec![2.0f64; 16]).unwrap();
+        let outs: Vec<Region<f64>> = (0..6)
+            .map(|i| store.register_zeros::<f64>(format!("o{i}"), 16).unwrap())
+            .collect();
 
         let mut decisions = Vec::new();
-        for (i, &out) in outs.iter().enumerate() {
-            let accesses = vec![Access::input(input, ElemType::F64), Access::output(out, ElemType::F64)];
+        for (i, out) in outs.iter().enumerate() {
+            let accesses = vec![Access::read(&input), Access::write(out)];
             let (d, _) = drive(&engine, &store, view_for(i as u64, 0, &info, &accesses));
             decisions.push(d);
         }
@@ -655,20 +743,26 @@ mod tests {
         let engine = AtmEngine::new(AtmConfig::static_atm());
         let store = DataStore::new();
         let info = memoizable_info();
-        let input = store.register("in", RegionData::F64(vec![3.0, 4.0]));
-        let out_a = store.register("a", RegionData::F64(vec![0.0; 2]));
-        let out_b = store.register("b", RegionData::F64(vec![0.0; 2]));
+        let input = store.register_typed("in", vec![3.0f64, 4.0]).unwrap();
+        let out_a = store.register_zeros::<f64>("a", 2).unwrap();
+        let out_b = store.register_zeros::<f64>("b", 2).unwrap();
         let tracer = Tracer::new(false);
 
-        let acc_a = vec![Access::input(input, ElemType::F64), Access::output(out_a, ElemType::F64)];
-        let acc_b = vec![Access::input(input, ElemType::F64), Access::output(out_b, ElemType::F64)];
+        let acc_a = vec![Access::read(&input), Access::write(&out_a)];
+        let acc_b = vec![Access::read(&input), Access::write(&out_b)];
         let view_a = view_for(0, 0, &info, &acc_a);
         let view_b = view_for(1, 0, &info, &acc_b);
 
         // A starts executing (registers its key in the IKT)…
-        assert_eq!(engine.before_execute(view_a, &store, &tracer, 0), Decision::Execute);
+        assert_eq!(
+            engine.before_execute(view_a, &store, &tracer, 0),
+            Decision::Execute
+        );
         // …and B, with the same inputs, arrives while A is still in flight.
-        assert_eq!(engine.before_execute(view_b, &store, &tracer, 1), Decision::Deferred);
+        assert_eq!(
+            engine.before_execute(view_b, &store, &tracer, 1),
+            Decision::Deferred
+        );
 
         // A's kernel runs and finishes: B must be completed with A's outputs.
         let ctx = atm_runtime::TaskContext::new(&store, &acc_a);
@@ -684,14 +778,17 @@ mod tests {
         let engine = AtmEngine::new(AtmConfig::static_atm().without_ikt());
         let store = DataStore::new();
         let info = memoizable_info();
-        let input = store.register("in", RegionData::F64(vec![1.0]));
-        let out_a = store.register("a", RegionData::F64(vec![0.0]));
-        let out_b = store.register("b", RegionData::F64(vec![0.0]));
+        let input = store.register_typed("in", vec![1.0f64]).unwrap();
+        let out_a = store.register_zeros::<f64>("a", 1).unwrap();
+        let out_b = store.register_zeros::<f64>("b", 1).unwrap();
         let tracer = Tracer::new(false);
 
-        let acc_a = vec![Access::input(input, ElemType::F64), Access::output(out_a, ElemType::F64)];
-        let acc_b = vec![Access::input(input, ElemType::F64), Access::output(out_b, ElemType::F64)];
-        assert_eq!(engine.before_execute(view_for(0, 0, &info, &acc_a), &store, &tracer, 0), Decision::Execute);
+        let acc_a = vec![Access::read(&input), Access::write(&out_a)];
+        let acc_b = vec![Access::read(&input), Access::write(&out_b)];
+        assert_eq!(
+            engine.before_execute(view_for(0, 0, &info, &acc_a), &store, &tracer, 0),
+            Decision::Execute
+        );
         assert_eq!(
             engine.before_execute(view_for(1, 0, &info, &acc_b), &store, &tracer, 1),
             Decision::Execute,
@@ -704,9 +801,9 @@ mod tests {
         let engine = AtmEngine::new(AtmConfig::fixed_p(0.5));
         let store = DataStore::new();
         let info = memoizable_info();
-        let input = store.register("in", RegionData::F64(vec![1.0; 8]));
-        let out = store.register("out", RegionData::F64(vec![0.0; 8]));
-        let accesses = vec![Access::input(input, ElemType::F64), Access::output(out, ElemType::F64)];
+        let input = store.register_typed("in", vec![1.0f64; 8]).unwrap();
+        let out = store.register_zeros::<f64>("out", 8).unwrap();
+        let accesses = vec![Access::read(&input), Access::write(&out)];
         let _ = drive(&engine, &store, view_for(0, 0, &info, &accesses));
         assert!((engine.current_p(TaskTypeId::from_raw(0)).unwrap() - 0.5).abs() < 1e-12);
     }

@@ -13,7 +13,7 @@
 
 use crate::tht::EntryKey;
 use atm_runtime::{Access, TaskId};
-use parking_lot::Mutex;
+use atm_sync::Mutex;
 use std::collections::HashMap;
 
 /// A task waiting for an in-flight producer to provide its outputs.
@@ -51,7 +51,10 @@ impl InFlightKeyTable {
         match inner.entry(key) {
             std::collections::hash_map::Entry::Occupied(_) => false,
             std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert(InFlightEntry { producer, waiters: Vec::new() });
+                slot.insert(InFlightEntry {
+                    producer,
+                    waiters: Vec::new(),
+                });
                 true
             }
         }
@@ -98,8 +101,8 @@ impl InFlightKeyTable {
     pub fn memory_bytes(&self) -> usize {
         let inner = self.inner.lock();
         inner
-            .iter()
-            .map(|(_, entry)| {
+            .values()
+            .map(|entry| {
                 std::mem::size_of::<EntryKey>()
                     + std::mem::size_of::<InFlightEntry>()
                     + entry.waiters.len() * std::mem::size_of::<Waiter>()
@@ -118,15 +121,24 @@ mod tests {
     }
 
     fn waiter(id: u64) -> Waiter {
-        Waiter { task: TaskId::from_raw(id), accesses: vec![] }
+        Waiter {
+            task: TaskId::from_raw(id),
+            accesses: vec![],
+        }
     }
 
     #[test]
     fn producer_registration_is_exclusive_per_key() {
         let ikt = InFlightKeyTable::new();
         assert!(ikt.register_producer(key(1), TaskId::from_raw(10)));
-        assert!(!ikt.register_producer(key(1), TaskId::from_raw(11)), "second producer for the same key is rejected");
-        assert!(ikt.register_producer(key(2), TaskId::from_raw(11)), "a different key is fine");
+        assert!(
+            !ikt.register_producer(key(1), TaskId::from_raw(11)),
+            "second producer for the same key is rejected"
+        );
+        assert!(
+            ikt.register_producer(key(2), TaskId::from_raw(11)),
+            "a different key is fine"
+        );
         assert_eq!(ikt.len(), 2);
     }
 
@@ -134,9 +146,18 @@ mod tests {
     fn waiters_are_returned_to_the_right_producer_on_retire() {
         let ikt = InFlightKeyTable::new();
         ikt.register_producer(key(7), TaskId::from_raw(1));
-        assert_eq!(ikt.register_waiter(&key(7), waiter(2)), Some(TaskId::from_raw(1)));
-        assert_eq!(ikt.register_waiter(&key(7), waiter(3)), Some(TaskId::from_raw(1)));
-        assert!(ikt.register_waiter(&key(8), waiter(4)).is_none(), "no producer in flight for key 8");
+        assert_eq!(
+            ikt.register_waiter(&key(7), waiter(2)),
+            Some(TaskId::from_raw(1))
+        );
+        assert_eq!(
+            ikt.register_waiter(&key(7), waiter(3)),
+            Some(TaskId::from_raw(1))
+        );
+        assert!(
+            ikt.register_waiter(&key(8), waiter(4)).is_none(),
+            "no producer in flight for key 8"
+        );
 
         let waiters = ikt.retire(&key(7), TaskId::from_raw(1));
         assert_eq!(waiters.len(), 2);

@@ -16,7 +16,7 @@ use crate::snapshot::elem_range_of;
 use atm_hash::shuffle::InputSpec;
 use atm_hash::{jenkins_hash64, ByteLayout, InputSampler, Percentage};
 use atm_runtime::{Access, DataStore};
-use parking_lot::Mutex;
+use atm_sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -39,7 +39,11 @@ impl KeyGenerator {
     /// shuffle (and therefore the keys) reproducible; `type_aware` selects
     /// the significance-ordered byte selection of §III-C.
     pub fn new(seed: u64, type_aware: bool) -> Self {
-        KeyGenerator { samplers: Mutex::new(HashMap::new()), type_aware, seed }
+        KeyGenerator {
+            samplers: Mutex::new(HashMap::new()),
+            type_aware,
+            seed,
+        }
     }
 
     /// Whether type-aware selection is enabled.
@@ -61,13 +65,21 @@ impl KeyGenerator {
     /// Returns `(key, selected_bytes, total_input_bytes)`.
     pub fn compute(&self, store: &DataStore, accesses: &[Access], p: Percentage) -> KeyResult {
         let reads: Vec<&Access> = accesses.iter().filter(|a| a.mode.is_read()).collect();
-        let ranges: Vec<std::ops::Range<usize>> = reads.iter().map(|a| elem_range_of(store, a)).collect();
-        let signature: LayoutSignature =
-            ranges.iter().zip(&reads).map(|(r, a)| (r.len(), a.elem.width())).collect();
+        let ranges: Vec<std::ops::Range<usize>> =
+            reads.iter().map(|a| elem_range_of(store, a)).collect();
+        let signature: LayoutSignature = ranges
+            .iter()
+            .zip(&reads)
+            .map(|(r, a)| (r.len(), a.elem.width()))
+            .collect();
         let total_bytes: usize = signature.iter().map(|(n, w)| n * w).sum();
 
         if total_bytes == 0 {
-            return KeyResult { key: jenkins_hash64(&[], self.seed), selected_bytes: 0, total_bytes: 0 };
+            return KeyResult {
+                key: jenkins_hash64(&[], self.seed),
+                selected_bytes: 0,
+                total_bytes: 0,
+            };
         }
 
         // Full selection (Static ATM): hash the inputs contiguously without
@@ -100,12 +112,20 @@ impl KeyGenerator {
             let base_byte = ranges[segment].start * access.elem.width();
             buf.push(guards[segment].byte_at(base_byte + offset));
         }
-        KeyResult { key: jenkins_hash64(&buf, self.seed), selected_bytes: buf.len(), total_bytes }
+        KeyResult {
+            key: jenkins_hash64(&buf, self.seed),
+            selected_bytes: buf.len(),
+            total_bytes,
+        }
     }
 
     /// Memory held by the cached index vectors (Table III accounting).
     pub fn memory_bytes(&self) -> usize {
-        self.samplers.lock().values().map(|s| s.memory_bytes()).sum()
+        self.samplers
+            .lock()
+            .values()
+            .map(|s| s.memory_bytes())
+            .sum()
     }
 
     fn sampler_for(&self, signature: &LayoutSignature) -> Arc<InputSampler> {
@@ -114,7 +134,13 @@ impl KeyGenerator {
             return Arc::clone(existing);
         }
         let layout = ByteLayout::new(
-            signature.iter().map(|&(elements, elem_width)| InputSpec { elements, elem_width }).collect(),
+            signature
+                .iter()
+                .map(|&(elements, elem_width)| InputSpec {
+                    elements,
+                    elem_width,
+                })
+                .collect(),
         );
         let sampler = Arc::new(InputSampler::new(layout, self.type_aware, self.seed));
         samplers.insert(signature.clone(), Arc::clone(&sampler));
@@ -136,11 +162,11 @@ pub struct KeyResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use atm_runtime::{ElemType, RegionData};
+    use atm_runtime::Region;
 
-    fn store_with_f32(values: &[f32]) -> (DataStore, atm_runtime::RegionId) {
+    fn store_with_f32(values: &[f32]) -> (DataStore, Region<f32>) {
         let store = DataStore::new();
-        let id = store.register("in", RegionData::F32(values.to_vec()));
+        let id = store.register_typed("in", values.to_vec()).unwrap();
         (store, id)
     }
 
@@ -148,7 +174,7 @@ mod tests {
     fn identical_inputs_give_identical_keys_and_changed_inputs_differ() {
         let (store, region) = store_with_f32(&[1.0, 2.0, 3.0, 4.0]);
         let keygen = KeyGenerator::new(1, true);
-        let accesses = vec![Access::input(region, ElemType::F32)];
+        let accesses = vec![Access::read(&region)];
         let k1 = keygen.compute(&store, &accesses, Percentage::FULL);
         let k2 = keygen.compute(&store, &accesses, Percentage::FULL);
         assert_eq!(k1, k2);
@@ -166,13 +192,17 @@ mod tests {
         // bytes but differs in the low mantissa bits: a small p with
         // type-aware selection must produce the same key for both.
         let store = DataStore::new();
-        let a = store.register("a", RegionData::F32((0..64).map(|i| 1.0 + i as f32).collect()));
-        let b_data: Vec<f32> = (0..64).map(|i| f32::from_bits((1.0f32 + i as f32).to_bits() ^ 0x1)).collect();
-        let b = store.register("b", RegionData::F32(b_data));
+        let a = store
+            .register_typed("a", (0..64).map(|i| 1.0 + i as f32).collect::<Vec<_>>())
+            .unwrap();
+        let b_data: Vec<f32> = (0..64)
+            .map(|i| f32::from_bits((1.0f32 + i as f32).to_bits() ^ 0x1))
+            .collect();
+        let b = store.register_typed("b", b_data).unwrap();
         let keygen = KeyGenerator::new(3, true);
         let p = Percentage::from_fraction(0.25);
-        let ka = keygen.compute(&store, &[Access::input(a, ElemType::F32)], p);
-        let kb = keygen.compute(&store, &[Access::input(b, ElemType::F32)], p);
+        let ka = keygen.compute(&store, &[Access::read(&a)], p);
+        let kb = keygen.compute(&store, &[Access::read(&b)], p);
         assert_eq!(ka.key, kb.key);
         assert_eq!(ka.selected_bytes, 64);
     }
@@ -180,10 +210,12 @@ mod tests {
     #[test]
     fn ranged_accesses_hash_only_their_window() {
         let store = DataStore::new();
-        let region = store.register("m", RegionData::F64((0..32).map(f64::from).collect()));
+        let region = store
+            .register_typed("m", (0..32).map(f64::from).collect::<Vec<_>>())
+            .unwrap();
         let keygen = KeyGenerator::new(9, false);
-        let first_half = vec![Access::input(region, ElemType::F64).with_range(0..128)];
-        let second_half = vec![Access::input(region, ElemType::F64).with_range(128..256)];
+        let first_half = vec![Access::read(&region).with_range(0..128)];
+        let second_half = vec![Access::read(&region).with_range(128..256)];
         let k1 = keygen.compute(&store, &first_half, Percentage::FULL);
         let k2 = keygen.compute(&store, &second_half, Percentage::FULL);
         assert_ne!(k1.key, k2.key);
@@ -198,11 +230,10 @@ mod tests {
     #[test]
     fn write_only_accesses_do_not_contribute_to_the_key() {
         let store = DataStore::new();
-        let input = store.register("in", RegionData::F32(vec![1.0, 2.0]));
-        let output = store.register("out", RegionData::F32(vec![0.0, 0.0]));
+        let input = store.register_typed("in", vec![1.0f32, 2.0]).unwrap();
+        let output = store.register_zeros::<f32>("out", 2).unwrap();
         let keygen = KeyGenerator::new(5, true);
-        let accesses =
-            vec![Access::input(input, ElemType::F32), Access::output(output, ElemType::F32)];
+        let accesses = vec![Access::read(&input), Access::write(&output)];
         let k1 = keygen.compute(&store, &accesses, Percentage::FULL);
         store.write(output).lock().as_f32_mut()[0] = 7.0;
         let k2 = keygen.compute(&store, &accesses, Percentage::FULL);
@@ -213,7 +244,7 @@ mod tests {
     fn sampled_and_full_keys_use_the_same_generator_consistently() {
         let (store, region) = store_with_f32(&[5.0; 1024]);
         let keygen = KeyGenerator::new(11, true);
-        let accesses = vec![Access::input(region, ElemType::F32)];
+        let accesses = vec![Access::read(&region)];
         let p = Percentage::from_training_step(3);
         let k_small = keygen.compute(&store, &accesses, p);
         assert_eq!(k_small.selected_bytes, p.bytes_of(4096));
@@ -225,12 +256,12 @@ mod tests {
     #[test]
     fn different_shapes_get_their_own_samplers() {
         let store = DataStore::new();
-        let big = store.register("big", RegionData::F32(vec![0.0; 128]));
-        let small = store.register("small", RegionData::F32(vec![0.0; 16]));
+        let big = store.register_zeros::<f32>("big", 128).unwrap();
+        let small = store.register_zeros::<f32>("small", 16).unwrap();
         let keygen = KeyGenerator::new(2, true);
         let p = Percentage::from_fraction(0.5);
-        let _ = keygen.compute(&store, &[Access::input(big, ElemType::F32)], p);
-        let _ = keygen.compute(&store, &[Access::input(small, ElemType::F32)], p);
+        let _ = keygen.compute(&store, &[Access::read(&big)], p);
+        let _ = keygen.compute(&store, &[Access::read(&small)], p);
         assert_eq!(keygen.samplers.lock().len(), 2);
         assert_eq!(keygen.memory_bytes(), (128 * 4 + 16 * 4) * 4);
     }
@@ -238,9 +269,9 @@ mod tests {
     #[test]
     fn empty_inputs_produce_a_stable_key() {
         let store = DataStore::new();
-        let out = store.register("out", RegionData::F32(vec![0.0]));
+        let out = store.register_zeros::<f32>("out", 1).unwrap();
         let keygen = KeyGenerator::new(1, true);
-        let accesses = vec![Access::output(out, ElemType::F32)];
+        let accesses = vec![Access::write(&out)];
         let k1 = keygen.compute(&store, &accesses, Percentage::FULL);
         let k2 = keygen.compute(&store, &accesses, Percentage::MIN);
         assert_eq!(k1.key, k2.key);

@@ -29,24 +29,27 @@
 //! let engine = AtmEngine::shared(AtmConfig::static_atm());
 //! let rt = RuntimeBuilder::new().workers(2).interceptor(engine.clone()).build();
 //!
-//! let input = rt.store().register("in", RegionData::F64(vec![1.0, 2.0, 3.0, 4.0]));
-//! let out_a = rt.store().register("a", RegionData::F64(vec![0.0]));
-//! let out_b = rt.store().register("b", RegionData::F64(vec![0.0]));
+//! let input = rt.store().register_typed("in", vec![1.0f64, 2.0, 3.0, 4.0]).unwrap();
+//! let out_a = rt.store().register_zeros::<f64>("a", 1).unwrap();
+//! let out_b = rt.store().register_zeros::<f64>("b", 1).unwrap();
 //!
-//! // The programmer opts the task type into memoization, as in the paper.
+//! // The programmer opts the task type into memoization, as in the paper,
+//! // and declares its access signature for submission-time validation.
 //! let sum = rt.register_task_type(
 //!     TaskTypeBuilder::new("sum", |ctx| {
-//!         let total: f64 = ctx.read_f64(0).iter().sum();
-//!         ctx.write_f64(1, &[total]);
+//!         let total: f64 = ctx.arg::<f64>(0).iter().sum();
+//!         ctx.out(1, &[total]);
 //!     })
+//!     .arg::<f64>()
+//!     .out::<f64>()
 //!     .memoizable()
 //!     .build(),
 //! );
 //!
 //! // Two tasks with identical inputs: the second one is memoized.
-//! rt.submit(TaskDesc::new(sum, vec![Access::input(input, ElemType::F64), Access::output(out_a, ElemType::F64)]));
+//! rt.task(sum).reads(&input).writes(&out_a).submit().unwrap();
 //! rt.taskwait();
-//! rt.submit(TaskDesc::new(sum, vec![Access::input(input, ElemType::F64), Access::output(out_b, ElemType::F64)]));
+//! rt.task(sum).reads(&input).writes(&out_b).submit().unwrap();
 //! rt.taskwait();
 //!
 //! assert_eq!(rt.store().read(out_b).lock().as_f64(), &[10.0]);

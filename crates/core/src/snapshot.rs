@@ -26,7 +26,10 @@ impl OutputSnapshot {
     /// # Panics
     /// Panics if `access` is not a write access.
     pub fn capture(store: &DataStore, access: &Access) -> Self {
-        assert!(access.mode.is_write(), "output snapshots are only taken of write accesses");
+        assert!(
+            access.mode.is_write(),
+            "output snapshots are only taken of write accesses"
+        );
         let elem_range = elem_range_of(store, access);
         let region = store.read(access.region);
         let guard = region.lock();
@@ -39,7 +42,11 @@ impl OutputSnapshot {
 
     /// Captures all write accesses of a task, in declaration order.
     pub fn capture_all(store: &DataStore, accesses: &[Access]) -> Vec<OutputSnapshot> {
-        accesses.iter().filter(|a| a.mode.is_write()).map(|a| Self::capture(store, a)).collect()
+        accesses
+            .iter()
+            .filter(|a| a.mode.is_write())
+            .map(|a| Self::capture(store, a))
+            .collect()
     }
 
     /// Writes the snapshot back into its own region/range. This is how a
@@ -58,7 +65,10 @@ impl OutputSnapshot {
     /// # Panics
     /// Panics if the destination access covers a different number of elements.
     pub fn apply_to(&self, store: &DataStore, access: &Access) {
-        assert!(access.mode.is_write(), "cannot copy outputs into a read-only access");
+        assert!(
+            access.mode.is_write(),
+            "cannot copy outputs into a read-only access"
+        );
         let dst_range = elem_range_of(store, access);
         assert_eq!(
             dst_range.len(),
@@ -133,20 +143,25 @@ pub fn elem_range_of(store: &DataStore, access: &Access) -> Range<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use atm_runtime::ElemType;
 
     #[test]
     fn capture_and_apply_round_trip() {
         let store = DataStore::new();
-        let r = store.register("r", RegionData::F32(vec![1.0, 2.0, 3.0, 4.0]));
-        let access = Access::output(r, ElemType::F32).with_range(4..12);
+        let r = store
+            .register_typed("r", vec![1.0f32, 2.0, 3.0, 4.0])
+            .unwrap();
+        let access = Access::write(&r).with_range(4..12);
         let snap = OutputSnapshot::capture(&store, &access);
         assert_eq!(snap.elem_range, 1..3);
         assert_eq!(snap.data.as_f32(), &[2.0, 3.0]);
         assert_eq!(snap.size_bytes(), 8);
 
         // Clobber the region, then re-apply the snapshot.
-        store.write(r).lock().as_f32_mut().copy_from_slice(&[9.0; 4]);
+        store
+            .write(r)
+            .lock()
+            .as_f32_mut()
+            .copy_from_slice(&[9.0; 4]);
         snap.apply(&store);
         assert_eq!(store.read(r).lock().as_f32(), &[9.0, 2.0, 3.0, 9.0]);
     }
@@ -154,33 +169,33 @@ mod tests {
     #[test]
     fn apply_to_copies_into_a_different_region() {
         let store = DataStore::new();
-        let src = store.register("src", RegionData::F64(vec![1.0, 2.0]));
-        let dst = store.register("dst", RegionData::F64(vec![0.0, 0.0]));
-        let snap = OutputSnapshot::capture(&store, &Access::output(src, ElemType::F64));
-        snap.apply_to(&store, &Access::output(dst, ElemType::F64));
+        let src = store.register_typed("src", vec![1.0f64, 2.0]).unwrap();
+        let dst = store.register_zeros::<f64>("dst", 2).unwrap();
+        let snap = OutputSnapshot::capture(&store, &Access::write(&src));
+        snap.apply_to(&store, &Access::write(&dst));
         assert_eq!(store.read(dst).lock().as_f64(), &[1.0, 2.0]);
     }
 
     #[test]
     fn capture_all_and_apply_snapshots_to_pair_by_order() {
         let store = DataStore::new();
-        let in_r = store.register("in", RegionData::F32(vec![5.0]));
-        let out_a = store.register("a", RegionData::F32(vec![1.0, 2.0]));
-        let out_b = store.register("b", RegionData::I32(vec![7]));
+        let in_r = store.register_typed("in", vec![5.0f32]).unwrap();
+        let out_a = store.register_typed("a", vec![1.0f32, 2.0]).unwrap();
+        let out_b = store.register_typed("b", vec![7i32]).unwrap();
         let accesses = vec![
-            Access::input(in_r, ElemType::F32),
-            Access::output(out_a, ElemType::F32),
-            Access::output(out_b, ElemType::I32),
+            Access::read(&in_r),
+            Access::write(&out_a),
+            Access::write(&out_b),
         ];
         let snaps = OutputSnapshot::capture_all(&store, &accesses);
         assert_eq!(snaps.len(), 2);
 
-        let dst_a = store.register("da", RegionData::F32(vec![0.0, 0.0]));
-        let dst_b = store.register("db", RegionData::I32(vec![0]));
+        let dst_a = store.register_zeros::<f32>("da", 2).unwrap();
+        let dst_b = store.register_zeros::<i32>("db", 1).unwrap();
         let dst_accesses = vec![
-            Access::input(in_r, ElemType::F32),
-            Access::output(dst_a, ElemType::F32),
-            Access::output(dst_b, ElemType::I32),
+            Access::read(&in_r),
+            Access::write(&dst_a),
+            Access::write(&dst_b),
         ];
         apply_snapshots_to(&store, &snaps, &dst_accesses);
         assert_eq!(store.read(dst_a).lock().as_f32(), &[1.0, 2.0]);
@@ -190,10 +205,9 @@ mod tests {
     #[test]
     fn outputs_as_f64_concatenates_write_accesses() {
         let store = DataStore::new();
-        let a = store.register("a", RegionData::F32(vec![1.0, 2.0]));
-        let b = store.register("b", RegionData::I32(vec![3]));
-        let accesses =
-            vec![Access::output(a, ElemType::F32), Access::input(a, ElemType::F32), Access::inout(b, ElemType::I32)];
+        let a = store.register_typed("a", vec![1.0f32, 2.0]).unwrap();
+        let b = store.register_typed("b", vec![3i32]).unwrap();
+        let accesses = vec![Access::write(&a), Access::read(&a), Access::read_write(&b)];
         assert_eq!(outputs_as_f64(&store, &accesses), vec![1.0, 2.0, 3.0]);
     }
 
@@ -201,17 +215,17 @@ mod tests {
     #[should_panic(expected = "output shape mismatch")]
     fn apply_to_with_wrong_shape_panics() {
         let store = DataStore::new();
-        let src = store.register("src", RegionData::F64(vec![1.0, 2.0]));
-        let dst = store.register("dst", RegionData::F64(vec![0.0]));
-        let snap = OutputSnapshot::capture(&store, &Access::output(src, ElemType::F64));
-        snap.apply_to(&store, &Access::output(dst, ElemType::F64));
+        let src = store.register_typed("src", vec![1.0f64, 2.0]).unwrap();
+        let dst = store.register_zeros::<f64>("dst", 1).unwrap();
+        let snap = OutputSnapshot::capture(&store, &Access::write(&src));
+        snap.apply_to(&store, &Access::write(&dst));
     }
 
     #[test]
     #[should_panic(expected = "write accesses")]
     fn capturing_a_read_access_panics() {
         let store = DataStore::new();
-        let r = store.register("r", RegionData::F32(vec![1.0]));
-        let _ = OutputSnapshot::capture(&store, &Access::input(r, ElemType::F32));
+        let r = store.register_typed("r", vec![1.0f32]).unwrap();
+        let _ = OutputSnapshot::capture(&store, &Access::read(&r));
     }
 }

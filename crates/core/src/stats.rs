@@ -6,7 +6,7 @@
 
 use atm_hash::Percentage;
 use atm_runtime::{TaskId, TaskTypeId};
-use parking_lot::Mutex;
+use atm_sync::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -10,7 +10,7 @@
 
 use crate::snapshot::OutputSnapshot;
 use atm_runtime::{TaskId, TaskTypeId};
-use parking_lot::RwLock;
+use atm_sync::RwLock;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -28,7 +28,10 @@ pub struct ThtConfig {
 
 impl Default for ThtConfig {
     fn default() -> Self {
-        ThtConfig { bucket_bits: 8, ways: 128 }
+        ThtConfig {
+            bucket_bits: 8,
+            ways: 128,
+        }
     }
 }
 
@@ -52,7 +55,11 @@ pub struct EntryKey {
 impl EntryKey {
     /// Builds a key from a task type, hash and percentage fraction.
     pub fn new(task_type: TaskTypeId, hash: u64, p: f64) -> Self {
-        EntryKey { task_type, hash, p_bits: p.to_bits() }
+        EntryKey {
+            task_type,
+            hash,
+            p_bits: p.to_bits(),
+        }
     }
 }
 
@@ -71,7 +78,11 @@ impl ThtEntry {
     fn size_bytes(&self) -> usize {
         // 8-byte hash + 8-byte p + type id + the stored outputs.
         let meta = std::mem::size_of::<EntryKey>() + std::mem::size_of::<TaskId>();
-        meta + self.outputs.iter().map(OutputSnapshot::size_bytes).sum::<usize>()
+        meta + self
+            .outputs
+            .iter()
+            .map(OutputSnapshot::size_bytes)
+            .sum::<usize>()
     }
 }
 
@@ -90,9 +101,14 @@ pub struct TaskHistoryTable {
 impl TaskHistoryTable {
     /// Creates an empty table with the given sizing.
     pub fn new(config: ThtConfig) -> Self {
-        assert!(config.bucket_bits <= 20, "more than 2^20 buckets is never useful");
+        assert!(
+            config.bucket_bits <= 20,
+            "more than 2^20 buckets is never useful"
+        );
         assert!(config.ways >= 1, "each bucket needs at least one way");
-        let buckets = (0..(1usize << config.bucket_bits)).map(|_| RwLock::new(VecDeque::new())).collect();
+        let buckets = (0..(1usize << config.bucket_bits))
+            .map(|_| RwLock::new(VecDeque::new()))
+            .collect();
         TaskHistoryTable {
             buckets,
             config,
@@ -137,7 +153,11 @@ impl TaskHistoryTable {
     /// Inserts the outputs of a completed task. If the bucket already holds
     /// `M` entries the oldest is evicted (FIFO).
     pub fn insert(&self, key: EntryKey, producer: TaskId, outputs: Arc<Vec<OutputSnapshot>>) {
-        let entry = ThtEntry { key, producer, outputs };
+        let entry = ThtEntry {
+            key,
+            producer,
+            outputs,
+        };
         let added = entry.size_bytes();
         let mut bucket = self.buckets[self.bucket_of(&key)].write();
         bucket.push_back(entry);
@@ -184,11 +204,14 @@ impl TaskHistoryTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use atm_runtime::{Access, DataStore, ElemType, RegionData};
+    use atm_runtime::{Access, DataStore};
 
     fn snapshot(store: &DataStore, values: &[f32]) -> Arc<Vec<OutputSnapshot>> {
-        let r = store.register("out", RegionData::F32(values.to_vec()));
-        Arc::new(vec![OutputSnapshot::capture(store, &Access::output(r, ElemType::F32))])
+        // Region names are unique per store; derive one from the slot count.
+        let r = store
+            .register_typed(format!("out{}", store.len()), values.to_vec())
+            .unwrap();
+        Arc::new(vec![OutputSnapshot::capture(store, &Access::write(&r))])
     }
 
     fn key(hash: u64) -> EntryKey {
@@ -216,19 +239,36 @@ mod tests {
     fn different_p_or_type_does_not_match() {
         let store = DataStore::new();
         let tht = TaskHistoryTable::new(ThtConfig::default());
-        tht.insert(EntryKey::new(TaskTypeId::from_raw(0), 7, 1.0), producer(), snapshot(&store, &[1.0]));
-        assert!(tht.lookup(&EntryKey::new(TaskTypeId::from_raw(0), 7, 0.5)).is_none());
-        assert!(tht.lookup(&EntryKey::new(TaskTypeId::from_raw(1), 7, 1.0)).is_none());
-        assert!(tht.lookup(&EntryKey::new(TaskTypeId::from_raw(0), 7, 1.0)).is_some());
+        tht.insert(
+            EntryKey::new(TaskTypeId::from_raw(0), 7, 1.0),
+            producer(),
+            snapshot(&store, &[1.0]),
+        );
+        assert!(tht
+            .lookup(&EntryKey::new(TaskTypeId::from_raw(0), 7, 0.5))
+            .is_none());
+        assert!(tht
+            .lookup(&EntryKey::new(TaskTypeId::from_raw(1), 7, 1.0))
+            .is_none());
+        assert!(tht
+            .lookup(&EntryKey::new(TaskTypeId::from_raw(0), 7, 1.0))
+            .is_some());
     }
 
     #[test]
     fn fifo_eviction_keeps_the_newest_m_entries() {
         let store = DataStore::new();
-        let tht = TaskHistoryTable::new(ThtConfig { bucket_bits: 0, ways: 2 });
+        let tht = TaskHistoryTable::new(ThtConfig {
+            bucket_bits: 0,
+            ways: 2,
+        });
         for hash_high in 0..4u64 {
             // Same bucket (bucket_bits = 0 means a single bucket).
-            tht.insert(key(hash_high << 32), producer(), snapshot(&store, &[hash_high as f32]));
+            tht.insert(
+                key(hash_high << 32),
+                producer(),
+                snapshot(&store, &[hash_high as f32]),
+            );
         }
         assert_eq!(tht.len(), 2);
         let (_, _, insertions, evictions) = tht.counters();
@@ -243,11 +283,17 @@ mod tests {
     #[test]
     fn memory_accounting_grows_and_shrinks() {
         let store = DataStore::new();
-        let tht = TaskHistoryTable::new(ThtConfig { bucket_bits: 0, ways: 1 });
+        let tht = TaskHistoryTable::new(ThtConfig {
+            bucket_bits: 0,
+            ways: 1,
+        });
         assert_eq!(tht.memory_bytes(), 0);
         tht.insert(key(1), producer(), snapshot(&store, &[1.0; 100]));
         let after_one = tht.memory_bytes();
-        assert!(after_one >= 400, "at least the 400 output bytes must be accounted");
+        assert!(
+            after_one >= 400,
+            "at least the 400 output bytes must be accounted"
+        );
         // Inserting a second entry evicts the first; memory should not double.
         tht.insert(key(1 << 40), producer(), snapshot(&store, &[1.0; 100]));
         assert_eq!(tht.memory_bytes(), after_one);
@@ -256,7 +302,10 @@ mod tests {
     #[test]
     fn keys_with_same_low_bits_land_in_same_bucket_but_do_not_collide() {
         let store = DataStore::new();
-        let tht = TaskHistoryTable::new(ThtConfig { bucket_bits: 4, ways: 8 });
+        let tht = TaskHistoryTable::new(ThtConfig {
+            bucket_bits: 4,
+            ways: 8,
+        });
         let a = key(0x10);
         let b = key(0xA0_0010); // same low 4 bits
         tht.insert(a, producer(), snapshot(&store, &[1.0]));
@@ -267,13 +316,30 @@ mod tests {
 
     #[test]
     fn bucket_count_is_power_of_two() {
-        assert_eq!(TaskHistoryTable::new(ThtConfig { bucket_bits: 0, ways: 1 }).bucket_count(), 1);
-        assert_eq!(TaskHistoryTable::new(ThtConfig { bucket_bits: 8, ways: 1 }).bucket_count(), 256);
+        assert_eq!(
+            TaskHistoryTable::new(ThtConfig {
+                bucket_bits: 0,
+                ways: 1
+            })
+            .bucket_count(),
+            1
+        );
+        assert_eq!(
+            TaskHistoryTable::new(ThtConfig {
+                bucket_bits: 8,
+                ways: 1
+            })
+            .bucket_count(),
+            256
+        );
     }
 
     #[test]
     #[should_panic(expected = "at least one way")]
     fn zero_ways_is_rejected() {
-        let _ = TaskHistoryTable::new(ThtConfig { bucket_bits: 1, ways: 0 });
+        let _ = TaskHistoryTable::new(ThtConfig {
+            bucket_bits: 1,
+            ways: 0,
+        });
     }
 }

@@ -140,7 +140,10 @@ impl TrainingController {
     /// # Panics
     /// Panics if called in the steady state.
     pub fn record_comparison(&mut self, tau: f64, failing_regions: &[RegionId]) -> TrainingOutcome {
-        assert!(self.is_training(), "training comparisons only happen in the training phase");
+        assert!(
+            self.is_training(),
+            "training comparisons only happen in the training phase"
+        );
         self.comparisons += 1;
         if tau < self.tau_max {
             self.correct_in_a_row += 1;
@@ -192,7 +195,11 @@ mod tests {
         assert!(c.is_training());
         assert_eq!(c.record_comparison(0.0, &[]), TrainingOutcome::Accepted);
         assert_eq!(c.phase(), Phase::Steady);
-        assert_eq!(c.current_p(), Percentage::MIN, "p must not change when approximations are correct");
+        assert_eq!(
+            c.current_p(),
+            Percentage::MIN,
+            "p must not change when approximations are correct"
+        );
         assert_eq!(c.comparisons(), 3);
     }
 
@@ -217,7 +224,10 @@ mod tests {
             assert_eq!(c.record_comparison(1.0, &[]), TrainingOutcome::Rejected);
         }
         assert!(c.current_p().is_full());
-        assert_eq!(c.record_comparison(1.0, &[]), TrainingOutcome::RejectedAtFullP);
+        assert_eq!(
+            c.record_comparison(1.0, &[]),
+            TrainingOutcome::RejectedAtFullP
+        );
         assert!(c.current_p().is_full());
         assert_eq!(c.doublings(), Percentage::STEPS);
     }

@@ -110,7 +110,12 @@ pub fn hashlittle2(data: &[u8], pc: u32, pb: u32) -> (u32, u32) {
 /// Reads a little-endian `u32` from the final block, where only
 /// `remaining - word_offset` bytes are valid.
 #[inline(always)]
-fn read_u32_padded_bounded(data: &[u8], offset: usize, remaining: usize, word_offset: usize) -> u32 {
+fn read_u32_padded_bounded(
+    data: &[u8],
+    offset: usize,
+    remaining: usize,
+    word_offset: usize,
+) -> u32 {
     let mut word = 0u32;
     for i in 0..4 {
         let idx = word_offset + i;
@@ -144,7 +149,10 @@ pub struct JenkinsStream {
 impl JenkinsStream {
     /// Creates an empty stream with the given seed.
     pub fn new(seed: u64) -> Self {
-        JenkinsStream { buffer: Vec::with_capacity(64), seed }
+        JenkinsStream {
+            buffer: Vec::with_capacity(64),
+            seed,
+        }
     }
 
     /// Appends one byte to the stream.
@@ -272,7 +280,10 @@ mod tests {
         let data: Vec<u8> = (1..=40u8).collect();
         let mut seen = std::collections::HashSet::new();
         for len in 0..=data.len() {
-            assert!(seen.insert(jenkins_hash64(&data[..len], 0)), "collision at prefix length {len}");
+            assert!(
+                seen.insert(jenkins_hash64(&data[..len], 0)),
+                "collision at prefix length {len}"
+            );
         }
     }
 }

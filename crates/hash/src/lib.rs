@@ -56,7 +56,10 @@ impl Percentage {
     /// Values are clamped into `(MIN/2, 1]` so that arithmetic on the
     /// training ladder stays well defined.
     pub fn from_fraction(f: f64) -> Self {
-        assert!(f.is_finite() && f > 0.0, "percentage must be positive, got {f}");
+        assert!(
+            f.is_finite() && f > 0.0,
+            "percentage must be positive, got {f}"
+        );
         Percentage(f.min(1.0))
     }
 
@@ -102,7 +105,10 @@ mod tests {
 
     #[test]
     fn percentage_training_ladder_spans_min_to_full() {
-        assert!((Percentage::from_training_step(0).fraction() - Percentage::MIN.fraction()).abs() < 1e-12);
+        assert!(
+            (Percentage::from_training_step(0).fraction() - Percentage::MIN.fraction()).abs()
+                < 1e-12
+        );
         assert!(Percentage::from_training_step(15).is_full());
         assert!(Percentage::from_training_step(40).is_full());
         let mut p = Percentage::MIN;

@@ -166,7 +166,10 @@ mod tests {
             assert!(v < 8);
             seen[v] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues should appear in 1000 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear in 1000 draws"
+        );
     }
 
     #[test]
@@ -192,7 +195,10 @@ mod tests {
         let mean = sum / n as f64;
         let var = sum_sq / n as f64 - mean * mean;
         assert!(mean.abs() < 0.02, "gaussian mean too far from 0: {mean}");
-        assert!((var - 1.0).abs() < 0.05, "gaussian variance too far from 1: {var}");
+        assert!(
+            (var - 1.0).abs() < 0.05,
+            "gaussian variance too far from 1: {var}"
+        );
     }
 
     #[test]

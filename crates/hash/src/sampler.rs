@@ -43,7 +43,10 @@ impl ByteLayout {
         Self::new(
             pairs
                 .iter()
-                .map(|&(elements, elem_width)| InputSpec { elements, elem_width })
+                .map(|&(elements, elem_width)| InputSpec {
+                    elements,
+                    elem_width,
+                })
                 .collect(),
         )
     }
@@ -103,7 +106,12 @@ impl InputSampler {
     pub fn new(layout: ByteLayout, type_aware: bool, seed: u64) -> Self {
         let mut rng = Xoshiro256StarStar::new(seed ^ 0xA7A7_5E1E_C7ED_1D0F);
         let indices = significance_ordered_indices(layout.specs(), type_aware, &mut rng);
-        InputSampler { layout, indices, type_aware, seed }
+        InputSampler {
+            layout,
+            indices,
+            type_aware,
+            seed,
+        }
     }
 
     /// Total bytes the sampler expects per task instance.
@@ -139,7 +147,11 @@ impl InputSampler {
         self.check_segments(segments);
         let total = self.total_bytes();
         if total == 0 {
-            return SampledKey { key: jenkins_hash64(&[], self.seed), selected_bytes: 0, p };
+            return SampledKey {
+                key: jenkins_hash64(&[], self.seed),
+                selected_bytes: 0,
+                p,
+            };
         }
         let selected = p.bytes_of(total);
 
@@ -151,7 +163,11 @@ impl InputSampler {
             for seg in segments {
                 buf.extend_from_slice(seg);
             }
-            return SampledKey { key: jenkins_hash64(&buf, self.seed), selected_bytes: total, p };
+            return SampledKey {
+                key: jenkins_hash64(&buf, self.seed),
+                selected_bytes: total,
+                p,
+            };
         }
 
         let mut buf = Vec::with_capacity(selected);
@@ -159,7 +175,11 @@ impl InputSampler {
             let (seg, off) = self.layout.locate(flat as usize);
             buf.push(segments[seg][off]);
         }
-        SampledKey { key: jenkins_hash64(&buf, self.seed), selected_bytes: selected, p }
+        SampledKey {
+            key: jenkins_hash64(&buf, self.seed),
+            selected_bytes: selected,
+            p,
+        }
     }
 
     /// The flat byte indexes that would be selected for a given `p`
@@ -216,7 +236,10 @@ mod tests {
         let mut b_vals = vec![1.5f32; 64];
         b_vals[10] = 1.5000001;
         let b = f32_bytes(&b_vals);
-        assert_ne!(sampler.key(&[&a], Percentage::FULL).key, sampler.key(&[&b], Percentage::FULL).key);
+        assert_ne!(
+            sampler.key(&[&a], Percentage::FULL).key,
+            sampler.key(&[&b], Percentage::FULL).key
+        );
     }
 
     #[test]
@@ -236,7 +259,10 @@ mod tests {
         let pa = Percentage::from_fraction(0.25);
         let ka = sampler.key(&[&f32_bytes(&a)], pa);
         let kb = sampler.key(&[&f32_bytes(&b)], pa);
-        assert_eq!(ka.key, kb.key, "low-mantissa perturbation should be invisible at p=25% with type-aware selection");
+        assert_eq!(
+            ka.key, kb.key,
+            "low-mantissa perturbation should be invisible at p=25% with type-aware selection"
+        );
 
         // But a sign flip must always be visible, even at the smallest p,
         // because MSBs are selected first.
@@ -246,7 +272,10 @@ mod tests {
         }
         let kc = sampler.key(&[&f32_bytes(&c)], Percentage::MIN);
         let ka_min = sampler.key(&[&f32_bytes(&a)], Percentage::MIN);
-        assert_ne!(ka_min.key, kc.key, "sign flips must change the key even at p=2^-15");
+        assert_ne!(
+            ka_min.key, kc.key,
+            "sign flips must change the key even at p=2^-15"
+        );
     }
 
     #[test]
@@ -254,7 +283,12 @@ mod tests {
         let layout = ByteLayout::from_pairs(&[(1000, 4)]);
         let sampler = InputSampler::new(layout, false, 3);
         let data = vec![0u8; 4000];
-        assert_eq!(sampler.key(&[&data], Percentage::from_fraction(0.5)).selected_bytes, 2000);
+        assert_eq!(
+            sampler
+                .key(&[&data], Percentage::from_fraction(0.5))
+                .selected_bytes,
+            2000
+        );
         assert_eq!(sampler.key(&[&data], Percentage::MIN).selected_bytes, 1);
         assert_eq!(sampler.key(&[&data], Percentage::FULL).selected_bytes, 4000);
     }

@@ -58,7 +58,10 @@ pub fn significance_ordered_indices(
     rng: &mut Xoshiro256StarStar,
 ) -> Vec<u32> {
     let total: usize = inputs.iter().map(InputSpec::bytes).sum();
-    assert!(total <= u32::MAX as usize, "task inputs larger than 4 GiB are not supported");
+    assert!(
+        total <= u32::MAX as usize,
+        "task inputs larger than 4 GiB are not supported"
+    );
 
     if !type_aware {
         let mut indices: Vec<u32> = (0..total as u32).collect();
@@ -70,7 +73,12 @@ pub fn significance_ordered_indices(
     // significant byte of every element across all inputs, rank 1 the next,
     // and so on. Inputs with narrower elements simply stop contributing to
     // ranks beyond their width.
-    let max_width = inputs.iter().map(|s| s.elem_width).max().unwrap_or(1).max(1);
+    let max_width = inputs
+        .iter()
+        .map(|s| s.elem_width)
+        .max()
+        .unwrap_or(1)
+        .max(1);
     let mut groups: Vec<Vec<u32>> = vec![Vec::new(); max_width];
 
     let mut base = 0usize;
@@ -78,11 +86,11 @@ pub fn significance_ordered_indices(
         let width = spec.elem_width.max(1);
         for elem in 0..spec.elements {
             let elem_base = base + elem * width;
-            for rank in 0..width {
+            for (rank, group) in groups.iter_mut().enumerate().take(width) {
                 // Little-endian storage: the most significant byte of an
                 // element is its last byte.
                 let byte_in_elem = width - 1 - rank;
-                groups[rank].push((elem_base + byte_in_elem) as u32);
+                group.push((elem_base + byte_in_elem) as u32);
             }
         }
         base += spec.bytes();
@@ -139,7 +147,16 @@ mod tests {
 
     #[test]
     fn plain_shuffle_covers_all_bytes() {
-        let inputs = [InputSpec { elements: 16, elem_width: 4 }, InputSpec { elements: 8, elem_width: 8 }];
+        let inputs = [
+            InputSpec {
+                elements: 16,
+                elem_width: 4,
+            },
+            InputSpec {
+                elements: 8,
+                elem_width: 8,
+            },
+        ];
         let total: usize = inputs.iter().map(InputSpec::bytes).sum();
         let idx = significance_ordered_indices(&inputs, false, &mut Xoshiro256StarStar::new(3));
         assert!(is_permutation(&idx, total));
@@ -147,7 +164,16 @@ mod tests {
 
     #[test]
     fn type_aware_shuffle_covers_all_bytes() {
-        let inputs = [InputSpec { elements: 5, elem_width: 4 }, InputSpec { elements: 3, elem_width: 8 }];
+        let inputs = [
+            InputSpec {
+                elements: 5,
+                elem_width: 4,
+            },
+            InputSpec {
+                elements: 3,
+                elem_width: 8,
+            },
+        ];
         let total: usize = inputs.iter().map(InputSpec::bytes).sum();
         let idx = significance_ordered_indices(&inputs, true, &mut Xoshiro256StarStar::new(3));
         assert!(is_permutation(&idx, total));
@@ -157,7 +183,16 @@ mod tests {
     fn type_aware_shuffle_ranks_msbs_first() {
         // Two inputs of 4-byte elements: the first `elements_total` selected
         // indexes must all be MSB positions (byte 3 of each element).
-        let inputs = [InputSpec { elements: 10, elem_width: 4 }, InputSpec { elements: 6, elem_width: 4 }];
+        let inputs = [
+            InputSpec {
+                elements: 10,
+                elem_width: 4,
+            },
+            InputSpec {
+                elements: 6,
+                elem_width: 4,
+            },
+        ];
         let idx = significance_ordered_indices(&inputs, true, &mut Xoshiro256StarStar::new(9));
         let elements_total = 16;
         for &i in idx.iter().take(elements_total) {
@@ -174,7 +209,16 @@ mod tests {
         // One f64 input (8-byte elements) and one f32 input (4-byte
         // elements): rank 0 has one byte per element from both inputs;
         // ranks 4..8 only contain bytes from the f64 input.
-        let inputs = [InputSpec { elements: 4, elem_width: 8 }, InputSpec { elements: 4, elem_width: 4 }];
+        let inputs = [
+            InputSpec {
+                elements: 4,
+                elem_width: 8,
+            },
+            InputSpec {
+                elements: 4,
+                elem_width: 4,
+            },
+        ];
         let idx = significance_ordered_indices(&inputs, true, &mut Xoshiro256StarStar::new(1));
         // Rank group 0 size = 8 elements total.
         let rank0: Vec<u32> = idx.iter().copied().take(8).collect();
@@ -189,13 +233,19 @@ mod tests {
         // The last 4 rank groups (ranks 4..7) can only contain f64 bytes.
         let tail: Vec<u32> = idx.iter().copied().skip(idx.len() - 16).collect();
         for &i in &tail {
-            assert!((i as usize) < 32, "low-significance ranks must come from the 8-byte input only");
+            assert!(
+                (i as usize) < 32,
+                "low-significance ranks must come from the 8-byte input only"
+            );
         }
     }
 
     #[test]
     fn byte_width_one_treats_every_byte_as_msb() {
-        let inputs = [InputSpec { elements: 12, elem_width: 1 }];
+        let inputs = [InputSpec {
+            elements: 12,
+            elem_width: 1,
+        }];
         let idx = significance_ordered_indices(&inputs, true, &mut Xoshiro256StarStar::new(4));
         assert!(is_permutation(&idx, 12));
     }

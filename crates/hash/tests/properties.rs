@@ -1,110 +1,176 @@
 //! Property-based tests for the hashing and sampling substrate.
+//!
+//! Cases are generated with the crate's own deterministic PRNG
+//! ([`Xoshiro256StarStar`]) instead of an external property-testing
+//! framework: each property runs over a fixed number of seeded random
+//! cases, so failures are reproducible from the case index alone.
 
 use atm_hash::shuffle::InputSpec;
 use atm_hash::{
     fisher_yates, jenkins_hash64, significance_ordered_indices, ByteLayout, InputSampler,
     Percentage, Xoshiro256StarStar,
 };
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: usize = 128;
 
-    /// The hash is a pure function of (bytes, seed).
-    #[test]
-    fn hash_is_deterministic(data in proptest::collection::vec(any::<u8>(), 0..512), seed in any::<u64>()) {
-        prop_assert_eq!(jenkins_hash64(&data, seed), jenkins_hash64(&data, seed));
+fn random_bytes(rng: &mut Xoshiro256StarStar, max_len: usize, min_len: usize) -> Vec<u8> {
+    let len = min_len + rng.below(max_len.saturating_sub(min_len).max(1));
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// The hash is a pure function of (bytes, seed).
+#[test]
+fn hash_is_deterministic() {
+    let mut rng = Xoshiro256StarStar::new(0xA11CE);
+    for case in 0..CASES {
+        let data = random_bytes(&mut rng, 512, 0);
+        let seed = rng.next_u64();
+        assert_eq!(
+            jenkins_hash64(&data, seed),
+            jenkins_hash64(&data, seed),
+            "case {case}: hash must be deterministic"
+        );
     }
+}
 
-    /// Appending a byte changes the hash (no trivial prefix collisions).
-    #[test]
-    fn hash_changes_when_extended(data in proptest::collection::vec(any::<u8>(), 0..256), extra in any::<u8>()) {
+/// Appending a byte changes the hash (no trivial prefix collisions).
+#[test]
+fn hash_changes_when_extended() {
+    let mut rng = Xoshiro256StarStar::new(0xB0B);
+    for case in 0..CASES {
+        let data = random_bytes(&mut rng, 256, 0);
+        let extra = rng.next_u64() as u8;
         let base = jenkins_hash64(&data, 0);
         let mut longer = data.clone();
         longer.push(extra);
-        prop_assert_ne!(base, jenkins_hash64(&longer, 0));
+        assert_ne!(
+            base,
+            jenkins_hash64(&longer, 0),
+            "case {case}: prefix collision"
+        );
     }
+}
 
-    /// Fisher–Yates always produces a permutation of its input.
-    #[test]
-    fn shuffle_is_permutation(len in 0usize..2000, seed in any::<u64>()) {
+/// Fisher–Yates always produces a permutation of its input.
+#[test]
+fn shuffle_is_permutation() {
+    let mut rng = Xoshiro256StarStar::new(0x5_u64);
+    for case in 0..CASES {
+        let len = rng.below(2000);
+        let seed = rng.next_u64();
         let mut v: Vec<u32> = (0..len as u32).collect();
         fisher_yates(&mut v, &mut Xoshiro256StarStar::new(seed));
         let mut sorted = v.clone();
         sorted.sort_unstable();
         let expected: Vec<u32> = (0..len as u32).collect();
-        prop_assert_eq!(sorted, expected);
+        assert_eq!(
+            sorted, expected,
+            "case {case}: shuffle is not a permutation"
+        );
     }
+}
 
-    /// The significance-ordered index vector is always a permutation of all
-    /// byte positions, for any mix of input element widths.
-    #[test]
-    fn significance_order_is_permutation(
-        spec in proptest::collection::vec((1usize..64, prop_oneof![Just(1usize), Just(4), Just(8)]), 1..5),
-        type_aware in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
-        let specs: Vec<InputSpec> = spec.iter().map(|&(elements, elem_width)| InputSpec { elements, elem_width }).collect();
+/// The significance-ordered index vector is always a permutation of all
+/// byte positions, for any mix of input element widths.
+#[test]
+fn significance_order_is_permutation() {
+    let mut rng = Xoshiro256StarStar::new(0x516);
+    let widths = [1usize, 4, 8];
+    for case in 0..CASES {
+        let inputs = 1 + rng.below(4);
+        let specs: Vec<InputSpec> = (0..inputs)
+            .map(|_| InputSpec {
+                elements: 1 + rng.below(63),
+                elem_width: widths[rng.below(widths.len())],
+            })
+            .collect();
+        let type_aware = rng.below(2) == 0;
+        let seed = rng.next_u64();
         let total: usize = specs.iter().map(InputSpec::bytes).sum();
-        let idx = significance_ordered_indices(&specs, type_aware, &mut Xoshiro256StarStar::new(seed));
-        prop_assert_eq!(idx.len(), total);
+        let idx =
+            significance_ordered_indices(&specs, type_aware, &mut Xoshiro256StarStar::new(seed));
+        assert_eq!(idx.len(), total, "case {case}: wrong index count");
         let mut seen = vec![false; total];
         for &i in &idx {
-            prop_assert!(!std::mem::replace(&mut seen[i as usize], true), "duplicate index {}", i);
+            assert!(
+                !std::mem::replace(&mut seen[i as usize], true),
+                "case {case}: duplicate index {i}"
+            );
         }
     }
+}
 
-    /// Equal inputs hash equal and the selected byte count respects p, for
-    /// any p on the training ladder.
-    #[test]
-    fn sampler_key_is_stable_for_equal_inputs(
-        elements in 1usize..256,
-        step in 0usize..16,
-        type_aware in any::<bool>(),
-        fill in any::<u32>(),
-    ) {
+/// Equal inputs hash equal and the selected byte count respects p, for
+/// any p on the training ladder.
+#[test]
+fn sampler_key_is_stable_for_equal_inputs() {
+    let mut rng = Xoshiro256StarStar::new(0x7EA);
+    for case in 0..CASES {
+        let elements = 1 + rng.below(255);
+        let step = rng.below(16);
+        let type_aware = rng.below(2) == 0;
+        let fill = rng.next_u32();
         let layout = ByteLayout::from_pairs(&[(elements, 4)]);
         let sampler = InputSampler::new(layout, type_aware, 99);
-        let data: Vec<u8> = std::iter::repeat(fill.to_le_bytes()).take(elements).flatten().collect();
+        let data: Vec<u8> = std::iter::repeat_n(fill.to_le_bytes(), elements)
+            .flatten()
+            .collect();
         let p = Percentage::from_training_step(step);
         let k1 = sampler.key(&[&data], p);
         let k2 = sampler.key(&[&data], p);
-        prop_assert_eq!(k1.key, k2.key);
-        prop_assert_eq!(k1.selected_bytes, p.bytes_of(elements * 4));
+        assert_eq!(k1.key, k2.key, "case {case}: key not stable");
+        assert_eq!(
+            k1.selected_bytes,
+            p.bytes_of(elements * 4),
+            "case {case}: wrong byte count"
+        );
     }
+}
 
-    /// At p = 100 % any single-byte difference must change the key
-    /// (this is the exactness guarantee behind Static ATM's 100 % correctness).
-    #[test]
-    fn full_p_detects_any_single_byte_change(
-        data in proptest::collection::vec(any::<u8>(), 1..512),
-        pos_seed in any::<usize>(),
-        flip in 1u8..=255,
-    ) {
+/// At p = 100 % any single-byte difference must change the key
+/// (this is the exactness guarantee behind Static ATM's 100 % correctness).
+#[test]
+fn full_p_detects_any_single_byte_change() {
+    let mut rng = Xoshiro256StarStar::new(0xF11);
+    for case in 0..CASES {
+        let data = random_bytes(&mut rng, 512, 1);
+        let pos = rng.below(data.len());
+        let flip = 1 + (rng.next_u64() % 255) as u8;
         let layout = ByteLayout::from_pairs(&[(data.len(), 1)]);
         let sampler = InputSampler::new(layout, false, 5);
         let mut other = data.clone();
-        let pos = pos_seed % data.len();
         other[pos] ^= flip;
         let ka = sampler.key(&[&data], Percentage::FULL);
         let kb = sampler.key(&[&other], Percentage::FULL);
-        prop_assert_ne!(ka.key, kb.key);
+        assert_ne!(
+            ka.key, kb.key,
+            "case {case}: single-byte change missed at full p"
+        );
     }
+}
 
-    /// Doubling p never decreases the number of selected bytes, and the
-    /// selected index set grows monotonically (prefix property).
-    #[test]
-    fn selection_grows_monotonically_with_p(elements in 1usize..200, type_aware in any::<bool>()) {
+/// Doubling p never decreases the number of selected bytes, and the
+/// selected index set grows monotonically (prefix property).
+#[test]
+fn selection_grows_monotonically_with_p() {
+    let mut rng = Xoshiro256StarStar::new(0x6_u64);
+    for case in 0..CASES {
+        let elements = 1 + rng.below(199);
+        let type_aware = rng.below(2) == 0;
         let layout = ByteLayout::from_pairs(&[(elements, 8)]);
         let sampler = InputSampler::new(layout, type_aware, 17);
         let mut prev_len = 0usize;
         let mut p = Percentage::MIN;
         for _ in 0..=Percentage::STEPS {
             let sel = sampler.selected_indices(p);
-            prop_assert!(sel.len() >= prev_len);
+            assert!(sel.len() >= prev_len, "case {case}: selection shrank");
             prev_len = sel.len();
             p = p.doubled();
         }
-        prop_assert_eq!(prev_len, elements * 8);
+        assert_eq!(
+            prev_len,
+            elements * 8,
+            "case {case}: full p must select everything"
+        );
     }
 }

@@ -152,7 +152,10 @@ mod tests {
     fn lu_residual_is_euclidean_of_reconstruction() {
         let a = [1.0, 2.0, 3.0, 4.0];
         let lu = [1.0, 2.0, 3.0, 4.5];
-        assert_eq!(lu_residual_error(&a, &lu), euclidean_relative_error(&a, &lu));
+        assert_eq!(
+            lu_residual_error(&a, &lu),
+            euclidean_relative_error(&a, &lu)
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl Speedup {
 
 /// Builds a [`Speedup`] from a baseline time and an ATM time (seconds).
 pub fn speedup(baseline_seconds: f64, atm_seconds: f64) -> Speedup {
-    Speedup { baseline_seconds, atm_seconds }
+    Speedup {
+        baseline_seconds,
+        atm_seconds,
+    }
 }
 
 /// Percentage of tasks that were memoized (bypassed) by ATM out of all the

@@ -6,8 +6,15 @@
 //! task dependence graph from overlaps between them, and the ATM engine uses
 //! the `In`/`InOut` accesses as the bytes to hash and the `Out`/`InOut`
 //! accesses as the outputs to memoize.
+//!
+//! Accesses are declared through typed [`Region<T>`] handles
+//! ([`Access::read`], [`Access::write`], [`Access::read_write`]), so the
+//! element type is derived from the handle instead of being restated by the
+//! caller — the class of hash/copy-width mismatches the untyped constructors
+//! allowed is ruled out by construction, and the submission validator
+//! double-checks the derived type against the store.
 
-use crate::region::{ElemType, RegionId};
+use crate::region::{Elem, ElemType, Region, RegionId};
 use std::ops::Range;
 
 /// Direction of a data access.
@@ -34,6 +41,17 @@ impl AccessMode {
     }
 }
 
+impl std::fmt::Display for AccessMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            AccessMode::In => "in",
+            AccessMode::Out => "out",
+            AccessMode::InOut => "inout",
+        };
+        f.write_str(name)
+    }
+}
+
 /// One data access of a task: a byte range of a region, with a direction and
 /// the element type of the accessed data (the paper extends the runtime API
 /// with element types to enable type-aware input selection, §III-C).
@@ -45,24 +63,76 @@ pub struct Access {
     pub range: Option<Range<usize>>,
     /// Access direction.
     pub mode: AccessMode,
-    /// Element type of the accessed data.
+    /// Element type of the accessed data, derived from the [`Region<T>`]
+    /// handle the access was declared through.
     pub elem: ElemType,
 }
 
 impl Access {
-    /// Whole-region read access.
+    /// Whole-region read access through a typed handle (`in` clause).
+    pub fn read<T: Elem>(region: &Region<T>) -> Self {
+        Access {
+            region: region.id(),
+            range: None,
+            mode: AccessMode::In,
+            elem: T::ELEM,
+        }
+    }
+
+    /// Whole-region write access through a typed handle (`out` clause).
+    pub fn write<T: Elem>(region: &Region<T>) -> Self {
+        Access {
+            region: region.id(),
+            range: None,
+            mode: AccessMode::Out,
+            elem: T::ELEM,
+        }
+    }
+
+    /// Whole-region read-write access through a typed handle (`inout` clause).
+    pub fn read_write<T: Elem>(region: &Region<T>) -> Self {
+        Access {
+            region: region.id(),
+            range: None,
+            mode: AccessMode::InOut,
+            elem: T::ELEM,
+        }
+    }
+
+    /// Whole-region read access from an untyped id plus an explicit element
+    /// type.
+    #[deprecated(note = "use `Access::read(&Region<T>)`, which derives the element type")]
     pub fn input(region: RegionId, elem: ElemType) -> Self {
-        Access { region, range: None, mode: AccessMode::In, elem }
+        Access {
+            region,
+            range: None,
+            mode: AccessMode::In,
+            elem,
+        }
     }
 
-    /// Whole-region write access.
+    /// Whole-region write access from an untyped id plus an explicit element
+    /// type.
+    #[deprecated(note = "use `Access::write(&Region<T>)`, which derives the element type")]
     pub fn output(region: RegionId, elem: ElemType) -> Self {
-        Access { region, range: None, mode: AccessMode::Out, elem }
+        Access {
+            region,
+            range: None,
+            mode: AccessMode::Out,
+            elem,
+        }
     }
 
-    /// Whole-region read-write access.
+    /// Whole-region read-write access from an untyped id plus an explicit
+    /// element type.
+    #[deprecated(note = "use `Access::read_write(&Region<T>)`, which derives the element type")]
     pub fn inout(region: RegionId, elem: ElemType) -> Self {
-        Access { region, range: None, mode: AccessMode::InOut, elem }
+        Access {
+            region,
+            range: None,
+            mode: AccessMode::InOut,
+            elem,
+        }
     }
 
     /// Restricts the access to a byte range of the region.
@@ -94,9 +164,14 @@ impl Access {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::region::DataStore;
 
-    fn r(i: u32) -> RegionId {
-        RegionId(i)
+    fn regions(n: usize) -> (DataStore, Vec<Region<f32>>) {
+        let store = DataStore::new();
+        let handles = (0..n)
+            .map(|i| store.register_zeros::<f32>(format!("r{i}"), 256).unwrap())
+            .collect();
+        (store, handles)
     }
 
     #[test]
@@ -110,29 +185,63 @@ mod tests {
     }
 
     #[test]
+    fn typed_constructors_derive_the_element_type() {
+        let store = DataStore::new();
+        let floats = store.register_zeros::<f64>("floats", 4).unwrap();
+        let ints = store.register_zeros::<i32>("ints", 4).unwrap();
+        assert_eq!(Access::read(&floats).elem, ElemType::F64);
+        assert_eq!(Access::write(&floats).mode, AccessMode::Out);
+        let rw = Access::read_write(&ints);
+        assert_eq!(rw.elem, ElemType::I32);
+        assert_eq!(rw.mode, AccessMode::InOut);
+        assert_eq!(rw.region, ints.id());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_build_the_same_access() {
+        let (_store, r) = regions(1);
+        assert_eq!(Access::input(r[0].id(), ElemType::F32), Access::read(&r[0]));
+        assert_eq!(
+            Access::output(r[0].id(), ElemType::F32),
+            Access::write(&r[0])
+        );
+        assert_eq!(
+            Access::inout(r[0].id(), ElemType::F32),
+            Access::read_write(&r[0])
+        );
+    }
+
+    #[test]
     fn whole_region_accesses_always_overlap_same_region() {
-        let a = Access::input(r(0), ElemType::F32);
-        let b = Access::output(r(0), ElemType::F32);
-        let c = Access::output(r(1), ElemType::F32);
+        let (_store, r) = regions(2);
+        let a = Access::read(&r[0]);
+        let b = Access::write(&r[0]);
+        let c = Access::write(&r[1]);
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c));
     }
 
     #[test]
     fn ranged_overlap_detection() {
-        let a = Access::output(r(0), ElemType::U8).with_range(0..10);
-        let b = Access::input(r(0), ElemType::U8).with_range(10..20);
-        let c = Access::input(r(0), ElemType::U8).with_range(5..15);
-        assert!(!a.overlaps(&b), "touching but disjoint ranges do not overlap");
+        let (_store, r) = regions(1);
+        let a = Access::write(&r[0]).with_range(0..10);
+        let b = Access::read(&r[0]).with_range(10..20);
+        let c = Access::read(&r[0]).with_range(5..15);
+        assert!(
+            !a.overlaps(&b),
+            "touching but disjoint ranges do not overlap"
+        );
         assert!(a.overlaps(&c));
         assert!(b.overlaps(&c));
     }
 
     #[test]
     fn conflicts_require_a_writer() {
-        let read_a = Access::input(r(0), ElemType::F64);
-        let read_b = Access::input(r(0), ElemType::F64);
-        let write = Access::output(r(0), ElemType::F64);
+        let (_store, r) = regions(1);
+        let read_a = Access::read(&r[0]);
+        let read_b = Access::read(&r[0]);
+        let write = Access::write(&r[0]);
         assert!(!read_a.conflicts_with(&read_b), "two reads never conflict");
         assert!(read_a.conflicts_with(&write));
         assert!(write.conflicts_with(&read_a));
@@ -141,16 +250,18 @@ mod tests {
 
     #[test]
     fn ranged_whole_region_mix_overlaps() {
-        let whole = Access::inout(r(2), ElemType::F32);
-        let part = Access::input(r(2), ElemType::F32).with_range(100..200);
+        let (_store, r) = regions(1);
+        let whole = Access::read_write(&r[0]);
+        let part = Access::read(&r[0]).with_range(100..200);
         assert!(whole.overlaps(&part));
         assert!(part.conflicts_with(&whole));
     }
 
     #[test]
     fn empty_range_never_overlaps() {
-        let empty = Access::input(r(0), ElemType::U8).with_range(5..5);
-        let other = Access::output(r(0), ElemType::U8).with_range(0..10);
+        let (_store, r) = regions(1);
+        let empty = Access::read(&r[0]).with_range(5..5);
+        let other = Access::write(&r[0]).with_range(0..10);
         assert!(!empty.overlaps(&other));
     }
 }

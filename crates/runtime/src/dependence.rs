@@ -79,7 +79,10 @@ impl TaskGraph {
         for access in &desc.accesses {
             if let Some(live) = self.live.get(&access.region) {
                 for (tid, prev) in live {
-                    if *tid != id && access.conflicts_with(prev) && self.nodes[tid.index()].state != NodeState::Finished {
+                    if *tid != id
+                        && access.conflicts_with(prev)
+                        && self.nodes[tid.index()].state != NodeState::Finished
+                    {
                         preds.insert(*tid);
                     }
                 }
@@ -93,7 +96,10 @@ impl TaskGraph {
 
         // Register this task's accesses as live.
         for access in &desc.accesses {
-            self.live.entry(access.region).or_default().push((id, access.clone()));
+            self.live
+                .entry(access.region)
+                .or_default()
+                .push((id, access.clone()));
         }
 
         let ready = unresolved == 0;
@@ -101,7 +107,11 @@ impl TaskGraph {
             desc,
             unresolved,
             successors: Vec::new(),
-            state: if ready { NodeState::Ready } else { NodeState::WaitingDeps },
+            state: if ready {
+                NodeState::Ready
+            } else {
+                NodeState::WaitingDeps
+            },
         });
         (id, ready)
     }
@@ -109,14 +119,22 @@ impl TaskGraph {
     /// Marks a ready task as picked up by a worker.
     pub fn mark_running(&mut self, id: TaskId) {
         let node = &mut self.nodes[id.index()];
-        debug_assert_eq!(node.state, NodeState::Ready, "only ready tasks can start running");
+        debug_assert_eq!(
+            node.state,
+            NodeState::Ready,
+            "only ready tasks can start running"
+        );
         node.state = NodeState::Running;
     }
 
     /// Marks a running task as deferred to an in-flight producer.
     pub fn mark_deferred(&mut self, id: TaskId) {
         let node = &mut self.nodes[id.index()];
-        debug_assert_eq!(node.state, NodeState::Running, "only running tasks can be deferred");
+        debug_assert_eq!(
+            node.state,
+            NodeState::Running,
+            "only running tasks can be deferred"
+        );
         node.state = NodeState::Deferred;
     }
 
@@ -146,7 +164,10 @@ impl TaskGraph {
         let mut newly_ready = Vec::new();
         for succ in successors {
             let node = &mut self.nodes[succ.index()];
-            debug_assert!(node.unresolved > 0, "successor with no unresolved dependences");
+            debug_assert!(
+                node.unresolved > 0,
+                "successor with no unresolved dependences"
+            );
             node.unresolved -= 1;
             if node.unresolved == 0 && node.state == NodeState::WaitingDeps {
                 node.state = NodeState::Ready;
@@ -180,7 +201,10 @@ impl TaskGraph {
     /// submission to a later one — which makes the TDG acyclic by
     /// construction. Used by tests.
     pub fn edges_respect_submission_order(&self) -> bool {
-        self.nodes.iter().enumerate().all(|(i, node)| node.successors.iter().all(|s| s.index() > i))
+        self.nodes
+            .iter()
+            .enumerate()
+            .all(|(i, node)| node.successors.iter().all(|s| s.index() > i))
     }
 }
 
@@ -188,12 +212,14 @@ impl TaskGraph {
 mod tests {
     use super::*;
     use crate::access::Access;
-    use crate::region::{DataStore, ElemType};
+    use crate::region::{DataStore, Region};
     use crate::task::TaskTypeId;
 
-    fn store_with_regions(n: usize) -> (DataStore, Vec<RegionId>) {
+    fn store_with_regions(n: usize) -> (DataStore, Vec<Region<f32>>) {
         let store = DataStore::new();
-        let ids = (0..n).map(|i| store.register_f32_zeros(format!("r{i}"), 16)).collect();
+        let ids = (0..n)
+            .map(|i| store.register_zeros::<f32>(format!("r{i}"), 16).unwrap())
+            .collect();
         (store, ids)
     }
 
@@ -205,8 +231,8 @@ mod tests {
     fn independent_tasks_are_immediately_ready() {
         let (_store, r) = store_with_regions(2);
         let mut g = TaskGraph::new();
-        let (a, ra) = g.submit(desc(vec![Access::output(r[0], ElemType::F32)]));
-        let (b, rb) = g.submit(desc(vec![Access::output(r[1], ElemType::F32)]));
+        let (a, ra) = g.submit(desc(vec![Access::write(&r[0])]));
+        let (b, rb) = g.submit(desc(vec![Access::write(&r[1])]));
         assert!(ra && rb);
         assert_eq!(g.state(a), NodeState::Ready);
         assert_eq!(g.state(b), NodeState::Ready);
@@ -217,8 +243,8 @@ mod tests {
     fn raw_dependence_orders_producer_before_consumer() {
         let (_store, r) = store_with_regions(1);
         let mut g = TaskGraph::new();
-        let (producer, _) = g.submit(desc(vec![Access::output(r[0], ElemType::F32)]));
-        let (consumer, ready) = g.submit(desc(vec![Access::input(r[0], ElemType::F32)]));
+        let (producer, _) = g.submit(desc(vec![Access::write(&r[0])]));
+        let (consumer, ready) = g.submit(desc(vec![Access::read(&r[0])]));
         assert!(!ready);
         assert_eq!(g.unresolved(consumer), 1);
         assert_eq!(g.successors(producer), &[consumer]);
@@ -233,9 +259,9 @@ mod tests {
     fn war_and_waw_dependences_are_created() {
         let (_store, r) = store_with_regions(1);
         let mut g = TaskGraph::new();
-        let (reader, _) = g.submit(desc(vec![Access::input(r[0], ElemType::F32)]));
-        let (writer1, _) = g.submit(desc(vec![Access::output(r[0], ElemType::F32)]));
-        let (writer2, w2_ready) = g.submit(desc(vec![Access::output(r[0], ElemType::F32)]));
+        let (reader, _) = g.submit(desc(vec![Access::read(&r[0])]));
+        let (writer1, _) = g.submit(desc(vec![Access::write(&r[0])]));
+        let (writer2, w2_ready) = g.submit(desc(vec![Access::write(&r[0])]));
         // WAR: writer1 depends on reader. WAW: writer2 depends on writer1
         // (and also on reader through the WAR chain; exact edge count may
         // include both since the reader is still live).
@@ -249,9 +275,9 @@ mod tests {
     fn two_readers_do_not_depend_on_each_other() {
         let (_store, r) = store_with_regions(1);
         let mut g = TaskGraph::new();
-        let (_w, _) = g.submit(desc(vec![Access::output(r[0], ElemType::F32)]));
-        let (a, _) = g.submit(desc(vec![Access::input(r[0], ElemType::F32)]));
-        let (b, _) = g.submit(desc(vec![Access::input(r[0], ElemType::F32)]));
+        let (_w, _) = g.submit(desc(vec![Access::write(&r[0])]));
+        let (a, _) = g.submit(desc(vec![Access::read(&r[0])]));
+        let (b, _) = g.submit(desc(vec![Access::read(&r[0])]));
         // Both readers depend only on the writer, not on each other.
         assert_eq!(g.unresolved(a), 1);
         assert_eq!(g.unresolved(b), 1);
@@ -262,11 +288,14 @@ mod tests {
     fn finished_predecessors_do_not_create_dependences() {
         let (_store, r) = store_with_regions(1);
         let mut g = TaskGraph::new();
-        let (w, _) = g.submit(desc(vec![Access::output(r[0], ElemType::F32)]));
+        let (w, _) = g.submit(desc(vec![Access::write(&r[0])]));
         g.mark_running(w);
         g.finish(w);
-        let (reader, ready) = g.submit(desc(vec![Access::input(r[0], ElemType::F32)]));
-        assert!(ready, "a reader submitted after the writer finished must be immediately ready");
+        let (reader, ready) = g.submit(desc(vec![Access::read(&r[0])]));
+        assert!(
+            ready,
+            "a reader submitted after the writer finished must be immediately ready"
+        );
         assert_eq!(g.unresolved(reader), 0);
     }
 
@@ -274,12 +303,14 @@ mod tests {
     fn ranged_accesses_only_conflict_when_overlapping() {
         let (_store, r) = store_with_regions(1);
         let mut g = TaskGraph::new();
-        let (_w1, _) = g.submit(desc(vec![Access::output(r[0], ElemType::F32).with_range(0..32)]));
-        let (w2, ready2) = g.submit(desc(vec![Access::output(r[0], ElemType::F32).with_range(32..64)]));
+        let (_w1, _) = g.submit(desc(vec![Access::write(&r[0]).with_range(0..32)]));
+        let (w2, ready2) = g.submit(desc(vec![Access::write(&r[0]).with_range(32..64)]));
         assert!(ready2, "disjoint block writers must be independent");
-        let (reader, ready3) =
-            g.submit(desc(vec![Access::input(r[0], ElemType::F32).with_range(16..48)]));
-        assert!(!ready3, "a reader straddling both blocks depends on both writers");
+        let (reader, ready3) = g.submit(desc(vec![Access::read(&r[0]).with_range(16..48)]));
+        assert!(
+            !ready3,
+            "a reader straddling both blocks depends on both writers"
+        );
         assert_eq!(g.unresolved(reader), 2);
         let _ = w2;
     }
@@ -288,9 +319,9 @@ mod tests {
     fn deferred_tasks_complete_like_executed_ones() {
         let (_store, r) = store_with_regions(1);
         let mut g = TaskGraph::new();
-        let (producer, _) = g.submit(desc(vec![Access::output(r[0], ElemType::F32)]));
-        let (deferred, _) = g.submit(desc(vec![Access::inout(r[0], ElemType::F32)]));
-        let (consumer, _) = g.submit(desc(vec![Access::input(r[0], ElemType::F32)]));
+        let (producer, _) = g.submit(desc(vec![Access::write(&r[0])]));
+        let (deferred, _) = g.submit(desc(vec![Access::read_write(&r[0])]));
+        let (consumer, _) = g.submit(desc(vec![Access::read(&r[0])]));
         g.mark_running(producer);
         assert_eq!(g.finish(producer), vec![deferred]);
         g.mark_running(deferred);
@@ -306,19 +337,10 @@ mod tests {
         // a writes r0; b and c read r0 and write r1/r2; d reads r1 and r2.
         let (_store, r) = store_with_regions(3);
         let mut g = TaskGraph::new();
-        let (a, _) = g.submit(desc(vec![Access::output(r[0], ElemType::F32)]));
-        let (b, _) = g.submit(desc(vec![
-            Access::input(r[0], ElemType::F32),
-            Access::output(r[1], ElemType::F32),
-        ]));
-        let (c, _) = g.submit(desc(vec![
-            Access::input(r[0], ElemType::F32),
-            Access::output(r[2], ElemType::F32),
-        ]));
-        let (d, _) = g.submit(desc(vec![
-            Access::input(r[1], ElemType::F32),
-            Access::input(r[2], ElemType::F32),
-        ]));
+        let (a, _) = g.submit(desc(vec![Access::write(&r[0])]));
+        let (b, _) = g.submit(desc(vec![Access::read(&r[0]), Access::write(&r[1])]));
+        let (c, _) = g.submit(desc(vec![Access::read(&r[0]), Access::write(&r[2])]));
+        let (d, _) = g.submit(desc(vec![Access::read(&r[1]), Access::read(&r[2])]));
         assert_eq!(g.unresolved(d), 2);
         g.mark_running(a);
         let ready_after_a: BTreeSet<TaskId> = g.finish(a).into_iter().collect();
@@ -334,8 +356,8 @@ mod tests {
     fn finishing_a_waiting_task_panics() {
         let (_store, r) = store_with_regions(1);
         let mut g = TaskGraph::new();
-        let (_w, _) = g.submit(desc(vec![Access::output(r[0], ElemType::F32)]));
-        let (waiting, _) = g.submit(desc(vec![Access::input(r[0], ElemType::F32)]));
+        let (_w, _) = g.submit(desc(vec![Access::write(&r[0])]));
+        let (waiting, _) = g.submit(desc(vec![Access::read(&r[0])]));
         g.finish(waiting);
     }
 }

@@ -78,9 +78,20 @@ mod tests {
         let store = DataStore::new();
         let tracer = Tracer::new(false);
         let info = TaskTypeBuilder::new("t", |_| {}).build();
-        let view = TaskView { id: TaskId(0), type_id: TaskTypeId(0), info: &info, accesses: &[] };
+        let view = TaskView {
+            id: TaskId(0),
+            type_id: TaskTypeId(0),
+            info: &info,
+            accesses: &[],
+            memo: None,
+        };
         let noop = NoopInterceptor;
-        assert_eq!(noop.before_execute(view, &store, &tracer, 0), Decision::Execute);
-        assert!(noop.after_execute(view, &store, &tracer, 0, true).is_empty());
+        assert_eq!(
+            noop.before_execute(view, &store, &tracer, 0),
+            Decision::Execute
+        );
+        assert!(noop
+            .after_execute(view, &store, &tracer, 0, true)
+            .is_empty());
     }
 }

@@ -6,9 +6,15 @@
 //! from-scratch Rust reproduction of the runtime abstractions ATM needs:
 //!
 //! * **data regions** with typed contents ([`region`]), registered with the
-//!   runtime so tasks can declare which data they read and produce;
+//!   runtime and handed back as phantom-typed [`Region<T>`] handles so the
+//!   element type never has to be restated;
 //! * **task types and task instances** ([`task`]) — one task type per
-//!   annotated function, one instance per dynamic submission;
+//!   annotated function (with a declared access signature), one instance per
+//!   dynamic submission;
+//! * **validated submission** ([`submit`]) — the fluent
+//!   [`Runtime::task`] builder checks arity, access modes and element types
+//!   against the task type's signature and the store, returning a
+//!   [`SubmitError`] instead of panicking in a worker;
 //! * **dependence tracking and the Task Dependence Graph** ([`dependence`]):
 //!   read-after-write, write-after-read and write-after-write orderings
 //!   derived from byte-range overlaps between declared accesses;
@@ -28,21 +34,20 @@
 //! use atm_runtime::prelude::*;
 //!
 //! let rt = RuntimeBuilder::new().workers(2).build();
-//! let data = rt.store().register("v", RegionData::F64(vec![1.0, 2.0, 3.0, 4.0]));
-//! let sums = rt.store().register("sum", RegionData::F64(vec![0.0]));
+//! let data = rt.store().register_typed("v", vec![1.0f64, 2.0, 3.0, 4.0]).unwrap();
+//! let sums = rt.store().register_zeros::<f64>("sum", 1).unwrap();
 //!
 //! let sum_type = rt.register_task_type(
 //!     TaskTypeBuilder::new("sum", |ctx| {
-//!         let total: f64 = ctx.read_f64(0).iter().sum();
-//!         ctx.write_f64(1, &[total]);
+//!         let total: f64 = ctx.arg::<f64>(0).iter().sum();
+//!         ctx.out(1, &[total]);
 //!     })
+//!     .arg::<f64>()
+//!     .out::<f64>()
 //!     .build(),
 //! );
 //!
-//! rt.submit(TaskDesc::new(
-//!     sum_type,
-//!     vec![Access::input(data, ElemType::F64), Access::output(sums, ElemType::F64)],
-//! ));
+//! rt.task(sum_type).reads(&data).writes(&sums).submit().unwrap();
 //! rt.taskwait();
 //! assert_eq!(rt.store().read(sums).lock().as_f64(), &[10.0]);
 //! ```
@@ -56,26 +61,34 @@ pub mod ready_queue;
 pub mod region;
 pub mod scheduler;
 pub mod stats;
+pub mod submit;
 pub mod task;
 pub mod trace;
 
 pub use access::{Access, AccessMode};
 pub use interceptor::{Decision, NoopInterceptor, TaskInterceptor};
-pub use region::{DataStore, ElemType, RegionData, RegionId};
+pub use region::{DataStore, Elem, ElemType, Region, RegionData, RegionId, RegisterError};
 pub use scheduler::{Runtime, RuntimeBuilder};
 pub use stats::{RuntimeStats, RuntimeStatsSnapshot};
-pub use task::{AtmTaskParams, TaskContext, TaskDesc, TaskId, TaskTypeBuilder, TaskTypeId, TaskTypeInfo, TaskView};
+pub use submit::{SubmitError, TaskBuilder};
+pub use task::{
+    AtmTaskParams, SigParam, TaskContext, TaskDesc, TaskId, TaskSignature, TaskTypeBuilder,
+    TaskTypeId, TaskTypeInfo, TaskView, VariadicSig,
+};
 pub use trace::{ThreadState, TraceEvent, TraceSummary, Tracer};
 
 /// Convenient glob import for applications built on the runtime.
 pub mod prelude {
     pub use crate::access::{Access, AccessMode};
     pub use crate::interceptor::{Decision, NoopInterceptor, TaskInterceptor};
-    pub use crate::region::{DataStore, ElemType, RegionData, RegionId};
+    pub use crate::region::{
+        DataStore, Elem, ElemType, Region, RegionData, RegionId, RegisterError,
+    };
     pub use crate::scheduler::{Runtime, RuntimeBuilder};
+    pub use crate::submit::{SubmitError, TaskBuilder};
     pub use crate::task::{
-        AtmTaskParams, TaskContext, TaskDesc, TaskId, TaskTypeBuilder, TaskTypeId, TaskTypeInfo,
-        TaskView,
+        AtmTaskParams, TaskContext, TaskDesc, TaskId, TaskSignature, TaskTypeBuilder, TaskTypeId,
+        TaskTypeInfo, TaskView,
     };
     pub use crate::trace::{ThreadState, Tracer};
 }

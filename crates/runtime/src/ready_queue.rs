@@ -9,7 +9,7 @@
 
 use crate::task::TaskId;
 use crate::trace::Tracer;
-use parking_lot::{Condvar, Mutex};
+use atm_sync::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -40,7 +40,11 @@ impl ReadyQueue {
     /// Creates an empty, open queue. Depth samples are recorded through
     /// `tracer` when tracing is enabled.
     pub fn new(tracer: Arc<Tracer>) -> Self {
-        ReadyQueue { state: Mutex::new(QueueState::default()), condvar: Condvar::new(), tracer }
+        ReadyQueue {
+            state: Mutex::new(QueueState::default()),
+            condvar: Condvar::new(),
+            tracer,
+        }
     }
 
     /// Adds a ready task and wakes one waiting worker.

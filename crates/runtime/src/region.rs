@@ -10,15 +10,28 @@
 //! accesses to byte ranges of regions and the runtime derives dependences
 //! from the overlaps.
 //!
-//! Regions are protected by `parking_lot::RwLock`. The dependence tracker
+//! Registration returns a phantom-typed [`Region<T>`] handle. The handle
+//! carries the element type at the type level, so access declarations and
+//! kernel reads derive the element width from the handle instead of
+//! restating it — the store remains the single source of truth for the
+//! stored [`ElemType`], and the submission validator checks every declared
+//! access against it.
+//!
+//! Regions are protected by [`atm_sync::RwLock`]. The dependence tracker
 //! already serialises conflicting tasks, so in a correct execution there is
 //! never lock contention on a region; the lock is a cheap safety net that
 //! keeps the whole crate free of `unsafe`.
 
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use atm_sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::HashMap;
+use std::marker::PhantomData;
 use std::sync::Arc;
 
 /// Identifier of a region inside a [`DataStore`].
+///
+/// This is the untyped, internal representation; user code normally holds a
+/// typed [`Region<T>`] handle instead and converts implicitly where an id is
+/// needed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RegionId(pub(crate) u32);
 
@@ -66,6 +79,178 @@ impl ElemType {
     }
 }
 
+impl std::fmt::Display for ElemType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ElemType::F32 => "f32",
+            ElemType::F64 => "f64",
+            ElemType::I32 => "i32",
+            ElemType::I64 => "i64",
+            ElemType::U8 => "u8",
+        };
+        f.write_str(name)
+    }
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+    impl Sealed for i32 {}
+    impl Sealed for i64 {}
+    impl Sealed for u8 {}
+}
+
+/// A Rust element type storable in a region: `f32`, `f64`, `i32`, `i64` or
+/// `u8`.
+///
+/// The trait is sealed — the set of implementors mirrors the [`ElemType`]
+/// and [`RegionData`] variants exactly, which is what lets the typed API
+/// ([`Region<T>`], [`crate::Access::read`], [`crate::TaskContext::arg`])
+/// guarantee at compile time that a handle's type always matches a real
+/// storage variant.
+pub trait Elem: sealed::Sealed + Copy + Send + Sync + 'static {
+    /// The runtime tag of this element type.
+    const ELEM: ElemType;
+    /// The additive identity, used to register zero-filled regions.
+    const ZERO: Self;
+
+    /// Views the region's contents as a slice of `Self`, when the variant
+    /// matches.
+    fn slice(data: &RegionData) -> Option<&[Self]>;
+
+    /// Mutable variant of [`Elem::slice`].
+    fn slice_mut(data: &mut RegionData) -> Option<&mut [Self]>;
+
+    /// Wraps a vector of `Self` into the matching [`RegionData`] variant.
+    fn into_region(data: Vec<Self>) -> RegionData;
+}
+
+macro_rules! impl_elem {
+    ($ty:ty, $variant:ident, $zero:expr) => {
+        impl Elem for $ty {
+            const ELEM: ElemType = ElemType::$variant;
+            const ZERO: Self = $zero;
+
+            fn slice(data: &RegionData) -> Option<&[Self]> {
+                match data {
+                    RegionData::$variant(v) => Some(v),
+                    _ => None,
+                }
+            }
+
+            fn slice_mut(data: &mut RegionData) -> Option<&mut [Self]> {
+                match data {
+                    RegionData::$variant(v) => Some(v),
+                    _ => None,
+                }
+            }
+
+            fn into_region(data: Vec<Self>) -> RegionData {
+                RegionData::$variant(data)
+            }
+        }
+    };
+}
+
+impl_elem!(f32, F32, 0.0);
+impl_elem!(f64, F64, 0.0);
+impl_elem!(i32, I32, 0);
+impl_elem!(i64, I64, 0);
+impl_elem!(u8, U8, 0);
+
+/// A phantom-typed handle to a registered region holding elements of `T`.
+///
+/// Obtained from [`DataStore::register_typed`] (or
+/// [`DataStore::register_zeros`]); the type parameter records the element
+/// type the store assigned at registration, so APIs taking the handle —
+/// [`crate::Access::read`], [`crate::TaskBuilder::reads`], … — can derive
+/// the [`ElemType`] instead of asking the caller to restate it.
+pub struct Region<T: Elem> {
+    id: RegionId,
+    _elem: PhantomData<fn() -> T>,
+}
+
+impl<T: Elem> Region<T> {
+    pub(crate) fn new(id: RegionId) -> Self {
+        Region {
+            id,
+            _elem: PhantomData,
+        }
+    }
+
+    /// The untyped id of the region.
+    pub fn id(self) -> RegionId {
+        self.id
+    }
+
+    /// The element type carried by the handle.
+    pub fn elem_type(self) -> ElemType {
+        T::ELEM
+    }
+}
+
+impl<T: Elem> Clone for Region<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T: Elem> Copy for Region<T> {}
+
+impl<T: Elem> PartialEq for Region<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl<T: Elem> Eq for Region<T> {}
+
+impl<T: Elem> std::hash::Hash for Region<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl<T: Elem> std::fmt::Debug for Region<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Region<{}>({})", T::ELEM, self.id.0)
+    }
+}
+
+impl<T: Elem> From<Region<T>> for RegionId {
+    fn from(region: Region<T>) -> RegionId {
+        region.id
+    }
+}
+
+impl<T: Elem> From<&Region<T>> for RegionId {
+    fn from(region: &Region<T>) -> RegionId {
+        region.id
+    }
+}
+
+/// Error returned when a region cannot be registered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegisterError {
+    /// A region with the same name already exists in the store. Names are
+    /// unique identifiers: silently registering a second region under an
+    /// existing name would shadow it in name lookups and hide bugs.
+    DuplicateName(String),
+}
+
+impl std::fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegisterError::DuplicateName(name) => {
+                write!(f, "a region named {name:?} is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
 /// Typed storage of one region.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RegionData {
@@ -112,6 +297,29 @@ impl RegionData {
     /// Size of the stored data in bytes.
     pub fn size_bytes(&self) -> usize {
         self.len() * self.elem_type().width()
+    }
+
+    /// Views the contents as a slice of `T`, when the stored type matches.
+    pub fn try_as<T: Elem>(&self) -> Option<&[T]> {
+        T::slice(self)
+    }
+
+    /// Views the contents as a typed slice.
+    ///
+    /// # Panics
+    /// Panics if the region does not hold `T` elements.
+    pub fn as_elems<T: Elem>(&self) -> &[T] {
+        T::slice(self)
+            .unwrap_or_else(|| panic!("region holds {}, expected {}", self.elem_type(), T::ELEM))
+    }
+
+    /// Mutable variant of [`RegionData::as_elems`].
+    ///
+    /// # Panics
+    /// Panics if the region does not hold `T` elements.
+    pub fn as_elems_mut<T: Elem>(&mut self) -> &mut [T] {
+        let elem = self.elem_type();
+        T::slice_mut(self).unwrap_or_else(|| panic!("region holds {}, expected {}", elem, T::ELEM))
     }
 
     /// Copies the raw little-endian byte representation of the data into a
@@ -226,10 +434,7 @@ impl RegionData {
     /// # Panics
     /// Panics if the region does not hold `f32` data.
     pub fn as_f32(&self) -> &[f32] {
-        match self {
-            RegionData::F32(v) => v,
-            other => panic!("region holds {:?}, expected F32", other.elem_type()),
-        }
+        self.as_elems()
     }
 
     /// Mutable access to `f32` contents.
@@ -237,10 +442,7 @@ impl RegionData {
     /// # Panics
     /// Panics if the region does not hold `f32` data.
     pub fn as_f32_mut(&mut self) -> &mut [f32] {
-        match self {
-            RegionData::F32(v) => v,
-            other => panic!("region holds {:?}, expected F32", other.elem_type()),
-        }
+        self.as_elems_mut()
     }
 
     /// Immutable access to `f64` contents.
@@ -248,10 +450,7 @@ impl RegionData {
     /// # Panics
     /// Panics if the region does not hold `f64` data.
     pub fn as_f64(&self) -> &[f64] {
-        match self {
-            RegionData::F64(v) => v,
-            other => panic!("region holds {:?}, expected F64", other.elem_type()),
-        }
+        self.as_elems()
     }
 
     /// Mutable access to `f64` contents.
@@ -259,10 +458,7 @@ impl RegionData {
     /// # Panics
     /// Panics if the region does not hold `f64` data.
     pub fn as_f64_mut(&mut self) -> &mut [f64] {
-        match self {
-            RegionData::F64(v) => v,
-            other => panic!("region holds {:?}, expected F64", other.elem_type()),
-        }
+        self.as_elems_mut()
     }
 
     /// Immutable access to `i32` contents.
@@ -270,10 +466,7 @@ impl RegionData {
     /// # Panics
     /// Panics if the region does not hold `i32` data.
     pub fn as_i32(&self) -> &[i32] {
-        match self {
-            RegionData::I32(v) => v,
-            other => panic!("region holds {:?}, expected I32", other.elem_type()),
-        }
+        self.as_elems()
     }
 
     /// Mutable access to `i32` contents.
@@ -281,10 +474,7 @@ impl RegionData {
     /// # Panics
     /// Panics if the region does not hold `i32` data.
     pub fn as_i32_mut(&mut self) -> &mut [i32] {
-        match self {
-            RegionData::I32(v) => v,
-            other => panic!("region holds {:?}, expected I32", other.elem_type()),
-        }
+        self.as_elems_mut()
     }
 }
 
@@ -293,6 +483,20 @@ impl RegionData {
 struct RegionSlot {
     data: RwLock<RegionData>,
     name: String,
+    /// Cached element type. Regions are fixed-shape once registered
+    /// ([`DataStore::restore`] rejects type changes), so this never goes
+    /// stale — it lets hot paths like submission validation read the type
+    /// without touching the data lock.
+    elem: ElemType,
+}
+
+/// Registration state: the region slots plus the name index used to reject
+/// duplicate names. Kept under a single lock so the existence check and the
+/// insertion are atomic.
+#[derive(Debug, Default)]
+struct Registry {
+    slots: Vec<Arc<RegionSlot>>,
+    by_name: HashMap<String, RegionId>,
 }
 
 /// The registry of all regions an application has handed to the runtime.
@@ -301,7 +505,7 @@ struct RegionSlot {
 /// threads and the ATM engine.
 #[derive(Debug, Default)]
 pub struct DataStore {
-    regions: RwLock<Vec<Arc<RegionSlot>>>,
+    registry: RwLock<Registry>,
 }
 
 impl DataStore {
@@ -310,27 +514,82 @@ impl DataStore {
         Self::default()
     }
 
-    /// Registers a new region and returns its id.
+    /// Registers a new region under a unique name and returns a typed
+    /// handle. The element type of the region is taken from the data, so it
+    /// never needs to be restated at access-declaration or kernel-read time.
+    pub fn register_typed<T: Elem>(
+        &self,
+        name: impl Into<String>,
+        data: Vec<T>,
+    ) -> Result<Region<T>, RegisterError> {
+        self.try_register(name, T::into_region(data))
+            .map(Region::new)
+    }
+
+    /// Registers a region of `len` zeros of type `T`.
+    pub fn register_zeros<T: Elem>(
+        &self,
+        name: impl Into<String>,
+        len: usize,
+    ) -> Result<Region<T>, RegisterError> {
+        self.register_typed(name, vec![T::ZERO; len])
+    }
+
+    /// Registers a new region from untyped [`RegionData`] and returns its
+    /// untyped id. Prefer [`DataStore::register_typed`], which returns a
+    /// typed handle.
+    pub fn try_register(
+        &self,
+        name: impl Into<String>,
+        data: RegionData,
+    ) -> Result<RegionId, RegisterError> {
+        let name = name.into();
+        let mut registry = self.registry.write();
+        if registry.by_name.contains_key(&name) {
+            return Err(RegisterError::DuplicateName(name));
+        }
+        let id = RegionId(u32::try_from(registry.slots.len()).expect("more than u32::MAX regions"));
+        registry.by_name.insert(name.clone(), id);
+        let elem = data.elem_type();
+        registry.slots.push(Arc::new(RegionSlot {
+            data: RwLock::new(data),
+            name,
+            elem,
+        }));
+        Ok(id)
+    }
+
+    /// Registers a new region and returns its untyped id.
+    ///
+    /// # Panics
+    /// Panics if a region with the same name already exists. Use
+    /// [`DataStore::try_register`] (or [`DataStore::register_typed`]) to
+    /// handle the duplicate as an error.
+    #[deprecated(note = "use `register_typed` (typed handle) or `try_register` (checked) instead")]
     pub fn register(&self, name: impl Into<String>, data: RegionData) -> RegionId {
-        let mut regions = self.regions.write();
-        let id = RegionId(u32::try_from(regions.len()).expect("more than u32::MAX regions"));
-        regions.push(Arc::new(RegionSlot { data: RwLock::new(data), name: name.into() }));
-        id
+        self.try_register(name, data)
+            .unwrap_or_else(|err| panic!("{err}"))
     }
 
     /// Registers a region of `len` `f32` zeros.
+    #[deprecated(note = "use `register_zeros::<f32>` instead")]
     pub fn register_f32_zeros(&self, name: impl Into<String>, len: usize) -> RegionId {
-        self.register(name, RegionData::F32(vec![0.0; len]))
+        self.register_zeros::<f32>(name, len)
+            .unwrap_or_else(|err| panic!("{err}"))
+            .id()
     }
 
     /// Registers a region of `len` `f64` zeros.
+    #[deprecated(note = "use `register_zeros::<f64>` instead")]
     pub fn register_f64_zeros(&self, name: impl Into<String>, len: usize) -> RegionId {
-        self.register(name, RegionData::F64(vec![0.0; len]))
+        self.register_zeros::<f64>(name, len)
+            .unwrap_or_else(|err| panic!("{err}"))
+            .id()
     }
 
     /// Number of registered regions.
     pub fn len(&self) -> usize {
-        self.regions.read().len()
+        self.registry.read().slots.len()
     }
 
     /// True when no regions are registered.
@@ -338,42 +597,80 @@ impl DataStore {
         self.len() == 0
     }
 
+    /// Looks a region up by its registration name.
+    pub fn lookup(&self, name: &str) -> Option<RegionId> {
+        self.registry.read().by_name.get(name).copied()
+    }
+
     /// The human-readable name given at registration.
-    pub fn name(&self, id: RegionId) -> String {
-        self.slot(id).name.clone()
+    pub fn name(&self, id: impl Into<RegionId>) -> String {
+        self.slot(id.into()).name.clone()
     }
 
     /// Size of a region in bytes.
-    pub fn size_bytes(&self, id: RegionId) -> usize {
-        self.slot(id).data.read().size_bytes()
+    pub fn size_bytes(&self, id: impl Into<RegionId>) -> usize {
+        self.slot(id.into()).data.read().size_bytes()
     }
 
     /// Element type of a region.
-    pub fn elem_type(&self, id: RegionId) -> ElemType {
-        self.slot(id).data.read().elem_type()
+    pub fn elem_type(&self, id: impl Into<RegionId>) -> ElemType {
+        self.slot(id.into()).elem
+    }
+
+    /// Element type of a region, or `None` when the id is unknown to this
+    /// store. Used by the submission validator to report stale or foreign
+    /// ids as a [`crate::SubmitError`] instead of panicking.
+    pub fn try_elem_type(&self, id: impl Into<RegionId>) -> Option<ElemType> {
+        self.try_slot(id.into()).map(|slot| slot.elem)
+    }
+
+    /// Element types of many regions, resolved under a single registry
+    /// lock and without touching any region's data lock (the element type
+    /// is cached at registration). This keeps submission validation off
+    /// the task-creation hot path's lock budget.
+    pub fn try_elem_types(&self, ids: impl IntoIterator<Item = RegionId>) -> Vec<Option<ElemType>> {
+        let registry = self.registry.read();
+        ids.into_iter()
+            .map(|id| registry.slots.get(id.index()).map(|slot| slot.elem))
+            .collect()
     }
 
     /// Total application footprint: the sum of all region sizes in bytes.
     /// Used as the denominator of the Table III memory-overhead figures.
     pub fn total_bytes(&self) -> usize {
-        let regions = self.regions.read();
-        regions.iter().map(|r| r.data.read().size_bytes()).sum()
+        let registry = self.registry.read();
+        registry
+            .slots
+            .iter()
+            .map(|r| r.data.read().size_bytes())
+            .sum()
     }
 
     /// Read access to a region's data.
-    pub fn read(&self, id: RegionId) -> RegionReadGuard<'_> {
-        RegionReadGuard { slot: self.slot(id), _marker: std::marker::PhantomData }
+    pub fn read(&self, id: impl Into<RegionId>) -> RegionReadGuard<'_> {
+        RegionReadGuard {
+            slot: self.slot(id.into()),
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Write access to a region's data.
-    pub fn write(&self, id: RegionId) -> RegionWriteGuard<'_> {
-        RegionWriteGuard { slot: self.slot(id), _marker: std::marker::PhantomData }
+    pub fn write(&self, id: impl Into<RegionId>) -> RegionWriteGuard<'_> {
+        RegionWriteGuard {
+            slot: self.slot(id.into()),
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Clones a region's current contents (used for output snapshots and for
     /// the sequential references in tests).
-    pub fn snapshot(&self, id: RegionId) -> RegionData {
-        self.slot(id).data.read().clone()
+    pub fn snapshot(&self, id: impl Into<RegionId>) -> RegionData {
+        self.slot(id.into()).data.read().clone()
+    }
+
+    /// Clones the typed contents of a region.
+    pub fn contents<T: Elem>(&self, region: &Region<T>) -> Vec<T> {
+        self.read(region).lock().as_elems::<T>().to_vec()
     }
 
     /// Replaces a region's contents.
@@ -381,16 +678,17 @@ impl DataStore {
     /// # Panics
     /// Panics if the new data has a different type or length than the
     /// current contents (regions are fixed-shape once registered).
-    pub fn restore(&self, id: RegionId, data: &RegionData) {
-        self.slot(id).data.write().copy_from(data);
+    pub fn restore(&self, id: impl Into<RegionId>, data: &RegionData) {
+        self.slot(id.into()).data.write().copy_from(data);
     }
 
     fn slot(&self, id: RegionId) -> Arc<RegionSlot> {
-        let regions = self.regions.read();
-        regions
-            .get(id.index())
-            .unwrap_or_else(|| panic!("unknown region id {:?}", id))
-            .clone()
+        self.try_slot(id)
+            .unwrap_or_else(|| panic!("unknown region id {id:?}"))
+    }
+
+    fn try_slot(&self, id: RegionId) -> Option<Arc<RegionSlot>> {
+        self.registry.read().slots.get(id.index()).cloned()
     }
 }
 
@@ -427,21 +725,65 @@ mod tests {
     #[test]
     fn register_and_read_back() {
         let store = DataStore::new();
-        let id = store.register("prices", RegionData::F32(vec![1.0, 2.0, 3.0]));
+        let id = store
+            .register_typed("prices", vec![1.0f32, 2.0, 3.0])
+            .unwrap();
         assert_eq!(store.len(), 1);
         assert_eq!(store.name(id), "prices");
         assert_eq!(store.size_bytes(id), 12);
         assert_eq!(store.elem_type(id), ElemType::F32);
+        assert_eq!(id.elem_type(), ElemType::F32);
         assert_eq!(store.read(id).lock().as_f32(), &[1.0, 2.0, 3.0]);
+        assert_eq!(store.contents(&id), vec![1.0, 2.0, 3.0]);
+        assert_eq!(store.lookup("prices"), Some(id.id()));
+        assert_eq!(store.lookup("missing"), None);
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let store = DataStore::new();
+        let first = store.register_typed("block", vec![0.0f64; 2]);
+        assert!(first.is_ok());
+        let second = store.register_typed("block", vec![0.0f64; 2]);
+        assert_eq!(
+            second.unwrap_err(),
+            RegisterError::DuplicateName("block".to_string())
+        );
+        let untyped = store.try_register("block", RegionData::U8(vec![1]));
+        assert!(matches!(untyped, Err(RegisterError::DuplicateName(_))));
+        assert_eq!(
+            store.len(),
+            1,
+            "rejected registrations must not allocate a slot"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_register_panics_on_duplicate() {
+        let store = DataStore::new();
+        let _ = store.register("r", RegionData::F32(vec![1.0]));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.register("r", RegionData::F32(vec![2.0]))
+        }));
+        assert!(result.is_err());
     }
 
     #[test]
     fn write_then_snapshot_then_restore() {
         let store = DataStore::new();
-        let id = store.register_f64_zeros("block", 4);
-        store.write(id).lock().as_f64_mut().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let id = store.register_zeros::<f64>("block", 4).unwrap();
+        store
+            .write(id)
+            .lock()
+            .as_f64_mut()
+            .copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
         let snap = store.snapshot(id);
-        store.write(id).lock().as_f64_mut().copy_from_slice(&[9.0, 9.0, 9.0, 9.0]);
+        store
+            .write(id)
+            .lock()
+            .as_f64_mut()
+            .copy_from_slice(&[9.0, 9.0, 9.0, 9.0]);
         store.restore(id, &snap);
         assert_eq!(store.read(id).lock().as_f64(), &[1.0, 2.0, 3.0, 4.0]);
     }
@@ -449,10 +791,23 @@ mod tests {
     #[test]
     fn total_bytes_sums_all_regions() {
         let store = DataStore::new();
-        store.register_f32_zeros("a", 10);
-        store.register_f64_zeros("b", 10);
-        store.register("c", RegionData::U8(vec![0; 7]));
+        store.register_zeros::<f32>("a", 10).unwrap();
+        store.register_zeros::<f64>("b", 10).unwrap();
+        store.register_typed("c", vec![0u8; 7]).unwrap();
         assert_eq!(store.total_bytes(), 40 + 80 + 7);
+    }
+
+    #[test]
+    fn typed_handles_are_copy_and_comparable() {
+        let store = DataStore::new();
+        let a = store.register_zeros::<i32>("a", 1).unwrap();
+        let b = store.register_zeros::<i32>("b", 1).unwrap();
+        let a2 = a;
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(format!("{a:?}"), "Region<i32>(0)");
+        assert_eq!(RegionId::from(a), a.id());
+        assert_eq!(RegionId::from(&b), b.id());
     }
 
     #[test]
@@ -486,7 +841,10 @@ mod tests {
         let mut dst = RegionData::F32(vec![0.0; 4]);
         dst.write_elems(2..4, &slice);
         assert_eq!(dst.as_f32(), &[0.0, 0.0, 2.0, 3.0]);
-        assert_eq!(src.bytes_in_elem_range(0..2), RegionData::F32(vec![1.0, 2.0]).to_bytes());
+        assert_eq!(
+            src.bytes_in_elem_range(0..2),
+            RegionData::F32(vec![1.0, 2.0]).to_bytes()
+        );
     }
 
     #[test]
@@ -515,6 +873,22 @@ mod tests {
     fn unknown_region_panics() {
         let store = DataStore::new();
         let _ = store.read(RegionId(3));
+    }
+
+    #[test]
+    fn try_elem_type_reports_unknown_ids() {
+        let store = DataStore::new();
+        let id = store.register_zeros::<u8>("bytes", 3).unwrap();
+        assert_eq!(store.try_elem_type(id), Some(ElemType::U8));
+        assert_eq!(store.try_elem_type(RegionId::from_raw(9)), None);
+    }
+
+    #[test]
+    fn typed_views_check_the_variant() {
+        let data = RegionData::I64(vec![1, 2]);
+        assert_eq!(data.try_as::<i64>(), Some(&[1i64, 2][..]));
+        assert!(data.try_as::<f64>().is_none());
+        assert_eq!(data.as_elems::<i64>(), &[1, 2]);
     }
 
     #[test]

@@ -7,15 +7,23 @@
 //! Queue; idle worker threads pull tasks from the queue and, *before
 //! executing them*, give the configured [`TaskInterceptor`] (the ATM engine)
 //! the chance to memoize or defer them.
+//!
+//! Submissions go through the fluent [`Runtime::task`] builder (or the
+//! lower-level [`Runtime::try_submit`]): every descriptor is validated
+//! against the task type's declared signature and against the store before
+//! it enters the dependence graph, so malformed tasks are rejected with a
+//! [`SubmitError`] on the submitting thread instead of panicking inside a
+//! worker.
 
 use crate::dependence::TaskGraph;
 use crate::interceptor::{Decision, NoopInterceptor, TaskInterceptor};
 use crate::ready_queue::{Popped, ReadyQueue};
 use crate::region::DataStore;
 use crate::stats::{RuntimeStats, RuntimeStatsSnapshot};
+use crate::submit::{check_signature, check_store, SubmitError, TaskBuilder};
 use crate::task::{TaskContext, TaskDesc, TaskId, TaskTypeId, TaskTypeInfo, TaskView};
 use crate::trace::{ThreadState, Tracer};
-use parking_lot::{Condvar, Mutex, RwLock};
+use atm_sync::{Condvar, Mutex, RwLock};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -36,7 +44,11 @@ impl RuntimeBuilder {
     /// Starts a builder with 1 worker, tracing disabled and no interceptor
     /// (the "no ATM" baseline).
     pub fn new() -> Self {
-        RuntimeBuilder { workers: 1, tracing: false, interceptor: Arc::new(NoopInterceptor) }
+        RuntimeBuilder {
+            workers: 1,
+            tracing: false,
+            interceptor: Arc::new(NoopInterceptor),
+        }
     }
 
     /// Sets the number of worker threads (the paper's "number of cores").
@@ -108,7 +120,10 @@ impl Inner {
         let newly_ready = self.graph.lock().finish(id);
         self.queue.push_all(&newly_ready);
         let mut outstanding = self.outstanding.lock();
-        debug_assert!(*outstanding > 0, "finishing a task with no outstanding work");
+        debug_assert!(
+            *outstanding > 0,
+            "finishing a task with no outstanding work"
+        );
         *outstanding -= 1;
         if *outstanding == 0 {
             self.all_done.notify_all();
@@ -124,7 +139,9 @@ fn worker_loop(inner: &Arc<Inner>, worker: usize) {
     loop {
         let idle_start = inner.tracer.now_ns();
         let popped = inner.queue.pop();
-        inner.tracer.record(worker, ThreadState::Idle, idle_start, inner.tracer.now_ns());
+        inner
+            .tracer
+            .record(worker, ThreadState::Idle, idle_start, inner.tracer.now_ns());
         let id = match popped {
             Popped::Task(id) => id,
             Popped::Closed => break,
@@ -133,16 +150,26 @@ fn worker_loop(inner: &Arc<Inner>, worker: usize) {
         inner.graph.lock().mark_running(id);
         let desc = inner.graph.lock().desc(id).clone();
         let info = inner.task_type(desc.task_type);
-        let view = TaskView { id, type_id: desc.task_type, info: &info, accesses: &desc.accesses };
+        let view = TaskView {
+            id,
+            type_id: desc.task_type,
+            info: &info,
+            accesses: &desc.accesses,
+            memo: desc.memo,
+        };
 
-        let decision = inner.interceptor.before_execute(view, &inner.store, &inner.tracer, worker);
+        let decision = inner
+            .interceptor
+            .before_execute(view, &inner.store, &inner.tracer, worker);
         let executed = match decision {
             Decision::Execute => {
                 let start = inner.tracer.now_ns();
                 let ctx = TaskContext::new(&inner.store, &desc.accesses);
                 (info.kernel)(&ctx);
                 let end = inner.tracer.now_ns();
-                inner.tracer.record(worker, ThreadState::TaskExecution, start, end);
+                inner
+                    .tracer
+                    .record(worker, ThreadState::TaskExecution, start, end);
                 inner.stats.add(&inner.stats.kernel_ns, end - start);
                 inner.stats.incr(&inner.stats.executed);
                 true
@@ -162,7 +189,9 @@ fn worker_loop(inner: &Arc<Inner>, worker: usize) {
         };
 
         let completed_deferred =
-            inner.interceptor.after_execute(view, &inner.store, &inner.tracer, worker, executed);
+            inner
+                .interceptor
+                .after_execute(view, &inner.store, &inner.tracer, worker, executed);
         inner.finish_task(id);
         for deferred in completed_deferred {
             inner.finish_task(deferred);
@@ -174,9 +203,10 @@ fn worker_loop(inner: &Arc<Inner>, worker: usize) {
 ///
 /// Create one with [`RuntimeBuilder`], register regions through
 /// [`Runtime::store`], register task types with
-/// [`Runtime::register_task_type`], submit work with [`Runtime::submit`] and
-/// synchronise with [`Runtime::taskwait`]. Dropping the runtime (or calling
-/// [`Runtime::shutdown`]) stops the workers.
+/// [`Runtime::register_task_type`], submit work with the fluent
+/// [`Runtime::task`] builder and synchronise with [`Runtime::taskwait`].
+/// Dropping the runtime (or calling [`Runtime::shutdown`]) stops the
+/// workers.
 pub struct Runtime {
     inner: Arc<Inner>,
     handles: Vec<JoinHandle<()>>,
@@ -206,19 +236,33 @@ impl Runtime {
         id
     }
 
-    /// Submits one task instance. Dependences on previously submitted,
-    /// unfinished tasks are derived from the declared accesses; the task
-    /// starts executing as soon as they are satisfied.
-    pub fn submit(&self, desc: TaskDesc) -> TaskId {
+    /// Starts a fluent, validating submission of one instance of
+    /// `task_type`. Chain [`TaskBuilder::reads`], [`TaskBuilder::writes`],
+    /// [`TaskBuilder::reads_writes`] (and optionally
+    /// [`TaskBuilder::memo`]), then call [`TaskBuilder::submit`].
+    pub fn task(&self, task_type: TaskTypeId) -> TaskBuilder<'_> {
+        TaskBuilder::new(self, task_type)
+    }
+
+    /// Validates and submits one task instance. Dependences on previously
+    /// submitted, unfinished tasks are derived from the declared accesses;
+    /// the task starts executing as soon as they are satisfied.
+    pub fn try_submit(&self, desc: TaskDesc) -> Result<TaskId, SubmitError> {
         let start = self.inner.tracer.now_ns();
         {
             let registry = self.inner.registry.read();
-            assert!(
-                desc.task_type.index() < registry.len(),
-                "task type {:?} was not registered",
-                desc.task_type
-            );
+            let info =
+                registry
+                    .get(desc.task_type.index())
+                    .ok_or(SubmitError::UnknownTaskType {
+                        task_type: desc.task_type,
+                    })?;
+            if let Some(signature) = &info.signature {
+                check_signature(signature, &desc.accesses)?;
+            }
         }
+        check_store(&self.inner.store, &desc.accesses)?;
+
         *self.inner.outstanding.lock() += 1;
         let (id, ready) = self.inner.graph.lock().submit(desc);
         if ready {
@@ -226,15 +270,35 @@ impl Runtime {
         }
         let end = self.inner.tracer.now_ns();
         self.inner.stats.incr(&self.inner.stats.submitted);
-        self.inner.stats.add(&self.inner.stats.creation_ns, end - start);
+        self.inner
+            .stats
+            .add(&self.inner.stats.creation_ns, end - start);
         // The master (submitting) thread is traced as worker index `workers`.
-        self.inner.tracer.record(self.inner.workers, ThreadState::TaskCreation, start, end);
-        id
+        self.inner
+            .tracer
+            .record(self.inner.workers, ThreadState::TaskCreation, start, end);
+        Ok(id)
     }
 
-    /// Convenience: registers the type and submits in one call (used by tests).
-    pub fn submit_simple(&self, task_type: TaskTypeId, accesses: Vec<crate::access::Access>) -> TaskId {
-        self.submit(TaskDesc::new(task_type, accesses))
+    /// Submits one task instance, panicking when validation fails.
+    #[deprecated(
+        note = "use the fluent `Runtime::task(..).submit()` builder or `try_submit`, \
+                         which return a `SubmitError` instead of panicking"
+    )]
+    pub fn submit(&self, desc: TaskDesc) -> TaskId {
+        self.try_submit(desc)
+            .unwrap_or_else(|err| panic!("invalid task submission: {err}"))
+    }
+
+    /// Convenience: builds a descriptor and submits it in one call.
+    #[deprecated(note = "use the fluent `Runtime::task(..).submit()` builder instead")]
+    pub fn submit_simple(
+        &self,
+        task_type: TaskTypeId,
+        accesses: Vec<crate::access::Access>,
+    ) -> TaskId {
+        self.try_submit(TaskDesc::new(task_type, accesses))
+            .unwrap_or_else(|err| panic!("invalid task submission: {err}"))
     }
 
     /// Blocks until every submitted task has finished (the `#pragma omp taskwait`
@@ -246,7 +310,12 @@ impl Runtime {
             self.inner.all_done.wait(&mut outstanding);
         }
         drop(outstanding);
-        self.inner.tracer.record(self.inner.workers, ThreadState::Idle, start, self.inner.tracer.now_ns());
+        self.inner.tracer.record(
+            self.inner.workers,
+            ThreadState::Idle,
+            start,
+            self.inner.tracer.now_ns(),
+        );
     }
 
     /// Snapshot of the runtime counters.
@@ -284,22 +353,23 @@ impl Drop for Runtime {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::access::Access;
-    use crate::region::{ElemType, RegionData};
+    use crate::access::{Access, AccessMode};
+    use crate::region::{ElemType, Region};
     use crate::task::TaskTypeBuilder;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn single_task_executes_and_writes_output() {
         let rt = RuntimeBuilder::new().workers(2).build();
-        let out = rt.store().register("out", RegionData::F32(vec![0.0; 4]));
+        let out = rt.store().register_zeros::<f32>("out", 4).unwrap();
         let tt = rt.register_task_type(
             TaskTypeBuilder::new("fill", |ctx| {
-                ctx.write_f32(0, &[1.0, 2.0, 3.0, 4.0]);
+                ctx.out(0, &[1.0f32, 2.0, 3.0, 4.0]);
             })
+            .out::<f32>()
             .build(),
         );
-        rt.submit(TaskDesc::new(tt, vec![Access::output(out, ElemType::F32)]));
+        rt.task(tt).writes(&out).submit().unwrap();
         rt.taskwait();
         assert_eq!(rt.store().read(out).lock().as_f32(), &[1.0, 2.0, 3.0, 4.0]);
         let stats = rt.stats();
@@ -311,23 +381,24 @@ mod tests {
     #[test]
     fn dependent_tasks_run_in_dataflow_order() {
         let rt = RuntimeBuilder::new().workers(4).build();
-        let a = rt.store().register("a", RegionData::F64(vec![0.0]));
-        let b = rt.store().register("b", RegionData::F64(vec![0.0]));
+        let a = rt.store().register_zeros::<f64>("a", 1).unwrap();
+        let b = rt.store().register_zeros::<f64>("b", 1).unwrap();
         let produce = rt.register_task_type(
-            TaskTypeBuilder::new("produce", |ctx| ctx.write_f64(0, &[21.0])).build(),
+            TaskTypeBuilder::new("produce", |ctx| ctx.out(0, &[21.0f64]))
+                .out::<f64>()
+                .build(),
         );
         let double = rt.register_task_type(
             TaskTypeBuilder::new("double", |ctx| {
-                let x = ctx.read_f64(0)[0];
-                ctx.write_f64(1, &[x * 2.0]);
+                let x = ctx.arg::<f64>(0)[0];
+                ctx.out(1, &[x * 2.0]);
             })
+            .arg::<f64>()
+            .out::<f64>()
             .build(),
         );
-        rt.submit(TaskDesc::new(produce, vec![Access::output(a, ElemType::F64)]));
-        rt.submit(TaskDesc::new(
-            double,
-            vec![Access::input(a, ElemType::F64), Access::output(b, ElemType::F64)],
-        ));
+        rt.task(produce).writes(&a).submit().unwrap();
+        rt.task(double).reads(&a).writes(&b).submit().unwrap();
         rt.taskwait();
         assert_eq!(rt.store().read(b).lock().as_f64(), &[42.0]);
         rt.shutdown();
@@ -336,16 +407,17 @@ mod tests {
     #[test]
     fn chain_of_inout_tasks_is_serialised() {
         let rt = RuntimeBuilder::new().workers(4).build();
-        let counter = rt.store().register("counter", RegionData::I32(vec![0]));
+        let counter = rt.store().register_zeros::<i32>("counter", 1).unwrap();
         let incr = rt.register_task_type(
             TaskTypeBuilder::new("incr", |ctx| {
-                let v = ctx.read_i32(0)[0];
-                ctx.write_i32(0, &[v + 1]);
+                let v = ctx.arg::<i32>(0)[0];
+                ctx.out(0, &[v + 1]);
             })
+            .inout::<i32>()
             .build(),
         );
         for _ in 0..100 {
-            rt.submit(TaskDesc::new(incr, vec![Access::inout(counter, ElemType::I32)]));
+            rt.task(incr).reads_writes(&counter).submit().unwrap();
         }
         rt.taskwait();
         assert_eq!(rt.store().read(counter).lock().as_i32(), &[100]);
@@ -355,24 +427,26 @@ mod tests {
     #[test]
     fn independent_tasks_can_run_on_many_workers() {
         let rt = RuntimeBuilder::new().workers(4).build();
-        let regions: Vec<_> =
-            (0..64).map(|i| rt.store().register(format!("r{i}"), RegionData::F32(vec![0.0]))).collect();
+        let regions: Vec<Region<f32>> = (0..64)
+            .map(|i| rt.store().register_zeros(format!("r{i}"), 1).unwrap())
+            .collect();
         let executions = Arc::new(AtomicUsize::new(0));
         let executions_in_kernel = Arc::clone(&executions);
         let tt = rt.register_task_type(
             TaskTypeBuilder::new("mark", move |ctx| {
                 executions_in_kernel.fetch_add(1, Ordering::Relaxed);
-                ctx.write_f32(0, &[1.0]);
+                ctx.out(0, &[1.0f32]);
             })
+            .out::<f32>()
             .build(),
         );
-        for &r in &regions {
-            rt.submit(TaskDesc::new(tt, vec![Access::output(r, ElemType::F32)]));
+        for r in &regions {
+            rt.task(tt).writes(r).submit().unwrap();
         }
         rt.taskwait();
         assert_eq!(executions.load(Ordering::Relaxed), 64);
-        for &r in &regions {
-            assert_eq!(rt.store().read(r).lock().as_f32(), &[1.0]);
+        for r in &regions {
+            assert_eq!(rt.store().read(*r).lock().as_f32(), &[1.0]);
         }
         rt.shutdown();
     }
@@ -380,16 +454,18 @@ mod tests {
     #[test]
     fn taskwait_can_be_called_repeatedly_between_submission_waves() {
         let rt = RuntimeBuilder::new().workers(2).build();
-        let acc = rt.store().register("acc", RegionData::F64(vec![0.0]));
-        let add_one =
-            rt.register_task_type(TaskTypeBuilder::new("add", |ctx| {
-                let v = ctx.read_f64(0)[0];
-                ctx.write_f64(0, &[v + 1.0]);
+        let acc = rt.store().register_zeros::<f64>("acc", 1).unwrap();
+        let add_one = rt.register_task_type(
+            TaskTypeBuilder::new("add", |ctx| {
+                let v = ctx.arg::<f64>(0)[0];
+                ctx.out(0, &[v + 1.0]);
             })
-            .build());
+            .inout::<f64>()
+            .build(),
+        );
         for _wave in 0..5 {
             for _ in 0..10 {
-                rt.submit(TaskDesc::new(add_one, vec![Access::inout(acc, ElemType::F64)]));
+                rt.task(add_one).reads_writes(&acc).submit().unwrap();
             }
             rt.taskwait();
         }
@@ -400,16 +476,17 @@ mod tests {
     #[test]
     fn stats_and_tracer_capture_execution() {
         let rt = RuntimeBuilder::new().workers(1).tracing(true).build();
-        let r = rt.store().register("r", RegionData::F32(vec![0.0; 128]));
+        let r = rt.store().register_zeros::<f32>("r", 128).unwrap();
         let tt = rt.register_task_type(
             TaskTypeBuilder::new("work", |ctx| {
                 let v: Vec<f32> = (0..128).map(|i| (i as f32).sin()).collect();
-                ctx.write_f32(0, &v);
+                ctx.out(0, &v);
             })
+            .inout::<f32>()
             .build(),
         );
         for _ in 0..10 {
-            rt.submit(TaskDesc::new(tt, vec![Access::inout(r, ElemType::F32)]));
+            rt.task(tt).reads_writes(&r).submit().unwrap();
         }
         rt.taskwait();
         let stats = rt.stats();
@@ -424,19 +501,134 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "was not registered")]
-    fn submitting_unregistered_task_type_panics() {
+    fn submitting_unregistered_task_type_is_rejected() {
         let rt = RuntimeBuilder::new().workers(1).build();
-        let r = rt.store().register("r", RegionData::F32(vec![0.0]));
-        rt.submit(TaskDesc::new(TaskTypeId(5), vec![Access::output(r, ElemType::F32)]));
+        let r = rt.store().register_zeros::<f32>("r", 1).unwrap();
+        let err = rt.task(TaskTypeId(5)).writes(&r).submit().unwrap_err();
+        assert_eq!(
+            err,
+            SubmitError::UnknownTaskType {
+                task_type: TaskTypeId(5)
+            }
+        );
+    }
+
+    #[test]
+    fn submission_validates_against_the_signature() {
+        let rt = RuntimeBuilder::new().workers(1).build();
+        let input = rt.store().register_zeros::<f64>("in", 2).unwrap();
+        let out = rt.store().register_zeros::<f64>("out", 2).unwrap();
+        let floats = rt.store().register_zeros::<f32>("floats", 2).unwrap();
+        let tt = rt.register_task_type(
+            TaskTypeBuilder::new("copy", |ctx| {
+                let v = ctx.arg::<f64>(0);
+                ctx.out(1, &v);
+            })
+            .arg::<f64>()
+            .out::<f64>()
+            .build(),
+        );
+
+        // Wrong arity.
+        assert_eq!(
+            rt.task(tt).reads(&input).submit().unwrap_err(),
+            SubmitError::ArityMismatch {
+                min: 2,
+                max: Some(2),
+                got: 1
+            }
+        );
+        // Wrong mode at position 1.
+        assert_eq!(
+            rt.task(tt).reads(&input).reads(&out).submit().unwrap_err(),
+            SubmitError::ModeMismatch {
+                index: 1,
+                expected: AccessMode::Out,
+                got: AccessMode::In
+            }
+        );
+        // Wrong element type at position 1.
+        assert_eq!(
+            rt.task(tt)
+                .reads(&input)
+                .writes(&floats)
+                .submit()
+                .unwrap_err(),
+            SubmitError::TypeMismatch {
+                index: 1,
+                expected: ElemType::F64,
+                got: ElemType::F32
+            }
+        );
+        // A correct submission still goes through.
+        rt.task(tt).reads(&input).writes(&out).submit().unwrap();
+        rt.taskwait();
+        assert_eq!(
+            rt.stats().submitted,
+            1,
+            "rejected submissions must not be counted"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn submission_rejects_regions_from_another_store() {
+        let rt = RuntimeBuilder::new().workers(1).build();
+        let other = RuntimeBuilder::new().workers(1).build();
+        let foreign = other.store().register_zeros::<f32>("foreign", 1).unwrap();
+        let tt = rt.register_task_type(TaskTypeBuilder::new("t", |_| {}).build());
+        let err = rt.task(tt).writes(&foreign).submit().unwrap_err();
+        assert_eq!(
+            err,
+            SubmitError::UnknownRegion {
+                index: 0,
+                region: foreign.id()
+            }
+        );
+        rt.shutdown();
+        other.shutdown();
+    }
+
+    #[test]
+    fn ranged_accesses_submit_through_the_escape_hatch() {
+        let rt = RuntimeBuilder::new().workers(2).build();
+        let r = rt.store().register_zeros::<f32>("r", 8).unwrap();
+        let tt = rt.register_task_type(
+            TaskTypeBuilder::new("fill_half", |ctx| {
+                let len = ctx.elem_range(0).len();
+                ctx.out(0, &vec![1.0f32; len]);
+            })
+            .build(),
+        );
+        rt.task(tt)
+            .access(Access::write(&r).with_range(0..16))
+            .submit()
+            .unwrap();
+        rt.taskwait();
+        assert_eq!(
+            rt.store().read(r).lock().as_f32(),
+            &[1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0]
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_submit_still_panics_on_invalid_descriptors() {
+        let rt = RuntimeBuilder::new().workers(1).build();
+        let r = rt.store().register_zeros::<f32>("r", 1).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.submit(TaskDesc::new(TaskTypeId(5), vec![Access::write(&r)]))
+        }));
+        assert!(result.is_err());
     }
 
     #[test]
     fn drop_without_shutdown_does_not_hang() {
         let rt = RuntimeBuilder::new().workers(2).build();
-        let r = rt.store().register("r", RegionData::F32(vec![0.0]));
+        let r = rt.store().register_zeros::<f32>("r", 1).unwrap();
         let tt = rt.register_task_type(TaskTypeBuilder::new("t", |_| {}).build());
-        rt.submit(TaskDesc::new(tt, vec![Access::output(r, ElemType::F32)]));
+        rt.task(tt).writes(&r).submit().unwrap();
         rt.taskwait();
         drop(rt);
     }

@@ -3,12 +3,18 @@
 //! A *task type* corresponds to one annotated function in the OmpSs/OpenMP
 //! source program (e.g. `bs_thread`, `stencilComputation`, `bmod`, …): it
 //! carries the kernel code, whether the programmer marked it as suitable for
-//! memoization, and the ATM pragma parameters (`L_training`, `τ_max`).
+//! memoization, the ATM pragma parameters (`L_training`, `τ_max`) and the
+//! declared *access signature* — the modes and element types of the data
+//! parameters the kernel expects, in order. The signature is what
+//! [`crate::Runtime::task`] validates every submission against, so a task
+//! can never reach a worker with the wrong arity, access direction or
+//! element width.
+//!
 //! A *task instance* ([`TaskDesc`]) is one submission of that type with a
 //! concrete list of data accesses.
 
 use crate::access::{Access, AccessMode};
-use crate::region::DataStore;
+use crate::region::{DataStore, Elem, ElemType};
 use std::fmt;
 use std::ops::Range;
 use std::sync::Arc;
@@ -80,7 +86,62 @@ impl Default for AtmTaskParams {
         // τ_max = 1 % "provides good results" for most benchmarks (§IV-A);
         // at least 15 training tasks are needed to let Dynamic ATM reach
         // p = 100 %.
-        AtmTaskParams { l_training: 15, tau_max: 0.01, type_aware: true }
+        AtmTaskParams {
+            l_training: 15,
+            tau_max: 0.01,
+            type_aware: true,
+        }
+    }
+}
+
+/// One fixed parameter of a task type's declared signature: an access
+/// direction plus the element type of the region the kernel expects at that
+/// position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SigParam {
+    /// Expected access direction.
+    pub mode: AccessMode,
+    /// Expected element type.
+    pub elem: ElemType,
+}
+
+/// The variadic tail of a signature: any number (at least `min`) of trailing
+/// accesses of one element type, optionally constrained to one direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VariadicSig {
+    /// Required direction of the trailing accesses; `None` accepts any.
+    pub mode: Option<AccessMode>,
+    /// Required element type of the trailing accesses.
+    pub elem: ElemType,
+    /// Minimum number of trailing accesses.
+    pub min: usize,
+}
+
+/// The declared access signature of a task type: a fixed list of positional
+/// parameters, optionally followed by a variadic tail (reductions take a
+/// run-time-determined number of inputs).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TaskSignature {
+    /// The fixed leading parameters, in the order the kernel indexes them.
+    pub fixed: Vec<SigParam>,
+    /// The optional variadic tail.
+    pub variadic: Option<VariadicSig>,
+}
+
+impl TaskSignature {
+    /// Smallest number of accesses a submission may declare.
+    pub fn min_arity(&self) -> usize {
+        self.fixed.len() + self.variadic.map_or(0, |v| v.min)
+    }
+
+    /// Largest number of accesses a submission may declare, `None` when the
+    /// signature has a variadic tail.
+    pub fn max_arity(&self) -> Option<usize> {
+        if self.variadic.is_some() {
+            None
+        } else {
+            Some(self.fixed.len())
+        }
     }
 }
 
@@ -95,6 +156,11 @@ pub struct TaskTypeInfo {
     pub memoizable: bool,
     /// ATM pragma parameters.
     pub atm: AtmTaskParams,
+    /// The declared access signature, when the builder declared one.
+    /// Submissions of types without a signature skip the arity/mode checks
+    /// (the element types of their accesses are still validated against the
+    /// store).
+    pub signature: Option<TaskSignature>,
 }
 
 impl fmt::Debug for TaskTypeInfo {
@@ -103,24 +169,49 @@ impl fmt::Debug for TaskTypeInfo {
             .field("name", &self.name)
             .field("memoizable", &self.memoizable)
             .field("atm", &self.atm)
+            .field("signature", &self.signature)
             .finish_non_exhaustive()
     }
 }
 
 /// Builder for registering a task type with the runtime.
+///
+/// The typed parameter declarations ([`TaskTypeBuilder::arg`],
+/// [`TaskTypeBuilder::out`], [`TaskTypeBuilder::inout`],
+/// [`TaskTypeBuilder::variadic_args`], [`TaskTypeBuilder::variadic`]) build
+/// the access signature the submission validator enforces. Declare them in
+/// the order the kernel indexes its accesses:
+///
+/// ```
+/// use atm_runtime::prelude::*;
+///
+/// let info = TaskTypeBuilder::new("axpy", |ctx| {
+///     let x = ctx.arg::<f64>(0);
+///     let y: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+///     ctx.out(1, &y);
+/// })
+/// .arg::<f64>()
+/// .out::<f64>()
+/// .build();
+/// assert_eq!(info.signature.as_ref().unwrap().fixed.len(), 2);
+/// ```
 pub struct TaskTypeBuilder {
     info: TaskTypeInfo,
 }
 
 impl TaskTypeBuilder {
     /// Starts building a task type with the given name and kernel.
-    pub fn new(name: impl Into<String>, kernel: impl Fn(&TaskContext<'_>) + Send + Sync + 'static) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        kernel: impl Fn(&TaskContext<'_>) + Send + Sync + 'static,
+    ) -> Self {
         TaskTypeBuilder {
             info: TaskTypeInfo {
                 name: name.into(),
                 kernel: Arc::new(kernel),
                 memoizable: false,
                 atm: AtmTaskParams::default(),
+                signature: None,
             },
         }
     }
@@ -139,25 +230,102 @@ impl TaskTypeBuilder {
         self
     }
 
+    fn push_fixed(mut self, mode: AccessMode, elem: ElemType) -> Self {
+        let signature = self
+            .info
+            .signature
+            .get_or_insert_with(TaskSignature::default);
+        assert!(
+            signature.variadic.is_none(),
+            "fixed parameters cannot be declared after a variadic tail"
+        );
+        signature.fixed.push(SigParam { mode, elem });
+        self
+    }
+
+    fn set_variadic(mut self, mode: Option<AccessMode>, elem: ElemType, min: usize) -> Self {
+        let signature = self
+            .info
+            .signature
+            .get_or_insert_with(TaskSignature::default);
+        assert!(
+            signature.variadic.is_none(),
+            "a signature can declare at most one variadic tail"
+        );
+        signature.variadic = Some(VariadicSig { mode, elem, min });
+        self
+    }
+
+    /// Declares the next positional parameter as a read (`in`) access of
+    /// element type `T`.
+    #[must_use]
+    pub fn arg<T: Elem>(self) -> Self {
+        self.push_fixed(AccessMode::In, T::ELEM)
+    }
+
+    /// Declares the next positional parameter as a write (`out`) access of
+    /// element type `T`.
+    #[must_use]
+    pub fn out<T: Elem>(self) -> Self {
+        self.push_fixed(AccessMode::Out, T::ELEM)
+    }
+
+    /// Declares the next positional parameter as a read-write (`inout`)
+    /// access of element type `T`.
+    #[must_use]
+    pub fn inout<T: Elem>(self) -> Self {
+        self.push_fixed(AccessMode::InOut, T::ELEM)
+    }
+
+    /// Declares a variadic tail: at least `min` trailing read accesses of
+    /// element type `T` (reductions over a run-time number of inputs).
+    #[must_use]
+    pub fn variadic_args<T: Elem>(self, min: usize) -> Self {
+        self.set_variadic(Some(AccessMode::In), T::ELEM, min)
+    }
+
+    /// Declares a variadic tail of at least `min` trailing accesses of
+    /// element type `T` in any direction (for fully generic task shapes).
+    #[must_use]
+    pub fn variadic<T: Elem>(self, min: usize) -> Self {
+        self.set_variadic(None, T::ELEM, min)
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> TaskTypeInfo {
         self.info
     }
 }
 
-/// One task instance to submit: a task type plus its data accesses.
+/// One task instance to submit: a task type plus its data accesses, and
+/// optionally a per-instance memoization opt-in.
 #[derive(Debug, Clone)]
 pub struct TaskDesc {
     /// The task type.
     pub task_type: TaskTypeId,
     /// The declared data accesses, in the order the kernel expects them.
     pub accesses: Vec<Access>,
+    /// Per-instance memoization opt-in: `Some(params)` marks this instance
+    /// as memoizable with the given ATM parameters, even when the task type
+    /// was not registered as memoizable.
+    pub memo: Option<AtmTaskParams>,
 }
 
 impl TaskDesc {
-    /// Creates a descriptor.
+    /// Creates a descriptor with no per-instance memoization override.
     pub fn new(task_type: TaskTypeId, accesses: Vec<Access>) -> Self {
-        TaskDesc { task_type, accesses }
+        TaskDesc {
+            task_type,
+            accesses,
+            memo: None,
+        }
+    }
+
+    /// Attaches a per-instance memoization opt-in.
+    #[must_use]
+    pub fn with_memo(mut self, params: AtmTaskParams) -> Self {
+        self.memo = Some(params);
+        self
     }
 
     /// The accesses the kernel reads (`In` and `InOut`).
@@ -182,6 +350,23 @@ pub struct TaskView<'a> {
     pub info: &'a TaskTypeInfo,
     /// The task's data accesses.
     pub accesses: &'a [Access],
+    /// The per-instance memoization opt-in, when the submission carried one.
+    pub memo: Option<AtmTaskParams>,
+}
+
+impl TaskView<'_> {
+    /// Whether this task instance may be memoized: either its type opted in
+    /// at registration, or the submission opted in through
+    /// [`crate::TaskBuilder::memo`].
+    pub fn memoizable(&self) -> bool {
+        self.info.memoizable || self.memo.is_some()
+    }
+
+    /// The effective ATM parameters of this instance (the per-instance
+    /// override when present, the type-level parameters otherwise).
+    pub fn atm_params(&self) -> AtmTaskParams {
+        self.memo.unwrap_or(self.info.atm)
+    }
 }
 
 impl fmt::Debug for TaskView<'_> {
@@ -200,6 +385,13 @@ impl fmt::Debug for TaskView<'_> {
 /// accesses; kernels must only touch regions they declared (the dependence
 /// tracker and, transitively, the soundness of ATM rely on it — §III-E of
 /// the paper lists under-declared outputs as the main source-code hazard).
+///
+/// Data flows through the typed positional accessors: [`TaskContext::arg`]
+/// clones the elements covered by a read access, [`TaskContext::out`] writes
+/// a write access. Both check the declared element width once per call
+/// against the `T` the kernel asks for — and because submission already
+/// validated every access against the store, a type mismatch can only come
+/// from the kernel disagreeing with its own declared signature.
 pub struct TaskContext<'a> {
     store: &'a DataStore,
     accesses: &'a [Access],
@@ -233,7 +425,11 @@ impl<'a> TaskContext<'a> {
         let width = access.elem.width();
         match &access.range {
             Some(r) => {
-                debug_assert_eq!(r.start % width, 0, "byte range not aligned to element width");
+                debug_assert_eq!(
+                    r.start % width,
+                    0,
+                    "byte range not aligned to element width"
+                );
                 debug_assert_eq!(r.end % width, 0, "byte range not aligned to element width");
                 (r.start / width)..(r.end / width)
             }
@@ -244,94 +440,182 @@ impl<'a> TaskContext<'a> {
         }
     }
 
-    /// Clones the `f32` elements covered by the `idx`-th access.
+    /// Clones the `T` elements covered by the `idx`-th access.
+    ///
+    /// # Panics
+    /// Panics if the access is not a read access or was not declared with
+    /// element type `T`.
+    pub fn arg<T: Elem>(&self, idx: usize) -> Vec<T> {
+        let access = self.access(idx);
+        assert!(
+            access.mode.is_read(),
+            "arg::<{}>({idx}) on a write-only access of {}",
+            T::ELEM,
+            self.store.name(access.region)
+        );
+        assert_eq!(
+            access.elem,
+            T::ELEM,
+            "arg::<{}>({idx}) on an access declared as {}",
+            T::ELEM,
+            access.elem
+        );
+        self.clone_elems(idx)
+    }
+
+    /// Clones the `T` elements covered by the `idx`-th access without the
+    /// direction check — shared by [`TaskContext::arg`] and the deprecated
+    /// `read_*` shims, which historically allowed reading write accesses.
+    fn clone_elems<T: Elem>(&self, idx: usize) -> Vec<T> {
+        let access = self.access(idx);
+        let range = self.elem_range(idx);
+        let region = self.store.read(access.region);
+        let guard = region.lock();
+        guard.as_elems::<T>()[range].to_vec()
+    }
+
+    /// Writes `values` into the `T` elements covered by the `idx`-th access.
+    ///
+    /// # Panics
+    /// Panics if the access is not a write access, was not declared with
+    /// element type `T`, or the lengths differ.
+    pub fn out<T: Elem>(&self, idx: usize, values: &[T]) {
+        let access = self.access(idx);
+        assert!(
+            access.mode.is_write(),
+            "out::<{}>({idx}) on a read-only access of {}",
+            T::ELEM,
+            self.store.name(access.region)
+        );
+        assert_eq!(
+            access.elem,
+            T::ELEM,
+            "out::<{}>({idx}) on an access declared as {}",
+            T::ELEM,
+            access.elem
+        );
+        let range = self.elem_range(idx);
+        let region = self.store.write(access.region);
+        let mut guard = region.lock();
+        guard.as_elems_mut::<T>()[range].copy_from_slice(values);
+    }
+
+    /// Clones the `f32` elements covered by the `idx`-th access. Unlike
+    /// [`TaskContext::arg`] this does not check the access direction,
+    /// matching the historical behaviour of the untyped API.
+    #[deprecated(note = "use the typed accessor `arg::<f32>` instead")]
     pub fn read_f32(&self, idx: usize) -> Vec<f32> {
-        let access = self.access(idx);
-        let range = self.elem_range(idx);
-        let region = self.store.read(access.region);
-        let guard = region.lock();
-        guard.as_f32()[range].to_vec()
+        self.clone_elems::<f32>(idx)
     }
 
-    /// Clones the `f64` elements covered by the `idx`-th access.
+    /// Clones the `f64` elements covered by the `idx`-th access. Unlike
+    /// [`TaskContext::arg`] this does not check the access direction,
+    /// matching the historical behaviour of the untyped API.
+    #[deprecated(note = "use the typed accessor `arg::<f64>` instead")]
     pub fn read_f64(&self, idx: usize) -> Vec<f64> {
-        let access = self.access(idx);
-        let range = self.elem_range(idx);
-        let region = self.store.read(access.region);
-        let guard = region.lock();
-        guard.as_f64()[range].to_vec()
+        self.clone_elems::<f64>(idx)
     }
 
-    /// Clones the `i32` elements covered by the `idx`-th access.
+    /// Clones the `i32` elements covered by the `idx`-th access. Unlike
+    /// [`TaskContext::arg`] this does not check the access direction,
+    /// matching the historical behaviour of the untyped API.
+    #[deprecated(note = "use the typed accessor `arg::<i32>` instead")]
     pub fn read_i32(&self, idx: usize) -> Vec<i32> {
-        let access = self.access(idx);
-        let range = self.elem_range(idx);
-        let region = self.store.read(access.region);
-        let guard = region.lock();
-        guard.as_i32()[range].to_vec()
+        self.clone_elems::<i32>(idx)
     }
 
     /// Writes `values` into the `f32` elements covered by the `idx`-th access.
-    ///
-    /// # Panics
-    /// Panics if the access is not a write access or the lengths differ.
+    #[deprecated(note = "use the typed accessor `out::<f32>` instead")]
     pub fn write_f32(&self, idx: usize, values: &[f32]) {
-        let access = self.access(idx);
-        assert!(access.mode.is_write(), "write_f32 on a read-only access");
-        let range = self.elem_range(idx);
-        let region = self.store.write(access.region);
-        let mut guard = region.lock();
-        guard.as_f32_mut()[range].copy_from_slice(values);
+        self.out(idx, values);
     }
 
     /// Writes `values` into the `f64` elements covered by the `idx`-th access.
-    ///
-    /// # Panics
-    /// Panics if the access is not a write access or the lengths differ.
+    #[deprecated(note = "use the typed accessor `out::<f64>` instead")]
     pub fn write_f64(&self, idx: usize, values: &[f64]) {
-        let access = self.access(idx);
-        assert!(access.mode.is_write(), "write_f64 on a read-only access");
-        let range = self.elem_range(idx);
-        let region = self.store.write(access.region);
-        let mut guard = region.lock();
-        guard.as_f64_mut()[range].copy_from_slice(values);
+        self.out(idx, values);
     }
 
     /// Writes `values` into the `i32` elements covered by the `idx`-th access.
-    ///
-    /// # Panics
-    /// Panics if the access is not a write access or the lengths differ.
+    #[deprecated(note = "use the typed accessor `out::<i32>` instead")]
     pub fn write_i32(&self, idx: usize, values: &[i32]) {
-        let access = self.access(idx);
-        assert!(access.mode.is_write(), "write_i32 on a read-only access");
-        let range = self.elem_range(idx);
-        let region = self.store.write(access.region);
-        let mut guard = region.lock();
-        guard.as_i32_mut()[range].copy_from_slice(values);
+        self.out(idx, values);
     }
 
     /// Number of write accesses declared by the task.
     pub fn output_count(&self) -> usize {
-        self.accesses.iter().filter(|a| a.mode == AccessMode::Out || a.mode == AccessMode::InOut).count()
+        self.accesses.iter().filter(|a| a.mode.is_write()).count()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::region::{ElemType, RegionData};
 
     #[test]
     fn builder_sets_flags_and_params() {
         let info = TaskTypeBuilder::new("bs_thread", |_ctx| {})
             .memoizable()
-            .atm_params(AtmTaskParams { l_training: 100, tau_max: 0.2, type_aware: false })
+            .atm_params(AtmTaskParams {
+                l_training: 100,
+                tau_max: 0.2,
+                type_aware: false,
+            })
             .build();
         assert_eq!(info.name, "bs_thread");
         assert!(info.memoizable);
         assert_eq!(info.atm.l_training, 100);
         assert!((info.atm.tau_max - 0.2).abs() < 1e-12);
         assert!(!info.atm.type_aware);
+        assert!(
+            info.signature.is_none(),
+            "no parameters declared, no signature enforced"
+        );
+    }
+
+    #[test]
+    fn builder_collects_the_declared_signature() {
+        let info = TaskTypeBuilder::new("reduce", |_ctx| {})
+            .inout::<f32>()
+            .variadic_args::<f32>(1)
+            .build();
+        let signature = info.signature.unwrap();
+        assert_eq!(
+            signature.fixed,
+            vec![SigParam {
+                mode: AccessMode::InOut,
+                elem: ElemType::F32
+            }]
+        );
+        assert_eq!(
+            signature.variadic,
+            Some(VariadicSig {
+                mode: Some(AccessMode::In),
+                elem: ElemType::F32,
+                min: 1
+            })
+        );
+        assert_eq!(signature.min_arity(), 2);
+        assert_eq!(signature.max_arity(), None);
+    }
+
+    #[test]
+    fn fixed_signature_reports_exact_arity() {
+        let info = TaskTypeBuilder::new("t", |_| {})
+            .arg::<f64>()
+            .out::<f64>()
+            .build();
+        let signature = info.signature.unwrap();
+        assert_eq!(signature.min_arity(), 2);
+        assert_eq!(signature.max_arity(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "variadic tail")]
+    fn fixed_after_variadic_panics() {
+        let _ = TaskTypeBuilder::new("t", |_| {})
+            .variadic::<f32>(0)
+            .arg::<f32>();
     }
 
     #[test]
@@ -343,30 +627,57 @@ mod tests {
     }
 
     #[test]
+    fn task_view_merges_instance_and_type_memoization() {
+        let plain = TaskTypeBuilder::new("plain", |_| {}).build();
+        let view = TaskView {
+            id: TaskId(0),
+            type_id: TaskTypeId(0),
+            info: &plain,
+            accesses: &[],
+            memo: None,
+        };
+        assert!(!view.memoizable());
+        let params = AtmTaskParams {
+            l_training: 7,
+            tau_max: 0.5,
+            type_aware: false,
+        };
+        let opted = TaskView {
+            memo: Some(params),
+            ..view
+        };
+        assert!(opted.memoizable());
+        assert_eq!(opted.atm_params(), params);
+        assert_eq!(view.atm_params(), plain.atm);
+    }
+
+    #[test]
     fn context_reads_and_writes_ranged_accesses() {
         let store = DataStore::new();
-        let input = store.register("in", RegionData::F32(vec![1.0, 2.0, 3.0, 4.0]));
-        let output = store.register("out", RegionData::F32(vec![0.0; 4]));
+        let input = store
+            .register_typed("in", vec![1.0f32, 2.0, 3.0, 4.0])
+            .unwrap();
+        let output = store.register_zeros::<f32>("out", 4).unwrap();
         let accesses = vec![
-            Access::input(input, ElemType::F32).with_range(4..12),
-            Access::output(output, ElemType::F32).with_range(8..16),
+            Access::read(&input).with_range(4..12),
+            Access::write(&output).with_range(8..16),
         ];
         let ctx = TaskContext::new(&store, &accesses);
         assert_eq!(ctx.elem_range(0), 1..3);
-        assert_eq!(ctx.read_f32(0), vec![2.0, 3.0]);
-        ctx.write_f32(1, &[7.0, 8.0]);
+        assert_eq!(ctx.arg::<f32>(0), vec![2.0, 3.0]);
+        ctx.out(1, &[7.0f32, 8.0]);
         assert_eq!(store.read(output).lock().as_f32(), &[0.0, 0.0, 7.0, 8.0]);
     }
 
     #[test]
     fn context_whole_region_access_covers_everything() {
         let store = DataStore::new();
-        let region = store.register("v", RegionData::F64(vec![1.0, 2.0]));
-        let accesses = vec![Access::inout(region, ElemType::F64)];
+        let region = store.register_typed("v", vec![1.0f64, 2.0]).unwrap();
+        let accesses = vec![Access::read_write(&region)];
         let ctx = TaskContext::new(&store, &accesses);
         assert_eq!(ctx.elem_range(0), 0..2);
-        assert_eq!(ctx.read_f64(0), vec![1.0, 2.0]);
-        ctx.write_f64(0, &[3.0, 4.0]);
+        assert_eq!(ctx.arg::<f64>(0), vec![1.0, 2.0]);
+        ctx.out(0, &[3.0f64, 4.0]);
         assert_eq!(store.read(region).lock().as_f64(), &[3.0, 4.0]);
         assert_eq!(ctx.output_count(), 1);
     }
@@ -375,27 +686,46 @@ mod tests {
     #[should_panic(expected = "read-only access")]
     fn writing_through_input_access_panics() {
         let store = DataStore::new();
-        let region = store.register("v", RegionData::F32(vec![1.0]));
-        let accesses = vec![Access::input(region, ElemType::F32)];
+        let region = store.register_typed("v", vec![1.0f32]).unwrap();
+        let accesses = vec![Access::read(&region)];
         let ctx = TaskContext::new(&store, &accesses);
-        ctx.write_f32(0, &[2.0]);
+        ctx.out(0, &[2.0f32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "write-only access")]
+    fn reading_through_output_access_panics() {
+        let store = DataStore::new();
+        let region = store.register_typed("v", vec![1.0f32]).unwrap();
+        let accesses = vec![Access::write(&region)];
+        let ctx = TaskContext::new(&store, &accesses);
+        let _ = ctx.arg::<f32>(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared as f32")]
+    fn typed_accessor_checks_the_declared_width() {
+        let store = DataStore::new();
+        let region = store.register_typed("v", vec![1.0f32]).unwrap();
+        let accesses = vec![Access::read(&region)];
+        let ctx = TaskContext::new(&store, &accesses);
+        let _ = ctx.arg::<f64>(0);
     }
 
     #[test]
     fn task_desc_splits_reads_and_writes() {
         let store = DataStore::new();
-        let a = store.register_f32_zeros("a", 1);
-        let b = store.register_f32_zeros("b", 1);
-        let c = store.register_f32_zeros("c", 1);
+        let a = store.register_zeros::<f32>("a", 1).unwrap();
+        let b = store.register_zeros::<f32>("b", 1).unwrap();
+        let c = store.register_zeros::<f32>("c", 1).unwrap();
         let desc = TaskDesc::new(
             TaskTypeId(0),
-            vec![
-                Access::input(a, ElemType::F32),
-                Access::inout(b, ElemType::F32),
-                Access::output(c, ElemType::F32),
-            ],
+            vec![Access::read(&a), Access::read_write(&b), Access::write(&c)],
         );
         assert_eq!(desc.read_accesses().count(), 2);
         assert_eq!(desc.write_accesses().count(), 2);
+        assert!(desc.memo.is_none());
+        let params = AtmTaskParams::default();
+        assert_eq!(desc.with_memo(params).memo, Some(params));
     }
 }

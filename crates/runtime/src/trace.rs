@@ -7,7 +7,7 @@
 //! [`Tracer`] collects exactly that information so the evaluation harness can
 //! print state breakdowns and ready-task time series.
 
-use parking_lot::Mutex;
+use atm_sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Thread states distinguished by the tracer (the legend of Figures 7/8).
@@ -119,7 +119,12 @@ impl Tracer {
         if !self.enabled || end_ns <= start_ns {
             return;
         }
-        self.events.lock().push(TraceEvent { worker, state, start_ns, end_ns });
+        self.events.lock().push(TraceEvent {
+            worker,
+            state,
+            start_ns,
+            end_ns,
+        });
     }
 
     /// Times `f` and records it as one interval of `state`.
@@ -139,7 +144,10 @@ impl Tracer {
         if !self.enabled {
             return;
         }
-        self.ready_samples.lock().push(ReadySample { at_ns: self.now_ns(), depth });
+        self.ready_samples.lock().push(ReadySample {
+            at_ns: self.now_ns(),
+            depth,
+        });
     }
 
     /// All recorded events (cloned).
@@ -177,7 +185,10 @@ impl TraceSummary {
         let mut max_end = 0u64;
         let mut max_worker = None::<usize>;
         for ev in events {
-            let slot = per_state.iter_mut().find(|(s, _)| *s == ev.state).expect("state table covers all states");
+            let slot = per_state
+                .iter_mut()
+                .find(|(s, _)| *s == ev.state)
+                .expect("state table covers all states");
             slot.1 += ev.end_ns - ev.start_ns;
             min_start = min_start.min(ev.start_ns);
             max_end = max_end.max(ev.end_ns);
@@ -186,13 +197,20 @@ impl TraceSummary {
         TraceSummary {
             per_state_ns: per_state,
             workers: max_worker.map_or(0, |w| w + 1),
-            span_ns: if events.is_empty() { 0 } else { max_end - min_start },
+            span_ns: if events.is_empty() {
+                0
+            } else {
+                max_end - min_start
+            },
         }
     }
 
     /// Total recorded time in a given state, nanoseconds.
     pub fn state_ns(&self, state: ThreadState) -> u64 {
-        self.per_state_ns.iter().find(|(s, _)| *s == state).map_or(0, |(_, ns)| *ns)
+        self.per_state_ns
+            .iter()
+            .find(|(s, _)| *s == state)
+            .map_or(0, |(_, ns)| *ns)
     }
 
     /// Fraction of all recorded busy time spent in `state`.
@@ -281,7 +299,10 @@ mod tests {
 
     #[test]
     fn state_labels_match_paper_legend() {
-        assert_eq!(ThreadState::HashKeyComputation.label(), "ATM:Hash-key computation");
+        assert_eq!(
+            ThreadState::HashKeyComputation.label(),
+            "ATM:Hash-key computation"
+        );
         assert_eq!(ThreadState::Memoization.label(), "ATM:Task Memoization");
         assert_eq!(ThreadState::ALL.len(), 6);
     }

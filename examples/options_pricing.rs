@@ -32,7 +32,11 @@ fn main() {
     let static_run = app.run_tasked(&RunOptions::with_atm(workers, AtmConfig::static_atm()));
     let dynamic_run = app.run_tasked(&RunOptions::with_atm(workers, AtmConfig::dynamic_atm()));
 
-    for (label, run) in [("baseline", &baseline), ("static ATM", &static_run), ("dynamic ATM", &dynamic_run)] {
+    for (label, run) in [
+        ("baseline", &baseline),
+        ("static ATM", &static_run),
+        ("dynamic ATM", &dynamic_run),
+    ] {
         println!(
             "{label:<12} wall {:>8.2} ms   executed {:>5}/{:<5}   reuse {:>5.1}%   correctness {:>7.3}%   speedup {:>5.2}x",
             run.wall.as_secs_f64() * 1e3,

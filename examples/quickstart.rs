@@ -11,40 +11,59 @@ use atm_suite::prelude::*;
 fn main() {
     // An ATM engine in Static mode: exact memoization, zero accuracy loss.
     let engine = AtmEngine::shared(AtmConfig::static_atm());
-    let rt = RuntimeBuilder::new().workers(4).interceptor(engine.clone()).build();
+    let rt = RuntimeBuilder::new()
+        .workers(4)
+        .interceptor(engine.clone())
+        .build();
 
     // Input data: 32 work items, but only 4 distinct payloads — the kind of
     // redundancy ATM exploits (repetitive program inputs).
-    let payloads: Vec<RegionId> = (0..32)
+    let payloads: Vec<Region<f64>> = (0..32)
         .map(|i| {
             let distinct = (i % 4) as f64;
-            rt.store().register(
-                format!("payload[{i}]"),
-                RegionData::F64((0..4096).map(|j| distinct + (j as f64).sin()).collect()),
-            )
+            rt.store()
+                .register_typed(
+                    format!("payload[{i}]"),
+                    (0..4096)
+                        .map(|j| distinct + (j as f64).sin())
+                        .collect::<Vec<f64>>(),
+                )
+                .expect("unique name")
         })
         .collect();
-    let results: Vec<RegionId> =
-        (0..32).map(|i| rt.store().register(format!("result[{i}]"), RegionData::F64(vec![0.0; 4096]))).collect();
+    let results: Vec<Region<f64>> = (0..32)
+        .map(|i| {
+            rt.store()
+                .register_zeros(format!("result[{i}]"), 4096)
+                .expect("unique name")
+        })
+        .collect();
 
     // The task type: an intentionally heavy transformation. The programmer
-    // opts it into memoization — that is the only ATM-specific line.
+    // opts it into memoization — that is the only ATM-specific line — and
+    // declares the access signature the runtime validates submissions with.
     let transform = rt.register_task_type(
         TaskTypeBuilder::new("transform", |ctx| {
-            let input = ctx.read_f64(0);
-            let output: Vec<f64> = input.iter().map(|x| (x.exp().ln() + x.sqrt().powi(2)).sqrt()).collect();
-            ctx.write_f64(1, &output);
+            let input = ctx.arg::<f64>(0);
+            let output: Vec<f64> = input
+                .iter()
+                .map(|x| (x.exp().ln() + x.sqrt().powi(2)).sqrt())
+                .collect();
+            ctx.out(1, &output);
         })
+        .arg::<f64>()
+        .out::<f64>()
         .memoizable()
         .build(),
     );
 
-    // Submit one task per work item.
+    // Submit one task per work item through the validating builder.
     for (payload, result) in payloads.iter().zip(&results) {
-        rt.submit(TaskDesc::new(
-            transform,
-            vec![Access::input(*payload, ElemType::F64), Access::output(*result, ElemType::F64)],
-        ));
+        rt.task(transform)
+            .reads(payload)
+            .writes(result)
+            .submit()
+            .expect("submission matches the declared signature");
     }
     rt.taskwait();
 
@@ -63,7 +82,10 @@ fn main() {
         let x: f64 = 3.0 + 0.0f64.sin();
         (x.exp().ln() + x.sqrt().powi(2)).sqrt()
     };
-    assert!((sample - expected).abs() < 1e-12, "memoized outputs must equal computed outputs");
+    assert!(
+        (sample - expected).abs() < 1e-12,
+        "memoized outputs must equal computed outputs"
+    );
     println!("output spot-check    : ok");
 
     rt.shutdown();

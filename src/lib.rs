@@ -5,8 +5,8 @@
 //! 2017). It re-exports the component crates so applications can depend on a
 //! single package:
 //!
-//! * [`runtime`] — the task-based dataflow runtime (regions, dependences,
-//!   ready queue, worker pool, tracing);
+//! * [`runtime`] — the task-based dataflow runtime (typed regions, validated
+//!   submission, dependences, ready queue, worker pool, tracing);
 //! * [`atm`] — the ATM engine (Task History Table, In-flight Key Table,
 //!   hash-key pipeline, static/dynamic/oracle modes);
 //! * [`hash`] — the hashing and input-sampling substrate (Jenkins lookup3,
@@ -25,28 +25,29 @@
 //! let engine = AtmEngine::shared(AtmConfig::static_atm());
 //! let rt = RuntimeBuilder::new().workers(2).interceptor(engine.clone()).build();
 //!
-//! // 2. Register data regions and a memoizable task type.
-//! let input = rt.store().register("in", RegionData::F64(vec![2.0; 1024]));
-//! let out_a = rt.store().register("a", RegionData::F64(vec![0.0; 1024]));
-//! let out_b = rt.store().register("b", RegionData::F64(vec![0.0; 1024]));
+//! // 2. Register typed data regions and a memoizable task type. The typed
+//! //    `Region<f64>` handles carry the element type, and the task type
+//! //    declares its access signature — submissions are validated against
+//! //    both.
+//! let input = rt.store().register_typed("in", vec![2.0f64; 1024]).unwrap();
+//! let out_a = rt.store().register_zeros::<f64>("a", 1024).unwrap();
+//! let out_b = rt.store().register_zeros::<f64>("b", 1024).unwrap();
 //! let square = rt.register_task_type(
 //!     TaskTypeBuilder::new("square", |ctx| {
-//!         let x = ctx.read_f64(0);
+//!         let x = ctx.arg::<f64>(0);
 //!         let y: Vec<f64> = x.iter().map(|v| v * v).collect();
-//!         ctx.write_f64(1, &y);
+//!         ctx.out(1, &y);
 //!     })
+//!     .arg::<f64>()
+//!     .out::<f64>()
 //!     .memoizable()
 //!     .build(),
 //! );
 //!
 //! // 3. Submit two tasks with identical inputs: the second is memoized.
-//! rt.submit(TaskDesc::new(square, vec![
-//!     Access::input(input, ElemType::F64), Access::output(out_a, ElemType::F64),
-//! ]));
+//! rt.task(square).reads(&input).writes(&out_a).submit().unwrap();
 //! rt.taskwait();
-//! rt.submit(TaskDesc::new(square, vec![
-//!     Access::input(input, ElemType::F64), Access::output(out_b, ElemType::F64),
-//! ]));
+//! rt.task(square).reads(&input).writes(&out_b).submit().unwrap();
 //! rt.taskwait();
 //!
 //! assert_eq!(rt.store().read(out_b).lock().as_f64()[0], 4.0);
@@ -55,10 +56,10 @@
 
 #![warn(missing_docs)]
 
-/// The ATM engine (re-export of [`atm_core`]).
-pub use atm_core as atm;
 /// The six evaluated applications (re-export of [`atm_apps`]).
 pub use atm_apps as apps;
+/// The ATM engine (re-export of [`atm_core`]).
+pub use atm_core as atm;
 /// Hashing and input sampling (re-export of [`atm_hash`]).
 pub use atm_hash as hash;
 /// Correctness and performance metrics (re-export of [`atm_metrics`]).

@@ -19,12 +19,18 @@ fn taskified_apps_match_their_sequential_references() {
         let app = build_app(id, Scale::Tiny);
         let run = app.run_tasked(&RunOptions::baseline(3));
         let err = euclidean_relative_error(app.reference(), &run.output);
-        assert!(err < 1e-10, "{id}: taskified output diverges from the sequential reference (err = {err})");
+        assert!(
+            err < 1e-10,
+            "{id}: taskified output diverges from the sequential reference (err = {err})"
+        );
         assert_eq!(
             run.runtime_stats.executed, run.runtime_stats.submitted,
             "{id}: without ATM every submitted task must execute"
         );
-        assert_eq!(run.atm_stats.seen, 0, "{id}: the Off engine must not see any task");
+        assert_eq!(
+            run.atm_stats.seen, 0,
+            "{id}: the Off engine must not see any task"
+        );
     }
 }
 
@@ -37,7 +43,10 @@ fn static_atm_is_always_exact() {
         let app = build_app(id, Scale::Tiny);
         let run = app.run_tasked(&RunOptions::with_atm(3, AtmConfig::static_atm()));
         let err = euclidean_relative_error(app.reference(), &run.output);
-        assert_eq!(err, 0.0, "{id}: Static ATM changed the program output (err = {err})");
+        assert_eq!(
+            err, 0.0,
+            "{id}: Static ATM changed the program output (err = {err})"
+        );
         let correctness = app.correctness_percent(&run.output);
         let baseline_correctness = app.correctness_percent(app.reference());
         assert!(
@@ -51,10 +60,16 @@ fn static_atm_is_always_exact() {
 fn static_atm_without_ikt_is_also_exact() {
     for id in [AppId::Blackscholes, AppId::Jacobi, AppId::SparseLu] {
         let app = build_app(id, Scale::Tiny);
-        let run = app.run_tasked(&RunOptions::with_atm(3, AtmConfig::static_atm().without_ikt()));
+        let run = app.run_tasked(&RunOptions::with_atm(
+            3,
+            AtmConfig::static_atm().without_ikt(),
+        ));
         let err = euclidean_relative_error(app.reference(), &run.output);
         assert_eq!(err, 0.0, "{id}: THT-only Static ATM must stay exact");
-        assert_eq!(run.atm_stats.ikt_deferred, 0, "{id}: the IKT is disabled, nothing may be deferred");
+        assert_eq!(
+            run.atm_stats.ikt_deferred, 0,
+            "{id}: the IKT is disabled, nothing may be deferred"
+        );
     }
 }
 
@@ -79,9 +94,15 @@ fn exact_configurations_are_repeatable_across_parallel_runs() {
         let app = build_app(id, Scale::Tiny);
         let first = app.run_tasked(&RunOptions::with_atm(4, AtmConfig::static_atm()));
         let second = app.run_tasked(&RunOptions::with_atm(4, AtmConfig::static_atm()));
-        assert_eq!(first.output, second.output, "{id}: Static ATM outputs must be repeatable");
+        assert_eq!(
+            first.output, second.output,
+            "{id}: Static ATM outputs must be repeatable"
+        );
         let baseline = app.run_tasked(&RunOptions::baseline(4));
-        assert_eq!(first.output, baseline.output, "{id}: Static ATM must equal the no-ATM output");
+        assert_eq!(
+            first.output, baseline.output,
+            "{id}: Static ATM must equal the no-ATM output"
+        );
     }
 }
 
@@ -90,7 +111,12 @@ fn memoization_actually_avoids_work_where_the_paper_says_it_does() {
     // Blackscholes, the stencils, LU and Swaptions all have exact task
     // redundancy; Kmeans is the one benchmark where exact matching finds
     // (almost) nothing.
-    for id in [AppId::Blackscholes, AppId::Jacobi, AppId::SparseLu, AppId::Swaptions] {
+    for id in [
+        AppId::Blackscholes,
+        AppId::Jacobi,
+        AppId::SparseLu,
+        AppId::Swaptions,
+    ] {
         let app = build_app(id, Scale::Tiny);
         let run = app.run_tasked(&RunOptions::with_atm(2, AtmConfig::static_atm()));
         assert!(
@@ -115,8 +141,14 @@ fn atm_memory_overhead_is_accounted_and_bounded() {
         let app = build_app(id, Scale::Tiny);
         let run = app.run_tasked(&RunOptions::with_atm(2, AtmConfig::static_atm()));
         let overhead = run.memory_overhead_percent();
-        assert!(overhead.is_finite() && overhead >= 0.0, "{id}: overhead not accounted");
-        assert!(run.atm_memory_bytes > 0, "{id}: ATM structures must consume some memory");
+        assert!(
+            overhead.is_finite() && overhead >= 0.0,
+            "{id}: overhead not accounted"
+        );
+        assert!(
+            run.atm_memory_bytes > 0,
+            "{id}: ATM structures must consume some memory"
+        );
         assert!(
             overhead < 500.0,
             "{id}: ATM memory overhead out of control ({overhead:.1}% of the application)"
@@ -130,6 +162,10 @@ fn oracle_style_fixed_p_runs_work_for_every_app() {
         let app = build_app(id, Scale::Tiny);
         let run = app.run_tasked(&RunOptions::with_atm(2, AtmConfig::fixed_p(0.25)));
         // A fixed-p run must complete and produce a full-sized output.
-        assert_eq!(run.output.len(), app.reference().len(), "{id}: truncated output");
+        assert_eq!(
+            run.output.len(),
+            app.reference().len(),
+            "{id}: truncated output"
+        );
     }
 }

@@ -4,8 +4,9 @@
 //! The generator builds arbitrary little dataflow programs: a set of `f64`
 //! regions and a stream of tasks, each reading a random subset of regions
 //! and writing another. The kernel is a fixed deterministic function of the
-//! inputs, so the whole program has a unique dataflow semantics. The
-//! properties:
+//! inputs, so the whole program has a unique dataflow semantics. Cases are
+//! generated from the suite's own deterministic PRNG, so every failure is
+//! reproducible from the case index. The properties:
 //!
 //! * executing the stream on the parallel runtime gives exactly the same
 //!   final memory state as executing it sequentially in submission order;
@@ -15,11 +16,11 @@
 //!   submitted).
 
 use atm_core::{AtmConfig, AtmEngine};
-use atm_runtime::{
-    Access, ElemType, RegionData, RuntimeBuilder, TaskContext, TaskDesc, TaskTypeBuilder,
-};
-use proptest::prelude::*;
+use atm_hash::Xoshiro256StarStar;
+use atm_runtime::{Region, RuntimeBuilder, TaskContext, TaskTypeBuilder};
 use std::sync::Arc;
+
+const CASES: usize = 24;
 
 /// One randomly generated task: which regions it reads and writes.
 #[derive(Debug, Clone)]
@@ -36,19 +37,22 @@ struct GenProgram {
     tasks: Vec<GenTask>,
 }
 
-fn gen_program() -> impl Strategy<Value = GenProgram> {
-    (2usize..8, 2usize..16, 1usize..40).prop_flat_map(|(regions, region_len, task_count)| {
-        let task = (
-            proptest::collection::vec(0..regions, 1..3),
-            proptest::collection::vec(0..regions, 1..3),
-        )
-            .prop_map(|(reads, writes)| GenTask { reads, writes });
-        proptest::collection::vec(task, task_count).prop_map(move |tasks| GenProgram {
-            regions,
-            region_len,
-            tasks,
+fn gen_program(rng: &mut Xoshiro256StarStar) -> GenProgram {
+    let regions = 2 + rng.below(6);
+    let region_len = 2 + rng.below(14);
+    let task_count = 1 + rng.below(39);
+    let tasks = (0..task_count)
+        .map(|_| {
+            let reads = (0..1 + rng.below(2)).map(|_| rng.below(regions)).collect();
+            let writes = (0..1 + rng.below(2)).map(|_| rng.below(regions)).collect();
+            GenTask { reads, writes }
         })
-    })
+        .collect();
+    GenProgram {
+        regions,
+        region_len,
+        tasks,
+    }
 }
 
 /// The task kernel: every output element becomes a fixed mix of the inputs.
@@ -65,8 +69,9 @@ fn kernel_combine(inputs: &[Vec<f64>], region_len: usize) -> Vec<f64> {
 
 /// Sequential semantics: apply the tasks in submission order.
 fn run_sequential(program: &GenProgram) -> Vec<Vec<f64>> {
-    let mut memory: Vec<Vec<f64>> =
-        (0..program.regions).map(|r| vec![r as f64 * 0.1; program.region_len]).collect();
+    let mut memory: Vec<Vec<f64>> = (0..program.regions)
+        .map(|r| vec![r as f64 * 0.1; program.region_len])
+        .collect();
     for task in &program.tasks {
         let inputs: Vec<Vec<f64>> = task.reads.iter().map(|&r| memory[r].clone()).collect();
         let output = kernel_combine(&inputs, program.region_len);
@@ -78,17 +83,22 @@ fn run_sequential(program: &GenProgram) -> Vec<Vec<f64>> {
 }
 
 /// Parallel semantics: run the same stream through the runtime.
-fn run_parallel(program: &GenProgram, workers: usize, atm: Option<AtmConfig>) -> (Vec<Vec<f64>>, u64, u64) {
+fn run_parallel(
+    program: &GenProgram,
+    workers: usize,
+    atm: Option<AtmConfig>,
+) -> (Vec<Vec<f64>>, u64, u64) {
     let engine = atm.map(AtmEngine::shared);
     let mut builder = RuntimeBuilder::new().workers(workers);
     if let Some(engine) = &engine {
         builder = builder.interceptor(Arc::clone(engine) as Arc<dyn atm_runtime::TaskInterceptor>);
     }
     let rt = builder.build();
-    let regions: Vec<_> = (0..program.regions)
+    let regions: Vec<Region<f64>> = (0..program.regions)
         .map(|r| {
             rt.store()
-                .register(format!("r{r}"), RegionData::F64(vec![r as f64 * 0.1; program.region_len]))
+                .register_typed(format!("r{r}"), vec![r as f64 * 0.1; program.region_len])
+                .expect("unique name")
         })
         .collect();
 
@@ -96,12 +106,15 @@ fn run_parallel(program: &GenProgram, workers: usize, atm: Option<AtmConfig>) ->
     let task_type = rt.register_task_type(
         TaskTypeBuilder::new("combine", move |ctx: &TaskContext<'_>| {
             let read_count = ctx.accesses().iter().filter(|a| a.mode.is_read()).count();
-            let inputs: Vec<Vec<f64>> = (0..read_count).map(|i| ctx.read_f64(i)).collect();
+            let inputs: Vec<Vec<f64>> = (0..read_count).map(|i| ctx.arg::<f64>(i)).collect();
             let output = kernel_combine(&inputs, region_len);
             for i in read_count..ctx.accesses().len() {
-                ctx.write_f64(i, &output);
+                ctx.out(i, &output);
             }
         })
+        // Any number of f64 accesses in any direction: the generated task
+        // shapes are unconstrained apart from the element type.
+        .variadic::<f64>(1)
         .memoizable()
         .build(),
     );
@@ -110,49 +123,74 @@ fn run_parallel(program: &GenProgram, workers: usize, atm: Option<AtmConfig>) ->
         // Reads first, then writes, matching the kernel's access indexing.
         // A region that is both read and written is declared as a read and
         // a separate write access (the dependence tracker handles aliases).
-        let mut accesses: Vec<Access> =
-            task.reads.iter().map(|&r| Access::input(regions[r], ElemType::F64)).collect();
-        accesses.extend(task.writes.iter().map(|&w| Access::output(regions[w], ElemType::F64)));
-        rt.submit(TaskDesc::new(task_type, accesses));
+        let mut submission = rt.task(task_type);
+        for &r in &task.reads {
+            submission = submission.reads(&regions[r]);
+        }
+        for &w in &task.writes {
+            submission = submission.writes(&regions[w]);
+        }
+        submission
+            .submit()
+            .expect("generated tasks always fit the variadic signature");
     }
     rt.taskwait();
 
-    let memory: Vec<Vec<f64>> =
-        regions.iter().map(|&r| rt.store().read(r).lock().as_f64().to_vec()).collect();
+    let memory: Vec<Vec<f64>> = regions
+        .iter()
+        .map(|&r| rt.store().read(r).lock().as_f64().to_vec())
+        .collect();
     let stats = rt.stats();
     rt.shutdown();
     (memory, stats.submitted, stats.executed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The parallel runtime computes exactly the sequential dataflow result.
-    #[test]
-    fn parallel_execution_matches_sequential_semantics(program in gen_program(), workers in 1usize..5) {
+/// The parallel runtime computes exactly the sequential dataflow result.
+#[test]
+fn parallel_execution_matches_sequential_semantics() {
+    let mut rng = Xoshiro256StarStar::new(0xDA7AF10);
+    for case in 0..CASES {
+        let program = gen_program(&mut rng);
+        let workers = 1 + rng.below(4);
         let expected = run_sequential(&program);
         let (actual, submitted, executed) = run_parallel(&program, workers, None);
-        prop_assert_eq!(submitted, program.tasks.len() as u64);
-        prop_assert_eq!(executed, submitted, "without ATM every task executes");
-        prop_assert_eq!(actual, expected);
+        assert_eq!(submitted, program.tasks.len() as u64, "case {case}");
+        assert_eq!(
+            executed, submitted,
+            "case {case}: without ATM every task executes"
+        );
+        assert_eq!(actual, expected, "case {case}");
     }
+}
 
-    /// Static ATM never changes the program result, for any task graph and
-    /// any worker count — the exactness guarantee behind Figure 4.
-    #[test]
-    fn static_atm_preserves_dataflow_semantics(program in gen_program(), workers in 1usize..5) {
+/// Static ATM never changes the program result, for any task graph and
+/// any worker count — the exactness guarantee behind Figure 4.
+#[test]
+fn static_atm_preserves_dataflow_semantics() {
+    let mut rng = Xoshiro256StarStar::new(0x57A71C);
+    for case in 0..CASES {
+        let program = gen_program(&mut rng);
+        let workers = 1 + rng.below(4);
         let expected = run_sequential(&program);
-        let (actual, submitted, executed) = run_parallel(&program, workers, Some(AtmConfig::static_atm()));
-        prop_assert_eq!(actual, expected);
-        prop_assert!(executed <= submitted, "memoized tasks must not execute");
+        let (actual, submitted, executed) =
+            run_parallel(&program, workers, Some(AtmConfig::static_atm()));
+        assert_eq!(actual, expected, "case {case}");
+        assert!(
+            executed <= submitted,
+            "case {case}: memoized tasks must not execute"
+        );
     }
+}
 
-    /// Static ATM with the IKT disabled is still exact.
-    #[test]
-    fn tht_only_static_atm_is_exact(program in gen_program()) {
+/// Static ATM with the IKT disabled is still exact.
+#[test]
+fn tht_only_static_atm_is_exact() {
+    let mut rng = Xoshiro256StarStar::new(0x7117);
+    for case in 0..CASES {
+        let program = gen_program(&mut rng);
         let expected = run_sequential(&program);
         let (actual, _, _) = run_parallel(&program, 3, Some(AtmConfig::static_atm().without_ikt()));
-        prop_assert_eq!(actual, expected);
+        assert_eq!(actual, expected, "case {case}");
     }
 }
 
@@ -163,11 +201,19 @@ fn duplicate_heavy_program_is_mostly_memoized() {
     let program = GenProgram {
         regions: 6,
         region_len: 32,
-        tasks: (0..20).map(|i| GenTask { reads: vec![0, 1], writes: vec![2 + (i % 4)] }).collect(),
+        tasks: (0..20)
+            .map(|i| GenTask {
+                reads: vec![0, 1],
+                writes: vec![2 + (i % 4)],
+            })
+            .collect(),
     };
     let expected = run_sequential(&program);
     let (actual, submitted, executed) = run_parallel(&program, 4, Some(AtmConfig::static_atm()));
     assert_eq!(actual, expected);
     assert_eq!(submitted, 20);
-    assert!(executed <= 8, "at most one execution per distinct (inputs, outputs) shape is needed, got {executed}");
+    assert!(
+        executed <= 8,
+        "at most one execution per distinct (inputs, outputs) shape is needed, got {executed}"
+    );
 }
