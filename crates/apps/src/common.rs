@@ -13,12 +13,15 @@
 //! * a **correctness metric** on the program output (Table I, "Correctness
 //!   measured on").
 
-use atm_core::{AtmConfig, AtmEngine, AtmMode, AtmStatsSnapshot, ReuseEvent, TypeSummary};
+use atm_core::{
+    AtmConfig, AtmEngine, AtmMode, AtmStatsSnapshot, ReuseEvent, StoreCountersSnapshot, TypeSummary,
+};
 use atm_metrics::{correctness_percent, euclidean_relative_error};
 use atm_runtime::{
     Runtime, RuntimeBuilder, RuntimeStatsSnapshot, TaskTypeId, TraceSummary, Tracer,
 };
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -44,6 +47,10 @@ pub struct RunOptions {
     pub atm: AtmConfig,
     /// Whether to record execution traces and ready-queue samples.
     pub tracing: bool,
+    /// Warm-start the memo store from this snapshot before any task runs.
+    pub warm_start: Option<PathBuf>,
+    /// Persist the memo store to this path after the run completes.
+    pub store_save: Option<PathBuf>,
 }
 
 impl RunOptions {
@@ -53,6 +60,8 @@ impl RunOptions {
             workers,
             atm: AtmConfig::off(),
             tracing: false,
+            warm_start: None,
+            store_save: None,
         }
     }
 
@@ -62,6 +71,8 @@ impl RunOptions {
             workers,
             atm,
             tracing: false,
+            warm_start: None,
+            store_save: None,
         }
     }
 
@@ -69,6 +80,20 @@ impl RunOptions {
     #[must_use]
     pub fn traced(mut self) -> Self {
         self.tracing = true;
+        self
+    }
+
+    /// Warm-starts the memo store from a snapshot of a previous run.
+    #[must_use]
+    pub fn warm_started(mut self, path: impl Into<PathBuf>) -> Self {
+        self.warm_start = Some(path.into());
+        self
+    }
+
+    /// Persists the memo store when the run finishes.
+    #[must_use]
+    pub fn saving_store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.store_save = Some(path.into());
         self
     }
 }
@@ -90,6 +115,9 @@ pub struct AppRun {
     pub runtime_stats: RuntimeStatsSnapshot,
     /// ATM engine counters.
     pub atm_stats: AtmStatsSnapshot,
+    /// Memo-store counters (hits, misses, insertions, evictions, rejected
+    /// admissions, resident bytes, saved kernel nanoseconds).
+    pub store_counters: StoreCountersSnapshot,
     /// Per-task-type ATM summaries (chosen `p`, hits, phase).
     pub type_summaries: HashMap<TaskTypeId, TypeSummary>,
     /// Reuse provenance events (Figure 9).
@@ -181,12 +209,23 @@ pub struct TaskedRun {
     runtime: Runtime,
     engine: Arc<AtmEngine>,
     started: Instant,
+    store_save: Option<PathBuf>,
 }
 
 impl TaskedRun {
-    /// Builds the runtime + ATM engine pair described by `options`.
+    /// Builds the runtime + ATM engine pair described by `options`. When the
+    /// options carry a warm-start snapshot it is absorbed into the memo
+    /// store before any task can run.
     pub fn new(options: &RunOptions) -> Self {
         let engine = AtmEngine::shared(options.atm);
+        if let Some(path) = &options.warm_start {
+            // Warm start is an optimisation: a missing or corrupt snapshot
+            // (e.g. the first-ever run) degrades to a cold start, it does
+            // not abort the run.
+            if let Err(err) = engine.warm_start_from(path) {
+                eprintln!("warm start from {path:?} unavailable, starting cold: {err}");
+            }
+        }
         let runtime = RuntimeBuilder::new()
             .workers(options.workers)
             .tracing(options.tracing)
@@ -196,6 +235,7 @@ impl TaskedRun {
             runtime,
             engine,
             started: Instant::now(),
+            store_save: options.store_save.clone(),
         }
     }
 
@@ -237,11 +277,19 @@ impl TaskedRun {
             None
         };
         let ready_samples = self.runtime.tracer().ready_samples();
+        if let Some(path) = &self.store_save {
+            // The run's results are already computed; a failed save (full
+            // disk, bad path) costs the snapshot, not the run.
+            if let Err(err) = self.engine.save_store(path) {
+                eprintln!("failed to save the memo store to {path:?}: {err}");
+            }
+        }
         let run = AppRun {
             output,
             wall,
             runtime_stats: self.runtime.stats(),
             atm_stats: self.engine.stats(),
+            store_counters: self.engine.store_counters(),
             type_summaries: self.engine.type_summaries(),
             reuse_events: self.engine.reuse_events(),
             atm_memory_bytes: self.engine.memory_bytes(),
@@ -281,6 +329,7 @@ mod tests {
             wall: Duration::from_secs(1),
             runtime_stats: Default::default(),
             atm_stats: Default::default(),
+            store_counters: Default::default(),
             type_summaries: Default::default(),
             reuse_events: vec![],
             atm_memory_bytes: 50,
@@ -289,6 +338,58 @@ mod tests {
             ready_samples: vec![],
         };
         assert!((run.memory_overhead_percent() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_options_carry_persistence_paths() {
+        let options = RunOptions::with_atm(1, AtmConfig::static_atm())
+            .warm_started("/tmp/in.bin")
+            .saving_store("/tmp/out.bin");
+        assert_eq!(options.warm_start.as_deref(), Some("/tmp/in.bin".as_ref()));
+        assert_eq!(options.store_save.as_deref(), Some("/tmp/out.bin".as_ref()));
+        assert!(RunOptions::baseline(1).warm_start.is_none());
+    }
+
+    #[test]
+    fn tasked_run_saves_and_warm_starts_the_store() {
+        let path =
+            std::env::temp_dir().join(format!("atm-apps-warmstart-{}.bin", std::process::id()));
+        let submit_square = |harness: &TaskedRun| {
+            let rt = harness.runtime();
+            let input = rt.store().register_typed("in", vec![3.0f64, 4.0]).unwrap();
+            let out = rt.store().register_zeros::<f64>("out", 2).unwrap();
+            let tt = rt.register_task_type(
+                atm_runtime::TaskTypeBuilder::new("square", |ctx| {
+                    let x = ctx.arg::<f64>(0);
+                    let y: Vec<f64> = x.iter().map(|v| v * v).collect();
+                    ctx.out(1, &y);
+                })
+                .arg::<f64>()
+                .out::<f64>()
+                .memoizable()
+                .build(),
+            );
+            rt.task(tt).reads(&input).writes(&out).submit().unwrap();
+            out
+        };
+
+        // Cold run: executes once, persists the store.
+        let cold_options = RunOptions::with_atm(1, AtmConfig::static_atm()).saving_store(&path);
+        let cold = TaskedRun::new(&cold_options);
+        let out = submit_square(&cold);
+        let cold_run = cold.finish(|store| store.read(out).lock().as_f64().to_vec());
+        assert_eq!(cold_run.output, vec![9.0, 16.0]);
+        assert_eq!(cold_run.store_counters.insertions, 1);
+
+        // Warm run: the very same task is a hit before anything executed.
+        let warm_options = RunOptions::with_atm(1, AtmConfig::static_atm()).warm_started(&path);
+        let warm = TaskedRun::new(&warm_options);
+        let out = submit_square(&warm);
+        let warm_run = warm.finish(|store| store.read(out).lock().as_f64().to_vec());
+        assert_eq!(warm_run.output, vec![9.0, 16.0]);
+        assert_eq!(warm_run.atm_stats.executed, 0, "warm start must bypass");
+        assert_eq!(warm_run.store_counters.hits, 1);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

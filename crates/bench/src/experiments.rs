@@ -1,10 +1,12 @@
-//! One function per table/figure of the paper's evaluation section.
+//! One function per table/figure of the paper's evaluation section, plus the
+//! memo-store experiments (cache pressure, warm start) that go beyond it.
 
 use crate::measure::{geomean, EvalContext};
 use crate::report::Report;
 use atm_apps::{AppId, RunOptions};
-use atm_core::{AtmConfig, ThtConfig};
-use atm_runtime::ThreadState;
+use atm_core::{AtmConfig, AtmEngine, PolicyKind, StoreCountersSnapshot, ThtConfig};
+use atm_runtime::{Region, RuntimeBuilder, TaskTypeBuilder, ThreadState};
+use std::sync::Arc;
 
 /// The experiments the harness can regenerate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,11 +33,15 @@ pub enum Experiment {
     Figure8,
     /// Figure 9: cumulative reuse generation over the task stream.
     Figure9,
+    /// Memo-store cache pressure: byte-budget sweep × eviction policy.
+    Pressure,
+    /// Cold-start vs warm-start from a persisted memo store.
+    WarmStart,
 }
 
 impl Experiment {
     /// All experiments, in the order `atm-eval all` runs them.
-    pub const ALL: [Experiment; 11] = [
+    pub const ALL: [Experiment; 13] = [
         Experiment::Table1,
         Experiment::Table2,
         Experiment::Table3,
@@ -47,6 +53,8 @@ impl Experiment {
         Experiment::Figure7,
         Experiment::Figure8,
         Experiment::Figure9,
+        Experiment::Pressure,
+        Experiment::WarmStart,
     ];
 
     /// Command-line name.
@@ -63,6 +71,8 @@ impl Experiment {
             Experiment::Figure7 => "figure7",
             Experiment::Figure8 => "figure8",
             Experiment::Figure9 => "figure9",
+            Experiment::Pressure => "pressure",
+            Experiment::WarmStart => "warmstart",
         }
     }
 
@@ -92,6 +102,8 @@ pub fn run_experiment(experiment: Experiment, ctx: &EvalContext) -> Report {
         Experiment::Figure7 => figure7(ctx),
         Experiment::Figure8 => figure8(ctx),
         Experiment::Figure9 => figure9(ctx),
+        Experiment::Pressure => pressure(ctx),
+        Experiment::WarmStart => warmstart(ctx),
     }
 }
 
@@ -649,6 +661,358 @@ pub fn figure9(ctx: &EvalContext) -> Report {
     report
 }
 
+/// Result of one cache-pressure round (one policy at one budget).
+struct PressureRound {
+    counters: StoreCountersSnapshot,
+    /// Hits observed in the replay phase (phase 2).
+    replay_hits: u64,
+}
+
+/// One cache-pressure round: a synthetic workload with three task types of
+/// very different cost/size profiles, run twice (populate, then replay)
+/// under one eviction policy and one byte budget.
+///
+/// * `heavy` — expensive kernel, tiny output: high benefit density;
+/// * `light` — trivial kernel, 32 KiB output: low benefit density;
+/// * `giant` — trivial kernel, 128 KiB output: admission-control bait at
+///   tight budgets.
+///
+/// Under a budget that cannot hold the light entries, a cost-aware policy
+/// keeps the heavy entries (saving kernel time on replay) while FIFO keeps
+/// whatever arrived last.
+fn pressure_round(policy: PolicyKind, budget: Option<usize>) -> PressureRound {
+    const HEAVY: usize = 12;
+    const LIGHT: usize = 12;
+    const GIANT: usize = 2;
+
+    let mut config = AtmConfig::static_atm()
+        .with_policy(policy)
+        .with_tht(ThtConfig {
+            bucket_bits: 4,
+            ways: 1024,
+        });
+    if let Some(bytes) = budget {
+        config = config.with_byte_budget(bytes);
+    }
+    let engine = AtmEngine::shared(config);
+    let rt = RuntimeBuilder::new()
+        .workers(2)
+        .interceptor(engine.clone())
+        .build();
+
+    let heavy_tt = rt.register_task_type(
+        TaskTypeBuilder::new("pressure_heavy", |ctx| {
+            let x = ctx.arg::<f64>(0);
+            let mut out = [0.0f64; 16];
+            for (i, slot) in out.iter_mut().enumerate() {
+                let mut v = x[i % x.len()];
+                for _ in 0..4000 {
+                    v = (v.sin() + 1.25).sqrt();
+                }
+                *slot = v;
+            }
+            ctx.out(1, &out);
+        })
+        .arg::<f64>()
+        .out::<f64>()
+        .memoizable()
+        .build(),
+    );
+    let light_tt = rt.register_task_type(
+        TaskTypeBuilder::new("pressure_light", |ctx| {
+            let x = ctx.arg::<f64>(0);
+            let out: Vec<f64> = (0..4096).map(|i| x[i % x.len()] + i as f64).collect();
+            ctx.out(1, &out);
+        })
+        .arg::<f64>()
+        .out::<f64>()
+        .memoizable()
+        .build(),
+    );
+    let giant_tt = rt.register_task_type(
+        TaskTypeBuilder::new("pressure_giant", |ctx| {
+            let x = ctx.arg::<f64>(0);
+            let out: Vec<f64> = (0..16384).map(|i| x[i % x.len()] * 0.5).collect();
+            ctx.out(1, &out);
+        })
+        .arg::<f64>()
+        .out::<f64>()
+        .memoizable()
+        .build(),
+    );
+
+    let inputs = |tag: &str, count: usize, len: usize| -> Vec<Region<f64>> {
+        (0..count)
+            .map(|i| {
+                rt.store()
+                    .register_typed(
+                        format!("{tag}_in{i}"),
+                        (0..len)
+                            .map(|j| (i * len + j) as f64 * 0.125 + 0.5)
+                            .collect::<Vec<f64>>(),
+                    )
+                    .unwrap()
+            })
+            .collect()
+    };
+    let heavy_in = inputs("heavy", HEAVY, 16);
+    let light_in = inputs("light", LIGHT, 16);
+    let giant_in = inputs("giant", GIANT, 16);
+
+    let mut out_serial = 0usize;
+    let mut submit_wave = |tts: &[(atm_runtime::TaskTypeId, &[Region<f64>], usize)]| {
+        for &(tt, ins, out_len) in tts {
+            for input in ins {
+                let out = rt
+                    .store()
+                    .register_zeros::<f64>(format!("out{out_serial}"), out_len)
+                    .unwrap();
+                out_serial += 1;
+                rt.task(tt).reads(input).writes(&out).submit().unwrap();
+            }
+            // A barrier per type keeps the populate order deterministic:
+            // heavy entries are the oldest, giants the newest.
+            rt.taskwait();
+        }
+    };
+
+    // Phase 1: populate.
+    submit_wave(&[
+        (heavy_tt, &heavy_in, 16),
+        (light_tt, &light_in, 4096),
+        (giant_tt, &giant_in, 16384),
+    ]);
+    let after_populate = engine.store_counters();
+
+    // Phase 2: replay the same inputs; hits accrue saved kernel time.
+    submit_wave(&[
+        (heavy_tt, &heavy_in, 16),
+        (light_tt, &light_in, 4096),
+        (giant_tt, &giant_in, 16384),
+    ]);
+    let counters = engine.store_counters();
+    let replay_hits = counters.hits - after_populate.hits;
+    rt.shutdown();
+    PressureRound {
+        counters,
+        replay_hits,
+    }
+}
+
+/// The cache-pressure budget sweep: for each eviction policy and each byte
+/// budget, populate the store, replay the same task stream and report what
+/// the store kept and how much kernel time the hits saved.
+pub fn pressure(_ctx: &EvalContext) -> Report {
+    let mut report = Report::new(
+        "pressure",
+        "Memo-store cache pressure — byte-budget sweep × eviction policy",
+        "budget_bytes,policy,replay_hits,insertions,evictions,rejected_admissions,resident_bytes,entries,saved_kernel_ms",
+    );
+    // 48 KiB holds the heavy entries and barely one light entry; 192 KiB a
+    // handful of light entries; `None` is the paper's unlimited table.
+    let budgets: [Option<usize>; 3] = [None, Some(192 * 1024), Some(48 * 1024)];
+    for budget in budgets {
+        // One naming scheme per budget, used by both the human-readable
+        // lines and the JSON metric prefixes so they can never drift apart.
+        let (label, budget_tag) = match budget {
+            None => ("unlimited".to_string(), "unlimited".to_string()),
+            Some(bytes) => (
+                format!("{} KiB", bytes / 1024),
+                format!("{}k", bytes / 1024),
+            ),
+        };
+        report.linef(format_args!("budget {label}:"));
+        for policy in PolicyKind::ALL {
+            let round = pressure_round(policy, budget);
+            let c = round.counters;
+            report.linef(format_args!(
+                "  {:<10} replay hits {:>3}  evictions {:>3}  rejected {:>2}  resident {:>7} B  saved {:>9.3} ms",
+                policy.name(),
+                round.replay_hits,
+                c.evictions,
+                c.rejected_admissions,
+                c.resident_bytes,
+                c.saved_ns as f64 / 1e6,
+            ));
+            report.row(format!(
+                "{},{},{},{},{},{},{},{},{:.4}",
+                budget.unwrap_or(0),
+                policy.name(),
+                round.replay_hits,
+                c.insertions,
+                c.evictions,
+                c.rejected_admissions,
+                c.resident_bytes,
+                c.entries,
+                c.saved_ns as f64 / 1e6,
+            ));
+            let prefix = format!("{budget_tag}_{}", policy.name().replace('-', "_"));
+            report.metric(format!("{prefix}_replay_hits"), round.replay_hits as f64);
+            report.metric(format!("{prefix}_hits"), c.hits as f64);
+            report.metric(format!("{prefix}_misses"), c.misses as f64);
+            report.metric(format!("{prefix}_insertions"), c.insertions as f64);
+            report.metric(format!("{prefix}_evictions"), c.evictions as f64);
+            report.metric(
+                format!("{prefix}_rejected_admissions"),
+                c.rejected_admissions as f64,
+            );
+            report.metric(format!("{prefix}_resident_bytes"), c.resident_bytes as f64);
+            report.metric(format!("{prefix}_saved_ns"), c.saved_ns as f64);
+        }
+    }
+    report.line("Under pressure the cost-aware policy retains the expensive-to-recompute,");
+    report.line("cheap-to-store entries, so replaying the stream saves the most kernel time;");
+    report.line("FIFO retains whatever arrived last, and admission control keeps the giant");
+    report.line("outputs from flushing the table at tight budgets.");
+    report
+}
+
+/// The cold-vs-warm-start experiment: a synthetic stream whose memo store is
+/// persisted and reloaded, plus an application-level warm start through the
+/// apps' `RunOptions`.
+pub fn warmstart(ctx: &EvalContext) -> Report {
+    let mut report = Report::new(
+        "warmstart",
+        "Cold start vs warm start from a persisted memo store",
+        "section,run,executed,tht_hits,first_taskwait_hits,hit_rate_percent",
+    );
+
+    // --- Section A: synthetic stream, hit rate at the first taskwait. ---
+    let path = std::env::temp_dir().join(format!("atm-eval-warmstart-{}.bin", std::process::id()));
+    const TASKS: usize = 8;
+    let run_stream = |engine: Arc<AtmEngine>| -> (u64, u64) {
+        let rt = RuntimeBuilder::new()
+            .workers(2)
+            .interceptor(engine.clone())
+            .build();
+        let tt = rt.register_task_type(
+            TaskTypeBuilder::new("warm_square", |ctx| {
+                let x = ctx.arg::<f64>(0);
+                let y: Vec<f64> = x.iter().map(|v| v * v + 1.0).collect();
+                ctx.out(1, &y);
+            })
+            .arg::<f64>()
+            .out::<f64>()
+            .memoizable()
+            .build(),
+        );
+        for i in 0..TASKS {
+            let input = rt
+                .store()
+                .register_typed(format!("in{i}"), vec![i as f64 + 0.25; 256])
+                .unwrap();
+            let out = rt
+                .store()
+                .register_zeros::<f64>(format!("out{i}"), 256)
+                .unwrap();
+            rt.task(tt).reads(&input).writes(&out).submit().unwrap();
+        }
+        // The *first* taskwait of this run: everything before it either hit
+        // the warm-started table or had to execute.
+        rt.taskwait();
+        let stats = engine.stats();
+        rt.shutdown();
+        (stats.executed, stats.tht_bypassed)
+    };
+
+    let cold_engine = AtmEngine::shared(AtmConfig::static_atm());
+    let (cold_executed, cold_hits) = run_stream(cold_engine.clone());
+    cold_engine
+        .save_store(&path)
+        .expect("persisting the memo store");
+
+    let warm_engine = AtmEngine::shared(AtmConfig::static_atm());
+    let reloaded = warm_engine
+        .warm_start_from(&path)
+        .expect("reloading the memo store");
+    let (warm_executed, warm_hits) = run_stream(warm_engine.clone());
+    let _ = std::fs::remove_file(&path);
+
+    let rate = |hits: u64| 100.0 * hits as f64 / TASKS as f64;
+    report.linef(format_args!(
+        "synthetic stream ({TASKS} distinct tasks, {reloaded} entries reloaded):"
+    ));
+    report.linef(format_args!(
+        "  cold start: {cold_executed} executed, {cold_hits} THT hits at the first taskwait ({:.0}%)",
+        rate(cold_hits)
+    ));
+    report.linef(format_args!(
+        "  warm start: {warm_executed} executed, {warm_hits} THT hits at the first taskwait ({:.0}%)",
+        rate(warm_hits)
+    ));
+    report.row(format!(
+        "synthetic,cold,{cold_executed},{cold_hits},{cold_hits},{:.2}",
+        rate(cold_hits)
+    ));
+    report.row(format!(
+        "synthetic,warm,{warm_executed},{warm_hits},{warm_hits},{:.2}",
+        rate(warm_hits)
+    ));
+    report.metric("synthetic_entries_reloaded", reloaded as f64);
+    report.metric("synthetic_cold_first_taskwait_hits", cold_hits as f64);
+    report.metric("synthetic_warm_first_taskwait_hits", warm_hits as f64);
+    report.metric("synthetic_warm_executed", warm_executed as f64);
+
+    // --- Section B: application-level warm start through RunOptions. ---
+    let app_path =
+        std::env::temp_dir().join(format!("atm-eval-warmstart-app-{}.bin", std::process::id()));
+    let cold = ctx.measure(
+        AppId::Blackscholes,
+        &RunOptions::with_atm(ctx.workers, AtmConfig::static_atm()).saving_store(&app_path),
+    );
+    let warm = ctx.measure(
+        AppId::Blackscholes,
+        &RunOptions::with_atm(ctx.workers, AtmConfig::static_atm()).warm_started(&app_path),
+    );
+    let _ = std::fs::remove_file(&app_path);
+    report.line("blackscholes (app-level, via RunOptions::warm_started):");
+    report.linef(format_args!(
+        "  cold: executed {:>5}, store hits {:>5}, wall {:.2} ms",
+        cold.run.atm_stats.executed,
+        cold.run.store_counters.hits,
+        cold.wall_seconds * 1000.0
+    ));
+    report.linef(format_args!(
+        "  warm: executed {:>5}, store hits {:>5}, wall {:.2} ms",
+        warm.run.atm_stats.executed,
+        warm.run.store_counters.hits,
+        warm.wall_seconds * 1000.0
+    ));
+    for (label, m) in [("cold", &cold), ("warm", &warm)] {
+        let seen = m.run.atm_stats.seen.max(1);
+        report.row(format!(
+            "blackscholes,{label},{},{},{},{:.2}",
+            m.run.atm_stats.executed,
+            m.run.store_counters.hits,
+            m.run.store_counters.hits,
+            100.0 * m.run.store_counters.hits as f64 / seen as f64
+        ));
+        let c = m.run.store_counters;
+        report.metric(
+            format!("blackscholes_{label}_executed"),
+            m.run.atm_stats.executed as f64,
+        );
+        report.metric(format!("blackscholes_{label}_hits"), c.hits as f64);
+        report.metric(format!("blackscholes_{label}_misses"), c.misses as f64);
+        report.metric(
+            format!("blackscholes_{label}_insertions"),
+            c.insertions as f64,
+        );
+        report.metric(
+            format!("blackscholes_{label}_evictions"),
+            c.evictions as f64,
+        );
+        report.metric(
+            format!("blackscholes_{label}_resident_bytes"),
+            c.resident_bytes as f64,
+        );
+        report.metric(format!("blackscholes_{label}_saved_ns"), c.saved_ns as f64);
+    }
+    report.line("A warm-started run hits the table from its very first task: the cold run's");
+    report.line("executions are the price paid exactly once per distinct input.");
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -674,6 +1038,67 @@ mod tests {
         let t2 = table2(&ctx);
         assert_eq!(t2.csv_rows.len(), 6);
         assert!(t2.text.contains("Ltraining"));
+    }
+
+    #[test]
+    fn pressure_cost_aware_beats_fifo_at_the_tightest_budget() {
+        let tight = Some(48 * 1024);
+        let fifo = pressure_round(PolicyKind::Fifo, tight);
+        let cost = pressure_round(PolicyKind::CostAware, tight);
+        assert!(
+            cost.counters.saved_ns >= fifo.counters.saved_ns,
+            "cost-aware must save at least as much kernel time as FIFO \
+             at the tightest budget ({} vs {} ns)",
+            cost.counters.saved_ns,
+            fifo.counters.saved_ns
+        );
+        assert!(
+            cost.replay_hits > 0,
+            "cost-aware must retain something worth hitting"
+        );
+        // The giant outputs do not fit a 48 KiB budget at all.
+        assert!(fifo.counters.rejected_admissions > 0);
+        assert!(
+            fifo.counters.resident_bytes <= 48 * 1024,
+            "the budget must hold"
+        );
+    }
+
+    #[test]
+    fn pressure_unlimited_budget_never_evicts_by_budget() {
+        let round = pressure_round(PolicyKind::Fifo, None);
+        assert_eq!(round.counters.rejected_admissions, 0);
+        assert_eq!(
+            round.counters.evictions, 0,
+            "ways=1024 and no budget must keep every entry"
+        );
+        // Replay hits everything that was stored.
+        assert_eq!(round.replay_hits, round.counters.insertions);
+    }
+
+    #[test]
+    fn warmstart_first_taskwait_has_nonzero_hit_rate() {
+        let ctx = EvalContext::new(Scale::Tiny, 1);
+        let report = warmstart(&ctx);
+        let metric = |name: &str| -> f64 {
+            report
+                .metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("metric {name} missing"))
+                .1
+        };
+        assert_eq!(metric("synthetic_cold_first_taskwait_hits"), 0.0);
+        assert!(
+            metric("synthetic_warm_first_taskwait_hits") > 0.0,
+            "a warm-started run must hit the table at its first taskwait"
+        );
+        assert_eq!(metric("synthetic_warm_executed"), 0.0);
+        assert!(
+            metric("blackscholes_warm_hits") >= metric("blackscholes_cold_hits"),
+            "app-level warm start must not hit less than the cold run"
+        );
+        assert!(metric("blackscholes_warm_hits") > 0.0);
     }
 
     #[test]

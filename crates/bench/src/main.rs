@@ -1,11 +1,18 @@
-//! `atm-eval` — regenerates the tables and figures of the ATM paper.
+//! `atm-eval` — regenerates the tables and figures of the ATM paper, plus
+//! the memo-store experiments (cache pressure, warm start).
 //!
 //! ```text
-//! atm-eval <experiment>|all [--scale tiny|small] [--workers N] [--csv DIR] [--list]
+//! atm-eval <experiment>|all [--scale tiny|small] [--workers N]
+//!          [--csv DIR] [--json DIR] [--quick] [--list]
 //! ```
 //!
 //! Experiments: table1 table2 table3 sizing figure3 figure4 figure5 figure6
-//! figure7 figure8 figure9.
+//! figure7 figure8 figure9 pressure warmstart.
+//!
+//! `--quick` is the CI smoke mode: tiny scale, two workers. `--json DIR`
+//! writes one `BENCH_<experiment>.json` per experiment with the machine-
+//! readable metrics (memo-store hits, misses, insertions, evictions,
+//! rejected admissions, resident bytes, saved kernel time).
 
 use atm_apps::Scale;
 use atm_eval::{all_experiments, run_experiment, EvalContext, Experiment};
@@ -17,11 +24,12 @@ struct Cli {
     scale: Scale,
     workers: usize,
     csv_dir: Option<PathBuf>,
+    json_dir: Option<PathBuf>,
 }
 
 fn usage() -> String {
     format!(
-        "usage: atm-eval <experiment>|all [--scale tiny|small] [--workers N] [--csv DIR]\n       atm-eval --list\n\nexperiments: {}",
+        "usage: atm-eval <experiment>|all [--scale tiny|small] [--workers N] [--csv DIR] [--json DIR] [--quick]\n       atm-eval --list\n\nexperiments: {}",
         all_experiments().join(" ")
     )
 }
@@ -31,6 +39,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut scale = Scale::Small;
     let mut workers = 8usize;
     let mut csv_dir = None;
+    let mut json_dir = None;
+    let mut quick = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -64,6 +74,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                         format!("--csv needs a directory\n{}", usage())
                     })?));
             }
+            "--json" => {
+                i += 1;
+                json_dir =
+                    Some(PathBuf::from(args.get(i).ok_or_else(|| {
+                        format!("--json needs a directory\n{}", usage())
+                    })?));
+            }
+            "--quick" => quick = true,
             "all" => experiments.extend(Experiment::ALL),
             name => {
                 let experiment = Experiment::parse(name)
@@ -76,11 +94,17 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     if experiments.is_empty() {
         return Err(usage());
     }
+    if quick {
+        // CI smoke mode: smallest problems, modest parallelism.
+        scale = Scale::Tiny;
+        workers = workers.min(2);
+    }
     Ok(Cli {
         experiments,
         scale,
         workers,
         csv_dir,
+        json_dir,
     })
 }
 
@@ -108,6 +132,12 @@ fn main() -> ExitCode {
             match report.write_csv(dir) {
                 Ok(path) => println!("  csv written to {}", path.display()),
                 Err(err) => eprintln!("  failed to write csv: {err}"),
+            }
+        }
+        if let Some(dir) = &cli.json_dir {
+            match report.write_json(dir) {
+                Ok(path) => println!("  json written to {}", path.display()),
+                Err(err) => eprintln!("  failed to write json: {err}"),
             }
         }
     }
@@ -140,6 +170,24 @@ mod tests {
         assert_eq!(cli.scale, Scale::Tiny);
         assert_eq!(cli.workers, 2);
         assert!(cli.csv_dir.is_none());
+        assert!(cli.json_dir.is_none());
+    }
+
+    #[test]
+    fn quick_mode_forces_tiny_scale_and_caps_workers() {
+        let cli = parse_args(&strings(&["pressure", "warmstart", "--quick"])).unwrap();
+        assert_eq!(cli.scale, Scale::Tiny);
+        assert_eq!(cli.workers, 2);
+        assert_eq!(
+            cli.experiments,
+            vec![Experiment::Pressure, Experiment::WarmStart]
+        );
+    }
+
+    #[test]
+    fn json_dir_is_parsed() {
+        let cli = parse_args(&strings(&["table1", "--json", "out/bench"])).unwrap();
+        assert_eq!(cli.json_dir, Some(PathBuf::from("out/bench")));
     }
 
     #[test]

@@ -30,8 +30,11 @@ use atm_runtime::{
     DataStore, Decision, RegionId, TaskId, TaskInterceptor, TaskTypeId, TaskView, ThreadState,
     Tracer,
 };
+use atm_store::{PersistError, PolicyKind, StoreConfig, StoreCountersSnapshot};
 use atm_sync::Mutex;
 use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Operating mode of the engine.
@@ -63,6 +66,16 @@ pub struct AtmConfig {
     pub tht: ThtConfig,
     /// Seed for the hash and the per-type index shuffles (reproducibility).
     pub key_seed: u64,
+    /// Eviction policy of the memo store behind the THT. The default,
+    /// [`PolicyKind::Fifo`], together with an unlimited budget reproduces
+    /// the paper's table bit for bit.
+    pub policy: PolicyKind,
+    /// Global byte budget of the memo store, enforced across all buckets.
+    /// `None` (the default) disables budget enforcement.
+    pub byte_budget: Option<usize>,
+    /// Admission control: entries charged more than this fraction of the
+    /// byte budget are refused. Ignored without a budget.
+    pub max_entry_fraction: f64,
 }
 
 impl Default for AtmConfig {
@@ -72,6 +85,9 @@ impl Default for AtmConfig {
             use_ikt: true,
             tht: ThtConfig::default(),
             key_seed: 0x5EED,
+            policy: PolicyKind::Fifo,
+            byte_budget: None,
+            max_entry_fraction: 1.0,
         }
     }
 }
@@ -122,12 +138,60 @@ impl AtmConfig {
         self.tht = tht;
         self
     }
+
+    /// Selects the eviction policy of the memo store.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Caps the memo store at a global byte budget.
+    #[must_use]
+    pub fn with_byte_budget(mut self, budget: usize) -> Self {
+        self.byte_budget = Some(budget);
+        self
+    }
+
+    /// Sets the admission-control fraction (of the byte budget).
+    #[must_use]
+    pub fn with_admission_fraction(mut self, fraction: f64) -> Self {
+        self.max_entry_fraction = fraction;
+        self
+    }
+
+    /// The memo-store configuration this engine configuration describes.
+    pub fn store_config(&self) -> StoreConfig {
+        StoreConfig {
+            bucket_bits: self.tht.bucket_bits,
+            ways: self.tht.ways,
+            byte_budget: self.byte_budget,
+            max_entry_fraction: self.max_entry_fraction,
+            policy: self.policy,
+        }
+    }
 }
 
 /// Per-task-type engine state.
 struct TypeState {
     keygen: KeyGenerator,
     controller: Mutex<TrainingController>,
+    /// Total nanoseconds this type's kernel has run, and how many times.
+    /// Their ratio is the benefit estimate fed to the memo store's
+    /// cost-aware eviction policy: the kernel time a hit saves.
+    kernel_ns_total: AtomicU64,
+    kernel_runs: AtomicU64,
+}
+
+impl TypeState {
+    /// Average measured kernel nanoseconds of this type (0 before any run).
+    fn avg_kernel_ns(&self) -> u64 {
+        let runs = self.kernel_runs.load(Ordering::Relaxed);
+        if runs == 0 {
+            return 0;
+        }
+        self.kernel_ns_total.load(Ordering::Relaxed) / runs
+    }
 }
 
 /// Bookkeeping attached to a task between `before_execute` and `after_execute`.
@@ -139,6 +203,9 @@ struct PendingExec {
     /// True when the task writes an unstable output region and must not be
     /// stored in the THT.
     skip_tht_update: bool,
+    /// Timestamp at dispatch; `after_execute` turns it into the measured
+    /// kernel time of this type.
+    dispatched_ns: u64,
 }
 
 /// The ATM engine. Install it into the runtime with
@@ -157,7 +224,7 @@ impl AtmEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: AtmConfig) -> Self {
         AtmEngine {
-            tht: TaskHistoryTable::new(config.tht),
+            tht: TaskHistoryTable::with_store_config(config.store_config()),
             ikt: InFlightKeyTable::new(),
             types: Mutex::new(HashMap::new()),
             pending: Mutex::new(HashMap::new()),
@@ -205,6 +272,31 @@ impl AtmEngine {
         &self.ikt
     }
 
+    /// Counter snapshot of the memo store behind the THT (hits, misses,
+    /// insertions, evictions, rejected admissions, resident bytes, saved
+    /// kernel nanoseconds).
+    pub fn store_counters(&self) -> StoreCountersSnapshot {
+        self.tht.store_counters()
+    }
+
+    /// Persists the memo store to `path` (versioned, checksummed binary
+    /// snapshot; see `atm_store::persist`).
+    pub fn save_store(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        self.tht.store().save_to(path)
+    }
+
+    /// Warm-starts the memo store from a snapshot written by
+    /// [`AtmEngine::save_store`] in a previous run. Entries go through the
+    /// normal admission/eviction path; the number admitted is returned.
+    ///
+    /// Hash keys embed the task-type id and the key seed, so the snapshot
+    /// only produces hits when task types are registered in the same order
+    /// and `key_seed` is unchanged — the natural situation for repeated
+    /// runs of one application.
+    pub fn warm_start_from(&self, path: impl AsRef<Path>) -> Result<usize, PersistError> {
+        self.tht.store().absorb_from(path)
+    }
+
     /// ATM memory overhead in bytes: THT contents, IKT bookkeeping and the
     /// cached index-shuffle vectors (Table III numerator).
     pub fn memory_bytes(&self) -> usize {
@@ -250,6 +342,8 @@ impl AtmEngine {
                 view.atm_params().type_aware,
             ),
             controller: Mutex::new(controller),
+            kernel_ns_total: AtomicU64::new(0),
+            kernel_runs: AtomicU64::new(0),
         });
         types.insert(view.type_id, Arc::clone(&state));
         state
@@ -391,6 +485,7 @@ impl TaskInterceptor for AtmEngine {
                     registered_ikt: false,
                     training_reference: None,
                     skip_tht_update: true,
+                    dispatched_ns: tracer.now_ns(),
                 },
             );
             self.stats.incr(&self.stats.executed);
@@ -418,13 +513,16 @@ impl TaskInterceptor for AtmEngine {
                         registered_ikt: false,
                         training_reference: Some(Arc::clone(&entry.outputs)),
                         skip_tht_update: true,
+                        dispatched_ns: tracer.now_ns(),
                     },
                 );
                 self.stats.incr(&self.stats.executed);
                 return Decision::Execute;
             }
 
-            // Steady state: provide the outputs without executing.
+            // Steady state: provide the outputs without executing. Only now
+            // is the entry's benefit genuinely saved kernel time.
+            self.tht.note_saved(entry.benefit_ns);
             let copy_start = tracer.now_ns();
             apply_snapshots_to(store, &entry.outputs, task.accesses);
             let copy_end = tracer.now_ns();
@@ -468,6 +566,7 @@ impl TaskInterceptor for AtmEngine {
                 registered_ikt,
                 training_reference: None,
                 skip_tht_update: false,
+                dispatched_ns: tracer.now_ns(),
             },
         );
         self.stats.incr(&self.stats.executed);
@@ -489,6 +588,17 @@ impl TaskInterceptor for AtmEngine {
             return Vec::new();
         };
         let state = self.type_state(&task);
+
+        // Per-type kernel timing: the interval between dispatch and
+        // completion is (almost entirely) the kernel run. Its running
+        // average is the benefit estimate stored with this type's THT
+        // entries — the kernel nanoseconds a future hit saves — which the
+        // cost-aware eviction policy divides by entry size.
+        let kernel_ns = tracer.now_ns().saturating_sub(pending.dispatched_ns);
+        state
+            .kernel_ns_total
+            .fetch_add(kernel_ns, Ordering::Relaxed);
+        state.kernel_runs.fetch_add(1, Ordering::Relaxed);
 
         // Dynamic ATM training: compare the stored (approximate) outputs
         // against the freshly computed ones.
@@ -556,7 +666,8 @@ impl TaskInterceptor for AtmEngine {
             let still_stable = !self.writes_unstable_region(&state, &task);
             if still_stable {
                 let snaps = outputs.expect("snapshot exists when the THT is updated");
-                self.tht.insert(pending.key, task.id, snaps);
+                self.tht
+                    .insert_with_benefit(pending.key, task.id, snaps, state.avg_kernel_ns());
             }
         }
 
@@ -793,6 +904,77 @@ mod tests {
             engine.before_execute(view_for(1, 0, &info, &acc_b), &store, &tracer, 1),
             Decision::Execute,
             "without the IKT a concurrent identical task cannot be deferred"
+        );
+    }
+
+    #[test]
+    fn warm_start_reproduces_hits_across_engines() {
+        let path =
+            std::env::temp_dir().join(format!("atm-engine-warmstart-{}.bin", std::process::id()));
+
+        // Cold engine: one execution populates the store; persist it.
+        let cold = AtmEngine::new(AtmConfig::static_atm());
+        let store = DataStore::new();
+        let info = memoizable_info();
+        let input = store.register_typed("in", vec![1.0f64, 2.0, 3.0]).unwrap();
+        let out = store.register_zeros::<f64>("cold_out", 3).unwrap();
+        let accesses = vec![Access::read(&input), Access::write(&out)];
+        let (d, _) = drive(&cold, &store, view_for(0, 0, &info, &accesses));
+        assert_eq!(d, Decision::Execute);
+        cold.save_store(&path).unwrap();
+
+        // Warm engine over a *fresh* data store: same input bytes, same task
+        // type index, same key seed — the first task of its life is a hit.
+        let warm = AtmEngine::new(AtmConfig::static_atm());
+        let loaded = warm.warm_start_from(&path).unwrap();
+        assert_eq!(loaded, 1);
+        let store2 = DataStore::new();
+        let input2 = store2.register_typed("in", vec![1.0f64, 2.0, 3.0]).unwrap();
+        let out2 = store2.register_zeros::<f64>("warm_out", 3).unwrap();
+        let accesses2 = vec![Access::read(&input2), Access::write(&out2)];
+        let (d2, _) = drive(&warm, &store2, view_for(0, 0, &info, &accesses2));
+        assert_eq!(d2, Decision::Memoized, "warm start must hit immediately");
+        assert_eq!(store2.read(out2).lock().as_f64(), &[1.0, 4.0, 9.0]);
+        assert_eq!(warm.stats().executed, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn store_policy_and_budget_are_plumbed_through_the_config() {
+        let config = AtmConfig::static_atm()
+            .with_policy(atm_store::PolicyKind::CostAware)
+            .with_byte_budget(4096)
+            .with_admission_fraction(0.5);
+        let engine = AtmEngine::new(config);
+        let store_config = engine.tht().store().config();
+        assert_eq!(store_config.policy, atm_store::PolicyKind::CostAware);
+        assert_eq!(store_config.byte_budget, Some(4096));
+        assert!((store_config.max_entry_fraction - 0.5).abs() < 1e-12);
+        assert_eq!(engine.tht().store().policy_name(), "cost-aware");
+        assert_eq!(engine.store_counters(), Default::default());
+    }
+
+    #[test]
+    fn inserted_entries_carry_the_measured_kernel_benefit() {
+        let engine = AtmEngine::new(AtmConfig::static_atm());
+        let store = DataStore::new();
+        let info = memoizable_info();
+        let input = store.register_typed("in", vec![1.0f64; 64]).unwrap();
+        let out = store.register_zeros::<f64>("out", 64).unwrap();
+        let accesses = vec![Access::read(&input), Access::write(&out)];
+        let _ = drive(&engine, &store, view_for(0, 0, &info, &accesses));
+        let exported = engine.tht().store().export();
+        assert_eq!(exported.len(), 1);
+        // drive() measures real time around the kernel, so the benefit can
+        // be small but is recorded from the per-type timing stats.
+        let out_b = store.register_zeros::<f64>("b", 64).unwrap();
+        let acc_b = vec![Access::read(&input), Access::write(&out_b)];
+        let (d, _) = drive(&engine, &store, view_for(1, 0, &info, &acc_b));
+        assert_eq!(d, Decision::Memoized);
+        assert_eq!(
+            engine.store_counters().saved_ns,
+            exported[0].benefit_ns,
+            "a hit accrues exactly the stored benefit estimate"
         );
     }
 

@@ -61,10 +61,13 @@
 pub mod engine;
 pub mod ikt;
 pub mod key;
-pub mod snapshot;
 pub mod stats;
 pub mod tht;
 pub mod training;
+
+/// Output snapshots (moved to the `atm-store` crate; re-exported here so the
+/// `atm_core::snapshot` paths keep working).
+pub use atm_store::snapshot;
 
 pub use engine::{AtmConfig, AtmEngine, AtmMode};
 pub use ikt::{InFlightKeyTable, Waiter};
@@ -76,3 +79,10 @@ pub use training::{Phase, TrainingController, TrainingOutcome};
 
 /// Re-export of the selection-percentage type used throughout the API.
 pub use atm_hash::Percentage;
+
+/// Re-exports of the memo-store subsystem the THT is built on: policies,
+/// budgets, admission control and persistence.
+pub use atm_store::{
+    EvictionPolicy, InsertOutcome, MemoStore, PersistError, PolicyKind, StoreConfig,
+    StoreCountersSnapshot,
+};

@@ -7,13 +7,20 @@
 //! outputs. Buckets are protected by individual locks that allow parallel
 //! reads and exclusive writes; when a bucket is full the oldest entry is
 //! evicted first-in-first-out.
+//!
+//! Since the introduction of the `atm-store` crate the THT is a thin façade
+//! over [`MemoStore`]: the paper's `(N, M)` geometry with FIFO eviction and
+//! no byte budget is one configuration of the store, and that configuration
+//! reproduces the original table bit for bit. The engine configures the
+//! store with whatever policy/budget/persistence the [`crate::AtmConfig`]
+//! asks for; this module keeps the paper-facing vocabulary and API.
 
 use crate::snapshot::OutputSnapshot;
-use atm_runtime::{TaskId, TaskTypeId};
-use atm_sync::RwLock;
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use atm_runtime::TaskId;
+use atm_store::{MemoStore, StoreConfig, StoreCountersSnapshot};
 use std::sync::Arc;
+
+pub use atm_store::EntryKey;
 
 /// Sizing of the THT: `N` (bucket bits) and `M` (ways per bucket).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,31 +42,10 @@ impl Default for ThtConfig {
     }
 }
 
-/// The lookup key of a THT entry.
-///
-/// Besides the Jenkins hash of the sampled inputs, an entry is only valid
-/// for the same task type and the same selection percentage (the paper
-/// extends the THT to store `p` together with the hash key because `p`
-/// affects key generation, §III-D). `p` is stored as its raw bit pattern so
-/// the struct stays `Eq`/hashable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EntryKey {
-    /// The task type that produced the entry.
-    pub task_type: TaskTypeId,
-    /// The Jenkins hash of the sampled inputs.
-    pub hash: u64,
-    /// Bit pattern of the selection percentage used for the hash.
-    pub p_bits: u64,
-}
-
-impl EntryKey {
-    /// Builds a key from a task type, hash and percentage fraction.
-    pub fn new(task_type: TaskTypeId, hash: u64, p: f64) -> Self {
-        EntryKey {
-            task_type,
-            hash,
-            p_bits: p.to_bits(),
-        }
+impl ThtConfig {
+    /// The equivalent paper-faithful store configuration (FIFO, no budget).
+    pub fn store_config(self) -> StoreConfig {
+        StoreConfig::paper(self.bucket_bits, self.ways)
     }
 }
 
@@ -72,139 +58,122 @@ pub struct ThtEntry {
     pub producer: TaskId,
     /// The stored outputs.
     pub outputs: Arc<Vec<OutputSnapshot>>,
-}
-
-impl ThtEntry {
-    fn size_bytes(&self) -> usize {
-        // 8-byte hash + 8-byte p + type id + the stored outputs.
-        let meta = std::mem::size_of::<EntryKey>() + std::mem::size_of::<TaskId>();
-        meta + self
-            .outputs
-            .iter()
-            .map(OutputSnapshot::size_bytes)
-            .sum::<usize>()
-    }
+    /// Estimated kernel nanoseconds a genuine bypass on this entry saves
+    /// (reported back to the store via [`TaskHistoryTable::note_saved`]).
+    pub benefit_ns: u64,
 }
 
 /// The Task History Table.
 #[derive(Debug)]
 pub struct TaskHistoryTable {
-    buckets: Vec<RwLock<VecDeque<ThtEntry>>>,
-    config: ThtConfig,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
-    stored_bytes: AtomicUsize,
+    store: MemoStore,
 }
 
 impl TaskHistoryTable {
-    /// Creates an empty table with the given sizing.
+    /// Creates an empty table with the given sizing (paper-faithful FIFO
+    /// eviction, no byte budget).
     pub fn new(config: ThtConfig) -> Self {
-        assert!(
-            config.bucket_bits <= 20,
-            "more than 2^20 buckets is never useful"
-        );
-        assert!(config.ways >= 1, "each bucket needs at least one way");
-        let buckets = (0..(1usize << config.bucket_bits))
-            .map(|_| RwLock::new(VecDeque::new()))
-            .collect();
+        Self::with_store_config(config.store_config())
+    }
+
+    /// Creates an empty table backed by a [`MemoStore`] with the full
+    /// policy/budget configuration.
+    pub fn with_store_config(config: StoreConfig) -> Self {
         TaskHistoryTable {
-            buckets,
-            config,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            stored_bytes: AtomicUsize::new(0),
+            store: MemoStore::new(config),
         }
+    }
+
+    /// The underlying memo store (policy, budget and persistence live there).
+    pub fn store(&self) -> &MemoStore {
+        &self.store
     }
 
     /// The table sizing.
     pub fn config(&self) -> ThtConfig {
-        self.config
+        let config = self.store.config();
+        ThtConfig {
+            bucket_bits: config.bucket_bits,
+            ways: config.ways,
+        }
     }
 
     /// Number of buckets (`2^N`).
     pub fn bucket_count(&self) -> usize {
-        self.buckets.len()
-    }
-
-    #[inline]
-    fn bucket_of(&self, key: &EntryKey) -> usize {
-        // Index with the lower N bits of the hash, as in Figure 1.
-        (key.hash as usize) & (self.buckets.len() - 1)
+        self.store.bucket_count()
     }
 
     /// Looks up an entry with exactly this key. Takes the bucket's read
     /// lock, so concurrent lookups proceed in parallel.
     pub fn lookup(&self, key: &EntryKey) -> Option<ThtEntry> {
-        let bucket = self.buckets[self.bucket_of(key)].read();
-        let found = bucket.iter().rev().find(|e| e.key == *key).cloned();
-        drop(bucket);
-        if found.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-        }
-        found
+        self.store.lookup(key).map(|hit| ThtEntry {
+            key: *key,
+            producer: hit.producer,
+            outputs: hit.outputs,
+            benefit_ns: hit.benefit_ns,
+        })
+    }
+
+    /// Reports that a hit genuinely replaced an execution (see
+    /// [`MemoStore::note_saved`]).
+    pub fn note_saved(&self, benefit_ns: u64) {
+        self.store.note_saved(benefit_ns);
     }
 
     /// Inserts the outputs of a completed task. If the bucket already holds
-    /// `M` entries the oldest is evicted (FIFO).
+    /// `M` entries (or the store exceeds its byte budget) the configured
+    /// policy evicts — FIFO by default, exactly as in the paper.
     pub fn insert(&self, key: EntryKey, producer: TaskId, outputs: Arc<Vec<OutputSnapshot>>) {
-        let entry = ThtEntry {
-            key,
-            producer,
-            outputs,
-        };
-        let added = entry.size_bytes();
-        let mut bucket = self.buckets[self.bucket_of(&key)].write();
-        bucket.push_back(entry);
-        let mut removed = 0usize;
-        while bucket.len() > self.config.ways {
-            if let Some(old) = bucket.pop_front() {
-                removed += old.size_bytes();
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        drop(bucket);
-        self.insertions.fetch_add(1, Ordering::Relaxed);
-        self.stored_bytes.fetch_add(added, Ordering::Relaxed);
-        self.stored_bytes.fetch_sub(removed, Ordering::Relaxed);
+        self.store.insert(key, producer, outputs, 0);
+    }
+
+    /// Like [`TaskHistoryTable::insert`], with the caller's estimate of the
+    /// kernel nanoseconds one hit on this entry saves (drives the
+    /// cost-aware eviction policy and the `saved_ns` counter).
+    pub fn insert_with_benefit(
+        &self,
+        key: EntryKey,
+        producer: TaskId,
+        outputs: Arc<Vec<OutputSnapshot>>,
+        benefit_ns: u64,
+    ) {
+        self.store.insert(key, producer, outputs, benefit_ns);
     }
 
     /// Total number of stored entries (diagnostic; takes every bucket lock).
     pub fn len(&self) -> usize {
-        self.buckets.iter().map(|b| b.read().len()).sum()
+        self.store.len()
     }
 
     /// True when the table holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.store.is_empty()
     }
 
-    /// Bytes currently stored in the table (keys + outputs), the main
-    /// contributor to the ATM memory overhead of Table III.
+    /// Bytes currently stored in the table (keys + container overhead +
+    /// outputs), the main contributor to the ATM memory overhead of
+    /// Table III.
     pub fn memory_bytes(&self) -> usize {
-        self.stored_bytes.load(Ordering::Relaxed)
+        self.store.memory_bytes()
     }
 
     /// Counter snapshot: `(hits, misses, insertions, evictions)`.
     pub fn counters(&self) -> (u64, u64, u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-            self.insertions.load(Ordering::Relaxed),
-            self.evictions.load(Ordering::Relaxed),
-        )
+        let c = self.store.counters();
+        (c.hits, c.misses, c.insertions, c.evictions)
+    }
+
+    /// The full store counter snapshot (includes admission rejections,
+    /// resident bytes and saved kernel nanoseconds).
+    pub fn store_counters(&self) -> StoreCountersSnapshot {
+        self.store.counters()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use atm_runtime::{Access, DataStore};
+    use atm_runtime::{Access, DataStore, TaskTypeId};
 
     fn snapshot(store: &DataStore, values: &[f32]) -> Arc<Vec<OutputSnapshot>> {
         // Region names are unique per store; derive one from the slot count.

@@ -1,0 +1,427 @@
+//! Versioned, checksummed binary snapshots of a [`MemoStore`].
+//!
+//! A run that starts with an empty memo table pays the full execution cost
+//! of every task at least once; at production scale the table's contents are
+//! the product, so they must survive the process. [`MemoStore::save_to`]
+//! serialises every resident entry into a self-describing, dependency-free
+//! binary file and [`MemoStore::load_from`] / [`MemoStore::absorb_from`]
+//! rebuild them, letting a run *warm-start* from a previous run's table.
+//!
+//! ## Format (version 1, all integers little-endian)
+//!
+//! ```text
+//! [0..8)   magic  b"ATMSTORE"
+//! [8..12)  format version (u32)
+//! [12..20) entry count (u64)
+//! then per entry:
+//!   task_type (u32)  hash (u64)  p_bits (u64)  producer (u64)
+//!   benefit_ns (u64)  output count (u32)
+//!   then per output:
+//!     region (u32)  range_start (u64)  elem count (u64)  elem tag (u8)
+//!     payload (elem count × elem width bytes, little-endian)
+//! trailer:
+//!   checksum (u64): FNV-1a 64 over every preceding byte
+//! ```
+//!
+//! Decoding validates the magic, the version, every length against the
+//! remaining buffer and finally the checksum; any mismatch is a
+//! [`PersistError`], never a panic or a silently wrong table.
+//!
+//! Warm-start caveat: hash keys embed the task-type id and the key-seed, so
+//! a snapshot is only meaningful to a run that registers its task types in
+//! the same order and uses the same `key_seed` — the natural situation for
+//! repeated runs of one application.
+
+use crate::snapshot::OutputSnapshot;
+use crate::store::{ExportedEntry, MemoStore, StoreConfig};
+use atm_runtime::{ElemType, RegionData, RegionId, TaskId, TaskTypeId};
+use std::path::Path;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 8] = b"ATMSTORE";
+const VERSION: u32 = 1;
+
+/// Error decoding or transferring a store snapshot.
+#[derive(Debug)]
+pub enum PersistError {
+    /// File could not be read or written.
+    Io(std::io::Error),
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// The file uses a format version this build does not understand.
+    UnsupportedVersion(u32),
+    /// The file ends before the declared contents.
+    Truncated,
+    /// The checksum over the contents does not match the trailer.
+    ChecksumMismatch {
+        /// Checksum recomputed over the file contents.
+        computed: u64,
+        /// Checksum stored in the trailer.
+        stored: u64,
+    },
+    /// A structurally invalid field (bad element tag, impossible length…).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(err) => write!(f, "snapshot I/O error: {err}"),
+            PersistError::BadMagic => write!(f, "not a memo-store snapshot (bad magic)"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot format version {v}")
+            }
+            PersistError::Truncated => write!(f, "snapshot is truncated"),
+            PersistError::ChecksumMismatch { computed, stored } => write!(
+                f,
+                "snapshot checksum mismatch (computed {computed:#018x}, stored {stored:#018x})"
+            ),
+            PersistError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(err: std::io::Error) -> Self {
+        PersistError::Io(err)
+    }
+}
+
+/// FNV-1a 64 over a byte slice — tiny, dependency-free, and plenty for
+/// integrity checking (this guards against corruption, not adversaries).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn elem_tag(elem: ElemType) -> u8 {
+    match elem {
+        ElemType::F32 => 0,
+        ElemType::F64 => 1,
+        ElemType::I32 => 2,
+        ElemType::I64 => 3,
+        ElemType::U8 => 4,
+    }
+}
+
+fn elem_from_tag(tag: u8) -> Option<ElemType> {
+    match tag {
+        0 => Some(ElemType::F32),
+        1 => Some(ElemType::F64),
+        2 => Some(ElemType::I32),
+        3 => Some(ElemType::I64),
+        4 => Some(ElemType::U8),
+        _ => None,
+    }
+}
+
+fn decode_region_data(elem: ElemType, bytes: &[u8]) -> RegionData {
+    fn chunks<const W: usize>(bytes: &[u8]) -> impl Iterator<Item = [u8; W]> + '_ {
+        bytes.chunks_exact(W).map(|c| c.try_into().expect("exact"))
+    }
+    match elem {
+        ElemType::F32 => RegionData::F32(chunks::<4>(bytes).map(f32::from_le_bytes).collect()),
+        ElemType::F64 => RegionData::F64(chunks::<8>(bytes).map(f64::from_le_bytes).collect()),
+        ElemType::I32 => RegionData::I32(chunks::<4>(bytes).map(i32::from_le_bytes).collect()),
+        ElemType::I64 => RegionData::I64(chunks::<8>(bytes).map(i64::from_le_bytes).collect()),
+        ElemType::U8 => RegionData::U8(bytes.to_vec()),
+    }
+}
+
+/// Sequential reader with explicit truncation checks.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self.at.checked_add(n).ok_or(PersistError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(PersistError::Truncated);
+        }
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+}
+
+/// Encodes entries into the version-1 snapshot byte layout.
+fn encode_entries(entries: &[ExportedEntry]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for entry in entries {
+        out.extend_from_slice(&(entry.key.task_type.index() as u32).to_le_bytes());
+        out.extend_from_slice(&entry.key.hash.to_le_bytes());
+        out.extend_from_slice(&entry.key.p_bits.to_le_bytes());
+        out.extend_from_slice(&(entry.producer.index() as u64).to_le_bytes());
+        out.extend_from_slice(&entry.benefit_ns.to_le_bytes());
+        out.extend_from_slice(&(entry.outputs.len() as u32).to_le_bytes());
+        for snapshot in entry.outputs.iter() {
+            out.extend_from_slice(&(snapshot.region.index() as u32).to_le_bytes());
+            out.extend_from_slice(&(snapshot.elem_range.start as u64).to_le_bytes());
+            out.extend_from_slice(&(snapshot.data.len() as u64).to_le_bytes());
+            out.push(elem_tag(snapshot.data.elem_type()));
+            out.extend_from_slice(&snapshot.data.to_bytes());
+        }
+    }
+    let checksum = fnv1a64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Decodes a version-1 snapshot, validating structure and checksum.
+fn decode_entries(bytes: &[u8]) -> Result<Vec<ExportedEntry>, PersistError> {
+    if bytes.len() < MAGIC.len() + 4 + 8 + 8 {
+        return Err(PersistError::Truncated);
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+    let computed = fnv1a64(body);
+    if computed != stored {
+        return Err(PersistError::ChecksumMismatch { computed, stored });
+    }
+
+    let mut r = Reader {
+        bytes: body,
+        at: MAGIC.len(),
+    };
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let count = r.u64()?;
+    let mut entries = Vec::new();
+    for _ in 0..count {
+        let task_type = TaskTypeId::from_raw(r.u32()?);
+        let hash = r.u64()?;
+        let p_bits = r.u64()?;
+        let producer = TaskId::from_raw(r.u64()?);
+        let benefit_ns = r.u64()?;
+        let n_outputs = r.u32()?;
+        let mut outputs = Vec::new();
+        for _ in 0..n_outputs {
+            let region = RegionId::from_raw(r.u32()?);
+            let range_start = usize::try_from(r.u64()?)
+                .map_err(|_| PersistError::Corrupt("output range start overflows usize"))?;
+            let n_elems = usize::try_from(r.u64()?)
+                .map_err(|_| PersistError::Corrupt("output length overflows usize"))?;
+            let elem =
+                elem_from_tag(r.u8()?).ok_or(PersistError::Corrupt("unknown element-type tag"))?;
+            let payload_len = n_elems
+                .checked_mul(elem.width())
+                .ok_or(PersistError::Corrupt("output payload overflows usize"))?;
+            let payload = r.take(payload_len)?;
+            let range_end = range_start
+                .checked_add(n_elems)
+                .ok_or(PersistError::Corrupt("output range end overflows usize"))?;
+            outputs.push(OutputSnapshot {
+                region,
+                elem_range: range_start..range_end,
+                data: decode_region_data(elem, payload),
+            });
+        }
+        entries.push(ExportedEntry {
+            key: crate::EntryKey {
+                task_type,
+                hash,
+                p_bits,
+            },
+            producer,
+            benefit_ns,
+            outputs: Arc::new(outputs),
+        });
+    }
+    if r.at != body.len() {
+        return Err(PersistError::Corrupt("trailing bytes after the last entry"));
+    }
+    Ok(entries)
+}
+
+impl MemoStore {
+    /// Serialises every resident entry into the snapshot byte format.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        encode_entries(&self.export())
+    }
+
+    /// Writes the snapshot to `path` (see the module docs for the format).
+    pub fn save_to(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        std::fs::write(path, self.to_snapshot_bytes())?;
+        Ok(())
+    }
+
+    /// Inserts every entry of an in-memory snapshot into this store, going
+    /// through the normal admission/eviction path (a tight budget keeps what
+    /// its policy prefers). Returns the number of entries admitted.
+    pub fn absorb_snapshot_bytes(&self, bytes: &[u8]) -> Result<usize, PersistError> {
+        let entries = decode_entries(bytes)?;
+        let mut admitted = 0usize;
+        for entry in entries {
+            let outcome = self.insert(entry.key, entry.producer, entry.outputs, entry.benefit_ns);
+            if outcome.is_resident() {
+                admitted += 1;
+            }
+        }
+        Ok(admitted)
+    }
+
+    /// Reads a snapshot file and inserts its entries into this store.
+    /// Returns the number of entries admitted.
+    pub fn absorb_from(&self, path: impl AsRef<Path>) -> Result<usize, PersistError> {
+        let bytes = std::fs::read(path)?;
+        self.absorb_snapshot_bytes(&bytes)
+    }
+
+    /// Builds a fresh store with `config` warm-started from a snapshot file.
+    pub fn load_from(
+        path: impl AsRef<Path>,
+        config: StoreConfig,
+    ) -> Result<MemoStore, PersistError> {
+        let store = MemoStore::new(config);
+        store.absorb_from(path)?;
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_runtime::{Access, DataStore};
+
+    // `Access::output` is the untyped escape hatch; the loop below spans all
+    // five element types, which the typed constructors cannot do generically.
+    #[allow(deprecated)]
+    fn sample_store() -> (DataStore, MemoStore) {
+        let data = DataStore::new();
+        let store = MemoStore::new(StoreConfig::default());
+        let regions: Vec<RegionData> = vec![
+            RegionData::F32(vec![1.5, -2.5, 3.0]),
+            RegionData::F64(vec![0.25; 8]),
+            RegionData::I32(vec![7, -9]),
+            RegionData::I64(vec![1 << 40]),
+            RegionData::U8(vec![0xAB, 0xCD]),
+        ];
+        for (i, contents) in regions.into_iter().enumerate() {
+            let elem = contents.elem_type();
+            let id = data.try_register(format!("r{i}"), contents).unwrap();
+            let snap = OutputSnapshot::capture(&data, &Access::output(id, elem));
+            store.insert(
+                crate::EntryKey::new(TaskTypeId::from_raw(i as u32), 0x1000 + i as u64, 1.0),
+                TaskId::from_raw(i as u64),
+                Arc::new(vec![snap]),
+                i as u64 * 100,
+            );
+        }
+        (data, store)
+    }
+
+    #[test]
+    fn snapshot_round_trips_every_entry() {
+        let (_data, store) = sample_store();
+        let bytes = store.to_snapshot_bytes();
+        let loaded = MemoStore::new(StoreConfig::default());
+        let admitted = loaded.absorb_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(admitted, store.len());
+        for entry in store.export() {
+            let hit = loaded
+                .lookup(&entry.key)
+                .expect("every saved key must hit after a reload");
+            assert_eq!(hit.producer, entry.producer);
+            assert_eq!(hit.benefit_ns, entry.benefit_ns);
+            assert_eq!(*hit.outputs, *entry.outputs);
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let (_data, store) = sample_store();
+        let mut bytes = store.to_snapshot_bytes();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            decode_entries(&bytes),
+            Err(PersistError::BadMagic)
+        ));
+
+        let mut versioned = store.to_snapshot_bytes();
+        versioned[8] = 99; // version field
+                           // Recompute the checksum so the version check (not the checksum)
+                           // fires.
+        let body_len = versioned.len() - 8;
+        let checksum = fnv1a64(&versioned[..body_len]);
+        versioned[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            decode_entries(&versioned),
+            Err(PersistError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let (_data, store) = sample_store();
+        let bytes = store.to_snapshot_bytes();
+        for cut in [0, 4, MAGIC.len() + 4, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode_entries(&bytes[..cut]).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn save_and_load_via_the_filesystem() {
+        let (_data, store) = sample_store();
+        let path = std::env::temp_dir().join(format!("atm-store-test-{}.bin", std::process::id()));
+        store.save_to(&path).unwrap();
+        let loaded = MemoStore::load_from(&path, StoreConfig::default()).unwrap();
+        assert_eq!(loaded.len(), store.len());
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            MemoStore::load_from(&path, StoreConfig::default()),
+            Err(PersistError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn loading_through_a_tight_budget_respects_admission() {
+        let (_data, store) = sample_store();
+        let bytes = store.to_snapshot_bytes();
+        let tight = MemoStore::new(
+            StoreConfig::default()
+                .with_byte_budget(1)
+                .with_max_entry_fraction(1.0),
+        );
+        let admitted = tight.absorb_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(admitted, 0, "nothing fits a 1-byte budget");
+        assert_eq!(tight.counters().rejected_admissions as usize, store.len());
+    }
+}

@@ -1,0 +1,779 @@
+//! The budgeted, policy-driven memo store.
+//!
+//! [`MemoStore`] generalises the paper's Task History Table (§III-A,
+//! Figure 1): a power-of-two array of lock-sharded buckets, each holding up
+//! to `ways` entries. On top of the paper's geometry it adds what a
+//! production memo table needs:
+//!
+//! * a **global byte budget** enforced across all shards — the THT could
+//!   only bound memory per bucket, which bounds nothing when the key
+//!   distribution is skewed;
+//! * **pluggable eviction** behind the [`EvictionPolicy`] trait (FIFO is the
+//!   paper-faithful default; see [`crate::policy`]);
+//! * **admission control** — entries whose charge exceeds a configurable
+//!   fraction of the budget are refused outright, so one huge output cannot
+//!   flush the whole table;
+//! * **persistence** — see [`crate::persist`] for the versioned, checksummed
+//!   snapshot format behind [`MemoStore::save_to`] / [`MemoStore::load_from`].
+//!
+//! Configured with [`PolicyKind::Fifo`] and no budget, the store behaves bit
+//! for bit like the original THT: same bucket indexing (low `N` bits of the
+//! hash), same per-bucket FIFO eviction, same newest-entry-wins lookup.
+
+use crate::policy::{Candidate, EvictionPolicy, PolicyKind};
+use crate::snapshot::OutputSnapshot;
+use atm_runtime::{TaskId, TaskTypeId};
+use atm_sync::RwLock;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The lookup key of a memo entry.
+///
+/// Besides the Jenkins hash of the sampled inputs, an entry is only valid
+/// for the same task type and the same selection percentage (the paper
+/// extends the THT to store `p` together with the hash key because `p`
+/// affects key generation, §III-D). `p` is stored as its raw bit pattern so
+/// the struct stays `Eq`/hashable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EntryKey {
+    /// The task type that produced the entry.
+    pub task_type: TaskTypeId,
+    /// The Jenkins hash of the sampled inputs.
+    pub hash: u64,
+    /// Bit pattern of the selection percentage used for the hash.
+    pub p_bits: u64,
+}
+
+impl EntryKey {
+    /// Builds a key from a task type, hash and percentage fraction.
+    pub fn new(task_type: TaskTypeId, hash: u64, p: f64) -> Self {
+        EntryKey {
+            task_type,
+            hash,
+            p_bits: p.to_bits(),
+        }
+    }
+}
+
+/// Sizing and policy of a [`MemoStore`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreConfig {
+    /// Number of index bits: the store has `2^bucket_bits` lock-sharded
+    /// buckets. The paper reports that N = 8 avoids lock contention (§IV-B).
+    pub bucket_bits: u32,
+    /// Maximum number of entries per bucket (the paper's associativity `M`).
+    pub ways: usize,
+    /// Global budget on resident bytes across all buckets. `None` disables
+    /// budget enforcement (the paper's configuration).
+    pub byte_budget: Option<usize>,
+    /// Admission control: an entry whose charge exceeds this fraction of the
+    /// byte budget is refused. Ignored when no budget is set.
+    pub max_entry_fraction: f64,
+    /// Eviction policy used for both the per-bucket `ways` cap and the
+    /// global budget.
+    pub policy: PolicyKind,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            bucket_bits: 8,
+            ways: 128,
+            byte_budget: None,
+            max_entry_fraction: 1.0,
+            policy: PolicyKind::Fifo,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Paper-faithful configuration from the THT geometry alone.
+    pub fn paper(bucket_bits: u32, ways: usize) -> Self {
+        StoreConfig {
+            bucket_bits,
+            ways,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the global byte budget.
+    #[must_use]
+    pub fn with_byte_budget(mut self, budget: usize) -> Self {
+        self.byte_budget = Some(budget);
+        self
+    }
+
+    /// Sets the admission fraction.
+    #[must_use]
+    pub fn with_max_entry_fraction(mut self, fraction: f64) -> Self {
+        self.max_entry_fraction = fraction;
+        self
+    }
+
+    /// Sets the eviction policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// One stored entry (internal representation).
+#[derive(Debug)]
+struct StoredEntry {
+    key: EntryKey,
+    producer: TaskId,
+    outputs: Arc<Vec<OutputSnapshot>>,
+    /// Bytes charged against the budget (metadata + container + payload).
+    charged_bytes: usize,
+    /// Logical clock at insertion.
+    inserted_seq: u64,
+    /// Logical clock of the latest hit; updated under the bucket's *read*
+    /// lock, hence atomic.
+    last_used_seq: AtomicU64,
+    /// Estimated kernel nanoseconds one hit on this entry saves.
+    benefit_ns: u64,
+}
+
+impl StoredEntry {
+    fn candidate(&self) -> Candidate {
+        Candidate {
+            bytes: self.charged_bytes,
+            inserted_seq: self.inserted_seq,
+            last_used_seq: self.last_used_seq.load(Ordering::Relaxed),
+            benefit_ns: self.benefit_ns,
+        }
+    }
+}
+
+/// A successful lookup.
+#[derive(Debug, Clone)]
+pub struct MemoHit {
+    /// The task that produced the stored outputs.
+    pub producer: TaskId,
+    /// The stored outputs.
+    pub outputs: Arc<Vec<OutputSnapshot>>,
+    /// The benefit estimate the entry was stored with.
+    pub benefit_ns: u64,
+}
+
+/// One entry as exported for persistence or diagnostics.
+#[derive(Debug, Clone)]
+pub struct ExportedEntry {
+    /// The lookup key.
+    pub key: EntryKey,
+    /// The task that produced the outputs.
+    pub producer: TaskId,
+    /// The benefit estimate.
+    pub benefit_ns: u64,
+    /// The stored outputs.
+    pub outputs: Arc<Vec<OutputSnapshot>>,
+}
+
+/// What [`MemoStore::insert`] did with the offered entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Stored as a new entry.
+    Inserted,
+    /// An entry with the same key existed and was replaced in place (the
+    /// old entry's bytes were released first — no double counting).
+    Replaced,
+    /// Stored, but the policy immediately chose it as the bucket's eviction
+    /// victim (every other entry was more valuable): the entry is *not*
+    /// resident and a lookup will miss. Counted as one insertion plus one
+    /// eviction. The global byte budget can likewise evict a just-inserted
+    /// entry; that case is not distinguished by this variant.
+    Evicted,
+    /// Refused by admission control (charge above the configured fraction
+    /// of the byte budget).
+    Rejected,
+}
+
+impl InsertOutcome {
+    /// True when the entry is resident after the call (a lookup can hit).
+    pub fn is_resident(self) -> bool {
+        matches!(self, InsertOutcome::Inserted | InsertOutcome::Replaced)
+    }
+}
+
+/// Point-in-time copy of the store counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCountersSnapshot {
+    /// Successful lookups.
+    pub hits: u64,
+    /// Failed lookups.
+    pub misses: u64,
+    /// Entries stored (including replacements).
+    pub insertions: u64,
+    /// Entries evicted (ways cap or byte budget).
+    pub evictions: u64,
+    /// Entries refused by admission control.
+    pub rejected_admissions: u64,
+    /// Estimated kernel nanoseconds saved by hits that actually replaced an
+    /// execution (reported via [`MemoStore::note_saved`]).
+    pub saved_ns: u64,
+    /// Bytes currently charged against the budget.
+    pub resident_bytes: usize,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// How many non-empty buckets a budget eviction samples before asking the
+/// policy for a victim. Sampling (rather than scanning every bucket) keeps
+/// eviction cost independent of the table size, the same trade-off
+/// production caches make.
+const EVICTION_SAMPLE_BUCKETS: usize = 8;
+
+/// Bytes an entry is charged for, including the container overhead the THT
+/// of the paper under-counted: the `Arc` pointer and reference counts, the
+/// `Vec` header, and one `OutputSnapshot` struct (region id, element range,
+/// `RegionData` header) per output — not just the payload bytes.
+pub fn entry_charge_bytes(outputs: &[OutputSnapshot]) -> usize {
+    use std::mem::size_of;
+    // Entry metadata: key, producer, charge, sequence numbers, benefit.
+    let meta = size_of::<EntryKey>() + size_of::<TaskId>() + 4 * size_of::<u64>();
+    // The shared container: the Arc pointer held by the entry, the strong
+    // and weak reference counts in the Arc allocation, and the Vec header.
+    let container = 3 * size_of::<usize>() + size_of::<Vec<OutputSnapshot>>();
+    let payload: usize = outputs
+        .iter()
+        .map(|s| size_of::<OutputSnapshot>() + s.size_bytes())
+        .sum();
+    meta + container + payload
+}
+
+/// The sharded, budgeted memo store.
+#[derive(Debug)]
+pub struct MemoStore {
+    buckets: Vec<RwLock<VecDeque<StoredEntry>>>,
+    config: StoreConfig,
+    policy: Box<dyn EvictionPolicy>,
+    /// Logical clock ticked on every insertion and hit.
+    clock: AtomicU64,
+    /// Rotating start bucket for budget evictions.
+    evict_cursor: AtomicUsize,
+    resident_bytes: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    rejected_admissions: AtomicU64,
+    saved_ns: AtomicU64,
+}
+
+impl MemoStore {
+    /// Creates an empty store with the built-in policy named in `config`.
+    pub fn new(config: StoreConfig) -> Self {
+        Self::with_policy(config, config.policy.build())
+    }
+
+    /// Creates an empty store with a caller-provided eviction policy.
+    pub fn with_policy(config: StoreConfig, policy: Box<dyn EvictionPolicy>) -> Self {
+        assert!(
+            config.bucket_bits <= 20,
+            "more than 2^20 buckets is never useful"
+        );
+        assert!(config.ways >= 1, "each bucket needs at least one way");
+        assert!(
+            config.max_entry_fraction > 0.0 && config.max_entry_fraction <= 1.0,
+            "max_entry_fraction must be in (0, 1]"
+        );
+        let buckets = (0..(1usize << config.bucket_bits))
+            .map(|_| RwLock::new(VecDeque::new()))
+            .collect();
+        MemoStore {
+            buckets,
+            config,
+            policy,
+            clock: AtomicU64::new(0),
+            evict_cursor: AtomicUsize::new(0),
+            resident_bytes: AtomicUsize::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            rejected_admissions: AtomicU64::new(0),
+            saved_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// The active eviction policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Number of buckets (`2^bucket_bits`).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: &EntryKey) -> usize {
+        // Index with the lower N bits of the hash, as in Figure 1.
+        (key.hash as usize) & (self.buckets.len() - 1)
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Looks up an entry with exactly this key. Takes the bucket's read
+    /// lock, so concurrent lookups proceed in parallel. A hit refreshes the
+    /// entry's recency stamp (LRU bookkeeping).
+    ///
+    /// A hit does *not* accrue `saved_ns`: the caller may still execute the
+    /// task (dynamic-ATM training, output-shape mismatch), so it reports
+    /// genuinely avoided work separately via [`MemoStore::note_saved`].
+    pub fn lookup(&self, key: &EntryKey) -> Option<MemoHit> {
+        let track_recency = self.policy.uses_recency();
+        let bucket = self.buckets[self.bucket_of(key)].read();
+        let found = bucket.iter().rev().find(|e| e.key == *key).map(|e| {
+            if track_recency {
+                e.last_used_seq.store(self.tick(), Ordering::Relaxed);
+            }
+            MemoHit {
+                producer: e.producer,
+                outputs: Arc::clone(&e.outputs),
+                benefit_ns: e.benefit_ns,
+            }
+        });
+        drop(bucket);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Records that a hit actually replaced an execution, crediting the
+    /// entry's benefit estimate to the `saved_ns` counter. Called by the
+    /// engine only when the kernel was genuinely skipped — a training-phase
+    /// or shape-mismatched hit executes anyway and saves nothing.
+    pub fn note_saved(&self, benefit_ns: u64) {
+        self.saved_ns.fetch_add(benefit_ns, Ordering::Relaxed);
+    }
+
+    /// Stores the outputs of a completed task.
+    ///
+    /// `benefit_ns` is the caller's estimate of the kernel nanoseconds one
+    /// hit on this entry saves (the ATM engine feeds its measured per-type
+    /// kernel time); it drives the [`CostAware`](crate::policy::CostAware)
+    /// policy and the `saved_ns` counter.
+    ///
+    /// An entry with the same key is replaced in place (its bytes are
+    /// released first, so nothing is double-counted). When the bucket
+    /// exceeds `ways` or the store exceeds its byte budget, the policy
+    /// picks victims until both bounds hold again.
+    pub fn insert(
+        &self,
+        key: EntryKey,
+        producer: TaskId,
+        outputs: Arc<Vec<OutputSnapshot>>,
+        benefit_ns: u64,
+    ) -> InsertOutcome {
+        let charged = entry_charge_bytes(&outputs);
+        if let Some(budget) = self.config.byte_budget {
+            let cap = (budget as f64 * self.config.max_entry_fraction) as usize;
+            if charged > cap {
+                self.rejected_admissions.fetch_add(1, Ordering::Relaxed);
+                return InsertOutcome::Rejected;
+            }
+        }
+        let seq = self.tick();
+        let entry = StoredEntry {
+            key,
+            producer,
+            outputs,
+            charged_bytes: charged,
+            inserted_seq: seq,
+            last_used_seq: AtomicU64::new(seq),
+            benefit_ns,
+        };
+
+        // Count the bytes *before* the entry becomes visible: a concurrent
+        // budget eviction may remove the entry (and subtract its charge)
+        // the moment the bucket lock drops, and the counter must never
+        // see a subtraction for bytes that were not yet added (usize
+        // wrap-around would read as "over budget" and flush the store).
+        self.resident_bytes.fetch_add(charged, Ordering::Relaxed);
+        let mut freed = 0usize;
+        let mut evicted = 0u64;
+        let mut self_evicted = false;
+        let mut bucket = self.buckets[self.bucket_of(&key)].write();
+        let replaced = if let Some(pos) = bucket.iter().position(|e| e.key == key) {
+            freed += bucket[pos].charged_bytes;
+            bucket[pos] = entry;
+            true
+        } else {
+            bucket.push_back(entry);
+            while bucket.len() > self.config.ways {
+                let candidates: Vec<Candidate> =
+                    bucket.iter().map(StoredEntry::candidate).collect();
+                let victim = self.policy.victim(&candidates).min(bucket.len() - 1);
+                if let Some(old) = bucket.remove(victim) {
+                    freed += old.charged_bytes;
+                    evicted += 1;
+                    // The new entry can itself be the least valuable of the
+                    // full bucket; report that honestly instead of claiming
+                    // a resident insertion.
+                    self_evicted |= old.inserted_seq == seq;
+                }
+            }
+            false
+        };
+        drop(bucket);
+
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        // `freed` covers only entries that were visible in the bucket, so
+        // their charges are already in the counter.
+        self.resident_bytes.fetch_sub(freed, Ordering::Relaxed);
+        self.enforce_budget();
+        if replaced {
+            InsertOutcome::Replaced
+        } else if self_evicted {
+            InsertOutcome::Evicted
+        } else {
+            InsertOutcome::Inserted
+        }
+    }
+
+    /// Evicts entries (policy-chosen, sampled across shards) until the
+    /// resident bytes fit the budget again.
+    fn enforce_budget(&self) {
+        let Some(budget) = self.config.byte_budget else {
+            return;
+        };
+        // Each round gathers one candidate sample and evicts as many
+        // victims from it as the deficit needs, so reclaiming N entries
+        // costs O(N + sample) instead of N full re-samples. Bounded
+        // fruitless rounds guard against pathological races (e.g. the
+        // counter transiently includes an entry another thread has charged
+        // but not yet published).
+        let mut fruitless = 0;
+        while self.resident_bytes.load(Ordering::Relaxed) > budget && fruitless < 8 {
+            if self.evict_round(budget) {
+                fruitless = 0;
+            } else {
+                fruitless += 1;
+            }
+        }
+    }
+
+    /// Samples up to [`EVICTION_SAMPLE_BUCKETS`] non-empty buckets starting
+    /// at a rotating cursor, then evicts policy-chosen victims from that
+    /// sample until the budget holds or the sample is exhausted. Returns
+    /// true when at least one entry was removed.
+    fn evict_round(&self, budget: usize) -> bool {
+        let n = self.buckets.len();
+        let start = self.evict_cursor.fetch_add(1, Ordering::Relaxed) % n;
+        let mut gathered: Vec<(usize, EntryKey, Candidate)> = Vec::new();
+        let mut sampled = 0usize;
+        for step in 0..n {
+            let b = (start + step) % n;
+            let bucket = self.buckets[b].read();
+            if bucket.is_empty() {
+                continue;
+            }
+            for e in bucket.iter() {
+                gathered.push((b, e.key, e.candidate()));
+            }
+            sampled += 1;
+            if sampled >= EVICTION_SAMPLE_BUCKETS {
+                break;
+            }
+        }
+
+        let mut evicted_any = false;
+        while !gathered.is_empty() && self.resident_bytes.load(Ordering::Relaxed) > budget {
+            let candidates: Vec<Candidate> = gathered.iter().map(|g| g.2).collect();
+            let idx = self.policy.victim(&candidates).min(candidates.len() - 1);
+            let (b, key, cand) = gathered.swap_remove(idx);
+            let mut bucket = self.buckets[b].write();
+            let pos = bucket
+                .iter()
+                .position(|e| e.key == key && e.inserted_seq == cand.inserted_seq);
+            // A raced-away victim just drops out of the sample.
+            if let Some(pos) = pos {
+                let removed = bucket.remove(pos).expect("position is in range");
+                drop(bucket);
+                self.resident_bytes
+                    .fetch_sub(removed.charged_bytes, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                evicted_any = true;
+            }
+        }
+        evicted_any
+    }
+
+    /// Total number of stored entries (diagnostic; takes every bucket lock).
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.read().len()).sum()
+    }
+
+    /// True when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently charged against the budget (keys, container overhead
+    /// and outputs), the main contributor to the ATM memory overhead of
+    /// Table III.
+    pub fn memory_bytes(&self) -> usize {
+        self.resident_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> StoreCountersSnapshot {
+        StoreCountersSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            rejected_admissions: self.rejected_admissions.load(Ordering::Relaxed),
+            saved_ns: self.saved_ns.load(Ordering::Relaxed),
+            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    /// All resident entries, in bucket order then insertion order. This is
+    /// the view the persistence layer serialises.
+    pub fn export(&self) -> Vec<ExportedEntry> {
+        let mut out = Vec::new();
+        for bucket in &self.buckets {
+            let bucket = bucket.read();
+            for e in bucket.iter() {
+                out.push(ExportedEntry {
+                    key: e.key,
+                    producer: e.producer,
+                    benefit_ns: e.benefit_ns,
+                    outputs: Arc::clone(&e.outputs),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_runtime::{Access, DataStore};
+
+    fn snapshot(store: &DataStore, values: &[f32]) -> Arc<Vec<OutputSnapshot>> {
+        let r = store
+            .register_typed(format!("out{}", store.len()), values.to_vec())
+            .unwrap();
+        Arc::new(vec![OutputSnapshot::capture(store, &Access::write(&r))])
+    }
+
+    fn key(hash: u64) -> EntryKey {
+        EntryKey::new(TaskTypeId::from_raw(0), hash, 1.0)
+    }
+
+    fn producer(id: u64) -> TaskId {
+        TaskId::from_raw(id)
+    }
+
+    fn one_bucket(policy: PolicyKind, ways: usize) -> StoreConfig {
+        StoreConfig {
+            bucket_bits: 0,
+            ways,
+            policy,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn same_key_insert_replaces_without_double_counting() {
+        let data = DataStore::new();
+        let store = MemoStore::new(one_bucket(PolicyKind::Fifo, 8));
+        store.insert(key(1), producer(0), snapshot(&data, &[1.0; 64]), 0);
+        let after_first = store.memory_bytes();
+        assert!(after_first > 0);
+        // Same key again: the entry is replaced in place, the old bytes are
+        // released, and nothing is evicted.
+        let outcome = store.insert(key(1), producer(1), snapshot(&data, &[2.0; 64]), 0);
+        assert_eq!(outcome, InsertOutcome::Replaced);
+        assert_eq!(store.len(), 1);
+        assert_eq!(
+            store.memory_bytes(),
+            after_first,
+            "replacing an equal-sized entry must not change the accounting"
+        );
+        let counters = store.counters();
+        assert_eq!(counters.insertions, 2);
+        assert_eq!(counters.evictions, 0);
+        // The replacement's outputs win.
+        let hit = store.lookup(&key(1)).unwrap();
+        assert_eq!(hit.outputs[0].data.as_f32(), &[2.0; 64]);
+        assert_eq!(hit.producer, producer(1));
+    }
+
+    #[test]
+    fn charge_includes_container_overhead() {
+        let data = DataStore::new();
+        let outputs = snapshot(&data, &[0.0; 100]);
+        let charge = entry_charge_bytes(&outputs);
+        let payload = 400; // 100 f32
+        assert!(
+            charge > payload + std::mem::size_of::<OutputSnapshot>(),
+            "charge {charge} must cover the payload plus per-output and container overhead"
+        );
+    }
+
+    #[test]
+    fn global_budget_is_enforced_across_shards() {
+        let data = DataStore::new();
+        // 16 buckets, generous ways: only the global budget can evict.
+        let config = StoreConfig {
+            bucket_bits: 4,
+            ways: 1024,
+            ..Default::default()
+        }
+        .with_byte_budget(8 * 1024);
+        let store = MemoStore::new(config);
+        for i in 0..64u64 {
+            // Distinct buckets (low bits vary).
+            store.insert(key(i), producer(i), snapshot(&data, &[i as f32; 256]), 0);
+        }
+        assert!(
+            store.memory_bytes() <= 8 * 1024,
+            "resident bytes {} exceed the budget",
+            store.memory_bytes()
+        );
+        let counters = store.counters();
+        assert!(counters.evictions > 0, "the budget must have evicted");
+        assert_eq!(counters.entries, store.len());
+    }
+
+    #[test]
+    fn admission_control_rejects_oversized_entries() {
+        let data = DataStore::new();
+        let config = StoreConfig::default()
+            .with_byte_budget(4096)
+            .with_max_entry_fraction(0.25);
+        let store = MemoStore::new(config);
+        // 2048 payload bytes > 25% of 4096.
+        let outcome = store.insert(key(1), producer(0), snapshot(&data, &[1.0; 512]), 0);
+        assert_eq!(outcome, InsertOutcome::Rejected);
+        assert!(store.is_empty());
+        assert_eq!(store.counters().rejected_admissions, 1);
+        // A small entry is admitted.
+        let outcome = store.insert(key(2), producer(0), snapshot(&data, &[1.0; 8]), 0);
+        assert_eq!(outcome, InsertOutcome::Inserted);
+        assert_eq!(store.counters().insertions, 1);
+    }
+
+    #[test]
+    fn lru_keeps_recently_hit_entries_under_pressure() {
+        let data = DataStore::new();
+        let store = MemoStore::new(one_bucket(PolicyKind::Lru, 2));
+        store.insert(key(1), producer(1), snapshot(&data, &[1.0]), 0);
+        store.insert(key(2), producer(2), snapshot(&data, &[2.0]), 0);
+        // Touch entry 1 so entry 2 becomes the LRU victim.
+        assert!(store.lookup(&key(1)).is_some());
+        store.insert(key(3), producer(3), snapshot(&data, &[3.0]), 0);
+        assert!(
+            store.lookup(&key(1)).is_some(),
+            "recently used must survive"
+        );
+        assert!(store.lookup(&key(2)).is_none(), "LRU entry must be evicted");
+        assert!(store.lookup(&key(3)).is_some());
+    }
+
+    #[test]
+    fn self_evicting_insert_is_reported_not_claimed_resident() {
+        let data = DataStore::new();
+        let store = MemoStore::new(one_bucket(PolicyKind::CostAware, 2));
+        // Two high-density residents fill the bucket…
+        store.insert(key(1), producer(1), snapshot(&data, &[1.0; 2]), 1_000_000);
+        store.insert(key(2), producer(2), snapshot(&data, &[2.0; 2]), 1_000_000);
+        // …so a low-density newcomer is its own victim.
+        let outcome = store.insert(key(3), producer(3), snapshot(&data, &[3.0; 512]), 10);
+        assert_eq!(outcome, InsertOutcome::Evicted);
+        assert!(!outcome.is_resident());
+        assert!(store.lookup(&key(3)).is_none());
+        assert!(store.lookup(&key(1)).is_some());
+        assert!(store.lookup(&key(2)).is_some());
+        let counters = store.counters();
+        assert_eq!(counters.insertions, 3);
+        assert_eq!(counters.evictions, 1);
+        assert_eq!(counters.entries, 2);
+    }
+
+    #[test]
+    fn cost_aware_keeps_high_benefit_density_entries() {
+        let data = DataStore::new();
+        let store = MemoStore::new(one_bucket(PolicyKind::CostAware, 2));
+        // Expensive kernel, small output: high benefit density.
+        store.insert(key(1), producer(1), snapshot(&data, &[1.0; 2]), 1_000_000);
+        // Cheap kernel, large output: low benefit density.
+        store.insert(key(2), producer(2), snapshot(&data, &[2.0; 512]), 1_000);
+        store.insert(key(3), producer(3), snapshot(&data, &[3.0; 2]), 500_000);
+        assert!(
+            store.lookup(&key(1)).is_some(),
+            "high-density entry must survive"
+        );
+        assert!(
+            store.lookup(&key(2)).is_none(),
+            "low-density entry must be the victim"
+        );
+    }
+
+    #[test]
+    fn fifo_with_unlimited_budget_matches_the_paper_tht() {
+        let data = DataStore::new();
+        let store = MemoStore::new(one_bucket(PolicyKind::Fifo, 2));
+        for hash_high in 0..4u64 {
+            store.insert(
+                key(hash_high << 32),
+                producer(hash_high),
+                snapshot(&data, &[hash_high as f32]),
+                0,
+            );
+        }
+        assert_eq!(store.len(), 2);
+        let counters = store.counters();
+        assert_eq!(counters.insertions, 4);
+        assert_eq!(counters.evictions, 2);
+        assert!(store.lookup(&key(2 << 32)).is_some());
+        assert!(store.lookup(&key(3 << 32)).is_some());
+        assert!(store.lookup(&key(0)).is_none());
+    }
+
+    #[test]
+    fn saved_ns_counts_only_reported_bypasses() {
+        let data = DataStore::new();
+        let store = MemoStore::new(StoreConfig::default());
+        store.insert(key(9), producer(0), snapshot(&data, &[1.0]), 750);
+        // A lookup alone saves nothing — the caller may execute anyway.
+        let hit = store.lookup(&key(9)).unwrap();
+        assert_eq!(store.counters().saved_ns, 0);
+        // The caller reports the hits that genuinely replaced an execution.
+        store.note_saved(hit.benefit_ns);
+        store.note_saved(hit.benefit_ns);
+        assert!(store.lookup(&key(10)).is_none());
+        let counters = store.counters();
+        assert_eq!(counters.hits, 1);
+        assert_eq!(counters.misses, 1);
+        assert_eq!(counters.saved_ns, 1500);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_is_rejected() {
+        let _ = MemoStore::new(StoreConfig {
+            ways: 0,
+            ..Default::default()
+        });
+    }
+}

@@ -88,5 +88,68 @@ fn main() {
     );
     println!("output spot-check    : ok");
 
+    // Epilogue: persist the memo store and warm-start a fresh engine from
+    // it. The new runtime registers the same task type first (key identity
+    // depends on the registration order) and re-registers one payload with
+    // identical contents — its very first task is already a hit.
+    let snapshot = std::env::temp_dir().join(format!("atm-quickstart-{}.bin", std::process::id()));
+    engine
+        .save_store(&snapshot)
+        .expect("persisting the memo store");
     rt.shutdown();
+
+    let warm_engine = AtmEngine::shared(AtmConfig::static_atm());
+    let reloaded = warm_engine
+        .warm_start_from(&snapshot)
+        .expect("reloading the memo store");
+    let warm_rt = RuntimeBuilder::new()
+        .workers(2)
+        .interceptor(warm_engine.clone())
+        .build();
+    let warm_transform = warm_rt.register_task_type(
+        TaskTypeBuilder::new("transform", |ctx| {
+            let input = ctx.arg::<f64>(0);
+            let output: Vec<f64> = input
+                .iter()
+                .map(|x| (x.exp().ln() + x.sqrt().powi(2)).sqrt())
+                .collect();
+            ctx.out(1, &output);
+        })
+        .arg::<f64>()
+        .out::<f64>()
+        .memoizable()
+        .build(),
+    );
+    let payload = warm_rt
+        .store()
+        .register_typed(
+            "payload",
+            (0..4096)
+                .map(|j| 2.0 + (j as f64).sin())
+                .collect::<Vec<f64>>(),
+        )
+        .expect("unique name");
+    let result = warm_rt
+        .store()
+        .register_zeros::<f64>("result", 4096)
+        .expect("unique name");
+    warm_rt
+        .task(warm_transform)
+        .reads(&payload)
+        .writes(&result)
+        .submit()
+        .expect("valid submission");
+    warm_rt.taskwait();
+    println!(
+        "warm start           : {reloaded} entries reloaded, first task {} (0 executions)",
+        if warm_engine.stats().tht_bypassed == 1 {
+            "memoized"
+        } else {
+            "executed"
+        }
+    );
+    assert_eq!(warm_engine.stats().executed, 0, "warm start must bypass");
+
+    let _ = std::fs::remove_file(&snapshot);
+    warm_rt.shutdown();
 }

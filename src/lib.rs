@@ -7,6 +7,9 @@
 //!
 //! * [`runtime`] — the task-based dataflow runtime (typed regions, validated
 //!   submission, dependences, ready queue, worker pool, tracing);
+//! * [`store`] — the budgeted, policy-driven, persistent memo store behind
+//!   the Task History Table (byte budgets, FIFO/LRU/cost-aware eviction,
+//!   admission control, warm-start snapshots);
 //! * [`atm`] — the ATM engine (Task History Table, In-flight Key Table,
 //!   hash-key pipeline, static/dynamic/oracle modes);
 //! * [`hash`] — the hashing and input-sampling substrate (Jenkins lookup3,
@@ -66,10 +69,14 @@ pub use atm_hash as hash;
 pub use atm_metrics as metrics;
 /// The task-dataflow runtime (re-export of [`atm_runtime`]).
 pub use atm_runtime as runtime;
+/// The memo store behind the THT (re-export of [`atm_store`]).
+pub use atm_store as store;
 
 /// Everything needed to write an ATM-accelerated task application.
 pub mod prelude {
-    pub use atm_core::{AtmConfig, AtmEngine, AtmMode, Percentage, ThtConfig};
+    pub use atm_core::{
+        AtmConfig, AtmEngine, AtmMode, Percentage, PolicyKind, StoreConfig, ThtConfig,
+    };
     pub use atm_runtime::prelude::*;
 }
 
