@@ -15,7 +15,7 @@
 
 use crate::common::{AppRun, BenchmarkApp, RunOptions, Scale, TableInfo, TaskedRun};
 use atm_hash::Xoshiro256StarStar;
-use atm_runtime::{AtmTaskParams, Region, TaskTypeBuilder};
+use atm_runtime::{MemoSpec, Region, TaskTypeBuilder};
 use std::sync::OnceLock;
 
 /// Number of `f32` fields per option record.
@@ -213,13 +213,9 @@ impl BenchmarkApp for Blackscholes {
         }
     }
 
-    fn atm_params(&self) -> AtmTaskParams {
+    fn memo_spec(&self) -> MemoSpec {
         // Table II: L_training = 15, τ_max = 1 %.
-        AtmTaskParams {
-            l_training: 15,
-            tau_max: 0.01,
-            type_aware: true,
-        }
+        MemoSpec::approximate().tau(0.01).training_window(15)
     }
 
     fn run_sequential(&self) -> Vec<f64> {
@@ -260,9 +256,8 @@ impl BenchmarkApp for Blackscholes {
             })
             .collect();
 
-        // The pricing task: the memoization opt-in is per submission here
-        // (the `memo(...)` clause of the fluent builder), equivalent to the
-        // type-level `.memoizable()` opt-in the other applications use.
+        // The pricing task: the approximation policy travels with the task
+        // type, declared next to the kernel and the access signature.
         let bs_thread = rt.register_task_type(
             TaskTypeBuilder::new("bs_thread", |ctx| {
                 let options = ctx.arg::<f32>(0);
@@ -272,10 +267,10 @@ impl BenchmarkApp for Blackscholes {
             })
             .arg::<f32>()
             .out::<f32>()
+            .memo(self.memo_spec())
             .build(),
         );
 
-        let atm_params = self.atm_params();
         harness.start_timer();
         for _iter in 0..self.config.iterations {
             for (opt_region, price_region) in option_regions.iter().zip(&price_regions) {
@@ -284,7 +279,6 @@ impl BenchmarkApp for Blackscholes {
                     .task(bs_thread)
                     .reads(opt_region)
                     .writes(price_region)
-                    .memo(atm_params)
                     .submit()
                     .expect("bs_thread submission matches the declared signature");
             }

@@ -14,7 +14,8 @@
 //!   measured on").
 
 use atm_core::{
-    AtmConfig, AtmEngine, AtmMode, AtmStatsSnapshot, ReuseEvent, StoreCountersSnapshot, TypeSummary,
+    AtmConfig, AtmEngine, AtmMode, AtmStatsSnapshot, MemoSpec, ReuseEvent, StoreCountersSnapshot,
+    TypeSummary,
 };
 use atm_metrics::{correctness_percent, euclidean_relative_error};
 use atm_runtime::{
@@ -172,8 +173,10 @@ pub trait BenchmarkApp: Send + Sync {
     /// Table I information for this instance.
     fn table_info(&self) -> TableInfo;
 
-    /// Table II dynamic-ATM parameters (`L_training`, `τ_max`).
-    fn atm_params(&self) -> atm_runtime::AtmTaskParams;
+    /// The approximation policy of the benchmark's memoized task type: the
+    /// paper's Table II parameters (`L_training`, `τ_max`) expressed as a
+    /// per-type [`MemoSpec`], declared on the task type at registration.
+    fn memo_spec(&self) -> MemoSpec;
 
     /// Runs the sequential reference and returns the correctness output.
     fn run_sequential(&self) -> Vec<f64>;

@@ -15,7 +15,7 @@
 
 use crate::common::{AppRun, BenchmarkApp, RunOptions, Scale, TableInfo, TaskedRun};
 use atm_hash::Xoshiro256StarStar;
-use atm_runtime::{AtmTaskParams, Region, TaskTypeBuilder};
+use atm_runtime::{MemoSpec, Region, TaskTypeBuilder};
 use std::sync::OnceLock;
 
 /// Configuration of a Kmeans instance.
@@ -239,13 +239,16 @@ impl BenchmarkApp for Kmeans {
         }
     }
 
-    fn atm_params(&self) -> AtmTaskParams {
-        // Table II: L_training = 15, τ_max = 20 %.
-        AtmTaskParams {
-            l_training: 15,
-            tau_max: 0.20,
-            type_aware: true,
-        }
+    fn memo_spec(&self) -> MemoSpec {
+        // Table II: L_training = 15, τ_max = 20 %. The points block
+        // (argument 0) is a repeated, never-changing program input whose
+        // identity must be preserved exactly; only the converging centres
+        // (argument 1) benefit from approximate hashing, so the spec pins
+        // the points argument to exact precision.
+        MemoSpec::approximate()
+            .tau(0.20)
+            .training_window(15)
+            .arg_exact(0)
     }
 
     fn run_sequential(&self) -> Vec<f64> {
@@ -304,8 +307,7 @@ impl BenchmarkApp for Kmeans {
             .arg::<f32>()
             .arg::<f32>()
             .out::<f32>()
-            .memoizable()
-            .atm_params(self.atm_params())
+            .memo(self.memo_spec())
             .build(),
         );
         let reduce = rt.register_task_type(

@@ -11,9 +11,9 @@
 //! | [`swaptions`] | financial analysis | `HJM_Swaption_Blocking` | replicated + perturbed swaption records |
 //!
 //! Every application offers a sequential reference, a taskified version and
-//! the correctness metric of Table I, behind the common
-//! [`BenchmarkApp`](common::BenchmarkApp) trait. Use [`build_app`] to
-//! instantiate a benchmark by name at a given [`Scale`](common::Scale).
+//! the correctness metric of Table I, behind the common [`BenchmarkApp`]
+//! trait. Use [`build_app`] to instantiate a benchmark by name at a given
+//! [`Scale`].
 
 #![warn(missing_docs)]
 
@@ -140,7 +140,8 @@ mod tests {
                 "{app_id}: there must be memoizable tasks"
             );
             assert!(!info.memoized_task_type.is_empty());
-            assert!(app.atm_params().l_training >= 1);
+            assert!(app.memo_spec().training_window_len() >= 1);
+            assert!(app.memo_spec().tau_max() > 0.0);
         }
     }
 }

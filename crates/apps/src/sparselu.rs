@@ -21,7 +21,7 @@
 use crate::common::{AppRun, BenchmarkApp, RunOptions, Scale, TableInfo, TaskedRun};
 use atm_hash::Xoshiro256StarStar;
 use atm_metrics::lu_residual_error;
-use atm_runtime::{AtmTaskParams, Region, TaskTypeBuilder};
+use atm_runtime::{MemoSpec, Region, TaskTypeBuilder};
 use std::sync::OnceLock;
 
 /// Configuration of a Sparse LU instance.
@@ -339,13 +339,9 @@ impl BenchmarkApp for SparseLu {
         }
     }
 
-    fn atm_params(&self) -> AtmTaskParams {
+    fn memo_spec(&self) -> MemoSpec {
         // Table II: L_training = 30, τ_max = 1 %.
-        AtmTaskParams {
-            l_training: 30,
-            tau_max: 0.01,
-            type_aware: true,
-        }
+        MemoSpec::approximate().tau(0.01).training_window(30)
     }
 
     fn run_sequential(&self) -> Vec<f64> {
@@ -440,8 +436,7 @@ impl BenchmarkApp for SparseLu {
             .arg::<f32>()
             .arg::<f32>()
             .inout::<f32>()
-            .memoizable()
-            .atm_params(self.atm_params())
+            .memo(self.memo_spec())
             .build(),
         );
 

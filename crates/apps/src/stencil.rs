@@ -23,7 +23,7 @@
 
 use crate::common::{AppRun, BenchmarkApp, RunOptions, Scale, TableInfo, TaskedRun};
 use atm_hash::Xoshiro256StarStar;
-use atm_runtime::{AtmTaskParams, Region, Runtime, TaskTypeBuilder, TaskTypeId};
+use atm_runtime::{MemoSpec, Region, Runtime, TaskTypeBuilder, TaskTypeId};
 use std::sync::OnceLock;
 
 /// Which stencil solver to run.
@@ -325,7 +325,7 @@ impl BenchmarkApp for Stencil {
         }
     }
 
-    fn atm_params(&self) -> AtmTaskParams {
+    fn memo_spec(&self) -> MemoSpec {
         // Table II: Gauss-Seidel L_training = 100, Jacobi L_training = 150;
         // τ_max = 1 % for both. At reduced scales the training budget is
         // capped to roughly 5 % of the task count (the paper's empirical
@@ -336,11 +336,9 @@ impl BenchmarkApp for Stencil {
             StencilVariant::GaussSeidel => 100.min(cap),
             StencilVariant::Jacobi => 150.min(cap),
         };
-        AtmTaskParams {
-            l_training,
-            tau_max: 0.01,
-            type_aware: true,
-        }
+        MemoSpec::approximate()
+            .tau(0.01)
+            .training_window(l_training)
     }
 
     fn run_sequential(&self) -> Vec<f64> {
@@ -485,8 +483,7 @@ impl BenchmarkApp for Stencil {
                 .arg::<f32>()
                 .arg::<f32>()
                 .arg::<f32>()
-                .memoizable()
-                .atm_params(self.atm_params())
+                .memo(self.memo_spec())
                 .build(),
         );
 

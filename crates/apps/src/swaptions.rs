@@ -16,7 +16,7 @@
 
 use crate::common::{AppRun, BenchmarkApp, RunOptions, Scale, TableInfo, TaskedRun};
 use atm_hash::{jenkins_hash64, Xoshiro256StarStar};
-use atm_runtime::{AtmTaskParams, Region, TaskTypeBuilder};
+use atm_runtime::{MemoSpec, Region, TaskTypeBuilder};
 use std::sync::OnceLock;
 
 /// Number of points on the initial forward-rate curve carried by every
@@ -231,13 +231,9 @@ impl BenchmarkApp for Swaptions {
         }
     }
 
-    fn atm_params(&self) -> AtmTaskParams {
+    fn memo_spec(&self) -> MemoSpec {
         // Table II: L_training = 15, τ_max = 20 %.
-        AtmTaskParams {
-            l_training: 15,
-            tau_max: 0.20,
-            type_aware: true,
-        }
+        MemoSpec::approximate().tau(0.20).training_window(15)
     }
 
     fn run_sequential(&self) -> Vec<f64> {
@@ -269,8 +265,8 @@ impl BenchmarkApp for Swaptions {
             })
             .collect();
 
-        // As in Blackscholes, the memoization opt-in is attached per
-        // submission through the fluent builder's `memo(...)` clause.
+        // The approximation policy is declared on the task type, where the
+        // kernel is registered.
         let hjm_type = rt.register_task_type(
             TaskTypeBuilder::new("HJM_Swaption_Blocking", move |ctx| {
                 let record = ctx.arg::<f64>(0);
@@ -279,10 +275,10 @@ impl BenchmarkApp for Swaptions {
             })
             .arg::<f64>()
             .out::<f64>()
+            .memo(self.memo_spec())
             .build(),
         );
 
-        let atm_params = self.atm_params();
         harness.start_timer();
         for (record, result) in record_regions.iter().zip(&result_regions) {
             harness
@@ -290,7 +286,6 @@ impl BenchmarkApp for Swaptions {
                 .task(hjm_type)
                 .reads(record)
                 .writes(result)
-                .memo(atm_params)
                 .submit()
                 .expect("HJM submission matches the declared signature");
         }

@@ -26,7 +26,7 @@ fn keygen_vs_percentage() {
         ("p=100%", Percentage::FULL),
     ] {
         let result = bench("hash_keygen_vs_p", label, || {
-            let _ = keygen.compute(&store, &accesses, p);
+            let _ = keygen.compute_uniform(&store, &accesses, p);
         });
         println!(
             "  -> {:.1} MiB/s over the selected bytes",
@@ -51,7 +51,7 @@ fn keygen_vs_input_size() {
             "hash_keygen_vs_input_size",
             &format!("full_p/{kib}KiB"),
             || {
-                let _ = keygen.compute(&store, &accesses, Percentage::FULL);
+                let _ = keygen.compute_uniform(&store, &accesses, Percentage::FULL);
             },
         );
         println!("  -> {:.1} MiB/s", result.mib_per_second(elems * 4));

@@ -1,10 +1,11 @@
 //! One function per table/figure of the paper's evaluation section, plus the
-//! memo-store experiments (cache pressure, warm start) that go beyond it.
+//! experiments that go beyond it: memo-store cache pressure, warm start, and
+//! the mixed per-type-policy run.
 
 use crate::measure::{geomean, EvalContext};
 use crate::report::Report;
 use atm_apps::{AppId, RunOptions};
-use atm_core::{AtmConfig, AtmEngine, PolicyKind, StoreCountersSnapshot, ThtConfig};
+use atm_core::{AtmConfig, AtmEngine, MemoSpec, PolicyKind, StoreCountersSnapshot, ThtConfig};
 use atm_runtime::{Region, RuntimeBuilder, TaskTypeBuilder, ThreadState};
 use std::sync::Arc;
 
@@ -37,11 +38,14 @@ pub enum Experiment {
     Pressure,
     /// Cold-start vs warm-start from a persisted memo store.
     WarmStart,
+    /// Per-type `MemoSpec` policies (exact, adaptive, fixed-p) running
+    /// concurrently in one runtime, with independent per-type trajectories.
+    Mixed,
 }
 
 impl Experiment {
     /// All experiments, in the order `atm-eval all` runs them.
-    pub const ALL: [Experiment; 13] = [
+    pub const ALL: [Experiment; 14] = [
         Experiment::Table1,
         Experiment::Table2,
         Experiment::Table3,
@@ -55,6 +59,7 @@ impl Experiment {
         Experiment::Figure9,
         Experiment::Pressure,
         Experiment::WarmStart,
+        Experiment::Mixed,
     ];
 
     /// Command-line name.
@@ -73,6 +78,7 @@ impl Experiment {
             Experiment::Figure9 => "figure9",
             Experiment::Pressure => "pressure",
             Experiment::WarmStart => "warmstart",
+            Experiment::Mixed => "mixed",
         }
     }
 
@@ -104,6 +110,7 @@ pub fn run_experiment(experiment: Experiment, ctx: &EvalContext) -> Report {
         Experiment::Figure9 => figure9(ctx),
         Experiment::Pressure => pressure(ctx),
         Experiment::WarmStart => warmstart(ctx),
+        Experiment::Mixed => mixed(ctx),
     }
 }
 
@@ -157,18 +164,18 @@ pub fn table2(ctx: &EvalContext) -> Report {
         "Benchmark", "Ltraining", "tau_max"
     ));
     for id in AppId::ALL {
-        let params = ctx.app(id).atm_params();
+        let spec = ctx.app(id).memo_spec();
         report.linef(format_args!(
             "{:<13} {:>10} {:>8.0}%",
             id.name(),
-            params.l_training,
-            params.tau_max * 100.0
+            spec.training_window_len(),
+            spec.tau_max() * 100.0
         ));
         report.row(format!(
             "{},{},{}",
             id.short_name(),
-            params.l_training,
-            params.tau_max * 100.0
+            spec.training_window_len(),
+            spec.tau_max() * 100.0
         ));
     }
     report
@@ -1013,6 +1020,236 @@ pub fn warmstart(ctx: &EvalContext) -> Report {
     report
 }
 
+/// Per-type outcome of the mixed-policy run.
+#[derive(Debug, Clone)]
+struct MixedTypeOutcome {
+    name: String,
+    seen: u64,
+    executed_estimate: u64,
+    training_hits: u64,
+    tht_bypassed: u64,
+    final_p: f64,
+    steady: bool,
+}
+
+/// Runs three memoizable task types with different [`MemoSpec`]s — exact,
+/// adaptive `τ_max`, and fixed `p` — concurrently in one runtime under the
+/// spec-respecting engine mode, and returns each type's independent
+/// hit/precision trajectory.
+///
+/// Every wave submits, per payload and per type, one *identical*
+/// resubmission (the pristine input region) and one *perturbed* copy (the
+/// same values with the lowest mantissa bit of some elements flipped). The
+/// three policies then diverge on the same stream:
+///
+/// * the **exact** type hits only the identical resubmissions and executes
+///   every perturbed copy;
+/// * the **adaptive** type trains its own `p` down to the minimum and then
+///   bypasses both kinds;
+/// * the **fixed-p** type (25 %, MSB-first) never samples the perturbed
+///   low-mantissa bytes, so it bypasses both kinds from its first wave —
+///   without any training.
+///
+/// One worker keeps the task stream order (and therefore every counter)
+/// deterministic; the policies, not the parallelism, are under test.
+fn mixed_run() -> Vec<MixedTypeOutcome> {
+    const WAVES: usize = 4;
+    // One payload per type: at the training ladder's smallest p only a
+    // single MSB byte is sampled, so distinct payloads of one type can
+    // alias during training and make the counters input-dependent — the
+    // policies, not that aliasing, are what this experiment demonstrates.
+    const PAYLOADS: usize = 1;
+    const ELEMS: usize = 64;
+
+    let engine = AtmEngine::shared(AtmConfig::dynamic_atm());
+    let rt = RuntimeBuilder::new()
+        .workers(1)
+        .interceptor(engine.clone())
+        .build();
+
+    let square = |ctx: &atm_runtime::TaskContext<'_>| {
+        let x = ctx.arg::<f64>(0);
+        let out: Vec<f64> = x.iter().map(|v| v * v).collect();
+        ctx.out(1, &out);
+    };
+    let types = [
+        rt.register_task_type(
+            TaskTypeBuilder::new("mixed_exact", square)
+                .arg::<f64>()
+                .out::<f64>()
+                .memo(MemoSpec::exact())
+                .build(),
+        ),
+        rt.register_task_type(
+            TaskTypeBuilder::new("mixed_adaptive", square)
+                .arg::<f64>()
+                .out::<f64>()
+                .memo(MemoSpec::approximate().tau(0.2).training_window(2))
+                .build(),
+        ),
+        rt.register_task_type(
+            TaskTypeBuilder::new("mixed_fixed", square)
+                .arg::<f64>()
+                .out::<f64>()
+                .memo(MemoSpec::fixed_precision(0.25))
+                .build(),
+        ),
+    ];
+
+    let payload =
+        |j: usize| -> Vec<f64> { (0..ELEMS).map(|e| (j * ELEMS + e) as f64 + 1.5).collect() };
+    // Low-mantissa noise, distinct per wave: flips the lowest mantissa bits
+    // of every third element — invisible to MSB-first selection at small
+    // p, caught by exact hashing.
+    let perturbed = |j: usize, wave: usize| -> Vec<f64> {
+        payload(j)
+            .into_iter()
+            .enumerate()
+            .map(|(e, v)| {
+                if e % 3 == 0 {
+                    f64::from_bits(v.to_bits() ^ (wave as u64 + 1))
+                } else {
+                    v
+                }
+            })
+            .collect()
+    };
+
+    let pristine: Vec<Vec<Region<f64>>> = (0..3)
+        .map(|t| {
+            (0..PAYLOADS)
+                .map(|j| {
+                    rt.store()
+                        .register_typed(format!("mixed_in_{t}_{j}"), payload(j))
+                        .unwrap()
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut serial = 0usize;
+    for wave in 0..WAVES {
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..PAYLOADS {
+            for (t, tt) in types.iter().enumerate() {
+                // Identical resubmission.
+                let out = rt
+                    .store()
+                    .register_zeros::<f64>(format!("mixed_out{serial}"), ELEMS)
+                    .unwrap();
+                serial += 1;
+                rt.task(*tt)
+                    .reads(&pristine[t][j])
+                    .writes(&out)
+                    .submit()
+                    .unwrap();
+                // Perturbed copy.
+                let noisy = rt
+                    .store()
+                    .register_typed(format!("mixed_noisy{serial}"), perturbed(j, wave))
+                    .unwrap();
+                let out = rt
+                    .store()
+                    .register_zeros::<f64>(format!("mixed_out{serial}"), ELEMS)
+                    .unwrap();
+                serial += 1;
+                rt.task(*tt).reads(&noisy).writes(&out).submit().unwrap();
+            }
+        }
+        rt.taskwait();
+    }
+
+    let summaries = engine.type_summaries();
+    let mut outcomes: Vec<MixedTypeOutcome> = summaries
+        .values()
+        .map(|s| MixedTypeOutcome {
+            name: s.name.clone(),
+            seen: s.seen,
+            executed_estimate: s.seen - s.tht_bypassed - s.ikt_deferred,
+            training_hits: s.training_hits,
+            tht_bypassed: s.tht_bypassed,
+            final_p: s.final_p,
+            steady: s.steady,
+        })
+        .collect();
+    outcomes.sort_by(|a, b| a.name.cmp(&b.name));
+    rt.shutdown();
+    outcomes
+}
+
+/// The mixed per-type-policy experiment: the acceptance demonstration of
+/// the `MemoSpec` redesign (one runtime, three policies, independent
+/// per-type trajectories).
+pub fn mixed(_ctx: &EvalContext) -> Report {
+    let mut report = Report::new(
+        "mixed",
+        "Mixed per-type MemoSpec policies in one runtime (exact / adaptive / fixed-p)",
+        "task_type,policy,seen,executed,training_hits,tht_bypassed,final_p,steady",
+    );
+    let policies = [
+        ("mixed_adaptive", "approximate(tau=0.2,window=2)"),
+        ("mixed_exact", "exact"),
+        ("mixed_fixed", "fixed_precision(0.25)"),
+    ];
+    report.linef(format_args!(
+        "{:<15} {:<28} {:>5} {:>9} {:>9} {:>9} {:>10} {:>7}",
+        "Task type", "Policy", "seen", "executed", "training", "bypassed", "final_p", "steady"
+    ));
+    for outcome in mixed_run() {
+        let policy = policies
+            .iter()
+            .find(|(n, _)| *n == outcome.name)
+            .map(|(_, p)| *p)
+            .unwrap_or("?");
+        report.linef(format_args!(
+            "{:<15} {:<28} {:>5} {:>9} {:>9} {:>9} {:>10.5} {:>7}",
+            outcome.name,
+            policy,
+            outcome.seen,
+            outcome.executed_estimate,
+            outcome.training_hits,
+            outcome.tht_bypassed,
+            outcome.final_p,
+            outcome.steady
+        ));
+        report.row(format!(
+            "{},{},{},{},{},{},{:.8},{}",
+            outcome.name,
+            policy,
+            outcome.seen,
+            outcome.executed_estimate,
+            outcome.training_hits,
+            outcome.tht_bypassed,
+            outcome.final_p,
+            outcome.steady
+        ));
+        let prefix = outcome.name.trim_start_matches("mixed_").to_string();
+        report.metric(format!("{prefix}_seen"), outcome.seen as f64);
+        report.metric(
+            format!("{prefix}_executed"),
+            outcome.executed_estimate as f64,
+        );
+        report.metric(
+            format!("{prefix}_training_hits"),
+            outcome.training_hits as f64,
+        );
+        report.metric(
+            format!("{prefix}_tht_bypassed"),
+            outcome.tht_bypassed as f64,
+        );
+        report.metric(format!("{prefix}_final_p"), outcome.final_p);
+        report.metric(
+            format!("{prefix}_steady"),
+            if outcome.steady { 1.0 } else { 0.0 },
+        );
+    }
+    report.line("Each type follows its own declared policy in the same runtime: the exact");
+    report.line("type re-executes every perturbed input, the adaptive type trains its own p");
+    report.line("and then tolerates the noise, and the fixed-p type tolerates it from the");
+    report.line("start — the engine-global mode no longer decides.");
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1074,6 +1311,81 @@ mod tests {
         );
         // Replay hits everything that was stored.
         assert_eq!(round.replay_hits, round.counters.insertions);
+    }
+
+    /// Acceptance criterion of the MemoSpec redesign: one runtime runs an
+    /// exact type, an adaptive type and a fixed-p type concurrently, and
+    /// each type's hit/precision trajectory is independent.
+    #[test]
+    fn mixed_policies_have_independent_per_type_trajectories() {
+        let outcomes = mixed_run();
+        assert_eq!(outcomes.len(), 3);
+        let by_name = |name: &str| {
+            outcomes
+                .iter()
+                .find(|o| o.name == name)
+                .unwrap_or_else(|| panic!("no outcome for {name}"))
+        };
+        // 4 waves × 2 submissions (identical + perturbed) per type.
+        for outcome in &outcomes {
+            assert_eq!(outcome.seen, 8, "{}: stream size", outcome.name);
+        }
+
+        // Exact: p pinned at 100 %, steady from the start, never trains.
+        // Hits exactly the identical resubmissions (waves 2-4) and executes
+        // every perturbed copy.
+        let exact = by_name("mixed_exact");
+        assert_eq!(exact.final_p, 1.0);
+        assert!(exact.steady);
+        assert_eq!(exact.training_hits, 0);
+        assert_eq!(exact.tht_bypassed, 3, "exact hits only identical inputs");
+        assert_eq!(exact.executed_estimate, 5);
+
+        // Adaptive: trains its own p on its own stream (training hits
+        // execute), freezes at the minimum and then bypasses both the
+        // identical and the perturbed submissions.
+        let adaptive = by_name("mixed_adaptive");
+        assert!(adaptive.steady, "window of 2 must finish training");
+        assert_eq!(adaptive.training_hits, 2);
+        assert!(
+            adaptive.final_p < 0.01,
+            "identical-at-MSB inputs keep p minimal, got {}",
+            adaptive.final_p
+        );
+        assert_eq!(
+            adaptive.executed_estimate, 3,
+            "1 cold miss + 2 training executions"
+        );
+        assert_eq!(adaptive.tht_bypassed, 5);
+
+        // Fixed p: steady at its declared precision with no training, and
+        // immune to the low-mantissa noise from the very first wave.
+        let fixed = by_name("mixed_fixed");
+        assert!((fixed.final_p - 0.25).abs() < 1e-12);
+        assert!(fixed.steady);
+        assert_eq!(fixed.training_hits, 0);
+        assert_eq!(fixed.executed_estimate, 1, "only the cold miss runs");
+        assert_eq!(fixed.tht_bypassed, 7);
+
+        // Independence: three different final precisions in one engine.
+        assert!(exact.final_p > fixed.final_p);
+        assert!(fixed.final_p > adaptive.final_p);
+    }
+
+    #[test]
+    fn mixed_report_carries_per_type_metrics() {
+        let ctx = EvalContext::new(Scale::Tiny, 1);
+        let report = mixed(&ctx);
+        assert_eq!(report.csv_rows.len(), 3);
+        for prefix in ["exact", "adaptive", "fixed"] {
+            for metric in ["final_p", "training_hits", "tht_bypassed", "steady"] {
+                let name = format!("{prefix}_{metric}");
+                assert!(
+                    report.metrics.iter().any(|(n, _)| *n == name),
+                    "metric {name} missing from the mixed report"
+                );
+            }
+        }
     }
 
     #[test]

@@ -23,34 +23,51 @@ use crate::key::KeyGenerator;
 use crate::snapshot::{apply_snapshots_to, outputs_as_f64, OutputSnapshot};
 use crate::stats::{AtmStats, AtmStatsSnapshot, ReuseEvent, TypeSummaries, TypeSummary};
 use crate::tht::{EntryKey, TaskHistoryTable, ThtConfig};
-use crate::training::TrainingController;
+use crate::training::{evaluate_metric, TrainingController};
 use atm_hash::Percentage;
-use atm_metrics::chebyshev_relative_error;
 use atm_runtime::{
-    DataStore, Decision, RegionId, TaskId, TaskInterceptor, TaskTypeId, TaskView, ThreadState,
-    Tracer,
+    ArgPrecision, DataStore, Decision, MemoPolicy, MemoSpec, RegionId, TaskId, TaskInterceptor,
+    TaskTypeId, TaskView, ThreadState, Tracer,
 };
 use atm_store::{PersistError, PolicyKind, StoreConfig, StoreCountersSnapshot};
 use atm_sync::Mutex;
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Operating mode of the engine.
+/// Engine-wide operating mode.
+///
+/// Since the per-type [`MemoSpec`] redesign, approximation policy lives on
+/// the task type: each memoizable type declares whether it is exact,
+/// adaptive or fixed-precision, with its own `τ_max`, training window,
+/// error metric and per-argument precision overrides. `AtmMode` is demoted
+/// to an engine-wide *default/override* for the benchmark harness:
+///
+/// * [`AtmMode::Dynamic`] — **respect the per-type specs** (the normal
+///   production mode). A type whose spec is
+///   [`MemoSpec::approximate`] trains exactly as the paper's Dynamic ATM
+///   did, so `AtmConfig::dynamic_atm()` with default specs reproduces the
+///   pre-redesign behaviour bit for bit.
+/// * [`AtmMode::Static`] — force exact memoization (`p = 100 %`) on every
+///   memoizable type, ignoring the specs (the paper's Static ATM bars).
+/// * [`AtmMode::FixedP`] — force one constant `p` on every memoizable
+///   type, ignoring the specs (the evaluation's Oracle sweeps).
+/// * [`AtmMode::Off`] — disable ATM entirely (the baseline).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AtmMode {
     /// ATM disabled: every task executes (the paper's baseline).
     Off,
-    /// Static ATM: exact memoization with `p = 100 %` (§III-B). Guarantees
-    /// bit-identical results.
+    /// Override: exact memoization with `p = 100 %` for every memoizable
+    /// type (§III-B). Guarantees bit-identical results.
     Static,
-    /// Dynamic ATM: the runtime trains the selection percentage `p` per task
-    /// type, bounded by the task type's `τ_max` and `L_training` (§III-D).
+    /// Respect each task type's [`MemoSpec`] (approximate specs train their
+    /// own `p` against their own `τ_max`, §III-D). The default specs make
+    /// this the paper's Dynamic ATM.
     Dynamic,
-    /// A fixed selection percentage chosen offline — the "Oracle"
-    /// configurations of the evaluation (Figures 3–6) are produced by
-    /// sweeping this mode over the 16 values of the training ladder.
+    /// Override: a fixed selection percentage for every memoizable type —
+    /// the "Oracle" configurations of the evaluation (Figures 3–6) are
+    /// produced by sweeping this mode over the 16 values of the training
+    /// ladder.
     FixedP(f64),
 }
 
@@ -172,25 +189,40 @@ impl AtmConfig {
     }
 }
 
-/// Per-task-type engine state.
+/// Per-task-type engine state: the resolved policy of one task type.
 struct TypeState {
     keygen: KeyGenerator,
     controller: Mutex<TrainingController>,
-    /// Total nanoseconds this type's kernel has run, and how many times.
-    /// Their ratio is the benefit estimate fed to the memo store's
-    /// cost-aware eviction policy: the kernel time a hit saves.
-    kernel_ns_total: AtomicU64,
-    kernel_runs: AtomicU64,
+    /// The effective spec of the type (resolved when its first instance
+    /// reached the engine); carries the per-argument precision overrides
+    /// the key pipeline consumes.
+    spec: MemoSpec,
+    /// Whether the engine mode respects the spec's per-argument overrides
+    /// (`Dynamic`) or overrode the policy wholesale (`Static` / `FixedP`,
+    /// whose sweeps must hash every argument uniformly).
+    honor_overrides: bool,
 }
 
 impl TypeState {
-    /// Average measured kernel nanoseconds of this type (0 before any run).
-    fn avg_kernel_ns(&self) -> u64 {
-        let runs = self.kernel_runs.load(Ordering::Relaxed);
-        if runs == 0 {
-            return 0;
-        }
-        self.kernel_ns_total.load(Ordering::Relaxed) / runs
+    /// One selection percentage per read access of `accesses`, in
+    /// declaration order: the spec's per-argument override where one was
+    /// declared, the type-wide `p` otherwise.
+    fn arg_precisions(&self, accesses: &[atm_runtime::Access], p: Percentage) -> Vec<Percentage> {
+        accesses
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.mode.is_read())
+            .map(|(index, _)| {
+                if !self.honor_overrides {
+                    return p;
+                }
+                match self.spec.precision_override(index) {
+                    Some(ArgPrecision::Exact) => Percentage::FULL,
+                    Some(ArgPrecision::Fraction(f)) => Percentage::from_fraction(f),
+                    None => p,
+                }
+            })
+            .collect()
     }
 }
 
@@ -322,28 +354,38 @@ impl AtmEngine {
         !matches!(self.config.mode, AtmMode::Off)
     }
 
+    /// Resolves the effective policy of a task type the first time one of
+    /// its instances reaches the engine: the type's (or instance's)
+    /// [`MemoSpec`] decides, unless the engine-wide mode overrides it.
     fn type_state(&self, view: &TaskView<'_>) -> Arc<TypeState> {
         let mut types = self.types.lock();
         if let Some(existing) = types.get(&view.type_id) {
             return Arc::clone(existing);
         }
+        let spec = view.memo_spec().cloned().unwrap_or_default();
         let controller = match self.config.mode {
             AtmMode::Off | AtmMode::Static => TrainingController::fixed(Percentage::FULL),
             AtmMode::FixedP(p) => TrainingController::fixed(Percentage::from_fraction(p)),
-            AtmMode::Dynamic => {
-                let params = view.atm_params();
-                TrainingController::new(params.l_training, params.tau_max)
-            }
+            AtmMode::Dynamic => match spec.policy() {
+                MemoPolicy::Exact => TrainingController::fixed(Percentage::FULL),
+                MemoPolicy::FixedPrecision(p) => {
+                    TrainingController::fixed(Percentage::from_fraction(p))
+                }
+                MemoPolicy::Approximate => {
+                    TrainingController::new(spec.training_window_len(), spec.tau_max())
+                        .with_metric(spec.error_metric())
+                }
+            },
         };
         let state = Arc::new(TypeState {
             keygen: KeyGenerator::new(
                 self.config.key_seed
                     ^ (view.type_id.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                view.atm_params().type_aware,
+                spec.is_type_aware(),
             ),
             controller: Mutex::new(controller),
-            kernel_ns_total: AtomicU64::new(0),
-            kernel_runs: AtomicU64::new(0),
+            spec,
+            honor_overrides: matches!(self.config.mode, AtmMode::Dynamic),
         });
         types.insert(view.type_id, Arc::clone(&state));
         state
@@ -405,8 +447,10 @@ impl AtmEngine {
         view: &TaskView<'_>,
         reference: &[OutputSnapshot],
         tau_max: f64,
+        metric: atm_runtime::ErrorMetric,
     ) -> (f64, Vec<RegionId>) {
-        // Overall τ across all outputs plus the per-output failures.
+        // Overall τ across all outputs plus the per-output failures, each
+        // output judged with the task type's declared error metric.
         let writes: Vec<_> = view.accesses.iter().filter(|a| a.mode.is_write()).collect();
         let mut failing = Vec::new();
         let mut overall_tau = 0.0f64;
@@ -420,7 +464,7 @@ impl AtmEngine {
                 overall_tau = f64::INFINITY;
                 continue;
             }
-            let tau = chebyshev_relative_error(&correct, &approx);
+            let tau = evaluate_metric(metric, &correct, &approx);
             overall_tau = overall_tau.max(tau);
             if tau >= tau_max {
                 failing.push(access.region);
@@ -452,19 +496,17 @@ impl TaskInterceptor for AtmEngine {
         });
 
         let state = self.type_state(&task);
-        let (p, training, tau_max) = {
+        let (p, training) = {
             let controller = state.controller.lock();
-            (
-                controller.current_p(),
-                controller.is_training(),
-                controller.tau_max(),
-            )
+            (controller.current_p(), controller.is_training())
         };
-        let _ = tau_max;
 
-        // Hash-key computation (traced as its own state, Figure 7).
+        // Hash-key computation (traced as its own state, Figure 7). Each
+        // read argument is hashed at the type-wide `p` unless the type's
+        // spec pinned it to an explicit precision.
+        let precisions = state.arg_precisions(task.accesses, p);
         let hash_start = tracer.now_ns();
-        let key_result = state.keygen.compute(store, task.accesses, p);
+        let key_result = state.keygen.compute(store, task.accesses, &precisions);
         let hash_end = tracer.now_ns();
         tracer.record(
             worker,
@@ -589,22 +631,24 @@ impl TaskInterceptor for AtmEngine {
         };
         let state = self.type_state(&task);
 
-        // Per-type kernel timing: the interval between dispatch and
-        // completion is (almost entirely) the kernel run. Its running
-        // average is the benefit estimate stored with this type's THT
-        // entries — the kernel nanoseconds a future hit saves — which the
-        // cost-aware eviction policy divides by entry size.
+        // Per-task kernel timing: the interval between dispatch and
+        // completion is (almost entirely) the kernel run. The measured
+        // duration of *this* execution is the benefit estimate stored with
+        // its THT entry — the kernel nanoseconds a future hit saves — which
+        // the cost-aware eviction policy divides by entry size. Storing the
+        // producing task's own duration (rather than a per-type average)
+        // keeps eviction sharp when task durations vary within one type.
         let kernel_ns = tracer.now_ns().saturating_sub(pending.dispatched_ns);
-        state
-            .kernel_ns_total
-            .fetch_add(kernel_ns, Ordering::Relaxed);
-        state.kernel_runs.fetch_add(1, Ordering::Relaxed);
 
-        // Dynamic ATM training: compare the stored (approximate) outputs
-        // against the freshly computed ones.
+        // Adaptive-spec training: compare the stored (approximate) outputs
+        // against the freshly computed ones with the type's error metric.
         if let Some(reference) = &pending.training_reference {
-            let tau_max = state.controller.lock().tau_max();
-            let (tau, failing) = self.failing_output_regions(store, &task, reference, tau_max);
+            let (tau_max, metric) = {
+                let controller = state.controller.lock();
+                (controller.tau_max(), controller.metric())
+            };
+            let (tau, failing) =
+                self.failing_output_regions(store, &task, reference, tau_max, metric);
             let mut controller = state.controller.lock();
             if controller.is_training() {
                 controller.record_comparison(tau, &failing);
@@ -667,7 +711,7 @@ impl TaskInterceptor for AtmEngine {
             if still_stable {
                 let snaps = outputs.expect("snapshot exists when the THT is updated");
                 self.tht
-                    .insert_with_benefit(pending.key, task.id, snaps, state.avg_kernel_ns());
+                    .insert_with_benefit(pending.key, task.id, snaps, kernel_ns);
             }
         }
 
@@ -678,7 +722,7 @@ impl TaskInterceptor for AtmEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use atm_runtime::{Access, AtmTaskParams, Region, TaskTypeBuilder};
+    use atm_runtime::{Access, ErrorMetric, Region, TaskTypeBuilder};
 
     fn view_for<'a>(
         id: u64,
@@ -813,12 +857,7 @@ mod tests {
         })
         .arg::<f64>()
         .out::<f64>()
-        .memoizable()
-        .atm_params(AtmTaskParams {
-            l_training: 2,
-            tau_max: 0.01,
-            type_aware: true,
-        })
+        .memo(MemoSpec::approximate().tau(0.01).training_window(2))
         .build();
 
         let input = store.register_typed("in", vec![2.0f64; 16]).unwrap();
@@ -975,6 +1014,266 @@ mod tests {
             engine.store_counters().saved_ns,
             exported[0].benefit_ns,
             "a hit accrues exactly the stored benefit estimate"
+        );
+    }
+
+    /// Tentpole behaviour: under the spec-respecting mode, three task types
+    /// with different `MemoSpec`s resolve to three independent policies in
+    /// the same engine.
+    #[test]
+    fn per_type_specs_resolve_independently_under_one_engine() {
+        let engine = AtmEngine::new(AtmConfig::dynamic_atm());
+        let store = DataStore::new();
+        let square = |ctx: &atm_runtime::TaskContext<'_>| {
+            let x = ctx.arg::<f64>(0);
+            let out: Vec<f64> = x.iter().map(|v| v * v).collect();
+            ctx.out(1, &out);
+        };
+        let exact = TaskTypeBuilder::new("exact", square)
+            .arg::<f64>()
+            .out::<f64>()
+            .memo(MemoSpec::exact())
+            .build();
+        let dynamic = TaskTypeBuilder::new("dynamic", square)
+            .arg::<f64>()
+            .out::<f64>()
+            .memo(MemoSpec::approximate().tau(0.05).training_window(1))
+            .build();
+        let fixed = TaskTypeBuilder::new("fixed", square)
+            .arg::<f64>()
+            .out::<f64>()
+            .memo(MemoSpec::fixed_precision(0.25))
+            .build();
+
+        let input = store.register_typed("in", vec![2.0f64; 64]).unwrap();
+        let mut task_id = 0u64;
+        let mut run = |type_id: u32, info: &atm_runtime::TaskTypeInfo| -> Decision {
+            let out = store
+                .register_zeros::<f64>(format!("out{task_id}"), 64)
+                .unwrap();
+            let accesses = vec![Access::read(&input), Access::write(&out)];
+            let view = view_for(task_id, type_id, info, &accesses);
+            task_id += 1;
+            drive(&engine, &store, view).0
+        };
+
+        // Interleave instances of the three types.
+        for _ in 0..3 {
+            run(0, &exact);
+            run(1, &dynamic);
+            run(2, &fixed);
+        }
+
+        // Exact: steady from the start at p = 100 %, no training ever.
+        assert_eq!(engine.current_p(TaskTypeId::from_raw(0)), Some(1.0));
+        // Dynamic: trained its own p down to the minimum (identical inputs
+        // approximate perfectly), independent of the other types.
+        let dynamic_p = engine.current_p(TaskTypeId::from_raw(1)).unwrap();
+        assert!(
+            dynamic_p < 0.01,
+            "the adaptive type must have trained a small p, got {dynamic_p}"
+        );
+        // Fixed: pinned at its declared precision.
+        let fixed_p = engine.current_p(TaskTypeId::from_raw(2)).unwrap();
+        assert!((fixed_p - 0.25).abs() < 1e-12);
+
+        let summaries = engine.type_summaries();
+        let by_name = |name: &str| {
+            summaries
+                .values()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("no summary for {name}"))
+                .clone()
+        };
+        let exact_summary = by_name("exact");
+        assert!(exact_summary.steady);
+        assert_eq!(exact_summary.training_hits, 0);
+        assert!(exact_summary.tht_bypassed > 0, "exact type must hit");
+        let dynamic_summary = by_name("dynamic");
+        assert!(dynamic_summary.steady);
+        assert!(dynamic_summary.training_hits > 0, "adaptive type trains");
+        assert!(dynamic_summary.tht_bypassed > 0);
+        let fixed_summary = by_name("fixed");
+        assert!(fixed_summary.steady);
+        assert_eq!(fixed_summary.training_hits, 0);
+        assert!(fixed_summary.tht_bypassed > 0, "fixed type must hit");
+    }
+
+    /// The engine-wide Static override ignores per-type specs: everything
+    /// becomes exact, as in the paper's Static ATM bars.
+    #[test]
+    fn static_mode_overrides_per_type_specs() {
+        let engine = AtmEngine::new(AtmConfig::static_atm());
+        let store = DataStore::new();
+        let info = TaskTypeBuilder::new("would_be_fixed", |ctx| {
+            let x = ctx.arg::<f64>(0);
+            ctx.out(1, &x);
+        })
+        .arg::<f64>()
+        .out::<f64>()
+        .memo(MemoSpec::fixed_precision(0.25))
+        .build();
+        let input = store.register_typed("in", vec![1.0f64; 8]).unwrap();
+        let out = store.register_zeros::<f64>("out", 8).unwrap();
+        let accesses = vec![Access::read(&input), Access::write(&out)];
+        let _ = drive(&engine, &store, view_for(0, 0, &info, &accesses));
+        assert_eq!(
+            engine.current_p(TaskTypeId::from_raw(0)),
+            Some(1.0),
+            "Static mode forces p = 100 % regardless of the spec"
+        );
+    }
+
+    /// Per-argument overrides reach the key pipeline: an exact-pinned
+    /// control argument distinguishes entries even when the type-wide p
+    /// would never sample its differing byte.
+    #[test]
+    fn arg_exact_override_separates_control_arguments() {
+        let engine = AtmEngine::new(AtmConfig::dynamic_atm());
+        let store = DataStore::new();
+        let info = TaskTypeBuilder::new("controlled", |ctx| {
+            let mode = ctx.arg::<i32>(0)[0];
+            let x = ctx.arg::<f64>(1);
+            let out: Vec<f64> = x.iter().map(|v| v * f64::from(mode)).collect();
+            ctx.out(2, &out);
+        })
+        .arg::<i32>()
+        .arg::<f64>()
+        .out::<f64>()
+        .memo(MemoSpec::fixed_precision(0.25).arg_exact(0))
+        .build();
+
+        let field = store.register_typed("field", vec![3.0f64; 64]).unwrap();
+        let mode_a = store.register_typed("mode_a", vec![2i32]).unwrap();
+        // mode_b differs from mode_a only in the lowest byte — at p = 25 %
+        // with MSB-first selection that byte is never sampled, so only the
+        // arg_exact(0) override can keep the two modes apart.
+        let mode_b = store.register_typed("mode_b", vec![3i32]).unwrap();
+        let out_a = store.register_zeros::<f64>("oa", 64).unwrap();
+        let out_b = store.register_zeros::<f64>("ob", 64).unwrap();
+
+        let acc_a = vec![
+            Access::read(&mode_a),
+            Access::read(&field),
+            Access::write(&out_a),
+        ];
+        let acc_b = vec![
+            Access::read(&mode_b),
+            Access::read(&field),
+            Access::write(&out_b),
+        ];
+        assert_eq!(
+            drive(&engine, &store, view_for(0, 0, &info, &acc_a)).0,
+            Decision::Execute
+        );
+        assert_eq!(
+            drive(&engine, &store, view_for(1, 0, &info, &acc_b)).0,
+            Decision::Execute,
+            "a different control value must miss, not alias the first entry"
+        );
+        assert_eq!(store.read(out_a).lock().as_f64(), &[6.0; 64]);
+        assert_eq!(store.read(out_b).lock().as_f64(), &[9.0; 64]);
+        assert_eq!(engine.stats().tht_bypassed, 0);
+
+        // The same control value hits.
+        let out_c = store.register_zeros::<f64>("oc", 64).unwrap();
+        let acc_c = vec![
+            Access::read(&mode_a),
+            Access::read(&field),
+            Access::write(&out_c),
+        ];
+        assert_eq!(
+            drive(&engine, &store, view_for(2, 0, &info, &acc_c)).0,
+            Decision::Memoized
+        );
+        assert_eq!(store.read(out_c).lock().as_f64(), &[6.0; 64]);
+    }
+
+    /// The spec's error metric drives the training comparisons.
+    #[test]
+    fn spec_metric_is_used_during_training() {
+        let engine = AtmEngine::new(AtmConfig::dynamic_atm());
+        let store = DataStore::new();
+        let info = TaskTypeBuilder::new("ulp_strict", |ctx| {
+            let x = ctx.arg::<f64>(0);
+            ctx.out(1, &x);
+        })
+        .arg::<f64>()
+        .out::<f64>()
+        // MaxUlp with τ = 1: only bit-identical outputs pass training.
+        .memo(
+            MemoSpec::approximate()
+                .metric(ErrorMetric::MaxUlp)
+                .tau(1.0)
+                .training_window(1),
+        )
+        .build();
+        let state = engine.type_state(&view_for(0, 0, &info, &[]));
+        assert_eq!(state.controller.lock().metric(), ErrorMetric::MaxUlp);
+        assert!((state.controller.lock().tau_max() - 1.0).abs() < 1e-12);
+
+        // A one-ULP output difference is τ = 1 ≥ τ_max: rejected, p doubles.
+        let base = 1.0f64;
+        let off_by_one_ulp = f64::from_bits(base.to_bits() + 1);
+        let input = store.register_typed("in", vec![base; 4]).unwrap();
+        let out = store.register_zeros::<f64>("out", 4).unwrap();
+        let accesses = vec![Access::read(&input), Access::write(&out)];
+        let view = view_for(0, 0, &info, &accesses);
+        let reference = vec![OutputSnapshot {
+            region: out.id(),
+            elem_range: 0..4,
+            data: atm_runtime::RegionData::F64(vec![off_by_one_ulp; 4]),
+        }];
+        store
+            .write(out)
+            .lock()
+            .as_f64_mut()
+            .copy_from_slice(&[base; 4]);
+        let (tau, failing) =
+            engine.failing_output_regions(&store, &view, &reference, 1.0, ErrorMetric::MaxUlp);
+        assert_eq!(tau, 1.0);
+        assert_eq!(failing, vec![out.id()]);
+        // The Chebyshev metric would have accepted the same outputs.
+        let (cheb_tau, cheb_failing) =
+            engine.failing_output_regions(&store, &view, &reference, 1.0, ErrorMetric::Chebyshev);
+        assert!(cheb_tau < 1e-12);
+        assert!(cheb_failing.is_empty());
+    }
+
+    #[test]
+    fn first_instance_spec_configures_the_type() {
+        let engine = AtmEngine::new(AtmConfig::dynamic_atm());
+        let store = DataStore::new();
+        let info = memoizable_info(); // default (approximate) type spec
+        let instance_spec = MemoSpec::fixed_precision(0.5);
+        let input = store.register_typed("in", vec![1.0f64; 8]).unwrap();
+        let out = store.register_zeros::<f64>("out", 8).unwrap();
+        let accesses = vec![Access::read(&input), Access::write(&out)];
+        let view = TaskView {
+            memo: Some(&instance_spec),
+            ..view_for(0, 0, &info, &accesses)
+        };
+        let _ = drive(&engine, &store, view);
+        assert_eq!(
+            engine.current_p(TaskTypeId::from_raw(0)),
+            Some(0.5),
+            "the first instance's spec configures the type's controller"
+        );
+
+        // Documented resolution rule: once the type's policy is resolved, a
+        // later instance's spec does not re-configure it.
+        let late_spec = MemoSpec::fixed_precision(0.125);
+        let out2 = store.register_zeros::<f64>("out2", 8).unwrap();
+        let accesses2 = vec![Access::read(&input), Access::write(&out2)];
+        let view2 = TaskView {
+            memo: Some(&late_spec),
+            ..view_for(1, 0, &info, &accesses2)
+        };
+        let _ = drive(&engine, &store, view2);
+        assert_eq!(
+            engine.current_p(TaskTypeId::from_raw(0)),
+            Some(0.5),
+            "later instance specs must not re-configure a resolved type"
         );
     }
 

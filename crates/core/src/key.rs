@@ -26,10 +26,25 @@ use std::sync::Arc;
 /// per shape.
 pub type LayoutSignature = Vec<(usize, usize)>;
 
+/// Cache of per-argument samplers, keyed by the read-argument index and its
+/// `(elements, elem_width)` shape.
+type ArgSamplerCache = HashMap<(usize, (usize, usize)), Arc<InputSampler>>;
+
 /// Per-task-type hash-key generator with cached shuffled index vectors.
+///
+/// Precision is a *vector*: every read access carries its own selection
+/// percentage, which is how a [`MemoSpec`](atm_runtime::MemoSpec)'s
+/// per-argument overrides reach the key pipeline (a small control argument
+/// hashed exactly, a large field argument hashed at the trained `p`). When
+/// every entry of the vector is equal — the default, override-free case —
+/// the generator uses the exact same whole-layout shuffle as the original
+/// single-`p` implementation, so default-spec keys are bit-identical to the
+/// paper reproduction's.
 #[derive(Debug)]
 pub struct KeyGenerator {
     samplers: Mutex<HashMap<LayoutSignature, Arc<InputSampler>>>,
+    /// Per-argument samplers for mixed-precision instances.
+    arg_samplers: Mutex<ArgSamplerCache>,
     type_aware: bool,
     seed: u64,
 }
@@ -41,6 +56,7 @@ impl KeyGenerator {
     pub fn new(seed: u64, type_aware: bool) -> Self {
         KeyGenerator {
             samplers: Mutex::new(HashMap::new()),
+            arg_samplers: Mutex::new(HashMap::new()),
             type_aware,
             seed,
         }
@@ -60,11 +76,26 @@ impl KeyGenerator {
             .collect()
     }
 
-    /// Computes the hash key of a task instance at selection percentage `p`.
+    /// Computes the hash key of a task instance with one selection
+    /// percentage per read access (in access-declaration order).
     ///
-    /// Returns `(key, selected_bytes, total_input_bytes)`.
-    pub fn compute(&self, store: &DataStore, accesses: &[Access], p: Percentage) -> KeyResult {
+    /// # Panics
+    /// Panics if `precisions` does not have exactly one entry per read
+    /// access.
+    pub fn compute(
+        &self,
+        store: &DataStore,
+        accesses: &[Access],
+        precisions: &[Percentage],
+    ) -> KeyResult {
         let reads: Vec<&Access> = accesses.iter().filter(|a| a.mode.is_read()).collect();
+        assert_eq!(
+            precisions.len(),
+            reads.len(),
+            "one precision per read access: got {} precisions for {} reads",
+            precisions.len(),
+            reads.len()
+        );
         let ranges: Vec<std::ops::Range<usize>> =
             reads.iter().map(|a| elem_range_of(store, a)).collect();
         let signature: LayoutSignature = ranges
@@ -82,11 +113,73 @@ impl KeyGenerator {
             };
         }
 
-        // Full selection (Static ATM): hash the inputs contiguously without
-        // going through the index vector.
+        // The uniform case (no per-argument overrides) goes through the
+        // whole-layout shuffle, bit-identical to the single-`p` pipeline.
+        if precisions.windows(2).all(|w| w[0] == w[1]) {
+            return self.compute_uniform_inner(
+                store,
+                &reads,
+                &ranges,
+                &signature,
+                total_bytes,
+                precisions[0],
+            );
+        }
+
+        // Mixed precision: gather per argument — full segments contiguously,
+        // sampled segments through a per-argument significance shuffle.
+        let mut buf = Vec::new();
+        for (j, ((access, range), &p)) in reads.iter().zip(&ranges).zip(precisions).enumerate() {
+            let (elements, width) = signature[j];
+            if elements == 0 {
+                continue;
+            }
+            let region = store.read(access.region);
+            let guard = region.lock();
+            if p.is_full() {
+                buf.extend_from_slice(&guard.bytes_in_elem_range(range.clone()));
+                continue;
+            }
+            let sampler = self.arg_sampler_for(j, (elements, width));
+            let base_byte = range.start * width;
+            for &flat in sampler.selected_indices(p) {
+                buf.push(guard.byte_at(base_byte + flat as usize));
+            }
+        }
+        KeyResult {
+            key: jenkins_hash64(&buf, self.seed),
+            selected_bytes: buf.len(),
+            total_bytes,
+        }
+    }
+
+    /// Computes the hash key with one uniform selection percentage over all
+    /// read accesses (the override-free fast path; also convenient for
+    /// benchmarks and tests).
+    pub fn compute_uniform(
+        &self,
+        store: &DataStore,
+        accesses: &[Access],
+        p: Percentage,
+    ) -> KeyResult {
+        let reads = accesses.iter().filter(|a| a.mode.is_read()).count();
+        self.compute(store, accesses, &vec![p; reads])
+    }
+
+    fn compute_uniform_inner(
+        &self,
+        store: &DataStore,
+        reads: &[&Access],
+        ranges: &[std::ops::Range<usize>],
+        signature: &LayoutSignature,
+        total_bytes: usize,
+        p: Percentage,
+    ) -> KeyResult {
+        // Full selection (exact memoization): hash the inputs contiguously
+        // without going through the index vector.
         if p.is_full() {
             let mut buf = Vec::with_capacity(total_bytes);
-            for (access, range) in reads.iter().zip(&ranges) {
+            for (access, range) in reads.iter().zip(ranges) {
                 let region = store.read(access.region);
                 let guard = region.lock();
                 buf.extend_from_slice(&guard.bytes_in_elem_range(range.clone()));
@@ -98,7 +191,7 @@ impl KeyGenerator {
             };
         }
 
-        let sampler = self.sampler_for(&signature);
+        let sampler = self.sampler_for(signature);
         let selected = sampler.selected_indices(p);
 
         // Gather the selected bytes directly from the typed region storage.
@@ -121,11 +214,19 @@ impl KeyGenerator {
 
     /// Memory held by the cached index vectors (Table III accounting).
     pub fn memory_bytes(&self) -> usize {
-        self.samplers
+        let whole: usize = self
+            .samplers
             .lock()
             .values()
             .map(|s| s.memory_bytes())
-            .sum()
+            .sum();
+        let per_arg: usize = self
+            .arg_samplers
+            .lock()
+            .values()
+            .map(|s| s.memory_bytes())
+            .sum();
+        whole + per_arg
     }
 
     fn sampler_for(&self, signature: &LayoutSignature) -> Arc<InputSampler> {
@@ -144,6 +245,24 @@ impl KeyGenerator {
         );
         let sampler = Arc::new(InputSampler::new(layout, self.type_aware, self.seed));
         samplers.insert(signature.clone(), Arc::clone(&sampler));
+        sampler
+    }
+
+    /// Sampler over a single argument's bytes, for mixed-precision
+    /// instances. The shuffle seed mixes in the argument index so two
+    /// same-shaped arguments do not share a selection pattern.
+    fn arg_sampler_for(&self, arg: usize, shape: (usize, usize)) -> Arc<InputSampler> {
+        let mut samplers = self.arg_samplers.lock();
+        if let Some(existing) = samplers.get(&(arg, shape)) {
+            return Arc::clone(existing);
+        }
+        let layout = ByteLayout::new(vec![InputSpec {
+            elements: shape.0,
+            elem_width: shape.1,
+        }]);
+        let seed = self.seed ^ (arg as u64 + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        let sampler = Arc::new(InputSampler::new(layout, self.type_aware, seed));
+        samplers.insert((arg, shape), Arc::clone(&sampler));
         sampler
     }
 }
@@ -175,14 +294,14 @@ mod tests {
         let (store, region) = store_with_f32(&[1.0, 2.0, 3.0, 4.0]);
         let keygen = KeyGenerator::new(1, true);
         let accesses = vec![Access::read(&region)];
-        let k1 = keygen.compute(&store, &accesses, Percentage::FULL);
-        let k2 = keygen.compute(&store, &accesses, Percentage::FULL);
+        let k1 = keygen.compute_uniform(&store, &accesses, Percentage::FULL);
+        let k2 = keygen.compute_uniform(&store, &accesses, Percentage::FULL);
         assert_eq!(k1, k2);
         assert_eq!(k1.total_bytes, 16);
         assert_eq!(k1.selected_bytes, 16);
 
         store.write(region).lock().as_f32_mut()[2] = 3.5;
-        let k3 = keygen.compute(&store, &accesses, Percentage::FULL);
+        let k3 = keygen.compute_uniform(&store, &accesses, Percentage::FULL);
         assert_ne!(k1.key, k3.key);
     }
 
@@ -201,8 +320,8 @@ mod tests {
         let b = store.register_typed("b", b_data).unwrap();
         let keygen = KeyGenerator::new(3, true);
         let p = Percentage::from_fraction(0.25);
-        let ka = keygen.compute(&store, &[Access::read(&a)], p);
-        let kb = keygen.compute(&store, &[Access::read(&b)], p);
+        let ka = keygen.compute_uniform(&store, &[Access::read(&a)], p);
+        let kb = keygen.compute_uniform(&store, &[Access::read(&b)], p);
         assert_eq!(ka.key, kb.key);
         assert_eq!(ka.selected_bytes, 64);
     }
@@ -216,14 +335,14 @@ mod tests {
         let keygen = KeyGenerator::new(9, false);
         let first_half = vec![Access::read(&region).with_range(0..128)];
         let second_half = vec![Access::read(&region).with_range(128..256)];
-        let k1 = keygen.compute(&store, &first_half, Percentage::FULL);
-        let k2 = keygen.compute(&store, &second_half, Percentage::FULL);
+        let k1 = keygen.compute_uniform(&store, &first_half, Percentage::FULL);
+        let k2 = keygen.compute_uniform(&store, &second_half, Percentage::FULL);
         assert_ne!(k1.key, k2.key);
         assert_eq!(k1.total_bytes, 128);
 
         // Changing data outside the window must not change the key.
         store.write(region).lock().as_f64_mut()[20] = 99.0;
-        let k1_again = keygen.compute(&store, &first_half, Percentage::FULL);
+        let k1_again = keygen.compute_uniform(&store, &first_half, Percentage::FULL);
         assert_eq!(k1.key, k1_again.key);
     }
 
@@ -234,9 +353,9 @@ mod tests {
         let output = store.register_zeros::<f32>("out", 2).unwrap();
         let keygen = KeyGenerator::new(5, true);
         let accesses = vec![Access::read(&input), Access::write(&output)];
-        let k1 = keygen.compute(&store, &accesses, Percentage::FULL);
+        let k1 = keygen.compute_uniform(&store, &accesses, Percentage::FULL);
         store.write(output).lock().as_f32_mut()[0] = 7.0;
-        let k2 = keygen.compute(&store, &accesses, Percentage::FULL);
+        let k2 = keygen.compute_uniform(&store, &accesses, Percentage::FULL);
         assert_eq!(k1.key, k2.key, "outputs must not affect the key");
     }
 
@@ -246,11 +365,11 @@ mod tests {
         let keygen = KeyGenerator::new(11, true);
         let accesses = vec![Access::read(&region)];
         let p = Percentage::from_training_step(3);
-        let k_small = keygen.compute(&store, &accesses, p);
+        let k_small = keygen.compute_uniform(&store, &accesses, p);
         assert_eq!(k_small.selected_bytes, p.bytes_of(4096));
         assert!(k_small.selected_bytes < k_small.total_bytes);
         // Deterministic across calls.
-        assert_eq!(keygen.compute(&store, &accesses, p), k_small);
+        assert_eq!(keygen.compute_uniform(&store, &accesses, p), k_small);
     }
 
     #[test]
@@ -260,10 +379,135 @@ mod tests {
         let small = store.register_zeros::<f32>("small", 16).unwrap();
         let keygen = KeyGenerator::new(2, true);
         let p = Percentage::from_fraction(0.5);
-        let _ = keygen.compute(&store, &[Access::read(&big)], p);
-        let _ = keygen.compute(&store, &[Access::read(&small)], p);
+        let _ = keygen.compute_uniform(&store, &[Access::read(&big)], p);
+        let _ = keygen.compute_uniform(&store, &[Access::read(&small)], p);
         assert_eq!(keygen.samplers.lock().len(), 2);
         assert_eq!(keygen.memory_bytes(), (128 * 4 + 16 * 4) * 4);
+    }
+
+    #[test]
+    fn mixed_precision_hashes_exact_arguments_fully() {
+        // Argument 0 is a tiny control argument hashed exactly; argument 1
+        // is a large field argument hashed at a small p. Changing any byte
+        // of the control argument must change the key, even though the
+        // type-wide p would almost never select its bytes.
+        let store = DataStore::new();
+        let control = store.register_typed("control", vec![7i32, 9]).unwrap();
+        let field = store.register_typed("field", vec![1.0f32; 4096]).unwrap();
+        let out = store.register_zeros::<f32>("out", 1).unwrap();
+        let accesses = vec![
+            Access::read(&control),
+            Access::read(&field),
+            Access::write(&out),
+        ];
+        let keygen = KeyGenerator::new(21, true);
+        let precisions = [Percentage::FULL, Percentage::MIN];
+        let k1 = keygen.compute(&store, &accesses, &precisions);
+        assert_eq!(keygen.compute(&store, &accesses, &precisions), k1);
+        // 8 control bytes + MIN of 16 KiB (at least 1 byte).
+        assert_eq!(
+            k1.selected_bytes,
+            8 + Percentage::MIN.bytes_of(4096 * 4),
+            "the exact argument contributes every byte"
+        );
+
+        // A low-significance flip in the control argument flips the key…
+        store.write(control).lock().as_i32_mut()[1] = 10;
+        let k2 = keygen.compute(&store, &accesses, &precisions);
+        assert_ne!(k1.key, k2.key, "exact argument must be fully sensitive");
+
+        // …while a low-mantissa flip in the field argument does not (those
+        // bytes are the last the significance-ordered shuffle would select).
+        store.write(field).lock().as_f32_mut()[17] = f32::from_bits(1.0f32.to_bits() ^ 0x1);
+        let k3 = keygen.compute(&store, &accesses, &precisions);
+        assert_eq!(
+            k2.key, k3.key,
+            "approximate argument tolerates low-significance noise"
+        );
+    }
+
+    #[test]
+    fn uniform_vector_matches_the_single_p_pipeline_bit_for_bit() {
+        let store = DataStore::new();
+        let a = store.register_typed("a", vec![3.5f64; 512]).unwrap();
+        let b = store.register_typed("b", vec![-1.25f64; 64]).unwrap();
+        let accesses = vec![Access::read(&a), Access::read(&b)];
+        let keygen = KeyGenerator::new(13, true);
+        for step in [0usize, 4, 9, 15] {
+            let p = Percentage::from_training_step(step);
+            let uniform = keygen.compute_uniform(&store, &accesses, p);
+            let vector = keygen.compute(&store, &accesses, &[p, p]);
+            assert_eq!(uniform, vector, "step {step}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one precision per read access")]
+    fn precision_vector_arity_is_checked() {
+        let (store, region) = store_with_f32(&[1.0, 2.0]);
+        let keygen = KeyGenerator::new(1, true);
+        let _ = keygen.compute(
+            &store,
+            &[Access::read(&region)],
+            &[Percentage::FULL, Percentage::FULL],
+        );
+    }
+
+    /// Property (satellite of the MemoSpec redesign): key selection is
+    /// *monotone in precision*. The selected byte set at precision `p` is a
+    /// superset of the set at any `p' < p` (a prefix of the same shuffled
+    /// index vector), so two inputs whose keys collide at `p` must also
+    /// collide at every smaller `p'`.
+    #[test]
+    fn key_collisions_are_monotone_in_precision() {
+        use atm_hash::Xoshiro256StarStar;
+        const CASES: usize = 24;
+        const ELEMS: usize = 256;
+        let mut rng = Xoshiro256StarStar::new(0xC0111D);
+        for case in 0..CASES {
+            let store = DataStore::new();
+            // Input `a` is random; input `b` agrees with `a` except for a
+            // random set of low-mantissa bit flips, so the pair collides at
+            // small p and (usually) separates as p grows.
+            let a_data: Vec<f32> = (0..ELEMS)
+                .map(|_| (rng.next_f32() - 0.5) * 1000.0)
+                .collect();
+            let b_data: Vec<f32> = a_data
+                .iter()
+                .map(|&v| {
+                    if rng.below(4) == 0 {
+                        f32::from_bits(v.to_bits() ^ (1u32 << rng.below(10)))
+                    } else {
+                        v
+                    }
+                })
+                .collect();
+            let a = store.register_typed(format!("a{case}"), a_data).unwrap();
+            let b = store.register_typed(format!("b{case}"), b_data).unwrap();
+            let keygen = KeyGenerator::new(rng.next_u64(), true);
+
+            let keys_at = |accesses: &[Access], step: usize| {
+                keygen
+                    .compute_uniform(&store, accesses, Percentage::from_training_step(step))
+                    .key
+            };
+            let acc_a = vec![Access::read(&a)];
+            let acc_b = vec![Access::read(&b)];
+            let collides: Vec<bool> = (0..=Percentage::STEPS)
+                .map(|step| keys_at(&acc_a, step) == keys_at(&acc_b, step))
+                .collect();
+            for hi in 0..collides.len() {
+                if collides[hi] {
+                    for (lo, &collides_lo) in collides.iter().enumerate().take(hi) {
+                        assert!(
+                            collides_lo,
+                            "case {case}: keys collide at step {hi} but not at \
+                             smaller step {lo} — selection is not monotone"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -272,8 +516,8 @@ mod tests {
         let out = store.register_zeros::<f32>("out", 1).unwrap();
         let keygen = KeyGenerator::new(1, true);
         let accesses = vec![Access::write(&out)];
-        let k1 = keygen.compute(&store, &accesses, Percentage::FULL);
-        let k2 = keygen.compute(&store, &accesses, Percentage::MIN);
+        let k1 = keygen.compute_uniform(&store, &accesses, Percentage::FULL);
+        let k2 = keygen.compute_uniform(&store, &accesses, Percentage::MIN);
         assert_eq!(k1.key, k2.key);
         assert_eq!(k1.total_bytes, 0);
     }

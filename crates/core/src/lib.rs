@@ -4,20 +4,32 @@
 //! Task Memoization in the Runtime System"* (Brumar, Casas, Moretó, Valero,
 //! Sohi — IPDPS 2017) on top of the [`atm_runtime`] task-dataflow runtime.
 //!
-//! ATM transparently eliminates redundant task executions:
+//! ATM transparently eliminates redundant task executions. Approximation
+//! policy is declared **per task type** through a
+//! [`MemoSpec`], stated where the kernel is
+//! registered:
 //!
-//! * **Static ATM** hashes the complete data inputs of every task of a
-//!   programmer-selected task type and stores the task outputs in a
-//!   [`tht::TaskHistoryTable`]. A later task with the same input hash gets
-//!   its outputs copied instead of executing, with zero accuracy loss.
-//! * **Dynamic ATM** additionally *approximates*: it hashes only a
-//!   percentage `p` of the input bytes (most-significant bytes first), so
+//! * `MemoSpec::exact()` hashes the complete data inputs and stores the
+//!   task outputs in the [`tht::TaskHistoryTable`]. A later task with the
+//!   same input hash gets its outputs copied instead of executing, with
+//!   zero accuracy loss (the paper's Static ATM).
+//! * `MemoSpec::approximate()` additionally *approximates*: it hashes only
+//!   a percentage `p` of the input bytes (most-significant bytes first), so
 //!   similar-but-not-identical tasks can also be memoized. An adaptive
 //!   [`training::TrainingController`] picks the smallest `p` that keeps the
-//!   per-task Chebyshev error below the programmer's `τ_max`.
+//!   per-task error below the spec's `τ_max`, judged with the spec's
+//!   [`ErrorMetric`] over the spec's training
+//!   window (the paper's Dynamic ATM, now with per-type thresholds,
+//!   metrics and per-argument precision overrides).
+//! * `MemoSpec::fixed_precision(p)` pins `p` offline (the evaluation's
+//!   Oracle configurations).
 //! * The [`ikt::InFlightKeyTable`] catches redundancy between concurrently
 //!   running tasks: a ready task whose twin is still executing defers to it
 //!   instead of recomputing.
+//!
+//! Different types run different policies concurrently in one runtime; the
+//! engine-wide [`AtmMode`] remains only as a bench-harness override (force
+//! everything exact, force one `p`, or disable ATM — see [`AtmMode`]).
 //!
 //! The engine plugs into the runtime as a
 //! [`TaskInterceptor`](atm_runtime::TaskInterceptor):
@@ -26,15 +38,16 @@
 //! use atm_core::{AtmConfig, AtmEngine};
 //! use atm_runtime::prelude::*;
 //!
-//! let engine = AtmEngine::shared(AtmConfig::static_atm());
+//! // `dynamic_atm()` = respect each task type's declared MemoSpec.
+//! let engine = AtmEngine::shared(AtmConfig::dynamic_atm());
 //! let rt = RuntimeBuilder::new().workers(2).interceptor(engine.clone()).build();
 //!
 //! let input = rt.store().register_typed("in", vec![1.0f64, 2.0, 3.0, 4.0]).unwrap();
 //! let out_a = rt.store().register_zeros::<f64>("a", 1).unwrap();
 //! let out_b = rt.store().register_zeros::<f64>("b", 1).unwrap();
 //!
-//! // The programmer opts the task type into memoization, as in the paper,
-//! // and declares its access signature for submission-time validation.
+//! // The programmer declares the type's approximation policy next to its
+//! // kernel and access signature: exact hashing for this type.
 //! let sum = rt.register_task_type(
 //!     TaskTypeBuilder::new("sum", |ctx| {
 //!         let total: f64 = ctx.arg::<f64>(0).iter().sum();
@@ -42,9 +55,12 @@
 //!     })
 //!     .arg::<f64>()
 //!     .out::<f64>()
-//!     .memoizable()
+//!     .memo(MemoSpec::exact())
 //!     .build(),
 //! );
+//! // Another type in the same runtime can train its own approximation:
+//! //   .memo(MemoSpec::approximate().tau(1e-3).metric(ErrorMetric::RelL2)
+//! //         .training_window(32).arg_exact(0))
 //!
 //! // Two tasks with identical inputs: the second one is memoized.
 //! rt.task(sum).reads(&input).writes(&out_a).submit().unwrap();
@@ -75,7 +91,11 @@ pub use key::{KeyGenerator, KeyResult};
 pub use snapshot::OutputSnapshot;
 pub use stats::{AtmStats, AtmStatsSnapshot, ReuseEvent, TypeSummary};
 pub use tht::{EntryKey, TaskHistoryTable, ThtConfig, ThtEntry};
-pub use training::{Phase, TrainingController, TrainingOutcome};
+pub use training::{evaluate_metric, Phase, TrainingController, TrainingOutcome};
+
+/// Re-exports of the per-task-type approximation-policy API (declared on
+/// `TaskTypeBuilder::memo` in `atm-runtime`, consumed by the engine here).
+pub use atm_runtime::{ArgPrecision, ErrorMetric, MemoPolicy, MemoSpec, MemoSpecError};
 
 /// Re-export of the selection-percentage type used throughout the API.
 pub use atm_hash::Percentage;

@@ -3,7 +3,9 @@
 //! Dynamic ATM splits the execution into a **training phase** and a
 //! **steady-state phase**. During training, every THT hit still executes the
 //! task and compares the stored (approximate) outputs against the freshly
-//! computed ones with the Chebyshev relative error τ (Eq. 1):
+//! computed ones with the task type's error metric — the Chebyshev relative
+//! error τ (Eq. 1) by default, or whatever the type's
+//! [`MemoSpec`](atm_runtime::MemoSpec) selected:
 //!
 //! * if τ ≥ τ_max the approximation was too aggressive: the selection
 //!   percentage `p` is doubled (starting from 2⁻¹⁵, so at most 15 steps
@@ -18,8 +20,22 @@
 //! tasks writing those regions in the steady state.
 
 use atm_hash::Percentage;
-use atm_runtime::RegionId;
+use atm_metrics::{chebyshev_relative_error, max_ulp_error, rel_l2_error};
+use atm_runtime::{ErrorMetric, RegionId};
 use std::collections::HashSet;
+
+/// Evaluates an [`ErrorMetric`] between the correct and the approximated
+/// output of one region (both viewed as `f64` vectors).
+///
+/// # Panics
+/// Panics if the two slices have different lengths.
+pub fn evaluate_metric(metric: ErrorMetric, correct: &[f64], approx: &[f64]) -> f64 {
+    match metric {
+        ErrorMetric::Chebyshev => chebyshev_relative_error(correct, approx),
+        ErrorMetric::RelL2 => rel_l2_error(correct, approx),
+        ErrorMetric::MaxUlp => max_ulp_error(correct, approx),
+    }
+}
 
 /// Phase of the Dynamic ATM controller for one task type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +67,7 @@ pub struct TrainingController {
     correct_in_a_row: usize,
     l_training: usize,
     tau_max: f64,
+    metric: ErrorMetric,
     doublings: usize,
     comparisons: u64,
     rejections: u64,
@@ -58,7 +75,8 @@ pub struct TrainingController {
 }
 
 impl TrainingController {
-    /// Creates a controller in the training phase with `p = 2⁻¹⁵`.
+    /// Creates a controller in the training phase with `p = 2⁻¹⁵` and the
+    /// paper-default Chebyshev metric.
     pub fn new(l_training: usize, tau_max: f64) -> Self {
         assert!(l_training >= 1, "L_training must be at least 1");
         assert!(tau_max > 0.0, "τ_max must be positive");
@@ -68,6 +86,7 @@ impl TrainingController {
             correct_in_a_row: 0,
             l_training,
             tau_max,
+            metric: ErrorMetric::Chebyshev,
             doublings: 0,
             comparisons: 0,
             rejections: 0,
@@ -75,8 +94,16 @@ impl TrainingController {
         }
     }
 
+    /// Selects the error metric the training comparisons are judged with.
+    #[must_use]
+    pub fn with_metric(mut self, metric: ErrorMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
     /// Creates a controller that is already in the steady state with a fixed
-    /// `p` — used for Static ATM (p = 100 %) and the Oracle configurations.
+    /// `p` — used for exact memoization (p = 100 %), fixed-precision specs
+    /// and the Oracle configurations.
     pub fn fixed(p: Percentage) -> Self {
         TrainingController {
             phase: Phase::Steady,
@@ -84,6 +111,7 @@ impl TrainingController {
             correct_in_a_row: 0,
             l_training: 1,
             tau_max: f64::INFINITY,
+            metric: ErrorMetric::Chebyshev,
             doublings: 0,
             comparisons: 0,
             rejections: 0,
@@ -109,6 +137,11 @@ impl TrainingController {
     /// The τ_max threshold.
     pub fn tau_max(&self) -> f64 {
         self.tau_max
+    }
+
+    /// The error metric training comparisons are judged with.
+    pub fn metric(&self) -> ErrorMetric {
+        self.metric
     }
 
     /// Number of training comparisons performed so far.
@@ -260,5 +293,25 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_l_training_is_rejected() {
         let _ = TrainingController::new(0, 0.01);
+    }
+
+    #[test]
+    fn metric_defaults_to_chebyshev_and_is_selectable() {
+        let c = TrainingController::new(1, 0.01);
+        assert_eq!(c.metric(), ErrorMetric::Chebyshev);
+        let c = TrainingController::new(1, 0.01).with_metric(ErrorMetric::MaxUlp);
+        assert_eq!(c.metric(), ErrorMetric::MaxUlp);
+    }
+
+    #[test]
+    fn evaluate_metric_dispatches_to_the_right_error() {
+        let correct = [2.0, -4.0, 8.0];
+        let approx = [2.0, -4.4, 8.2];
+        assert!((evaluate_metric(ErrorMetric::Chebyshev, &correct, &approx) - 0.05).abs() < 1e-12);
+        // RelL2 = sqrt(Σd²/Σc²) = sqrt((0.16+0.04)/84)
+        let expected = (0.2f64 / 84.0).sqrt();
+        assert!((evaluate_metric(ErrorMetric::RelL2, &correct, &approx) - expected).abs() < 1e-12);
+        let next = f64::from_bits(2.0f64.to_bits() + 2);
+        assert_eq!(evaluate_metric(ErrorMetric::MaxUlp, &[2.0], &[next]), 2.0);
     }
 }

@@ -99,42 +99,6 @@ impl Access {
         }
     }
 
-    /// Whole-region read access from an untyped id plus an explicit element
-    /// type.
-    #[deprecated(note = "use `Access::read(&Region<T>)`, which derives the element type")]
-    pub fn input(region: RegionId, elem: ElemType) -> Self {
-        Access {
-            region,
-            range: None,
-            mode: AccessMode::In,
-            elem,
-        }
-    }
-
-    /// Whole-region write access from an untyped id plus an explicit element
-    /// type.
-    #[deprecated(note = "use `Access::write(&Region<T>)`, which derives the element type")]
-    pub fn output(region: RegionId, elem: ElemType) -> Self {
-        Access {
-            region,
-            range: None,
-            mode: AccessMode::Out,
-            elem,
-        }
-    }
-
-    /// Whole-region read-write access from an untyped id plus an explicit
-    /// element type.
-    #[deprecated(note = "use `Access::read_write(&Region<T>)`, which derives the element type")]
-    pub fn inout(region: RegionId, elem: ElemType) -> Self {
-        Access {
-            region,
-            range: None,
-            mode: AccessMode::InOut,
-            elem,
-        }
-    }
-
     /// Restricts the access to a byte range of the region.
     #[must_use]
     pub fn with_range(mut self, range: Range<usize>) -> Self {
@@ -195,21 +159,6 @@ mod tests {
         assert_eq!(rw.elem, ElemType::I32);
         assert_eq!(rw.mode, AccessMode::InOut);
         assert_eq!(rw.region, ints.id());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_build_the_same_access() {
-        let (_store, r) = regions(1);
-        assert_eq!(Access::input(r[0].id(), ElemType::F32), Access::read(&r[0]));
-        assert_eq!(
-            Access::output(r[0].id(), ElemType::F32),
-            Access::write(&r[0])
-        );
-        assert_eq!(
-            Access::inout(r[0].id(), ElemType::F32),
-            Access::read_write(&r[0])
-        );
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //! * **task types and task instances** ([`task`]) — one task type per
 //!   annotated function (with a declared access signature), one instance per
 //!   dynamic submission;
+//! * **per-type approximation policy** ([`memo`]) — the [`MemoSpec`]
+//!   declared on [`TaskTypeBuilder::memo`]: exact / adaptive / fixed
+//!   precision, error metric, training window and per-argument precision
+//!   overrides, validated against the access signature;
 //! * **validated submission** ([`submit`]) — the fluent
 //!   [`Runtime::task`] builder checks arity, access modes and element types
 //!   against the task type's signature and the store, returning a
@@ -57,6 +61,7 @@
 pub mod access;
 pub mod dependence;
 pub mod interceptor;
+pub mod memo;
 pub mod ready_queue;
 pub mod region;
 pub mod scheduler;
@@ -67,13 +72,16 @@ pub mod trace;
 
 pub use access::{Access, AccessMode};
 pub use interceptor::{Decision, NoopInterceptor, TaskInterceptor};
+#[allow(deprecated)]
+pub use memo::AtmTaskParams;
+pub use memo::{ArgPrecision, ErrorMetric, MemoPolicy, MemoSpec, MemoSpecError};
 pub use region::{DataStore, Elem, ElemType, Region, RegionData, RegionId, RegisterError};
 pub use scheduler::{Runtime, RuntimeBuilder};
 pub use stats::{RuntimeStats, RuntimeStatsSnapshot};
 pub use submit::{SubmitError, TaskBuilder};
 pub use task::{
-    AtmTaskParams, SigParam, TaskContext, TaskDesc, TaskId, TaskSignature, TaskTypeBuilder,
-    TaskTypeId, TaskTypeInfo, TaskView, VariadicSig,
+    SigParam, TaskContext, TaskDesc, TaskId, TaskSignature, TaskTypeBuilder, TaskTypeId,
+    TaskTypeInfo, TaskView, VariadicSig,
 };
 pub use trace::{ThreadState, TraceEvent, TraceSummary, Tracer};
 
@@ -81,14 +89,15 @@ pub use trace::{ThreadState, TraceEvent, TraceSummary, Tracer};
 pub mod prelude {
     pub use crate::access::{Access, AccessMode};
     pub use crate::interceptor::{Decision, NoopInterceptor, TaskInterceptor};
+    pub use crate::memo::{ArgPrecision, ErrorMetric, MemoPolicy, MemoSpec, MemoSpecError};
     pub use crate::region::{
         DataStore, Elem, ElemType, Region, RegionData, RegionId, RegisterError,
     };
     pub use crate::scheduler::{Runtime, RuntimeBuilder};
     pub use crate::submit::{SubmitError, TaskBuilder};
     pub use crate::task::{
-        AtmTaskParams, TaskContext, TaskDesc, TaskId, TaskSignature, TaskTypeBuilder, TaskTypeId,
-        TaskTypeInfo, TaskView,
+        TaskContext, TaskDesc, TaskId, TaskSignature, TaskTypeBuilder, TaskTypeId, TaskTypeInfo,
+        TaskView,
     };
     pub use crate::trace::{ThreadState, Tracer};
 }

@@ -559,34 +559,6 @@ impl DataStore {
         Ok(id)
     }
 
-    /// Registers a new region and returns its untyped id.
-    ///
-    /// # Panics
-    /// Panics if a region with the same name already exists. Use
-    /// [`DataStore::try_register`] (or [`DataStore::register_typed`]) to
-    /// handle the duplicate as an error.
-    #[deprecated(note = "use `register_typed` (typed handle) or `try_register` (checked) instead")]
-    pub fn register(&self, name: impl Into<String>, data: RegionData) -> RegionId {
-        self.try_register(name, data)
-            .unwrap_or_else(|err| panic!("{err}"))
-    }
-
-    /// Registers a region of `len` `f32` zeros.
-    #[deprecated(note = "use `register_zeros::<f32>` instead")]
-    pub fn register_f32_zeros(&self, name: impl Into<String>, len: usize) -> RegionId {
-        self.register_zeros::<f32>(name, len)
-            .unwrap_or_else(|err| panic!("{err}"))
-            .id()
-    }
-
-    /// Registers a region of `len` `f64` zeros.
-    #[deprecated(note = "use `register_zeros::<f64>` instead")]
-    pub fn register_f64_zeros(&self, name: impl Into<String>, len: usize) -> RegionId {
-        self.register_zeros::<f64>(name, len)
-            .unwrap_or_else(|err| panic!("{err}"))
-            .id()
-    }
-
     /// Number of registered regions.
     pub fn len(&self) -> usize {
         self.registry.read().slots.len()
@@ -756,17 +728,6 @@ mod tests {
             1,
             "rejected registrations must not allocate a slot"
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_register_panics_on_duplicate() {
-        let store = DataStore::new();
-        let _ = store.register("r", RegionData::F32(vec![1.0]));
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            store.register("r", RegionData::F32(vec![2.0]))
-        }));
-        assert!(result.is_err());
     }
 
     #[test]

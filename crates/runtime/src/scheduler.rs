@@ -20,7 +20,7 @@ use crate::interceptor::{Decision, NoopInterceptor, TaskInterceptor};
 use crate::ready_queue::{Popped, ReadyQueue};
 use crate::region::DataStore;
 use crate::stats::{RuntimeStats, RuntimeStatsSnapshot};
-use crate::submit::{check_signature, check_store, SubmitError, TaskBuilder};
+use crate::submit::{check_memo, check_signature, check_store, SubmitError, TaskBuilder};
 use crate::task::{TaskContext, TaskDesc, TaskId, TaskTypeId, TaskTypeInfo, TaskView};
 use crate::trace::{ThreadState, Tracer};
 use atm_sync::{Condvar, Mutex, RwLock};
@@ -155,7 +155,7 @@ fn worker_loop(inner: &Arc<Inner>, worker: usize) {
             type_id: desc.task_type,
             info: &info,
             accesses: &desc.accesses,
-            memo: desc.memo,
+            memo: desc.memo.as_ref(),
         };
 
         let decision = inner
@@ -262,6 +262,9 @@ impl Runtime {
             }
         }
         check_store(&self.inner.store, &desc.accesses)?;
+        if let Some(spec) = &desc.memo {
+            check_memo(spec, &desc.accesses)?;
+        }
 
         *self.inner.outstanding.lock() += 1;
         let (id, ready) = self.inner.graph.lock().submit(desc);
@@ -278,27 +281,6 @@ impl Runtime {
             .tracer
             .record(self.inner.workers, ThreadState::TaskCreation, start, end);
         Ok(id)
-    }
-
-    /// Submits one task instance, panicking when validation fails.
-    #[deprecated(
-        note = "use the fluent `Runtime::task(..).submit()` builder or `try_submit`, \
-                         which return a `SubmitError` instead of panicking"
-    )]
-    pub fn submit(&self, desc: TaskDesc) -> TaskId {
-        self.try_submit(desc)
-            .unwrap_or_else(|err| panic!("invalid task submission: {err}"))
-    }
-
-    /// Convenience: builds a descriptor and submits it in one call.
-    #[deprecated(note = "use the fluent `Runtime::task(..).submit()` builder instead")]
-    pub fn submit_simple(
-        &self,
-        task_type: TaskTypeId,
-        accesses: Vec<crate::access::Access>,
-    ) -> TaskId {
-        self.try_submit(TaskDesc::new(task_type, accesses))
-            .unwrap_or_else(|err| panic!("invalid task submission: {err}"))
     }
 
     /// Blocks until every submitted task has finished (the `#pragma omp taskwait`
@@ -613,14 +595,43 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_submit_still_panics_on_invalid_descriptors() {
+    fn submission_validates_a_per_instance_memo_spec() {
+        use crate::memo::{MemoSpec, MemoSpecError};
         let rt = RuntimeBuilder::new().workers(1).build();
-        let r = rt.store().register_zeros::<f32>("r", 1).unwrap();
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            rt.submit(TaskDesc::new(TaskTypeId(5), vec![Access::write(&r)]))
-        }));
-        assert!(result.is_err());
+        let input = rt.store().register_zeros::<f64>("in", 2).unwrap();
+        let out = rt.store().register_zeros::<f64>("out", 2).unwrap();
+        let tt = rt.register_task_type(
+            TaskTypeBuilder::new("copy", |ctx| {
+                let v = ctx.arg::<f64>(0);
+                ctx.out(1, &v);
+            })
+            .arg::<f64>()
+            .out::<f64>()
+            .build(),
+        );
+        // Override on the write-only access: rejected at submission.
+        let err = rt
+            .task(tt)
+            .reads(&input)
+            .writes(&out)
+            .memo(MemoSpec::approximate().arg_exact(1))
+            .submit()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SubmitError::InvalidMemoSpec {
+                error: MemoSpecError::ArgNotRead { index: 1 }
+            }
+        );
+        // A valid instance spec goes through.
+        rt.task(tt)
+            .reads(&input)
+            .writes(&out)
+            .memo(MemoSpec::exact())
+            .submit()
+            .unwrap();
+        rt.taskwait();
+        rt.shutdown();
     }
 
     #[test]

@@ -20,15 +20,22 @@
 //! * when the type declared a signature: the number of accesses must fit it
 //!   ([`SubmitError::ArityMismatch`]), and each position must match the
 //!   declared direction ([`SubmitError::ModeMismatch`]) and element type
-//!   ([`SubmitError::TypeMismatch`]).
+//!   ([`SubmitError::TypeMismatch`]);
+//! * when the submission carries a per-instance [`MemoSpec`], the spec's
+//!   per-argument precision overrides must name real, readable accesses
+//!   ([`SubmitError::InvalidMemoSpec`]).
 
 use crate::access::{Access, AccessMode};
+use crate::memo::{MemoSpec, MemoSpecError};
 use crate::region::{DataStore, Elem, ElemType, Region, RegionId};
 use crate::scheduler::Runtime;
-use crate::task::{AtmTaskParams, TaskDesc, TaskId, TaskSignature, TaskTypeId};
+use crate::task::{TaskDesc, TaskId, TaskSignature, TaskTypeId};
 
 /// Why a task submission was rejected.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Not `Eq` because [`SubmitError::InvalidMemoSpec`] carries the offending
+/// floating-point values.
+#[derive(Debug, Clone, PartialEq)]
 pub enum SubmitError {
     /// The task type was never registered with this runtime.
     UnknownTaskType {
@@ -80,6 +87,13 @@ pub enum SubmitError {
         /// The element type the submission declared.
         got: ElemType,
     },
+    /// The per-instance memoization spec is invalid for this submission
+    /// (bad threshold/precision values, or a per-argument override naming a
+    /// missing or write-only access).
+    InvalidMemoSpec {
+        /// Why the spec was rejected.
+        error: MemoSpecError,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -116,6 +130,9 @@ impl std::fmt::Display for SubmitError {
                 f,
                 "access #{index} has element type {got} but the task type's signature expects {expected}"
             ),
+            SubmitError::InvalidMemoSpec { error } => {
+                write!(f, "invalid memoization spec: {error}")
+            }
         }
     }
 }
@@ -164,6 +181,12 @@ pub(crate) fn check_signature(
         }
     }
     Ok(())
+}
+
+/// Validates a per-instance memoization spec against the actual accesses.
+pub(crate) fn check_memo(spec: &MemoSpec, accesses: &[Access]) -> Result<(), SubmitError> {
+    spec.validate_against_accesses(accesses)
+        .map_err(|error| SubmitError::InvalidMemoSpec { error })
 }
 
 /// Validates every access against the store: the region must exist and hold
@@ -217,7 +240,7 @@ pub struct TaskBuilder<'rt> {
     runtime: &'rt Runtime,
     task_type: TaskTypeId,
     accesses: Vec<Access>,
-    memo: Option<AtmTaskParams>,
+    memo: Option<MemoSpec>,
 }
 
 impl<'rt> TaskBuilder<'rt> {
@@ -256,12 +279,19 @@ impl<'rt> TaskBuilder<'rt> {
         self
     }
 
-    /// Opts this task instance into memoization with the given ATM
-    /// parameters, regardless of whether the task type was registered as
-    /// memoizable. The first memoizable instance of a type configures that
-    /// type's training controller.
-    pub fn memo(mut self, params: AtmTaskParams) -> Self {
-        self.memo = Some(params);
+    /// Opts this task instance into memoization with the given policy,
+    /// regardless of whether the task type was registered as memoizable.
+    /// Accepts anything convertible into a [`MemoSpec`].
+    ///
+    /// Policy is resolved **per task type**, by the first memoizable
+    /// instance of the type that reaches the engine: that instance's spec
+    /// (or the type-level spec, when the instance carries none) configures
+    /// the type's key generator and training controller for the rest of
+    /// the run. Specs attached to later instances of an already-resolved
+    /// type are validated but do not re-configure the type — declare
+    /// diverging policies as separate task types instead.
+    pub fn memo(mut self, spec: impl Into<MemoSpec>) -> Self {
+        self.memo = Some(spec.into());
         self
     }
 
@@ -492,6 +522,10 @@ mod tests {
                 index: 2,
                 expected: ElemType::I32,
                 got: ElemType::U8,
+            }
+            .to_string(),
+            SubmitError::InvalidMemoSpec {
+                error: MemoSpecError::ArgNotRead { index: 1 },
             }
             .to_string(),
         ];

@@ -2,9 +2,9 @@
 //!
 //! A *task type* corresponds to one annotated function in the OmpSs/OpenMP
 //! source program (e.g. `bs_thread`, `stencilComputation`, `bmod`, …): it
-//! carries the kernel code, whether the programmer marked it as suitable for
-//! memoization, the ATM pragma parameters (`L_training`, `τ_max`) and the
-//! declared *access signature* — the modes and element types of the data
+//! carries the kernel code, the type's approximation policy
+//! ([`MemoSpec`], when the programmer opted the type into memoization) and
+//! the declared *access signature* — the modes and element types of the data
 //! parameters the kernel expects, in order. The signature is what
 //! [`crate::Runtime::task`] validates every submission against, so a task
 //! can never reach a worker with the wrong arity, access direction or
@@ -14,6 +14,7 @@
 //! concrete list of data accesses.
 
 use crate::access::{Access, AccessMode};
+use crate::memo::{MemoSpec, MemoSpecError};
 use crate::region::{DataStore, Elem, ElemType};
 use std::fmt;
 use std::ops::Range;
@@ -66,33 +67,6 @@ impl fmt::Display for TaskId {
 /// The kernel of a task type: a deterministic function of its declared data
 /// inputs that writes its declared data outputs through the [`TaskContext`].
 pub type TaskKernel = Arc<dyn Fn(&TaskContext<'_>) + Send + Sync>;
-
-/// ATM parameters attached to a task type by the programmer (the paper's
-/// extended pragma annotations, §III-E and Table II).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct AtmTaskParams {
-    /// Number of correctly-approximated training tasks required before the
-    /// Dynamic ATM controller freezes `p` and enters the steady-state phase.
-    pub l_training: usize,
-    /// Maximum tolerated per-task Chebyshev relative error τ_max.
-    pub tau_max: f64,
-    /// Whether the hash-key generator uses type-aware (MSB-first) input
-    /// selection (§III-C).
-    pub type_aware: bool,
-}
-
-impl Default for AtmTaskParams {
-    fn default() -> Self {
-        // τ_max = 1 % "provides good results" for most benchmarks (§IV-A);
-        // at least 15 training tasks are needed to let Dynamic ATM reach
-        // p = 100 %.
-        AtmTaskParams {
-            l_training: 15,
-            tau_max: 0.01,
-            type_aware: true,
-        }
-    }
-}
 
 /// One fixed parameter of a task type's declared signature: an access
 /// direction plus the element type of the region the kernel expects at that
@@ -152,10 +126,11 @@ pub struct TaskTypeInfo {
     pub name: String,
     /// The kernel to execute.
     pub kernel: TaskKernel,
-    /// Whether the programmer marked the type as suitable for ATM.
-    pub memoizable: bool,
-    /// ATM pragma parameters.
-    pub atm: AtmTaskParams,
+    /// The approximation policy of the type. `Some` means the programmer
+    /// opted the type into memoization; the spec carries everything the ATM
+    /// engine needs (policy, `τ_max`, training window, error metric,
+    /// per-argument precision overrides).
+    pub memo: Option<MemoSpec>,
     /// The declared access signature, when the builder declared one.
     /// Submissions of types without a signature skip the arity/mode checks
     /// (the element types of their accesses are still validated against the
@@ -163,12 +138,18 @@ pub struct TaskTypeInfo {
     pub signature: Option<TaskSignature>,
 }
 
+impl TaskTypeInfo {
+    /// Whether the programmer marked the type as suitable for ATM.
+    pub fn memoizable(&self) -> bool {
+        self.memo.is_some()
+    }
+}
+
 impl fmt::Debug for TaskTypeInfo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TaskTypeInfo")
             .field("name", &self.name)
-            .field("memoizable", &self.memoizable)
-            .field("atm", &self.atm)
+            .field("memo", &self.memo)
             .field("signature", &self.signature)
             .finish_non_exhaustive()
     }
@@ -180,7 +161,8 @@ impl fmt::Debug for TaskTypeInfo {
 /// [`TaskTypeBuilder::out`], [`TaskTypeBuilder::inout`],
 /// [`TaskTypeBuilder::variadic_args`], [`TaskTypeBuilder::variadic`]) build
 /// the access signature the submission validator enforces. Declare them in
-/// the order the kernel indexes its accesses:
+/// the order the kernel indexes its accesses, and attach the type's
+/// approximation policy with [`TaskTypeBuilder::memo`]:
 ///
 /// ```
 /// use atm_runtime::prelude::*;
@@ -192,11 +174,17 @@ impl fmt::Debug for TaskTypeInfo {
 /// })
 /// .arg::<f64>()
 /// .out::<f64>()
+/// .memo(MemoSpec::approximate().tau(1e-3).training_window(32))
 /// .build();
 /// assert_eq!(info.signature.as_ref().unwrap().fixed.len(), 2);
+/// assert!(info.memoizable());
 /// ```
 pub struct TaskTypeBuilder {
-    info: TaskTypeInfo,
+    name: String,
+    kernel: TaskKernel,
+    signature: Option<TaskSignature>,
+    spec: Option<MemoSpec>,
+    opted_in: bool,
 }
 
 impl TaskTypeBuilder {
@@ -206,35 +194,47 @@ impl TaskTypeBuilder {
         kernel: impl Fn(&TaskContext<'_>) + Send + Sync + 'static,
     ) -> Self {
         TaskTypeBuilder {
-            info: TaskTypeInfo {
-                name: name.into(),
-                kernel: Arc::new(kernel),
-                memoizable: false,
-                atm: AtmTaskParams::default(),
-                signature: None,
-            },
+            name: name.into(),
+            kernel: Arc::new(kernel),
+            signature: None,
+            spec: None,
+            opted_in: false,
         }
     }
 
-    /// Marks the task type as suitable for ATM (the programmer's opt-in).
+    /// Marks the task type as suitable for ATM with the default policy
+    /// ([`MemoSpec::default`]: adaptive approximation with the paper's
+    /// Table II defaults). Use [`TaskTypeBuilder::memo`] to declare a
+    /// non-default policy.
     #[must_use]
     pub fn memoizable(mut self) -> Self {
-        self.info.memoizable = true;
+        self.opted_in = true;
         self
     }
 
-    /// Sets the ATM pragma parameters.
+    /// Opts the task type into ATM with an explicit approximation policy,
+    /// declared where the kernel is registered. The spec is validated
+    /// against the declared access signature by [`TaskTypeBuilder::build`].
     #[must_use]
-    pub fn atm_params(mut self, params: AtmTaskParams) -> Self {
-        self.info.atm = params;
+    pub fn memo(mut self, spec: MemoSpec) -> Self {
+        self.spec = Some(spec);
+        self.opted_in = true;
+        self
+    }
+
+    /// Sets the ATM pragma parameters of the pre-`MemoSpec` API. Does not
+    /// opt the type into memoization by itself (combine with
+    /// [`TaskTypeBuilder::memoizable`], as before).
+    #[deprecated(note = "use `TaskTypeBuilder::memo(MemoSpec::...)` instead")]
+    #[allow(deprecated)]
+    #[must_use]
+    pub fn atm_params(mut self, params: crate::memo::AtmTaskParams) -> Self {
+        self.spec = Some(params.into());
         self
     }
 
     fn push_fixed(mut self, mode: AccessMode, elem: ElemType) -> Self {
-        let signature = self
-            .info
-            .signature
-            .get_or_insert_with(TaskSignature::default);
+        let signature = self.signature.get_or_insert_with(TaskSignature::default);
         assert!(
             signature.variadic.is_none(),
             "fixed parameters cannot be declared after a variadic tail"
@@ -244,10 +244,7 @@ impl TaskTypeBuilder {
     }
 
     fn set_variadic(mut self, mode: Option<AccessMode>, elem: ElemType, min: usize) -> Self {
-        let signature = self
-            .info
-            .signature
-            .get_or_insert_with(TaskSignature::default);
+        let signature = self.signature.get_or_insert_with(TaskSignature::default);
         assert!(
             signature.variadic.is_none(),
             "a signature can declare at most one variadic tail"
@@ -291,9 +288,33 @@ impl TaskTypeBuilder {
         self.set_variadic(None, T::ELEM, min)
     }
 
-    /// Finishes the builder.
+    /// Finishes the builder, validating the memoization spec (when one was
+    /// declared) against the declared access signature.
+    ///
+    /// # Panics
+    /// Panics when the spec is invalid; use [`TaskTypeBuilder::try_build`]
+    /// to handle the error.
     pub fn build(self) -> TaskTypeInfo {
-        self.info
+        self.try_build()
+            .unwrap_or_else(|err| panic!("invalid memoization spec: {err}"))
+    }
+
+    /// Finishes the builder, reporting an invalid memoization spec as a
+    /// [`MemoSpecError`] instead of panicking.
+    pub fn try_build(self) -> Result<TaskTypeInfo, MemoSpecError> {
+        let memo = if self.opted_in {
+            let spec = self.spec.unwrap_or_default();
+            spec.validate(self.signature.as_ref())?;
+            Some(spec)
+        } else {
+            None
+        };
+        Ok(TaskTypeInfo {
+            name: self.name,
+            kernel: self.kernel,
+            memo,
+            signature: self.signature,
+        })
     }
 }
 
@@ -305,10 +326,11 @@ pub struct TaskDesc {
     pub task_type: TaskTypeId,
     /// The declared data accesses, in the order the kernel expects them.
     pub accesses: Vec<Access>,
-    /// Per-instance memoization opt-in: `Some(params)` marks this instance
-    /// as memoizable with the given ATM parameters, even when the task type
-    /// was not registered as memoizable.
-    pub memo: Option<AtmTaskParams>,
+    /// Per-instance memoization opt-in: `Some(spec)` marks this instance as
+    /// memoizable with the given policy, even when the task type was not
+    /// registered as memoizable. See [`crate::TaskBuilder::memo`] for the
+    /// first-instance-configures-the-type resolution rule.
+    pub memo: Option<MemoSpec>,
 }
 
 impl TaskDesc {
@@ -323,8 +345,8 @@ impl TaskDesc {
 
     /// Attaches a per-instance memoization opt-in.
     #[must_use]
-    pub fn with_memo(mut self, params: AtmTaskParams) -> Self {
-        self.memo = Some(params);
+    pub fn with_memo(mut self, spec: impl Into<MemoSpec>) -> Self {
+        self.memo = Some(spec.into());
         self
     }
 
@@ -351,21 +373,24 @@ pub struct TaskView<'a> {
     /// The task's data accesses.
     pub accesses: &'a [Access],
     /// The per-instance memoization opt-in, when the submission carried one.
-    pub memo: Option<AtmTaskParams>,
+    pub memo: Option<&'a MemoSpec>,
 }
 
-impl TaskView<'_> {
+impl<'a> TaskView<'a> {
     /// Whether this task instance may be memoized: either its type opted in
     /// at registration, or the submission opted in through
     /// [`crate::TaskBuilder::memo`].
     pub fn memoizable(&self) -> bool {
-        self.info.memoizable || self.memo.is_some()
+        self.info.memo.is_some() || self.memo.is_some()
     }
 
-    /// The effective ATM parameters of this instance (the per-instance
-    /// override when present, the type-level parameters otherwise).
-    pub fn atm_params(&self) -> AtmTaskParams {
-        self.memo.unwrap_or(self.info.atm)
+    /// The approximation policy this instance proposes: the per-instance
+    /// spec when present, the type-level spec otherwise, `None` when the
+    /// task is not memoizable at all. The engine resolves each type's
+    /// effective policy from the *first* memoizable instance it sees (see
+    /// [`crate::TaskBuilder::memo`]).
+    pub fn memo_spec(&self) -> Option<&'a MemoSpec> {
+        self.memo.or(self.info.memo.as_ref())
     }
 }
 
@@ -460,14 +485,6 @@ impl<'a> TaskContext<'a> {
             T::ELEM,
             access.elem
         );
-        self.clone_elems(idx)
-    }
-
-    /// Clones the `T` elements covered by the `idx`-th access without the
-    /// direction check — shared by [`TaskContext::arg`] and the deprecated
-    /// `read_*` shims, which historically allowed reading write accesses.
-    fn clone_elems<T: Elem>(&self, idx: usize) -> Vec<T> {
-        let access = self.access(idx);
         let range = self.elem_range(idx);
         let region = self.store.read(access.region);
         let guard = region.lock();
@@ -500,48 +517,6 @@ impl<'a> TaskContext<'a> {
         guard.as_elems_mut::<T>()[range].copy_from_slice(values);
     }
 
-    /// Clones the `f32` elements covered by the `idx`-th access. Unlike
-    /// [`TaskContext::arg`] this does not check the access direction,
-    /// matching the historical behaviour of the untyped API.
-    #[deprecated(note = "use the typed accessor `arg::<f32>` instead")]
-    pub fn read_f32(&self, idx: usize) -> Vec<f32> {
-        self.clone_elems::<f32>(idx)
-    }
-
-    /// Clones the `f64` elements covered by the `idx`-th access. Unlike
-    /// [`TaskContext::arg`] this does not check the access direction,
-    /// matching the historical behaviour of the untyped API.
-    #[deprecated(note = "use the typed accessor `arg::<f64>` instead")]
-    pub fn read_f64(&self, idx: usize) -> Vec<f64> {
-        self.clone_elems::<f64>(idx)
-    }
-
-    /// Clones the `i32` elements covered by the `idx`-th access. Unlike
-    /// [`TaskContext::arg`] this does not check the access direction,
-    /// matching the historical behaviour of the untyped API.
-    #[deprecated(note = "use the typed accessor `arg::<i32>` instead")]
-    pub fn read_i32(&self, idx: usize) -> Vec<i32> {
-        self.clone_elems::<i32>(idx)
-    }
-
-    /// Writes `values` into the `f32` elements covered by the `idx`-th access.
-    #[deprecated(note = "use the typed accessor `out::<f32>` instead")]
-    pub fn write_f32(&self, idx: usize, values: &[f32]) {
-        self.out(idx, values);
-    }
-
-    /// Writes `values` into the `f64` elements covered by the `idx`-th access.
-    #[deprecated(note = "use the typed accessor `out::<f64>` instead")]
-    pub fn write_f64(&self, idx: usize, values: &[f64]) {
-        self.out(idx, values);
-    }
-
-    /// Writes `values` into the `i32` elements covered by the `idx`-th access.
-    #[deprecated(note = "use the typed accessor `out::<i32>` instead")]
-    pub fn write_i32(&self, idx: usize, values: &[i32]) {
-        self.out(idx, values);
-    }
-
     /// Number of write accesses declared by the task.
     pub fn output_count(&self) -> usize {
         self.accesses.iter().filter(|a| a.mode.is_write()).count()
@@ -553,24 +528,82 @@ mod tests {
     use super::*;
 
     #[test]
-    fn builder_sets_flags_and_params() {
+    fn builder_attaches_the_memo_spec() {
         let info = TaskTypeBuilder::new("bs_thread", |_ctx| {})
-            .memoizable()
-            .atm_params(AtmTaskParams {
-                l_training: 100,
-                tau_max: 0.2,
-                type_aware: false,
-            })
+            .memo(
+                MemoSpec::approximate()
+                    .tau(0.2)
+                    .training_window(100)
+                    .type_aware(false),
+            )
             .build();
         assert_eq!(info.name, "bs_thread");
-        assert!(info.memoizable);
-        assert_eq!(info.atm.l_training, 100);
-        assert!((info.atm.tau_max - 0.2).abs() < 1e-12);
-        assert!(!info.atm.type_aware);
+        assert!(info.memoizable());
+        let spec = info.memo.as_ref().unwrap();
+        assert_eq!(spec.training_window_len(), 100);
+        assert!((spec.tau_max() - 0.2).abs() < 1e-12);
+        assert!(!spec.is_type_aware());
         assert!(
             info.signature.is_none(),
             "no parameters declared, no signature enforced"
         );
+    }
+
+    #[test]
+    fn memoizable_without_a_spec_gets_the_default_policy() {
+        let info = TaskTypeBuilder::new("t", |_| {}).memoizable().build();
+        assert_eq!(info.memo, Some(MemoSpec::default()));
+        let plain = TaskTypeBuilder::new("t", |_| {}).build();
+        assert!(plain.memo.is_none());
+        assert!(!plain.memoizable());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_atm_params_bridge_into_the_spec() {
+        use crate::memo::AtmTaskParams;
+        // As before, `atm_params` alone does not opt the type in…
+        let not_opted = TaskTypeBuilder::new("t", |_| {})
+            .atm_params(AtmTaskParams::default())
+            .build();
+        assert!(!not_opted.memoizable());
+        // …but combined with `memoizable()` the parameters become the spec.
+        let info = TaskTypeBuilder::new("t", |_| {})
+            .memoizable()
+            .atm_params(AtmTaskParams {
+                l_training: 7,
+                tau_max: 0.5,
+                type_aware: true,
+            })
+            .build();
+        let spec = info.memo.unwrap();
+        assert_eq!(spec.training_window_len(), 7);
+        assert!((spec.tau_max() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn build_validates_the_spec_against_the_signature() {
+        let result = TaskTypeBuilder::new("t", |_| {})
+            .arg::<f64>()
+            .out::<f64>()
+            .memo(MemoSpec::approximate().arg_exact(1))
+            .try_build();
+        assert_eq!(result.unwrap_err(), MemoSpecError::ArgNotRead { index: 1 });
+        // A valid override builds fine.
+        let info = TaskTypeBuilder::new("t", |_| {})
+            .arg::<f64>()
+            .out::<f64>()
+            .memo(MemoSpec::approximate().arg_exact(0))
+            .build();
+        assert!(info.memoizable());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid memoization spec")]
+    fn build_panics_on_an_invalid_spec() {
+        let _ = TaskTypeBuilder::new("t", |_| {})
+            .memo(MemoSpec::approximate().training_window(0))
+            .build();
     }
 
     #[test]
@@ -619,14 +652,6 @@ mod tests {
     }
 
     #[test]
-    fn default_params_match_paper_defaults() {
-        let p = AtmTaskParams::default();
-        assert_eq!(p.l_training, 15);
-        assert!((p.tau_max - 0.01).abs() < 1e-12);
-        assert!(p.type_aware);
-    }
-
-    #[test]
     fn task_view_merges_instance_and_type_memoization() {
         let plain = TaskTypeBuilder::new("plain", |_| {}).build();
         let view = TaskView {
@@ -637,18 +662,30 @@ mod tests {
             memo: None,
         };
         assert!(!view.memoizable());
-        let params = AtmTaskParams {
-            l_training: 7,
-            tau_max: 0.5,
-            type_aware: false,
-        };
+        assert!(view.memo_spec().is_none());
+        let spec = MemoSpec::approximate().tau(0.5).training_window(7);
         let opted = TaskView {
-            memo: Some(params),
+            memo: Some(&spec),
             ..view
         };
         assert!(opted.memoizable());
-        assert_eq!(opted.atm_params(), params);
-        assert_eq!(view.atm_params(), plain.atm);
+        assert_eq!(opted.memo_spec(), Some(&spec));
+
+        // The instance spec wins over the type-level spec.
+        let typed = TaskTypeBuilder::new("typed", |_| {})
+            .memo(MemoSpec::exact())
+            .build();
+        let type_only = TaskView {
+            info: &typed,
+            ..view
+        };
+        assert_eq!(type_only.memo_spec(), typed.memo.as_ref());
+        let overridden = TaskView {
+            info: &typed,
+            memo: Some(&spec),
+            ..view
+        };
+        assert_eq!(overridden.memo_spec(), Some(&spec));
     }
 
     #[test]
@@ -725,7 +762,7 @@ mod tests {
         assert_eq!(desc.read_accesses().count(), 2);
         assert_eq!(desc.write_accesses().count(), 2);
         assert!(desc.memo.is_none());
-        let params = AtmTaskParams::default();
-        assert_eq!(desc.with_memo(params).memo, Some(params));
+        let spec = MemoSpec::fixed_precision(0.5);
+        assert_eq!(desc.with_memo(spec.clone()).memo, Some(spec));
     }
 }

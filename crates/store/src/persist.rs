@@ -281,10 +281,35 @@ impl MemoStore {
     }
 
     /// Inserts every entry of an in-memory snapshot into this store, going
-    /// through the normal admission/eviction path (a tight budget keeps what
-    /// its policy prefers). Returns the number of entries admitted.
+    /// through the normal admission/eviction path. Returns the number of
+    /// entries admitted.
+    ///
+    /// Entries are inserted in **ascending benefit density** (saved kernel
+    /// nanoseconds per charged byte), so under a tight byte budget the most
+    /// valuable entries arrive last and survive every built-in policy:
+    /// cost-aware eviction discards low-density entries by definition, and
+    /// the age-based policies (FIFO, LRU) evict the oldest/stalest — which
+    /// this ordering makes the least valuable. A warm start through a small
+    /// budget therefore keeps the best entries deterministically instead of
+    /// whatever the snapshot's file order happened to favour.
     pub fn absorb_snapshot_bytes(&self, bytes: &[u8]) -> Result<usize, PersistError> {
-        let entries = decode_entries(bytes)?;
+        let mut entries = decode_entries(bytes)?;
+        let density = |e: &ExportedEntry| {
+            e.benefit_ns as f64 / crate::store::entry_charge_bytes(&e.outputs).max(1) as f64
+        };
+        entries.sort_by(|a, b| {
+            density(a)
+                .partial_cmp(&density(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                // Deterministic tie-break: snapshot keys are unique.
+                .then_with(|| {
+                    (a.key.task_type, a.key.hash, a.key.p_bits).cmp(&(
+                        b.key.task_type,
+                        b.key.hash,
+                        b.key.p_bits,
+                    ))
+                })
+        });
         let mut admitted = 0usize;
         for entry in entries {
             let outcome = self.insert(entry.key, entry.producer, entry.outputs, entry.benefit_ns);
@@ -316,11 +341,19 @@ impl MemoStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use atm_runtime::{Access, DataStore};
+    use atm_runtime::{Access, AccessMode, DataStore};
 
-    // `Access::output` is the untyped escape hatch; the loop below spans all
-    // five element types, which the typed constructors cannot do generically.
-    #[allow(deprecated)]
+    // The loop below spans all five element types, which the typed access
+    // constructors cannot do generically; build the accesses literally.
+    fn untyped_write(id: RegionId, elem: ElemType) -> Access {
+        Access {
+            region: id,
+            range: None,
+            mode: AccessMode::Out,
+            elem,
+        }
+    }
+
     fn sample_store() -> (DataStore, MemoStore) {
         let data = DataStore::new();
         let store = MemoStore::new(StoreConfig::default());
@@ -334,7 +367,7 @@ mod tests {
         for (i, contents) in regions.into_iter().enumerate() {
             let elem = contents.elem_type();
             let id = data.try_register(format!("r{i}"), contents).unwrap();
-            let snap = OutputSnapshot::capture(&data, &Access::output(id, elem));
+            let snap = OutputSnapshot::capture(&data, &untyped_write(id, elem));
             store.insert(
                 crate::EntryKey::new(TaskTypeId::from_raw(i as u32), 0x1000 + i as u64, 1.0),
                 TaskId::from_raw(i as u64),
@@ -423,5 +456,54 @@ mod tests {
         let admitted = tight.absorb_snapshot_bytes(&bytes).unwrap();
         assert_eq!(admitted, 0, "nothing fits a 1-byte budget");
         assert_eq!(tight.counters().rejected_admissions as usize, store.len());
+    }
+
+    /// Budget-aware warm start: entries are absorbed in ascending benefit
+    /// density, so a tight budget keeps the most valuable entries no matter
+    /// how unfavourably the snapshot file orders them — and regardless of
+    /// the eviction policy.
+    #[test]
+    fn tight_budget_warm_start_keeps_the_best_entries() {
+        use crate::policy::PolicyKind;
+
+        let data = DataStore::new();
+        let source = MemoStore::new(StoreConfig::default());
+        // One high-benefit entry inserted FIRST (worst case for FIFO under
+        // a budget), followed by several same-sized low-benefit entries.
+        let payload = |tag: usize| {
+            let id = data
+                .try_register(format!("p{tag}"), RegionData::F32(vec![tag as f32; 64]))
+                .unwrap();
+            Arc::new(vec![OutputSnapshot::capture(
+                &data,
+                &untyped_write(id, ElemType::F32),
+            )])
+        };
+        let key = |hash: u64| crate::EntryKey::new(TaskTypeId::from_raw(0), hash, 1.0);
+        source.insert(key(0), TaskId::from_raw(0), payload(0), 1_000_000);
+        for i in 1..8u64 {
+            source.insert(key(i), TaskId::from_raw(i), payload(i as usize), 10);
+        }
+        let bytes = source.to_snapshot_bytes();
+
+        // A budget that holds only a couple of entries.
+        let one_entry_bytes = crate::store::entry_charge_bytes(&payload(100));
+        let budget = one_entry_bytes * 2 + one_entry_bytes / 2;
+        for policy in PolicyKind::ALL {
+            let tight = MemoStore::new(
+                StoreConfig::default()
+                    .with_byte_budget(budget)
+                    .with_policy(policy),
+            );
+            tight.absorb_snapshot_bytes(&bytes).unwrap();
+            assert!(
+                tight.lookup(&key(0)).is_some(),
+                "{policy}: the high-benefit entry must survive a tight-budget warm start"
+            );
+            assert!(
+                tight.memory_bytes() <= budget,
+                "{policy}: the budget must hold after the warm start"
+            );
+        }
     }
 }

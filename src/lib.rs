@@ -24,14 +24,15 @@
 //! ```
 //! use atm_suite::prelude::*;
 //!
-//! // 1. Create the ATM engine and a runtime with 2 workers.
-//! let engine = AtmEngine::shared(AtmConfig::static_atm());
+//! // 1. Create the ATM engine (respecting per-type MemoSpecs) and a
+//! //    runtime with 2 workers.
+//! let engine = AtmEngine::shared(AtmConfig::dynamic_atm());
 //! let rt = RuntimeBuilder::new().workers(2).interceptor(engine.clone()).build();
 //!
 //! // 2. Register typed data regions and a memoizable task type. The typed
-//! //    `Region<f64>` handles carry the element type, and the task type
-//! //    declares its access signature — submissions are validated against
-//! //    both.
+//! //    `Region<f64>` handles carry the element type; the task type
+//! //    declares its access signature and its approximation policy (a
+//! //    per-type `MemoSpec`) — submissions are validated against both.
 //! let input = rt.store().register_typed("in", vec![2.0f64; 1024]).unwrap();
 //! let out_a = rt.store().register_zeros::<f64>("a", 1024).unwrap();
 //! let out_b = rt.store().register_zeros::<f64>("b", 1024).unwrap();
@@ -43,7 +44,7 @@
 //!     })
 //!     .arg::<f64>()
 //!     .out::<f64>()
-//!     .memoizable()
+//!     .memo(MemoSpec::exact())
 //!     .build(),
 //! );
 //!
