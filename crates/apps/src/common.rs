@@ -19,7 +19,7 @@ use atm_core::{
 };
 use atm_metrics::{correctness_percent, euclidean_relative_error};
 use atm_runtime::{
-    Runtime, RuntimeBuilder, RuntimeStatsSnapshot, TaskTypeId, TraceSummary, Tracer,
+    QueueMode, Runtime, RuntimeBuilder, RuntimeStatsSnapshot, TaskTypeId, TraceSummary, Tracer,
 };
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -48,6 +48,9 @@ pub struct RunOptions {
     pub atm: AtmConfig,
     /// Whether to record execution traces and ready-queue samples.
     pub tracing: bool,
+    /// Ready-queue discipline of the runtime ([`QueueMode::Stealing`] by
+    /// default; [`QueueMode::Fifo`] reproduces the paper's single queue).
+    pub queue_mode: QueueMode,
     /// Warm-start the memo store from this snapshot before any task runs.
     pub warm_start: Option<PathBuf>,
     /// Persist the memo store to this path after the run completes.
@@ -61,6 +64,7 @@ impl RunOptions {
             workers,
             atm: AtmConfig::off(),
             tracing: false,
+            queue_mode: QueueMode::default(),
             warm_start: None,
             store_save: None,
         }
@@ -72,6 +76,7 @@ impl RunOptions {
             workers,
             atm,
             tracing: false,
+            queue_mode: QueueMode::default(),
             warm_start: None,
             store_save: None,
         }
@@ -81,6 +86,13 @@ impl RunOptions {
     #[must_use]
     pub fn traced(mut self) -> Self {
         self.tracing = true;
+        self
+    }
+
+    /// Selects the ready-queue discipline.
+    #[must_use]
+    pub fn queued(mut self, mode: QueueMode) -> Self {
+        self.queue_mode = mode;
         self
     }
 
@@ -232,6 +244,7 @@ impl TaskedRun {
         let runtime = RuntimeBuilder::new()
             .workers(options.workers)
             .tracing(options.tracing)
+            .queue_mode(options.queue_mode)
             .interceptor(Arc::clone(&engine) as Arc<dyn atm_runtime::TaskInterceptor>)
             .build();
         TaskedRun {
@@ -320,9 +333,13 @@ mod tests {
         let base = RunOptions::baseline(4);
         assert_eq!(base.workers, 4);
         assert!(!atm_is_enabled(&base.atm));
-        let with = RunOptions::with_atm(2, AtmConfig::static_atm()).traced();
+        assert_eq!(base.queue_mode, QueueMode::Stealing);
+        let with = RunOptions::with_atm(2, AtmConfig::static_atm())
+            .traced()
+            .queued(QueueMode::Fifo);
         assert!(with.tracing);
         assert!(atm_is_enabled(&with.atm));
+        assert_eq!(with.queue_mode, QueueMode::Fifo);
     }
 
     #[test]

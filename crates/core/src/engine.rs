@@ -20,10 +20,10 @@
 
 use crate::ikt::{InFlightKeyTable, Waiter};
 use crate::key::KeyGenerator;
-use crate::snapshot::{apply_snapshots_to, outputs_as_f64, OutputSnapshot};
+use crate::snapshot::{apply_snapshots_to, OutputSnapshot};
 use crate::stats::{AtmStats, AtmStatsSnapshot, ReuseEvent, TypeSummaries, TypeSummary};
 use crate::tht::{EntryKey, TaskHistoryTable, ThtConfig};
-use crate::training::{evaluate_metric, TrainingController};
+use crate::training::{evaluate_metric_data, TrainingController};
 use atm_hash::Percentage;
 use atm_runtime::{
     ArgPrecision, DataStore, Decision, MemoPolicy, MemoSpec, RegionId, TaskId, TaskInterceptor,
@@ -372,8 +372,13 @@ impl AtmEngine {
                     TrainingController::fixed(Percentage::from_fraction(p))
                 }
                 MemoPolicy::Approximate => {
-                    TrainingController::new(spec.training_window_len(), spec.tau_max())
-                        .with_metric(spec.error_metric())
+                    let controller =
+                        TrainingController::new(spec.training_window_len(), spec.tau_max())
+                            .with_metric(spec.error_metric());
+                    match spec.down_shift_margin() {
+                        Some(margin) => controller.with_down_shift(margin),
+                        None => controller,
+                    }
                 }
             },
         };
@@ -433,10 +438,12 @@ impl AtmEngine {
             let p = controller.current_p().fraction();
             let steady = !controller.is_training();
             let unstable = controller.unstable_outputs().len();
+            let down_shifts = controller.down_shifts();
             self.summaries.update(*type_id, |s| {
                 s.final_p = p;
                 s.steady = steady;
                 s.unstable_outputs = unstable;
+                s.down_shifts = down_shifts;
             });
         }
     }
@@ -450,21 +457,24 @@ impl AtmEngine {
         metric: atm_runtime::ErrorMetric,
     ) -> (f64, Vec<RegionId>) {
         // Overall τ across all outputs plus the per-output failures, each
-        // output judged with the task type's declared error metric.
+        // output judged with the task type's declared error metric — on the
+        // output's **native element grid** (an f32 output is compared as
+        // f32, so a ULP τ_max counts f32 steps, not the 2²⁹-times-larger
+        // f64 steps the old widen-to-f64 comparison produced).
         let writes: Vec<_> = view.accesses.iter().filter(|a| a.mode.is_write()).collect();
         let mut failing = Vec::new();
         let mut overall_tau = 0.0f64;
         for (access, snapshot) in writes.iter().zip(reference) {
-            let correct = outputs_as_f64(store, std::slice::from_ref(*access));
-            let approx = snapshot.as_f64_vec();
-            if correct.len() != approx.len() {
-                // Shape mismatch (should not happen for a well-formed task
-                // type); treat as a failed approximation of this output.
-                failing.push(access.region);
-                overall_tau = f64::INFINITY;
-                continue;
-            }
-            let tau = evaluate_metric(metric, &correct, &approx);
+            let elem_range = crate::snapshot::elem_range_of(store, access);
+            let correct = {
+                let region = store.read(access.region);
+                let guard = region.lock();
+                guard.slice_elems(elem_range)
+            };
+            // Shape or element-type mismatches come back as infinity: a
+            // stored entry that no longer matches the task's outputs can
+            // never be an acceptable approximation.
+            let tau = evaluate_metric_data(metric, &correct, &snapshot.data);
             overall_tau = overall_tau.max(tau);
             if tau >= tau_max {
                 failing.push(access.region);

@@ -91,7 +91,9 @@ pub use key::{KeyGenerator, KeyResult};
 pub use snapshot::OutputSnapshot;
 pub use stats::{AtmStats, AtmStatsSnapshot, ReuseEvent, TypeSummary};
 pub use tht::{EntryKey, TaskHistoryTable, ThtConfig, ThtEntry};
-pub use training::{evaluate_metric, Phase, TrainingController, TrainingOutcome};
+pub use training::{
+    evaluate_metric, evaluate_metric_data, Phase, TrainingController, TrainingOutcome,
+};
 
 /// Re-exports of the per-task-type approximation-policy API (declared on
 /// `TaskTypeBuilder::memo` in `atm-runtime`, consumed by the engine here).

@@ -44,6 +44,9 @@ pub struct TypeSummary {
     pub steady: bool,
     /// Number of output regions black-listed as unstable.
     pub unstable_outputs: usize,
+    /// Number of adaptive down-shifts (`p` halved again after a window of
+    /// over-precise acceptances; only for specs that opted in).
+    pub down_shifts: u64,
 }
 
 /// Aggregate counters of the ATM engine.
@@ -162,6 +165,7 @@ impl TypeSummaries {
             final_p: Percentage::FULL.fraction(),
             steady: false,
             unstable_outputs: 0,
+            down_shifts: 0,
         });
         f(entry);
     }

@@ -148,6 +148,50 @@ pub fn max_ulp_error(correct: &[f64], approx: &[f64]) -> f64 {
     max_ulps as f64
 }
 
+/// Monotone map from an `f32` bit pattern to the unsigned number line (the
+/// 32-bit analogue of [`monotone_bits`]): adjacent representable `f32`
+/// values map to adjacent integers.
+fn monotone_bits_f32(x: f32) -> u32 {
+    let bits = x.to_bits();
+    if bits >> 31 == 1 {
+        !bits
+    } else {
+        bits | 0x8000_0000
+    }
+}
+
+/// Maximum ULP distance between two `f32` vectors, **measured on the `f32`
+/// grid**.
+///
+/// This is the native-width counterpart of [`max_ulp_error`]: one step
+/// between adjacent `f32` values counts as 1 ULP. Converting the same
+/// values to `f64` first and using the `f64` grid would inflate that single
+/// step to 2²⁹ ULPs (the gap between consecutive `f32` values measured in
+/// `f64` steps), which makes a ULP-count `τ_max` meaningless for `f32`
+/// kernels — so f32 outputs must be judged here, on their own grid.
+///
+/// Any NaN on either side yields infinity.
+///
+/// # Panics
+/// Panics if the two slices have different lengths.
+pub fn max_ulp_error_f32(correct: &[f32], approx: &[f32]) -> f64 {
+    assert_eq!(
+        correct.len(),
+        approx.len(),
+        "ULP error requires vectors of equal length ({} vs {})",
+        correct.len(),
+        approx.len()
+    );
+    let mut max_ulps = 0u32;
+    for (&c, &a) in correct.iter().zip(approx) {
+        if c.is_nan() || a.is_nan() {
+            return f64::INFINITY;
+        }
+        max_ulps = max_ulps.max(monotone_bits_f32(c).abs_diff(monotone_bits_f32(a)));
+    }
+    f64::from(max_ulps)
+}
+
 /// LU-specific relative residual (Eq. 4 of the paper):
 ///
 /// ```text
@@ -274,6 +318,34 @@ mod tests {
     #[should_panic(expected = "equal length")]
     fn max_ulp_length_mismatch_panics() {
         let _ = max_ulp_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn f32_ulp_is_counted_on_the_f32_grid() {
+        let x = 1.0f32;
+        let next = f32::from_bits(x.to_bits() + 1);
+        assert_eq!(max_ulp_error_f32(&[x], &[x]), 0.0);
+        assert_eq!(max_ulp_error_f32(&[x], &[next]), 1.0);
+        assert_eq!(max_ulp_error_f32(&[-0.0], &[0.0]), 1.0);
+        assert!(max_ulp_error_f32(&[f32::NAN], &[1.0]).is_infinite());
+    }
+
+    /// The divergence that motivates the native metric: one f32 ULP becomes
+    /// 2²⁹ f64 ULPs after conversion, because consecutive f32 values are
+    /// 2²⁹ f64 steps apart.
+    #[test]
+    fn f32_and_f64_grids_diverge_after_conversion() {
+        let x = 1.0f32;
+        let next = f32::from_bits(x.to_bits() + 1);
+        assert_eq!(max_ulp_error_f32(&[x], &[next]), 1.0);
+        let converted = max_ulp_error(&[f64::from(x)], &[f64::from(next)]);
+        assert_eq!(converted, (1u64 << 29) as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn f32_ulp_length_mismatch_panics() {
+        let _ = max_ulp_error_f32(&[1.0], &[1.0, 2.0]);
     }
 
     #[test]

@@ -7,11 +7,45 @@
 //! write-after-write orderings). A task becomes ready when all its
 //! predecessors have finished; the scheduler then moves it to the Ready
 //! Queue, exactly as described in §II-C of the paper.
+//!
+//! # Concurrency model
+//!
+//! The graph is engineered so that the steady-state hot path — a worker
+//! finishing a task and releasing its successors — acquires **no graph-wide
+//! lock**:
+//!
+//! * task nodes live in a **sharded slab** (`id % NODE_SHARDS` picks the
+//!   shard, `id / NODE_SHARDS` the slot); lookups take a brief per-shard
+//!   read lock, appends (submission only) a per-shard write lock;
+//! * every node carries an **atomic `unresolved` counter** and an atomic
+//!   lifecycle state; releasing a successor is one `fetch_sub`;
+//! * the per-region **live-accessor index** is sharded by region id, so
+//!   pruning a finished task's accesses locks only the shards of the
+//!   regions it touched;
+//! * the submission ↔ completion race is resolved with a per-node
+//!   *closed successor list*: [`TaskGraph::finish`] closes the list before
+//!   releasing, and a submitter that finds the list already closed knows
+//!   the dependence is already satisfied. A submission guard (the node's
+//!   `unresolved` starts at 1) keeps a task from becoming ready while its
+//!   edges are still being registered; whoever performs the final decrement
+//!   — the submitter's guard release or a predecessor's finish — is the one
+//!   that reports the task ready.
+//!
+//! **Submission is master-thread-only** (one submitter at a time), matching
+//! the programming model; completions may come from any worker concurrently.
 
 use crate::access::Access;
 use crate::region::RegionId;
 use crate::task::{TaskDesc, TaskId};
+use atm_sync::{Mutex, RwLock};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of node-slab shards (spreads lookup read-locks across cache lines).
+const NODE_SHARDS: usize = 16;
+/// Number of live-accessor shards (spreads per-region bookkeeping locks).
+const LIVE_SHARDS: usize = 16;
 
 /// Lifecycle of a task inside the graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,24 +63,105 @@ pub enum NodeState {
     Finished,
 }
 
-/// One task node in the TDG.
-#[derive(Debug)]
-struct TaskNode {
-    desc: TaskDesc,
-    unresolved: usize,
-    successors: Vec<TaskId>,
-    state: NodeState,
+impl NodeState {
+    fn from_u8(value: u8) -> NodeState {
+        match value {
+            0 => NodeState::WaitingDeps,
+            1 => NodeState::Ready,
+            2 => NodeState::Running,
+            3 => NodeState::Deferred,
+            4 => NodeState::Finished,
+            _ => unreachable!("invalid node state {value}"),
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            NodeState::WaitingDeps => 0,
+            NodeState::Ready => 1,
+            NodeState::Running => 2,
+            NodeState::Deferred => 3,
+            NodeState::Finished => 4,
+        }
+    }
 }
 
-/// The Task Dependence Graph plus the per-region bookkeeping needed to build it.
+/// Successor edges of a node. `closed` flips exactly once, when the node
+/// finishes: a submitter that finds the list closed must not register an
+/// edge (the dependence is already satisfied).
 #[derive(Debug, Default)]
+struct SuccessorSlot {
+    closed: bool,
+    list: Vec<TaskId>,
+}
+
+/// One task node in the TDG. Shared between the slab and the worker that is
+/// currently processing the task, so the hot path never clones the
+/// descriptor.
+#[derive(Debug)]
+pub struct TaskNode {
+    id: TaskId,
+    desc: TaskDesc,
+    unresolved: AtomicUsize,
+    state: AtomicU8,
+    successors: Mutex<SuccessorSlot>,
+}
+
+impl TaskNode {
+    /// The task's id.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The task's descriptor (accesses, type, per-instance memo opt-in).
+    pub fn desc(&self) -> &TaskDesc {
+        &self.desc
+    }
+
+    fn state(&self) -> NodeState {
+        NodeState::from_u8(self.state.load(Ordering::SeqCst))
+    }
+
+    fn set_state(&self, state: NodeState) {
+        self.state.store(state.as_u8(), Ordering::SeqCst);
+    }
+}
+
+/// One shard of the live-accessor index: per region, the accesses of every
+/// unfinished task touching it.
+type LiveShard = Mutex<HashMap<RegionId, HashMap<TaskId, Vec<Access>>>>;
+
+/// The Task Dependence Graph plus the per-region bookkeeping needed to build it.
+#[derive(Debug)]
 pub struct TaskGraph {
-    nodes: Vec<TaskNode>,
-    /// Accesses of unfinished tasks, per region. Finished tasks are pruned,
-    /// so lookups only scan live accessors (a handful per region in the
-    /// block-structured benchmarks).
-    live: HashMap<RegionId, Vec<(TaskId, Access)>>,
-    finished: u64,
+    /// Sharded node slab: shard = `id % NODE_SHARDS`, slot = `id / NODE_SHARDS`.
+    shards: Vec<RwLock<Vec<Arc<TaskNode>>>>,
+    /// Accesses of unfinished tasks, indexed per region and sharded by
+    /// region id. Finished tasks are pruned, so lookups only scan live
+    /// accessors (a handful per region in the block-structured benchmarks).
+    live: Vec<LiveShard>,
+    /// Serialises submissions. The programming model has one master thread,
+    /// but [`crate::Runtime`] is `Sync`, so the id-assignment, slab-append
+    /// and edge-wiring sequence must stay safe if callers do share it; the
+    /// lock is uncontended in the single-submitter case and completions
+    /// never take it.
+    submission: Mutex<()>,
+    next_id: AtomicU64,
+    finished: AtomicU64,
+}
+
+impl Default for TaskGraph {
+    fn default() -> Self {
+        TaskGraph {
+            shards: (0..NODE_SHARDS).map(|_| RwLock::new(Vec::new())).collect(),
+            live: (0..LIVE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            submission: Mutex::new(()),
+            next_id: AtomicU64::new(0),
+            finished: AtomicU64::new(0),
+        }
+    }
 }
 
 impl TaskGraph {
@@ -57,120 +172,195 @@ impl TaskGraph {
 
     /// Number of tasks ever submitted.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.next_id.load(Ordering::SeqCst) as usize
     }
 
     /// True when no task was ever submitted.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len() == 0
     }
 
     /// Number of finished tasks.
     pub fn finished_count(&self) -> u64 {
-        self.finished
+        self.finished.load(Ordering::SeqCst)
+    }
+
+    /// The node of a task.
+    pub fn node(&self, id: TaskId) -> Arc<TaskNode> {
+        let shard = self.shards[id.index() % NODE_SHARDS].read();
+        Arc::clone(&shard[id.index() / NODE_SHARDS])
+    }
+
+    fn live_shard(&self, region: RegionId) -> &LiveShard {
+        &self.live[region.index() % LIVE_SHARDS]
     }
 
     /// Inserts a task, computes its dependences and returns `(id, ready)`.
-    pub fn submit(&mut self, desc: TaskDesc) -> (TaskId, bool) {
-        let id = TaskId(self.nodes.len() as u64);
+    ///
+    /// `ready == true` means the submitter owns the task's transition to the
+    /// Ready Queue. `ready == false` means a predecessor was still in flight
+    /// at registration time; whichever predecessor performs the final
+    /// release will report the task as newly ready from [`TaskGraph::finish`].
+    ///
+    /// Submissions are serialised internally (the programming model's
+    /// master thread never contends on that lock); completions run
+    /// concurrently and never take it.
+    pub fn submit(&self, desc: TaskDesc) -> (TaskId, bool) {
+        let _submitting = self.submission.lock();
+        let id = TaskId(self.next_id.fetch_add(1, Ordering::SeqCst));
 
-        // Collect unique predecessors among live (unfinished) accessors.
+        // Insert the node into the slab *before* registering edges: a
+        // predecessor finishing mid-registration must be able to look the
+        // node up. The submission guard (unresolved = 1) keeps the task
+        // from becoming ready until registration is complete.
+        let node = Arc::new(TaskNode {
+            id,
+            desc,
+            unresolved: AtomicUsize::new(1),
+            state: AtomicU8::new(NodeState::WaitingDeps.as_u8()),
+            successors: Mutex::new(SuccessorSlot::default()),
+        });
+        {
+            let mut shard = self.shards[id.index() % NODE_SHARDS].write();
+            debug_assert_eq!(shard.len(), id.index() / NODE_SHARDS);
+            shard.push(Arc::clone(&node));
+        }
+
+        // Collect unique predecessors among live (unfinished) accessors,
+        // registering this task's own accesses as live in the same pass.
         let mut preds: BTreeSet<TaskId> = BTreeSet::new();
-        for access in &desc.accesses {
-            if let Some(live) = self.live.get(&access.region) {
-                for (tid, prev) in live {
-                    if *tid != id
-                        && access.conflicts_with(prev)
-                        && self.nodes[tid.index()].state != NodeState::Finished
-                    {
-                        preds.insert(*tid);
-                    }
+        for access in &node.desc.accesses {
+            let mut shard = self.live_shard(access.region).lock();
+            let per_region = shard.entry(access.region).or_default();
+            for (tid, prev_accesses) in per_region.iter() {
+                if *tid != id && prev_accesses.iter().any(|prev| access.conflicts_with(prev)) {
+                    preds.insert(*tid);
                 }
             }
+            per_region.entry(id).or_default().push(access.clone());
         }
 
+        // Register one edge per predecessor. Holding the predecessor's
+        // successor lock while incrementing `unresolved` guarantees the
+        // matching decrement (performed by the predecessor's finish, which
+        // needs the same lock to close the list) cannot arrive first.
         for pred in &preds {
-            self.nodes[pred.index()].successors.push(id);
+            let pred_node = self.node(*pred);
+            let mut slot = pred_node.successors.lock();
+            if slot.closed {
+                // The predecessor finished before the edge existed: the
+                // dependence is already satisfied.
+                continue;
+            }
+            slot.list.push(id);
+            node.unresolved.fetch_add(1, Ordering::SeqCst);
         }
-        let unresolved = preds.len();
 
-        // Register this task's accesses as live.
-        for access in &desc.accesses {
-            self.live
-                .entry(access.region)
-                .or_default()
-                .push((id, access.clone()));
+        // Release the submission guard. Exactly one decrement observes the
+        // counter reach zero; if it is ours, the task is ready now.
+        let ready = node.unresolved.fetch_sub(1, Ordering::SeqCst) == 1;
+        if ready {
+            node.set_state(NodeState::Ready);
         }
-
-        let ready = unresolved == 0;
-        self.nodes.push(TaskNode {
-            desc,
-            unresolved,
-            successors: Vec::new(),
-            state: if ready {
-                NodeState::Ready
-            } else {
-                NodeState::WaitingDeps
-            },
-        });
         (id, ready)
     }
 
-    /// Marks a ready task as picked up by a worker.
-    pub fn mark_running(&mut self, id: TaskId) {
-        let node = &mut self.nodes[id.index()];
+    /// Marks a ready task as picked up by a worker and returns its node, so
+    /// the worker reaches the descriptor without a second lookup or a clone.
+    pub fn start_running(&self, id: TaskId) -> Arc<TaskNode> {
+        let node = self.node(id);
         debug_assert_eq!(
-            node.state,
+            node.state(),
             NodeState::Ready,
             "only ready tasks can start running"
         );
-        node.state = NodeState::Running;
+        node.set_state(NodeState::Running);
+        node
+    }
+
+    /// Marks a ready task as picked up by a worker.
+    pub fn mark_running(&self, id: TaskId) {
+        let _ = self.start_running(id);
     }
 
     /// Marks a running task as deferred to an in-flight producer.
-    pub fn mark_deferred(&mut self, id: TaskId) {
-        let node = &mut self.nodes[id.index()];
-        debug_assert_eq!(
-            node.state,
-            NodeState::Running,
-            "only running tasks can be deferred"
-        );
-        node.state = NodeState::Deferred;
+    ///
+    /// The producer may complete the task *before* the deferring worker gets
+    /// here: the deferral registration (inside the interceptor) is visible
+    /// to the producer's completion path as soon as it happens, so the
+    /// producer can legally call [`TaskGraph::finish`] on a still-`Running`
+    /// waiter. In that case the task is already `Finished` and this call is
+    /// a no-op — only a `Running` task actually moves to `Deferred`.
+    pub fn mark_deferred(&self, id: TaskId) {
+        let node = self.node(id);
+        if node
+            .state
+            .compare_exchange(
+                NodeState::Running.as_u8(),
+                NodeState::Deferred.as_u8(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_err()
+        {
+            debug_assert_eq!(
+                node.state(),
+                NodeState::Finished,
+                "only running tasks (or tasks already completed by their producer) can be deferred"
+            );
+        }
+    }
+
+    /// Completes a task by id (looks the node up first); see
+    /// [`TaskGraph::finish_node`] for the lookup-free variant a worker uses
+    /// with the node it already holds.
+    pub fn finish(&self, id: TaskId) -> Vec<TaskId> {
+        self.finish_node(&self.node(id))
     }
 
     /// Completes a task: prunes its live accesses, releases its successors
     /// and returns the successors that became ready.
-    pub fn finish(&mut self, id: TaskId) -> Vec<TaskId> {
-        let state = self.nodes[id.index()].state;
+    ///
+    /// Takes no graph-wide lock: only the live-index shards of the regions
+    /// this task touched, the node's own successor lock, and one atomic
+    /// decrement per successor.
+    pub fn finish_node(&self, node: &TaskNode) -> Vec<TaskId> {
+        let id = node.id();
+        let state = node.state();
         assert!(
             matches!(state, NodeState::Running | NodeState::Deferred),
             "finish() on a task that is not running or deferred: {state:?}"
         );
-        self.nodes[id.index()].state = NodeState::Finished;
-        self.finished += 1;
+        node.set_state(NodeState::Finished);
+        self.finished.fetch_add(1, Ordering::SeqCst);
 
-        // Prune live accesses of this task.
-        for access in &self.nodes[id.index()].desc.accesses.clone() {
-            if let Some(live) = self.live.get_mut(&access.region) {
-                live.retain(|(tid, _)| *tid != id);
-                if live.is_empty() {
-                    self.live.remove(&access.region);
+        // Prune live accesses of this task (per-region shard locks only).
+        for access in &node.desc.accesses {
+            let mut shard = self.live_shard(access.region).lock();
+            if let Some(per_region) = shard.get_mut(&access.region) {
+                per_region.remove(&id);
+                if per_region.is_empty() {
+                    shard.remove(&access.region);
                 }
             }
         }
 
-        // Release successors.
-        let successors = self.nodes[id.index()].successors.clone();
+        // Close the successor list: from here on, new submissions treat this
+        // task as finished and register no edges onto it.
+        let successors = {
+            let mut slot = node.successors.lock();
+            slot.closed = true;
+            std::mem::take(&mut slot.list)
+        };
+
         let mut newly_ready = Vec::new();
         for succ in successors {
-            let node = &mut self.nodes[succ.index()];
-            debug_assert!(
-                node.unresolved > 0,
-                "successor with no unresolved dependences"
-            );
-            node.unresolved -= 1;
-            if node.unresolved == 0 && node.state == NodeState::WaitingDeps {
-                node.state = NodeState::Ready;
+            let succ_node = self.node(succ);
+            let prev = succ_node.unresolved.fetch_sub(1, Ordering::SeqCst);
+            debug_assert!(prev > 0, "successor with no unresolved dependences");
+            if prev == 1 {
+                debug_assert_eq!(succ_node.state(), NodeState::WaitingDeps);
+                succ_node.set_state(NodeState::Ready);
                 newly_ready.push(succ);
             }
         }
@@ -179,32 +369,31 @@ impl TaskGraph {
 
     /// Current state of a task.
     pub fn state(&self, id: TaskId) -> NodeState {
-        self.nodes[id.index()].state
+        self.node(id).state()
     }
 
-    /// The descriptor of a task.
-    pub fn desc(&self, id: TaskId) -> &TaskDesc {
-        &self.nodes[id.index()].desc
+    /// Direct successors of a task so far (for tests and diagnostics).
+    pub fn successors(&self, id: TaskId) -> Vec<TaskId> {
+        self.node(id).successors.lock().list.clone()
     }
 
-    /// Direct successors of a task (for tests and diagnostics).
-    pub fn successors(&self, id: TaskId) -> &[TaskId] {
-        &self.nodes[id.index()].successors
-    }
-
-    /// Number of unresolved predecessors of a task (for tests and diagnostics).
+    /// Number of unresolved predecessors of a task (for tests and
+    /// diagnostics). The submission guard is released before
+    /// [`TaskGraph::submit`] returns, so this is exactly the number of
+    /// in-flight predecessors.
     pub fn unresolved(&self, id: TaskId) -> usize {
-        self.nodes[id.index()].unresolved
+        self.node(id).unresolved.load(Ordering::SeqCst)
     }
 
     /// Checks the structural invariant that every edge goes from an earlier
     /// submission to a later one — which makes the TDG acyclic by
     /// construction. Used by tests.
     pub fn edges_respect_submission_order(&self) -> bool {
-        self.nodes
-            .iter()
-            .enumerate()
-            .all(|(i, node)| node.successors.iter().all(|s| s.index() > i))
+        (0..self.len()).all(|i| {
+            self.successors(TaskId(i as u64))
+                .iter()
+                .all(|s| s.index() > i)
+        })
     }
 }
 
@@ -230,7 +419,7 @@ mod tests {
     #[test]
     fn independent_tasks_are_immediately_ready() {
         let (_store, r) = store_with_regions(2);
-        let mut g = TaskGraph::new();
+        let g = TaskGraph::new();
         let (a, ra) = g.submit(desc(vec![Access::write(&r[0])]));
         let (b, rb) = g.submit(desc(vec![Access::write(&r[1])]));
         assert!(ra && rb);
@@ -242,12 +431,12 @@ mod tests {
     #[test]
     fn raw_dependence_orders_producer_before_consumer() {
         let (_store, r) = store_with_regions(1);
-        let mut g = TaskGraph::new();
+        let g = TaskGraph::new();
         let (producer, _) = g.submit(desc(vec![Access::write(&r[0])]));
         let (consumer, ready) = g.submit(desc(vec![Access::read(&r[0])]));
         assert!(!ready);
         assert_eq!(g.unresolved(consumer), 1);
-        assert_eq!(g.successors(producer), &[consumer]);
+        assert_eq!(g.successors(producer), vec![consumer]);
 
         g.mark_running(producer);
         let newly = g.finish(producer);
@@ -258,7 +447,7 @@ mod tests {
     #[test]
     fn war_and_waw_dependences_are_created() {
         let (_store, r) = store_with_regions(1);
-        let mut g = TaskGraph::new();
+        let g = TaskGraph::new();
         let (reader, _) = g.submit(desc(vec![Access::read(&r[0])]));
         let (writer1, _) = g.submit(desc(vec![Access::write(&r[0])]));
         let (writer2, w2_ready) = g.submit(desc(vec![Access::write(&r[0])]));
@@ -274,7 +463,7 @@ mod tests {
     #[test]
     fn two_readers_do_not_depend_on_each_other() {
         let (_store, r) = store_with_regions(1);
-        let mut g = TaskGraph::new();
+        let g = TaskGraph::new();
         let (_w, _) = g.submit(desc(vec![Access::write(&r[0])]));
         let (a, _) = g.submit(desc(vec![Access::read(&r[0])]));
         let (b, _) = g.submit(desc(vec![Access::read(&r[0])]));
@@ -287,7 +476,7 @@ mod tests {
     #[test]
     fn finished_predecessors_do_not_create_dependences() {
         let (_store, r) = store_with_regions(1);
-        let mut g = TaskGraph::new();
+        let g = TaskGraph::new();
         let (w, _) = g.submit(desc(vec![Access::write(&r[0])]));
         g.mark_running(w);
         g.finish(w);
@@ -302,7 +491,7 @@ mod tests {
     #[test]
     fn ranged_accesses_only_conflict_when_overlapping() {
         let (_store, r) = store_with_regions(1);
-        let mut g = TaskGraph::new();
+        let g = TaskGraph::new();
         let (_w1, _) = g.submit(desc(vec![Access::write(&r[0]).with_range(0..32)]));
         let (w2, ready2) = g.submit(desc(vec![Access::write(&r[0]).with_range(32..64)]));
         assert!(ready2, "disjoint block writers must be independent");
@@ -318,7 +507,7 @@ mod tests {
     #[test]
     fn deferred_tasks_complete_like_executed_ones() {
         let (_store, r) = store_with_regions(1);
-        let mut g = TaskGraph::new();
+        let g = TaskGraph::new();
         let (producer, _) = g.submit(desc(vec![Access::write(&r[0])]));
         let (deferred, _) = g.submit(desc(vec![Access::read_write(&r[0])]));
         let (consumer, _) = g.submit(desc(vec![Access::read(&r[0])]));
@@ -336,7 +525,7 @@ mod tests {
     fn diamond_dependence_pattern() {
         // a writes r0; b and c read r0 and write r1/r2; d reads r1 and r2.
         let (_store, r) = store_with_regions(3);
-        let mut g = TaskGraph::new();
+        let g = TaskGraph::new();
         let (a, _) = g.submit(desc(vec![Access::write(&r[0])]));
         let (b, _) = g.submit(desc(vec![Access::read(&r[0]), Access::write(&r[1])]));
         let (c, _) = g.submit(desc(vec![Access::read(&r[0]), Access::write(&r[2])]));
@@ -355,9 +544,88 @@ mod tests {
     #[should_panic(expected = "not running or deferred")]
     fn finishing_a_waiting_task_panics() {
         let (_store, r) = store_with_regions(1);
-        let mut g = TaskGraph::new();
+        let g = TaskGraph::new();
         let (_w, _) = g.submit(desc(vec![Access::write(&r[0])]));
         let (waiting, _) = g.submit(desc(vec![Access::read(&r[0])]));
         g.finish(waiting);
+    }
+
+    /// The IKT hand-off race: an in-flight producer may finish (and
+    /// complete) a deferred waiter before the waiter's worker reaches
+    /// `mark_deferred`. The late `mark_deferred` must be a tolerated no-op,
+    /// not a panic that kills the worker thread.
+    #[test]
+    fn late_mark_deferred_after_producer_completion_is_tolerated() {
+        let (_store, r) = store_with_regions(1);
+        let g = TaskGraph::new();
+        let (waiter, _) = g.submit(desc(vec![Access::write(&r[0])]));
+        g.mark_running(waiter);
+        // Producer's after_execute completes the waiter first…
+        assert!(g.finish(waiter).is_empty());
+        // …then the deferring worker's mark_deferred arrives late.
+        g.mark_deferred(waiter);
+        assert_eq!(g.state(waiter), NodeState::Finished);
+        assert_eq!(g.finished_count(), 1);
+    }
+
+    #[test]
+    fn a_task_reading_and_writing_the_same_region_does_not_self_depend() {
+        let (_store, r) = store_with_regions(1);
+        let g = TaskGraph::new();
+        let (t, ready) = g.submit(desc(vec![Access::read(&r[0]), Access::write(&r[0])]));
+        assert!(ready, "a task never depends on itself");
+        assert_eq!(g.unresolved(t), 0);
+    }
+
+    #[test]
+    fn node_handle_exposes_the_descriptor_without_cloning() {
+        let (_store, r) = store_with_regions(1);
+        let g = TaskGraph::new();
+        let (id, _) = g.submit(desc(vec![Access::write(&r[0])]));
+        let node = g.start_running(id);
+        assert_eq!(node.desc().accesses.len(), 1);
+        assert_eq!(g.state(id), NodeState::Running);
+    }
+
+    /// Concurrent finishes racing a stream of submissions never lose a
+    /// release: every task completes exactly once.
+    #[test]
+    fn concurrent_finishes_and_submissions_release_exactly_once() {
+        use std::sync::mpsc;
+        let (_store, r) = store_with_regions(4);
+        let g = Arc::new(TaskGraph::new());
+        let (ready_tx, ready_rx) = mpsc::channel::<TaskId>();
+
+        // Worker: finishes whatever becomes ready, forwarding releases.
+        let worker_graph = Arc::clone(&g);
+        let worker_tx = ready_tx.clone();
+        let worker = std::thread::spawn(move || {
+            let mut finished = 0u64;
+            for id in ready_rx {
+                worker_graph.mark_running(id);
+                for next in worker_graph.finish(id) {
+                    worker_tx.send(next).unwrap();
+                }
+                finished += 1;
+                if finished == 400 {
+                    break;
+                }
+            }
+            finished
+        });
+
+        // Master: submits 100 chains of 4 inout tasks each.
+        for chain in 0..100 {
+            for _ in 0..4 {
+                let (id, ready) = g.submit(desc(vec![Access::read_write(&r[chain % 4])]));
+                if ready {
+                    ready_tx.send(id).unwrap();
+                }
+            }
+        }
+        drop(ready_tx);
+        assert_eq!(worker.join().unwrap(), 400);
+        assert_eq!(g.finished_count(), 400);
+        assert!(g.edges_respect_submission_order());
     }
 }

@@ -21,9 +21,12 @@
 //!   [`SubmitError`] instead of panicking in a worker;
 //! * **dependence tracking and the Task Dependence Graph** ([`dependence`]):
 //!   read-after-write, write-after-read and write-after-write orderings
-//!   derived from byte-range overlaps between declared accesses;
-//! * a single **Ready Queue** ([`ready_queue`]) and a **worker pool**
-//!   ([`scheduler`]) that pulls ready tasks and executes them;
+//!   derived from byte-range overlaps between declared accesses, with
+//!   lock-light completion (per-node atomic counters, sharded bookkeeping);
+//! * a **Ready Queue** ([`ready_queue`]) in one of two [`QueueMode`]s —
+//!   the paper's single FIFO, or per-worker work-stealing deques — and a
+//!   **worker pool** ([`scheduler`]) that pulls ready tasks and executes
+//!   them without touching a global lock in steady state;
 //! * the **interceptor hook** ([`interceptor`]) where the ATM engine plugs
 //!   in: it is consulted right after a task is pulled from the Ready Queue
 //!   (memoize / defer / execute) and right after a task completes (update
@@ -37,7 +40,12 @@
 //! ```
 //! use atm_runtime::prelude::*;
 //!
-//! let rt = RuntimeBuilder::new().workers(2).build();
+//! // Work stealing is the default queue mode; `QueueMode::Fifo` restores
+//! // the paper's single global queue (deterministic with one worker).
+//! let rt = RuntimeBuilder::new()
+//!     .workers(2)
+//!     .queue_mode(QueueMode::Stealing)
+//!     .build();
 //! let data = rt.store().register_typed("v", vec![1.0f64, 2.0, 3.0, 4.0]).unwrap();
 //! let sums = rt.store().register_zeros::<f64>("sum", 1).unwrap();
 //!
@@ -75,6 +83,7 @@ pub use interceptor::{Decision, NoopInterceptor, TaskInterceptor};
 #[allow(deprecated)]
 pub use memo::AtmTaskParams;
 pub use memo::{ArgPrecision, ErrorMetric, MemoPolicy, MemoSpec, MemoSpecError};
+pub use ready_queue::QueueMode;
 pub use region::{DataStore, Elem, ElemType, Region, RegionData, RegionId, RegisterError};
 pub use scheduler::{Runtime, RuntimeBuilder};
 pub use stats::{RuntimeStats, RuntimeStatsSnapshot};
@@ -90,6 +99,7 @@ pub mod prelude {
     pub use crate::access::{Access, AccessMode};
     pub use crate::interceptor::{Decision, NoopInterceptor, TaskInterceptor};
     pub use crate::memo::{ArgPrecision, ErrorMetric, MemoPolicy, MemoSpec, MemoSpecError};
+    pub use crate::ready_queue::QueueMode;
     pub use crate::region::{
         DataStore, Elem, ElemType, Region, RegionData, RegionId, RegisterError,
     };

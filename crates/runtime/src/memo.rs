@@ -135,6 +135,13 @@ pub enum MemoSpecError {
     /// A type-level spec declares per-argument overrides but the task type
     /// declared no access signature to validate them against.
     OverridesRequireSignature,
+    /// The down-shift margin must be a fraction strictly between 0 and 1
+    /// (an acceptance counts as over-precise when its error is below
+    /// `margin · τ_max`).
+    InvalidDownShiftMargin {
+        /// The offending margin.
+        margin: f64,
+    },
 }
 
 impl std::fmt::Display for MemoSpecError {
@@ -164,6 +171,10 @@ impl std::fmt::Display for MemoSpecError {
                 f,
                 "per-argument overrides require the task type to declare an access signature"
             ),
+            MemoSpecError::InvalidDownShiftMargin { margin } => write!(
+                f,
+                "the down-shift margin must be strictly between 0 and 1, got {margin}"
+            ),
         }
     }
 }
@@ -182,6 +193,7 @@ pub struct MemoSpec {
     training_window: usize,
     metric: ErrorMetric,
     type_aware: bool,
+    down_shift: Option<f64>,
     arg_overrides: Vec<(usize, ArgPrecision)>,
 }
 
@@ -204,6 +216,7 @@ impl MemoSpec {
             training_window: 15,
             metric: ErrorMetric::Chebyshev,
             type_aware: true,
+            down_shift: None,
             arg_overrides: Vec::new(),
         }
     }
@@ -256,6 +269,20 @@ impl MemoSpec {
         self
     }
 
+    /// Opts an [`MemoSpec::approximate`] type into the adaptive
+    /// **down-shift**: when a full training window of acceptances stays
+    /// below `margin · τ_max` (far more precise than required), the trained
+    /// `p` is *halved* again and the window restarts, instead of freezing
+    /// an over-precise selection percentage. Off by default — the default
+    /// controller only ever doubles `p`, exactly as in the paper.
+    ///
+    /// `margin` must be strictly between 0 and 1.
+    #[must_use]
+    pub fn down_shift(mut self, margin: f64) -> Self {
+        self.down_shift = Some(margin);
+        self
+    }
+
     /// Overrides the precision of the positional parameter `index` to a
     /// constant fraction of its bytes, independent of the type-wide `p`.
     #[must_use]
@@ -299,6 +326,11 @@ impl MemoSpec {
         self.type_aware
     }
 
+    /// The adaptive down-shift margin, when the spec opted in.
+    pub fn down_shift_margin(&self) -> Option<f64> {
+        self.down_shift
+    }
+
     /// The declared per-argument overrides, in declaration order.
     pub fn arg_overrides(&self) -> &[(usize, ArgPrecision)] {
         &self.arg_overrides
@@ -321,6 +353,11 @@ impl MemoSpec {
         }
         if self.training_window == 0 {
             return Err(MemoSpecError::ZeroTrainingWindow);
+        }
+        if let Some(margin) = self.down_shift {
+            if !(margin.is_finite() && margin > 0.0 && margin < 1.0) {
+                return Err(MemoSpecError::InvalidDownShiftMargin { margin });
+            }
         }
         if let MemoPolicy::FixedPrecision(p) = self.policy {
             if !(p.is_finite() && p > 0.0 && p <= 1.0) {
@@ -454,7 +491,24 @@ mod tests {
         assert_eq!(spec.error_metric(), ErrorMetric::Chebyshev);
         assert!(spec.is_type_aware());
         assert!(spec.arg_overrides().is_empty());
+        assert_eq!(spec.down_shift_margin(), None, "down-shift is opt-in");
         assert_eq!(spec.validate(None), Ok(()));
+    }
+
+    #[test]
+    fn down_shift_margin_is_validated() {
+        let spec = MemoSpec::approximate().down_shift(0.1);
+        assert_eq!(spec.down_shift_margin(), Some(0.1));
+        assert_eq!(spec.validate(None), Ok(()));
+        for margin in [0.0, 1.0, -0.5, f64::NAN] {
+            assert!(
+                matches!(
+                    MemoSpec::approximate().down_shift(margin).validate(None),
+                    Err(MemoSpecError::InvalidDownShiftMargin { .. })
+                ),
+                "margin = {margin} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -1,17 +1,53 @@
 //! The Ready Queue (RQ).
 //!
 //! Tasks whose dependences are satisfied are moved here; idle worker threads
-//! pull from it. The paper uses a single ready queue in the runtime system
-//! and even identifies the task-creation throughput of the master thread as
-//! a bottleneck once ATM makes tasks extremely cheap (Figure 8) — keeping a
-//! single queue preserves that behaviour. Pushes and pops optionally sample
-//! the queue depth into the tracer, which is the data behind Figure 8(b)/(d).
+//! pull from it. Two disciplines are available ([`QueueMode`]):
+//!
+//! * [`QueueMode::Fifo`] — the paper's single blocking MPMC FIFO. The paper
+//!   uses a single ready queue in the runtime system and even identifies the
+//!   task-creation throughput of the master thread as a bottleneck once ATM
+//!   makes tasks extremely cheap (Figure 8) — this mode preserves that
+//!   behaviour exactly, including the deterministic pop order the trace
+//!   experiments and paper sweeps rely on.
+//! * [`QueueMode::Stealing`] — per-worker deques plus a global injector with
+//!   work stealing. Workers push the tasks they release into their own
+//!   deque (popped LIFO for locality), the master thread submits into the
+//!   injector, and an idle worker steals *half* of a victim's deque. In
+//!   steady state a worker that keeps releasing its own successors never
+//!   touches a shared lock, which is what lets fine-grained (memoized)
+//!   task floods scale with the core count.
+//!
+//! Pushes and pops optionally sample the queue depth into the tracer, which
+//! is the data behind Figure 8(b)/(d).
 
 use crate::task::TaskId;
 use crate::trace::Tracer;
 use atm_sync::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Scheduling discipline of the Ready Queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueMode {
+    /// One global FIFO protected by a single lock — the paper's runtime.
+    /// Deterministic pop order with one worker; bit-compatible with the
+    /// pre-stealing scheduler.
+    Fifo,
+    /// Per-worker deques + global injector + work stealing (the default).
+    #[default]
+    Stealing,
+}
+
+impl QueueMode {
+    /// Display name (used by the bench harness).
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueMode::Fifo => "fifo",
+            QueueMode::Stealing => "stealing",
+        }
+    }
+}
 
 /// Outcome of a blocking pop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,59 +59,44 @@ pub enum Popped {
 }
 
 #[derive(Debug, Default)]
-struct QueueState {
+struct FifoState {
     tasks: VecDeque<TaskId>,
     closed: bool,
 }
 
-/// A blocking MPMC FIFO queue of ready tasks.
+/// The single-lock FIFO (the paper's ready queue).
 #[derive(Debug)]
-pub struct ReadyQueue {
-    state: Mutex<QueueState>,
+struct FifoQueue {
+    state: Mutex<FifoState>,
     condvar: Condvar,
-    tracer: Arc<Tracer>,
 }
 
-impl ReadyQueue {
-    /// Creates an empty, open queue. Depth samples are recorded through
-    /// `tracer` when tracing is enabled.
-    pub fn new(tracer: Arc<Tracer>) -> Self {
-        ReadyQueue {
-            state: Mutex::new(QueueState::default()),
+impl FifoQueue {
+    fn new() -> Self {
+        FifoQueue {
+            state: Mutex::new(FifoState::default()),
             condvar: Condvar::new(),
-            tracer,
         }
     }
 
-    /// Adds a ready task and wakes one waiting worker.
-    pub fn push(&self, id: TaskId) {
-        let mut state = self.state.lock();
-        state.tasks.push_back(id);
-        self.tracer.sample_ready_depth(state.tasks.len());
-        drop(state);
-        self.condvar.notify_one();
-    }
-
-    /// Adds a batch of ready tasks and wakes as many workers.
-    pub fn push_all(&self, ids: &[TaskId]) {
+    fn push_all(&self, ids: &[TaskId], tracer: &Tracer) {
         if ids.is_empty() {
             return;
         }
         let mut state = self.state.lock();
         state.tasks.extend(ids.iter().copied());
-        self.tracer.sample_ready_depth(state.tasks.len());
+        tracer.sample_ready_depth(state.tasks.len());
         drop(state);
         for _ in ids {
             self.condvar.notify_one();
         }
     }
 
-    /// Blocks until a task is available or the queue is closed and empty.
-    pub fn pop(&self) -> Popped {
+    fn pop(&self, tracer: &Tracer) -> Popped {
         let mut state = self.state.lock();
         loop {
             if let Some(id) = state.tasks.pop_front() {
-                self.tracer.sample_ready_depth(state.tasks.len());
+                tracer.sample_ready_depth(state.tasks.len());
                 return Popped::Task(id);
             }
             if state.closed {
@@ -85,33 +106,296 @@ impl ReadyQueue {
         }
     }
 
-    /// Non-blocking pop; returns `None` when the queue is currently empty.
-    pub fn try_pop(&self) -> Option<TaskId> {
+    fn try_pop(&self, tracer: &Tracer) -> Option<TaskId> {
         let mut state = self.state.lock();
         let id = state.tasks.pop_front();
         if id.is_some() {
-            self.tracer.sample_ready_depth(state.tasks.len());
+            tracer.sample_ready_depth(state.tasks.len());
         }
         id
     }
 
-    /// Current number of queued ready tasks.
-    pub fn depth(&self) -> usize {
+    fn depth(&self) -> usize {
         self.state.lock().tasks.len()
     }
 
-    /// Closes the queue: workers drain the remaining tasks and then receive
-    /// [`Popped::Closed`].
-    pub fn close(&self) {
+    fn close(&self) {
         let mut state = self.state.lock();
         state.closed = true;
         drop(state);
         self.condvar.notify_all();
     }
 
+    fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+}
+
+/// Largest number of tasks moved by one steal (half the victim's deque,
+/// capped so a thief cannot hoard a huge release burst).
+const MAX_STEAL_BATCH: usize = 32;
+
+/// Per-worker deques + injector with steal-half.
+#[derive(Debug)]
+struct StealingQueue {
+    /// Master-thread submissions (and pushes from non-worker threads).
+    injector: Mutex<VecDeque<TaskId>>,
+    /// One deque per worker: the owner pushes/pops at the back (LIFO,
+    /// cache-warm), thieves steal from the front (oldest first).
+    locals: Vec<Mutex<VecDeque<TaskId>>>,
+    /// Total tasks across all deques. Maintained *after* an enqueue and
+    /// *after* a dequeue, so `pending > 0` eventually implies a findable
+    /// task and a zero observed under the sleep lock is trustworthy.
+    pending: AtomicUsize,
+    /// Number of workers blocked in the sleep condvar (updated under
+    /// `sleep_lock`; read lock-free by pushers to skip the notify).
+    sleepers: AtomicUsize,
+    closed: AtomicBool,
+    sleep_lock: Mutex<()>,
+    wakeup: Condvar,
+}
+
+impl StealingQueue {
+    fn new(workers: usize) -> Self {
+        StealingQueue {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            sleep_lock: Mutex::new(()),
+            wakeup: Condvar::new(),
+        }
+    }
+
+    /// Accounts for `count` pushed tasks *before* they become visible in a
+    /// deque, so a racing consumer can never decrement `pending` below the
+    /// number of visible tasks (no underflow).
+    fn note_pushing(&self, count: usize, tracer: &Tracer) {
+        let depth = self.pending.fetch_add(count, Ordering::SeqCst) + count;
+        tracer.sample_ready_depth(depth);
+    }
+
+    fn wake_after_push(&self, count: usize) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep_lock.lock();
+            if count == 1 {
+                self.wakeup.notify_one();
+            } else {
+                self.wakeup.notify_all();
+            }
+        }
+    }
+
+    fn push_injector(&self, ids: &[TaskId], tracer: &Tracer) {
+        if ids.is_empty() {
+            return;
+        }
+        self.note_pushing(ids.len(), tracer);
+        self.injector.lock().extend(ids.iter().copied());
+        self.wake_after_push(ids.len());
+    }
+
+    fn push_local(&self, worker: usize, ids: &[TaskId], tracer: &Tracer) {
+        if ids.is_empty() {
+            return;
+        }
+        self.note_pushing(ids.len(), tracer);
+        match self.locals.get(worker) {
+            Some(local) => local.lock().extend(ids.iter().copied()),
+            // Not a worker thread (e.g. the engine finishing deferred tasks
+            // from a test harness): fall back to the injector.
+            None => self.injector.lock().extend(ids.iter().copied()),
+        }
+        self.wake_after_push(ids.len());
+    }
+
+    fn note_popped(&self, tracer: &Tracer) {
+        let depth = self.pending.fetch_sub(1, Ordering::SeqCst) - 1;
+        tracer.sample_ready_depth(depth);
+    }
+
+    /// One full scan: own deque, injector, then steal-half round-robin.
+    fn scan(&self, worker: usize) -> Option<TaskId> {
+        if let Some(local) = self.locals.get(worker) {
+            if let Some(id) = local.lock().pop_back() {
+                return Some(id);
+            }
+        }
+        if let Some(id) = self.injector.lock().pop_front() {
+            return Some(id);
+        }
+        let n = self.locals.len();
+        for offset in 1..n.max(1) {
+            let victim = (worker + offset) % n;
+            // Drain the batch and release the victim's lock *before*
+            // touching our own deque: holding both would let a cycle of
+            // thieves deadlock.
+            let mut taken: VecDeque<TaskId> = {
+                let mut victim_deque = self.locals[victim].lock();
+                let available = victim_deque.len();
+                if available == 0 {
+                    continue;
+                }
+                // Steal the oldest half (keep the victim's hot LIFO end).
+                let batch = (available / 2).clamp(1, MAX_STEAL_BATCH);
+                victim_deque.drain(..batch).collect()
+            };
+            let stolen = taken.pop_front();
+            if !taken.is_empty() {
+                if let Some(local) = self.locals.get(worker) {
+                    local.lock().extend(taken);
+                } else {
+                    self.injector.lock().extend(taken);
+                }
+            }
+            return stolen;
+        }
+        None
+    }
+
+    fn pop(&self, worker: usize, tracer: &Tracer) -> Popped {
+        loop {
+            if let Some(id) = self.scan(worker) {
+                self.note_popped(tracer);
+                return Popped::Task(id);
+            }
+            // Nothing found: go to sleep unless work (or shutdown) raced in.
+            let mut guard = self.sleep_lock.lock();
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            if self.pending.load(Ordering::SeqCst) > 0 {
+                // Work was pushed between the scan and here (it may still be
+                // in flight between the pending increment and the enqueue):
+                // rescan rather than sleep, yielding so the pusher can land
+                // the task.
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                drop(guard);
+                std::thread::yield_now();
+                continue;
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                return Popped::Closed;
+            }
+            self.wakeup.wait(&mut guard);
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn try_pop(&self, worker: usize, tracer: &Tracer) -> Option<TaskId> {
+        let id = self.scan(worker);
+        if id.is_some() {
+            self.note_popped(tracer);
+        }
+        id
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        let _guard = self.sleep_lock.lock();
+        self.wakeup.notify_all();
+    }
+}
+
+/// A blocking MPMC queue of ready tasks, in one of two [`QueueMode`]s.
+#[derive(Debug)]
+pub struct ReadyQueue {
+    tracer: Arc<Tracer>,
+    imp: QueueImpl,
+}
+
+#[derive(Debug)]
+enum QueueImpl {
+    Fifo(FifoQueue),
+    Stealing(StealingQueue),
+}
+
+impl ReadyQueue {
+    /// Creates an empty, open queue for `workers` worker threads. Depth
+    /// samples are recorded through `tracer` when tracing is enabled.
+    pub fn new(mode: QueueMode, workers: usize, tracer: Arc<Tracer>) -> Self {
+        let imp = match mode {
+            QueueMode::Fifo => QueueImpl::Fifo(FifoQueue::new()),
+            QueueMode::Stealing => QueueImpl::Stealing(StealingQueue::new(workers)),
+        };
+        ReadyQueue { tracer, imp }
+    }
+
+    /// The queue's scheduling discipline.
+    pub fn mode(&self) -> QueueMode {
+        match &self.imp {
+            QueueImpl::Fifo(_) => QueueMode::Fifo,
+            QueueImpl::Stealing(_) => QueueMode::Stealing,
+        }
+    }
+
+    /// Adds a ready task from outside the worker pool (the master thread)
+    /// and wakes one waiting worker.
+    pub fn push(&self, id: TaskId) {
+        match &self.imp {
+            QueueImpl::Fifo(q) => q.push_all(&[id], &self.tracer),
+            QueueImpl::Stealing(q) => q.push_injector(&[id], &self.tracer),
+        }
+    }
+
+    /// Adds a batch of ready tasks from outside the worker pool.
+    pub fn push_all(&self, ids: &[TaskId]) {
+        match &self.imp {
+            QueueImpl::Fifo(q) => q.push_all(ids, &self.tracer),
+            QueueImpl::Stealing(q) => q.push_injector(ids, &self.tracer),
+        }
+    }
+
+    /// Adds a batch of tasks released by `worker` (a finishing task's newly
+    /// ready successors). In stealing mode they land in the worker's own
+    /// deque — the no-shared-lock fast path.
+    pub fn push_from(&self, worker: usize, ids: &[TaskId]) {
+        match &self.imp {
+            QueueImpl::Fifo(q) => q.push_all(ids, &self.tracer),
+            QueueImpl::Stealing(q) => q.push_local(worker, ids, &self.tracer),
+        }
+    }
+
+    /// Blocks until a task is available for `worker` or the queue is closed
+    /// and drained.
+    pub fn pop(&self, worker: usize) -> Popped {
+        match &self.imp {
+            QueueImpl::Fifo(q) => q.pop(&self.tracer),
+            QueueImpl::Stealing(q) => q.pop(worker, &self.tracer),
+        }
+    }
+
+    /// Non-blocking pop; returns `None` when no task is currently findable.
+    pub fn try_pop(&self, worker: usize) -> Option<TaskId> {
+        match &self.imp {
+            QueueImpl::Fifo(q) => q.try_pop(&self.tracer),
+            QueueImpl::Stealing(q) => q.try_pop(worker, &self.tracer),
+        }
+    }
+
+    /// Current number of queued ready tasks.
+    pub fn depth(&self) -> usize {
+        match &self.imp {
+            QueueImpl::Fifo(q) => q.depth(),
+            QueueImpl::Stealing(q) => q.pending.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Closes the queue: workers drain the remaining tasks and then receive
+    /// [`Popped::Closed`].
+    pub fn close(&self) {
+        match &self.imp {
+            QueueImpl::Fifo(q) => q.close(),
+            QueueImpl::Stealing(q) => q.close(),
+        }
+    }
+
     /// Whether the queue has been closed.
     pub fn is_closed(&self) -> bool {
-        self.state.lock().closed
+        match &self.imp {
+            QueueImpl::Fifo(q) => q.is_closed(),
+            QueueImpl::Stealing(q) => q.closed.load(Ordering::SeqCst),
+        }
     }
 }
 
@@ -121,67 +405,74 @@ mod tests {
     use std::thread;
     use std::time::Duration;
 
-    fn queue() -> ReadyQueue {
-        ReadyQueue::new(Arc::new(Tracer::new(false)))
+    fn queue(mode: QueueMode, workers: usize) -> ReadyQueue {
+        ReadyQueue::new(mode, workers, Arc::new(Tracer::new(false)))
     }
 
     #[test]
     fn fifo_order_is_preserved() {
-        let q = queue();
+        let q = queue(QueueMode::Fifo, 2);
+        assert_eq!(q.mode(), QueueMode::Fifo);
         q.push(TaskId(1));
         q.push(TaskId(2));
         q.push_all(&[TaskId(3), TaskId(4)]);
         assert_eq!(q.depth(), 4);
-        assert_eq!(q.pop(), Popped::Task(TaskId(1)));
-        assert_eq!(q.try_pop(), Some(TaskId(2)));
-        assert_eq!(q.pop(), Popped::Task(TaskId(3)));
-        assert_eq!(q.pop(), Popped::Task(TaskId(4)));
-        assert_eq!(q.try_pop(), None);
+        assert_eq!(q.pop(0), Popped::Task(TaskId(1)));
+        assert_eq!(q.try_pop(0), Some(TaskId(2)));
+        assert_eq!(q.pop(1), Popped::Task(TaskId(3)));
+        assert_eq!(q.pop(1), Popped::Task(TaskId(4)));
+        assert_eq!(q.try_pop(0), None);
     }
 
     #[test]
     fn close_drains_then_signals_closed() {
-        let q = queue();
-        q.push(TaskId(7));
-        q.close();
-        assert!(q.is_closed());
-        assert_eq!(q.pop(), Popped::Task(TaskId(7)));
-        assert_eq!(q.pop(), Popped::Closed);
+        for mode in [QueueMode::Fifo, QueueMode::Stealing] {
+            let q = queue(mode, 1);
+            q.push(TaskId(7));
+            q.close();
+            assert!(q.is_closed());
+            assert_eq!(q.pop(0), Popped::Task(TaskId(7)), "{mode:?}");
+            assert_eq!(q.pop(0), Popped::Closed, "{mode:?}");
+        }
     }
 
     #[test]
     fn blocking_pop_wakes_on_push() {
-        let q = Arc::new(queue());
-        let q2 = Arc::clone(&q);
-        let handle = thread::spawn(move || q2.pop());
-        thread::sleep(Duration::from_millis(20));
-        q.push(TaskId(9));
-        assert_eq!(handle.join().unwrap(), Popped::Task(TaskId(9)));
+        for mode in [QueueMode::Fifo, QueueMode::Stealing] {
+            let q = Arc::new(queue(mode, 1));
+            let q2 = Arc::clone(&q);
+            let handle = thread::spawn(move || q2.pop(0));
+            thread::sleep(Duration::from_millis(20));
+            q.push(TaskId(9));
+            assert_eq!(handle.join().unwrap(), Popped::Task(TaskId(9)), "{mode:?}");
+        }
     }
 
     #[test]
     fn blocking_pop_wakes_on_close() {
-        let q = Arc::new(queue());
-        let handles: Vec<_> = (0..3)
-            .map(|_| {
-                let q = Arc::clone(&q);
-                thread::spawn(move || q.pop())
-            })
-            .collect();
-        thread::sleep(Duration::from_millis(20));
-        q.close();
-        for h in handles {
-            assert_eq!(h.join().unwrap(), Popped::Closed);
+        for mode in [QueueMode::Fifo, QueueMode::Stealing] {
+            let q = Arc::new(queue(mode, 3));
+            let handles: Vec<_> = (0..3)
+                .map(|w| {
+                    let q = Arc::clone(&q);
+                    thread::spawn(move || q.pop(w))
+                })
+                .collect();
+            thread::sleep(Duration::from_millis(20));
+            q.close();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), Popped::Closed, "{mode:?}");
+            }
         }
     }
 
     #[test]
     fn depth_samples_are_recorded_when_tracing() {
         let tracer = Arc::new(Tracer::new(true));
-        let q = ReadyQueue::new(Arc::clone(&tracer));
+        let q = ReadyQueue::new(QueueMode::Fifo, 1, Arc::clone(&tracer));
         q.push(TaskId(1));
         q.push(TaskId(2));
-        let _ = q.pop();
+        let _ = q.pop(0);
         let samples = tracer.ready_samples();
         assert_eq!(samples.len(), 3);
         assert_eq!(samples[0].depth, 1);
@@ -190,9 +481,80 @@ mod tests {
     }
 
     #[test]
+    fn stealing_mode_also_samples_depth() {
+        let tracer = Arc::new(Tracer::new(true));
+        let q = ReadyQueue::new(QueueMode::Stealing, 2, Arc::clone(&tracer));
+        q.push(TaskId(1));
+        q.push_from(0, &[TaskId(2), TaskId(3)]);
+        let _ = q.pop(0);
+        let samples = tracer.ready_samples();
+        assert!(samples.len() >= 3);
+        assert_eq!(samples.last().unwrap().depth, 2);
+    }
+
+    #[test]
     fn push_all_empty_is_a_noop() {
-        let q = queue();
-        q.push_all(&[]);
+        for mode in [QueueMode::Fifo, QueueMode::Stealing] {
+            let q = queue(mode, 1);
+            q.push_all(&[]);
+            q.push_from(0, &[]);
+            assert_eq!(q.depth(), 0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn owner_pops_lifo_from_its_own_deque() {
+        let q = queue(QueueMode::Stealing, 2);
+        q.push_from(0, &[TaskId(1), TaskId(2), TaskId(3)]);
+        // The owner pops its most recent release first (locality).
+        assert_eq!(q.pop(0), Popped::Task(TaskId(3)));
+        assert_eq!(q.pop(0), Popped::Task(TaskId(2)));
+        assert_eq!(q.pop(0), Popped::Task(TaskId(1)));
+    }
+
+    #[test]
+    fn thief_steals_oldest_half_of_the_victim() {
+        let q = queue(QueueMode::Stealing, 2);
+        q.push_from(0, &[TaskId(1), TaskId(2), TaskId(3), TaskId(4)]);
+        // Worker 1 steals the front half (oldest tasks) of worker 0.
+        assert_eq!(q.pop(1), Popped::Task(TaskId(1)));
+        // The second stolen task landed in worker 1's own deque.
+        assert_eq!(q.pop(1), Popped::Task(TaskId(2)));
+        // The victim keeps its hot end.
+        assert_eq!(q.pop(0), Popped::Task(TaskId(4)));
+        assert_eq!(q.pop(0), Popped::Task(TaskId(3)));
         assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn stealing_mode_delivers_every_task_under_contention() {
+        let q = Arc::new(queue(QueueMode::Stealing, 4));
+        const N: u64 = 4_000;
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Popped::Task(id) = q.pop(w) {
+                        got.push(id.index() as u64);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..N {
+            q.push(TaskId(i));
+        }
+        // Give the workers a moment to drain, then close.
+        while q.depth() > 0 {
+            thread::yield_now();
+        }
+        q.close();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..N).collect::<Vec<u64>>());
     }
 }

@@ -14,16 +14,30 @@
 //! it enters the dependence graph, so malformed tasks are rejected with a
 //! [`SubmitError`] on the submitting thread instead of panicking inside a
 //! worker.
+//!
+//! # Steady-state hot path
+//!
+//! Completing a task touches **no global lock**: the dependence graph
+//! releases successors through per-node atomic counters
+//! ([`crate::dependence`]), the released tasks go into the finishing
+//! worker's own deque under [`QueueMode::Stealing`]
+//! ([`crate::ready_queue`]), the `outstanding` taskwait counter is a single
+//! atomic decrement, statistics land in per-worker shards
+//! ([`crate::stats`]), and the worker reads the task descriptor and its
+//! `Arc`-shared task type straight out of the graph node — no per-execution
+//! clones. [`QueueMode::Fifo`] keeps the paper's single-queue behaviour
+//! (and its deterministic single-worker pop order) selectable per runtime.
 
 use crate::dependence::TaskGraph;
 use crate::interceptor::{Decision, NoopInterceptor, TaskInterceptor};
-use crate::ready_queue::{Popped, ReadyQueue};
+use crate::ready_queue::{Popped, QueueMode, ReadyQueue};
 use crate::region::DataStore;
 use crate::stats::{RuntimeStats, RuntimeStatsSnapshot};
 use crate::submit::{check_memo, check_signature, check_store, SubmitError, TaskBuilder};
 use crate::task::{TaskContext, TaskDesc, TaskId, TaskTypeId, TaskTypeInfo, TaskView};
 use crate::trace::{ThreadState, Tracer};
 use atm_sync::{Condvar, Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -31,6 +45,7 @@ use std::thread::JoinHandle;
 pub struct RuntimeBuilder {
     workers: usize,
     tracing: bool,
+    queue_mode: QueueMode,
     interceptor: Arc<dyn TaskInterceptor>,
 }
 
@@ -41,12 +56,13 @@ impl Default for RuntimeBuilder {
 }
 
 impl RuntimeBuilder {
-    /// Starts a builder with 1 worker, tracing disabled and no interceptor
-    /// (the "no ATM" baseline).
+    /// Starts a builder with 1 worker, tracing disabled, the work-stealing
+    /// ready queue and no interceptor (the "no ATM" baseline).
     pub fn new() -> Self {
         RuntimeBuilder {
             workers: 1,
             tracing: false,
+            queue_mode: QueueMode::default(),
             interceptor: Arc::new(NoopInterceptor),
         }
     }
@@ -67,6 +83,16 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Selects the Ready Queue discipline. [`QueueMode::Stealing`] (the
+    /// default) scales fine-grained task floods across workers;
+    /// [`QueueMode::Fifo`] reproduces the paper's single global queue and
+    /// its deterministic single-worker pop order.
+    #[must_use]
+    pub fn queue_mode(mut self, mode: QueueMode) -> Self {
+        self.queue_mode = mode;
+        self
+    }
+
     /// Installs a task interceptor (the ATM engine).
     #[must_use]
     pub fn interceptor(mut self, interceptor: Arc<dyn TaskInterceptor>) -> Self {
@@ -80,12 +106,13 @@ impl RuntimeBuilder {
         let inner = Arc::new(Inner {
             store: DataStore::new(),
             registry: RwLock::new(Vec::new()),
-            graph: Mutex::new(TaskGraph::new()),
-            queue: ReadyQueue::new(Arc::clone(&tracer)),
+            graph: TaskGraph::new(),
+            queue: ReadyQueue::new(self.queue_mode, self.workers, Arc::clone(&tracer)),
             interceptor: self.interceptor,
             tracer,
-            stats: RuntimeStats::new(),
-            outstanding: Mutex::new(0),
+            stats: RuntimeStats::with_workers(self.workers),
+            outstanding: AtomicU64::new(0),
+            done_lock: Mutex::new(()),
             all_done: Condvar::new(),
             workers: self.workers,
         });
@@ -104,41 +131,62 @@ impl RuntimeBuilder {
 
 struct Inner {
     store: DataStore,
-    registry: RwLock<Vec<TaskTypeInfo>>,
-    graph: Mutex<TaskGraph>,
+    registry: RwLock<Vec<Arc<TaskTypeInfo>>>,
+    graph: TaskGraph,
     queue: ReadyQueue,
     interceptor: Arc<dyn TaskInterceptor>,
     tracer: Arc<Tracer>,
     stats: RuntimeStats,
-    outstanding: Mutex<u64>,
+    /// Submitted-but-unfinished task count. Incremented by the master before
+    /// a task enters the graph, decremented once per completion; the
+    /// `done_lock`/`all_done` pair only comes into play when a taskwait is
+    /// actually blocked.
+    outstanding: AtomicU64,
+    done_lock: Mutex<()>,
     all_done: Condvar,
     workers: usize,
 }
 
 impl Inner {
-    fn finish_task(&self, id: TaskId) {
-        let newly_ready = self.graph.lock().finish(id);
-        self.queue.push_all(&newly_ready);
-        let mut outstanding = self.outstanding.lock();
-        debug_assert!(
-            *outstanding > 0,
-            "finishing a task with no outstanding work"
-        );
-        *outstanding -= 1;
-        if *outstanding == 0 {
+    /// Completes the task whose node the worker already holds: releases its
+    /// successors into the finishing `worker`'s queue and retires it from
+    /// the outstanding count. No global lock and no node lookup on this
+    /// path (in stealing mode).
+    fn finish_node(&self, worker: usize, node: &crate::dependence::TaskNode) {
+        let newly_ready = self.graph.finish_node(node);
+        self.retire(worker, &newly_ready);
+    }
+
+    /// Completes a task by id (deferred tasks completed by their producer,
+    /// whose node the worker does not hold).
+    fn finish_task(&self, worker: usize, id: TaskId) {
+        let newly_ready = self.graph.finish(id);
+        self.retire(worker, &newly_ready);
+    }
+
+    fn retire(&self, worker: usize, newly_ready: &[TaskId]) {
+        self.queue.push_from(worker, newly_ready);
+        let prev = self.outstanding.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0, "finishing a task with no outstanding work");
+        if prev == 1 {
+            // Serialise with a blocked taskwait: the waiter re-checks the
+            // counter under `done_lock` before sleeping, so taking the lock
+            // here guarantees the notify cannot be lost.
+            let _guard = self.done_lock.lock();
             self.all_done.notify_all();
         }
     }
 
-    fn task_type(&self, id: TaskTypeId) -> TaskTypeInfo {
-        self.registry.read()[id.index()].clone()
+    fn task_type(&self, id: TaskTypeId) -> Arc<TaskTypeInfo> {
+        Arc::clone(&self.registry.read()[id.index()])
     }
 }
 
 fn worker_loop(inner: &Arc<Inner>, worker: usize) {
+    let stats = inner.stats.shard(worker);
     loop {
         let idle_start = inner.tracer.now_ns();
-        let popped = inner.queue.pop();
+        let popped = inner.queue.pop(worker);
         inner
             .tracer
             .record(worker, ThreadState::Idle, idle_start, inner.tracer.now_ns());
@@ -147,8 +195,11 @@ fn worker_loop(inner: &Arc<Inner>, worker: usize) {
             Popped::Closed => break,
         };
 
-        inner.graph.lock().mark_running(id);
-        let desc = inner.graph.lock().desc(id).clone();
+        // One graph access marks the task running and hands back its node;
+        // the descriptor is borrowed from the node and the task type is a
+        // shared Arc — nothing on this path clones per execution.
+        let node = inner.graph.start_running(id);
+        let desc = node.desc();
         let info = inner.task_type(desc.task_type);
         let view = TaskView {
             id,
@@ -170,20 +221,20 @@ fn worker_loop(inner: &Arc<Inner>, worker: usize) {
                 inner
                     .tracer
                     .record(worker, ThreadState::TaskExecution, start, end);
-                inner.stats.add(&inner.stats.kernel_ns, end - start);
-                inner.stats.incr(&inner.stats.executed);
+                stats.add(&stats.kernel_ns, end - start);
+                stats.incr(&stats.executed);
                 true
             }
             Decision::Memoized => {
-                inner.stats.incr(&inner.stats.bypassed);
+                stats.incr(&stats.bypassed);
                 false
             }
             Decision::Deferred => {
                 // The interceptor registered this task with an in-flight
                 // producer; its completion will arrive through that
                 // producer's `after_execute`. Do not finish it here.
-                inner.stats.incr(&inner.stats.deferred);
-                inner.graph.lock().mark_deferred(id);
+                stats.incr(&stats.deferred);
+                inner.graph.mark_deferred(id);
                 continue;
             }
         };
@@ -192,9 +243,9 @@ fn worker_loop(inner: &Arc<Inner>, worker: usize) {
             inner
                 .interceptor
                 .after_execute(view, &inner.store, &inner.tracer, worker, executed);
-        inner.finish_task(id);
+        inner.finish_node(worker, &node);
         for deferred in completed_deferred {
-            inner.finish_task(deferred);
+            inner.finish_task(worker, deferred);
         }
     }
 }
@@ -228,11 +279,18 @@ impl Runtime {
         self.inner.workers
     }
 
-    /// Registers a task type and returns its id.
+    /// The Ready Queue discipline this runtime was built with.
+    pub fn queue_mode(&self) -> QueueMode {
+        self.inner.queue.mode()
+    }
+
+    /// Registers a task type and returns its id. The type info is stored
+    /// once behind an [`Arc`]; workers share it instead of cloning it per
+    /// execution.
     pub fn register_task_type(&self, info: TaskTypeInfo) -> TaskTypeId {
         let mut registry = self.inner.registry.write();
         let id = TaskTypeId(u32::try_from(registry.len()).expect("too many task types"));
-        registry.push(info);
+        registry.push(Arc::new(info));
         id
     }
 
@@ -266,17 +324,17 @@ impl Runtime {
             check_memo(spec, &desc.accesses)?;
         }
 
-        *self.inner.outstanding.lock() += 1;
-        let (id, ready) = self.inner.graph.lock().submit(desc);
+        self.inner.outstanding.fetch_add(1, Ordering::SeqCst);
+        let (id, ready) = self.inner.graph.submit(desc);
         if ready {
             self.inner.queue.push(id);
         }
         let end = self.inner.tracer.now_ns();
-        self.inner.stats.incr(&self.inner.stats.submitted);
-        self.inner
-            .stats
-            .add(&self.inner.stats.creation_ns, end - start);
-        // The master (submitting) thread is traced as worker index `workers`.
+        // The master (submitting) thread owns the last stats shard and is
+        // traced as worker index `workers`.
+        let stats = self.inner.stats.shard(self.inner.workers);
+        stats.incr(&stats.submitted);
+        stats.add(&stats.creation_ns, end - start);
         self.inner
             .tracer
             .record(self.inner.workers, ThreadState::TaskCreation, start, end);
@@ -284,14 +342,18 @@ impl Runtime {
     }
 
     /// Blocks until every submitted task has finished (the `#pragma omp taskwait`
-    /// of the programming model).
+    /// of the programming model). When everything already finished this is a
+    /// single atomic load — no lock.
     pub fn taskwait(&self) {
-        let start = self.inner.tracer.now_ns();
-        let mut outstanding = self.inner.outstanding.lock();
-        while *outstanding > 0 {
-            self.inner.all_done.wait(&mut outstanding);
+        if self.inner.outstanding.load(Ordering::SeqCst) == 0 {
+            return;
         }
-        drop(outstanding);
+        let start = self.inner.tracer.now_ns();
+        let mut guard = self.inner.done_lock.lock();
+        while self.inner.outstanding.load(Ordering::SeqCst) > 0 {
+            self.inner.all_done.wait(&mut guard);
+        }
+        drop(guard);
         self.inner.tracer.record(
             self.inner.workers,
             ThreadState::Idle,
@@ -642,5 +704,109 @@ mod tests {
         rt.task(tt).writes(&r).submit().unwrap();
         rt.taskwait();
         drop(rt);
+    }
+
+    #[test]
+    fn stealing_is_the_default_queue_mode_and_fifo_is_selectable() {
+        use crate::ready_queue::QueueMode;
+        let rt = RuntimeBuilder::new().build();
+        assert_eq!(rt.queue_mode(), QueueMode::Stealing);
+        rt.shutdown();
+        let rt = RuntimeBuilder::new().queue_mode(QueueMode::Fifo).build();
+        assert_eq!(rt.queue_mode(), QueueMode::Fifo);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn both_queue_modes_run_the_same_dataflow_to_the_same_result() {
+        use crate::ready_queue::QueueMode;
+        for mode in [QueueMode::Fifo, QueueMode::Stealing] {
+            for workers in [1usize, 4] {
+                let rt = RuntimeBuilder::new()
+                    .workers(workers)
+                    .queue_mode(mode)
+                    .build();
+                let acc = rt.store().register_zeros::<f64>("acc", 1).unwrap();
+                let add_one = rt.register_task_type(
+                    TaskTypeBuilder::new("add", |ctx| {
+                        let v = ctx.arg::<f64>(0)[0];
+                        ctx.out(0, &[v + 1.0]);
+                    })
+                    .inout::<f64>()
+                    .build(),
+                );
+                for _ in 0..50 {
+                    rt.task(add_one).reads_writes(&acc).submit().unwrap();
+                }
+                rt.taskwait();
+                assert_eq!(
+                    rt.store().read(acc).lock().as_f64(),
+                    &[50.0],
+                    "{mode:?} with {workers} workers"
+                );
+                let stats = rt.stats();
+                assert_eq!(stats.submitted, 50);
+                assert_eq!(stats.executed, 50);
+                assert_eq!(rt.ready_depth(), 0, "taskwait must leave the queue empty");
+                rt.shutdown();
+            }
+        }
+    }
+
+    /// `Runtime` is `Sync`: two threads submitting into one runtime must
+    /// not corrupt the node slab (submissions are serialised internally).
+    #[test]
+    fn concurrent_submitters_do_not_corrupt_the_graph() {
+        let rt = Arc::new(RuntimeBuilder::new().workers(2).build());
+        let counters: Vec<_> = (0..2)
+            .map(|i| {
+                rt.store()
+                    .register_zeros::<i32>(format!("c{i}"), 1)
+                    .unwrap()
+            })
+            .collect();
+        let incr = rt.register_task_type(
+            TaskTypeBuilder::new("incr", |ctx| {
+                let v = ctx.arg::<i32>(0)[0];
+                ctx.out(0, &[v + 1]);
+            })
+            .inout::<i32>()
+            .build(),
+        );
+        let submitters: Vec<_> = counters
+            .iter()
+            .map(|counter| {
+                let rt = Arc::clone(&rt);
+                let counter = *counter;
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        rt.task(incr).reads_writes(&counter).submit().unwrap();
+                    }
+                })
+            })
+            .collect();
+        for s in submitters {
+            s.join().unwrap();
+        }
+        rt.taskwait();
+        for counter in &counters {
+            assert_eq!(rt.store().read(*counter).lock().as_i32(), &[200]);
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.executed, 400);
+        assert_eq!(
+            stats.submitted, 400,
+            "concurrent submitters share the master stats shard; no count may be lost"
+        );
+        Arc::try_unwrap(rt).ok().unwrap().shutdown();
+    }
+
+    #[test]
+    fn taskwait_with_no_outstanding_work_is_a_fast_path() {
+        let rt = RuntimeBuilder::new().workers(2).build();
+        // No submissions: taskwait returns immediately, repeatedly.
+        rt.taskwait();
+        rt.taskwait();
+        rt.shutdown();
     }
 }

@@ -3,12 +3,21 @@
 //! These counters describe what the *runtime* did (tasks created, executed,
 //! bypassed, deferred); the ATM engine keeps its own finer-grained counters
 //! (hash hits per table, chosen `p`, training progress) in `atm-core`.
+//!
+//! The counters are **sharded per worker**: each worker writes only its own
+//! cache-padded shard (submitting threads share the last shard) with
+//! relaxed atomic adds, so steady-state task completion never contends on a
+//! shared atomic. [`RuntimeStats::snapshot`] sums the shards; the
+//! scheduler's `outstanding` release/acquire pair makes every count of a
+//! finished task visible to a thread that returned from `taskwait`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Atomic counters updated by the scheduler.
+/// One worker's private counter shard, padded to its own cache line so
+/// neighbouring shards never false-share.
 #[derive(Debug, Default)]
-pub struct RuntimeStats {
+#[repr(align(128))]
+pub struct WorkerStats {
     /// Tasks submitted to the runtime.
     pub submitted: AtomicU64,
     /// Tasks whose kernel was actually executed.
@@ -17,36 +26,73 @@ pub struct RuntimeStats {
     pub bypassed: AtomicU64,
     /// Tasks deferred to an in-flight producer (IKT hit).
     pub deferred: AtomicU64,
-    /// Total nanoseconds spent executing task kernels (across workers).
+    /// Nanoseconds spent executing task kernels on this worker.
     pub kernel_ns: AtomicU64,
-    /// Total nanoseconds spent in task creation (dependence analysis + TDG insertion).
+    /// Nanoseconds spent in task creation (dependence analysis + TDG insertion).
     pub creation_ns: AtomicU64,
 }
 
+impl WorkerStats {
+    /// Adds `value` to a counter with a relaxed atomic RMW. Worker shards
+    /// have a single writer, but the master shard may be written by
+    /// concurrent submitters (`Runtime` is `Sync`), so the update must be
+    /// an atomic add — on a cache line owned by one core it costs the same
+    /// as a plain store, and the sharding already removed the cross-worker
+    /// contention.
+    pub fn add(&self, counter: &AtomicU64, value: u64) {
+        counter.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Increments a counter by one.
+    pub fn incr(&self, counter: &AtomicU64) {
+        self.add(counter, 1);
+    }
+}
+
+/// Sharded runtime counters: one [`WorkerStats`] per worker plus one for the
+/// master (submitting) thread.
+#[derive(Debug)]
+pub struct RuntimeStats {
+    shards: Vec<WorkerStats>,
+}
+
+impl Default for RuntimeStats {
+    fn default() -> Self {
+        RuntimeStats::with_workers(1)
+    }
+}
+
 impl RuntimeStats {
-    /// Creates zeroed statistics.
+    /// Creates zeroed statistics for `workers` worker threads (shard index
+    /// `workers` belongs to the master thread).
+    pub fn with_workers(workers: usize) -> Self {
+        RuntimeStats {
+            shards: (0..workers + 1).map(|_| WorkerStats::default()).collect(),
+        }
+    }
+
+    /// Creates zeroed statistics with a single worker shard.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Immutable snapshot of all counters.
+    /// The shard owned by `worker` (the master thread uses index `workers`).
+    pub fn shard(&self, worker: usize) -> &WorkerStats {
+        &self.shards[worker.min(self.shards.len() - 1)]
+    }
+
+    /// Immutable snapshot of all counters (sums the per-worker shards).
     pub fn snapshot(&self) -> RuntimeStatsSnapshot {
-        RuntimeStatsSnapshot {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            executed: self.executed.load(Ordering::Relaxed),
-            bypassed: self.bypassed.load(Ordering::Relaxed),
-            deferred: self.deferred.load(Ordering::Relaxed),
-            kernel_ns: self.kernel_ns.load(Ordering::Relaxed),
-            creation_ns: self.creation_ns.load(Ordering::Relaxed),
+        let mut snap = RuntimeStatsSnapshot::default();
+        for shard in &self.shards {
+            snap.submitted += shard.submitted.load(Ordering::Relaxed);
+            snap.executed += shard.executed.load(Ordering::Relaxed);
+            snap.bypassed += shard.bypassed.load(Ordering::Relaxed);
+            snap.deferred += shard.deferred.load(Ordering::Relaxed);
+            snap.kernel_ns += shard.kernel_ns.load(Ordering::Relaxed);
+            snap.creation_ns += shard.creation_ns.load(Ordering::Relaxed);
         }
-    }
-
-    pub(crate) fn add(&self, counter: &AtomicU64, value: u64) {
-        counter.fetch_add(value, Ordering::Relaxed);
-    }
-
-    pub(crate) fn incr(&self, counter: &AtomicU64) {
-        self.add(counter, 1);
+        snap
     }
 }
 
@@ -88,13 +134,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn snapshot_reflects_counters() {
-        let stats = RuntimeStats::new();
-        stats.incr(&stats.submitted);
-        stats.incr(&stats.submitted);
-        stats.incr(&stats.executed);
-        stats.incr(&stats.bypassed);
-        stats.add(&stats.kernel_ns, 500);
+    fn snapshot_sums_across_worker_shards() {
+        let stats = RuntimeStats::with_workers(2);
+        let master = stats.shard(2);
+        master.incr(&master.submitted);
+        master.incr(&master.submitted);
+        let w0 = stats.shard(0);
+        w0.incr(&w0.executed);
+        w0.add(&w0.kernel_ns, 300);
+        let w1 = stats.shard(1);
+        w1.incr(&w1.bypassed);
+        w1.add(&w1.kernel_ns, 200);
         let snap = stats.snapshot();
         assert_eq!(snap.submitted, 2);
         assert_eq!(snap.executed, 1);
@@ -103,6 +153,14 @@ mod tests {
         assert_eq!(snap.kernel_ns, 500);
         assert_eq!(snap.reused(), 1);
         assert!((snap.reuse_percent() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_worker_indices_fall_back_to_the_master_shard() {
+        let stats = RuntimeStats::with_workers(1);
+        let shard = stats.shard(99);
+        shard.incr(&shard.deferred);
+        assert_eq!(stats.snapshot().deferred, 1);
     }
 
     #[test]

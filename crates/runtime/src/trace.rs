@@ -80,16 +80,23 @@ pub struct ReadySample {
     pub depth: usize,
 }
 
+/// Number of per-worker event-buffer shards (events shard by
+/// `worker % EVENT_SHARDS`, so concurrent workers record without contending
+/// on one lock).
+const EVENT_SHARDS: usize = 16;
+
 /// Collects trace events and ready-queue samples.
 ///
 /// The tracer can be disabled (the default for performance runs); in that
 /// case recording is a cheap no-op so the instrumentation does not distort
-/// the speedup measurements.
+/// the speedup measurements. When enabled, events are buffered in
+/// per-worker shards and merged (sorted by start time) on read, so even a
+/// traced run keeps workers off a shared lock on the hot path.
 #[derive(Debug)]
 pub struct Tracer {
     enabled: bool,
     origin: Instant,
-    events: Mutex<Vec<TraceEvent>>,
+    events: Vec<Mutex<Vec<TraceEvent>>>,
     ready_samples: Mutex<Vec<ReadySample>>,
 }
 
@@ -99,7 +106,7 @@ impl Tracer {
         Tracer {
             enabled,
             origin: Instant::now(),
-            events: Mutex::new(Vec::new()),
+            events: (0..EVENT_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
             ready_samples: Mutex::new(Vec::new()),
         }
     }
@@ -119,7 +126,7 @@ impl Tracer {
         if !self.enabled || end_ns <= start_ns {
             return;
         }
-        self.events.lock().push(TraceEvent {
+        self.events[worker % EVENT_SHARDS].lock().push(TraceEvent {
             worker,
             state,
             start_ns,
@@ -150,9 +157,16 @@ impl Tracer {
         });
     }
 
-    /// All recorded events (cloned).
+    /// All recorded events, merged across the per-worker shards and sorted
+    /// into one timeline (by start time, then worker).
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().clone()
+        let mut merged: Vec<TraceEvent> = self
+            .events
+            .iter()
+            .flat_map(|shard| shard.lock().clone())
+            .collect();
+        merged.sort_by_key(|ev| (ev.start_ns, ev.worker));
+        merged
     }
 
     /// All recorded ready-queue samples (cloned).
@@ -162,7 +176,7 @@ impl Tracer {
 
     /// Aggregates the total time per (worker, state).
     pub fn summary(&self) -> TraceSummary {
-        TraceSummary::from_events(&self.events.lock())
+        TraceSummary::from_events(&self.events())
     }
 }
 

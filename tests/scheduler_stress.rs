@@ -1,0 +1,284 @@
+//! Randomized-DAG stress tests of the scheduler core.
+//!
+//! The generator builds arbitrary dataflow programs exercising every edge
+//! shape the dependence tracker knows: fan-out (many readers of one
+//! region), fan-in (one task reading many regions), and serialising `inout`
+//! chains. Each program runs under 1, 2 and 8 workers in **both queue
+//! modes** ([`QueueMode::Fifo`] and [`QueueMode::Stealing`]), split into
+//! several taskwait waves, and must:
+//!
+//! * produce exactly the sequential dataflow result (dataflow order);
+//! * leave the runtime quiescent at every taskwait (empty ready queue);
+//! * account for every task exactly once (exact completion counts).
+//!
+//! Cases come from the repo's own deterministic PRNG, so every failure is
+//! reproducible from the case index.
+
+use atm_hash::Xoshiro256StarStar;
+use atm_runtime::{QueueMode, Region, RuntimeBuilder, TaskContext, TaskTypeBuilder};
+
+const CASES: usize = 5;
+const WAVES: usize = 3;
+
+/// One generated task: regions it reads, writes, and accesses as inout.
+#[derive(Debug, Clone)]
+struct GenTask {
+    reads: Vec<usize>,
+    writes: Vec<usize>,
+    inouts: Vec<usize>,
+}
+
+/// A generated dataflow program, split into taskwait waves.
+#[derive(Debug, Clone)]
+struct GenProgram {
+    regions: usize,
+    region_len: usize,
+    waves: Vec<Vec<GenTask>>,
+}
+
+fn gen_program(rng: &mut Xoshiro256StarStar) -> GenProgram {
+    let regions = 3 + rng.below(5);
+    let region_len = 2 + rng.below(6);
+    let waves = (0..WAVES)
+        .map(|_| {
+            let task_count = 5 + rng.below(30);
+            (0..task_count)
+                .map(|_| {
+                    // Shape mix: plain read/write tasks, wide fan-in
+                    // readers, and inout chain links that serialise.
+                    let style = rng.below(3);
+                    match style {
+                        0 => GenTask {
+                            reads: (0..1 + rng.below(2)).map(|_| rng.below(regions)).collect(),
+                            writes: vec![rng.below(regions)],
+                            inouts: vec![],
+                        },
+                        1 => GenTask {
+                            reads: (0..2 + rng.below(3)).map(|_| rng.below(regions)).collect(),
+                            writes: (0..1 + rng.below(2)).map(|_| rng.below(regions)).collect(),
+                            inouts: vec![],
+                        },
+                        _ => GenTask {
+                            reads: (0..rng.below(2)).map(|_| rng.below(regions)).collect(),
+                            writes: vec![],
+                            inouts: vec![rng.below(regions)],
+                        },
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    GenProgram {
+        regions,
+        region_len,
+        waves,
+    }
+}
+
+/// The deterministic kernel: every output element is a fixed mix of the
+/// inputs (reads first, then inout old values), order-sensitive.
+fn kernel_combine(inputs: &[Vec<f64>], region_len: usize) -> Vec<f64> {
+    let mut out = vec![1.0; region_len];
+    for (which, input) in inputs.iter().enumerate() {
+        for (o, &x) in out.iter_mut().zip(input) {
+            *o = (*o * 0.5 + x * (which as f64 + 1.0) * 0.25).sin() + 1.0;
+        }
+    }
+    out
+}
+
+/// Sequential semantics: apply the tasks in submission order.
+fn run_sequential(program: &GenProgram) -> Vec<Vec<f64>> {
+    let mut memory: Vec<Vec<f64>> = (0..program.regions)
+        .map(|r| vec![r as f64 * 0.1; program.region_len])
+        .collect();
+    for wave in &program.waves {
+        for task in wave {
+            let inputs: Vec<Vec<f64>> = task
+                .reads
+                .iter()
+                .chain(&task.inouts)
+                .map(|&r| memory[r].clone())
+                .collect();
+            let output = kernel_combine(&inputs, program.region_len);
+            for &w in task.writes.iter().chain(&task.inouts) {
+                memory[w] = output.clone();
+            }
+        }
+    }
+    memory
+}
+
+/// Runs the same program through the runtime under one configuration.
+fn run_parallel(program: &GenProgram, workers: usize, mode: QueueMode) -> Vec<Vec<f64>> {
+    let rt = RuntimeBuilder::new()
+        .workers(workers)
+        .queue_mode(mode)
+        .build();
+    let regions: Vec<Region<f64>> = (0..program.regions)
+        .map(|r| {
+            rt.store()
+                .register_typed(format!("r{r}"), vec![r as f64 * 0.1; program.region_len])
+                .expect("unique name")
+        })
+        .collect();
+
+    let region_len = program.region_len;
+    // The kernel reads every read-mode access (reads first, then inouts,
+    // matching the submission order below) and writes every write-mode one.
+    let task_type = rt.register_task_type(
+        TaskTypeBuilder::new("combine", move |ctx: &TaskContext<'_>| {
+            let inputs: Vec<Vec<f64>> = ctx
+                .accesses()
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.mode.is_read())
+                .map(|(i, _)| ctx.arg::<f64>(i))
+                .collect();
+            let output = kernel_combine(&inputs, region_len);
+            for (i, access) in ctx.accesses().iter().enumerate() {
+                if access.mode.is_write() {
+                    ctx.out(i, &output);
+                }
+            }
+        })
+        .variadic::<f64>(1)
+        .build(),
+    );
+
+    let mut submitted_total = 0u64;
+    for wave in &program.waves {
+        for task in wave {
+            // Reads first, then inouts (read+write), then plain writes —
+            // is_read order in the access list matches the kernel's input
+            // collection order and the sequential semantics.
+            let mut submission = rt.task(task_type);
+            for &r in &task.reads {
+                submission = submission.reads(&regions[r]);
+            }
+            for &io in &task.inouts {
+                submission = submission.reads_writes(&regions[io]);
+            }
+            for &w in &task.writes {
+                submission = submission.writes(&regions[w]);
+            }
+            submission
+                .submit()
+                .expect("generated tasks fit the signature");
+            submitted_total += 1;
+        }
+        rt.taskwait();
+        // Taskwait quiescence: nothing ready, nothing running, and every
+        // task submitted so far completed exactly once.
+        assert_eq!(rt.ready_depth(), 0, "ready queue must drain at taskwait");
+        let stats = rt.stats();
+        assert_eq!(stats.submitted, submitted_total);
+        assert_eq!(
+            stats.executed, submitted_total,
+            "without ATM every submitted task executes exactly once"
+        );
+        assert_eq!(stats.bypassed, 0);
+        assert_eq!(stats.deferred, 0);
+    }
+
+    let memory: Vec<Vec<f64>> = regions
+        .iter()
+        .map(|&r| rt.store().read(r).lock().as_f64().to_vec())
+        .collect();
+    rt.shutdown();
+    memory
+}
+
+/// Every (workers × queue mode) configuration computes exactly the
+/// sequential dataflow result on randomized graphs with fan-in, fan-out
+/// and inout chains, with exact completion counts and quiescent taskwaits.
+#[test]
+fn randomized_dags_run_identically_under_all_scheduler_configurations() {
+    let mut rng = Xoshiro256StarStar::new(0x5CED_DA65);
+    for case in 0..CASES {
+        let program = gen_program(&mut rng);
+        let expected = run_sequential(&program);
+        for workers in [1usize, 2, 8] {
+            for mode in [QueueMode::Fifo, QueueMode::Stealing] {
+                let actual = run_parallel(&program, workers, mode);
+                assert_eq!(
+                    actual, expected,
+                    "case {case}: {workers} workers / {mode:?} diverged from the sequential semantics"
+                );
+            }
+        }
+    }
+}
+
+/// A pure inout chain is the worst case for dependence release (every task
+/// serialises on the previous one): the chain must still run strictly in
+/// order under maximal worker counts in both modes.
+#[test]
+fn long_inout_chains_serialise_under_contention() {
+    for mode in [QueueMode::Fifo, QueueMode::Stealing] {
+        let rt = RuntimeBuilder::new().workers(8).queue_mode(mode).build();
+        let cell = rt.store().register_zeros::<f64>("cell", 1).unwrap();
+        let tt = rt.register_task_type(
+            TaskTypeBuilder::new("incr", |ctx| {
+                let v = ctx.arg::<f64>(0)[0];
+                ctx.out(0, &[v + 1.0]);
+            })
+            .inout::<f64>()
+            .build(),
+        );
+        for _ in 0..500 {
+            rt.task(tt).reads_writes(&cell).submit().unwrap();
+        }
+        rt.taskwait();
+        assert_eq!(rt.store().read(cell).lock().as_f64(), &[500.0], "{mode:?}");
+        assert_eq!(rt.stats().executed, 500);
+        rt.shutdown();
+    }
+}
+
+/// Wide fan-out: one producer releases hundreds of consumers at once; all
+/// of them (and nothing else) must run, in both modes, at every width.
+#[test]
+fn wide_fanout_releases_every_consumer_exactly_once() {
+    for mode in [QueueMode::Fifo, QueueMode::Stealing] {
+        for workers in [2usize, 8] {
+            let rt = RuntimeBuilder::new()
+                .workers(workers)
+                .queue_mode(mode)
+                .build();
+            let src = rt.store().register_zeros::<f64>("src", 1).unwrap();
+            let outs: Vec<Region<f64>> = (0..300)
+                .map(|i| rt.store().register_zeros(format!("o{i}"), 1).unwrap())
+                .collect();
+            let produce = rt.register_task_type(
+                TaskTypeBuilder::new("produce", |ctx| ctx.out(0, &[7.0f64]))
+                    .out::<f64>()
+                    .build(),
+            );
+            let consume = rt.register_task_type(
+                TaskTypeBuilder::new("consume", |ctx| {
+                    let v = ctx.arg::<f64>(0)[0];
+                    ctx.out(1, &[v * 2.0]);
+                })
+                .arg::<f64>()
+                .out::<f64>()
+                .build(),
+            );
+            rt.task(produce).writes(&src).submit().unwrap();
+            for out in &outs {
+                rt.task(consume).reads(&src).writes(out).submit().unwrap();
+            }
+            rt.taskwait();
+            for out in &outs {
+                assert_eq!(
+                    rt.store().read(*out).lock().as_f64(),
+                    &[14.0],
+                    "{mode:?}/{workers}"
+                );
+            }
+            assert_eq!(rt.stats().executed, 301);
+            assert_eq!(rt.ready_depth(), 0);
+            rt.shutdown();
+        }
+    }
+}
