@@ -273,15 +273,15 @@ impl BenchmarkApp for Blackscholes {
 
         harness.start_timer();
         for _iter in 0..self.config.iterations {
+            // One batched submission per sweep over the portfolio: the
+            // runtime validates and wires the whole wave with its internal
+            // locks taken once.
+            let mut wave = harness.runtime().tasks(bs_thread);
             for (opt_region, price_region) in option_regions.iter().zip(&price_regions) {
-                harness
-                    .runtime()
-                    .task(bs_thread)
-                    .reads(opt_region)
-                    .writes(price_region)
-                    .submit()
-                    .expect("bs_thread submission matches the declared signature");
+                wave = wave.next().reads(opt_region).writes(price_region);
             }
+            wave.submit_all()
+                .expect("bs_thread submissions match the declared signature");
         }
 
         harness.finish(move |store| {

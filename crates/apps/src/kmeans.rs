@@ -327,23 +327,22 @@ impl BenchmarkApp for Kmeans {
 
         harness.start_timer();
         for _iter in 0..self.config.iterations {
+            // One batch per iteration: all calculate tasks plus the fan-in
+            // reduce task, submitted with one validation/dependence pass.
+            let mut wave = harness.runtime().batch();
             for (points, partial) in point_regions.iter().zip(&partial_regions) {
-                harness
-                    .runtime()
+                wave = wave
                     .task(calculate)
                     .reads(points)
                     .reads(&centers_region)
-                    .writes(partial)
-                    .submit()
-                    .expect("kmeans_calculate submission matches the declared signature");
+                    .writes(partial);
             }
-            let mut reduce_task = harness.runtime().task(reduce).reads_writes(&centers_region);
+            wave = wave.task(reduce).reads_writes(&centers_region);
             for partial in &partial_regions {
-                reduce_task = reduce_task.reads(partial);
+                wave = wave.reads(partial);
             }
-            reduce_task
-                .submit()
-                .expect("kmeans_reduce submission matches the declared signature");
+            wave.submit_all()
+                .expect("kmeans submissions match the declared signatures");
         }
 
         harness.finish(move |store| store.read(centers_region).lock().to_f64_vec())

@@ -445,35 +445,22 @@ impl BenchmarkApp for SparseLu {
         let mut live: Vec<bool> = self.initial.iter().map(Option::is_some).collect();
         harness.start_timer();
         for k in 0..nb {
+            // One batch per elimination step: lu0, then the fwd/bdiv panel
+            // updates, then the bmod trailing updates — staged in the same
+            // order the singleton submissions used, so the dependence graph
+            // (and the 1-worker FIFO execution order) is unchanged.
             let diag = regions[self.idx(k, k)].expect("diagonal block present");
-            harness
-                .runtime()
-                .task(lu0_type)
-                .reads_writes(&diag)
-                .submit()
-                .expect("lu0 submission matches the declared signature");
+            let mut step = harness.runtime().batch().task(lu0_type).reads_writes(&diag);
             for j in k + 1..nb {
                 if live[self.idx(k, j)] {
                     let block = regions[self.idx(k, j)].unwrap();
-                    harness
-                        .runtime()
-                        .task(fwd_type)
-                        .reads(&diag)
-                        .reads_writes(&block)
-                        .submit()
-                        .expect("fwd submission matches the declared signature");
+                    step = step.task(fwd_type).reads(&diag).reads_writes(&block);
                 }
             }
             for i in k + 1..nb {
                 if live[self.idx(i, k)] {
                     let block = regions[self.idx(i, k)].unwrap();
-                    harness
-                        .runtime()
-                        .task(bdiv_type)
-                        .reads(&diag)
-                        .reads_writes(&block)
-                        .submit()
-                        .expect("bdiv submission matches the declared signature");
+                    step = step.task(bdiv_type).reads(&diag).reads_writes(&block);
                 }
             }
             for i in k + 1..nb {
@@ -488,16 +475,15 @@ impl BenchmarkApp for SparseLu {
                     let col = regions[self.idx(k, j)].unwrap();
                     let target = regions[self.idx(i, j)].expect("fill-in region pre-allocated");
                     live[self.idx(i, j)] = true;
-                    harness
-                        .runtime()
+                    step = step
                         .task(bmod_type)
                         .reads(&row)
                         .reads(&col)
-                        .reads_writes(&target)
-                        .submit()
-                        .expect("bmod submission matches the declared signature");
+                        .reads_writes(&target);
                 }
             }
+            step.submit_all()
+                .expect("sparselu submissions match the declared signatures");
         }
 
         let nb_copy = nb;

@@ -494,10 +494,13 @@ impl BenchmarkApp for Stencil {
             } else {
                 (&buffers[0], &buffers[0])
             };
+            // One batch per sweep: every block's halo copies and stencil
+            // task, staged in the same order as the singleton submissions.
+            let mut wave = harness.runtime().batch();
             for bi in 0..nb {
                 for bj in 0..nb {
                     let idx = self.block_index(bi, bj);
-                    // Submit the four halo copies for this block.
+                    // Stage the four halo copies for this block.
                     let neighbour_of = |side: HaloSide| -> Option<usize> {
                         match side {
                             HaloSide::Up => (bi > 0).then(|| self.block_index(bi - 1, bj)),
@@ -509,31 +512,28 @@ impl BenchmarkApp for Stencil {
                     let mut halo_inputs = [wall_halo; 4];
                     for (s, &side) in HaloSide::ALL.iter().enumerate() {
                         if let Some(n_idx) = neighbour_of(side) {
-                            harness
-                                .runtime()
+                            wave = wave
                                 .task(copy_types[s])
                                 .reads(&read_buf[n_idx])
-                                .writes(&halos[idx][s])
-                                .submit()
-                                .expect("halo copy matches the declared signature");
+                                .writes(&halos[idx][s]);
                             halo_inputs[s] = halos[idx][s];
                         }
                     }
 
                     // The heat-diffusion task itself.
-                    let mut task = harness.runtime().task(stencil_type);
+                    wave = wave.task(stencil_type);
                     if jacobi {
-                        task = task.writes(&write_buf[idx]).reads(&read_buf[idx]);
+                        wave = wave.writes(&write_buf[idx]).reads(&read_buf[idx]);
                     } else {
-                        task = task.reads_writes(&read_buf[idx]);
+                        wave = wave.reads_writes(&read_buf[idx]);
                     }
                     for halo in &halo_inputs {
-                        task = task.reads(halo);
+                        wave = wave.reads(halo);
                     }
-                    task.submit()
-                        .expect("stencil task matches the declared signature");
                 }
             }
+            wave.submit_all()
+                .expect("stencil submissions match the declared signatures");
             if jacobi {
                 // The algorithm synchronises at the end of each iteration (§IV-A).
                 harness.runtime().taskwait();

@@ -280,15 +280,13 @@ impl BenchmarkApp for Swaptions {
         );
 
         harness.start_timer();
+        // All swaption pricings are independent: one batch for the whole run.
+        let mut wave = harness.runtime().tasks(hjm_type);
         for (record, result) in record_regions.iter().zip(&result_regions) {
-            harness
-                .runtime()
-                .task(hjm_type)
-                .reads(record)
-                .writes(result)
-                .submit()
-                .expect("HJM submission matches the declared signature");
+            wave = wave.next().reads(record).writes(result);
         }
+        wave.submit_all()
+            .expect("HJM submissions match the declared signature");
 
         harness.finish(move |store| {
             result_regions

@@ -42,13 +42,18 @@ pub enum Experiment {
     /// concurrently in one runtime, with independent per-type trajectories.
     Mixed,
     /// Scheduler throughput: a fine-grained task flood (memoized and not)
-    /// swept over worker counts × ready-queue modes, in tasks/sec.
+    /// swept over worker counts × ready-queue modes × dependence-chain
+    /// shapes (count × length), in tasks/sec.
     Scaling,
+    /// Task-creation throughput: the master thread's submission rate swept
+    /// over batch sizes, plus the peak live-node gauge showing that node
+    /// retirement keeps graph memory bounded by the wave, not the run.
+    Creation,
 }
 
 impl Experiment {
     /// All experiments, in the order `atm-eval all` runs them.
-    pub const ALL: [Experiment; 15] = [
+    pub const ALL: [Experiment; 16] = [
         Experiment::Table1,
         Experiment::Table2,
         Experiment::Table3,
@@ -64,6 +69,7 @@ impl Experiment {
         Experiment::WarmStart,
         Experiment::Mixed,
         Experiment::Scaling,
+        Experiment::Creation,
     ];
 
     /// Command-line name.
@@ -84,6 +90,7 @@ impl Experiment {
             Experiment::WarmStart => "warmstart",
             Experiment::Mixed => "mixed",
             Experiment::Scaling => "scaling",
+            Experiment::Creation => "creation",
         }
     }
 
@@ -117,6 +124,7 @@ pub fn run_experiment(experiment: Experiment, ctx: &EvalContext) -> Report {
         Experiment::WarmStart => warmstart(ctx),
         Experiment::Mixed => mixed(ctx),
         Experiment::Scaling => scaling(ctx),
+        Experiment::Creation => creation(ctx),
     }
 }
 
@@ -1490,59 +1498,265 @@ fn flood_round(workers: usize, mode: QueueMode, chains: usize, chain_len: usize)
     (chains * chain_len) as f64 / elapsed.max(1e-9)
 }
 
-/// The scheduler-scaling experiment: tasks/sec of the fine-grained flood
-/// per (worker count × queue mode), the scheduler's perf trajectory.
+/// The chain shapes of the scaling sweep for a given scale: (chains,
+/// chain_len) pairs from release-burst-heavy (few long chains: large
+/// simultaneous fan-out never happens, each finish releases one successor,
+/// parallelism is capped by the chain count) to steady-drain-heavy (many
+/// short chains: a huge burst of ready roots, then quick drain).
+fn scaling_shapes(scale: Scale) -> [(usize, usize); 3] {
+    match scale {
+        Scale::Tiny => [(4, 256), (32, 32), (256, 4)],
+        _ => [(4, 1024), (64, 64), (1024, 4)],
+    }
+}
+
+/// The scheduler-scaling experiment: tasks/sec of the fine-grained flood per
+/// (chain shape × worker count × queue mode). The chain-shape sweep holds
+/// the total task count constant while moving the work's structure from few
+/// long dependence chains (release-bound: parallelism capped by the chain
+/// count, every handoff a dependence release) to many short ones
+/// (drain-bound: one huge ready burst, then queue-throughput limited).
 pub fn scaling(ctx: &EvalContext) -> Report {
     let mut report = Report::new(
         "scaling",
-        "Scheduler throughput — fine-grained task flood, workers × queue mode",
-        "workers,queue_mode,tasks,rounds_best_tasks_per_sec",
+        "Scheduler throughput — fine-grained task flood, chain shape × workers × queue mode",
+        "chains,chain_len,workers,queue_mode,tasks,rounds_best_tasks_per_sec",
     );
-    let chains = 16usize;
-    let (chain_len, rounds) = match ctx.scale {
-        Scale::Tiny => (150usize, 2usize),
-        _ => (600, 3),
+    let rounds = match ctx.scale {
+        Scale::Tiny => 2usize,
+        _ => 3,
     };
-    let tasks = chains * chain_len;
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    report.linef(format_args!(
-        "{chains} chains x {chain_len} tasks ({tasks} tasks/round, best of {rounds} rounds, {cores} cores):"
-    ));
     let worker_counts = [1usize, 2, 4];
-    let mut best: Vec<((usize, QueueMode), f64)> = Vec::new();
-    for &workers in &worker_counts {
-        for mode in [QueueMode::Fifo, QueueMode::Stealing] {
-            let tps = (0..rounds)
-                .map(|_| flood_round(workers, mode, chains, chain_len))
-                .fold(0.0f64, f64::max);
-            report.linef(format_args!(
-                "  {workers} workers  {:<9} {:>12.0} tasks/sec",
-                mode.name(),
-                tps
-            ));
-            report.row(format!("{workers},{},{tasks},{tps:.1}", mode.name()));
-            report.metric(format!("w{workers}_{}_tasks_per_sec", mode.name()), tps);
-            best.push(((workers, mode), tps));
+    let mut best: Vec<((usize, usize, usize, QueueMode), f64)> = Vec::new();
+    for (chains, chain_len) in scaling_shapes(ctx.scale) {
+        let tasks = chains * chain_len;
+        report.linef(format_args!(
+            "{chains} chains x {chain_len} tasks ({tasks} tasks/round, best of {rounds} rounds, {cores} cores):"
+        ));
+        for &workers in &worker_counts {
+            for mode in [QueueMode::Fifo, QueueMode::Stealing] {
+                let tps = (0..rounds)
+                    .map(|_| flood_round(workers, mode, chains, chain_len))
+                    .fold(0.0f64, f64::max);
+                report.linef(format_args!(
+                    "  {workers} workers  {:<9} {:>12.0} tasks/sec",
+                    mode.name(),
+                    tps
+                ));
+                report.row(format!(
+                    "{chains},{chain_len},{workers},{},{tasks},{tps:.1}",
+                    mode.name()
+                ));
+                report.metric(
+                    format!(
+                        "c{chains}x{chain_len}_w{workers}_{}_tasks_per_sec",
+                        mode.name()
+                    ),
+                    tps,
+                );
+                best.push(((chains, chain_len, workers, mode), tps));
+            }
         }
     }
-    let tps_of = |workers: usize, mode: QueueMode| {
+    // Headline ratios on the balanced (middle) shape, plus the burst-vs-
+    // drain spread at 4 workers under stealing.
+    let (bal_chains, bal_len) = scaling_shapes(ctx.scale)[1];
+    let tps_of = |chains: usize, len: usize, workers: usize, mode: QueueMode| {
         best.iter()
-            .find(|((w, m), _)| *w == workers && *m == mode)
+            .find(|((c, l, w, m), _)| *c == chains && *l == len && *w == workers && *m == mode)
             .map_or(0.0, |(_, tps)| *tps)
     };
-    let fifo4 = tps_of(4, QueueMode::Fifo);
-    let stealing4 = tps_of(4, QueueMode::Stealing);
+    let fifo4 = tps_of(bal_chains, bal_len, 4, QueueMode::Fifo);
+    let stealing4 = tps_of(bal_chains, bal_len, 4, QueueMode::Stealing);
     if fifo4 > 0.0 {
         report.metric("w4_stealing_over_fifo", stealing4 / fifo4);
         report.linef(format_args!(
-            "4-worker stealing/fifo throughput ratio: {:.2}x",
+            "4-worker stealing/fifo throughput ratio ({bal_chains}x{bal_len}): {:.2}x",
             stealing4 / fifo4
+        ));
+    }
+    let shapes = scaling_shapes(ctx.scale);
+    let burst = tps_of(shapes[2].0, shapes[2].1, 4, QueueMode::Stealing);
+    let release = tps_of(shapes[0].0, shapes[0].1, 4, QueueMode::Stealing);
+    if release > 0.0 {
+        report.metric("w4_stealing_burst_over_release", burst / release);
+        report.linef(format_args!(
+            "4-worker stealing, burst shape ({}x{}) over release shape ({}x{}): {:.2}x",
+            shapes[2].0,
+            shapes[2].1,
+            shapes[0].0,
+            shapes[0].1,
+            burst / release
         ));
     }
     report.line("Work stealing keeps a released successor on the releasing worker's own");
     report.line("deque (no shared lock in steady state); the single-FIFO mode funnels every");
     report.line("handoff through one mutex, which caps the drain rate once ATM makes the");
-    report.line("tasks themselves nearly free.");
+    report.line("tasks themselves nearly free. Few long chains bound parallelism by the");
+    report.line("chain count (release-limited); many short chains flood the queue up front");
+    report.line("and measure pure drain throughput.");
+    report
+}
+
+/// One round of the task-creation throughput experiment.
+struct CreationRound {
+    /// Submission throughput of the master thread (tasks per second spent
+    /// inside the submission phase only — the drain is excluded).
+    submit_tasks_per_sec: f64,
+    /// Largest `live_nodes` gauge observed right after a wave was submitted.
+    peak_live_nodes: u64,
+    /// `live_nodes` after the final taskwait (0 when every node retired).
+    final_live_nodes: u64,
+    /// Total nodes retired over the run.
+    retired_nodes: u64,
+}
+
+/// Submits `waves` waves of `wave_size` fine-grained inout-chain tasks in
+/// groups of `batch` (1 = the singleton `task(..).submit()` path), timing
+/// only the submission phase. Each task extends one of `chains` dependence
+/// chains, so every submission pays dependence analysis and edge wiring —
+/// the master-thread cost the paper's Figure 8 identifies as the bottleneck
+/// once ATM makes tasks cheap. Workers drain concurrently; a taskwait
+/// closes each wave, after which node retirement must have returned the
+/// graph to (near) empty — `peak_live_nodes` stays bounded by the wave, not
+/// the run.
+fn creation_round(
+    batch: usize,
+    waves: usize,
+    wave_size: usize,
+    chains: usize,
+    workers: usize,
+) -> CreationRound {
+    let rt = RuntimeBuilder::new().workers(workers).build();
+    let incr = rt.register_task_type(
+        TaskTypeBuilder::new("creation_incr", |ctx| {
+            let v = ctx.arg::<f64>(0)[0];
+            ctx.out(0, &[v + 1.0]);
+        })
+        .inout::<f64>()
+        .build(),
+    );
+    let cells: Vec<Region<f64>> = (0..chains)
+        .map(|c| rt.store().register_zeros(format!("cc{c}"), 1).unwrap())
+        .collect();
+
+    let mut submit_ns = 0u128;
+    let mut peak_live_nodes = 0u64;
+    for _ in 0..waves {
+        let started = std::time::Instant::now();
+        if batch == 1 {
+            for t in 0..wave_size {
+                rt.task(incr)
+                    .reads_writes(&cells[t % chains])
+                    .submit()
+                    .expect("creation task matches the declared signature");
+            }
+        } else {
+            let mut submitted = 0usize;
+            while submitted < wave_size {
+                let group = batch.min(wave_size - submitted);
+                let mut staged = rt.tasks(incr);
+                for t in submitted..submitted + group {
+                    staged = staged.next().reads_writes(&cells[t % chains]);
+                }
+                staged
+                    .submit_all()
+                    .expect("creation batch matches the declared signature");
+                submitted += group;
+            }
+        }
+        submit_ns += started.elapsed().as_nanos();
+        peak_live_nodes = peak_live_nodes.max(rt.stats().live_nodes);
+        rt.taskwait();
+    }
+    let stats = rt.stats();
+    let total = (waves * wave_size) as f64;
+    // Sanity: the chains ran to completion in dataflow order.
+    for (c, cell) in cells.iter().enumerate() {
+        let expected = (waves * (wave_size / chains + usize::from(c < wave_size % chains))) as f64;
+        assert_eq!(rt.store().read(*cell).lock().as_f64(), &[expected]);
+    }
+    rt.shutdown();
+    CreationRound {
+        submit_tasks_per_sec: total / (submit_ns as f64 / 1e9).max(1e-9),
+        peak_live_nodes,
+        final_live_nodes: stats.live_nodes,
+        retired_nodes: stats.retired_nodes,
+    }
+}
+
+/// Parameters of the creation experiment at a given scale: (batch sizes,
+/// waves, wave_size, chains, workers).
+fn creation_params(scale: Scale) -> ([usize; 4], usize, usize, usize) {
+    match scale {
+        Scale::Tiny => ([1, 8, 64, 512], 4, 1024, 64),
+        _ => ([1, 8, 64, 512], 8, 4096, 256),
+    }
+}
+
+/// The task-creation experiment: submission throughput vs batch size, plus
+/// the bounded-memory evidence of graph-node retirement.
+pub fn creation(ctx: &EvalContext) -> Report {
+    let mut report = Report::new(
+        "creation",
+        "Task-creation throughput — batched vs singleton submission, peak live graph nodes",
+        "batch,submit_tasks_per_sec,peak_live_nodes,final_live_nodes,retired_nodes",
+    );
+    let (batches, waves, wave_size, chains) = creation_params(ctx.scale);
+    let workers = ctx.workers.clamp(1, 4);
+    let total = waves * wave_size;
+    report.linef(format_args!(
+        "{waves} waves x {wave_size} tasks over {chains} inout chains ({total} tasks, {workers} workers draining):"
+    ));
+    let mut singleton_tps = 0.0f64;
+    let mut last_round_final_live = 0u64;
+    for batch in batches {
+        let round = creation_round(batch, waves, wave_size, chains, workers);
+        if batch == 1 {
+            singleton_tps = round.submit_tasks_per_sec;
+        }
+        report.linef(format_args!(
+            "  batch {batch:>4}: {:>12.0} submitted tasks/sec   peak live nodes {:>6} (wave = {wave_size})   final {} retired {}",
+            round.submit_tasks_per_sec,
+            round.peak_live_nodes,
+            round.final_live_nodes,
+            round.retired_nodes,
+        ));
+        report.row(format!(
+            "{batch},{:.1},{},{},{}",
+            round.submit_tasks_per_sec,
+            round.peak_live_nodes,
+            round.final_live_nodes,
+            round.retired_nodes
+        ));
+        report.metric(
+            format!("b{batch}_submit_tasks_per_sec"),
+            round.submit_tasks_per_sec,
+        );
+        report.metric(
+            format!("b{batch}_peak_live_nodes"),
+            round.peak_live_nodes as f64,
+        );
+        if batch == 512 && singleton_tps > 0.0 {
+            report.metric(
+                "batch512_over_singleton",
+                round.submit_tasks_per_sec / singleton_tps,
+            );
+            report.linef(format_args!(
+                "batch-512 / singleton submission throughput: {:.2}x",
+                round.submit_tasks_per_sec / singleton_tps
+            ));
+        }
+        last_round_final_live = round.final_live_nodes;
+    }
+    report.metric("total_tasks", total as f64);
+    report.metric("final_live_nodes", last_round_final_live as f64);
+    report.line("Batching takes the submission lock, each slab shard's write lock and each");
+    report.line("touched live-index shard once per batch instead of once per task, so the");
+    report.line("master thread's creation throughput rises with the batch size; node");
+    report.line("retirement keeps the peak live-node count bounded by the in-flight wave");
+    report.line("no matter how many tasks the run submits in total.");
     report
 }
 
@@ -1767,23 +1981,94 @@ mod tests {
     fn scaling_report_covers_the_full_sweep() {
         let ctx = EvalContext::new(Scale::Tiny, 2);
         let report = scaling(&ctx);
-        assert_eq!(report.csv_rows.len(), 6, "3 worker counts x 2 modes");
-        for workers in [1, 2, 4] {
-            for mode in ["fifo", "stealing"] {
-                let name = format!("w{workers}_{mode}_tasks_per_sec");
-                let value = report
-                    .metrics
-                    .iter()
-                    .find(|(n, _)| *n == name)
-                    .unwrap_or_else(|| panic!("metric {name} missing"))
-                    .1;
-                assert!(value > 0.0, "{name} must be positive");
+        assert_eq!(
+            report.csv_rows.len(),
+            18,
+            "3 chain shapes x 3 worker counts x 2 modes"
+        );
+        for (chains, chain_len) in scaling_shapes(Scale::Tiny) {
+            for workers in [1, 2, 4] {
+                for mode in ["fifo", "stealing"] {
+                    let name = format!("c{chains}x{chain_len}_w{workers}_{mode}_tasks_per_sec");
+                    let value = report
+                        .metrics
+                        .iter()
+                        .find(|(n, _)| *n == name)
+                        .unwrap_or_else(|| panic!("metric {name} missing"))
+                        .1;
+                    assert!(value > 0.0, "{name} must be positive");
+                }
             }
         }
         assert!(report
             .metrics
             .iter()
             .any(|(n, _)| n == "w4_stealing_over_fifo"));
+        assert!(report
+            .metrics
+            .iter()
+            .any(|(n, _)| n == "w4_stealing_burst_over_release"));
+    }
+
+    /// The creation sweep reports a throughput per batch size and the
+    /// bounded-memory evidence: peak live nodes never exceed the in-flight
+    /// wave (constant in the total task count) and everything retires.
+    #[test]
+    fn creation_report_shows_bounded_live_nodes() {
+        let ctx = EvalContext::new(Scale::Tiny, 2);
+        let report = creation(&ctx);
+        let (batches, _waves, wave_size, _chains) = creation_params(Scale::Tiny);
+        assert_eq!(report.csv_rows.len(), batches.len());
+        let metric = |name: &str| -> f64 {
+            report
+                .metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("metric {name} missing"))
+                .1
+        };
+        for batch in batches {
+            assert!(metric(&format!("b{batch}_submit_tasks_per_sec")) > 0.0);
+            let peak = metric(&format!("b{batch}_peak_live_nodes"));
+            assert!(
+                peak <= wave_size as f64,
+                "batch {batch}: peak live nodes {peak} must stay within one wave ({wave_size})"
+            );
+        }
+        assert_eq!(
+            metric("final_live_nodes"),
+            0.0,
+            "every node must retire once its wave drains"
+        );
+        assert!(report
+            .metrics
+            .iter()
+            .any(|(n, _)| n == "batch512_over_singleton"));
+    }
+
+    /// Acceptance criterion: batch-512 submission throughput beats the
+    /// singleton path — the lock amortisation must be visible end to end.
+    /// Wall-clock sensitive, so (like the stealing-beats-fifo test) it is
+    /// ignored in the parallel suite and run isolated in CI; a single
+    /// comparison can be disturbed by background load, so it passes if the
+    /// batch wins any of three attempts.
+    #[test]
+    #[ignore = "wall-clock comparison; run isolated: cargo test -- --ignored --test-threads=1"]
+    fn creation_batch512_beats_singleton_submission() {
+        let mut attempts = Vec::new();
+        for _ in 0..3 {
+            let singleton = creation_round(1, 4, 2048, 64, 2).submit_tasks_per_sec;
+            let batched = creation_round(512, 4, 2048, 64, 2).submit_tasks_per_sec;
+            assert!(singleton > 0.0 && batched > 0.0);
+            if batched > singleton {
+                return;
+            }
+            attempts.push((singleton, batched));
+        }
+        panic!(
+            "batch-512 submission must out-pace singleton submission; \
+             (singleton, batched) tasks/s per attempt: {attempts:?}"
+        );
     }
 
     #[test]

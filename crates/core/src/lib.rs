@@ -70,6 +70,21 @@
 //!
 //! assert_eq!(rt.store().read(out_b).lock().as_f64(), &[10.0]);
 //! assert_eq!(engine.stats().tht_bypassed, 1);
+//!
+//! // Wave submission goes through the batched builder: one validation and
+//! // one dependence pass for the whole wave. Finished graph nodes retire
+//! // (their slots are recycled), so a long-running service's graph memory
+//! // follows the live window — both visible in the runtime stats.
+//! let mut wave = rt.tasks(sum);
+//! for i in 0..8 {
+//!     let out = rt.store().register_zeros::<f64>(format!("w{i}"), 1).unwrap();
+//!     wave = wave.next().reads(&input).writes(&out);
+//! }
+//! assert_eq!(wave.submit_all().unwrap().len(), 8);
+//! rt.taskwait();
+//! let stats = rt.stats();
+//! assert_eq!(stats.live_nodes, 0, "every finished wave retires");
+//! assert_eq!(stats.retired_nodes, 10);
 //! ```
 
 #![warn(missing_docs)]

@@ -15,13 +15,16 @@
 //! lock**:
 //!
 //! * task nodes live in a **sharded slab** (`id % NODE_SHARDS` picks the
-//!   shard, `id / NODE_SHARDS` the slot); lookups take a brief per-shard
-//!   read lock, appends (submission only) a per-shard write lock;
+//!   shard; within a shard an id → slot index maps to a recyclable slot);
+//!   lookups take a brief per-shard read lock, inserts and slot frees a
+//!   per-shard write lock — and [`TaskGraph::submit_batch`] takes each
+//!   write lock **once per batch**, not once per task;
 //! * every node carries an **atomic `unresolved` counter** and an atomic
 //!   lifecycle state; releasing a successor is one `fetch_sub`;
 //! * the per-region **live-accessor index** is sharded by region id, so
 //!   pruning a finished task's accesses locks only the shards of the
-//!   regions it touched;
+//!   regions it touched — and a batch submission locks each touched shard
+//!   once for the whole dependence pass;
 //! * the submission ↔ completion race is resolved with a per-node
 //!   *closed successor list*: [`TaskGraph::finish`] closes the list before
 //!   releasing, and a submitter that finds the list already closed knows
@@ -33,11 +36,33 @@
 //!
 //! **Submission is master-thread-only** (one submitter at a time), matching
 //! the programming model; completions may come from any worker concurrently.
+//!
+//! # Node lifecycle and retirement
+//!
+//! A node moves through `WaitingDeps → Ready → Running (→ Deferred) →
+//! Finished`, and is finally **retired** — its slab slot freed and recycled
+//! — once it satisfies the retirement condition:
+//!
+//! > the task has finished, **and** every successor that registered an edge
+//! > on it has finished.
+//!
+//! The condition is tracked with a refcount-style *retire-hold* counter:
+//! one hold for the task's own completion, plus one per registered
+//! successor edge (taken under the same successor lock that registers the
+//! edge). [`TaskGraph::finish_node`] releases the node's own hold and the
+//! holds it took on its predecessors; whoever releases the last hold frees
+//! the slot onto the shard's free list. Retired ids disappear from the
+//! id → slot index, so a stale lookup (e.g. a submitter that saw the task
+//! among the live accessors an instant before it finished) observes "gone =
+//! finished" instead of aliasing a recycled slot. This bounds the graph's
+//! steady-state memory by the *live* task window instead of the total
+//! submitted count — the [`TaskGraph::live_nodes`] / [`TaskGraph::retired_count`]
+//! gauges make that observable.
 
 use crate::access::Access;
 use crate::region::RegionId;
 use crate::task::{TaskDesc, TaskId};
-use atm_sync::{Mutex, RwLock};
+use atm_sync::{Mutex, MutexGuard, RwLock};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -105,6 +130,14 @@ pub struct TaskNode {
     unresolved: AtomicUsize,
     state: AtomicU8,
     successors: Mutex<SuccessorSlot>,
+    /// Retirement refcount: 1 for the task's own completion plus 1 per
+    /// registered successor edge. The releaser of the last hold frees the
+    /// node's slab slot (see the module docs on retirement).
+    retire_holds: AtomicUsize,
+    /// The predecessors this node registered edges on (their retire holds
+    /// are released when this node finishes). Holding the `Arc` keeps a
+    /// predecessor's memory valid even after its slot was recycled.
+    preds: Mutex<Vec<Arc<TaskNode>>>,
 }
 
 impl TaskNode {
@@ -127,15 +160,64 @@ impl TaskNode {
     }
 }
 
-/// One shard of the live-accessor index: per region, the accesses of every
+/// The live-accessor map of one shard: per region, the accesses of every
 /// unfinished task touching it.
-type LiveShard = Mutex<HashMap<RegionId, HashMap<TaskId, Vec<Access>>>>;
+type LiveMap = HashMap<RegionId, HashMap<TaskId, Vec<Access>>>;
+
+/// One shard of the live-accessor index.
+type LiveShard = Mutex<LiveMap>;
+
+/// One shard of the node slab: recyclable slots plus the id → slot index.
+/// Retired nodes leave the index and their slot goes onto the free list, so
+/// the slab's footprint follows the *live* task window, not the total
+/// submitted count.
+#[derive(Debug, Default)]
+struct NodeShard {
+    slots: Vec<Option<Arc<TaskNode>>>,
+    index: HashMap<u64, u32>,
+    free: Vec<u32>,
+}
+
+impl NodeShard {
+    fn insert(&mut self, node: Arc<TaskNode>) {
+        let id = node.id.0;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(node);
+                slot
+            }
+            None => {
+                self.slots.push(Some(node));
+                u32::try_from(self.slots.len() - 1).expect("slab shard exceeds u32 slots")
+            }
+        };
+        self.index.insert(id, slot);
+    }
+
+    fn get(&self, id: u64) -> Option<Arc<TaskNode>> {
+        self.index.get(&id).map(|&slot| {
+            Arc::clone(
+                self.slots[slot as usize]
+                    .as_ref()
+                    .expect("indexed slot must be occupied"),
+            )
+        })
+    }
+
+    fn remove(&mut self, id: u64) {
+        if let Some(slot) = self.index.remove(&id) {
+            self.slots[slot as usize] = None;
+            self.free.push(slot);
+        }
+    }
+}
 
 /// The Task Dependence Graph plus the per-region bookkeeping needed to build it.
 #[derive(Debug)]
 pub struct TaskGraph {
-    /// Sharded node slab: shard = `id % NODE_SHARDS`, slot = `id / NODE_SHARDS`.
-    shards: Vec<RwLock<Vec<Arc<TaskNode>>>>,
+    /// Sharded node slab: shard = `id % NODE_SHARDS`; slots are recycled as
+    /// nodes retire.
+    shards: Vec<RwLock<NodeShard>>,
     /// Accesses of unfinished tasks, indexed per region and sharded by
     /// region id. Finished tasks are pruned, so lookups only scan live
     /// accessors (a handful per region in the block-structured benchmarks).
@@ -148,18 +230,22 @@ pub struct TaskGraph {
     submission: Mutex<()>,
     next_id: AtomicU64,
     finished: AtomicU64,
+    retired: AtomicU64,
 }
 
 impl Default for TaskGraph {
     fn default() -> Self {
         TaskGraph {
-            shards: (0..NODE_SHARDS).map(|_| RwLock::new(Vec::new())).collect(),
+            shards: (0..NODE_SHARDS)
+                .map(|_| RwLock::new(NodeShard::default()))
+                .collect(),
             live: (0..LIVE_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             submission: Mutex::new(()),
             next_id: AtomicU64::new(0),
             finished: AtomicU64::new(0),
+            retired: AtomicU64::new(0),
         }
     }
 }
@@ -185,14 +271,55 @@ impl TaskGraph {
         self.finished.load(Ordering::SeqCst)
     }
 
-    /// The node of a task.
-    pub fn node(&self, id: TaskId) -> Arc<TaskNode> {
-        let shard = self.shards[id.index() % NODE_SHARDS].read();
-        Arc::clone(&shard[id.index() / NODE_SHARDS])
+    /// Number of retired tasks (finished, all successors finished, slab
+    /// slot freed).
+    pub fn retired_count(&self) -> u64 {
+        self.retired.load(Ordering::SeqCst)
     }
 
-    fn live_shard(&self, region: RegionId) -> &LiveShard {
-        &self.live[region.index() % LIVE_SHARDS]
+    /// Number of nodes currently resident in the slab (submitted minus
+    /// retired). In steady state this follows the live task window, not the
+    /// total submitted count.
+    pub fn live_nodes(&self) -> u64 {
+        // Load `retired` first: a submission landing between the two loads
+        // then over-counts the gauge instead of underflowing it (retired
+        // can never exceed the submitted count it was read against).
+        let retired = self.retired.load(Ordering::SeqCst);
+        self.next_id.load(Ordering::SeqCst).saturating_sub(retired)
+    }
+
+    /// The node of a task, if it has not retired yet. `None` means the task
+    /// finished, all its successors finished, and its slot was recycled.
+    pub fn try_node(&self, id: TaskId) -> Option<Arc<TaskNode>> {
+        self.shards[id.index() % NODE_SHARDS].read().get(id.0)
+    }
+
+    /// The node of a task.
+    ///
+    /// # Panics
+    /// Panics when the task has already retired; use [`TaskGraph::try_node`]
+    /// for lookups that may race retirement.
+    pub fn node(&self, id: TaskId) -> Arc<TaskNode> {
+        self.try_node(id)
+            .unwrap_or_else(|| panic!("{id} has retired (or was never submitted)"))
+    }
+
+    fn live_shard_index(region: RegionId) -> usize {
+        region.index() % LIVE_SHARDS
+    }
+
+    /// Releases one retire hold on `node`; the releaser of the last hold
+    /// frees the slab slot.
+    fn release_retire_hold(&self, node: &TaskNode) {
+        let prev = node.retire_holds.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0, "retire hold released twice");
+        if prev == 1 {
+            debug_assert_eq!(node.state(), NodeState::Finished);
+            self.shards[node.id.index() % NODE_SHARDS]
+                .write()
+                .remove(node.id.0);
+            self.retired.fetch_add(1, Ordering::SeqCst);
+        }
     }
 
     /// Inserts a task, computes its dependences and returns `(id, ready)`.
@@ -204,7 +331,10 @@ impl TaskGraph {
     ///
     /// Submissions are serialised internally (the programming model's
     /// master thread never contends on that lock); completions run
-    /// concurrently and never take it.
+    /// concurrently and never take it. This is the lean single-task path —
+    /// no batch scaffolding allocated; see [`TaskGraph::submit_batch`] for
+    /// the lock-amortised wave path. The two are semantically identical
+    /// (property-tested against each other).
     pub fn submit(&self, desc: TaskDesc) -> (TaskId, bool) {
         let _submitting = self.submission.lock();
         let id = TaskId(self.next_id.fetch_add(1, Ordering::SeqCst));
@@ -219,18 +349,18 @@ impl TaskGraph {
             unresolved: AtomicUsize::new(1),
             state: AtomicU8::new(NodeState::WaitingDeps.as_u8()),
             successors: Mutex::new(SuccessorSlot::default()),
+            retire_holds: AtomicUsize::new(1),
+            preds: Mutex::new(Vec::new()),
         });
-        {
-            let mut shard = self.shards[id.index() % NODE_SHARDS].write();
-            debug_assert_eq!(shard.len(), id.index() / NODE_SHARDS);
-            shard.push(Arc::clone(&node));
-        }
+        self.shards[id.index() % NODE_SHARDS]
+            .write()
+            .insert(Arc::clone(&node));
 
         // Collect unique predecessors among live (unfinished) accessors,
         // registering this task's own accesses as live in the same pass.
         let mut preds: BTreeSet<TaskId> = BTreeSet::new();
         for access in &node.desc.accesses {
-            let mut shard = self.live_shard(access.region).lock();
+            let mut shard = self.live[Self::live_shard_index(access.region)].lock();
             let per_region = shard.entry(access.region).or_default();
             for (tid, prev_accesses) in per_region.iter() {
                 if *tid != id && prev_accesses.iter().any(|prev| access.conflicts_with(prev)) {
@@ -240,21 +370,8 @@ impl TaskGraph {
             per_region.entry(id).or_default().push(access.clone());
         }
 
-        // Register one edge per predecessor. Holding the predecessor's
-        // successor lock while incrementing `unresolved` guarantees the
-        // matching decrement (performed by the predecessor's finish, which
-        // needs the same lock to close the list) cannot arrive first.
-        for pred in &preds {
-            let pred_node = self.node(*pred);
-            let mut slot = pred_node.successors.lock();
-            if slot.closed {
-                // The predecessor finished before the edge existed: the
-                // dependence is already satisfied.
-                continue;
-            }
-            slot.list.push(id);
-            node.unresolved.fetch_add(1, Ordering::SeqCst);
-        }
+        // Register one edge per predecessor (see `wire_edges`).
+        self.wire_edges(&node, &preds);
 
         // Release the submission guard. Exactly one decrement observes the
         // counter reach zero; if it is ours, the task is ready now.
@@ -263,6 +380,149 @@ impl TaskGraph {
             node.set_state(NodeState::Ready);
         }
         (id, ready)
+    }
+
+    /// Registers one edge per predecessor of `node`. Holding the
+    /// predecessor's successor lock while incrementing `unresolved` (and
+    /// taking the retire hold) guarantees the matching decrement —
+    /// performed by the predecessor's finish, which needs the same lock to
+    /// close the list — cannot arrive first. A predecessor observed live
+    /// during the dependence pass may have finished (closed list) or even
+    /// retired (gone from the slab) since: both mean the dependence is
+    /// already satisfied.
+    fn wire_edges(&self, node: &Arc<TaskNode>, preds: &BTreeSet<TaskId>) {
+        for pred in preds {
+            let Some(pred_node) = self.try_node(*pred) else {
+                continue;
+            };
+            let registered = {
+                let mut slot = pred_node.successors.lock();
+                if slot.closed {
+                    false
+                } else {
+                    slot.list.push(node.id);
+                    node.unresolved.fetch_add(1, Ordering::SeqCst);
+                    pred_node.retire_holds.fetch_add(1, Ordering::SeqCst);
+                    true
+                }
+            };
+            if registered {
+                node.preds.lock().push(pred_node);
+            }
+        }
+    }
+
+    /// Inserts a batch of tasks, computes their dependences (including the
+    /// dependences *between* batch members) and returns one `(id, ready)`
+    /// per task, in submission order.
+    ///
+    /// The amortisation over [`TaskGraph::submit`] in a loop: the internal
+    /// submission lock is taken once, each touched slab shard's write lock
+    /// is taken once, and each touched live-index shard is locked once for
+    /// the whole dependence pass — instead of once per task. Dependence
+    /// edges are wired in a single pass; the semantics (ids, edges, ready
+    /// transitions) are exactly those of submitting the descriptors one by
+    /// one.
+    pub fn submit_batch(&self, descs: Vec<TaskDesc>) -> Vec<(TaskId, bool)> {
+        if descs.is_empty() {
+            return Vec::new();
+        }
+        let _submitting = self.submission.lock();
+        let first = self.next_id.fetch_add(descs.len() as u64, Ordering::SeqCst);
+
+        // Create all nodes up front. The submission guard (unresolved = 1)
+        // keeps each task from becoming ready until its edges are wired.
+        let nodes: Vec<Arc<TaskNode>> = descs
+            .into_iter()
+            .enumerate()
+            .map(|(offset, desc)| {
+                Arc::new(TaskNode {
+                    id: TaskId(first + offset as u64),
+                    desc,
+                    unresolved: AtomicUsize::new(1),
+                    state: AtomicU8::new(NodeState::WaitingDeps.as_u8()),
+                    successors: Mutex::new(SuccessorSlot::default()),
+                    retire_holds: AtomicUsize::new(1),
+                    preds: Mutex::new(Vec::new()),
+                })
+            })
+            .collect();
+
+        // Slab insertion *before* edge registration (a predecessor finishing
+        // mid-registration must be able to look a batch member up), one
+        // write lock per touched shard.
+        for (shard_index, shard) in self.shards.iter().enumerate() {
+            let mut members = nodes
+                .iter()
+                .filter(|n| n.id.index() % NODE_SHARDS == shard_index)
+                .peekable();
+            if members.peek().is_none() {
+                continue;
+            }
+            let mut shard = shard.write();
+            for node in members {
+                shard.insert(Arc::clone(node));
+            }
+        }
+
+        // Dependence pass: lock every touched live-index shard once, then
+        // walk the batch in submission order — earlier batch members become
+        // visible as live accessors to later ones, exactly as in the
+        // one-by-one path. (Completions lock live shards one at a time and
+        // never wait on a second one while holding a first, so holding the
+        // whole touched set here cannot deadlock.)
+        let mut touched = [false; LIVE_SHARDS];
+        for node in &nodes {
+            for access in &node.desc.accesses {
+                touched[Self::live_shard_index(access.region)] = true;
+            }
+        }
+        let mut preds_per_task: Vec<BTreeSet<TaskId>> = Vec::with_capacity(nodes.len());
+        {
+            let mut guards: Vec<Option<MutexGuard<'_, LiveMap>>> = self
+                .live
+                .iter()
+                .enumerate()
+                .map(|(i, shard)| touched[i].then(|| shard.lock()))
+                .collect();
+            for node in &nodes {
+                let mut preds: BTreeSet<TaskId> = BTreeSet::new();
+                for access in &node.desc.accesses {
+                    let shard = guards[Self::live_shard_index(access.region)]
+                        .as_mut()
+                        .expect("touched shard is locked");
+                    let per_region = shard.entry(access.region).or_default();
+                    for (tid, prev_accesses) in per_region.iter() {
+                        if *tid != node.id
+                            && prev_accesses.iter().any(|prev| access.conflicts_with(prev))
+                        {
+                            preds.insert(*tid);
+                        }
+                    }
+                    per_region.entry(node.id).or_default().push(access.clone());
+                }
+                preds_per_task.push(preds);
+            }
+        }
+
+        // Edge wiring, one pass over the batch.
+        for (node, preds) in nodes.iter().zip(&preds_per_task) {
+            self.wire_edges(node, preds);
+        }
+
+        // Release the submission guards in id order. Exactly one decrement
+        // observes each counter reach zero; if it is ours, the task is
+        // ready now.
+        nodes
+            .iter()
+            .map(|node| {
+                let ready = node.unresolved.fetch_sub(1, Ordering::SeqCst) == 1;
+                if ready {
+                    node.set_state(NodeState::Ready);
+                }
+                (node.id, ready)
+            })
+            .collect()
     }
 
     /// Marks a ready task as picked up by a worker and returns its node, so
@@ -289,10 +549,15 @@ impl TaskGraph {
     /// here: the deferral registration (inside the interceptor) is visible
     /// to the producer's completion path as soon as it happens, so the
     /// producer can legally call [`TaskGraph::finish`] on a still-`Running`
-    /// waiter. In that case the task is already `Finished` and this call is
-    /// a no-op — only a `Running` task actually moves to `Deferred`.
+    /// waiter. In that case the task is already `Finished` (it may even have
+    /// retired) and this call is a no-op — only a `Running` task actually
+    /// moves to `Deferred`.
     pub fn mark_deferred(&self, id: TaskId) {
-        let node = self.node(id);
+        let Some(node) = self.try_node(id) else {
+            // Finished, all successors finished, slot recycled: the same
+            // tolerated no-op as the already-`Finished` case below.
+            return;
+        };
         if node
             .state
             .compare_exchange(
@@ -318,12 +583,14 @@ impl TaskGraph {
         self.finish_node(&self.node(id))
     }
 
-    /// Completes a task: prunes its live accesses, releases its successors
-    /// and returns the successors that became ready.
+    /// Completes a task: prunes its live accesses, releases its successors,
+    /// releases its retirement holds (its own and those it took on its
+    /// predecessors) and returns the successors that became ready.
     ///
     /// Takes no graph-wide lock: only the live-index shards of the regions
-    /// this task touched, the node's own successor lock, and one atomic
-    /// decrement per successor.
+    /// this task touched, the node's own successor lock, one atomic
+    /// decrement per successor — and, for each node this completion
+    /// actually retires, one slab-shard write lock to free the slot.
     pub fn finish_node(&self, node: &TaskNode) -> Vec<TaskId> {
         let id = node.id();
         let state = node.state();
@@ -336,7 +603,7 @@ impl TaskGraph {
 
         // Prune live accesses of this task (per-region shard locks only).
         for access in &node.desc.accesses {
-            let mut shard = self.live_shard(access.region).lock();
+            let mut shard = self.live[Self::live_shard_index(access.region)].lock();
             if let Some(per_region) = shard.get_mut(&access.region) {
                 per_region.remove(&id);
                 if per_region.is_empty() {
@@ -355,6 +622,8 @@ impl TaskGraph {
 
         let mut newly_ready = Vec::new();
         for succ in successors {
+            // Successors with an unreleased edge cannot retire (their own
+            // completion hold is still pending), so the lookup must succeed.
             let succ_node = self.node(succ);
             let prev = succ_node.unresolved.fetch_sub(1, Ordering::SeqCst);
             debug_assert!(prev > 0, "successor with no unresolved dependences");
@@ -364,25 +633,39 @@ impl TaskGraph {
                 newly_ready.push(succ);
             }
         }
+
+        // Retirement: hand back the holds this task took on its
+        // predecessors, then its own completion hold. Whoever releases a
+        // node's last hold frees its slot.
+        let preds = std::mem::take(&mut *node.preds.lock());
+        for pred in &preds {
+            self.release_retire_hold(pred);
+        }
+        self.release_retire_hold(node);
         newly_ready
     }
 
-    /// Current state of a task.
+    /// Current state of a task. Retired tasks (slot already recycled) are,
+    /// by the retirement condition, finished.
     pub fn state(&self, id: TaskId) -> NodeState {
-        self.node(id).state()
+        self.try_node(id)
+            .map_or(NodeState::Finished, |node| node.state())
     }
 
-    /// Direct successors of a task so far (for tests and diagnostics).
+    /// Direct successors of a task so far (for tests and diagnostics;
+    /// empty for retired tasks).
     pub fn successors(&self, id: TaskId) -> Vec<TaskId> {
-        self.node(id).successors.lock().list.clone()
+        self.try_node(id)
+            .map_or_else(Vec::new, |node| node.successors.lock().list.clone())
     }
 
     /// Number of unresolved predecessors of a task (for tests and
-    /// diagnostics). The submission guard is released before
-    /// [`TaskGraph::submit`] returns, so this is exactly the number of
-    /// in-flight predecessors.
+    /// diagnostics; zero for retired tasks). The submission guard is
+    /// released before [`TaskGraph::submit`] returns, so this is exactly
+    /// the number of in-flight predecessors.
     pub fn unresolved(&self, id: TaskId) -> usize {
-        self.node(id).unresolved.load(Ordering::SeqCst)
+        self.try_node(id)
+            .map_or(0, |node| node.unresolved.load(Ordering::SeqCst))
     }
 
     /// Checks the structural invariant that every edge goes from an earlier
@@ -585,6 +868,138 @@ mod tests {
         let node = g.start_running(id);
         assert_eq!(node.desc().accesses.len(), 1);
         assert_eq!(g.state(id), NodeState::Running);
+    }
+
+    #[test]
+    fn an_independent_task_retires_at_finish() {
+        let (_store, r) = store_with_regions(1);
+        let g = TaskGraph::new();
+        let (t, _) = g.submit(desc(vec![Access::write(&r[0])]));
+        assert_eq!(g.live_nodes(), 1);
+        g.mark_running(t);
+        g.finish(t);
+        assert_eq!(g.retired_count(), 1);
+        assert_eq!(g.live_nodes(), 0);
+        assert!(g.try_node(t).is_none(), "the slot must be freed");
+        assert_eq!(g.state(t), NodeState::Finished, "retired implies finished");
+    }
+
+    #[test]
+    fn a_predecessor_retires_only_after_its_successors_finish() {
+        let (_store, r) = store_with_regions(1);
+        let g = TaskGraph::new();
+        let (producer, _) = g.submit(desc(vec![Access::write(&r[0])]));
+        let (consumer, _) = g.submit(desc(vec![Access::read(&r[0])]));
+        g.mark_running(producer);
+        g.finish(producer);
+        // The producer finished but its successor has not: the edge keeps a
+        // retire hold, so the node stays resident.
+        assert_eq!(g.retired_count(), 0);
+        assert!(g.try_node(producer).is_some());
+        g.mark_running(consumer);
+        g.finish(consumer);
+        // The consumer's finish releases the producer's last hold and its
+        // own; both retire.
+        assert_eq!(g.retired_count(), 2);
+        assert_eq!(g.live_nodes(), 0);
+    }
+
+    #[test]
+    fn retired_slots_are_recycled_by_later_submissions() {
+        let (_store, r) = store_with_regions(1);
+        let g = TaskGraph::new();
+        // Drive many more tasks than slots through one chain; every task
+        // must fit in the recycled slots of its retired predecessors.
+        for _ in 0..10 * NODE_SHARDS {
+            let (t, _) = g.submit(desc(vec![Access::write(&r[0])]));
+            g.mark_running(t);
+            g.finish(t);
+        }
+        assert_eq!(g.live_nodes(), 0);
+        assert_eq!(g.retired_count(), 10 * NODE_SHARDS as u64);
+        let resident: usize = (0..g.len())
+            .map(|i| usize::from(g.try_node(TaskId(i as u64)).is_some()))
+            .sum();
+        assert_eq!(resident, 0);
+        // The slab recycled slots instead of growing: every shard holds at
+        // most a handful of slots.
+        for shard in &g.shards {
+            assert!(
+                shard.read().slots.len() <= 2,
+                "slots must be recycled, not appended"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_submission_matches_one_by_one_semantics() {
+        let (_store, r) = store_with_regions(2);
+        let singleton = TaskGraph::new();
+        let batched = TaskGraph::new();
+        let program = || {
+            vec![
+                desc(vec![Access::write(&r[0])]),
+                desc(vec![Access::read(&r[0]), Access::write(&r[1])]),
+                desc(vec![Access::read(&r[1])]),
+                desc(vec![Access::read(&r[0])]),
+            ]
+        };
+        let one_by_one: Vec<(TaskId, bool)> =
+            program().into_iter().map(|d| singleton.submit(d)).collect();
+        let as_batch = batched.submit_batch(program());
+        assert_eq!(one_by_one, as_batch);
+        for i in 0..4 {
+            let id = TaskId(i);
+            assert_eq!(singleton.successors(id), batched.successors(id), "{id}");
+            assert_eq!(singleton.unresolved(id), batched.unresolved(id), "{id}");
+        }
+        assert!(batched.edges_respect_submission_order());
+    }
+
+    #[test]
+    fn batch_members_depend_on_earlier_batch_members() {
+        let (_store, r) = store_with_regions(1);
+        let g = TaskGraph::new();
+        let results = g.submit_batch(vec![
+            desc(vec![Access::read_write(&r[0])]),
+            desc(vec![Access::read_write(&r[0])]),
+            desc(vec![Access::read_write(&r[0])]),
+        ]);
+        assert_eq!(
+            results.iter().map(|(_, ready)| *ready).collect::<Vec<_>>(),
+            vec![true, false, false],
+            "an inout chain inside one batch serialises"
+        );
+        let chain: Vec<TaskId> = results.into_iter().map(|(id, _)| id).collect();
+        g.mark_running(chain[0]);
+        assert_eq!(g.finish(chain[0]), vec![chain[1]]);
+        g.mark_running(chain[1]);
+        assert_eq!(g.finish(chain[1]), vec![chain[2]]);
+        g.mark_running(chain[2]);
+        assert!(g.finish(chain[2]).is_empty());
+        assert_eq!(g.retired_count(), 3, "the whole chain retires at the end");
+    }
+
+    #[test]
+    fn batch_sees_live_tasks_submitted_before_it() {
+        let (_store, r) = store_with_regions(1);
+        let g = TaskGraph::new();
+        let (earlier, _) = g.submit(desc(vec![Access::write(&r[0])]));
+        let results = g.submit_batch(vec![
+            desc(vec![Access::read(&r[0])]),
+            desc(vec![Access::read(&r[0])]),
+        ]);
+        assert!(results.iter().all(|(_, ready)| !ready));
+        g.mark_running(earlier);
+        let released = g.finish(earlier);
+        assert_eq!(released.len(), 2);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let g = TaskGraph::new();
+        assert!(g.submit_batch(Vec::new()).is_empty());
+        assert_eq!(g.len(), 0);
     }
 
     /// Concurrent finishes racing a stream of submissions never lose a

@@ -18,11 +18,20 @@
 //! * **validated submission** ([`submit`]) — the fluent
 //!   [`Runtime::task`] builder checks arity, access modes and element types
 //!   against the task type's signature and the store, returning a
-//!   [`SubmitError`] instead of panicking in a worker;
+//!   [`SubmitError`] instead of panicking in a worker; the batched
+//!   [`Runtime::batch`] / [`Runtime::tasks`] builder stages many tasks and
+//!   submits them with [`BatchBuilder::submit_all`] — one validation pass
+//!   and one dependence pass, each internal lock taken once per batch;
 //! * **dependence tracking and the Task Dependence Graph** ([`dependence`]):
 //!   read-after-write, write-after-read and write-after-write orderings
 //!   derived from byte-range overlaps between declared accesses, with
-//!   lock-light completion (per-node atomic counters, sharded bookkeeping);
+//!   lock-light completion (per-node atomic counters, sharded bookkeeping)
+//!   and **graph-node retirement** — a finished node whose successors have
+//!   all finished is freed and its slab slot recycled, so a long-running
+//!   service's graph memory follows the live task window, not the total
+//!   task count (observable through the
+//!   [`RuntimeStatsSnapshot::live_nodes`] /
+//!   [`RuntimeStatsSnapshot::retired_nodes`] gauges);
 //! * a **Ready Queue** ([`ready_queue`]) in one of two [`QueueMode`]s —
 //!   the paper's single FIFO, or per-worker work-stealing deques — and a
 //!   **worker pool** ([`scheduler`]) that pulls ready tasks and executes
@@ -87,7 +96,7 @@ pub use ready_queue::QueueMode;
 pub use region::{DataStore, Elem, ElemType, Region, RegionData, RegionId, RegisterError};
 pub use scheduler::{Runtime, RuntimeBuilder};
 pub use stats::{RuntimeStats, RuntimeStatsSnapshot};
-pub use submit::{SubmitError, TaskBuilder};
+pub use submit::{BatchBuilder, SubmitError, TaskBuilder};
 pub use task::{
     SigParam, TaskContext, TaskDesc, TaskId, TaskSignature, TaskTypeBuilder, TaskTypeId,
     TaskTypeInfo, TaskView, VariadicSig,
@@ -104,7 +113,7 @@ pub mod prelude {
         DataStore, Elem, ElemType, Region, RegionData, RegionId, RegisterError,
     };
     pub use crate::scheduler::{Runtime, RuntimeBuilder};
-    pub use crate::submit::{SubmitError, TaskBuilder};
+    pub use crate::submit::{BatchBuilder, SubmitError, TaskBuilder};
     pub use crate::task::{
         TaskContext, TaskDesc, TaskId, TaskSignature, TaskTypeBuilder, TaskTypeId, TaskTypeInfo,
         TaskView,

@@ -22,7 +22,7 @@
 
 use crate::task::TaskId;
 use crate::trace::Tracer;
-use atm_sync::{Condvar, Mutex};
+use atm_sync::{Condvar, Event, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -136,6 +136,28 @@ impl FifoQueue {
 const MAX_STEAL_BATCH: usize = 32;
 
 /// Per-worker deques + injector with steal-half.
+///
+/// # Sleep/wake protocol (per-worker parking, eventcount-style)
+///
+/// Each worker owns one sticky [`Event`]; parked workers publish themselves
+/// on a shared *sleeper stack*. A pusher that enqueues `n` tasks pops up to
+/// `n` workers off the stack and signals **their** events directly — no
+/// global condvar, no thundering herd, and the most recently parked (cache-
+/// warm) workers wake first.
+///
+/// The lost-wakeup invariants mirror the previous global-condvar protocol:
+///
+/// * `pending` is incremented **before** a task becomes visible and
+///   decremented **after** one is taken, so `pending > 0` eventually implies
+///   a findable task;
+/// * a worker parks in three steps — reset its event and push itself on the
+///   stack (one critical section), **then** re-check `pending`/`closed`,
+///   then wait. A pusher increments `pending` before popping the stack, so
+///   either the parking worker sees the new `pending` and rescans, or the
+///   pusher sees the worker on the stack and signals its event;
+/// * the event is sticky: a signal delivered between the re-check and the
+///   wait is consumed by the wait, and a stale signal left by a withdrawn
+///   park is cleared by the reset of the next park.
 #[derive(Debug)]
 struct StealingQueue {
     /// Master-thread submissions (and pushes from non-worker threads).
@@ -145,14 +167,15 @@ struct StealingQueue {
     locals: Vec<Mutex<VecDeque<TaskId>>>,
     /// Total tasks across all deques. Maintained *after* an enqueue and
     /// *after* a dequeue, so `pending > 0` eventually implies a findable
-    /// task and a zero observed under the sleep lock is trustworthy.
+    /// task and a zero observed after parking is trustworthy.
     pending: AtomicUsize,
-    /// Number of workers blocked in the sleep condvar (updated under
-    /// `sleep_lock`; read lock-free by pushers to skip the notify).
+    /// One parking event per worker, signalled individually by pushers.
+    parkers: Vec<Event>,
+    /// Stack of currently parked workers (most recent on top). `sleepers`
+    /// mirrors its length so pushers can skip the lock when nobody sleeps.
+    sleeper_stack: Mutex<Vec<usize>>,
     sleepers: AtomicUsize,
     closed: AtomicBool,
-    sleep_lock: Mutex<()>,
-    wakeup: Condvar,
 }
 
 impl StealingQueue {
@@ -161,10 +184,10 @@ impl StealingQueue {
             injector: Mutex::new(VecDeque::new()),
             locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             pending: AtomicUsize::new(0),
+            parkers: (0..workers).map(|_| Event::new()).collect(),
+            sleeper_stack: Mutex::new(Vec::with_capacity(workers)),
             sleepers: AtomicUsize::new(0),
             closed: AtomicBool::new(false),
-            sleep_lock: Mutex::new(()),
-            wakeup: Condvar::new(),
         }
     }
 
@@ -176,14 +199,20 @@ impl StealingQueue {
         tracer.sample_ready_depth(depth);
     }
 
+    /// Wakes up to `count` parked workers, each through its own event.
     fn wake_after_push(&self, count: usize) {
-        if self.sleepers.load(Ordering::SeqCst) > 0 {
-            let _guard = self.sleep_lock.lock();
-            if count == 1 {
-                self.wakeup.notify_one();
-            } else {
-                self.wakeup.notify_all();
-            }
+        if self.sleepers.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let woken: Vec<usize> = {
+            let mut stack = self.sleeper_stack.lock();
+            let keep = stack.len().saturating_sub(count);
+            let woken = stack.split_off(keep);
+            self.sleepers.store(stack.len(), Ordering::SeqCst);
+            woken
+        };
+        for worker in woken {
+            self.parkers[worker].signal();
         }
     }
 
@@ -260,25 +289,59 @@ impl StealingQueue {
                 self.note_popped(tracer);
                 return Popped::Task(id);
             }
-            // Nothing found: go to sleep unless work (or shutdown) raced in.
-            let mut guard = self.sleep_lock.lock();
-            self.sleepers.fetch_add(1, Ordering::SeqCst);
-            if self.pending.load(Ordering::SeqCst) > 0 {
-                // Work was pushed between the scan and here (it may still be
-                // in flight between the pending increment and the enqueue):
-                // rescan rather than sleep, yielding so the pusher can land
-                // the task.
-                self.sleepers.fetch_sub(1, Ordering::SeqCst);
-                drop(guard);
+            let Some(event) = self.parkers.get(worker) else {
+                // Not a pool worker (tests popping with an out-of-range
+                // index): no parker to publish, so poll cooperatively.
+                if self.closed.load(Ordering::SeqCst) && self.pending.load(Ordering::SeqCst) == 0 {
+                    return Popped::Closed;
+                }
+                std::thread::yield_now();
+                continue;
+            };
+            // Announce the park: clear any stale signal and publish
+            // ourselves on the sleeper stack in one critical section, so a
+            // pusher popping us afterwards signals a reset event.
+            {
+                let mut stack = self.sleeper_stack.lock();
+                event.reset();
+                stack.push(worker);
+                self.sleepers.store(stack.len(), Ordering::SeqCst);
+            }
+            // Re-check after the announcement. A pusher increments `pending`
+            // before popping the stack: either we see its task here, or it
+            // sees us on the stack and signals our event.
+            if self.pending.load(Ordering::SeqCst) > 0 || self.closed.load(Ordering::SeqCst) {
+                // Withdraw the park. If we are no longer on the stack, a
+                // pusher already claimed us and its (sticky) signal will be
+                // cleared by the reset of our next park.
+                {
+                    let mut stack = self.sleeper_stack.lock();
+                    if let Some(at) = stack.iter().position(|&w| w == worker) {
+                        stack.remove(at);
+                    }
+                    self.sleepers.store(stack.len(), Ordering::SeqCst);
+                }
+                if self.closed.load(Ordering::SeqCst) && self.pending.load(Ordering::SeqCst) == 0 {
+                    return Popped::Closed;
+                }
+                // The task may still be in flight between the pending
+                // increment and the enqueue: yield so the pusher can land it.
                 std::thread::yield_now();
                 continue;
             }
-            if self.closed.load(Ordering::SeqCst) {
-                self.sleepers.fetch_sub(1, Ordering::SeqCst);
-                return Popped::Closed;
+            event.wait();
+            // Normally the signaler already popped us off the stack, but a
+            // *delayed* signal from a previous (withdrawn) park can satisfy
+            // the wait while this park's stack entry is still live — clean
+            // it up so stale entries never accumulate and wakeup budget is
+            // never spent on an already-awake worker.
+            {
+                let mut stack = self.sleeper_stack.lock();
+                if let Some(at) = stack.iter().position(|&w| w == worker) {
+                    stack.remove(at);
+                }
+                self.sleepers.store(stack.len(), Ordering::SeqCst);
             }
-            self.wakeup.wait(&mut guard);
-            self.sleepers.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
@@ -292,8 +355,17 @@ impl StealingQueue {
 
     fn close(&self) {
         self.closed.store(true, Ordering::SeqCst);
-        let _guard = self.sleep_lock.lock();
-        self.wakeup.notify_all();
+        {
+            let mut stack = self.sleeper_stack.lock();
+            stack.clear();
+            self.sleepers.store(0, Ordering::SeqCst);
+        }
+        // Signal every worker's event: parked workers wake and observe
+        // `closed`; awake workers consume (or reset) the stale signal at
+        // their next park.
+        for event in &self.parkers {
+            event.signal();
+        }
     }
 }
 
@@ -524,6 +596,41 @@ mod tests {
         assert_eq!(q.pop(0), Popped::Task(TaskId(4)));
         assert_eq!(q.pop(0), Popped::Task(TaskId(3)));
         assert_eq!(q.depth(), 0);
+    }
+
+    /// Per-worker parking: pushing `n` tasks wakes at most `n` of the parked
+    /// workers (each through its own event); the rest keep sleeping until
+    /// close. Every pushed task is delivered exactly once.
+    #[test]
+    fn pushes_wake_only_as_many_parked_workers_as_tasks() {
+        let q = Arc::new(queue(QueueMode::Stealing, 3));
+        let handles: Vec<_> = (0..3)
+            .map(|w| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = 0usize;
+                    while let Popped::Task(_) = q.pop(w) {
+                        got += 1;
+                    }
+                    got
+                })
+            })
+            .collect();
+        // Wait until all three workers are parked.
+        let parked = |q: &ReadyQueue| match &q.imp {
+            QueueImpl::Stealing(s) => s.sleepers.load(Ordering::SeqCst),
+            QueueImpl::Fifo(_) => unreachable!(),
+        };
+        while parked(&q) < 3 {
+            thread::yield_now();
+        }
+        q.push_all(&[TaskId(1), TaskId(2)]);
+        while q.depth() > 0 {
+            thread::yield_now();
+        }
+        q.close();
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 2, "each pushed task is delivered exactly once");
     }
 
     #[test]

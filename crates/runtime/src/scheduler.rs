@@ -33,7 +33,9 @@ use crate::interceptor::{Decision, NoopInterceptor, TaskInterceptor};
 use crate::ready_queue::{Popped, QueueMode, ReadyQueue};
 use crate::region::DataStore;
 use crate::stats::{RuntimeStats, RuntimeStatsSnapshot};
-use crate::submit::{check_memo, check_signature, check_store, SubmitError, TaskBuilder};
+use crate::submit::{
+    check_memo, check_signature, check_store, BatchBuilder, SubmitError, TaskBuilder,
+};
 use crate::task::{TaskContext, TaskDesc, TaskId, TaskTypeId, TaskTypeInfo, TaskView};
 use crate::trace::{ThreadState, Tracer};
 use atm_sync::{Condvar, Mutex, RwLock};
@@ -302,11 +304,26 @@ impl Runtime {
         TaskBuilder::new(self, task_type)
     }
 
-    /// Validates and submits one task instance. Dependences on previously
-    /// submitted, unfinished tasks are derived from the declared accesses;
-    /// the task starts executing as soon as they are satisfied.
-    pub fn try_submit(&self, desc: TaskDesc) -> Result<TaskId, SubmitError> {
-        let start = self.inner.tracer.now_ns();
+    /// Starts a fluent, validating **batch** submission. Stage tasks with
+    /// [`BatchBuilder::task`] (each followed by its access declarations),
+    /// then submit them all with [`BatchBuilder::submit_all`] — one
+    /// validation pass, one dependence pass, and each internal lock taken
+    /// once per batch instead of once per task. See [`Runtime::tasks`] for
+    /// the single-task-type shorthand.
+    pub fn batch(&self) -> BatchBuilder<'_> {
+        BatchBuilder::new(self, None)
+    }
+
+    /// Starts a fluent batch submission of instances of one `task_type`:
+    /// [`BatchBuilder::next`] opens each staged task without restating the
+    /// type. Equivalent to [`Runtime::batch`] plus an explicit
+    /// [`BatchBuilder::task`] per staged task.
+    pub fn tasks(&self, task_type: TaskTypeId) -> BatchBuilder<'_> {
+        BatchBuilder::new(self, Some(task_type))
+    }
+
+    /// Validates `desc` against the registry, the store and its memo spec.
+    fn validate(&self, desc: &TaskDesc) -> Result<(), SubmitError> {
         {
             let registry = self.inner.registry.read();
             let info =
@@ -323,6 +340,17 @@ impl Runtime {
         if let Some(spec) = &desc.memo {
             check_memo(spec, &desc.accesses)?;
         }
+        Ok(())
+    }
+
+    /// Validates and submits one task instance. Dependences on previously
+    /// submitted, unfinished tasks are derived from the declared accesses;
+    /// the task starts executing as soon as they are satisfied. This is the
+    /// lean single-task path; [`Runtime::try_submit_all`] amortises the
+    /// internal locks over a whole wave.
+    pub fn try_submit(&self, desc: TaskDesc) -> Result<TaskId, SubmitError> {
+        let start = self.inner.tracer.now_ns();
+        self.validate(&desc)?;
 
         self.inner.outstanding.fetch_add(1, Ordering::SeqCst);
         let (id, ready) = self.inner.graph.submit(desc);
@@ -339,6 +367,66 @@ impl Runtime {
             .tracer
             .record(self.inner.workers, ThreadState::TaskCreation, start, end);
         Ok(id)
+    }
+
+    /// Validates and submits a batch of task instances, in order; the
+    /// amortised form of [`Runtime::try_submit`] in a loop.
+    ///
+    /// All descriptors are validated **before** anything is submitted (the
+    /// task-type registry lock is taken once for the whole batch, each
+    /// descriptor checked fully in staging order): on error, nothing was
+    /// submitted and the first offending descriptor's [`SubmitError`] is
+    /// returned. On success the batch enters the dependence graph in a
+    /// single pass — ids are assigned in staging order, dependences between
+    /// batch members included, exactly the graph the equivalent one-by-one
+    /// submissions build — and every immediately-ready task is pushed to
+    /// the Ready Queue in id order.
+    pub fn try_submit_all(&self, descs: Vec<TaskDesc>) -> Result<Vec<TaskId>, SubmitError> {
+        if descs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let start = self.inner.tracer.now_ns();
+        {
+            // One registry lock for the whole batch; each descriptor is
+            // still validated fully (signature, store, memo) before the
+            // next, so the first offending descriptor's error is returned.
+            let registry = self.inner.registry.read();
+            for desc in &descs {
+                let info =
+                    registry
+                        .get(desc.task_type.index())
+                        .ok_or(SubmitError::UnknownTaskType {
+                            task_type: desc.task_type,
+                        })?;
+                if let Some(signature) = &info.signature {
+                    check_signature(signature, &desc.accesses)?;
+                }
+                check_store(&self.inner.store, &desc.accesses)?;
+                if let Some(spec) = &desc.memo {
+                    check_memo(spec, &desc.accesses)?;
+                }
+            }
+        }
+
+        let count = descs.len() as u64;
+        self.inner.outstanding.fetch_add(count, Ordering::SeqCst);
+        let submitted = self.inner.graph.submit_batch(descs);
+        let ready: Vec<TaskId> = submitted
+            .iter()
+            .filter(|(_, ready)| *ready)
+            .map(|(id, _)| *id)
+            .collect();
+        self.inner.queue.push_all(&ready);
+        let end = self.inner.tracer.now_ns();
+        // The master (submitting) thread owns the last stats shard and is
+        // traced as worker index `workers`.
+        let stats = self.inner.stats.shard(self.inner.workers);
+        stats.add(&stats.submitted, count);
+        stats.add(&stats.creation_ns, end - start);
+        self.inner
+            .tracer
+            .record(self.inner.workers, ThreadState::TaskCreation, start, end);
+        Ok(submitted.into_iter().map(|(id, _)| id).collect())
     }
 
     /// Blocks until every submitted task has finished (the `#pragma omp taskwait`
@@ -362,9 +450,15 @@ impl Runtime {
         );
     }
 
-    /// Snapshot of the runtime counters.
+    /// Snapshot of the runtime counters, including the graph-node gauges
+    /// ([`RuntimeStatsSnapshot::live_nodes`] /
+    /// [`RuntimeStatsSnapshot::retired_nodes`]) that make the retirement
+    /// scheme's bounded memory observable.
     pub fn stats(&self) -> RuntimeStatsSnapshot {
-        self.inner.stats.snapshot()
+        let mut snapshot = self.inner.stats.snapshot();
+        snapshot.live_nodes = self.inner.graph.live_nodes();
+        snapshot.retired_nodes = self.inner.graph.retired_count();
+        snapshot
     }
 
     /// Current depth of the ready queue (diagnostic).
@@ -799,6 +893,146 @@ mod tests {
             "concurrent submitters share the master stats shard; no count may be lost"
         );
         Arc::try_unwrap(rt).ok().unwrap().shutdown();
+    }
+
+    #[test]
+    fn batch_submission_runs_the_same_dataflow_as_singletons() {
+        for mode in [QueueMode::Fifo, QueueMode::Stealing] {
+            let rt = RuntimeBuilder::new().workers(2).queue_mode(mode).build();
+            let acc = rt.store().register_zeros::<f64>("acc", 1).unwrap();
+            let add_one = rt.register_task_type(
+                TaskTypeBuilder::new("add", |ctx| {
+                    let v = ctx.arg::<f64>(0)[0];
+                    ctx.out(0, &[v + 1.0]);
+                })
+                .inout::<f64>()
+                .build(),
+            );
+            let mut batch = rt.tasks(add_one);
+            for _ in 0..40 {
+                batch = batch.next().reads_writes(&acc);
+            }
+            let ids = batch.submit_all().unwrap();
+            assert_eq!(ids.len(), 40);
+            assert!(ids.windows(2).all(|w| w[1].index() == w[0].index() + 1));
+            rt.taskwait();
+            assert_eq!(rt.store().read(acc).lock().as_f64(), &[40.0], "{mode:?}");
+            let stats = rt.stats();
+            assert_eq!(stats.submitted, 40);
+            assert_eq!(stats.executed, 40);
+            rt.shutdown();
+        }
+    }
+
+    #[test]
+    fn batch_mixes_task_types_and_preserves_staging_order() {
+        let rt = RuntimeBuilder::new().workers(1).build();
+        let a = rt.store().register_zeros::<f64>("a", 1).unwrap();
+        let b = rt.store().register_zeros::<f64>("b", 1).unwrap();
+        let produce = rt.register_task_type(
+            TaskTypeBuilder::new("produce", |ctx| ctx.out(0, &[21.0f64]))
+                .out::<f64>()
+                .build(),
+        );
+        let double = rt.register_task_type(
+            TaskTypeBuilder::new("double", |ctx| {
+                let x = ctx.arg::<f64>(0)[0];
+                ctx.out(1, &[x * 2.0]);
+            })
+            .arg::<f64>()
+            .out::<f64>()
+            .build(),
+        );
+        let ids = rt
+            .batch()
+            .task(produce)
+            .writes(&a)
+            .task(double)
+            .reads(&a)
+            .writes(&b)
+            .submit_all()
+            .unwrap();
+        assert_eq!(ids.len(), 2);
+        rt.taskwait();
+        assert_eq!(rt.store().read(b).lock().as_f64(), &[42.0]);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn batch_validation_rejects_everything_atomically() {
+        let rt = RuntimeBuilder::new().workers(1).build();
+        let r = rt.store().register_zeros::<f64>("r", 1).unwrap();
+        let tt = rt.register_task_type(
+            TaskTypeBuilder::new("copy", |ctx| {
+                let v = ctx.arg::<f64>(0);
+                ctx.out(1, &v);
+            })
+            .arg::<f64>()
+            .out::<f64>()
+            .build(),
+        );
+        // Second staged task has the wrong arity: the whole batch must be
+        // rejected with nothing submitted.
+        let err = rt
+            .batch()
+            .task(tt)
+            .reads(&r)
+            .writes(&r)
+            .task(tt)
+            .reads(&r)
+            .submit_all()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SubmitError::ArityMismatch {
+                min: 2,
+                max: Some(2),
+                got: 1
+            }
+        );
+        rt.taskwait();
+        assert_eq!(rt.stats().submitted, 0, "a rejected batch submits nothing");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn empty_batch_submits_nothing() {
+        let rt = RuntimeBuilder::new().workers(1).build();
+        let batch = rt.batch();
+        assert!(batch.is_empty());
+        assert_eq!(batch.submit_all().unwrap(), Vec::new());
+        assert_eq!(rt.stats().submitted, 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn stats_expose_bounded_live_nodes_across_waves() {
+        let rt = RuntimeBuilder::new().workers(2).build();
+        let cell = rt.store().register_zeros::<f64>("cell", 1).unwrap();
+        let incr = rt.register_task_type(
+            TaskTypeBuilder::new("incr", |ctx| {
+                let v = ctx.arg::<f64>(0)[0];
+                ctx.out(0, &[v + 1.0]);
+            })
+            .inout::<f64>()
+            .build(),
+        );
+        for wave in 1..=5u64 {
+            let mut batch = rt.tasks(incr);
+            for _ in 0..20 {
+                batch = batch.next().reads_writes(&cell);
+            }
+            batch.submit_all().unwrap();
+            rt.taskwait();
+            let stats = rt.stats();
+            assert_eq!(
+                stats.live_nodes, 0,
+                "after a taskwait every finished chain retires"
+            );
+            assert_eq!(stats.retired_nodes, wave * 20);
+        }
+        assert_eq!(rt.store().read(cell).lock().as_f64(), &[100.0]);
+        rt.shutdown();
     }
 
     #[test]

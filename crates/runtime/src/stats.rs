@@ -82,6 +82,9 @@ impl RuntimeStats {
     }
 
     /// Immutable snapshot of all counters (sums the per-worker shards).
+    /// The graph gauges (`live_nodes`/`retired_nodes`) are owned by the
+    /// dependence graph, not the shards; [`crate::Runtime::stats`] fills
+    /// them in.
     pub fn snapshot(&self) -> RuntimeStatsSnapshot {
         let mut snap = RuntimeStatsSnapshot::default();
         for shard in &self.shards {
@@ -111,6 +114,13 @@ pub struct RuntimeStatsSnapshot {
     pub kernel_ns: u64,
     /// Total nanoseconds spent creating tasks.
     pub creation_ns: u64,
+    /// Graph nodes currently resident in the dependence graph (submitted
+    /// minus retired). Bounded by the live task window, not the run length
+    /// — the observable half of the node-retirement scheme.
+    pub live_nodes: u64,
+    /// Graph nodes retired so far (finished, all successors finished, slab
+    /// slot recycled).
+    pub retired_nodes: u64,
 }
 
 impl RuntimeStatsSnapshot {

@@ -99,6 +99,58 @@ impl Condvar {
     }
 }
 
+/// A resettable binary event (the building block of eventcount-style
+/// per-thread parking).
+///
+/// The flag is *sticky*: a [`Event::signal`] delivered while no thread is
+/// waiting is remembered and satisfies the next [`Event::wait`] immediately.
+/// Protocols that reuse an event (a worker parking repeatedly) clear stale
+/// signals with [`Event::reset`] *before* publishing themselves as asleep,
+/// so a signal can never be lost between the announcement and the wait.
+#[derive(Debug, Default)]
+pub struct Event {
+    signaled: Mutex<bool>,
+    condvar: Condvar,
+}
+
+impl Event {
+    /// Creates an unsignaled event.
+    pub const fn new() -> Self {
+        Event {
+            signaled: Mutex::new(false),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Clears a pending signal (if any), so the next [`Event::wait`] blocks
+    /// until a signal arrives after this call.
+    pub fn reset(&self) {
+        *self.signaled.lock() = false;
+    }
+
+    /// Signals the event, waking the waiter (or satisfying the next wait).
+    pub fn signal(&self) {
+        let mut signaled = self.signaled.lock();
+        *signaled = true;
+        drop(signaled);
+        self.condvar.notify_one();
+    }
+
+    /// Blocks until the event is signaled, consuming the signal.
+    pub fn wait(&self) {
+        let mut signaled = self.signaled.lock();
+        while !*signaled {
+            self.condvar.wait(&mut signaled);
+        }
+        *signaled = false;
+    }
+
+    /// Whether a signal is currently pending (diagnostics/tests).
+    pub fn is_signaled(&self) -> bool {
+        *self.signaled.lock()
+    }
+}
+
 /// A reader-writer lock. `read()`/`write()` return guards directly and
 /// ignore poisoning, like `parking_lot::RwLock`.
 #[derive(Debug, Default)]
@@ -199,6 +251,37 @@ mod tests {
         let (lock, cvar) = &*pair;
         *lock.lock() = true;
         cvar.notify_all();
+        assert!(handle.join().unwrap());
+    }
+
+    #[test]
+    fn event_signal_before_wait_is_sticky() {
+        let e = Event::new();
+        assert!(!e.is_signaled());
+        e.signal();
+        assert!(e.is_signaled());
+        e.wait(); // returns immediately, consuming the signal
+        assert!(!e.is_signaled());
+    }
+
+    #[test]
+    fn event_reset_clears_a_stale_signal() {
+        let e = Event::new();
+        e.signal();
+        e.reset();
+        assert!(!e.is_signaled());
+    }
+
+    #[test]
+    fn event_wakes_a_blocked_waiter() {
+        let e = Arc::new(Event::new());
+        let waiter = Arc::clone(&e);
+        let handle = std::thread::spawn(move || {
+            waiter.wait();
+            true
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        e.signal();
         assert!(handle.join().unwrap());
     }
 

@@ -9,7 +9,16 @@
 //!
 //! * produce exactly the sequential dataflow result (dataflow order);
 //! * leave the runtime quiescent at every taskwait (empty ready queue);
-//! * account for every task exactly once (exact completion counts).
+//! * account for every task exactly once (exact completion counts);
+//! * retire every finished node (zero resident nodes at every taskwait).
+//!
+//! Programs run through both submission paths — the singleton
+//! `task(..).submit()` builder and the batched `batch()…submit_all()`
+//! builder — which must be sequential-equivalent (and bit-identical to each
+//! other on a 1-worker FIFO runtime). A dedicated long-running stress
+//! (≥ 50k tasks in waves) asserts that graph-node retirement keeps the
+//! resident node count bounded by the in-flight wave, independent of the
+//! total task count.
 //!
 //! Cases come from the repo's own deterministic PRNG, so every failure is
 //! reproducible from the case index.
@@ -109,8 +118,22 @@ fn run_sequential(program: &GenProgram) -> Vec<Vec<f64>> {
     memory
 }
 
+/// How a run hands its tasks to the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Submission {
+    /// `rt.task(..).submit()` per task.
+    Singleton,
+    /// `rt.batch()` staging one wave, `submit_all()` once per wave.
+    Batched,
+}
+
 /// Runs the same program through the runtime under one configuration.
-fn run_parallel(program: &GenProgram, workers: usize, mode: QueueMode) -> Vec<Vec<f64>> {
+fn run_parallel_with(
+    program: &GenProgram,
+    workers: usize,
+    mode: QueueMode,
+    submission: Submission,
+) -> Vec<Vec<f64>> {
     let rt = RuntimeBuilder::new()
         .workers(workers)
         .queue_mode(mode)
@@ -148,24 +171,48 @@ fn run_parallel(program: &GenProgram, workers: usize, mode: QueueMode) -> Vec<Ve
 
     let mut submitted_total = 0u64;
     for wave in &program.waves {
-        for task in wave {
-            // Reads first, then inouts (read+write), then plain writes —
-            // is_read order in the access list matches the kernel's input
-            // collection order and the sequential semantics.
-            let mut submission = rt.task(task_type);
-            for &r in &task.reads {
-                submission = submission.reads(&regions[r]);
+        match submission {
+            Submission::Singleton => {
+                for task in wave {
+                    // Reads first, then inouts (read+write), then plain
+                    // writes — is_read order in the access list matches the
+                    // kernel's input collection order and the sequential
+                    // semantics.
+                    let mut builder = rt.task(task_type);
+                    for &r in &task.reads {
+                        builder = builder.reads(&regions[r]);
+                    }
+                    for &io in &task.inouts {
+                        builder = builder.reads_writes(&regions[io]);
+                    }
+                    for &w in &task.writes {
+                        builder = builder.writes(&regions[w]);
+                    }
+                    builder.submit().expect("generated tasks fit the signature");
+                    submitted_total += 1;
+                }
             }
-            for &io in &task.inouts {
-                submission = submission.reads_writes(&regions[io]);
+            Submission::Batched => {
+                // The whole wave staged in submission order, one
+                // validation + dependence pass.
+                let mut batch = rt.batch();
+                for task in wave {
+                    batch = batch.task(task_type);
+                    for &r in &task.reads {
+                        batch = batch.reads(&regions[r]);
+                    }
+                    for &io in &task.inouts {
+                        batch = batch.reads_writes(&regions[io]);
+                    }
+                    for &w in &task.writes {
+                        batch = batch.writes(&regions[w]);
+                    }
+                    submitted_total += 1;
+                }
+                batch
+                    .submit_all()
+                    .expect("generated tasks fit the signature");
             }
-            for &w in &task.writes {
-                submission = submission.writes(&regions[w]);
-            }
-            submission
-                .submit()
-                .expect("generated tasks fit the signature");
-            submitted_total += 1;
         }
         rt.taskwait();
         // Taskwait quiescence: nothing ready, nothing running, and every
@@ -179,6 +226,9 @@ fn run_parallel(program: &GenProgram, workers: usize, mode: QueueMode) -> Vec<Ve
         );
         assert_eq!(stats.bypassed, 0);
         assert_eq!(stats.deferred, 0);
+        // Node retirement: a drained wave leaves no resident graph nodes.
+        assert_eq!(stats.live_nodes, 0, "all finished nodes must retire");
+        assert_eq!(stats.retired_nodes, submitted_total);
     }
 
     let memory: Vec<Vec<f64>> = regions
@@ -200,13 +250,127 @@ fn randomized_dags_run_identically_under_all_scheduler_configurations() {
         let expected = run_sequential(&program);
         for workers in [1usize, 2, 8] {
             for mode in [QueueMode::Fifo, QueueMode::Stealing] {
-                let actual = run_parallel(&program, workers, mode);
+                let actual = run_parallel_with(&program, workers, mode, Submission::Singleton);
                 assert_eq!(
                     actual, expected,
                     "case {case}: {workers} workers / {mode:?} diverged from the sequential semantics"
                 );
             }
         }
+    }
+}
+
+/// Batched submission is sequential-equivalent too: staging each wave
+/// through `rt.batch()` computes exactly the same dataflow result as the
+/// singleton submissions, on the same randomized programs, under every
+/// scheduler configuration.
+#[test]
+fn randomized_dags_run_identically_when_submitted_in_batches() {
+    let mut rng = Xoshiro256StarStar::new(0x0B47_C4ED);
+    for case in 0..CASES {
+        let program = gen_program(&mut rng);
+        let expected = run_sequential(&program);
+        for workers in [1usize, 2, 8] {
+            for mode in [QueueMode::Fifo, QueueMode::Stealing] {
+                let actual = run_parallel_with(&program, workers, mode, Submission::Batched);
+                assert_eq!(
+                    actual, expected,
+                    "case {case}: batched {workers} workers / {mode:?} diverged from the sequential semantics"
+                );
+            }
+        }
+    }
+}
+
+/// Single-worker FIFO agreement across the refactor: the batched and
+/// singleton submission paths build the same dependence graph and produce
+/// bit-identical region contents on the same randomized programs. (The
+/// instantaneous queue interleaving between master and worker is timing-
+/// dependent under singleton submission — as it was pre-refactor — so the
+/// invariant asserted here is graph + dataflow-result identity, which is
+/// what the THT results depend on.)
+#[test]
+fn batched_and_singleton_submission_agree_bit_for_bit_on_fifo() {
+    let mut rng = Xoshiro256StarStar::new(0xF1F0_0001);
+    for case in 0..CASES {
+        let program = gen_program(&mut rng);
+        let singleton = run_parallel_with(&program, 1, QueueMode::Fifo, Submission::Singleton);
+        let batched = run_parallel_with(&program, 1, QueueMode::Fifo, Submission::Batched);
+        assert_eq!(singleton, batched, "case {case}");
+    }
+}
+
+/// Long-running retirement stress: ≥ 50k tasks in waves across 1/2/8
+/// workers × both queue modes. The peak resident node count must be
+/// bounded by a constant (the in-flight wave), independent of the total
+/// number of tasks submitted — the graph must not grow with the run.
+#[test]
+fn retirement_keeps_live_nodes_bounded_over_long_runs() {
+    const WAVES: usize = 20;
+    const WAVE_SIZE: usize = 500;
+    const CHAINS: usize = 25;
+    let configurations: [(usize, QueueMode); 6] = [
+        (1, QueueMode::Fifo),
+        (2, QueueMode::Fifo),
+        (8, QueueMode::Fifo),
+        (1, QueueMode::Stealing),
+        (2, QueueMode::Stealing),
+        (8, QueueMode::Stealing),
+    ];
+    // 6 configurations × 20 waves × 500 tasks = 60 000 tasks.
+    for (workers, mode) in configurations {
+        let rt = RuntimeBuilder::new()
+            .workers(workers)
+            .queue_mode(mode)
+            .build();
+        let cells: Vec<Region<f64>> = (0..CHAINS)
+            .map(|c| rt.store().register_zeros(format!("cell{c}"), 1).unwrap())
+            .collect();
+        let incr = rt.register_task_type(
+            TaskTypeBuilder::new("incr", |ctx| {
+                let v = ctx.arg::<f64>(0)[0];
+                ctx.out(0, &[v + 1.0]);
+            })
+            .inout::<f64>()
+            .build(),
+        );
+        let mut peak_live = 0u64;
+        for wave in 1..=WAVES as u64 {
+            let mut batch = rt.tasks(incr);
+            for t in 0..WAVE_SIZE {
+                batch = batch.next().reads_writes(&cells[t % CHAINS]);
+            }
+            batch.submit_all().expect("stress tasks fit the signature");
+            // Mid-flight the resident count is bounded by the wave…
+            peak_live = peak_live.max(rt.stats().live_nodes);
+            rt.taskwait();
+            // …and a drained wave retires completely: memory does not grow
+            // with the number of waves already executed.
+            let stats = rt.stats();
+            assert_eq!(
+                stats.live_nodes, 0,
+                "{workers} workers / {mode:?}: wave {wave} left resident nodes"
+            );
+            assert_eq!(stats.retired_nodes, wave * WAVE_SIZE as u64);
+            assert!(
+                peak_live <= WAVE_SIZE as u64,
+                "{workers} workers / {mode:?}: peak {peak_live} exceeded the wave bound"
+            );
+        }
+        let total = (WAVES * WAVE_SIZE) as u64;
+        let stats = rt.stats();
+        assert_eq!(stats.executed, total);
+        assert_eq!(stats.retired_nodes, total);
+        // WAVE_SIZE is a multiple of CHAINS, so every chain grew equally.
+        let expected = (WAVES * WAVE_SIZE / CHAINS) as f64;
+        for (c, cell) in cells.iter().enumerate() {
+            assert_eq!(
+                rt.store().read(*cell).lock().as_f64(),
+                &[expected],
+                "{workers} workers / {mode:?}: chain {c}"
+            );
+        }
+        rt.shutdown();
     }
 }
 
