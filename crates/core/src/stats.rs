@@ -6,9 +6,9 @@
 
 use atm_hash::Percentage;
 use atm_runtime::{TaskId, TaskTypeId};
+use atm_sync::atomic::{AtomicU64, Ordering};
 use atm_sync::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One reuse event: `consumer` had its outputs provided by `producer`
 /// (either through the THT or through an IKT postponed copy-out).

@@ -62,9 +62,9 @@
 use crate::access::Access;
 use crate::region::RegionId;
 use crate::task::{TaskDesc, TaskId};
+use atm_sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use atm_sync::{Mutex, MutexGuard, RwLock};
 use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Number of node-slab shards (spreads lookup read-locks across cache lines).
@@ -574,6 +574,28 @@ impl TaskGraph {
                 "only running tasks (or tasks already completed by their producer) can be deferred"
             );
         }
+    }
+
+    /// The PR-4 deferred hand-off bug, preserved verbatim as a regression
+    /// seed for the `atm-check` model suite (`tests/model/ikt_regression.rs`):
+    /// it *asserts* the task is still `Running` and then stores `Deferred`,
+    /// instead of tolerating a producer that already finished the waiter.
+    /// The checker must rediscover the resulting panic deterministically
+    /// within a bounded schedule budget; [`TaskGraph::mark_deferred`] (the
+    /// shipped CAS fix) must pass the same budget clean. Never call this
+    /// from production code.
+    #[doc(hidden)]
+    pub fn mark_deferred_legacy(&self, id: TaskId) {
+        let node = self.node(id);
+        // BUG (shipped in PR 4): between the deferral registration and this
+        // call, the in-flight producer can finish the waiter; the state is
+        // then `Finished`, not `Running`, and the worker dies here.
+        assert_eq!(
+            node.state(),
+            NodeState::Running,
+            "only running tasks can be deferred"
+        );
+        node.set_state(NodeState::Deferred);
     }
 
     /// Completes a task by id (looks the node up first); see

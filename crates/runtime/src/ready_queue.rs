@@ -22,9 +22,9 @@
 
 use crate::task::TaskId;
 use crate::trace::Tracer;
+use atm_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use atm_sync::{Condvar, Event, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Scheduling discipline of the Ready Queue.

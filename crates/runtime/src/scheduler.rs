@@ -38,8 +38,8 @@ use crate::submit::{
 };
 use crate::task::{TaskContext, TaskDesc, TaskId, TaskTypeId, TaskTypeInfo, TaskView};
 use crate::trace::{ThreadState, Tracer};
+use atm_sync::atomic::{AtomicU64, Ordering};
 use atm_sync::{Condvar, Mutex, RwLock};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -494,7 +494,7 @@ mod tests {
     use crate::access::{Access, AccessMode};
     use crate::region::{ElemType, Region};
     use crate::task::TaskTypeBuilder;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use atm_sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn single_task_executes_and_writes_output() {

@@ -11,7 +11,7 @@
 //! scheduler's `outstanding` release/acquire pair makes every count of a
 //! finished task visible to a thread that returned from `taskwait`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use atm_sync::atomic::{AtomicU64, Ordering};
 
 /// One worker's private counter shard, padded to its own cache line so
 /// neighbouring shards never false-share.

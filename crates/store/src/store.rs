@@ -23,9 +23,9 @@
 use crate::policy::{Candidate, EvictionPolicy, PolicyKind};
 use crate::snapshot::OutputSnapshot;
 use atm_runtime::{TaskId, TaskTypeId};
+use atm_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use atm_sync::RwLock;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// The lookup key of a memo entry.

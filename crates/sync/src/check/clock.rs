@@ -1,0 +1,111 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! Each model thread `t` owns a clock whose component `t` counts `t`'s own
+//! instrumented operations. Synchronisation operations *join* clocks: an
+//! acquire joins the release clock stored at the location into the acquiring
+//! thread's clock. Two accesses are concurrent — and a pair of conflicting
+//! plain accesses is a data race — exactly when neither clock dominates the
+//! relevant component of the other.
+
+/// A grow-on-demand vector clock. Component `i` is logical time of model
+/// thread `i`; absent components read as `0`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub const fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    fn ensure(&mut self, index: usize) {
+        if self.0.len() <= index {
+            self.0.resize(index + 1, 0);
+        }
+    }
+
+    /// Component `index` of the clock (`0` if never set).
+    pub fn get(&self, index: usize) -> u32 {
+        self.0.get(index).copied().unwrap_or(0)
+    }
+
+    /// Advances component `index` by one (a local step of thread `index`).
+    pub fn tick(&mut self, index: usize) {
+        self.ensure(index);
+        self.0[index] += 1;
+    }
+
+    /// Component-wise maximum: afterwards `self` dominates both inputs.
+    pub fn join(&mut self, other: &VClock) {
+        self.ensure(other.0.len().saturating_sub(1));
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// Raises component `index` to at least `value` (records a per-thread
+    /// access epoch).
+    pub fn join_component(&mut self, index: usize, value: u32) {
+        self.ensure(index);
+        if self.0[index] < value {
+            self.0[index] = value;
+        }
+    }
+
+    /// Resets every component to zero (used when a relaxed store severs the
+    /// release chain attached to an atomic location).
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+
+    /// Overwrites `self` with a copy of `other`.
+    pub fn assign(&mut self, other: &VClock) {
+        self.0.clear();
+        self.0.extend_from_slice(&other.0);
+    }
+
+    /// Whether every component of `other` is `<=` the matching component of
+    /// `self` — i.e. everything `other` knows about happened before `self`.
+    pub fn dominates(&self, other: &VClock) -> bool {
+        for (i, &v) in other.0.iter().enumerate() {
+            if v > self.get(i) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_dominate() {
+        let mut a = VClock::new();
+        let mut b = VClock::new();
+        a.tick(0);
+        b.tick(1);
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+        let mut c = a.clone();
+        c.join(&b);
+        assert!(c.dominates(&a));
+        assert!(c.dominates(&b));
+        assert_eq!(c.get(0), 1);
+        assert_eq!(c.get(1), 1);
+        c.clear();
+        assert!(VClock::new().dominates(&c));
+    }
+
+    #[test]
+    fn assign_copies() {
+        let mut a = VClock::new();
+        a.tick(2);
+        let mut b = VClock::new();
+        b.assign(&a);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,467 @@
+//! One model execution: real OS threads driven one-at-a-time by a token.
+//!
+//! The checker runs the model closure on a dedicated "model thread 0"; model
+//! threads spawned via [`crate::check::thread::spawn`] register themselves
+//! here. At every instrumented operation the running thread *yields*: it
+//! hands the token back to the scheduler (on the checker's thread), which
+//! records a scheduling decision and grants the token to one runnable
+//! thread. Because threads only lose the token at instrumented points, any
+//! uninstrumented work between two points executes atomically with respect
+//! to the model — exactly the loom/shuttle execution model.
+//!
+//! Cancellation (after a failure, or when winding down a deadlocked
+//! execution) unwinds every parked model thread with a private panic
+//! payload ([`Cancelled`]) that the thread wrapper swallows.
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use super::clock::VClock;
+use crate::raw;
+
+/// Upper bound on model threads per execution (keeps PCT priority tables and
+/// schedule encodings small; models are meant to be tiny).
+pub const MAX_THREADS: usize = 16;
+
+/// What a blocked model thread is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BlockedOn {
+    /// A model mutex or rwlock, by resource id.
+    Lock(u64),
+    /// A model condition variable, by resource id.
+    Condvar(u64),
+    /// Another model thread's termination.
+    Join(usize),
+}
+
+/// Lifecycle of one model thread within an execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Eligible to be granted the token.
+    Ready,
+    /// Voluntarily ceded the processor ([`crate::check::thread::yield_now`]):
+    /// schedulable again only once no `Ready` thread exists, which lets
+    /// spin-retry loops make progress without livelocking the explorer.
+    Yielded,
+    /// Currently holds the token.
+    Running,
+    /// Waiting on a resource; not schedulable until unblocked.
+    Blocked(BlockedOn),
+    /// The thread body returned (or unwound).
+    Finished,
+}
+
+/// Why an explored execution failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A model thread panicked (assertion failure in the model, or a bug
+    /// reproduced in production code driven by the model).
+    Panic,
+    /// No thread was runnable but some were blocked: an actual deadlock in
+    /// this schedule.
+    Deadlock,
+    /// Two conflicting plain accesses to a [`crate::check::sync::Data`]
+    /// cell were not ordered by happens-before.
+    DataRace,
+    /// Two locks were acquired in cyclic order across the execution — a
+    /// potential deadlock even if this schedule completed.
+    LockOrderCycle,
+    /// One execution exceeded the per-schedule step budget (almost always a
+    /// model that livelocks, e.g. a spin loop the scheduler keeps picking).
+    StepBudget,
+    /// The model spawned more than [`MAX_THREADS`] threads.
+    TooManyThreads,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Deadlock => "deadlock",
+            FailureKind::DataRace => "data race",
+            FailureKind::LockOrderCycle => "lock-order cycle",
+            FailureKind::StepBudget => "step budget exhausted",
+            FailureKind::TooManyThreads => "too many model threads",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A failing schedule found by the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// Human-readable description (panic message, race location, ...).
+    pub message: String,
+    /// The scheduling decisions of the failing execution: for each decision
+    /// point with more than one runnable thread, the position chosen within
+    /// the ascending list of runnable thread ids. Replayable via
+    /// [`crate::check::Checker::replay`].
+    pub schedule: Vec<usize>,
+    /// How many schedules had been explored when this one failed (1-based).
+    pub schedule_index: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at schedule #{}: {}\n  failing schedule (decision positions): {:?}",
+            self.kind, self.schedule_index, self.message, self.schedule
+        )
+    }
+}
+
+/// Panic payload used to unwind model threads when an execution is torn
+/// down; never reported as a model failure.
+pub(crate) struct Cancelled;
+
+pub(crate) struct Control {
+    pub phases: Vec<Phase>,
+    /// Which thread currently holds the token (`None` while the scheduler
+    /// is choosing).
+    pub granted: Option<usize>,
+    pub clocks: Vec<VClock>,
+    /// Lock ids currently held, per thread (for lock-order edges).
+    pub held: Vec<Vec<u64>>,
+    /// Acquired-while-holding edges `(held, acquired)` seen this execution.
+    pub lock_edges: Vec<(u64, u64)>,
+    /// Allocator for model resource ids (locks, condvars).
+    pub next_resource: u64,
+    /// Instrumented operations executed this execution.
+    pub steps: u64,
+    pub failure: Option<Failure>,
+    pub cancelled: bool,
+    /// Real OS threads that have registered and not yet exited.
+    pub live_real: usize,
+}
+
+pub(crate) struct Execution {
+    pub ctl: raw::Mutex<Control>,
+    pub cv: raw::Condvar,
+    pub max_steps: u64,
+}
+
+impl Execution {
+    pub fn new(max_steps: u64) -> Self {
+        Execution {
+            ctl: raw::Mutex::new(Control {
+                phases: Vec::new(),
+                granted: None,
+                clocks: Vec::new(),
+                held: Vec::new(),
+                lock_edges: Vec::new(),
+                next_resource: 0,
+                steps: 0,
+                failure: None,
+                cancelled: false,
+                live_real: 0,
+            }),
+            cv: raw::Condvar::new(),
+            max_steps,
+        }
+    }
+
+    /// Registers a model thread and returns its index. The first
+    /// registration (the root closure) happens before any thread runs;
+    /// later ones happen from inside `check::thread::spawn` while the
+    /// parent holds the token.
+    pub fn register_thread(&self, parent: Option<usize>) -> usize {
+        let mut ctl = self.ctl.lock();
+        let index = ctl.phases.len();
+        let mut clock = match parent {
+            Some(p) => {
+                ctl.clocks[p].tick(p);
+                ctl.clocks[p].clone()
+            }
+            None => VClock::new(),
+        };
+        clock.tick(index);
+        ctl.phases.push(Phase::Ready);
+        ctl.clocks.push(clock);
+        ctl.held.push(Vec::new());
+        ctl.live_real += 1;
+        index
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<ExecCtx>> = const { RefCell::new(None) };
+}
+
+/// Handle a model thread keeps to the execution it belongs to.
+#[derive(Clone)]
+pub(crate) struct ExecCtx {
+    pub exec: Arc<Execution>,
+    pub index: usize,
+}
+
+/// The calling thread's model context, if it is a model thread.
+pub(crate) fn current() -> Option<ExecCtx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+impl ExecCtx {
+    fn wait_for_grant(&self, mut ctl: raw::MutexGuard<'_, Control>) {
+        loop {
+            if ctl.cancelled {
+                drop(ctl);
+                panic::panic_any(Cancelled);
+            }
+            if ctl.granted == Some(self.index) {
+                return;
+            }
+            self.exec.cv.wait(&mut ctl);
+        }
+    }
+
+    /// Scheduling point before every instrumented operation: hand the token
+    /// back and wait to be granted it again.
+    pub fn op_point(&self) {
+        let mut ctl = self.exec.ctl.lock();
+        ctl.steps += 1;
+        if ctl.steps > self.exec.max_steps {
+            let steps = ctl.steps;
+            drop(ctl);
+            self.fail(
+                FailureKind::StepBudget,
+                format!(
+                    "execution exceeded {steps} instrumented steps (livelock or runaway loop?)"
+                ),
+            );
+        }
+        ctl.phases[self.index] = Phase::Ready;
+        ctl.granted = None;
+        self.exec.cv.notify_all();
+        self.wait_for_grant(ctl);
+    }
+
+    /// A cooperative yield: the caller becomes schedulable again only when
+    /// no other thread is `Ready` (the model analogue of
+    /// `std::thread::yield_now` in a spin-retry loop).
+    pub fn yield_now(&self) {
+        let mut ctl = self.exec.ctl.lock();
+        ctl.steps += 1;
+        if ctl.steps > self.exec.max_steps {
+            let steps = ctl.steps;
+            drop(ctl);
+            self.fail(
+                FailureKind::StepBudget,
+                format!(
+                    "execution exceeded {steps} instrumented steps (livelock or runaway loop?)"
+                ),
+            );
+        }
+        ctl.phases[self.index] = Phase::Yielded;
+        ctl.granted = None;
+        self.exec.cv.notify_all();
+        self.wait_for_grant(ctl);
+    }
+
+    /// Blocks the calling thread on `on` and yields; returns once the
+    /// scheduler grants the token again (after some other thread unblocked
+    /// it).
+    pub fn block_on(&self, on: BlockedOn) {
+        let mut ctl = self.exec.ctl.lock();
+        ctl.phases[self.index] = Phase::Blocked(on);
+        ctl.granted = None;
+        self.exec.cv.notify_all();
+        self.wait_for_grant(ctl);
+    }
+
+    /// Moves every thread blocked on a resource matching `pred` back to
+    /// `Ready`. Called by the running thread while it holds the token.
+    pub fn unblock_where(&self, pred: impl Fn(BlockedOn) -> bool) {
+        let mut ctl = self.exec.ctl.lock();
+        for t in 0..ctl.phases.len() {
+            if let Phase::Blocked(on) = ctl.phases[t] {
+                if pred(on) {
+                    ctl.phases[t] = Phase::Ready;
+                }
+            }
+        }
+    }
+
+    /// Moves thread `who` back to `Ready` if it is blocked on exactly `on`
+    /// (targeted wakeup for `Condvar::notify_one`).
+    pub fn unblock_thread(&self, who: usize, on: BlockedOn) {
+        let mut ctl = self.exec.ctl.lock();
+        if ctl.phases[who] == Phase::Blocked(on) {
+            ctl.phases[who] = Phase::Ready;
+        }
+    }
+
+    /// Records a failure (first one wins), cancels the execution and
+    /// unwinds the calling thread.
+    pub fn fail(&self, kind: FailureKind, message: String) -> ! {
+        let mut ctl = self.exec.ctl.lock();
+        if ctl.failure.is_none() {
+            ctl.failure = Some(Failure {
+                kind,
+                message,
+                schedule: Vec::new(),
+                schedule_index: 0,
+            });
+        }
+        ctl.cancelled = true;
+        self.exec.cv.notify_all();
+        drop(ctl);
+        panic::panic_any(Cancelled);
+    }
+
+    /// Advances the caller's component of its own vector clock.
+    pub fn tick(&self) {
+        let mut ctl = self.exec.ctl.lock();
+        let i = self.index;
+        ctl.clocks[i].tick(i);
+    }
+
+    /// Snapshot of the caller's vector clock.
+    pub fn clock(&self) -> VClock {
+        self.exec.ctl.lock().clocks[self.index].clone()
+    }
+
+    /// Joins `other` (a release clock read from a location) into the
+    /// caller's clock: an acquire edge.
+    pub fn join_clock(&self, other: &VClock) {
+        let mut ctl = self.exec.ctl.lock();
+        let i = self.index;
+        ctl.clocks[i].join(other);
+    }
+
+    /// Allocates a fresh model resource id (first-use order, deterministic
+    /// per schedule).
+    pub fn new_resource_id(&self) -> u64 {
+        let mut ctl = self.exec.ctl.lock();
+        let id = ctl.next_resource;
+        ctl.next_resource += 1;
+        id
+    }
+
+    /// Records `id` as acquired by the caller: adds lock-order edges from
+    /// every lock already held and reports a [`FailureKind::LockOrderCycle`]
+    /// if an edge closes a cycle.
+    pub fn lock_acquired(&self, id: u64) {
+        let mut ctl = self.exec.ctl.lock();
+        let held = ctl.held[self.index].clone();
+        for &h in &held {
+            if h != id && !ctl.lock_edges.contains(&(h, id)) {
+                ctl.lock_edges.push((h, id));
+            }
+        }
+        ctl.held[self.index].push(id);
+        // Cycle check: can we get from `id` back to any held lock?
+        for &h in &held {
+            if h != id && reaches(&ctl.lock_edges, id, h) {
+                drop(ctl);
+                self.fail(
+                    FailureKind::LockOrderCycle,
+                    format!(
+                        "lock #{id} acquired while holding lock #{h}, but an execution also \
+                         orders #{id} before #{h} (ids are in first-use order)"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Removes `id` from the caller's held set.
+    pub fn lock_released(&self, id: u64) {
+        let mut ctl = self.exec.ctl.lock();
+        if let Some(pos) = ctl.held[self.index].iter().rposition(|&h| h == id) {
+            ctl.held[self.index].remove(pos);
+        }
+    }
+}
+
+/// Is `to` reachable from `from` over directed `edges`?
+fn reaches(edges: &[(u64, u64)], from: u64, to: u64) -> bool {
+    let mut stack = vec![from];
+    let mut seen = vec![from];
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        for &(a, b) in edges {
+            if a == n && !seen.contains(&b) {
+                seen.push(b);
+                stack.push(b);
+            }
+        }
+    }
+    false
+}
+
+/// Installs (once, process-wide) a panic hook that stays silent for
+/// [`Cancelled`] unwinds and intentionally-explored model panics, so
+/// negative tests don't spray backtraces; delegates everything else to the
+/// previously-installed hook.
+pub(crate) fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<Cancelled>() {
+                return;
+            }
+            // Model threads report panics through the Failure machinery.
+            if current().is_some() {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// Body wrapper for every real OS thread backing a model thread.
+pub(crate) fn enter_model_thread(exec: Arc<Execution>, index: usize, body: impl FnOnce()) {
+    let ctx = ExecCtx {
+        exec: Arc::clone(&exec),
+        index,
+    };
+    CURRENT.with(|c| *c.borrow_mut() = Some(ctx.clone()));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        // Wait for the scheduler's first grant before touching anything.
+        let ctl = ctx.exec.ctl.lock();
+        ctx.wait_for_grant(ctl);
+        body();
+    }));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    let mut ctl = exec.ctl.lock();
+    match result {
+        Ok(()) => {}
+        Err(payload) if payload.is::<Cancelled>() => {}
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "model thread panicked (non-string payload)".to_string());
+            if ctl.failure.is_none() {
+                ctl.failure = Some(Failure {
+                    kind: FailureKind::Panic,
+                    message: format!("model thread {index} panicked: {message}"),
+                    schedule: Vec::new(),
+                    schedule_index: 0,
+                });
+            }
+            ctl.cancelled = true;
+        }
+    }
+    ctl.phases[index] = Phase::Finished;
+    // Propagate this thread's final clock to joiners and wake them.
+    let final_clock = ctl.clocks[index].clone();
+    for t in 0..ctl.phases.len() {
+        if ctl.phases[t] == Phase::Blocked(BlockedOn::Join(index)) {
+            ctl.clocks[t].join(&final_clock);
+            ctl.phases[t] = Phase::Ready;
+        }
+    }
+    if ctl.granted == Some(index) {
+        ctl.granted = None;
+    }
+    ctl.live_real -= 1;
+    exec.cv.notify_all();
+}

@@ -1,0 +1,668 @@
+//! `atm-check`: a deterministic concurrency model checker.
+//!
+//! The checker runs a *model* — a closure that spawns a handful of
+//! [`thread`] model threads touching [`sync`] instrumented primitives —
+//! many times, each time under a different thread interleaving, and reports
+//! the first schedule that panics, deadlocks, races, or acquires locks in
+//! cyclic order. Execution is loom/shuttle-style: real OS threads run one
+//! at a time under a token passed by the scheduler, and the token can only
+//! move at instrumented operations, so every explored interleaving is
+//! reproducible from its recorded decision list.
+//!
+//! Two exploration strategies:
+//!
+//! * [`Checker::exhaustive`] — bounded-exhaustive DFS over scheduling
+//!   decisions. For small models this proves every interleaving (the
+//!   report says [`Report::complete`]); larger models explore up to the
+//!   schedule budget.
+//! * [`Checker::random`] — seeded PCT-style randomized exploration: each
+//!   iteration assigns random priorities to threads and demotes the
+//!   running thread's priority at a few random change points. Good at
+//!   shaking out rare orderings in models too big to enumerate.
+//!
+//! ```
+//! use atm_sync::check::{sync::AtomicUsize, thread, Checker};
+//! use std::sync::atomic::Ordering;
+//! use std::sync::Arc;
+//!
+//! let report = Checker::exhaustive().check(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = thread::spawn(move || n2.fetch_add(1, Ordering::SeqCst));
+//!     n.fetch_add(1, Ordering::SeqCst);
+//!     t.join();
+//!     assert_eq!(n.load(Ordering::SeqCst), 2);
+//! });
+//! report.assert_passed();
+//! assert!(report.complete);
+//! ```
+
+pub mod clock;
+mod exec;
+pub mod sync;
+pub mod thread;
+
+use std::sync::Arc;
+
+pub use exec::{Failure, FailureKind, MAX_THREADS};
+
+use exec::{enter_model_thread, install_quiet_hook, Execution, Phase};
+
+/// One recorded scheduling decision: at a point with `enabled` runnable
+/// threads, position `chosen` (in ascending thread-id order) ran next.
+/// Decision points with a single runnable thread are not recorded — there
+/// is nothing to explore there.
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    enabled: usize,
+    chosen: usize,
+}
+
+/// How the checker explores the schedule space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Bounded-exhaustive depth-first search over scheduling decisions.
+    Exhaustive,
+    /// Seeded PCT-style randomized exploration: `iterations` schedules,
+    /// each with fresh random thread priorities and a few priority-change
+    /// points.
+    Random {
+        /// Seed of the deterministic PRNG (same seed ⇒ same schedules).
+        seed: u64,
+        /// Number of randomized schedules to run.
+        iterations: usize,
+    },
+}
+
+/// Outcome of a [`Checker::check`] run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Schedules actually executed.
+    pub schedules: usize,
+    /// `true` iff the exhaustive strategy proved *every* interleaving
+    /// within budget (random exploration never sets this).
+    pub complete: bool,
+    /// The first failing schedule, if any.
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Whether no explored schedule failed.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+
+    /// Panics with a replayable description of the failing schedule, if
+    /// any schedule failed.
+    #[track_caller]
+    pub fn assert_passed(&self) {
+        if let Some(failure) = &self.failure {
+            panic!(
+                "atm-check found a failing schedule after exploring {} schedule(s):\n{failure}",
+                self.schedules
+            );
+        }
+    }
+
+    /// The kind of the recorded failure, if any (convenience for tests).
+    pub fn failure_kind(&self) -> Option<FailureKind> {
+        self.failure.as_ref().map(|f| f.kind)
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.failure {
+            Some(failure) => write!(f, "FAILED after {} schedule(s): {failure}", self.schedules),
+            None if self.complete => {
+                write!(
+                    f,
+                    "passed: all {} schedule(s) explored exhaustively",
+                    self.schedules
+                )
+            }
+            None => write!(
+                f,
+                "passed: {} schedule(s) explored (bounded)",
+                self.schedules
+            ),
+        }
+    }
+}
+
+/// Deterministic splitmix64 PRNG (the checker must not depend on external
+/// crates or on ambient randomness).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Configures and runs model explorations. See the [module docs](self) for
+/// an overview and `CONCURRENCY.md` for the modelling guide.
+#[derive(Debug, Clone)]
+pub struct Checker {
+    strategy: Strategy,
+    max_schedules: usize,
+    max_steps: u64,
+}
+
+impl Checker {
+    /// A bounded-exhaustive DFS checker (default budget: 10 000 schedules,
+    /// 20 000 instrumented steps per schedule).
+    pub fn exhaustive() -> Self {
+        Checker {
+            strategy: Strategy::Exhaustive,
+            max_schedules: 10_000,
+            max_steps: 20_000,
+        }
+    }
+
+    /// A seeded randomized (PCT-style) checker running `iterations`
+    /// schedules.
+    pub fn random(seed: u64, iterations: usize) -> Self {
+        Checker {
+            strategy: Strategy::Random { seed, iterations },
+            max_schedules: iterations,
+            max_steps: 20_000,
+        }
+    }
+
+    /// Caps the number of schedules the exhaustive strategy may run.
+    pub fn max_schedules(mut self, budget: usize) -> Self {
+        self.max_schedules = budget;
+        self
+    }
+
+    /// Caps instrumented operations per schedule (livelock guard).
+    pub fn max_steps(mut self, budget: u64) -> Self {
+        self.max_steps = budget;
+        self
+    }
+
+    /// Explores `model` under the configured strategy and returns what was
+    /// found. The model closure is re-run once per schedule, so it must
+    /// build its entire world (including its threads) from scratch each
+    /// call.
+    pub fn check<F>(&self, model: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_quiet_hook();
+        let model = Arc::new(model);
+        match self.strategy {
+            Strategy::Exhaustive => self.check_exhaustive(&model),
+            Strategy::Random { seed, iterations } => self.check_random(&model, seed, iterations),
+        }
+    }
+
+    /// Replays a single recorded schedule (from [`Failure::schedule`])
+    /// against `model`; useful for debugging a failure under a debugger or
+    /// with extra logging.
+    pub fn replay<F>(&self, model: F, schedule: &[usize]) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_quiet_hook();
+        let model = Arc::new(model);
+        let (decisions, failure) = self.run_once(&model, schedule, &mut |_, _| 0);
+        Report {
+            schedules: 1,
+            complete: false,
+            failure: failure.map(|f| finish_failure(f, &decisions, 1)),
+        }
+    }
+
+    fn check_exhaustive<F>(&self, model: &Arc<F>) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut schedules = 0usize;
+        loop {
+            let (decisions, failure) = self.run_once(model, &prefix, &mut |_, _| 0);
+            schedules += 1;
+            if let Some(failure) = failure {
+                return Report {
+                    schedules,
+                    complete: false,
+                    failure: Some(finish_failure(failure, &decisions, schedules)),
+                };
+            }
+            // Backtrack to the deepest decision with an untried alternative.
+            let mut stack = decisions;
+            while let Some(last) = stack.last() {
+                if last.chosen + 1 < last.enabled {
+                    break;
+                }
+                stack.pop();
+            }
+            if stack.is_empty() {
+                return Report {
+                    schedules,
+                    complete: true,
+                    failure: None,
+                };
+            }
+            if schedules >= self.max_schedules {
+                return Report {
+                    schedules,
+                    complete: false,
+                    failure: None,
+                };
+            }
+            prefix = stack.iter().map(|d| d.chosen).collect();
+            *prefix.last_mut().expect("non-empty") += 1;
+        }
+    }
+
+    fn check_random<F>(&self, model: &Arc<F>, seed: u64, iterations: usize) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let mut schedules = 0usize;
+        for i in 0..iterations {
+            let mut rng = Rng::new(seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+            let mut priorities = [0u64; MAX_THREADS];
+            for p in priorities.iter_mut() {
+                // Keep random priorities high so demotions always rank below.
+                *p = (rng.next() | 1) << 16;
+            }
+            let mut demotions = 0u64;
+            let mut change_budget = 3u32;
+            let mut last: Option<usize> = None;
+            let mut policy = move |_idx: usize, enabled: &[usize]| -> usize {
+                if change_budget > 0 && rng.next().is_multiple_of(8) {
+                    if let Some(t) = last {
+                        demotions += 1;
+                        priorities[t] = demotions; // below every initial priority
+                        change_budget -= 1;
+                    }
+                }
+                let t = enabled
+                    .iter()
+                    .copied()
+                    .max_by_key(|&t| priorities[t])
+                    .expect("enabled set is non-empty");
+                last = Some(t);
+                enabled.iter().position(|&e| e == t).expect("t ∈ enabled")
+            };
+            let (decisions, failure) = self.run_once(model, &[], &mut policy);
+            schedules += 1;
+            if let Some(failure) = failure {
+                return Report {
+                    schedules,
+                    complete: false,
+                    failure: Some(finish_failure(failure, &decisions, schedules)),
+                };
+            }
+        }
+        Report {
+            schedules,
+            complete: false,
+            failure: None,
+        }
+    }
+
+    /// Runs one schedule: decisions up to `prefix.len()` follow `prefix`,
+    /// later ones ask `policy`. Returns the recorded decisions and the
+    /// failure, if the schedule failed.
+    fn run_once<F>(
+        &self,
+        model: &Arc<F>,
+        prefix: &[usize],
+        policy: &mut dyn FnMut(usize, &[usize]) -> usize,
+    ) -> (Vec<Decision>, Option<Failure>)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let exec = Arc::new(Execution::new(self.max_steps));
+        let root = exec.register_thread(None);
+        debug_assert_eq!(root, 0);
+        {
+            let texec = Arc::clone(&exec);
+            let tmodel = Arc::clone(model);
+            std::thread::Builder::new()
+                .name("atm-check-0".to_string())
+                .spawn(move || enter_model_thread(texec, 0, move || (tmodel)()))
+                .expect("failed to spawn model root thread");
+        }
+
+        let mut decisions: Vec<Decision> = Vec::new();
+        let mut multi = 0usize;
+        loop {
+            let mut ctl = exec.ctl.lock();
+            while ctl.granted.is_some() {
+                exec.cv.wait(&mut ctl);
+            }
+            if ctl.cancelled || ctl.failure.is_some() {
+                ctl.cancelled = true;
+                exec.cv.notify_all();
+                break;
+            }
+            let mut enabled: Vec<usize> = ctl
+                .phases
+                .iter()
+                .enumerate()
+                .filter_map(|(i, p)| (*p == Phase::Ready).then_some(i))
+                .collect();
+            if enabled.is_empty() {
+                // Only yielded threads left: let the spinners run again.
+                for i in 0..ctl.phases.len() {
+                    if ctl.phases[i] == Phase::Yielded {
+                        ctl.phases[i] = Phase::Ready;
+                        enabled.push(i);
+                    }
+                }
+            }
+            if enabled.is_empty() {
+                if ctl.phases.iter().all(|p| *p == Phase::Finished) {
+                    break;
+                }
+                let blocked: Vec<String> = ctl
+                    .phases
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, p)| match p {
+                        Phase::Blocked(on) => Some(format!("thread {i} blocked on {on:?}")),
+                        _ => None,
+                    })
+                    .collect();
+                ctl.failure = Some(Failure {
+                    kind: FailureKind::Deadlock,
+                    message: format!("no runnable threads: {}", blocked.join("; ")),
+                    schedule: Vec::new(),
+                    schedule_index: 0,
+                });
+                ctl.cancelled = true;
+                exec.cv.notify_all();
+                break;
+            }
+            let pos = if enabled.len() == 1 {
+                0
+            } else {
+                let p = if multi < prefix.len() {
+                    prefix[multi].min(enabled.len() - 1)
+                } else {
+                    policy(multi, &enabled).min(enabled.len() - 1)
+                };
+                decisions.push(Decision {
+                    enabled: enabled.len(),
+                    chosen: p,
+                });
+                multi += 1;
+                p
+            };
+            let chosen = enabled[pos];
+            ctl.phases[chosen] = Phase::Running;
+            ctl.granted = Some(chosen);
+            exec.cv.notify_all();
+        }
+
+        // Wind down: wait for every real OS thread to exit before the next
+        // schedule reuses the process.
+        let mut ctl = exec.ctl.lock();
+        while ctl.live_real > 0 {
+            exec.cv.wait(&mut ctl);
+        }
+        let failure = ctl.failure.take();
+        (decisions, failure)
+    }
+}
+
+fn finish_failure(mut failure: Failure, decisions: &[Decision], schedule_index: usize) -> Failure {
+    failure.schedule = decisions.iter().map(|d| d.chosen).collect();
+    failure.schedule_index = schedule_index;
+    failure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{AtomicUsize, Condvar, Data, Event, Mutex};
+    use super::{thread, Checker, FailureKind};
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    #[test]
+    fn trivial_single_thread_model_is_complete_in_one_schedule() {
+        let report = Checker::exhaustive().check(|| {
+            let m = Mutex::new(1);
+            *m.lock() += 1;
+            assert_eq!(*m.lock(), 2);
+        });
+        report.assert_passed();
+        assert!(report.complete);
+        assert_eq!(report.schedules, 1);
+    }
+
+    #[test]
+    fn two_independent_threads_enumerate_both_orders() {
+        let report = Checker::exhaustive().check(|| {
+            let a = Arc::new(AtomicUsize::new(0));
+            let a2 = Arc::clone(&a);
+            let t = thread::spawn(move || a2.store(1, Ordering::SeqCst));
+            a.load(Ordering::SeqCst); // either 0 or 1 depending on order
+            t.join();
+            assert_eq!(a.load(Ordering::SeqCst), 1);
+        });
+        report.assert_passed();
+        assert!(report.complete);
+        assert!(
+            report.schedules >= 2,
+            "expected ≥ 2 schedules, got {}",
+            report.schedules
+        );
+    }
+
+    #[test]
+    fn mutex_protected_counter_passes_exhaustively() {
+        let report = Checker::exhaustive().check(|| {
+            let n = Arc::new(Mutex::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || *n.lock() += 1)
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(*n.lock(), 2);
+        });
+        report.assert_passed();
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn unsynchronised_data_race_is_found() {
+        let report = Checker::exhaustive().check(|| {
+            let d = Arc::new(Data::new(0u32));
+            let d2 = Arc::clone(&d);
+            let t = thread::spawn(move || d2.set(1));
+            let _ = d.get(); // no happens-before with the child's write
+            t.join();
+        });
+        assert_eq!(report.failure_kind(), Some(FailureKind::DataRace));
+    }
+
+    #[test]
+    fn release_acquire_publication_is_race_free() {
+        let report = Checker::exhaustive().check(|| {
+            let flag = Arc::new(AtomicUsize::new(0));
+            let data = Arc::new(Data::new(0u32));
+            let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+            let t = thread::spawn(move || {
+                d2.set(42);
+                f2.store(1, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.get(), 42);
+            }
+            t.join();
+        });
+        report.assert_passed();
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn relaxed_publication_is_flagged_as_a_race() {
+        let report = Checker::exhaustive().check(|| {
+            let flag = Arc::new(AtomicUsize::new(0));
+            let data = Arc::new(Data::new(0u32));
+            let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+            let t = thread::spawn(move || {
+                d2.set(42);
+                f2.store(1, Ordering::Relaxed); // too weak: severs the clock
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                let _ = data.get();
+            }
+            t.join();
+        });
+        assert_eq!(report.failure_kind(), Some(FailureKind::DataRace));
+    }
+
+    #[test]
+    fn ab_ba_lock_order_is_flagged() {
+        let report = Checker::exhaustive().check(|| {
+            let a = Arc::new(Mutex::new(0));
+            let b = Arc::new(Mutex::new(0));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            let _gb = b.lock();
+            let _ga = a.lock();
+            drop((_ga, _gb));
+            t.join();
+        });
+        assert!(
+            matches!(
+                report.failure_kind(),
+                Some(FailureKind::Deadlock | FailureKind::LockOrderCycle)
+            ),
+            "expected deadlock or lock-order cycle, got {:?}",
+            report.failure
+        );
+    }
+
+    #[test]
+    fn guarded_condvar_handshake_passes_exhaustively() {
+        // The flag is written under the lock and checked under the same
+        // lock hold that the wait atomically releases, so the notify can
+        // never be lost: every interleaving must complete.
+        let report = Checker::exhaustive().check(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let (lock, cv) = &*p2;
+                let mut ready = lock.lock();
+                while !*ready {
+                    cv.wait(&mut ready);
+                }
+                assert!(*ready);
+            });
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_one();
+            t.join();
+        });
+        report.assert_passed();
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn event_signal_reset_race_is_the_sticky_flag_test() {
+        // Event is sticky: signal before wait must satisfy the wait in
+        // every schedule.
+        let report = Checker::exhaustive().check(|| {
+            let e = Arc::new(Event::new());
+            let e2 = Arc::clone(&e);
+            let t = thread::spawn(move || e2.signal());
+            e.wait();
+            t.join();
+        });
+        report.assert_passed();
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn actual_deadlock_is_reported_with_blocked_threads() {
+        let report = Checker::exhaustive().check(|| {
+            let e = Arc::new(Event::new());
+            e.wait(); // nobody will ever signal
+        });
+        assert_eq!(report.failure_kind(), Some(FailureKind::Deadlock));
+        let failure = report.failure.unwrap();
+        assert!(
+            failure.message.contains("blocked"),
+            "message: {}",
+            failure.message
+        );
+    }
+
+    #[test]
+    fn random_strategy_is_deterministic_per_seed() {
+        let model = || {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                n2.fetch_add(1, Ordering::SeqCst);
+            });
+            n.fetch_add(1, Ordering::SeqCst);
+            t.join();
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        };
+        let a = Checker::random(7, 20).check(model);
+        let b = Checker::random(7, 20).check(model);
+        a.assert_passed();
+        b.assert_passed();
+        assert_eq!(a.schedules, b.schedules);
+    }
+
+    #[test]
+    fn random_strategy_finds_a_seeded_assertion_failure() {
+        // The assertion only fails when the child runs between the two
+        // parent operations; PCT must find it within the iteration budget.
+        let report = Checker::random(1, 200).check(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || n2.store(1, Ordering::SeqCst));
+            let before = n.load(Ordering::SeqCst);
+            let after = n.load(Ordering::SeqCst);
+            t.join();
+            assert_eq!(before, after, "child interleaved between the loads");
+        });
+        assert_eq!(report.failure_kind(), Some(FailureKind::Panic));
+        assert!(!report.failure.unwrap().schedule.is_empty());
+    }
+
+    #[test]
+    fn replay_reproduces_a_recorded_failure() {
+        let model = || {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || n2.store(1, Ordering::SeqCst));
+            assert_eq!(n.load(Ordering::SeqCst), 0, "child ran first");
+            t.join();
+        };
+        let checker = Checker::exhaustive();
+        let report = checker.check(model);
+        let failure = report
+            .failure
+            .expect("exhaustive search finds the failing order");
+        let replayed = checker.replay(model, &failure.schedule);
+        assert_eq!(replayed.failure_kind(), Some(FailureKind::Panic));
+    }
+}

@@ -1,0 +1,1008 @@
+//! Instrumented synchronisation primitives for model checking.
+//!
+//! Each type here mirrors a production primitive (`Mutex`, `RwLock`,
+//! `Condvar`, `Event`, the `atomic` integers) with the same API, plus
+//! [`Data`], an instrumented *plain* cell used by models to give the race
+//! detector something to bite on. On a model thread every operation:
+//!
+//! 1. yields to the model scheduler (a scheduling point),
+//! 2. performs happens-before bookkeeping against the vector clocks,
+//! 3. performs the real operation on an underlying `std` primitive.
+//!
+//! Called from a non-model thread, every type degrades to its plain `raw`
+//! behaviour, so production code compiled under `--cfg atm_check` still
+//! works outside the checker.
+//!
+//! # Happens-before model
+//!
+//! Atomic values are sequentially consistent (the underlying operation
+//! always uses `SeqCst`), but the *happens-before* edges honour the
+//! `Ordering` the caller passed, FastTrack-style: a `Release` store
+//! attaches the writer's clock to the location, an `Acquire` load joins the
+//! attached clock into the reader, a `Relaxed` store severs the attached
+//! clock, and a `Relaxed` RMW preserves it (release-sequence continuation)
+//! without contributing the RMW thread's own clock. Too-weak orderings
+//! therefore fail to publish writes, and a subsequent [`Data`] access on
+//! the consumer side is flagged as a data race. Weak-memory *value*
+//! speculation (a stale `Relaxed` load) is out of scope, as in loom's core
+//! model.
+
+use std::ops::{Deref, DerefMut};
+use std::panic::Location;
+use std::sync::atomic::Ordering;
+use std::sync::OnceLock;
+
+use super::clock::VClock;
+use super::exec::{current, BlockedOn, ExecCtx, FailureKind};
+use crate::raw;
+
+fn is_acquire(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn is_release(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+struct LockMeta {
+    holder: Option<usize>,
+    /// Release clock of the last unlock; joined by the next acquirer.
+    sync: VClock,
+}
+
+/// Instrumented mutual-exclusion lock (model counterpart of
+/// [`crate::raw::Mutex`]).
+pub struct Mutex<T: ?Sized> {
+    id: OnceLock<u64>,
+    meta: raw::Mutex<LockMeta>,
+    inner: raw::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            id: OnceLock::new(),
+            meta: raw::Mutex::new(LockMeta {
+                holder: None,
+                sync: VClock::new(),
+            }),
+            inner: raw::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn ensure_id(&self, ctx: &ExecCtx) -> u64 {
+        *self.id.get_or_init(|| ctx.new_resource_id())
+    }
+
+    /// Acquires the lock. On a model thread this is a scheduling point; the
+    /// thread blocks in the *model* (never in the OS) while another model
+    /// thread holds the lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if let Some(ctx) = current() {
+            let id = self.ensure_id(&ctx);
+            ctx.op_point();
+            loop {
+                let mut meta = self.meta.lock();
+                if meta.holder.is_none() {
+                    meta.holder = Some(ctx.index);
+                    ctx.join_clock(&meta.sync);
+                    ctx.tick();
+                    drop(meta);
+                    ctx.lock_acquired(id);
+                    break;
+                }
+                drop(meta);
+                ctx.block_on(BlockedOn::Lock(id));
+            }
+            MutexGuard {
+                lock: self,
+                inner: Some(self.inner.lock()),
+                model: true,
+            }
+        } else {
+            MutexGuard {
+                lock: self,
+                inner: Some(self.inner.lock()),
+                model: false,
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+/// RAII guard of a model [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    /// `None` only transiently inside [`Condvar::wait`].
+    inner: Option<raw::MutexGuard<'a, T>>,
+    /// Whether model bookkeeping applied at acquisition.
+    model: bool,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner
+            .as_ref()
+            .expect("guard is always present outside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_mut()
+            .expect("guard is always present outside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None; // release the real lock first
+        if self.model {
+            if let Some(ctx) = current() {
+                release_mutex(self.lock, &ctx);
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MutexGuard").finish_non_exhaustive()
+    }
+}
+
+/// Model-releases `lock` on behalf of `ctx`: clears the holder, publishes
+/// the releaser's clock, and unblocks lock waiters.
+fn release_mutex<T: ?Sized>(lock: &Mutex<T>, ctx: &ExecCtx) {
+    let id = lock.ensure_id(ctx);
+    ctx.tick();
+    let clock = ctx.clock();
+    {
+        let mut meta = lock.meta.lock();
+        meta.holder = None;
+        meta.sync.assign(&clock);
+    }
+    ctx.lock_released(id);
+    ctx.unblock_where(move |on| on == BlockedOn::Lock(id));
+}
+
+/// Model-acquires `lock` on behalf of `ctx` (used by [`Condvar::wait`] to
+/// re-acquire after waking).
+fn acquire_mutex<T: ?Sized>(lock: &Mutex<T>, ctx: &ExecCtx) {
+    let id = lock.ensure_id(ctx);
+    loop {
+        let mut meta = lock.meta.lock();
+        if meta.holder.is_none() {
+            meta.holder = Some(ctx.index);
+            ctx.join_clock(&meta.sync);
+            ctx.tick();
+            drop(meta);
+            ctx.lock_acquired(id);
+            return;
+        }
+        drop(meta);
+        ctx.block_on(BlockedOn::Lock(id));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Instrumented condition variable (model counterpart of
+/// [`crate::raw::Condvar`]).
+///
+/// Wakeups are deterministic: `notify_one` wakes the longest-waiting model
+/// thread, and the model never delivers spurious wakeups (a documented
+/// divergence from the OS primitive — protocols must not *rely* on spurious
+/// wakeups, which none of ours do).
+pub struct Condvar {
+    id: OnceLock<u64>,
+    /// Model threads waiting, in arrival order.
+    waiters: raw::Mutex<Vec<usize>>,
+    /// Fallback for non-model threads.
+    raw_cv: raw::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            id: OnceLock::new(),
+            waiters: raw::Mutex::new(Vec::new()),
+            raw_cv: raw::Condvar::new(),
+        }
+    }
+
+    fn ensure_id(&self, ctx: &ExecCtx) -> u64 {
+        *self.id.get_or_init(|| ctx.new_resource_id())
+    }
+
+    /// Atomically (w.r.t. the model) releases the guarded lock and blocks
+    /// until notified, then re-acquires the lock.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        if let Some(ctx) = current() {
+            if guard.model {
+                let cv_id = self.ensure_id(&ctx);
+                ctx.op_point();
+                // Register as a waiter and release the mutex without an
+                // intervening scheduling point: the release and the wait
+                // are one atomic step, exactly like the OS primitive.
+                self.waiters.lock().push(ctx.index);
+                guard.inner = None;
+                release_mutex(guard.lock, &ctx);
+                ctx.block_on(BlockedOn::Condvar(cv_id));
+                acquire_mutex(guard.lock, &ctx);
+                guard.inner = Some(guard.lock.inner.lock());
+                return;
+            }
+        }
+        let raw_guard = guard
+            .inner
+            .as_mut()
+            .expect("guard is always present outside Condvar::wait");
+        self.raw_cv.wait(raw_guard);
+    }
+
+    /// Wakes the longest-waiting thread (deterministic in the model).
+    pub fn notify_one(&self) {
+        if let Some(ctx) = current() {
+            let cv_id = self.ensure_id(&ctx);
+            ctx.op_point();
+            ctx.tick();
+            let mut waiters = self.waiters.lock();
+            if !waiters.is_empty() {
+                let w = waiters.remove(0);
+                drop(waiters);
+                ctx.unblock_thread(w, BlockedOn::Condvar(cv_id));
+            }
+        }
+        self.raw_cv.notify_one();
+    }
+
+    /// Wakes every waiting thread.
+    pub fn notify_all(&self) {
+        if let Some(ctx) = current() {
+            let cv_id = self.ensure_id(&ctx);
+            ctx.op_point();
+            ctx.tick();
+            self.waiters.lock().clear();
+            ctx.unblock_where(move |on| on == BlockedOn::Condvar(cv_id));
+        }
+        self.raw_cv.notify_all();
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event
+// ---------------------------------------------------------------------------
+
+/// Instrumented resettable binary event (model counterpart of
+/// [`crate::raw::Event`]); built from the model [`Mutex`] and [`Condvar`],
+/// so each of its operations contributes the same scheduling points the
+/// production `Event` would under instrumentation.
+#[derive(Debug, Default)]
+pub struct Event {
+    signaled: Mutex<bool>,
+    condvar: Condvar,
+}
+
+impl Event {
+    /// Creates an unsignaled event.
+    pub const fn new() -> Self {
+        Event {
+            signaled: Mutex::new(false),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Clears a pending signal (if any).
+    pub fn reset(&self) {
+        *self.signaled.lock() = false;
+    }
+
+    /// Signals the event, waking the waiter (or satisfying the next wait).
+    pub fn signal(&self) {
+        let mut signaled = self.signaled.lock();
+        *signaled = true;
+        drop(signaled);
+        self.condvar.notify_one();
+    }
+
+    /// Blocks until the event is signaled, consuming the signal.
+    pub fn wait(&self) {
+        let mut signaled = self.signaled.lock();
+        while !*signaled {
+            self.condvar.wait(&mut signaled);
+        }
+        *signaled = false;
+    }
+
+    /// Whether a signal is currently pending (diagnostics/tests).
+    pub fn is_signaled(&self) -> bool {
+        *self.signaled.lock()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+struct RwMeta {
+    readers: Vec<usize>,
+    writer: Option<usize>,
+    sync: VClock,
+}
+
+/// Instrumented reader-writer lock (model counterpart of
+/// [`crate::raw::RwLock`]).
+pub struct RwLock<T: ?Sized> {
+    id: OnceLock<u64>,
+    meta: raw::Mutex<RwMeta>,
+    inner: raw::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            id: OnceLock::new(),
+            meta: raw::Mutex::new(RwMeta {
+                readers: Vec::new(),
+                writer: None,
+                sync: VClock::new(),
+            }),
+            inner: raw::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn ensure_id(&self, ctx: &ExecCtx) -> u64 {
+        *self.id.get_or_init(|| ctx.new_resource_id())
+    }
+
+    /// Acquires shared read access (a model scheduling point).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        if let Some(ctx) = current() {
+            let id = self.ensure_id(&ctx);
+            ctx.op_point();
+            loop {
+                let mut meta = self.meta.lock();
+                if meta.writer.is_none() {
+                    meta.readers.push(ctx.index);
+                    ctx.join_clock(&meta.sync);
+                    ctx.tick();
+                    drop(meta);
+                    ctx.lock_acquired(id);
+                    break;
+                }
+                drop(meta);
+                ctx.block_on(BlockedOn::Lock(id));
+            }
+            RwLockReadGuard {
+                lock: self,
+                inner: Some(self.inner.read()),
+                model: true,
+            }
+        } else {
+            RwLockReadGuard {
+                lock: self,
+                inner: Some(self.inner.read()),
+                model: false,
+            }
+        }
+    }
+
+    /// Acquires exclusive write access (a model scheduling point).
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        if let Some(ctx) = current() {
+            let id = self.ensure_id(&ctx);
+            ctx.op_point();
+            loop {
+                let mut meta = self.meta.lock();
+                if meta.writer.is_none() && meta.readers.is_empty() {
+                    meta.writer = Some(ctx.index);
+                    ctx.join_clock(&meta.sync);
+                    ctx.tick();
+                    drop(meta);
+                    ctx.lock_acquired(id);
+                    break;
+                }
+                drop(meta);
+                ctx.block_on(BlockedOn::Lock(id));
+            }
+            RwLockWriteGuard {
+                lock: self,
+                inner: Some(self.inner.write()),
+                model: true,
+            }
+        } else {
+            RwLockWriteGuard {
+                lock: self,
+                inner: Some(self.inner.write()),
+                model: false,
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+fn release_rw<T: ?Sized>(lock: &RwLock<T>, ctx: &ExecCtx, writer: bool) {
+    let id = lock.ensure_id(ctx);
+    ctx.tick();
+    let clock = ctx.clock();
+    {
+        let mut meta = lock.meta.lock();
+        if writer {
+            meta.writer = None;
+        } else if let Some(pos) = meta.readers.iter().position(|&r| r == ctx.index) {
+            meta.readers.remove(pos);
+        }
+        meta.sync.join(&clock);
+    }
+    ctx.lock_released(id);
+    ctx.unblock_where(move |on| on == BlockedOn::Lock(id));
+}
+
+/// RAII shared-read guard of a model [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<raw::RwLockReadGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("read guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if self.model {
+            if let Some(ctx) = current() {
+                release_rw(self.lock, &ctx, false);
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLockReadGuard").finish_non_exhaustive()
+    }
+}
+
+/// RAII exclusive-write guard of a model [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<raw::RwLockWriteGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("write guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("write guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if self.model {
+            if let Some(ctx) = current() {
+                release_rw(self.lock, &ctx, true);
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLockWriteGuard").finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Data — instrumented plain cell for race detection
+// ---------------------------------------------------------------------------
+
+struct DataMeta {
+    /// Epoch of the last write: `(thread, clock-component-at-write)`.
+    write: Option<(usize, u32)>,
+    write_site: Option<&'static Location<'static>>,
+    /// Per-thread read epochs since the last write.
+    reads: VClock,
+    read_site: Option<&'static Location<'static>>,
+}
+
+/// An instrumented **non-atomic** cell. Models use `Data` for the payload a
+/// protocol is supposed to protect: the checker flags any pair of
+/// conflicting accesses not ordered by happens-before as a
+/// [`FailureKind::DataRace`], which is how too-weak `Ordering`s on the
+/// protocol's atomics are detected. (The value itself is stored under an
+/// internal lock, so a racy model cannot corrupt the checker.)
+pub struct Data<T> {
+    meta: raw::Mutex<DataMeta>,
+    cell: raw::Mutex<T>,
+}
+
+impl<T> Data<T> {
+    /// Creates a cell holding `value`.
+    pub const fn new(value: T) -> Self {
+        Data {
+            meta: raw::Mutex::new(DataMeta {
+                write: None,
+                write_site: None,
+                reads: VClock::new(),
+                read_site: None,
+            }),
+            cell: raw::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the cell and returns the value.
+    pub fn into_inner(self) -> T {
+        self.cell.into_inner()
+    }
+
+    fn check_read(&self, ctx: &ExecCtx, site: &'static Location<'static>) {
+        ctx.op_point();
+        let clock = ctx.clock();
+        let mut meta = self.meta.lock();
+        if let Some((wt, wc)) = meta.write {
+            if clock.get(wt) < wc {
+                let wsite = meta.write_site.map(loc_str).unwrap_or_default();
+                drop(meta);
+                ctx.fail(
+                    FailureKind::DataRace,
+                    format!(
+                        "read at {} races with unsynchronised write at {wsite} (by thread {wt})",
+                        loc_str(site)
+                    ),
+                );
+            }
+        }
+        ctx.tick();
+        let clock = ctx.clock();
+        meta.reads.join_component(ctx.index, clock.get(ctx.index));
+        meta.read_site = Some(site);
+    }
+
+    fn check_write(&self, ctx: &ExecCtx, site: &'static Location<'static>) {
+        ctx.op_point();
+        let clock = ctx.clock();
+        let mut meta = self.meta.lock();
+        if let Some((wt, wc)) = meta.write {
+            if clock.get(wt) < wc {
+                let wsite = meta.write_site.map(loc_str).unwrap_or_default();
+                drop(meta);
+                ctx.fail(
+                    FailureKind::DataRace,
+                    format!(
+                        "write at {} races with unsynchronised write at {wsite} (by thread {wt})",
+                        loc_str(site)
+                    ),
+                );
+            }
+        }
+        if !clock.dominates(&meta.reads) {
+            let rsite = meta.read_site.map(loc_str).unwrap_or_default();
+            drop(meta);
+            ctx.fail(
+                FailureKind::DataRace,
+                format!(
+                    "write at {} races with unsynchronised read at {rsite}",
+                    loc_str(site)
+                ),
+            );
+        }
+        ctx.tick();
+        let clock = ctx.clock();
+        meta.write = Some((ctx.index, clock.get(ctx.index)));
+        meta.write_site = Some(site);
+        meta.reads.clear();
+        meta.read_site = None;
+    }
+
+    /// Reads through `f` (a model *read* access).
+    #[track_caller]
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        let site = Location::caller();
+        if let Some(ctx) = current() {
+            self.check_read(&ctx, site);
+        }
+        f(&self.cell.lock())
+    }
+
+    /// Mutates through `f` (a model *write* access).
+    #[track_caller]
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let site = Location::caller();
+        if let Some(ctx) = current() {
+            self.check_write(&ctx, site);
+        }
+        f(&mut self.cell.lock())
+    }
+}
+
+impl<T: Copy> Data<T> {
+    /// Reads the value (a model *read* access).
+    #[track_caller]
+    pub fn get(&self) -> T {
+        let site = Location::caller();
+        if let Some(ctx) = current() {
+            self.check_read(&ctx, site);
+        }
+        *self.cell.lock()
+    }
+
+    /// Overwrites the value (a model *write* access).
+    #[track_caller]
+    pub fn set(&self, value: T) {
+        let site = Location::caller();
+        if let Some(ctx) = current() {
+            self.check_write(&ctx, site);
+        }
+        *self.cell.lock() = value;
+    }
+}
+
+impl<T> std::fmt::Debug for Data<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Data").finish_non_exhaustive()
+    }
+}
+
+impl<T: Default> Default for Data<T> {
+    fn default() -> Self {
+        Data::new(T::default())
+    }
+}
+
+fn loc_str(loc: &'static Location<'static>) -> String {
+    format!("{}:{}:{}", loc.file(), loc.line(), loc.column())
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+/// Shared acquire-side bookkeeping for an atomic op.
+fn atomic_acquire(ctx: &ExecCtx, sync: &raw::Mutex<VClock>, order: Ordering) {
+    if is_acquire(order) {
+        let s = sync.lock();
+        ctx.join_clock(&s);
+    }
+}
+
+/// Shared release-side bookkeeping for a *store* (replaces or severs the
+/// location's release clock).
+fn atomic_store_release(ctx: &ExecCtx, sync: &raw::Mutex<VClock>, order: Ordering) {
+    ctx.tick();
+    let mut s = sync.lock();
+    if is_release(order) {
+        let clock = ctx.clock();
+        s.assign(&clock);
+    } else {
+        s.clear();
+    }
+}
+
+/// Shared release-side bookkeeping for an *RMW* (joins into the release
+/// clock on release orderings, preserves it otherwise — the C++ release
+/// sequence).
+fn atomic_rmw_release(ctx: &ExecCtx, sync: &raw::Mutex<VClock>, order: Ordering) {
+    ctx.tick();
+    if is_release(order) {
+        let clock = ctx.clock();
+        sync.lock().join(&clock);
+    }
+}
+
+macro_rules! model_atomic {
+    ($(#[$doc:meta])* $Name:ident, $Raw:ty, $ty:ty) => {
+        $(#[$doc])*
+        pub struct $Name {
+            sync: raw::Mutex<VClock>,
+            inner: $Raw,
+        }
+
+        impl $Name {
+            /// Creates an atomic holding `value`.
+            pub const fn new(value: $ty) -> Self {
+                $Name {
+                    sync: raw::Mutex::new(VClock::new()),
+                    inner: <$Raw>::new(value),
+                }
+            }
+
+            /// Consumes the atomic and returns the value.
+            pub fn into_inner(self) -> $ty {
+                self.inner.into_inner()
+            }
+
+            /// Loads the value. On a model thread this is a scheduling
+            /// point; an `Acquire`-or-stronger ordering joins the
+            /// location's release clock into the caller.
+            pub fn load(&self, order: Ordering) -> $ty {
+                if let Some(ctx) = current() {
+                    ctx.op_point();
+                    atomic_acquire(&ctx, &self.sync, order);
+                    ctx.tick();
+                    self.inner.load(Ordering::SeqCst)
+                } else {
+                    self.inner.load(order)
+                }
+            }
+
+            /// Stores `value`. A `Release`-or-stronger ordering publishes
+            /// the caller's clock at the location; a relaxed store severs
+            /// any previously-published clock.
+            pub fn store(&self, value: $ty, order: Ordering) {
+                if let Some(ctx) = current() {
+                    ctx.op_point();
+                    atomic_store_release(&ctx, &self.sync, order);
+                    self.inner.store(value, Ordering::SeqCst);
+                } else {
+                    self.inner.store(value, order);
+                }
+            }
+
+            /// Swaps in `value`, returning the previous value (an RMW:
+            /// participates in the location's release sequence).
+            pub fn swap(&self, value: $ty, order: Ordering) -> $ty {
+                if let Some(ctx) = current() {
+                    ctx.op_point();
+                    atomic_acquire(&ctx, &self.sync, order);
+                    let prev = self.inner.swap(value, Ordering::SeqCst);
+                    atomic_rmw_release(&ctx, &self.sync, order);
+                    prev
+                } else {
+                    self.inner.swap(value, order)
+                }
+            }
+
+            /// Compare-and-exchange; orderings are honoured for
+            /// happens-before tracking on the success/failure paths
+            /// respectively.
+            pub fn compare_exchange(
+                &self,
+                current_val: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                if let Some(ctx) = current() {
+                    ctx.op_point();
+                    let result = self
+                        .inner
+                        .compare_exchange(current_val, new, Ordering::SeqCst, Ordering::SeqCst);
+                    match result {
+                        Ok(_) => {
+                            atomic_acquire(&ctx, &self.sync, success);
+                            atomic_rmw_release(&ctx, &self.sync, success);
+                        }
+                        Err(_) => {
+                            atomic_acquire(&ctx, &self.sync, failure);
+                            ctx.tick();
+                        }
+                    }
+                    result
+                } else {
+                    self.inner.compare_exchange(current_val, new, success, failure)
+                }
+            }
+
+            /// Like [`Self::compare_exchange`]; the model never fails
+            /// spuriously.
+            pub fn compare_exchange_weak(
+                &self,
+                current_val: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current_val, new, success, failure)
+            }
+        }
+
+        impl std::fmt::Debug for $Name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($Name))
+                    .field(&self.inner.load(Ordering::SeqCst))
+                    .finish()
+            }
+        }
+
+        impl Default for $Name {
+            fn default() -> Self {
+                Self::new(Default::default())
+            }
+        }
+    };
+}
+
+macro_rules! model_atomic_arith {
+    ($Name:ident, $ty:ty) => {
+        impl $Name {
+            /// Adds `value`, returning the previous value (an RMW).
+            pub fn fetch_add(&self, value: $ty, order: Ordering) -> $ty {
+                if let Some(ctx) = current() {
+                    ctx.op_point();
+                    atomic_acquire(&ctx, &self.sync, order);
+                    let prev = self.inner.fetch_add(value, Ordering::SeqCst);
+                    atomic_rmw_release(&ctx, &self.sync, order);
+                    prev
+                } else {
+                    self.inner.fetch_add(value, order)
+                }
+            }
+
+            /// Subtracts `value`, returning the previous value (an RMW).
+            pub fn fetch_sub(&self, value: $ty, order: Ordering) -> $ty {
+                if let Some(ctx) = current() {
+                    ctx.op_point();
+                    atomic_acquire(&ctx, &self.sync, order);
+                    let prev = self.inner.fetch_sub(value, Ordering::SeqCst);
+                    atomic_rmw_release(&ctx, &self.sync, order);
+                    prev
+                } else {
+                    self.inner.fetch_sub(value, order)
+                }
+            }
+
+            /// Component-wise maximum, returning the previous value (an RMW).
+            pub fn fetch_max(&self, value: $ty, order: Ordering) -> $ty {
+                if let Some(ctx) = current() {
+                    ctx.op_point();
+                    atomic_acquire(&ctx, &self.sync, order);
+                    let prev = self.inner.fetch_max(value, Ordering::SeqCst);
+                    atomic_rmw_release(&ctx, &self.sync, order);
+                    prev
+                } else {
+                    self.inner.fetch_max(value, order)
+                }
+            }
+        }
+    };
+}
+
+model_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+model_atomic_arith!(AtomicUsize, usize);
+
+model_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+model_atomic_arith!(AtomicU64, u64);
+
+model_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicU32`].
+    AtomicU32,
+    std::sync::atomic::AtomicU32,
+    u32
+);
+model_atomic_arith!(AtomicU32, u32);
+
+model_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicU8`].
+    AtomicU8,
+    std::sync::atomic::AtomicU8,
+    u8
+);
+model_atomic_arith!(AtomicU8, u8);
+
+model_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicBool`].
+    AtomicBool,
+    std::sync::atomic::AtomicBool,
+    bool
+);
+
+impl AtomicBool {
+    /// Logical-or, returning the previous value (an RMW).
+    pub fn fetch_or(&self, value: bool, order: Ordering) -> bool {
+        if let Some(ctx) = current() {
+            ctx.op_point();
+            atomic_acquire(&ctx, &self.sync, order);
+            let prev = self.inner.fetch_or(value, Ordering::SeqCst);
+            atomic_rmw_release(&ctx, &self.sync, order);
+            prev
+        } else {
+            self.inner.fetch_or(value, order)
+        }
+    }
+
+    /// Logical-and, returning the previous value (an RMW).
+    pub fn fetch_and(&self, value: bool, order: Ordering) -> bool {
+        if let Some(ctx) = current() {
+            ctx.op_point();
+            atomic_acquire(&ctx, &self.sync, order);
+            let prev = self.inner.fetch_and(value, Ordering::SeqCst);
+            atomic_rmw_release(&ctx, &self.sync, order);
+            prev
+        } else {
+            self.inner.fetch_and(value, order)
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! The always-`std`-backed primitives behind the crate's public API.
+//!
+//! In a production build (`cfg(not(atm_check))`) the crate root re-exports
+//! these types verbatim, so they compile down to plain `std::sync` locks.
+//! Under `--cfg atm_check` the crate root instead re-exports the
+//! instrumented model types from [`crate::check::sync`]; this module stays
+//! available because the checker *itself* needs real, uninstrumented locks
+//! for its own coordination, and because harness code that runs outside a
+//! model (test `main`s, reporting) still wants ordinary locking.
+//!
+//! Poisoning is deliberately ignored: a panicking task kernel must not
+//! wedge every other worker on a poisoned region lock.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+
+/// A mutual-exclusion lock. `lock()` returns the guard directly and ignores
+/// poisoning, like `parking_lot::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+}
+
+/// RAII guard of a [`Mutex`].
+///
+/// The inner `Option` exists so [`Condvar::wait`] can temporarily take the
+/// `std` guard by value (the `std` API consumes it) and put it back; it is
+/// `Some` at all times outside of that exchange.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner
+            .as_ref()
+            .expect("guard is always present outside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_mut()
+            .expect("guard is always present outside Condvar::wait")
+    }
+}
+
+/// A condition variable usable with [`MutexGuard`] held by `&mut`, like
+/// `parking_lot::Condvar`.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Atomically releases the guarded lock and blocks until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard
+            .inner
+            .take()
+            .expect("guard is always present outside Condvar::wait");
+        guard.inner = Some(
+            self.0
+                .wait(std_guard)
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+    }
+
+    /// Wakes one thread blocked in [`Condvar::wait`].
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every thread blocked in [`Condvar::wait`].
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+/// A resettable binary event (the building block of eventcount-style
+/// per-thread parking).
+///
+/// The flag is *sticky*: a [`Event::signal`] delivered while no thread is
+/// waiting is remembered and satisfies the next [`Event::wait`] immediately.
+/// Protocols that reuse an event (a worker parking repeatedly) clear stale
+/// signals with [`Event::reset`] *before* publishing themselves as asleep,
+/// so a signal can never be lost between the announcement and the wait.
+#[derive(Debug, Default)]
+pub struct Event {
+    signaled: Mutex<bool>,
+    condvar: Condvar,
+}
+
+impl Event {
+    /// Creates an unsignaled event.
+    pub const fn new() -> Self {
+        Event {
+            signaled: Mutex::new(false),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Clears a pending signal (if any), so the next [`Event::wait`] blocks
+    /// until a signal arrives after this call.
+    pub fn reset(&self) {
+        *self.signaled.lock() = false;
+    }
+
+    /// Signals the event, waking the waiter (or satisfying the next wait).
+    pub fn signal(&self) {
+        let mut signaled = self.signaled.lock();
+        *signaled = true;
+        drop(signaled);
+        self.condvar.notify_one();
+    }
+
+    /// Blocks until the event is signaled, consuming the signal.
+    pub fn wait(&self) {
+        let mut signaled = self.signaled.lock();
+        while !*signaled {
+            self.condvar.wait(&mut signaled);
+        }
+        *signaled = false;
+    }
+
+    /// Whether a signal is currently pending (diagnostics/tests).
+    pub fn is_signaled(&self) -> bool {
+        *self.signaled.lock()
+    }
+}
+
+/// A reader-writer lock. `read()`/`write()` return guards directly and
+/// ignore poisoning, like `parking_lot::RwLock`.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+/// RAII shared-read guard of a [`RwLock`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+/// RAII exclusive-write guard of a [`RwLock`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn mutex_lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_read_and_write() {
+        let l = RwLock::new(vec![1, 2]);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a, *b);
+        }
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+        assert_eq!(l.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_wait_and_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (lock, cvar) = &*waiter;
+            let mut ready = lock.lock();
+            while !*ready {
+                cvar.wait(&mut ready);
+            }
+            *ready
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let (lock, cvar) = &*pair;
+        *lock.lock() = true;
+        cvar.notify_all();
+        assert!(handle.join().unwrap());
+    }
+
+    #[test]
+    fn event_signal_before_wait_is_sticky() {
+        let e = Event::new();
+        assert!(!e.is_signaled());
+        e.signal();
+        assert!(e.is_signaled());
+        e.wait(); // returns immediately, consuming the signal
+        assert!(!e.is_signaled());
+    }
+
+    #[test]
+    fn event_reset_clears_a_stale_signal() {
+        let e = Event::new();
+        e.signal();
+        e.reset();
+        assert!(!e.is_signaled());
+    }
+
+    #[test]
+    fn event_wakes_a_blocked_waiter() {
+        let e = Arc::new(Event::new());
+        let waiter = Arc::clone(&e);
+        let handle = std::thread::spawn(move || {
+            waiter.wait();
+            true
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        e.signal();
+        assert!(handle.join().unwrap());
+    }
+
+    #[test]
+    fn poisoned_locks_are_recovered() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7, "a poisoned mutex must still be usable");
+
+        let l = Arc::new(RwLock::new(3));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write();
+            panic!("poison the rwlock");
+        })
+        .join();
+        assert_eq!(*l.read(), 3, "a poisoned rwlock must still be usable");
+    }
+}

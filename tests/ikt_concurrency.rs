@@ -9,7 +9,7 @@
 //! postponed copy-outs.
 
 use atm_suite::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use atm_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

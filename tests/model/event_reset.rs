@@ -1,0 +1,135 @@
+//! Protocol 2 — `Event` reset-under-stack-lock.
+//!
+//! A parking worker clears its sticky event and publishes itself on the
+//! sleeper stack *in one critical section* (`ready_queue.rs::pop`). The
+//! negative model moves the `reset` after the publication: a pusher can
+//! then claim the worker and deliver its signal *between* the publication
+//! and the reset, the reset eats the signal, and the worker sleeps through
+//! a wakeup whose budget is already spent — a lost wakeup the checker must
+//! find as a deadlock.
+
+use atm_sync::atomic::Ordering;
+use atm_sync::check::sync::{AtomicUsize, Data, Event, Mutex};
+use atm_sync::check::{thread, Checker, FailureKind};
+use std::sync::Arc;
+
+/// Scripted single-park scenario shared by both variants.
+///
+/// Worker A parks once (announce, re-check, wait) and then consumes one
+/// task. Thread B pushes task 1, spends the wakeup budget on whoever is on
+/// the stack, consumes task 1 itself (a steal), then pushes task 2 —
+/// without a second wakeup if the stack is empty, exactly like
+/// `wake_after_push` after the budget was spent.
+fn park_once_model(reset_under_lock: bool) {
+    let queue = Arc::new(Mutex::new(Vec::<u32>::new()));
+    let pending = Arc::new(AtomicUsize::new(0));
+    let stack = Arc::new(Mutex::new(Vec::<usize>::new()));
+    let parker = Arc::new(Event::new());
+    let consumed = Arc::new(Data::new(0u32));
+
+    let (q2, p2, s2, e2, c2) = (
+        Arc::clone(&queue),
+        Arc::clone(&pending),
+        Arc::clone(&stack),
+        Arc::clone(&parker),
+        Arc::clone(&consumed),
+    );
+    let worker = thread::spawn(move || {
+        // Announce the park.
+        if reset_under_lock {
+            // Shipped discipline: clear the stale signal and publish in one
+            // critical section.
+            let mut s = s2.lock();
+            e2.reset();
+            s.push(0);
+        } else {
+            // BUG under test: publish first, reset outside the lock.
+            s2.lock().push(0);
+            e2.reset();
+        }
+        // Re-check after the announcement, then sleep.
+        if p2.load(Ordering::SeqCst) == 0 {
+            e2.wait();
+        } else {
+            // Withdraw the park (may already have been claimed).
+            let mut s = s2.lock();
+            if let Some(at) = s.iter().position(|&w| w == 0) {
+                s.remove(at);
+            }
+        }
+        // Awake (or withdrawn): consume one task.
+        let task = q2.lock().pop();
+        if task.is_some() {
+            p2.fetch_sub(1, Ordering::SeqCst);
+            c2.with_mut(|c| *c += 1);
+        }
+    });
+
+    // Push task 1: count it, land it, spend the wakeup budget.
+    pending.fetch_add(1, Ordering::SeqCst);
+    queue.lock().push(1);
+    let claimed = stack.lock().pop();
+    if let Some(w) = claimed {
+        assert_eq!(w, 0);
+        parker.signal();
+    }
+    // Steal task 1 ourselves.
+    if queue.lock().pop().is_some() {
+        pending.fetch_sub(1, Ordering::SeqCst);
+    }
+    // Push task 2; the wakeup budget for the worker is gone if it was
+    // claimed above, and the stack tells us nobody (new) is asleep.
+    pending.fetch_add(1, Ordering::SeqCst);
+    queue.lock().push(2);
+    if let Some(w) = stack.lock().pop() {
+        assert_eq!(w, 0);
+        parker.signal();
+    }
+    worker.join();
+}
+
+#[test]
+fn reset_under_the_stack_lock_never_loses_a_wakeup() {
+    let report = Checker::exhaustive()
+        .max_schedules(100_000)
+        .check(|| park_once_model(true));
+    report.assert_passed();
+    assert!(
+        report.complete,
+        "the positive event-reset model should be exhaustively explorable, ran {}",
+        report.schedules
+    );
+}
+
+#[test]
+fn reset_after_publication_loses_a_wakeup_and_deadlocks() {
+    let report = Checker::exhaustive()
+        .max_schedules(100_000)
+        .check(|| park_once_model(false));
+    assert_eq!(
+        report.failure_kind(),
+        Some(FailureKind::Deadlock),
+        "expected the lost-wakeup deadlock, got {:?}",
+        report.failure
+    );
+    // The failure is deterministic: replaying the recorded schedule
+    // reproduces it.
+    let failure = report.failure.unwrap();
+    let replayed = Checker::exhaustive().replay(|| park_once_model(false), &failure.schedule);
+    assert_eq!(replayed.failure_kind(), Some(FailureKind::Deadlock));
+}
+
+#[test]
+fn sticky_signal_survives_until_the_wait() {
+    // The stickiness that makes the whole scheme work: signal-then-wait
+    // completes in every order.
+    let report = Checker::exhaustive().check(|| {
+        let e = Arc::new(Event::new());
+        let e2 = Arc::clone(&e);
+        let t = thread::spawn(move || e2.signal());
+        e.wait();
+        t.join();
+    });
+    report.assert_passed();
+    assert!(report.complete);
+}

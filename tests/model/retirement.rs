@@ -1,0 +1,90 @@
+//! Protocol 4 — last-hold node retirement.
+//!
+//! Every graph node carries a hold count: one hold for the submitting
+//! batch, one per unfinished successor edge. Holds are dropped with a
+//! `fetch_sub`; whoever drops the *last* hold retires the node — returning
+//! its slot to the free list and recycling its storage. The release/acquire
+//! pairing on the hold counter is what makes the recycling safe: the
+//! retiring thread must observe every other holder's writes to the node
+//! before tearing it down.
+//!
+//! The positive model asserts single retirement with full visibility of
+//! both holders' writes; the negative model drops the decrement to
+//! `Relaxed` and the checker must flag the resulting race between a
+//! holder's node write and the retirer's teardown read.
+
+use atm_sync::atomic::Ordering;
+use atm_sync::check::sync::{AtomicUsize, Data};
+use atm_sync::check::{thread, Checker, FailureKind};
+use std::sync::Arc;
+
+struct Node {
+    /// Hold count; the final decrement retires the node.
+    holds: AtomicUsize,
+    /// Per-holder bookkeeping, one slot per holder, written before that
+    /// holder's drop (completion stats in the real runtime).
+    notes: [Data<u32>; 2],
+    /// Set exactly once, by the retirer.
+    retired: Data<bool>,
+}
+
+fn retirement_model(decrement_order: Ordering) {
+    let node = Arc::new(Node {
+        holds: AtomicUsize::new(2),
+        notes: [Data::new(0), Data::new(0)],
+        retired: Data::new(false),
+    });
+
+    let drop_hold = move |n: &Node, me: usize| {
+        // A holder's last touch of the node before letting go: its own
+        // slot, so the holders never contend with each other — only the
+        // retirer's teardown read needs the ordering.
+        n.notes[me].set(me as u32 + 1);
+        if n.holds.fetch_sub(1, decrement_order) == 1 {
+            // Last hold: retire. Teardown reads everything ever written to
+            // the node, so both stamps must be visible here.
+            let total: u32 = n.notes.iter().map(|slot| slot.get()).sum();
+            assert_eq!(total, 1 + 2, "retirer sees all holders' writes");
+            n.retired.with_mut(|r| {
+                assert!(!*r, "node retired twice");
+                *r = true;
+            });
+        }
+    };
+
+    let n2 = Arc::clone(&node);
+    let other = thread::spawn(move || drop_hold(&n2, 0));
+    drop_hold(&node, 1);
+    other.join();
+
+    assert_eq!(node.holds.load(Ordering::SeqCst), 0);
+    assert!(node.retired.get(), "someone retired the node");
+}
+
+#[test]
+fn last_hold_retirement_is_single_and_fully_ordered() {
+    let report = Checker::exhaustive()
+        .max_schedules(100_000)
+        .check(|| retirement_model(Ordering::AcqRel));
+    report.assert_passed();
+    assert!(
+        report.complete,
+        "the retirement model should be exhaustively explorable, ran {}",
+        report.schedules
+    );
+}
+
+#[test]
+fn relaxed_hold_drop_is_flagged_as_a_race() {
+    // Relaxed decrements leave the retirer unsynchronized with the other
+    // holder's `note` write — teardown races with it.
+    let report = Checker::exhaustive()
+        .max_schedules(100_000)
+        .check(|| retirement_model(Ordering::Relaxed));
+    assert_eq!(
+        report.failure_kind(),
+        Some(FailureKind::DataRace),
+        "expected a data race from the relaxed hold drop, got {:?}",
+        report.failure
+    );
+}
