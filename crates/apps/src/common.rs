@@ -18,6 +18,7 @@ use atm_core::{
     TypeSummary,
 };
 use atm_metrics::{correctness_percent, euclidean_relative_error};
+use atm_obs::{DecisionSnapshot, MetricsSnapshot, Observability};
 use atm_runtime::{
     QueueMode, Runtime, RuntimeBuilder, RuntimeStatsSnapshot, TaskTypeId, TraceSummary, Tracer,
 };
@@ -48,6 +49,9 @@ pub struct RunOptions {
     pub atm: AtmConfig,
     /// Whether to record execution traces and ready-queue samples.
     pub tracing: bool,
+    /// Whether to record latency histograms, memo-decision events and task
+    /// spans (the [`atm_obs`] layer).
+    pub observability: bool,
     /// Ready-queue discipline of the runtime ([`QueueMode::Stealing`] by
     /// default; [`QueueMode::Fifo`] reproduces the paper's single queue).
     pub queue_mode: QueueMode,
@@ -64,6 +68,7 @@ impl RunOptions {
             workers,
             atm: AtmConfig::off(),
             tracing: false,
+            observability: false,
             queue_mode: QueueMode::default(),
             warm_start: None,
             store_save: None,
@@ -76,6 +81,7 @@ impl RunOptions {
             workers,
             atm,
             tracing: false,
+            observability: false,
             queue_mode: QueueMode::default(),
             warm_start: None,
             store_save: None,
@@ -86,6 +92,14 @@ impl RunOptions {
     #[must_use]
     pub fn traced(mut self) -> Self {
         self.tracing = true;
+        self
+    }
+
+    /// Enables the observability layer (latency histograms, memo-decision
+    /// events, task spans).
+    #[must_use]
+    pub fn observed(mut self) -> Self {
+        self.observability = true;
         self
     }
 
@@ -143,6 +157,10 @@ pub struct AppRun {
     pub trace: Option<TraceSummary>,
     /// Ready-queue depth samples, when tracing was enabled (Figure 8).
     pub ready_samples: Vec<atm_runtime::trace::ReadySample>,
+    /// Latency histograms (empty unless observability was enabled).
+    pub latency: MetricsSnapshot,
+    /// Memo-decision audit trail (empty unless observability was enabled).
+    pub decisions: DecisionSnapshot,
 }
 
 impl AppRun {
@@ -232,7 +250,8 @@ impl TaskedRun {
     /// options carry a warm-start snapshot it is absorbed into the memo
     /// store before any task can run.
     pub fn new(options: &RunOptions) -> Self {
-        let engine = AtmEngine::shared(options.atm);
+        let obs = Arc::new(Observability::new(options.observability));
+        let engine = Arc::new(AtmEngine::new(options.atm).with_observability(Arc::clone(&obs)));
         if let Some(path) = &options.warm_start {
             // Warm start is an optimisation: a missing or corrupt snapshot
             // (e.g. the first-ever run) degrades to a cold start, it does
@@ -244,6 +263,7 @@ impl TaskedRun {
         let runtime = RuntimeBuilder::new()
             .workers(options.workers)
             .tracing(options.tracing)
+            .observability(obs)
             .queue_mode(options.queue_mode)
             .interceptor(Arc::clone(&engine) as Arc<dyn atm_runtime::TaskInterceptor>)
             .build();
@@ -300,10 +320,14 @@ impl TaskedRun {
                 eprintln!("failed to save the memo store to {path:?}: {err}");
             }
         }
+        // One unified observation replaces the disjoint runtime/engine/store
+        // snapshot calls; the engine keeps providing the richer per-type and
+        // provenance views the observation DTOs do not carry.
+        let observation = self.runtime.observe();
         let run = AppRun {
             output,
             wall,
-            runtime_stats: self.runtime.stats(),
+            runtime_stats: observation.runtime,
             atm_stats: self.engine.stats(),
             store_counters: self.engine.store_counters(),
             type_summaries: self.engine.type_summaries(),
@@ -312,6 +336,8 @@ impl TaskedRun {
             app_memory_bytes,
             trace,
             ready_samples,
+            latency: observation.latency,
+            decisions: observation.decisions,
         };
         self.runtime.shutdown();
         run
@@ -356,6 +382,8 @@ mod tests {
             app_memory_bytes: 1000,
             trace: None,
             ready_samples: vec![],
+            latency: MetricsSnapshot::empty(),
+            decisions: DecisionSnapshot::default(),
         };
         assert!((run.memory_overhead_percent() - 5.0).abs() < 1e-12);
     }
@@ -410,6 +438,62 @@ mod tests {
         assert_eq!(warm_run.atm_stats.executed, 0, "warm start must bypass");
         assert_eq!(warm_run.store_counters.hits, 1);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn observed_run_carries_latency_and_decisions() {
+        let options = RunOptions::with_atm(1, AtmConfig::static_atm()).observed();
+        let harness = TaskedRun::new(&options);
+        let rt = harness.runtime();
+        let input = rt.store().register_typed("in", vec![3.0f64, 4.0]).unwrap();
+        let out_a = rt.store().register_zeros::<f64>("a", 2).unwrap();
+        let out_b = rt.store().register_zeros::<f64>("b", 2).unwrap();
+        let tt = rt.register_task_type(
+            atm_runtime::TaskTypeBuilder::new("square", |ctx| {
+                let x = ctx.arg::<f64>(0);
+                let y: Vec<f64> = x.iter().map(|v| v * v).collect();
+                ctx.out(1, &y);
+            })
+            .arg::<f64>()
+            .out::<f64>()
+            .memoizable()
+            .build(),
+        );
+        rt.task(tt).reads(&input).writes(&out_a).submit().unwrap();
+        rt.taskwait();
+        rt.task(tt).reads(&input).writes(&out_b).submit().unwrap();
+        let run = harness.finish(|store| store.read(out_b).lock().as_f64().to_vec());
+        assert_eq!(run.output, vec![9.0, 16.0]);
+        let task_latency = run.latency.get(atm_obs::LatencyMetric::TaskLatency);
+        assert_eq!(task_latency.count, 2, "both tasks must be timed end to end");
+        assert_eq!(
+            run.decisions
+                .count(tt.index() as u32, atm_obs::MemoDecision::ThtHit),
+            run.atm_stats.tht_bypassed
+        );
+
+        // Without `.observed()` the same run reports empty instrumentation.
+        let silent = TaskedRun::new(&RunOptions::baseline(1));
+        let region = silent
+            .runtime()
+            .store()
+            .register_zeros::<f64>("out", 1)
+            .unwrap();
+        let tt = silent.runtime().register_task_type(
+            atm_runtime::TaskTypeBuilder::new("fill", |ctx| ctx.out(0, &[1.0f64]))
+                .out::<f64>()
+                .build(),
+        );
+        silent.runtime().task(tt).writes(&region).submit().unwrap();
+        let silent_run = silent.finish(|store| store.read(region).lock().as_f64().to_vec());
+        assert_eq!(
+            silent_run
+                .latency
+                .get(atm_obs::LatencyMetric::TaskLatency)
+                .count,
+            0
+        );
+        assert_eq!(silent_run.decisions.total(), 0);
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod experiments;
 pub mod measure;
 pub mod microbench;
 pub mod report;
+pub mod trace_capture;
 
 pub use experiments::{all_experiments, run_experiment, Experiment};
 pub use measure::{EvalContext, Measurement, OracleTable, PSweepEntry};

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! atm-eval <experiment>|all [--scale tiny|small] [--workers N]
-//!          [--csv DIR] [--json DIR] [--quick] [--list]
+//!          [--csv DIR] [--json DIR] [--trace FILE] [--quick] [--list]
 //! ```
 //!
 //! Experiments: table1 table2 table3 sizing figure3 figure4 figure5 figure6
@@ -12,7 +12,10 @@
 //! `--quick` is the CI smoke mode: tiny scale, two workers. `--json DIR`
 //! writes one `BENCH_<experiment>.json` per experiment with the machine-
 //! readable metrics (memo-store hits, misses, insertions, evictions,
-//! rejected admissions, resident bytes, saved kernel time).
+//! rejected admissions, resident bytes, saved kernel time, task-latency
+//! percentiles). `--trace FILE` additionally runs a traced, observed
+//! workload after the experiments and writes a Chrome Trace Event Format
+//! file that <https://ui.perfetto.dev> loads directly.
 
 use atm_apps::Scale;
 use atm_eval::{all_experiments, run_experiment, EvalContext, Experiment};
@@ -25,11 +28,12 @@ struct Cli {
     workers: usize,
     csv_dir: Option<PathBuf>,
     json_dir: Option<PathBuf>,
+    trace_path: Option<PathBuf>,
 }
 
 fn usage() -> String {
     format!(
-        "usage: atm-eval <experiment>|all [--scale tiny|small] [--workers N] [--csv DIR] [--json DIR] [--quick]\n       atm-eval --list\n\nexperiments: {}",
+        "usage: atm-eval <experiment>|all [--scale tiny|small] [--workers N] [--csv DIR] [--json DIR] [--trace FILE] [--quick]\n       atm-eval --list\n\nexperiments: {}",
         all_experiments().join(" ")
     )
 }
@@ -40,6 +44,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut workers = 8usize;
     let mut csv_dir = None;
     let mut json_dir = None;
+    let mut trace_path = None;
     let mut quick = false;
     let mut i = 0;
     while i < args.len() {
@@ -81,6 +86,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                         format!("--json needs a directory\n{}", usage())
                     })?));
             }
+            "--trace" => {
+                i += 1;
+                trace_path =
+                    Some(PathBuf::from(args.get(i).ok_or_else(|| {
+                        format!("--trace needs a file path\n{}", usage())
+                    })?));
+            }
             "--quick" => quick = true,
             "all" => experiments.extend(Experiment::ALL),
             name => {
@@ -105,6 +117,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         workers,
         csv_dir,
         json_dir,
+        trace_path,
     })
 }
 
@@ -138,6 +151,18 @@ fn main() -> ExitCode {
             match report.write_json(dir) {
                 Ok(path) => println!("  json written to {}", path.display()),
                 Err(err) => eprintln!("  failed to write json: {err}"),
+            }
+        }
+    }
+    if let Some(path) = &cli.trace_path {
+        match atm_eval::trace_capture::write_chrome_trace(path, cli.workers) {
+            Ok(()) => println!(
+                "chrome trace written to {} (load it at ui.perfetto.dev)",
+                path.display()
+            ),
+            Err(err) => {
+                eprintln!("failed to write trace: {err}");
+                return ExitCode::FAILURE;
             }
         }
     }
@@ -188,6 +213,19 @@ mod tests {
     fn json_dir_is_parsed() {
         let cli = parse_args(&strings(&["table1", "--json", "out/bench"])).unwrap();
         assert_eq!(cli.json_dir, Some(PathBuf::from("out/bench")));
+    }
+
+    #[test]
+    fn trace_path_is_parsed() {
+        let cli = parse_args(&strings(&[
+            "scaling",
+            "--quick",
+            "--trace",
+            "out/trace.json",
+        ]))
+        .unwrap();
+        assert_eq!(cli.trace_path, Some(PathBuf::from("out/trace.json")));
+        assert!(parse_args(&strings(&["scaling", "--trace"])).is_err());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use atm_apps::{build_app, AppId, AppRun, BenchmarkApp, RunOptions, Scale};
 use atm_core::{AtmConfig, Percentage};
+use atm_obs::MetricsSnapshot;
 use atm_sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -58,6 +59,9 @@ pub struct EvalContext {
     apps: Mutex<HashMap<AppId, Arc<dyn BenchmarkApp>>>,
     baselines: Mutex<HashMap<(AppId, usize), f64>>,
     sweeps: Mutex<HashMap<AppId, Arc<Vec<PSweepEntry>>>>,
+    /// Latency histograms accumulated by every run since the last
+    /// [`EvalContext::take_latency`] — the per-experiment percentile source.
+    latency: Mutex<MetricsSnapshot>,
 }
 
 impl EvalContext {
@@ -69,7 +73,20 @@ impl EvalContext {
             apps: Mutex::new(HashMap::new()),
             baselines: Mutex::new(HashMap::new()),
             sweeps: Mutex::new(HashMap::new()),
+            latency: Mutex::new(MetricsSnapshot::empty()),
         }
+    }
+
+    /// Folds a run's latency histograms into the context accumulator.
+    pub fn absorb_latency(&self, snapshot: &MetricsSnapshot) {
+        self.latency.lock().merge(snapshot);
+    }
+
+    /// Drains the latency accumulator (the caller gets everything absorbed
+    /// since the previous drain — one experiment's worth when called by
+    /// [`crate::run_experiment`]).
+    pub fn take_latency(&self) -> MetricsSnapshot {
+        std::mem::replace(&mut *self.latency.lock(), MetricsSnapshot::empty())
     }
 
     /// The (cached) generated workload of one application.
@@ -84,7 +101,12 @@ impl EvalContext {
     /// Runs one application under the given options and packages the result.
     pub fn measure(&self, id: AppId, options: &RunOptions) -> Measurement {
         let app = self.app(id);
-        let run = app.run_tasked(options);
+        // Every measured run records latency histograms (baselines too, so
+        // the speedup comparisons stay like-for-like) and feeds the
+        // per-experiment percentile metrics.
+        let options = options.clone().observed();
+        let run = app.run_tasked(&options);
+        self.absorb_latency(&run.latency);
         let correctness = app.correctness_percent(&run.output);
         let final_p = run
             .type_summaries

@@ -1,0 +1,316 @@
+//! Chrome-trace export: runs a small memoizable workload with tracing and
+//! observability enabled and merges everything the stack recorded into one
+//! Chrome Trace Event Format JSON file that <https://ui.perfetto.dev>
+//! opens directly.
+//!
+//! The trace carries four kinds of tracks under one process:
+//!
+//! * **per-worker state tracks** (`tid = worker`): the
+//!   [`ThreadState`](atm_runtime::ThreadState) intervals of the runtime
+//!   tracer, the trace equivalent of the paper's Figure 7/8 state
+//!   breakdown;
+//! * **per-worker task tracks** (`tid = 1000 + worker`): one span per task
+//!   (named after its task type) whose args carry the memo decision(s) the
+//!   engine took for it, joined from the decision audit stream by task id;
+//! * **ready-depth counter** (`tid = 9998`): the scheduler's ready-queue
+//!   depth samples;
+//! * **store-bytes counter** (`tid = 9999`): the memo store's byte
+//!   occupancy samples. The store stamps these on its own monotonic clock,
+//!   so this track is internally ordered but not aligned with the tracer
+//!   timeline.
+
+use atm_core::{AtmConfig, AtmEngine, MemoSpec};
+use atm_obs::{
+    json_f64, ChromeTraceBuilder, CounterSample, DecisionRecord, DecisionSnapshot, Observability,
+    TaskSpan,
+};
+use atm_runtime::{ReadySample, RuntimeBuilder, TaskTypeBuilder, TraceEvent};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// The single process id used by the exported trace.
+const PID: u64 = 1;
+/// Task-span tracks live at `SPAN_TID_BASE + worker`.
+const SPAN_TID_BASE: u64 = 1000;
+/// The ready-queue-depth counter track.
+const READY_TID: u64 = 9998;
+/// The store-byte-occupancy counter track.
+const STORE_TID: u64 = 9999;
+
+/// Assembles a Chrome-trace JSON array from the raw observability material.
+///
+/// Inputs are expected in the order their producers return them (tracer
+/// events sorted by start time, spans by `(start_ns, task_id)`, counter
+/// samples by time); the assembly preserves that order per `tid`, which is
+/// what [`ChromeTraceBuilder`] requires.
+pub fn assemble_chrome_trace(
+    events: &[TraceEvent],
+    ready: &[ReadySample],
+    spans: &[TaskSpan],
+    decisions: &DecisionSnapshot,
+    store_bytes: &[CounterSample],
+    type_name: impl Fn(u32) -> Option<String>,
+) -> String {
+    let mut trace = ChromeTraceBuilder::new();
+    trace.process_name(PID, "atm-eval");
+
+    // Name every track up front (metadata events carry no timestamp).
+    let mut workers: Vec<usize> = events
+        .iter()
+        .map(|e| e.worker)
+        .chain(spans.iter().map(|s| s.worker))
+        .collect();
+    workers.sort_unstable();
+    workers.dedup();
+    for &w in &workers {
+        trace.thread_name(PID, w as u64, &format!("worker {w} states"));
+        trace.thread_name(PID, SPAN_TID_BASE + w as u64, &format!("worker {w} tasks"));
+    }
+    trace.thread_name(PID, READY_TID, "ready queue depth");
+    trace.thread_name(PID, STORE_TID, "memo-store bytes");
+
+    // Per-worker state intervals: the global sort by start time keeps each
+    // worker's tid internally non-decreasing.
+    for event in events {
+        trace.complete(
+            PID,
+            event.worker as u64,
+            event.state.label(),
+            event.start_ns,
+            event.end_ns,
+            &[],
+        );
+    }
+
+    // Task spans, with the memo decision(s) of each task joined in by id.
+    // The decision rings are bounded, so the join is best-effort: tasks
+    // whose records were overwritten simply carry no decision args.
+    let mut by_task: HashMap<u64, Vec<&DecisionRecord>> = HashMap::new();
+    for record in &decisions.records {
+        by_task.entry(record.task_id).or_default().push(record);
+    }
+    for span in spans {
+        let name = type_name(span.task_type).unwrap_or_else(|| format!("type {}", span.task_type));
+        let mut args: Vec<(&str, String)> = Vec::new();
+        let joined;
+        if let Some(records) = by_task.get(&span.task_id) {
+            joined = records
+                .iter()
+                .map(|r| r.decision.name())
+                .collect::<Vec<_>>()
+                .join("+");
+            args.push(("decision", format!("\"{joined}\"")));
+            if let Some(first) = records.first() {
+                args.push(("tau", json_f64(first.tau)));
+                args.push(("p", json_f64(first.p)));
+            }
+        }
+        args.push((
+            "latency_ns",
+            format!("{}", span.end_ns.saturating_sub(span.start_ns)),
+        ));
+        trace.complete(
+            PID,
+            SPAN_TID_BASE + span.worker as u64,
+            &name,
+            span.start_ns,
+            span.end_ns,
+            &args,
+        );
+    }
+
+    for sample in ready {
+        trace.counter(
+            PID,
+            READY_TID,
+            "ready_depth",
+            sample.at_ns,
+            sample.depth as f64,
+        );
+    }
+    for sample in store_bytes {
+        trace.counter(
+            PID,
+            STORE_TID,
+            "store_bytes",
+            sample.t_ns,
+            sample.value as f64,
+        );
+    }
+
+    trace.finish()
+}
+
+/// Runs the capture workload — a memoizable square kernel resubmitted over
+/// a handful of inputs under Dynamic ATM, with tracing and observability
+/// on — and returns the assembled Chrome-trace JSON.
+pub fn capture_chrome_trace(workers: usize) -> String {
+    const WAVES: usize = 3;
+    const PAYLOADS: usize = 4;
+    const ELEMS: usize = 256;
+
+    let obs = Arc::new(Observability::enabled());
+    let engine =
+        Arc::new(AtmEngine::new(AtmConfig::dynamic_atm()).with_observability(Arc::clone(&obs)));
+    let rt = RuntimeBuilder::new()
+        .workers(workers.max(1))
+        .tracing(true)
+        .observability(Arc::clone(&obs))
+        .interceptor(engine.clone() as Arc<dyn atm_runtime::TaskInterceptor>)
+        .build();
+
+    let square = |ctx: &atm_runtime::TaskContext<'_>| {
+        let x = ctx.arg::<f64>(0);
+        let out: Vec<f64> = x.iter().map(|v| v * v).collect();
+        ctx.out(1, &out);
+    };
+    let exact = rt.register_task_type(
+        TaskTypeBuilder::new("trace_square_exact", square)
+            .arg::<f64>()
+            .out::<f64>()
+            .memo(MemoSpec::exact())
+            .build(),
+    );
+    let adaptive = rt.register_task_type(
+        TaskTypeBuilder::new("trace_square_adaptive", square)
+            .arg::<f64>()
+            .out::<f64>()
+            .memo(MemoSpec::approximate().tau(0.2).training_window(2))
+            .build(),
+    );
+
+    let inputs: Vec<_> = (0..PAYLOADS)
+        .map(|j| {
+            let payload: Vec<f64> = (0..ELEMS).map(|e| (j * ELEMS + e) as f64 + 0.5).collect();
+            rt.store()
+                .register_typed(format!("trace_in_{j}"), payload)
+                .unwrap()
+        })
+        .collect();
+
+    let mut serial = 0usize;
+    for _ in 0..WAVES {
+        for input in &inputs {
+            for tt in [exact, adaptive] {
+                let out = rt
+                    .store()
+                    .register_zeros::<f64>(format!("trace_out_{serial}"), ELEMS)
+                    .unwrap();
+                serial += 1;
+                rt.task(tt).reads(input).writes(&out).submit().unwrap();
+            }
+        }
+        rt.taskwait();
+    }
+
+    let events = rt.tracer().events();
+    let ready = rt.tracer().ready_samples();
+    let spans = obs.spans();
+    let decisions = obs.decisions();
+    let store_bytes = obs.store_bytes_samples();
+    rt.shutdown();
+
+    assemble_chrome_trace(&events, &ready, &spans, &decisions, &store_bytes, |t| {
+        obs.type_name(t)
+    })
+}
+
+/// Captures a trace (see [`capture_chrome_trace`]) and writes it to `path`.
+pub fn write_chrome_trace(path: &Path, workers: usize) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, capture_chrome_trace(workers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_obs::MemoDecision;
+    use atm_runtime::ThreadState;
+
+    #[test]
+    fn assembly_merges_all_four_track_kinds() {
+        let events = [TraceEvent {
+            worker: 0,
+            state: ThreadState::TaskExecution,
+            start_ns: 1_000,
+            end_ns: 5_000,
+        }];
+        let ready = [ReadySample {
+            at_ns: 1_500,
+            depth: 3,
+        }];
+        let spans = [TaskSpan {
+            worker: 0,
+            task_id: 7,
+            task_type: 2,
+            start_ns: 1_200,
+            end_ns: 4_800,
+        }];
+        let mut decisions = DecisionSnapshot::default();
+        decisions.records.push(DecisionRecord {
+            task_type: 2,
+            task_id: 7,
+            decision: MemoDecision::ThtHit,
+            metric_value: 0.0,
+            tau: 0.2,
+            p: 0.5,
+            t_ns: 1_300,
+        });
+        let store_bytes = [CounterSample {
+            t_ns: 2_000,
+            value: 4_096,
+        }];
+        let json = assemble_chrome_trace(&events, &ready, &spans, &decisions, &store_bytes, |t| {
+            (t == 2).then(|| "square".to_string())
+        });
+        assert!(json.contains("\"name\":\"Task Execution\""));
+        assert!(json.contains("\"name\":\"square\""));
+        assert!(json.contains("\"decision\":\"tht_hit\""));
+        assert!(json.contains("\"tau\":0.2"));
+        assert!(json.contains("\"name\":\"ready_depth\""));
+        assert!(json.contains("\"name\":\"store_bytes\""));
+        assert!(json.contains("\"name\":\"worker 0 states\""));
+        assert!(json.contains("\"name\":\"worker 0 tasks\""));
+        // Span track lives away from the state track.
+        assert!(json.contains(&format!("\"tid\":{}", SPAN_TID_BASE)));
+    }
+
+    #[test]
+    fn unknown_types_and_missing_decisions_still_export() {
+        let spans = [TaskSpan {
+            worker: 1,
+            task_id: 42,
+            task_type: 9,
+            start_ns: 100,
+            end_ns: 200,
+        }];
+        let json =
+            assemble_chrome_trace(&[], &[], &spans, &DecisionSnapshot::default(), &[], |_| {
+                None
+            });
+        assert!(json.contains("\"name\":\"type 9\""));
+        assert!(json.contains("\"latency_ns\":100"));
+        assert!(!json.contains("\"decision\""));
+    }
+
+    #[test]
+    fn captured_workload_produces_a_rich_trace() {
+        let json = capture_chrome_trace(2);
+        // Real state intervals, named task spans with decisions, and both
+        // counter tracks must all be present.
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("trace_square_exact"));
+        assert!(json.contains("trace_square_adaptive"));
+        assert!(json.contains("\"decision\":\"tht_hit\""));
+        assert!(json.contains("\"name\":\"ready_depth\""));
+        assert!(json.contains("\"name\":\"store_bytes\""));
+        assert!(json.lines().count() > 50, "the trace must not be trivial");
+    }
+}

@@ -25,6 +25,9 @@ use crate::stats::{AtmStats, AtmStatsSnapshot, ReuseEvent, TypeSummaries, TypeSu
 use crate::tht::{EntryKey, TaskHistoryTable, ThtConfig};
 use crate::training::{evaluate_metric_data, TrainingController};
 use atm_hash::Percentage;
+use atm_obs::{
+    DecisionRecord, EngineObservation, LatencyMetric, MemoDecision, Observability, StoreObservation,
+};
 use atm_runtime::{
     ArgPrecision, DataStore, Decision, MemoPolicy, MemoSpec, RegionId, TaskId, TaskInterceptor,
     TaskTypeId, TaskView, ThreadState, Tracer,
@@ -240,6 +243,16 @@ struct PendingExec {
     dispatched_ns: u64,
 }
 
+/// The scalar context stamped onto one audit record: the decision's driving
+/// metric (observed error for training comparisons, 0 where nothing
+/// applies), the τ in effect, and the selection percentage.
+#[derive(Clone, Copy)]
+struct DecisionScalars {
+    metric_value: f64,
+    tau: f64,
+    p: f64,
+}
+
 /// The ATM engine. Install it into the runtime with
 /// [`atm_runtime::RuntimeBuilder::interceptor`].
 pub struct AtmEngine {
@@ -250,6 +263,7 @@ pub struct AtmEngine {
     pending: Mutex<HashMap<TaskId, PendingExec>>,
     stats: AtmStats,
     summaries: TypeSummaries,
+    obs: Option<Arc<Observability>>,
 }
 
 impl AtmEngine {
@@ -263,6 +277,29 @@ impl AtmEngine {
             stats: AtmStats::new(),
             summaries: TypeSummaries::new(),
             config,
+            obs: None,
+        }
+    }
+
+    /// Attaches an observability handle: every memo decision (THT hit, IKT
+    /// defer, miss, training accept/reject, down-shift) lands in its
+    /// decision stream, the memo-lookup latency in its histograms, and the
+    /// backing store reports its own insert/evict events. Share the same
+    /// handle with [`atm_runtime::RuntimeBuilder::observability`] to get a
+    /// unified [`atm_runtime::Runtime::observe`] snapshot.
+    #[must_use]
+    pub fn with_observability(mut self, obs: Arc<Observability>) -> Self {
+        self.tht.set_observability(Arc::clone(&obs));
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The attached observability handle, but only when it records.
+    #[inline]
+    fn obs_on(&self) -> Option<&Observability> {
+        match &self.obs {
+            Some(obs) if obs.is_enabled() => Some(obs),
+            _ => None,
         }
     }
 
@@ -352,6 +389,32 @@ impl AtmEngine {
 
     fn mode_enabled(&self) -> bool {
         !matches!(self.config.mode, AtmMode::Off)
+    }
+
+    /// Appends one record to the memo-decision audit stream (no-op without
+    /// an enabled observability handle).
+    fn record_memo_decision(
+        &self,
+        worker: usize,
+        task: &TaskView<'_>,
+        tracer: &Tracer,
+        decision: MemoDecision,
+        scalars: DecisionScalars,
+    ) {
+        if let Some(obs) = self.obs_on() {
+            obs.record_decision(
+                worker,
+                DecisionRecord {
+                    task_type: task.type_id.index() as u32,
+                    task_id: task.id.index() as u64,
+                    decision,
+                    metric_value: scalars.metric_value,
+                    tau: scalars.tau,
+                    p: scalars.p,
+                    t_ns: tracer.now_ns(),
+                },
+            );
+        }
     }
 
     /// Resolves the effective policy of a task type the first time one of
@@ -506,9 +569,13 @@ impl TaskInterceptor for AtmEngine {
         });
 
         let state = self.type_state(&task);
-        let (p, training) = {
+        let (p, training, tau_max) = {
             let controller = state.controller.lock();
-            (controller.current_p(), controller.is_training())
+            (
+                controller.current_p(),
+                controller.is_training(),
+                controller.tau_max(),
+            )
         };
 
         // Hash-key computation (traced as its own state, Figure 7). Each
@@ -541,17 +608,36 @@ impl TaskInterceptor for AtmEngine {
                 },
             );
             self.stats.incr(&self.stats.executed);
+            self.record_memo_decision(
+                worker,
+                &task,
+                tracer,
+                MemoDecision::MissExecute,
+                DecisionScalars {
+                    metric_value: 0.0,
+                    tau: tau_max,
+                    p: p.fraction(),
+                },
+            );
             return Decision::Execute;
         }
 
         // Task History Table probe. An entry only counts as a hit when its
         // stored outputs have exactly the shape this task declares.
         let signature = Self::output_signature(store, &task);
-        if let Some(entry) = self
+        let lookup_start = self.obs_on().map(|_| tracer.now_ns());
+        let entry = self
             .tht
             .lookup(&key)
-            .filter(|e| Self::entry_matches_shape(&e.outputs, &signature))
-        {
+            .filter(|e| Self::entry_matches_shape(&e.outputs, &signature));
+        if let (Some(obs), Some(start)) = (self.obs_on(), lookup_start) {
+            obs.record_latency(
+                LatencyMetric::MemoLookup,
+                worker,
+                tracer.now_ns().saturating_sub(start),
+            );
+        }
+        if let Some(entry) = entry {
             if training {
                 // Training phase: execute anyway and verify the
                 // approximation in `after_execute`.
@@ -587,6 +673,17 @@ impl TaskInterceptor for AtmEngine {
                 consumer: task.id,
                 from_tht: true,
             });
+            self.record_memo_decision(
+                worker,
+                &task,
+                tracer,
+                MemoDecision::ThtHit,
+                DecisionScalars {
+                    metric_value: 0.0,
+                    tau: tau_max,
+                    p: p.fraction(),
+                },
+            );
             return Decision::Memoized;
         }
 
@@ -605,6 +702,17 @@ impl TaskInterceptor for AtmEngine {
                     consumer: task.id,
                     from_tht: false,
                 });
+                self.record_memo_decision(
+                    worker,
+                    &task,
+                    tracer,
+                    MemoDecision::IktDefer,
+                    DecisionScalars {
+                        metric_value: 0.0,
+                        tau: tau_max,
+                        p: p.fraction(),
+                    },
+                );
                 return Decision::Deferred;
             }
         }
@@ -622,6 +730,17 @@ impl TaskInterceptor for AtmEngine {
             },
         );
         self.stats.incr(&self.stats.executed);
+        self.record_memo_decision(
+            worker,
+            &task,
+            tracer,
+            MemoDecision::MissExecute,
+            DecisionScalars {
+                metric_value: 0.0,
+                tau: tau_max,
+                p: p.fraction(),
+            },
+        );
         Decision::Execute
     }
 
@@ -660,8 +779,41 @@ impl TaskInterceptor for AtmEngine {
             let (tau, failing) =
                 self.failing_output_regions(store, &task, reference, tau_max, metric);
             let mut controller = state.controller.lock();
+            let p_tested = controller.current_p().fraction();
+            let shifts_before = controller.down_shifts();
             if controller.is_training() {
                 controller.record_comparison(tau, &failing);
+            }
+            let down_shifted = controller.down_shifts() > shifts_before;
+            drop(controller);
+            let accepted = tau < tau_max;
+            self.record_memo_decision(
+                worker,
+                &task,
+                tracer,
+                if accepted {
+                    MemoDecision::TrainingAccept
+                } else {
+                    MemoDecision::TrainingReject
+                },
+                DecisionScalars {
+                    metric_value: tau,
+                    tau: tau_max,
+                    p: p_tested,
+                },
+            );
+            if down_shifted {
+                self.record_memo_decision(
+                    worker,
+                    &task,
+                    tracer,
+                    MemoDecision::DownShift,
+                    DecisionScalars {
+                        metric_value: tau,
+                        tau: tau_max,
+                        p: p_tested,
+                    },
+                );
             }
         }
 
@@ -722,10 +874,43 @@ impl TaskInterceptor for AtmEngine {
                 let snaps = outputs.expect("snapshot exists when the THT is updated");
                 self.tht
                     .insert_with_benefit(pending.key, task.id, snaps, kernel_ns);
+                if let Some(obs) = self.obs_on() {
+                    obs.sample_store_bytes(
+                        worker,
+                        tracer.now_ns(),
+                        self.tht.store_counters().resident_bytes as u64,
+                    );
+                }
             }
         }
 
         completed
+    }
+
+    fn observe(&self) -> Option<(EngineObservation, StoreObservation)> {
+        let stats = self.stats.snapshot();
+        let store = self.tht.store_counters();
+        Some((
+            EngineObservation {
+                seen: stats.seen,
+                tht_bypassed: stats.tht_bypassed,
+                ikt_deferred: stats.ikt_deferred,
+                training_hits: stats.training_hits,
+                executed: stats.executed,
+                hash_ns: stats.hash_ns,
+                copy_ns: stats.copy_ns,
+            },
+            StoreObservation {
+                hits: store.hits,
+                misses: store.misses,
+                insertions: store.insertions,
+                evictions: store.evictions,
+                rejected_admissions: store.rejected_admissions,
+                saved_ns: store.saved_ns,
+                resident_bytes: store.resident_bytes as u64,
+                entries: store.entries as u64,
+            },
+        ))
     }
 }
 
@@ -896,6 +1081,96 @@ mod tests {
         assert!(summary.steady);
         assert_eq!(summary.training_hits, 2);
         assert!(summary.final_p <= Percentage::MIN.fraction() * 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn decision_stream_reconciles_with_engine_stats() {
+        let obs = Arc::new(atm_obs::Observability::enabled());
+        let engine = AtmEngine::new(AtmConfig::dynamic_atm()).with_observability(Arc::clone(&obs));
+        let store = DataStore::new();
+        let info = TaskTypeBuilder::new("square", |ctx| {
+            let x = ctx.arg::<f64>(0);
+            let out: Vec<f64> = x.iter().map(|v| v * v).collect();
+            ctx.out(1, &out);
+        })
+        .arg::<f64>()
+        .out::<f64>()
+        .memo(MemoSpec::approximate().tau(0.01).training_window(2))
+        .build();
+
+        let input = store.register_typed("in", vec![2.0f64; 16]).unwrap();
+        for i in 0..6u64 {
+            let out = store.register_zeros::<f64>(format!("o{i}"), 16).unwrap();
+            let accesses = vec![Access::read(&input), Access::write(&out)];
+            drive(&engine, &store, view_for(i, 0, &info, &accesses));
+        }
+
+        let stats = engine.stats();
+        let decisions = obs.decisions();
+        use atm_obs::MemoDecision as D;
+        assert_eq!(decisions.count(0, D::ThtHit), stats.tht_bypassed);
+        assert_eq!(decisions.count(0, D::IktDefer), stats.ikt_deferred);
+        assert_eq!(
+            decisions.count(0, D::TrainingAccept) + decisions.count(0, D::TrainingReject),
+            stats.training_hits
+        );
+        // Every execution is either a cold miss or a verified training hit.
+        assert_eq!(
+            decisions.count(0, D::MissExecute) + stats.training_hits,
+            stats.executed
+        );
+        // Identical inputs verify cleanly: the training hits all accept.
+        assert_eq!(decisions.count(0, D::TrainingAccept), stats.training_hits);
+        assert_eq!(decisions.count(0, D::DownShift), 0);
+        assert_eq!(decisions.dropped, 0);
+        // The memo-lookup histogram saw one probe per steady-phase task.
+        let metrics = obs.metrics();
+        let lookups = metrics.get(atm_obs::LatencyMetric::MemoLookup);
+        assert!(lookups.count > 0, "THT probes must be timed");
+        // The store-occupancy track was sampled at each THT insert.
+        assert!(!obs.store_bytes_samples().is_empty());
+    }
+
+    #[test]
+    fn down_shift_emits_a_decision_event() {
+        let obs = Arc::new(atm_obs::Observability::enabled());
+        let engine = AtmEngine::new(AtmConfig::dynamic_atm()).with_observability(Arc::clone(&obs));
+        let store = DataStore::new();
+        // A kernel whose output depends on bits the sampled hash key misses:
+        // training comparisons fail, forcing the controller to down-shift.
+        let info = TaskTypeBuilder::new("sum", |ctx| {
+            let x = ctx.arg::<f64>(0);
+            let total: f64 = x.iter().sum();
+            ctx.out(1, &[total; 4]);
+        })
+        .arg::<f64>()
+        .out::<f64>()
+        .memo(MemoSpec::approximate().tau(1e-12).training_window(64))
+        .build();
+
+        // Inputs agree on the sampled prefix but differ in the tail, so the
+        // approximate key collides while the true outputs diverge.
+        let mut base = vec![1.0f64; 4096];
+        let inputs: Vec<Region<f64>> = (0..8)
+            .map(|i| {
+                base[4095] = i as f64 * 1000.0;
+                store.register_typed(format!("i{i}"), base.clone()).unwrap()
+            })
+            .collect();
+        for (i, input) in inputs.iter().enumerate() {
+            let out = store.register_zeros::<f64>(format!("o{i}"), 4).unwrap();
+            let accesses = vec![Access::read(input), Access::write(&out)];
+            drive(&engine, &store, view_for(i as u64, 0, &info, &accesses));
+        }
+
+        let decisions = obs.decisions();
+        use atm_obs::MemoDecision as D;
+        let summary = engine.type_summaries().into_values().next().unwrap();
+        assert_eq!(decisions.count(0, D::DownShift), summary.down_shifts);
+        assert_eq!(
+            decisions.count(0, D::TrainingAccept) + decisions.count(0, D::TrainingReject),
+            summary.training_hits
+        );
     }
 
     #[test]

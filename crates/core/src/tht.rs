@@ -89,6 +89,12 @@ impl TaskHistoryTable {
         &self.store
     }
 
+    /// Attaches an observability handle to the backing store (insert/evict
+    /// latencies, admission-denied and eviction decision events).
+    pub fn set_observability(&mut self, obs: Arc<atm_obs::Observability>) {
+        self.store.set_observability(obs);
+    }
+
     /// The table sizing.
     pub fn config(&self) -> ThtConfig {
         let config = self.store.config();

@@ -1,0 +1,187 @@
+//! Chrome Trace Event Format writer.
+//!
+//! Emits the JSON-array flavour of the [Trace Event Format] that
+//! `chrome://tracing` and <https://ui.perfetto.dev> load directly: complete
+//! events (`ph: "X"`) for intervals, counter events (`ph: "C"`) for tracks
+//! like ready-queue depth, and metadata events (`ph: "M"`) to name
+//! processes and threads. Timestamps are microseconds; callers pass
+//! nanoseconds from the run's trace clock and the writer converts.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+/// Serialises an `f64` as JSON (`null` for non-finite values).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn ts_us(ns: u64) -> String {
+    // Keep nanosecond precision: Chrome's ts unit is µs but fractional
+    // values are accepted.
+    format!("{:.3}", ns as f64 / 1000.0)
+}
+
+/// Builds a Chrome-trace JSON array event by event.
+///
+/// Events should be appended in non-decreasing timestamp order per `tid`;
+/// the builder does not reorder.
+#[derive(Debug, Default)]
+pub struct ChromeTraceBuilder {
+    events: Vec<String>,
+}
+
+impl ChromeTraceBuilder {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events appended so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no event was appended.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Names the process `pid` (metadata event).
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        ));
+    }
+
+    /// Names the thread `tid` of process `pid` (metadata event).
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        ));
+    }
+
+    /// Appends a complete event (`ph: "X"`): an interval `[start_ns,
+    /// end_ns]` on thread `tid`. `args` entries are `(key, raw JSON value)`
+    /// pairs — values must already be valid JSON (use [`json_f64`] /
+    /// [`json_escape`]).
+    pub fn complete(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        start_ns: u64,
+        end_ns: u64,
+        args: &[(&str, String)],
+    ) {
+        let dur = end_ns.saturating_sub(start_ns);
+        let args_json = if args.is_empty() {
+            String::new()
+        } else {
+            let body: Vec<String> = args
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{v}", json_escape(k)))
+                .collect();
+            format!(",\"args\":{{{}}}", body.join(","))
+        };
+        self.events.push(format!(
+            "{{\"ph\":\"X\",\"name\":\"{}\",\"pid\":{pid},\"tid\":{tid},\
+             \"ts\":{},\"dur\":{}{args_json}}}",
+            json_escape(name),
+            ts_us(start_ns),
+            ts_us(dur),
+        ));
+    }
+
+    /// Appends a counter sample (`ph: "C"`): the track `name` takes the
+    /// value `value` at `t_ns`.
+    pub fn counter(&mut self, pid: u64, tid: u64, name: &str, t_ns: u64, value: f64) {
+        self.events.push(format!(
+            "{{\"ph\":\"C\",\"name\":\"{}\",\"pid\":{pid},\"tid\":{tid},\
+             \"ts\":{},\"args\":{{\"value\":{}}}}}",
+            json_escape(name),
+            ts_us(t_ns),
+            json_f64(value)
+        ));
+    }
+
+    /// Finishes the trace: the complete JSON array, one event per line.
+    pub fn finish(self) -> String {
+        let mut out = String::from("[\n");
+        out.push_str(&self.events.join(",\n"));
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_carry_required_keys() {
+        let mut b = ChromeTraceBuilder::new();
+        b.process_name(1, "atm");
+        b.thread_name(1, 2, "worker 0");
+        b.complete(
+            1,
+            2,
+            "cholesky_potrf",
+            1000,
+            2500,
+            &[("decision", "\"tht_hit\"".into())],
+        );
+        b.counter(1, 99, "ready_depth", 1500, 4.0);
+        assert_eq!(b.len(), 4);
+        let json = b.finish();
+        for line in json.lines().filter(|l| l.starts_with('{')) {
+            let line = line.trim_end_matches(',');
+            assert!(line.contains("\"ph\":"), "missing ph in {line}");
+            assert!(line.contains("\"pid\":"), "missing pid in {line}");
+            assert!(line.contains("\"tid\":"), "missing tid in {line}");
+        }
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("\n]\n"));
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"dur\":1.500"));
+        assert!(json.contains("\"decision\":\"tht_hit\""));
+        assert!(json.contains("\"value\":4"));
+    }
+
+    #[test]
+    fn escaping_and_null_handling() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(0.25), "0.25");
+    }
+
+    #[test]
+    fn empty_trace_is_still_an_array() {
+        let b = ChromeTraceBuilder::new();
+        assert!(b.is_empty());
+        assert_eq!(b.finish(), "[\n\n]\n");
+    }
+}

@@ -1,0 +1,300 @@
+//! `atm-obs` — the unified observability layer of the ATM stack.
+//!
+//! One [`Observability`] handle is shared by the runtime, the ATM engine,
+//! and the memo store. It bundles the three pillars:
+//!
+//! * **Latency histograms** ([`MetricsRegistry`]): per-worker cache-padded
+//!   shards of dependency-free HdrHistogram-style log-linear buckets, one
+//!   per [`LatencyMetric`] (task end-to-end, kernel, submit-path, memo
+//!   lookup, store insert/evict), with `p50/p90/p99/p999` extraction.
+//! * **Memo-decision audit trail** ([`DecisionLog`]): every interceptor and
+//!   store decision as a structured record in bounded per-worker rings with
+//!   exact per-type counts and a drop counter, dumpable as JSONL.
+//! * **Trace export** ([`ChromeTraceBuilder`] plus the [`SpanLog`] /
+//!   [`CounterSeries`] raw material): Chrome Trace Event Format JSON that
+//!   <https://ui.perfetto.dev> opens directly.
+//!
+//! Everything short-circuits when the handle is disabled, so an attached
+//! but disabled `Observability` stays off the hot paths' critical budget.
+//!
+//! # Quick start
+//!
+//! ```
+//! use atm_obs::{
+//!     ChromeTraceBuilder, DecisionRecord, LatencyMetric, MemoDecision, Observability,
+//! };
+//!
+//! let obs = Observability::enabled();
+//!
+//! // Hot paths record durations and decisions on their own worker's shard.
+//! obs.record_latency(LatencyMetric::TaskLatency, /* worker */ 0, 12_500);
+//! obs.record_latency(LatencyMetric::TaskLatency, 1, 48_000);
+//! obs.record_decision(
+//!     0,
+//!     DecisionRecord {
+//!         task_type: 0,
+//!         task_id: 7,
+//!         decision: MemoDecision::ThtHit,
+//!         metric_value: 0.0,
+//!         tau: 0.2,
+//!         p: 0.5,
+//!         t_ns: 12_500,
+//!     },
+//! );
+//!
+//! // Readers take owned snapshots.
+//! let latency = obs.metrics().get(LatencyMetric::TaskLatency).clone();
+//! assert_eq!(latency.count, 2);
+//! assert!(latency.p50() <= latency.p99());
+//! let decisions = obs.decisions();
+//! assert_eq!(decisions.count(0, MemoDecision::ThtHit), 1);
+//!
+//! // And export a Perfetto-loadable trace.
+//! let mut trace = ChromeTraceBuilder::new();
+//! trace.process_name(1, "atm-runtime");
+//! trace.thread_name(1, 1, "worker 0");
+//! trace.complete(1, 1, "my_task", 0, 12_500, &[("decision", "\"tht_hit\"".into())]);
+//! let json = trace.finish();
+//! assert!(json.contains("\"ph\":\"X\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod decision;
+pub mod hist;
+pub mod metrics;
+pub mod span;
+
+pub use chrome::{json_escape, json_f64, ChromeTraceBuilder};
+pub use decision::{DecisionLog, DecisionRecord, DecisionSnapshot, MemoDecision};
+pub use hist::{Histogram, HistogramSnapshot, RELATIVE_ERROR_BOUND};
+pub use metrics::{Counter, Gauge, LatencyMetric, MetricsRegistry, MetricsSnapshot};
+pub use span::{CounterSample, CounterSeries, SpanLog, TaskSpan};
+
+use atm_sync::Mutex;
+use std::collections::HashMap;
+
+/// The shared observability handle: one per run, threaded through runtime,
+/// engine, and store. All recording methods are no-ops when the handle is
+/// disabled.
+pub struct Observability {
+    enabled: bool,
+    metrics: MetricsRegistry,
+    decisions: DecisionLog,
+    spans: SpanLog,
+    store_bytes: CounterSeries,
+    type_names: Mutex<HashMap<u32, String>>,
+}
+
+impl Observability {
+    /// Creates a handle; `enabled = false` makes every record a no-op.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            metrics: MetricsRegistry::new(),
+            decisions: DecisionLog::new(),
+            spans: SpanLog::new(),
+            store_bytes: CounterSeries::new(),
+            type_names: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// An enabled handle.
+    pub fn enabled() -> Self {
+        Self::new(true)
+    }
+
+    /// A disabled handle: same wiring, every record short-circuits.
+    pub fn disabled() -> Self {
+        Self::new(false)
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a nanosecond duration into `metric` on `worker`'s shard.
+    #[inline]
+    pub fn record_latency(&self, metric: LatencyMetric, worker: usize, ns: u64) {
+        if self.enabled {
+            self.metrics.record(metric, worker, ns);
+        }
+    }
+
+    /// Records a memo decision on `worker`'s shard.
+    #[inline]
+    pub fn record_decision(&self, worker: usize, record: DecisionRecord) {
+        if self.enabled {
+            self.decisions.record(worker, record);
+        }
+    }
+
+    /// Records a task span.
+    #[inline]
+    pub fn record_span(&self, span: TaskSpan) {
+        if self.enabled {
+            self.spans.record(span);
+        }
+    }
+
+    /// Samples the store's byte occupancy at `t_ns`.
+    #[inline]
+    pub fn sample_store_bytes(&self, worker: usize, t_ns: u64, bytes: u64) {
+        if self.enabled {
+            self.store_bytes.sample(worker, t_ns, bytes);
+        }
+    }
+
+    /// Registers the display name of a task type id (used by trace export).
+    pub fn note_type_name(&self, task_type: u32, name: &str) {
+        if self.enabled {
+            self.type_names
+                .lock()
+                .entry(task_type)
+                .or_insert_with(|| name.to_string());
+        }
+    }
+
+    /// The registered name of a task type, if any.
+    pub fn type_name(&self, task_type: u32) -> Option<String> {
+        self.type_names.lock().get(&task_type).cloned()
+    }
+
+    /// Snapshot of every latency histogram.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Snapshot of the decision log.
+    pub fn decisions(&self) -> DecisionSnapshot {
+        self.decisions.snapshot()
+    }
+
+    /// All recorded task spans, sorted by start time.
+    pub fn spans(&self) -> Vec<TaskSpan> {
+        self.spans.spans()
+    }
+
+    /// All store byte-occupancy samples, sorted by time.
+    pub fn store_bytes_samples(&self) -> Vec<CounterSample> {
+        self.store_bytes.samples()
+    }
+}
+
+impl std::fmt::Debug for Observability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Observability")
+            .field("enabled", &self.enabled)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Cross-layer view of the ATM engine's aggregate counters, as reported
+/// through the runtime's `Observation`-style unified snapshots. A plain
+/// data carrier so
+/// lower layers need not depend on the engine crate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineObservation {
+    /// Tasks of memoizable types handled by the engine.
+    pub seen: u64,
+    /// Tasks bypassed with outputs copied from the THT.
+    pub tht_bypassed: u64,
+    /// Tasks deferred to an in-flight producer.
+    pub ikt_deferred: u64,
+    /// THT hits verified by execution during training.
+    pub training_hits: u64,
+    /// Tasks executed (memoizable types only).
+    pub executed: u64,
+    /// Nanoseconds spent computing hash keys.
+    pub hash_ns: u64,
+    /// Nanoseconds spent copying outputs.
+    pub copy_ns: u64,
+}
+
+impl EngineObservation {
+    /// Tasks whose execution was avoided.
+    pub fn reused(&self) -> u64 {
+        self.tht_bypassed + self.ikt_deferred
+    }
+}
+
+/// Cross-layer view of the memo store's counters (see `EngineObservation`
+/// for why this is a plain data carrier).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreObservation {
+    /// Successful lookups.
+    pub hits: u64,
+    /// Failed lookups.
+    pub misses: u64,
+    /// Entries stored (including replacements).
+    pub insertions: u64,
+    /// Entries evicted.
+    pub evictions: u64,
+    /// Entries refused by admission control.
+    pub rejected_admissions: u64,
+    /// Estimated kernel nanoseconds saved by replayed hits.
+    pub saved_ns: u64,
+    /// Bytes currently charged against the budget.
+    pub resident_bytes: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let obs = Observability::disabled();
+        obs.record_latency(LatencyMetric::Kernel, 0, 100);
+        obs.record_decision(
+            0,
+            DecisionRecord {
+                task_type: 0,
+                task_id: 0,
+                decision: MemoDecision::MissExecute,
+                metric_value: 0.0,
+                tau: 0.0,
+                p: 1.0,
+                t_ns: 1,
+            },
+        );
+        obs.record_span(TaskSpan {
+            worker: 0,
+            task_id: 0,
+            task_type: 0,
+            start_ns: 0,
+            end_ns: 1,
+        });
+        obs.sample_store_bytes(0, 1, 64);
+        obs.note_type_name(0, "t");
+        assert!(!obs.is_enabled());
+        assert_eq!(obs.metrics().get(LatencyMetric::Kernel).count, 0);
+        assert_eq!(obs.decisions().total(), 0);
+        assert!(obs.spans().is_empty());
+        assert!(obs.store_bytes_samples().is_empty());
+        assert!(obs.type_name(0).is_none());
+    }
+
+    #[test]
+    fn enabled_handle_round_trips() {
+        let obs = Observability::enabled();
+        obs.record_latency(LatencyMetric::MemoLookup, 2, 400);
+        obs.sample_store_bytes(0, 10, 1024);
+        obs.note_type_name(3, "cholesky_potrf");
+        obs.note_type_name(3, "other"); // first registration wins
+        assert_eq!(obs.metrics().get(LatencyMetric::MemoLookup).count, 1);
+        assert_eq!(
+            obs.store_bytes_samples(),
+            vec![CounterSample {
+                t_ns: 10,
+                value: 1024
+            }]
+        );
+        assert_eq!(obs.type_name(3).as_deref(), Some("cholesky_potrf"));
+    }
+}

@@ -1,0 +1,240 @@
+//! The metrics registry: the fixed set of latency histograms the stack
+//! records into, plus general-purpose sharded counters and gauges.
+
+use crate::hist::{Histogram, HistogramSnapshot, SHARDS};
+use atm_sync::atomic::{AtomicU64, Ordering};
+
+/// The latency distributions the stack records, one histogram each. All
+/// values are nanosecond durations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatencyMetric {
+    /// Task end-to-end latency: submission to finish (memoized bypasses
+    /// included — they are the point).
+    TaskLatency,
+    /// Kernel execution time of tasks that actually ran.
+    Kernel,
+    /// Master-thread time spent inside one submit call (per task).
+    Submit,
+    /// Time spent probing the THT on the memo-lookup path.
+    MemoLookup,
+    /// Full store insert time (admission + placement + budget eviction).
+    StoreInsert,
+    /// Time spent inside budget-eviction rounds.
+    StoreEvict,
+}
+
+impl LatencyMetric {
+    /// Every metric, in display order.
+    pub const ALL: [LatencyMetric; 6] = [
+        LatencyMetric::TaskLatency,
+        LatencyMetric::Kernel,
+        LatencyMetric::Submit,
+        LatencyMetric::MemoLookup,
+        LatencyMetric::StoreInsert,
+        LatencyMetric::StoreEvict,
+    ];
+
+    /// Stable snake_case name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            LatencyMetric::TaskLatency => "task_latency",
+            LatencyMetric::Kernel => "kernel",
+            LatencyMetric::Submit => "submit",
+            LatencyMetric::MemoLookup => "memo_lookup",
+            LatencyMetric::StoreInsert => "store_insert",
+            LatencyMetric::StoreEvict => "store_evict",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            LatencyMetric::TaskLatency => 0,
+            LatencyMetric::Kernel => 1,
+            LatencyMetric::Submit => 2,
+            LatencyMetric::MemoLookup => 3,
+            LatencyMetric::StoreInsert => 4,
+            LatencyMetric::StoreEvict => 5,
+        }
+    }
+}
+
+/// The histogram set behind [`LatencyMetric`].
+pub struct MetricsRegistry {
+    hists: Vec<Histogram>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates empty histograms for every metric.
+    pub fn new() -> Self {
+        Self {
+            hists: (0..LatencyMetric::ALL.len())
+                .map(|_| Histogram::new())
+                .collect(),
+        }
+    }
+
+    /// Records `ns` into `metric` on `worker`'s shard.
+    pub fn record(&self, metric: LatencyMetric, worker: usize, ns: u64) {
+        self.hists[metric.index()].record(worker, ns);
+    }
+
+    /// Snapshots every histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            hists: self.hists.iter().map(Histogram::snapshot).collect(),
+        }
+    }
+}
+
+/// Owned snapshot of every latency histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    hists: Vec<HistogramSnapshot>,
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl MetricsSnapshot {
+    /// A snapshot with every histogram empty.
+    pub fn empty() -> Self {
+        Self {
+            hists: (0..LatencyMetric::ALL.len())
+                .map(|_| HistogramSnapshot::empty())
+                .collect(),
+        }
+    }
+
+    /// The snapshot of one metric's histogram.
+    pub fn get(&self, metric: LatencyMetric) -> &HistogramSnapshot {
+        &self.hists[metric.index()]
+    }
+
+    /// Folds another snapshot into this one, metric by metric.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (acc, h) in self.hists.iter_mut().zip(&other.hists) {
+            acc.merge(h);
+        }
+    }
+}
+
+/// A cache-padded shard of one counter.
+#[repr(align(128))]
+#[derive(Default)]
+struct CounterShard {
+    value: AtomicU64,
+}
+
+/// A monotone counter sharded per worker: `add` is one relaxed `fetch_add`
+/// on the caller's own cache line, `value` sums the shards.
+pub struct Counter {
+    shards: Vec<CounterShard>,
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| CounterShard::default()).collect(),
+        }
+    }
+
+    /// Adds `n` on `worker`'s shard.
+    pub fn add(&self, worker: usize, n: u64) {
+        self.shards[worker % SHARDS]
+            .value
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sum across all shards.
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.value.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A last-writer-wins gauge (e.g. current byte occupancy).
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Reads the gauge.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_routes_by_metric() {
+        let reg = MetricsRegistry::new();
+        reg.record(LatencyMetric::Kernel, 0, 100);
+        reg.record(LatencyMetric::Kernel, 1, 200);
+        reg.record(LatencyMetric::Submit, 0, 5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get(LatencyMetric::Kernel).count, 2);
+        assert_eq!(snap.get(LatencyMetric::Submit).count, 1);
+        assert_eq!(snap.get(LatencyMetric::TaskLatency).count, 0);
+    }
+
+    #[test]
+    fn snapshot_merge_accumulates() {
+        let reg = MetricsRegistry::new();
+        reg.record(LatencyMetric::TaskLatency, 0, 1000);
+        let mut acc = MetricsSnapshot::empty();
+        acc.merge(&reg.snapshot());
+        acc.merge(&reg.snapshot());
+        assert_eq!(acc.get(LatencyMetric::TaskLatency).count, 2);
+    }
+
+    #[test]
+    fn counter_and_gauge() {
+        let c = Counter::new();
+        c.add(0, 2);
+        c.add(31, 3);
+        assert_eq!(c.value(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.set(4);
+        assert_eq!(g.value(), 4);
+    }
+
+    #[test]
+    fn metric_names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            LatencyMetric::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), LatencyMetric::ALL.len());
+    }
+}

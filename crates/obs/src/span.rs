@@ -1,0 +1,145 @@
+//! Per-task spans and time-series counter samples for trace export.
+
+use atm_sync::Mutex;
+
+/// One task's lifetime on a worker, as exported into the trace: the
+/// interval from the worker picking the task up to finishing it (memoized
+/// bypasses included — their spans are the visibly-short ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskSpan {
+    /// Worker that processed the task.
+    pub worker: usize,
+    /// Raw task id.
+    pub task_id: u64,
+    /// Raw task type id.
+    pub task_type: u32,
+    /// Start on the trace clock.
+    pub start_ns: u64,
+    /// End on the trace clock.
+    pub end_ns: u64,
+}
+
+/// Sharded append-only span log (one `Mutex<Vec>` lane per worker shard,
+/// merged and sorted on read).
+pub struct SpanLog {
+    shards: Vec<Mutex<Vec<TaskSpan>>>,
+}
+
+impl SpanLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..crate::hist::SHARDS)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+        }
+    }
+
+    /// Records one span on `worker`'s shard.
+    pub fn record(&self, span: TaskSpan) {
+        self.shards[span.worker % self.shards.len()]
+            .lock()
+            .push(span);
+    }
+
+    /// All spans, sorted by `(start_ns, task_id)`.
+    pub fn spans(&self) -> Vec<TaskSpan> {
+        let mut all: Vec<TaskSpan> = self.shards.iter().flat_map(|s| s.lock().clone()).collect();
+        all.sort_by_key(|s| (s.start_ns, s.task_id));
+        all
+    }
+}
+
+impl Default for SpanLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One `(t_ns, value)` sample of a counter track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Timestamp on the trace clock.
+    pub t_ns: u64,
+    /// Sampled value.
+    pub value: u64,
+}
+
+/// A time-series of counter samples (e.g. store byte occupancy), sharded
+/// like [`SpanLog`].
+pub struct CounterSeries {
+    shards: Vec<Mutex<Vec<CounterSample>>>,
+}
+
+impl CounterSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..crate::hist::SHARDS)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+        }
+    }
+
+    /// Appends a sample on `worker`'s shard.
+    pub fn sample(&self, worker: usize, t_ns: u64, value: u64) {
+        self.shards[worker % self.shards.len()]
+            .lock()
+            .push(CounterSample { t_ns, value });
+    }
+
+    /// All samples, sorted by time.
+    pub fn samples(&self) -> Vec<CounterSample> {
+        let mut all: Vec<CounterSample> =
+            self.shards.iter().flat_map(|s| s.lock().clone()).collect();
+        all.sort_by_key(|s| s.t_ns);
+        all
+    }
+}
+
+impl Default for CounterSeries {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_merge_sorted() {
+        let log = SpanLog::new();
+        log.record(TaskSpan {
+            worker: 1,
+            task_id: 2,
+            task_type: 0,
+            start_ns: 50,
+            end_ns: 60,
+        });
+        log.record(TaskSpan {
+            worker: 0,
+            task_id: 1,
+            task_type: 0,
+            start_ns: 10,
+            end_ns: 20,
+        });
+        let spans = log.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].task_id, 1);
+        assert_eq!(spans[1].worker, 1);
+    }
+
+    #[test]
+    fn counter_samples_sorted_by_time() {
+        let series = CounterSeries::new();
+        series.sample(2, 30, 100);
+        series.sample(0, 10, 50);
+        series.sample(1, 20, 75);
+        let samples = series.samples();
+        assert_eq!(
+            samples.iter().map(|s| s.t_ns).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
+    }
+}

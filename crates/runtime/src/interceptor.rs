@@ -13,6 +13,7 @@
 use crate::region::DataStore;
 use crate::task::{TaskId, TaskView};
 use crate::trace::Tracer;
+use atm_obs::{EngineObservation, StoreObservation};
 
 /// What the scheduler should do with a task that is about to execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +60,13 @@ pub trait TaskInterceptor: Send + Sync {
     ) -> Vec<TaskId> {
         let _ = (task, store, tracer, worker, executed);
         Vec::new()
+    }
+
+    /// Cross-layer counter snapshots for [`crate::Runtime::observe`]: the
+    /// memoization engine's aggregate counters and its backing store's.
+    /// Interceptors that do not memoize (the default) report `None`.
+    fn observe(&self) -> Option<(EngineObservation, StoreObservation)> {
+        None
     }
 }
 

@@ -99,14 +99,14 @@ pub use memo::AtmTaskParams;
 pub use memo::{ArgPrecision, ErrorMetric, MemoPolicy, MemoSpec, MemoSpecError};
 pub use ready_queue::QueueMode;
 pub use region::{DataStore, Elem, ElemType, Region, RegionData, RegionId, RegisterError};
-pub use scheduler::{Runtime, RuntimeBuilder};
+pub use scheduler::{Observation, Runtime, RuntimeBuilder};
 pub use stats::{RuntimeStats, RuntimeStatsSnapshot};
 pub use submit::{BatchBuilder, SubmitError, TaskBuilder};
 pub use task::{
     SigParam, TaskContext, TaskDesc, TaskId, TaskSignature, TaskTypeBuilder, TaskTypeId,
     TaskTypeInfo, TaskView, VariadicSig,
 };
-pub use trace::{ThreadState, TraceEvent, TraceSummary, Tracer};
+pub use trace::{ReadySample, ThreadState, TraceEvent, TraceSummary, Tracer};
 
 /// Convenient glob import for applications built on the runtime.
 pub mod prelude {

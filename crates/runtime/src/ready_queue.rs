@@ -79,24 +79,24 @@ impl FifoQueue {
         }
     }
 
-    fn push_all(&self, ids: &[TaskId], tracer: &Tracer) {
+    fn push_all(&self, ids: &[TaskId], worker: usize, tracer: &Tracer) {
         if ids.is_empty() {
             return;
         }
         let mut state = self.state.lock();
         state.tasks.extend(ids.iter().copied());
-        tracer.sample_ready_depth(state.tasks.len());
+        tracer.sample_ready_depth(worker, state.tasks.len());
         drop(state);
         for _ in ids {
             self.condvar.notify_one();
         }
     }
 
-    fn pop(&self, tracer: &Tracer) -> Popped {
+    fn pop(&self, worker: usize, tracer: &Tracer) -> Popped {
         let mut state = self.state.lock();
         loop {
             if let Some(id) = state.tasks.pop_front() {
-                tracer.sample_ready_depth(state.tasks.len());
+                tracer.sample_ready_depth(worker, state.tasks.len());
                 return Popped::Task(id);
             }
             if state.closed {
@@ -106,11 +106,11 @@ impl FifoQueue {
         }
     }
 
-    fn try_pop(&self, tracer: &Tracer) -> Option<TaskId> {
+    fn try_pop(&self, worker: usize, tracer: &Tracer) -> Option<TaskId> {
         let mut state = self.state.lock();
         let id = state.tasks.pop_front();
         if id.is_some() {
-            tracer.sample_ready_depth(state.tasks.len());
+            tracer.sample_ready_depth(worker, state.tasks.len());
         }
         id
     }
@@ -134,6 +134,11 @@ impl FifoQueue {
 /// Largest number of tasks moved by one steal (half the victim's deque,
 /// capped so a thief cannot hoard a huge release burst).
 const MAX_STEAL_BATCH: usize = 32;
+
+/// Ready-depth sample lane used for pushes from outside the worker pool
+/// (the master thread). Any consistent lane works — the sharding is purely
+/// anti-contention; samples are merged and time-sorted on read.
+const MASTER_LANE: usize = usize::MAX;
 
 /// Per-worker deques + injector with steal-half.
 ///
@@ -194,9 +199,9 @@ impl StealingQueue {
     /// Accounts for `count` pushed tasks *before* they become visible in a
     /// deque, so a racing consumer can never decrement `pending` below the
     /// number of visible tasks (no underflow).
-    fn note_pushing(&self, count: usize, tracer: &Tracer) {
+    fn note_pushing(&self, count: usize, worker: usize, tracer: &Tracer) {
         let depth = self.pending.fetch_add(count, Ordering::SeqCst) + count;
-        tracer.sample_ready_depth(depth);
+        tracer.sample_ready_depth(worker, depth);
     }
 
     /// Wakes up to `count` parked workers, each through its own event.
@@ -220,7 +225,7 @@ impl StealingQueue {
         if ids.is_empty() {
             return;
         }
-        self.note_pushing(ids.len(), tracer);
+        self.note_pushing(ids.len(), MASTER_LANE, tracer);
         self.injector.lock().extend(ids.iter().copied());
         self.wake_after_push(ids.len());
     }
@@ -229,7 +234,7 @@ impl StealingQueue {
         if ids.is_empty() {
             return;
         }
-        self.note_pushing(ids.len(), tracer);
+        self.note_pushing(ids.len(), worker, tracer);
         match self.locals.get(worker) {
             Some(local) => local.lock().extend(ids.iter().copied()),
             // Not a worker thread (e.g. the engine finishing deferred tasks
@@ -239,9 +244,9 @@ impl StealingQueue {
         self.wake_after_push(ids.len());
     }
 
-    fn note_popped(&self, tracer: &Tracer) {
+    fn note_popped(&self, worker: usize, tracer: &Tracer) {
         let depth = self.pending.fetch_sub(1, Ordering::SeqCst) - 1;
-        tracer.sample_ready_depth(depth);
+        tracer.sample_ready_depth(worker, depth);
     }
 
     /// One full scan: own deque, injector, then steal-half round-robin.
@@ -286,7 +291,7 @@ impl StealingQueue {
     fn pop(&self, worker: usize, tracer: &Tracer) -> Popped {
         loop {
             if let Some(id) = self.scan(worker) {
-                self.note_popped(tracer);
+                self.note_popped(worker, tracer);
                 return Popped::Task(id);
             }
             let Some(event) = self.parkers.get(worker) else {
@@ -348,7 +353,7 @@ impl StealingQueue {
     fn try_pop(&self, worker: usize, tracer: &Tracer) -> Option<TaskId> {
         let id = self.scan(worker);
         if id.is_some() {
-            self.note_popped(tracer);
+            self.note_popped(worker, tracer);
         }
         id
     }
@@ -405,7 +410,7 @@ impl ReadyQueue {
     /// and wakes one waiting worker.
     pub fn push(&self, id: TaskId) {
         match &self.imp {
-            QueueImpl::Fifo(q) => q.push_all(&[id], &self.tracer),
+            QueueImpl::Fifo(q) => q.push_all(&[id], MASTER_LANE, &self.tracer),
             QueueImpl::Stealing(q) => q.push_injector(&[id], &self.tracer),
         }
     }
@@ -413,7 +418,7 @@ impl ReadyQueue {
     /// Adds a batch of ready tasks from outside the worker pool.
     pub fn push_all(&self, ids: &[TaskId]) {
         match &self.imp {
-            QueueImpl::Fifo(q) => q.push_all(ids, &self.tracer),
+            QueueImpl::Fifo(q) => q.push_all(ids, MASTER_LANE, &self.tracer),
             QueueImpl::Stealing(q) => q.push_injector(ids, &self.tracer),
         }
     }
@@ -423,7 +428,7 @@ impl ReadyQueue {
     /// deque — the no-shared-lock fast path.
     pub fn push_from(&self, worker: usize, ids: &[TaskId]) {
         match &self.imp {
-            QueueImpl::Fifo(q) => q.push_all(ids, &self.tracer),
+            QueueImpl::Fifo(q) => q.push_all(ids, worker, &self.tracer),
             QueueImpl::Stealing(q) => q.push_local(worker, ids, &self.tracer),
         }
     }
@@ -432,7 +437,7 @@ impl ReadyQueue {
     /// and drained.
     pub fn pop(&self, worker: usize) -> Popped {
         match &self.imp {
-            QueueImpl::Fifo(q) => q.pop(&self.tracer),
+            QueueImpl::Fifo(q) => q.pop(worker, &self.tracer),
             QueueImpl::Stealing(q) => q.pop(worker, &self.tracer),
         }
     }
@@ -440,7 +445,7 @@ impl ReadyQueue {
     /// Non-blocking pop; returns `None` when no task is currently findable.
     pub fn try_pop(&self, worker: usize) -> Option<TaskId> {
         match &self.imp {
-            QueueImpl::Fifo(q) => q.try_pop(&self.tracer),
+            QueueImpl::Fifo(q) => q.try_pop(worker, &self.tracer),
             QueueImpl::Stealing(q) => q.try_pop(worker, &self.tracer),
         }
     }

@@ -38,6 +38,10 @@ use crate::submit::{
 };
 use crate::task::{TaskContext, TaskDesc, TaskId, TaskTypeId, TaskTypeInfo, TaskView};
 use crate::trace::{ThreadState, Tracer};
+use atm_obs::{
+    DecisionSnapshot, EngineObservation, LatencyMetric, MetricsSnapshot, Observability,
+    StoreObservation, TaskSpan,
+};
 use atm_sync::atomic::{AtomicU64, Ordering};
 use atm_sync::{Condvar, Mutex, RwLock};
 use std::sync::Arc;
@@ -49,6 +53,7 @@ pub struct RuntimeBuilder {
     tracing: bool,
     queue_mode: QueueMode,
     interceptor: Arc<dyn TaskInterceptor>,
+    observability: Option<Arc<Observability>>,
 }
 
 impl Default for RuntimeBuilder {
@@ -66,6 +71,7 @@ impl RuntimeBuilder {
             tracing: false,
             queue_mode: QueueMode::default(),
             interceptor: Arc::new(NoopInterceptor),
+            observability: None,
         }
     }
 
@@ -102,6 +108,17 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Attaches an observability handle (see [`atm_obs::Observability`]).
+    /// The runtime records per-task latency histograms and trace spans into
+    /// it; share the same handle with the ATM engine to get one unified
+    /// [`Observation`]. A disabled handle (or none, the default) keeps the
+    /// hot paths free of recording work.
+    #[must_use]
+    pub fn observability(mut self, obs: Arc<Observability>) -> Self {
+        self.observability = Some(obs);
+        self
+    }
+
     /// Builds the runtime and spawns its worker threads.
     pub fn build(self) -> Runtime {
         let tracer = Arc::new(Tracer::new(self.tracing));
@@ -117,6 +134,7 @@ impl RuntimeBuilder {
             done_lock: Mutex::new(()),
             all_done: Condvar::new(),
             workers: self.workers,
+            obs: self.observability,
         });
         let handles = (0..self.workers)
             .map(|worker| {
@@ -147,9 +165,21 @@ struct Inner {
     done_lock: Mutex<()>,
     all_done: Condvar,
     workers: usize,
+    /// Observability handle, when one was attached to the builder.
+    obs: Option<Arc<Observability>>,
 }
 
 impl Inner {
+    /// The attached observability handle, but only when it records — the
+    /// hot paths branch on this once and skip all recording otherwise.
+    #[inline]
+    fn obs_on(&self) -> Option<&Observability> {
+        match &self.obs {
+            Some(obs) if obs.is_enabled() => Some(obs),
+            _ => None,
+        }
+    }
+
     /// Completes the task whose node the worker already holds: releases its
     /// successors into the finishing `worker`'s queue and retires it from
     /// the outstanding count. No global lock and no node lookup on this
@@ -189,9 +219,10 @@ fn worker_loop(inner: &Arc<Inner>, worker: usize) {
     loop {
         let idle_start = inner.tracer.now_ns();
         let popped = inner.queue.pop(worker);
+        let picked_up = inner.tracer.now_ns();
         inner
             .tracer
-            .record(worker, ThreadState::Idle, idle_start, inner.tracer.now_ns());
+            .record(worker, ThreadState::Idle, idle_start, picked_up);
         let id = match popped {
             Popped::Task(id) => id,
             Popped::Closed => break,
@@ -225,6 +256,9 @@ fn worker_loop(inner: &Arc<Inner>, worker: usize) {
                     .record(worker, ThreadState::TaskExecution, start, end);
                 stats.add(&stats.kernel_ns, end - start);
                 stats.incr(&stats.executed);
+                if let Some(obs) = inner.obs_on() {
+                    obs.record_latency(LatencyMetric::Kernel, worker, end - start);
+                }
                 true
             }
             Decision::Memoized => {
@@ -245,8 +279,35 @@ fn worker_loop(inner: &Arc<Inner>, worker: usize) {
             inner
                 .interceptor
                 .after_execute(view, &inner.store, &inner.tracer, worker, executed);
+        if let Some(obs) = inner.obs_on() {
+            let finished = inner.tracer.now_ns();
+            obs.record_latency(
+                LatencyMetric::TaskLatency,
+                worker,
+                finished.saturating_sub(desc.submitted_at_ns),
+            );
+            obs.record_span(TaskSpan {
+                worker,
+                task_id: id.index() as u64,
+                task_type: desc.task_type.index() as u32,
+                start_ns: picked_up,
+                end_ns: finished,
+            });
+        }
         inner.finish_node(worker, &node);
         for deferred in completed_deferred {
+            // Deferred tasks finish on their producer's worker; read the
+            // submission stamp before the node retires.
+            if let Some(obs) = inner.obs_on() {
+                if let Some(node) = inner.graph.try_node(deferred) {
+                    let finished = inner.tracer.now_ns();
+                    obs.record_latency(
+                        LatencyMetric::TaskLatency,
+                        worker,
+                        finished.saturating_sub(node.desc().submitted_at_ns),
+                    );
+                }
+            }
             inner.finish_task(worker, deferred);
         }
     }
@@ -292,6 +353,9 @@ impl Runtime {
     pub fn register_task_type(&self, info: TaskTypeInfo) -> TaskTypeId {
         let mut registry = self.inner.registry.write();
         let id = TaskTypeId(u32::try_from(registry.len()).expect("too many task types"));
+        if let Some(obs) = self.inner.obs_on() {
+            obs.note_type_name(id.index() as u32, &info.name);
+        }
         registry.push(Arc::new(info));
         id
     }
@@ -348,9 +412,10 @@ impl Runtime {
     /// the task starts executing as soon as they are satisfied. This is the
     /// lean single-task path; [`Runtime::try_submit_all`] amortises the
     /// internal locks over a whole wave.
-    pub fn try_submit(&self, desc: TaskDesc) -> Result<TaskId, SubmitError> {
+    pub fn try_submit(&self, mut desc: TaskDesc) -> Result<TaskId, SubmitError> {
         let start = self.inner.tracer.now_ns();
         self.validate(&desc)?;
+        desc.submitted_at_ns = start;
 
         self.inner.outstanding.fetch_add(1, Ordering::SeqCst);
         let (id, ready) = self.inner.graph.submit(desc);
@@ -366,6 +431,9 @@ impl Runtime {
         self.inner
             .tracer
             .record(self.inner.workers, ThreadState::TaskCreation, start, end);
+        if let Some(obs) = self.inner.obs_on() {
+            obs.record_latency(LatencyMetric::Submit, self.inner.workers, end - start);
+        }
         Ok(id)
     }
 
@@ -381,7 +449,7 @@ impl Runtime {
     /// batch members included, exactly the graph the equivalent one-by-one
     /// submissions build — and every immediately-ready task is pushed to
     /// the Ready Queue in id order.
-    pub fn try_submit_all(&self, descs: Vec<TaskDesc>) -> Result<Vec<TaskId>, SubmitError> {
+    pub fn try_submit_all(&self, mut descs: Vec<TaskDesc>) -> Result<Vec<TaskId>, SubmitError> {
         if descs.is_empty() {
             return Ok(Vec::new());
         }
@@ -409,6 +477,9 @@ impl Runtime {
         }
 
         let count = descs.len() as u64;
+        for desc in &mut descs {
+            desc.submitted_at_ns = start;
+        }
         self.inner.outstanding.fetch_add(count, Ordering::SeqCst);
         let submitted = self.inner.graph.submit_batch(descs);
         let ready: Vec<TaskId> = submitted
@@ -426,6 +497,9 @@ impl Runtime {
         self.inner
             .tracer
             .record(self.inner.workers, ThreadState::TaskCreation, start, end);
+        if let Some(obs) = self.inner.obs_on() {
+            obs.record_latency(LatencyMetric::Submit, self.inner.workers, end - start);
+        }
         Ok(submitted.into_iter().map(|(id, _)| id).collect())
     }
 
@@ -461,6 +535,34 @@ impl Runtime {
         snapshot
     }
 
+    /// One unified observability snapshot: the runtime counters, the
+    /// interceptor's engine/store counters (when it reports them), and the
+    /// latency histograms and memo-decision stream of the attached
+    /// [`Observability`] handle (empty when none is attached). This replaces
+    /// querying runtime stats, engine stats and store counters separately.
+    pub fn observe(&self) -> Observation {
+        let (engine, store) = match self.inner.interceptor.observe() {
+            Some((engine, store)) => (Some(engine), Some(store)),
+            None => (None, None),
+        };
+        let (latency, decisions) = match &self.inner.obs {
+            Some(obs) => (obs.metrics(), obs.decisions()),
+            None => (MetricsSnapshot::empty(), DecisionSnapshot::default()),
+        };
+        Observation {
+            runtime: self.stats(),
+            engine,
+            store,
+            latency,
+            decisions,
+        }
+    }
+
+    /// The observability handle attached at build time, if any.
+    pub fn observability(&self) -> Option<&Arc<Observability>> {
+        self.inner.obs.as_ref()
+    }
+
     /// Current depth of the ready queue (diagnostic).
     pub fn ready_depth(&self) -> usize {
         self.inner.queue.depth()
@@ -478,6 +580,25 @@ impl Runtime {
             let _ = handle.join();
         }
     }
+}
+
+/// The unified observability snapshot returned by [`Runtime::observe`]:
+/// every layer's counters in one place, plus the latency histograms and the
+/// memo-decision stream.
+#[derive(Debug)]
+pub struct Observation {
+    /// Runtime counters (submission, execution, kernel time, graph gauges).
+    pub runtime: RuntimeStatsSnapshot,
+    /// Aggregate memoization-engine counters, when the installed
+    /// interceptor reports them (see [`TaskInterceptor::observe`]).
+    pub engine: Option<EngineObservation>,
+    /// Memo-store counters, when the installed interceptor reports them.
+    pub store: Option<StoreObservation>,
+    /// Latency histograms (task end-to-end, kernel, submit path, memo
+    /// lookup, store insert/evict). Empty without an attached handle.
+    pub latency: MetricsSnapshot,
+    /// The memo-decision audit stream. Empty without an attached handle.
+    pub decisions: DecisionSnapshot,
 }
 
 impl Drop for Runtime {
@@ -1032,6 +1153,94 @@ mod tests {
             assert_eq!(stats.retired_nodes, wave * 20);
         }
         assert_eq!(rt.store().read(cell).lock().as_f64(), &[100.0]);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn observe_unifies_stats_latency_spans_and_type_names() {
+        let obs = Arc::new(Observability::enabled());
+        let rt = RuntimeBuilder::new()
+            .workers(2)
+            .observability(Arc::clone(&obs))
+            .build();
+        let cell = rt.store().register_zeros::<f64>("cell", 1).unwrap();
+        let incr = rt.register_task_type(
+            TaskTypeBuilder::new("incr", |ctx| {
+                let v = ctx.arg::<f64>(0)[0];
+                ctx.out(0, &[v + 1.0]);
+            })
+            .inout::<f64>()
+            .build(),
+        );
+        for _ in 0..4 {
+            rt.task(incr).reads_writes(&cell).submit().unwrap();
+        }
+        let mut batch = rt.tasks(incr);
+        for _ in 0..6 {
+            batch = batch.next().reads_writes(&cell);
+        }
+        batch.submit_all().unwrap();
+        rt.taskwait();
+
+        let o = rt.observe();
+        assert_eq!(o.runtime.submitted, 10);
+        assert_eq!(o.runtime.executed, 10);
+        assert!(o.engine.is_none(), "no interceptor → no engine counters");
+        assert!(o.store.is_none());
+        let task_latency = o.latency.get(LatencyMetric::TaskLatency);
+        assert_eq!(task_latency.count, 10);
+        assert!(task_latency.p50() <= task_latency.p99());
+        assert_eq!(o.latency.get(LatencyMetric::Kernel).count, 10);
+        // 4 singleton submissions + 1 batch = 5 submit-path samples.
+        assert_eq!(o.latency.get(LatencyMetric::Submit).count, 5);
+        assert_eq!(o.decisions.total(), 0, "no memoization → no decisions");
+
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 10);
+        assert!(spans.iter().all(|s| s.end_ns >= s.start_ns));
+        assert_eq!(obs.type_name(0).as_deref(), Some("incr"));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn observe_without_a_handle_reports_empty_histograms() {
+        let rt = RuntimeBuilder::new().workers(1).build();
+        let r = rt.store().register_zeros::<f32>("r", 1).unwrap();
+        let tt = rt.register_task_type(
+            TaskTypeBuilder::new("t", |ctx| ctx.out(0, &[1.0f32]))
+                .out::<f32>()
+                .build(),
+        );
+        rt.task(tt).writes(&r).submit().unwrap();
+        rt.taskwait();
+        let o = rt.observe();
+        assert_eq!(o.runtime.submitted, 1);
+        assert_eq!(o.latency.get(LatencyMetric::TaskLatency).count, 0);
+        assert_eq!(o.decisions.total(), 0);
+        assert!(rt.observability().is_none());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn disabled_observability_handle_records_nothing() {
+        let obs = Arc::new(Observability::disabled());
+        let rt = RuntimeBuilder::new()
+            .workers(1)
+            .observability(Arc::clone(&obs))
+            .build();
+        let r = rt.store().register_zeros::<f32>("r", 1).unwrap();
+        let tt = rt.register_task_type(
+            TaskTypeBuilder::new("t", |ctx| ctx.out(0, &[1.0f32]))
+                .out::<f32>()
+                .build(),
+        );
+        rt.task(tt).writes(&r).submit().unwrap();
+        rt.taskwait();
+        assert_eq!(
+            rt.observe().latency.get(LatencyMetric::TaskLatency).count,
+            0
+        );
+        assert!(obs.spans().is_empty());
         rt.shutdown();
     }
 

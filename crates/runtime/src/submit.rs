@@ -307,6 +307,7 @@ impl<'rt> TaskBuilder<'rt> {
             task_type,
             accesses,
             memo,
+            submitted_at_ns: 0,
         })
     }
 }

@@ -331,6 +331,11 @@ pub struct TaskDesc {
     /// registered as memoizable. See [`crate::TaskBuilder::memo`] for the
     /// first-instance-configures-the-type resolution rule.
     pub memo: Option<MemoSpec>,
+    /// Submission timestamp on the runtime's trace clock, stamped by
+    /// [`crate::Runtime::try_submit`] / [`crate::Runtime::try_submit_all`]
+    /// (0 until then). Feeds the end-to-end task-latency histogram of the
+    /// observability layer.
+    pub submitted_at_ns: u64,
 }
 
 impl TaskDesc {
@@ -340,6 +345,7 @@ impl TaskDesc {
             task_type,
             accesses,
             memo: None,
+            submitted_at_ns: 0,
         }
     }
 

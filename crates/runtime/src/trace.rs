@@ -97,7 +97,10 @@ pub struct Tracer {
     enabled: bool,
     origin: Instant,
     events: Vec<Mutex<Vec<TraceEvent>>>,
-    ready_samples: Mutex<Vec<ReadySample>>,
+    /// Sharded like `events`: ready-depth sampling happens on scheduler
+    /// push/pop, a traced hot path that must not funnel every worker
+    /// through one lock.
+    ready_samples: Vec<Mutex<Vec<ReadySample>>>,
 }
 
 impl Tracer {
@@ -107,7 +110,7 @@ impl Tracer {
             enabled,
             origin: Instant::now(),
             events: (0..EVENT_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
-            ready_samples: Mutex::new(Vec::new()),
+            ready_samples: (0..EVENT_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
         }
     }
 
@@ -146,15 +149,17 @@ impl Tracer {
         result
     }
 
-    /// Records the current ready-queue depth.
-    pub fn sample_ready_depth(&self, depth: usize) {
+    /// Records the current ready-queue depth on `worker`'s sample shard.
+    pub fn sample_ready_depth(&self, worker: usize, depth: usize) {
         if !self.enabled {
             return;
         }
-        self.ready_samples.lock().push(ReadySample {
-            at_ns: self.now_ns(),
-            depth,
-        });
+        self.ready_samples[worker % EVENT_SHARDS]
+            .lock()
+            .push(ReadySample {
+                at_ns: self.now_ns(),
+                depth,
+            });
     }
 
     /// All recorded events, merged across the per-worker shards and sorted
@@ -169,9 +174,16 @@ impl Tracer {
         merged
     }
 
-    /// All recorded ready-queue samples (cloned).
+    /// All recorded ready-queue samples, merged across the shards and
+    /// sorted by sample time.
     pub fn ready_samples(&self) -> Vec<ReadySample> {
-        self.ready_samples.lock().clone()
+        let mut merged: Vec<ReadySample> = self
+            .ready_samples
+            .iter()
+            .flat_map(|shard| shard.lock().clone())
+            .collect();
+        merged.sort_by_key(|s| s.at_ns);
+        merged
     }
 
     /// Aggregates the total time per (worker, state).
@@ -197,7 +209,7 @@ impl TraceSummary {
             ThreadState::ALL.iter().map(|&s| (s, 0u64)).collect();
         let mut min_start = u64::MAX;
         let mut max_end = 0u64;
-        let mut max_worker = None::<usize>;
+        let mut workers = std::collections::BTreeSet::new();
         for ev in events {
             let slot = per_state
                 .iter_mut()
@@ -206,11 +218,11 @@ impl TraceSummary {
             slot.1 += ev.end_ns - ev.start_ns;
             min_start = min_start.min(ev.start_ns);
             max_end = max_end.max(ev.end_ns);
-            max_worker = Some(max_worker.map_or(ev.worker, |w: usize| w.max(ev.worker)));
+            workers.insert(ev.worker);
         }
         TraceSummary {
             per_state_ns: per_state,
-            workers: max_worker.map_or(0, |w| w + 1),
+            workers: workers.len(),
             span_ns: if events.is_empty() {
                 0
             } else {
@@ -245,7 +257,7 @@ mod tests {
     fn disabled_tracer_records_nothing() {
         let tracer = Tracer::new(false);
         tracer.record(0, ThreadState::TaskExecution, 0, 100);
-        tracer.sample_ready_depth(5);
+        tracer.sample_ready_depth(0, 5);
         let value = tracer.scope(0, ThreadState::Memoization, || 42);
         assert_eq!(value, 42);
         assert!(tracer.events().is_empty());
@@ -294,13 +306,27 @@ mod tests {
     #[test]
     fn ready_samples_are_ordered_by_time() {
         let tracer = Tracer::new(true);
-        for depth in [1usize, 2, 3, 2, 1, 0] {
-            tracer.sample_ready_depth(depth);
+        for (i, depth) in [1usize, 2, 3, 2, 1, 0].into_iter().enumerate() {
+            // Rotate across workers so samples land on different shards,
+            // proving the merge re-establishes one timeline.
+            tracer.sample_ready_depth(i % 4, depth);
         }
         let samples = tracer.ready_samples();
         assert_eq!(samples.len(), 6);
         assert!(samples.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
         assert_eq!(samples.last().unwrap().depth, 0);
+    }
+
+    #[test]
+    fn workers_counts_distinct_recorders_not_max_index() {
+        // Regression: only worker 3 records — `workers` used to report 4
+        // (`max_worker + 1`), counting three workers that never recorded.
+        let tracer = Tracer::new(true);
+        tracer.record(3, ThreadState::TaskExecution, 0, 100);
+        assert_eq!(tracer.summary().workers, 1);
+        // Sparse sets count their actual size, not their span.
+        tracer.record(7, ThreadState::Idle, 100, 120);
+        assert_eq!(tracer.summary().workers, 2);
     }
 
     #[test]

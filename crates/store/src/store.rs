@@ -22,11 +22,13 @@
 
 use crate::policy::{Candidate, EvictionPolicy, PolicyKind};
 use crate::snapshot::OutputSnapshot;
+use atm_obs::{DecisionRecord, LatencyMetric, MemoDecision, Observability};
 use atm_runtime::{TaskId, TaskTypeId};
 use atm_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use atm_sync::RwLock;
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The lookup key of a memo entry.
 ///
@@ -260,6 +262,12 @@ pub struct MemoStore {
     evictions: AtomicU64,
     rejected_admissions: AtomicU64,
     saved_ns: AtomicU64,
+    /// Observability handle (attached post-construction, see
+    /// [`MemoStore::set_observability`]). Store-side decision events are
+    /// stamped on `obs_origin`'s clock — monotonic, but not aligned with
+    /// any runtime tracer timeline.
+    obs: Option<Arc<Observability>>,
+    obs_origin: Instant,
 }
 
 impl MemoStore {
@@ -295,7 +303,53 @@ impl MemoStore {
             evictions: AtomicU64::new(0),
             rejected_admissions: AtomicU64::new(0),
             saved_ns: AtomicU64::new(0),
+            obs: None,
+            obs_origin: Instant::now(),
         }
+    }
+
+    /// Attaches an observability handle: insert/evict latencies land in its
+    /// histograms and admission-denied/eviction decisions in its decision
+    /// stream (sharded by bucket index, since the store does not know which
+    /// worker is calling).
+    pub fn set_observability(&mut self, obs: Arc<Observability>) {
+        self.obs = Some(obs);
+    }
+
+    /// The attached handle, but only when it records.
+    #[inline]
+    fn obs_on(&self) -> Option<&Observability> {
+        match &self.obs {
+            Some(obs) if obs.is_enabled() => Some(obs),
+            _ => None,
+        }
+    }
+
+    /// Event timestamp on the store's own monotonic clock.
+    fn obs_ns(&self) -> u64 {
+        u64::try_from(self.obs_origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn record_eviction(
+        &self,
+        obs: &Observability,
+        shard: usize,
+        key: &EntryKey,
+        producer: TaskId,
+        bytes: usize,
+    ) {
+        obs.record_decision(
+            shard,
+            DecisionRecord {
+                task_type: key.task_type.index() as u32,
+                task_id: producer.index() as u64,
+                decision: MemoDecision::Eviction,
+                metric_value: bytes as f64,
+                tau: 0.0,
+                p: f64::from_bits(key.p_bits),
+                t_ns: self.obs_ns(),
+            },
+        );
     }
 
     /// The store configuration.
@@ -378,11 +432,32 @@ impl MemoStore {
         outputs: Arc<Vec<OutputSnapshot>>,
         benefit_ns: u64,
     ) -> InsertOutcome {
+        let observing = self.obs_on().is_some();
+        let insert_start = observing.then(Instant::now);
+        let shard = self.bucket_of(&key);
         let charged = entry_charge_bytes(&outputs);
         if let Some(budget) = self.config.byte_budget {
             let cap = (budget as f64 * self.config.max_entry_fraction) as usize;
             if charged > cap {
                 self.rejected_admissions.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = self.obs_on() {
+                    obs.record_decision(
+                        shard,
+                        DecisionRecord {
+                            task_type: key.task_type.index() as u32,
+                            task_id: producer.index() as u64,
+                            decision: MemoDecision::AdmissionDenied,
+                            metric_value: charged as f64,
+                            tau: 0.0,
+                            p: f64::from_bits(key.p_bits),
+                            t_ns: self.obs_ns(),
+                        },
+                    );
+                    if let Some(start) = insert_start {
+                        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        obs.record_latency(LatencyMetric::StoreInsert, shard, ns);
+                    }
+                }
                 return InsertOutcome::Rejected;
             }
         }
@@ -406,7 +481,8 @@ impl MemoStore {
         let mut freed = 0usize;
         let mut evicted = 0u64;
         let mut self_evicted = false;
-        let mut bucket = self.buckets[self.bucket_of(&key)].write();
+        let mut evicted_entries: Vec<(EntryKey, TaskId, usize)> = Vec::new();
+        let mut bucket = self.buckets[shard].write();
         let replaced = if let Some(pos) = bucket.iter().position(|e| e.key == key) {
             freed += bucket[pos].charged_bytes;
             bucket[pos] = entry;
@@ -424,6 +500,9 @@ impl MemoStore {
                     // full bucket; report that honestly instead of claiming
                     // a resident insertion.
                     self_evicted |= old.inserted_seq == seq;
+                    if observing {
+                        evicted_entries.push((old.key, old.producer, old.charged_bytes));
+                    }
                 }
             }
             false
@@ -436,6 +515,15 @@ impl MemoStore {
         // their charges are already in the counter.
         self.resident_bytes.fetch_sub(freed, Ordering::Relaxed);
         self.enforce_budget();
+        if let Some(obs) = self.obs_on() {
+            for (ekey, eproducer, ebytes) in &evicted_entries {
+                self.record_eviction(obs, shard, ekey, *eproducer, *ebytes);
+            }
+            if let Some(start) = insert_start {
+                let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                obs.record_latency(LatencyMetric::StoreInsert, shard, ns);
+            }
+        }
         if replaced {
             InsertOutcome::Replaced
         } else if self_evicted {
@@ -459,8 +547,13 @@ impl MemoStore {
         // but not yet published).
         let mut fruitless = 0;
         while self.resident_bytes.load(Ordering::Relaxed) > budget && fruitless < 8 {
+            let round_start = self.obs_on().map(|_| Instant::now());
             if self.evict_round(budget) {
                 fruitless = 0;
+                if let (Some(obs), Some(start)) = (self.obs_on(), round_start) {
+                    let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    obs.record_latency(LatencyMetric::StoreEvict, 0, ns);
+                }
             } else {
                 fruitless += 1;
             }
@@ -508,6 +601,15 @@ impl MemoStore {
                     .fetch_sub(removed.charged_bytes, Ordering::Relaxed);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
                 evicted_any = true;
+                if let Some(obs) = self.obs_on() {
+                    self.record_eviction(
+                        obs,
+                        b,
+                        &removed.key,
+                        removed.producer,
+                        removed.charged_bytes,
+                    );
+                }
             }
         }
         evicted_any
@@ -775,5 +877,50 @@ mod tests {
             ways: 0,
             ..Default::default()
         });
+    }
+
+    #[test]
+    fn observability_records_latencies_and_store_decisions() {
+        let data = DataStore::new();
+        let obs = Arc::new(Observability::enabled());
+        let mut store = MemoStore::new(one_bucket(PolicyKind::Fifo, 1));
+        store.set_observability(Arc::clone(&obs));
+
+        // Two distinct keys into a 1-way bucket: the second insert evicts
+        // the first (FIFO).
+        store.insert(key(1), producer(0), snapshot(&data, &[1.0; 8]), 0);
+        store.insert(key(2), producer(1), snapshot(&data, &[2.0; 8]), 0);
+
+        let decisions = obs.decisions();
+        assert_eq!(decisions.count(0, MemoDecision::Eviction), 1);
+        let evicted = &decisions.records_for(0)[0];
+        assert_eq!(evicted.decision, MemoDecision::Eviction);
+        assert_eq!(evicted.task_id, 0, "the FIFO victim is the first producer");
+        assert!(evicted.metric_value > 0.0, "eviction reports freed bytes");
+        let metrics = obs.metrics();
+        assert_eq!(metrics.get(LatencyMetric::StoreInsert).count, 2);
+
+        // A tiny admission cap refuses the entry and says so.
+        let mut capped = MemoStore::new(StoreConfig {
+            byte_budget: Some(64),
+            max_entry_fraction: 0.1,
+            ..one_bucket(PolicyKind::Fifo, 8)
+        });
+        capped.set_observability(Arc::clone(&obs));
+        let outcome = capped.insert(key(3), producer(7), snapshot(&data, &[3.0; 64]), 0);
+        assert_eq!(outcome, InsertOutcome::Rejected);
+        assert_eq!(obs.decisions().count(0, MemoDecision::AdmissionDenied), 1);
+    }
+
+    #[test]
+    fn disabled_observability_leaves_the_store_silent() {
+        let data = DataStore::new();
+        let obs = Arc::new(Observability::disabled());
+        let mut store = MemoStore::new(one_bucket(PolicyKind::Fifo, 1));
+        store.set_observability(Arc::clone(&obs));
+        store.insert(key(1), producer(0), snapshot(&data, &[1.0; 8]), 0);
+        store.insert(key(2), producer(1), snapshot(&data, &[2.0; 8]), 0);
+        assert_eq!(obs.decisions().total(), 0);
+        assert_eq!(obs.metrics().get(LatencyMetric::StoreInsert).count, 0);
     }
 }

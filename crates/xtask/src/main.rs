@@ -1,16 +1,22 @@
 //! Repo-local automation, `cargo xtask` style: `cargo run -p xtask -- <command>`.
 //!
-//! The one command so far is `lint-sync`, which enforces the repo's
-//! synchronization discipline: every lock, condition variable and atomic in
-//! production code goes through `atm-sync`, so that `--cfg atm_check`
-//! builds can swap in the instrumented model types and the checker sees
-//! every operation. A raw `std::sync` primitive anywhere else is invisible
-//! to the checker — a hole in the model — so CI fails on it.
+//! Commands:
+//!
+//! * `lint-sync` enforces the repo's synchronization discipline: every
+//!   lock, condition variable and atomic in production code goes through
+//!   `atm-sync`, so that `--cfg atm_check` builds can swap in the
+//!   instrumented model types and the checker sees every operation. A raw
+//!   `std::sync` primitive anywhere else is invisible to the checker — a
+//!   hole in the model — so CI fails on it.
+//! * `check-trace FILE` validates a Chrome-trace file produced by
+//!   `atm-eval --trace` (see [`check_trace`]).
 //!
 //! The lint is a line-based substring scan, deliberately dependency-free
 //! (no syn, no regex crate): false positives are possible in principle but
 //! have not occurred, and the failure message names the exact file:line to
 //! fix or exempt.
+
+mod check_trace;
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -139,8 +145,31 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        "check-trace" => {
+            let Some(path) = std::env::args().nth(2) else {
+                eprintln!("usage: cargo run -p xtask -- check-trace FILE");
+                return ExitCode::FAILURE;
+            };
+            let text = match std::fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(err) => {
+                    eprintln!("check-trace: cannot read {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match check_trace::check_trace(&text) {
+                Ok(summary) => {
+                    println!("check-trace: {path}: {summary}");
+                    ExitCode::SUCCESS
+                }
+                Err(err) => {
+                    eprintln!("check-trace: {path}: {err}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         other => {
-            eprintln!("unknown xtask command {other:?}; available: lint-sync");
+            eprintln!("unknown xtask command {other:?}; available: lint-sync check-trace");
             ExitCode::FAILURE
         }
     }
