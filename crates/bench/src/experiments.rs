@@ -6,9 +6,11 @@ use crate::measure::{geomean, EvalContext};
 use crate::report::Report;
 use atm_apps::{AppId, RunOptions, Scale};
 use atm_core::{AtmConfig, AtmEngine, MemoSpec, PolicyKind, StoreCountersSnapshot, ThtConfig};
-use atm_obs::{LatencyMetric, MemoDecision, Observability};
+use atm_obs::{LatencyMetric, MemoDecision, MetricsSnapshot, Observability};
 use atm_runtime::{QueueMode, Region, RuntimeBuilder, TaskTypeBuilder, ThreadState};
+use atm_serve::{ServeConfig, ServeEngine, ServeError};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The experiments the harness can regenerate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,11 +52,15 @@ pub enum Experiment {
     /// over batch sizes, plus the peak live-node gauge showing that node
     /// retirement keeps graph memory bounded by the wave, not the run.
     Creation,
+    /// The runtime as a long-running service: an open-loop offered-load
+    /// sweep over multi-tenant sessions, reporting request p50/p99 latency
+    /// and the admission-controlled saturation throughput.
+    Serve,
 }
 
 impl Experiment {
     /// All experiments, in the order `atm-eval all` runs them.
-    pub const ALL: [Experiment; 16] = [
+    pub const ALL: [Experiment; 17] = [
         Experiment::Table1,
         Experiment::Table2,
         Experiment::Table3,
@@ -71,6 +77,7 @@ impl Experiment {
         Experiment::Mixed,
         Experiment::Scaling,
         Experiment::Creation,
+        Experiment::Serve,
     ];
 
     /// Command-line name.
@@ -92,6 +99,7 @@ impl Experiment {
             Experiment::Mixed => "mixed",
             Experiment::Scaling => "scaling",
             Experiment::Creation => "creation",
+            Experiment::Serve => "serve",
         }
     }
 
@@ -149,6 +157,7 @@ fn dispatch_experiment(experiment: Experiment, ctx: &EvalContext) -> Report {
         Experiment::Mixed => mixed(ctx),
         Experiment::Scaling => scaling(ctx),
         Experiment::Creation => creation(ctx),
+        Experiment::Serve => serve(ctx),
     }
 }
 
@@ -1744,6 +1753,12 @@ struct CreationRound {
 /// closes each wave, after which node retirement must have returned the
 /// graph to (near) empty — `peak_live_nodes` stays bounded by the wave, not
 /// the run.
+///
+/// With `independent` the batches are submitted through the declared
+/// conflict-free fast path (`BatchBuilder::independent`), which skips the
+/// per-batch conflict bookkeeping; the caller must pick `batch <= chains`
+/// so every batch really does touch distinct chains (verified by the
+/// runtime in debug builds).
 fn creation_round(
     batch: usize,
     waves: usize,
@@ -1751,6 +1766,7 @@ fn creation_round(
     chains: usize,
     workers: usize,
     obs: Option<&Arc<Observability>>,
+    independent: bool,
 ) -> CreationRound {
     let mut builder = RuntimeBuilder::new().workers(workers);
     if let Some(obs) = obs {
@@ -1787,6 +1803,9 @@ fn creation_round(
                 let mut staged = rt.tasks(incr);
                 for t in submitted..submitted + group {
                     staged = staged.next().reads_writes(&cells[t % chains]);
+                }
+                if independent {
+                    staged = staged.independent();
                 }
                 staged
                     .submit_all()
@@ -1841,7 +1860,7 @@ pub fn creation(ctx: &EvalContext) -> Report {
     let mut singleton_tps = 0.0f64;
     let mut last_round_final_live = 0u64;
     for batch in batches {
-        let round = creation_round(batch, waves, wave_size, chains, workers, Some(&obs));
+        let round = creation_round(batch, waves, wave_size, chains, workers, Some(&obs), false);
         if batch == 1 {
             singleton_tps = round.submit_tasks_per_sec;
         }
@@ -1881,12 +1900,250 @@ pub fn creation(ctx: &EvalContext) -> Report {
     }
     report.metric("total_tasks", total as f64);
     report.metric("final_live_nodes", last_round_final_live as f64);
+    // The declared-independent fast path: with batch == chains every batch
+    // touches distinct chains, so the submitter may declare it conflict-free
+    // and `submit_all` skips the per-batch conflict bookkeeping.
+    let ind_batch = 512.min(wave_size);
+    let conflict = creation_round(
+        ind_batch,
+        waves,
+        wave_size,
+        ind_batch,
+        workers,
+        Some(&obs),
+        false,
+    );
+    let fast = creation_round(
+        ind_batch,
+        waves,
+        wave_size,
+        ind_batch,
+        workers,
+        Some(&obs),
+        true,
+    );
+    report.metric(
+        "conflict_pass_submit_tasks_per_sec",
+        conflict.submit_tasks_per_sec,
+    );
+    report.metric(
+        "independent_batch_submit_tasks_per_sec",
+        fast.submit_tasks_per_sec,
+    );
+    if conflict.submit_tasks_per_sec > 0.0 {
+        report.metric(
+            "independent_over_conflict",
+            fast.submit_tasks_per_sec / conflict.submit_tasks_per_sec,
+        );
+        report.linef(format_args!(
+            "declared-independent batch-{ind_batch} over the conflict pass: {:.2}x",
+            fast.submit_tasks_per_sec / conflict.submit_tasks_per_sec
+        ));
+    }
     report.line("Batching takes the submission lock, each slab shard's write lock and each");
     report.line("touched live-index shard once per batch instead of once per task, so the");
     report.line("master thread's creation throughput rises with the batch size; node");
     report.line("retirement keeps the peak live-node count bounded by the in-flight wave");
     report.line("no matter how many tasks the run submits in total.");
     ctx.absorb_latency(&obs.metrics());
+    report
+}
+
+/// One offered-load point of the serving experiment.
+struct ServeRound {
+    /// Arrivals the open-loop schedule generated (accepted or not).
+    submitted: u64,
+    /// Requests admitted and completed (`submitted - rejected`).
+    completed: u64,
+    /// Arrivals shed with [`ServeError::Overloaded`].
+    rejected: u64,
+    /// Completed requests per second of wall clock (generation + drain).
+    achieved_rps: f64,
+    /// Request-latency median (submit → last task finished), nanoseconds.
+    p50_ns: u64,
+    /// Request-latency 99th percentile, nanoseconds.
+    p99_ns: u64,
+    /// The round's full latency snapshot (one fresh service per round).
+    latency: MetricsSnapshot,
+}
+
+/// Runs one open-loop point: `sessions` tenant threads each register
+/// `lanes` private regions and submit two-task chain requests against
+/// them at `offered_rps / sessions`, scheduled by absolute arrival
+/// deadlines. The generator is open-loop — a slow service does not slow
+/// the arrivals down (a thread that falls behind its schedule submits the
+/// missed arrivals back to back), so overload cannot hide in a closed
+/// feedback loop: past saturation the admission window fills and arrivals
+/// are shed with [`ServeError::Overloaded`] instead of queueing without
+/// bound. Each kernel spins `spin_us` of wall clock, so one request costs
+/// `2 * spin_us` of worker time on its lane.
+fn serve_round(
+    workers: usize,
+    spin_us: u64,
+    sessions: usize,
+    lanes: usize,
+    duration_ms: u64,
+    offered_rps: f64,
+) -> ServeRound {
+    let serve = ServeEngine::new(
+        ServeConfig::default()
+            .workers(workers)
+            .max_inflight_requests(64)
+            .max_live_tasks(4096),
+    );
+    let tt = serve.register_task_type(
+        TaskTypeBuilder::new("serve_spin", move |ctx| {
+            let v = ctx.arg::<f64>(0)[0];
+            let started = Instant::now();
+            while started.elapsed() < Duration::from_micros(spin_us) {
+                std::hint::spin_loop();
+            }
+            ctx.out(0, &[v + 1.0]);
+        })
+        .inout::<f64>()
+        .build(),
+    );
+
+    let wall_started = Instant::now();
+    let (submitted, rejected) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|_| {
+                let serve = &serve;
+                scope.spawn(move || {
+                    let mut session = serve.session().expect("the service is accepting");
+                    let cells: Vec<Region<f64>> = (0..lanes)
+                        .map(|l| {
+                            session
+                                .register_zeros(format!("lane{l}"), 1)
+                                .expect("fresh session lane")
+                        })
+                        .collect();
+                    let interval = Duration::from_secs_f64(sessions as f64 / offered_rps);
+                    let deadline = Duration::from_millis(duration_ms);
+                    let started = Instant::now();
+                    let mut submitted = 0u64;
+                    let mut rejected = 0u64;
+                    let mut n = 0u32;
+                    loop {
+                        let arrival = interval * n;
+                        if arrival >= deadline {
+                            break;
+                        }
+                        let elapsed = started.elapsed();
+                        if arrival > elapsed {
+                            std::thread::sleep(arrival - elapsed);
+                        }
+                        let lane = &cells[n as usize % lanes];
+                        submitted += 1;
+                        match session
+                            .request()
+                            .task(tt)
+                            .reads_writes(lane)
+                            .task(tt)
+                            .reads_writes(lane)
+                            .submit()
+                        {
+                            Ok(_request) => {}
+                            Err(ServeError::Overloaded { .. }) => rejected += 1,
+                            Err(err) => panic!("serve round submission failed: {err}"),
+                        }
+                        n += 1;
+                    }
+                    session
+                        .close()
+                        .expect("close waits for the session's in-flight requests");
+                    (submitted, rejected)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("generator thread"))
+            .fold((0u64, 0u64), |acc, (s, r)| (acc.0 + s, acc.1 + r))
+    });
+    let report = serve.drain();
+    let wall_seconds = wall_started.elapsed().as_secs_f64();
+    let requests = report.latency.get(LatencyMetric::Request);
+    let completed = submitted - rejected;
+    // Every admitted request must have reported exactly one latency sample.
+    assert_eq!(requests.count, completed, "admitted vs recorded requests");
+    ServeRound {
+        submitted,
+        completed,
+        rejected,
+        achieved_rps: completed as f64 / wall_seconds.max(1e-9),
+        p50_ns: requests.p50(),
+        p99_ns: requests.p99(),
+        latency: report.latency,
+    }
+}
+
+/// Parameters of the serving experiment at a given scale: (per-kernel spin
+/// µs, sessions, lanes per session, milliseconds per point, offered-load
+/// ladder in requests/sec). The top rate is picked well past the worker
+/// capacity `workers / (2 * spin_us)` so the last point always saturates.
+fn serve_params(scale: Scale) -> (u64, usize, usize, u64, [f64; 3]) {
+    match scale {
+        Scale::Tiny => (50, 2, 2, 200, [1_000.0, 5_000.0, 40_000.0]),
+        _ => (50, 4, 2, 300, [2_000.0, 10_000.0, 80_000.0]),
+    }
+}
+
+/// The serving experiment: the runtime as a long-running multi-tenant
+/// service under an open-loop offered-load sweep — request latency
+/// percentiles per point, the admission-controlled saturation throughput,
+/// and the overload shed at the top of the ladder.
+pub fn serve(ctx: &EvalContext) -> Report {
+    let mut report = Report::new(
+        "serve",
+        "Serving — open-loop offered-load sweep: request latency and admission-controlled saturation",
+        "offered_rps,submitted,completed,rejected,achieved_rps,request_p50_ns,request_p99_ns",
+    );
+    let (spin_us, sessions, lanes, duration_ms, rates) = serve_params(ctx.scale);
+    let workers = ctx.workers.clamp(1, 4);
+    report.linef(format_args!(
+        "{sessions} tenant sessions x {lanes} lanes, 2-task chain requests (~{} us service), {workers} workers, {duration_ms} ms per point:",
+        2 * spin_us
+    ));
+    let mut merged = MetricsSnapshot::empty();
+    let mut saturation_rps = 0.0f64;
+    let mut top_rejected = 0u64;
+    for (i, &offered) in rates.iter().enumerate() {
+        let round = serve_round(workers, spin_us, sessions, lanes, duration_ms, offered);
+        report.linef(format_args!(
+            "  offered {offered:>8.0} req/s: achieved {:>8.0} req/s   rejected {:>6}/{:<6}   p50 {:>9} ns   p99 {:>9} ns",
+            round.achieved_rps, round.rejected, round.submitted, round.p50_ns, round.p99_ns,
+        ));
+        report.row(format!(
+            "{offered},{},{},{},{:.1},{},{}",
+            round.submitted,
+            round.completed,
+            round.rejected,
+            round.achieved_rps,
+            round.p50_ns,
+            round.p99_ns
+        ));
+        report.metric(format!("load{i}_offered_rps"), offered);
+        report.metric(format!("load{i}_achieved_rps"), round.achieved_rps);
+        report.metric(format!("load{i}_rejected"), round.rejected as f64);
+        report.metric(format!("load{i}_request_p50_ns"), round.p50_ns as f64);
+        report.metric(format!("load{i}_request_p99_ns"), round.p99_ns as f64);
+        saturation_rps = saturation_rps.max(round.achieved_rps);
+        top_rejected = round.rejected;
+        merged.merge(&round.latency);
+    }
+    let requests = merged.get(LatencyMetric::Request);
+    report.metric("request_p50_ns", requests.p50() as f64);
+    report.metric("request_p99_ns", requests.p99() as f64);
+    report.metric("request_count", requests.count as f64);
+    report.metric("saturation_rps", saturation_rps);
+    report.metric("overload_rejected", top_rejected as f64);
+    report.line("The generator is open-loop: arrivals follow the offered schedule no matter");
+    report.line("how the service is doing. Below saturation the service tracks the offered");
+    report.line("rate; past it the in-flight window fills, arrivals are shed with");
+    report.line("`Overloaded` (retry-after) instead of queueing without bound, and achieved");
+    report.line("throughput plateaus at the admission-controlled capacity.");
+    ctx.absorb_latency(&merged);
     report
 }
 
@@ -2113,8 +2370,9 @@ mod tests {
         let disabled = Arc::new(Observability::disabled());
         let mut attempts = Vec::new();
         for _ in 0..3 {
-            let none = creation_round(64, 4, 2048, 64, 2, None).submit_tasks_per_sec;
-            let with = creation_round(64, 4, 2048, 64, 2, Some(&disabled)).submit_tasks_per_sec;
+            let none = creation_round(64, 4, 2048, 64, 2, None, false).submit_tasks_per_sec;
+            let with =
+                creation_round(64, 4, 2048, 64, 2, Some(&disabled), false).submit_tasks_per_sec;
             assert!(none > 0.0 && with > 0.0);
             if with >= none * 0.98 {
                 return;
@@ -2250,6 +2508,13 @@ mod tests {
             .metrics
             .iter()
             .any(|(n, _)| n == "batch512_over_singleton"));
+        assert!(
+            report
+                .metrics
+                .iter()
+                .any(|(n, _)| n == "independent_over_conflict"),
+            "the declared-independent fast-path comparison must be reported"
+        );
     }
 
     /// Acceptance criterion: batch-512 submission throughput beats the
@@ -2263,8 +2528,8 @@ mod tests {
     fn creation_batch512_beats_singleton_submission() {
         let mut attempts = Vec::new();
         for _ in 0..3 {
-            let singleton = creation_round(1, 4, 2048, 64, 2, None).submit_tasks_per_sec;
-            let batched = creation_round(512, 4, 2048, 64, 2, None).submit_tasks_per_sec;
+            let singleton = creation_round(1, 4, 2048, 64, 2, None, false).submit_tasks_per_sec;
+            let batched = creation_round(512, 4, 2048, 64, 2, None, false).submit_tasks_per_sec;
             assert!(singleton > 0.0 && batched > 0.0);
             if batched > singleton {
                 return;
@@ -2274,6 +2539,190 @@ mod tests {
         panic!(
             "batch-512 submission must out-pace singleton submission; \
              (singleton, batched) tasks/s per attempt: {attempts:?}"
+        );
+    }
+
+    /// Satellite acceptance: a batch declared conflict-free skips the
+    /// per-batch conflict pass, so at batch == chains == 512 the fast path
+    /// must out-pace the ordinary bookkeeping on the same workload.
+    /// Wall-clock sensitive, so it is ignored in the parallel suite, run
+    /// isolated in CI, and passes if the fast path wins any of three
+    /// attempts.
+    #[test]
+    #[ignore = "wall-clock comparison; run isolated: cargo test -- --ignored --test-threads=1"]
+    fn creation_independent_batch_beats_the_conflict_pass() {
+        let mut attempts = Vec::new();
+        for _ in 0..3 {
+            let conflict = creation_round(512, 4, 2048, 512, 2, None, false).submit_tasks_per_sec;
+            let fast = creation_round(512, 4, 2048, 512, 2, None, true).submit_tasks_per_sec;
+            assert!(conflict > 0.0 && fast > 0.0);
+            if fast > conflict {
+                return;
+            }
+            attempts.push((conflict, fast));
+        }
+        panic!(
+            "the declared-independent batch path must out-pace the conflict pass; \
+             (conflict, independent) tasks/s per attempt: {attempts:?}"
+        );
+    }
+
+    /// Aggregate submission throughput of `threads` submitter threads, each
+    /// feeding `per_thread` singleton inout tasks into its own private
+    /// chain. Disjoint regions map to disjoint submission-lock shards, so
+    /// concurrent submitters must not serialise on one global lock. Two
+    /// workers drain concurrently; only the submission phase is timed.
+    fn submit_flood_tasks_per_sec(threads: usize, per_thread: usize) -> f64 {
+        let rt = RuntimeBuilder::new().workers(2).build();
+        let incr = rt.register_task_type(
+            TaskTypeBuilder::new("flood_incr", |ctx| {
+                let v = ctx.arg::<f64>(0)[0];
+                ctx.out(0, &[v + 1.0]);
+            })
+            .inout::<f64>()
+            .build(),
+        );
+        let cells: Vec<Region<f64>> = (0..threads)
+            .map(|t| rt.store().register_zeros(format!("fl{t}"), 1).unwrap())
+            .collect();
+        let started = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for cell in &cells {
+                let rt = &rt;
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        rt.task(incr)
+                            .reads_writes(cell)
+                            .submit()
+                            .expect("flood task matches the declared signature");
+                    }
+                });
+            }
+        });
+        let submit_seconds = started.elapsed().as_secs_f64();
+        rt.taskwait();
+        for cell in &cells {
+            assert_eq!(rt.store().read(*cell).lock().as_f64(), &[per_thread as f64]);
+        }
+        rt.shutdown();
+        (threads * per_thread) as f64 / submit_seconds.max(1e-9)
+    }
+
+    /// Tentpole acceptance: the sharded submission path lets independent
+    /// sessions submit concurrently — four submitter threads on private
+    /// regions must move the same total task count faster than one thread
+    /// (a single global submission lock would serialise them to at best
+    /// single-thread throughput). A genuine concurrency comparison needs
+    /// ≥ 4 hardware threads; on smaller machines (where the submitters
+    /// timeshare one core and the comparison measures the OS scheduler)
+    /// only completion is asserted. Wall-clock sensitive, so it is ignored
+    /// in the parallel suite, run isolated in CI, and passes if the
+    /// concurrent submitters win any of three attempts.
+    #[test]
+    #[ignore = "wall-clock comparison; run isolated: cargo test -- --ignored --test-threads=1"]
+    fn concurrent_submitters_outpace_a_single_submitter() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores < 4 {
+            assert!(submit_flood_tasks_per_sec(1, 4_096) > 0.0);
+            assert!(submit_flood_tasks_per_sec(4, 1_024) > 0.0);
+            return;
+        }
+        let mut attempts = Vec::new();
+        for _ in 0..3 {
+            let single = submit_flood_tasks_per_sec(1, 16_384);
+            let four = submit_flood_tasks_per_sec(4, 4_096);
+            assert!(single > 0.0 && four > 0.0);
+            if four > single {
+                return;
+            }
+            attempts.push((single, four));
+        }
+        panic!(
+            "four concurrent submitters must out-pace one submitter moving the \
+             same total on {cores} cores; (single, four-thread) tasks/s per \
+             attempt: {attempts:?}"
+        );
+    }
+
+    /// The serving sweep covers every offered-load point, records nonzero
+    /// request percentiles, finds a saturation throughput and sheds the
+    /// top point's overload through admission control instead of queueing
+    /// it (the ISSUE's overload acceptance).
+    #[test]
+    fn serve_report_covers_the_sweep_and_sheds_overload() {
+        let ctx = EvalContext::new(Scale::Tiny, 2);
+        let report = serve(&ctx);
+        let (_, _, _, _, rates) = serve_params(Scale::Tiny);
+        assert_eq!(report.csv_rows.len(), rates.len());
+        let metric = |name: &str| -> f64 {
+            report
+                .metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("metric {name} missing"))
+                .1
+        };
+        assert!(metric("request_p50_ns") > 0.0);
+        assert!(metric("request_p99_ns") >= metric("request_p50_ns"));
+        assert!(metric("request_count") > 0.0);
+        assert!(metric("saturation_rps") > 0.0);
+        assert!(
+            metric("overload_rejected") > 0.0,
+            "the top offered load (2x worker capacity) must be shed via Overloaded"
+        );
+        for i in 0..rates.len() {
+            assert!(metric(&format!("load{i}_achieved_rps")) > 0.0);
+            assert!(metric(&format!("load{i}_request_p50_ns")) > 0.0);
+            assert!(metric(&format!("load{i}_request_p99_ns")) > 0.0);
+        }
+        // The request histogram also feeds the shared latency accumulator.
+        let latency = ctx.take_latency();
+        assert_eq!(
+            latency.get(LatencyMetric::Request).count as f64,
+            metric("request_count")
+        );
+    }
+
+    /// Acceptance criterion: a 4-worker service under mid load (a quarter
+    /// of its worker capacity) keeps p99 request latency bounded while
+    /// sustaining the offered, admission-controlled throughput — no
+    /// unbounded queue can build below saturation. The spinning kernels
+    /// need real parallelism: on machines under 4 hardware threads the
+    /// workers timeshare one core, the offered load sits at or above the
+    /// true capacity and the round measures the OS scheduler — there only
+    /// completion and accounting are asserted. Wall-clock sensitive, so it
+    /// is ignored in the parallel suite, run isolated (release) in CI, and
+    /// passes if any of three attempts meets all three bounds.
+    #[test]
+    #[ignore = "wall-clock comparison; run isolated: cargo test -- --ignored --test-threads=1"]
+    fn serve_four_workers_keep_p99_bounded_at_mid_load() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores < 4 {
+            let round = serve_round(4, 50, 4, 2, 200, 5_000.0);
+            assert_eq!(round.completed + round.rejected, round.submitted);
+            assert!(round.completed > 0 && round.p50_ns > 0);
+            return;
+        }
+        let offered = 10_000.0;
+        let mut attempts = Vec::new();
+        for _ in 0..3 {
+            // 4 workers x (1 / 100 µs) ≈ 40k req/s capacity; offer 10k.
+            let round = serve_round(4, 50, 4, 2, 400, offered);
+            let sustained = round.achieved_rps >= 0.5 * offered;
+            // Bounded: two orders of magnitude above the ~100 µs service
+            // time still catches runaway queueing by a wide margin.
+            let bounded = round.p99_ns < 50_000_000;
+            let admitted = round.rejected * 50 <= round.submitted;
+            if sustained && bounded && admitted {
+                return;
+            }
+            attempts.push((round.achieved_rps, round.p99_ns, round.rejected));
+        }
+        panic!(
+            "a 4-worker service at quarter load on {cores} cores must sustain \
+             >= {:.0} req/s with p99 < 50 ms and <= 2% shed; (achieved_rps, \
+             p99_ns, rejected) per attempt: {attempts:?}",
+            0.5 * offered
         );
     }
 

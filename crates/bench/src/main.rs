@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Experiments: table1 table2 table3 sizing figure3 figure4 figure5 figure6
-//! figure7 figure8 figure9 pressure warmstart mixed scaling creation.
+//! figure7 figure8 figure9 pressure warmstart mixed scaling creation serve.
 //!
 //! `--quick` is the CI smoke mode: tiny scale, two workers. `--json DIR`
 //! writes one `BENCH_<experiment>.json` per experiment with the machine-

@@ -21,17 +21,21 @@ pub enum LatencyMetric {
     StoreInsert,
     /// Time spent inside budget-eviction rounds.
     StoreEvict,
+    /// End-to-end request latency of the serving tier: admission to the
+    /// completion of the request's last task (see `atm-serve`).
+    Request,
 }
 
 impl LatencyMetric {
     /// Every metric, in display order.
-    pub const ALL: [LatencyMetric; 6] = [
+    pub const ALL: [LatencyMetric; 7] = [
         LatencyMetric::TaskLatency,
         LatencyMetric::Kernel,
         LatencyMetric::Submit,
         LatencyMetric::MemoLookup,
         LatencyMetric::StoreInsert,
         LatencyMetric::StoreEvict,
+        LatencyMetric::Request,
     ];
 
     /// Stable snake_case name used in reports and JSON.
@@ -43,6 +47,7 @@ impl LatencyMetric {
             LatencyMetric::MemoLookup => "memo_lookup",
             LatencyMetric::StoreInsert => "store_insert",
             LatencyMetric::StoreEvict => "store_evict",
+            LatencyMetric::Request => "request",
         }
     }
 
@@ -54,6 +59,7 @@ impl LatencyMetric {
             LatencyMetric::MemoLookup => 3,
             LatencyMetric::StoreInsert => 4,
             LatencyMetric::StoreEvict => 5,
+            LatencyMetric::Request => 6,
         }
     }
 }

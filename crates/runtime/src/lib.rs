@@ -98,13 +98,16 @@ pub use interceptor::{Decision, NoopInterceptor, TaskInterceptor};
 pub use memo::AtmTaskParams;
 pub use memo::{ArgPrecision, ErrorMetric, MemoPolicy, MemoSpec, MemoSpecError};
 pub use ready_queue::QueueMode;
-pub use region::{DataStore, Elem, ElemType, Region, RegionData, RegionId, RegisterError};
+pub use region::{
+    DataStore, DeregisterError, Elem, ElemType, Region, RegionData, RegionId, RegionStatus,
+    RegisterError,
+};
 pub use scheduler::{Observation, Runtime, RuntimeBuilder};
 pub use stats::{RuntimeStats, RuntimeStatsSnapshot};
 pub use submit::{BatchBuilder, SubmitError, TaskBuilder};
 pub use task::{
-    SigParam, TaskContext, TaskDesc, TaskId, TaskSignature, TaskTypeBuilder, TaskTypeId,
-    TaskTypeInfo, TaskView, VariadicSig,
+    SigParam, TaskContext, TaskDesc, TaskId, TaskNotify, TaskSignature, TaskTypeBuilder,
+    TaskTypeId, TaskTypeInfo, TaskView, VariadicSig,
 };
 pub use trace::{ReadySample, ThreadState, TraceEvent, TraceSummary, Tracer};
 
@@ -115,13 +118,14 @@ pub mod prelude {
     pub use crate::memo::{ArgPrecision, ErrorMetric, MemoPolicy, MemoSpec, MemoSpecError};
     pub use crate::ready_queue::QueueMode;
     pub use crate::region::{
-        DataStore, Elem, ElemType, Region, RegionData, RegionId, RegisterError,
+        DataStore, DeregisterError, Elem, ElemType, Region, RegionData, RegionId, RegionStatus,
+        RegisterError,
     };
     pub use crate::scheduler::{Runtime, RuntimeBuilder};
     pub use crate::submit::{BatchBuilder, SubmitError, TaskBuilder};
     pub use crate::task::{
-        TaskContext, TaskDesc, TaskId, TaskSignature, TaskTypeBuilder, TaskTypeId, TaskTypeInfo,
-        TaskView,
+        TaskContext, TaskDesc, TaskId, TaskNotify, TaskSignature, TaskTypeBuilder, TaskTypeId,
+        TaskTypeInfo, TaskView,
     };
     pub use crate::trace::{ThreadState, Tracer};
 }

@@ -251,6 +251,51 @@ impl std::fmt::Display for RegisterError {
 
 impl std::error::Error for RegisterError {}
 
+/// Error returned when a region cannot be deregistered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeregisterError {
+    /// The id was never assigned by this store.
+    UnknownRegion(RegionId),
+    /// The region was already deregistered.
+    AlreadyRetired(RegionId),
+    /// Unfinished tasks still declare accesses on the region. Reported by
+    /// [`crate::Runtime::deregister_region`], which consults the dependence
+    /// graph's live-accessor index before touching the store.
+    LiveAccessors(RegionId),
+}
+
+impl std::fmt::Display for DeregisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeregisterError::UnknownRegion(id) => {
+                write!(f, "region {id:?} was never registered with this store")
+            }
+            DeregisterError::AlreadyRetired(id) => {
+                write!(f, "region {id:?} was already deregistered")
+            }
+            DeregisterError::LiveAccessors(id) => {
+                write!(f, "region {id:?} still has unfinished tasks accessing it")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeregisterError {}
+
+/// Lifecycle of a region id inside a [`DataStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionStatus {
+    /// The id maps to a registered region.
+    Live,
+    /// The id was assigned once and later deregistered. The distinction from
+    /// [`RegionStatus::Unknown`] costs no tombstone memory: ids are assigned
+    /// monotonically, so any absent id below the high-water mark must have
+    /// been retired.
+    Retired,
+    /// The id was never assigned by this store.
+    Unknown,
+}
+
 /// Typed storage of one region.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RegionData {
@@ -493,10 +538,18 @@ struct RegionSlot {
 /// Registration state: the region slots plus the name index used to reject
 /// duplicate names. Kept under a single lock so the existence check and the
 /// insertion are atomic.
+///
+/// Slots live in a map keyed by the raw id, not a `Vec`: deregistering a
+/// region removes its entry outright, so the registry's footprint follows
+/// the *live* region set of a long-running service, not every region ever
+/// registered. Ids are handed out monotonically from `next_id` and never
+/// reused — a stale handle to a retired region can therefore never alias a
+/// newer region.
 #[derive(Debug, Default)]
 struct Registry {
-    slots: Vec<Arc<RegionSlot>>,
+    slots: HashMap<u32, Arc<RegionSlot>>,
     by_name: HashMap<String, RegionId>,
+    next_id: u32,
 }
 
 /// The registry of all regions an application has handed to the runtime.
@@ -548,15 +601,61 @@ impl DataStore {
         if registry.by_name.contains_key(&name) {
             return Err(RegisterError::DuplicateName(name));
         }
-        let id = RegionId(u32::try_from(registry.slots.len()).expect("more than u32::MAX regions"));
+        let id = RegionId(registry.next_id);
+        registry.next_id = registry
+            .next_id
+            .checked_add(1)
+            .expect("more than u32::MAX regions");
         registry.by_name.insert(name.clone(), id);
         let elem = data.elem_type();
-        registry.slots.push(Arc::new(RegionSlot {
-            data: RwLock::new(data),
-            name,
-            elem,
-        }));
+        registry.slots.insert(
+            id.0,
+            Arc::new(RegionSlot {
+                data: RwLock::new(data),
+                name,
+                elem,
+            }),
+        );
         Ok(id)
+    }
+
+    /// Deregisters a region, dropping its data and index entries, and
+    /// returns the number of data bytes freed. In-flight readers holding a
+    /// guard keep the buffer alive until they drop it (the slot is
+    /// `Arc`-shared), but the store forgets the region immediately: its id
+    /// reports [`RegionStatus::Retired`], its name becomes reusable, and its
+    /// bytes leave [`DataStore::total_bytes`].
+    ///
+    /// This is the store-level primitive; it does **not** check the
+    /// dependence graph for unfinished accessors. Go through
+    /// [`crate::Runtime::deregister_region`], which does.
+    pub fn deregister(&self, id: impl Into<RegionId>) -> Result<usize, DeregisterError> {
+        let id = id.into();
+        let mut registry = self.registry.write();
+        let Some(slot) = registry.slots.remove(&id.0) else {
+            return Err(if id.0 < registry.next_id {
+                DeregisterError::AlreadyRetired(id)
+            } else {
+                DeregisterError::UnknownRegion(id)
+            });
+        };
+        registry.by_name.remove(&slot.name);
+        let bytes = slot.data.read().size_bytes();
+        Ok(bytes)
+    }
+
+    /// Whether an id currently maps to a region, used to be one, or was
+    /// never assigned by this store.
+    pub fn region_status(&self, id: impl Into<RegionId>) -> RegionStatus {
+        let id = id.into();
+        let registry = self.registry.read();
+        if registry.slots.contains_key(&id.0) {
+            RegionStatus::Live
+        } else if id.0 < registry.next_id {
+            RegionStatus::Retired
+        } else {
+            RegionStatus::Unknown
+        }
     }
 
     /// Number of registered regions.
@@ -603,7 +702,7 @@ impl DataStore {
     pub fn try_elem_types(&self, ids: impl IntoIterator<Item = RegionId>) -> Vec<Option<ElemType>> {
         let registry = self.registry.read();
         ids.into_iter()
-            .map(|id| registry.slots.get(id.index()).map(|slot| slot.elem))
+            .map(|id| registry.slots.get(&id.0).map(|slot| slot.elem))
             .collect()
     }
 
@@ -613,7 +712,7 @@ impl DataStore {
         let registry = self.registry.read();
         registry
             .slots
-            .iter()
+            .values()
             .map(|r| r.data.read().size_bytes())
             .sum()
     }
@@ -660,7 +759,7 @@ impl DataStore {
     }
 
     fn try_slot(&self, id: RegionId) -> Option<Arc<RegionSlot>> {
-        self.registry.read().slots.get(id.index()).cloned()
+        self.registry.read().slots.get(&id.0).cloned()
     }
 }
 
@@ -834,6 +933,60 @@ mod tests {
     fn unknown_region_panics() {
         let store = DataStore::new();
         let _ = store.read(RegionId(3));
+    }
+
+    #[test]
+    fn deregister_frees_bytes_and_retires_the_id() {
+        let store = DataStore::new();
+        let a = store.register_zeros::<f64>("a", 8).unwrap();
+        let b = store.register_zeros::<f32>("b", 4).unwrap();
+        assert_eq!(store.total_bytes(), 64 + 16);
+        assert_eq!(store.region_status(a), RegionStatus::Live);
+
+        assert_eq!(store.deregister(a), Ok(64));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.total_bytes(), 16);
+        assert_eq!(store.region_status(a), RegionStatus::Retired);
+        assert_eq!(store.region_status(b), RegionStatus::Live);
+        assert_eq!(
+            store.region_status(RegionId::from_raw(9)),
+            RegionStatus::Unknown
+        );
+        assert_eq!(store.try_elem_type(a), None);
+        assert_eq!(store.lookup("a"), None, "the name index entry must go too");
+
+        // Double deregistration and never-registered ids are distinguished.
+        assert_eq!(
+            store.deregister(a),
+            Err(DeregisterError::AlreadyRetired(a.id()))
+        );
+        assert_eq!(
+            store.deregister(RegionId::from_raw(9)),
+            Err(DeregisterError::UnknownRegion(RegionId::from_raw(9)))
+        );
+    }
+
+    #[test]
+    fn deregistered_ids_are_never_reused() {
+        let store = DataStore::new();
+        let a = store.register_zeros::<u8>("a", 1).unwrap();
+        store.deregister(a).unwrap();
+        let c = store.register_zeros::<u8>("c", 1).unwrap();
+        assert_ne!(a.id(), c.id(), "ids are monotonic, never recycled");
+        // The freed name is reusable; the old id stays retired.
+        let a2 = store.register_zeros::<f64>("a", 2).unwrap();
+        assert_eq!(store.region_status(a), RegionStatus::Retired);
+        assert_eq!(store.region_status(a2), RegionStatus::Live);
+    }
+
+    #[test]
+    fn in_flight_guards_survive_deregistration() {
+        let store = DataStore::new();
+        let a = store.register_typed("a", vec![7.0f64]).unwrap();
+        let guard = store.read(a);
+        store.deregister(a).unwrap();
+        // The Arc-shared slot keeps the data alive for the extant guard.
+        assert_eq!(guard.lock().as_f64(), &[7.0]);
     }
 
     #[test]

@@ -31,7 +31,7 @@
 use crate::dependence::TaskGraph;
 use crate::interceptor::{Decision, NoopInterceptor, TaskInterceptor};
 use crate::ready_queue::{Popped, QueueMode, ReadyQueue};
-use crate::region::DataStore;
+use crate::region::{DataStore, DeregisterError, RegionId};
 use crate::stats::{RuntimeStats, RuntimeStatsSnapshot};
 use crate::submit::{
     check_memo, check_signature, check_store, BatchBuilder, SubmitError, TaskBuilder,
@@ -54,6 +54,7 @@ pub struct RuntimeBuilder {
     queue_mode: QueueMode,
     interceptor: Arc<dyn TaskInterceptor>,
     observability: Option<Arc<Observability>>,
+    max_live_tasks: Option<u64>,
 }
 
 impl Default for RuntimeBuilder {
@@ -72,7 +73,21 @@ impl RuntimeBuilder {
             queue_mode: QueueMode::default(),
             interceptor: Arc::new(NoopInterceptor),
             observability: None,
+            max_live_tasks: None,
         }
+    }
+
+    /// Bounds the number of live (submitted but unfinished) tasks. A
+    /// submission that would exceed the window is rejected with
+    /// [`SubmitError::Overloaded`] — the runtime never queues beyond it —
+    /// which is the admission-control primitive a serving tier builds
+    /// backpressure on. `None` (the default) keeps the batch-workload
+    /// behaviour: submit without bound.
+    #[must_use]
+    pub fn max_live_tasks(mut self, limit: u64) -> Self {
+        assert!(limit >= 1, "a zero-task window would reject everything");
+        self.max_live_tasks = Some(limit);
+        self
     }
 
     /// Sets the number of worker threads (the paper's "number of cores").
@@ -135,6 +150,7 @@ impl RuntimeBuilder {
             all_done: Condvar::new(),
             workers: self.workers,
             obs: self.observability,
+            max_live_tasks: self.max_live_tasks,
         });
         let handles = (0..self.workers)
             .map(|worker| {
@@ -167,6 +183,9 @@ struct Inner {
     workers: usize,
     /// Observability handle, when one was attached to the builder.
     obs: Option<Arc<Observability>>,
+    /// Admission window: cap on `outstanding` enforced at submission (see
+    /// [`RuntimeBuilder::max_live_tasks`]). `None` admits unconditionally.
+    max_live_tasks: Option<u64>,
 }
 
 impl Inner {
@@ -187,13 +206,20 @@ impl Inner {
     fn finish_node(&self, worker: usize, node: &crate::dependence::TaskNode) {
         let newly_ready = self.graph.finish_node(node);
         self.retire(worker, &newly_ready);
+        // Completion hook last: by the time it runs, successors are released
+        // and the outstanding count reflects this task as finished, so a
+        // notify that signals "request done" observes a settled runtime.
+        if let Some(notify) = &node.desc().notify {
+            notify.task_finished(worker, node.id());
+        }
     }
 
     /// Completes a task by id (deferred tasks completed by their producer,
-    /// whose node the worker does not hold).
+    /// whose node the worker does not hold). Looks the node up first so the
+    /// deferred path reaches the completion hook too.
     fn finish_task(&self, worker: usize, id: TaskId) {
-        let newly_ready = self.graph.finish(id);
-        self.retire(worker, &newly_ready);
+        let node = self.graph.node(id);
+        self.finish_node(worker, &node);
     }
 
     fn retire(&self, worker: usize, newly_ready: &[TaskId]) {
@@ -386,8 +412,12 @@ impl Runtime {
         BatchBuilder::new(self, Some(task_type))
     }
 
-    /// Validates `desc` against the registry, the store and its memo spec.
-    fn validate(&self, desc: &TaskDesc) -> Result<(), SubmitError> {
+    /// Validates the store-independent parts of `desc`: the task type
+    /// exists, the accesses match its signature, and the memo spec is
+    /// consistent. The store check ([`check_store`]) is deliberately *not*
+    /// here — it must run under the submission permit so a region cannot be
+    /// deregistered between validation and graph insertion.
+    fn validate_static(&self, desc: &TaskDesc) -> Result<(), SubmitError> {
         {
             let registry = self.inner.registry.read();
             let info =
@@ -400,11 +430,37 @@ impl Runtime {
                 check_signature(signature, &desc.accesses)?;
             }
         }
-        check_store(&self.inner.store, &desc.accesses)?;
         if let Some(spec) = &desc.memo {
             check_memo(spec, &desc.accesses)?;
         }
         Ok(())
+    }
+
+    /// Admits `count` tasks into the live window, or rejects with
+    /// [`SubmitError::Overloaded`] when the window is full. On success the
+    /// outstanding count has been raised by `count`; the caller must then
+    /// actually submit (a failed submission after admission would leak
+    /// window slots).
+    fn admit(&self, count: u64) -> Result<(), SubmitError> {
+        let Some(capacity) = self.inner.max_live_tasks else {
+            self.inner.outstanding.fetch_add(count, Ordering::SeqCst);
+            return Ok(());
+        };
+        let mut live = self.inner.outstanding.load(Ordering::SeqCst);
+        loop {
+            if live.saturating_add(count) > capacity {
+                return Err(SubmitError::Overloaded { live, capacity });
+            }
+            match self.inner.outstanding.compare_exchange(
+                live,
+                live + count,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(current) => live = current,
+            }
+        }
     }
 
     /// Validates and submits one task instance. Dependences on previously
@@ -414,11 +470,20 @@ impl Runtime {
     /// internal locks over a whole wave.
     pub fn try_submit(&self, mut desc: TaskDesc) -> Result<TaskId, SubmitError> {
         let start = self.inner.tracer.now_ns();
-        self.validate(&desc)?;
+        self.validate_static(&desc)?;
+        // Take the submission permit before the store check: a region that
+        // validates here cannot be deregistered until the permit drops, so
+        // the task the graph records never names a retired region.
+        let permit = self
+            .inner
+            .graph
+            .lock_submission(desc.accesses.iter().map(|a| a.region));
+        check_store(&self.inner.store, &desc.accesses)?;
+        self.admit(1)?;
         desc.submitted_at_ns = start;
 
-        self.inner.outstanding.fetch_add(1, Ordering::SeqCst);
-        let (id, ready) = self.inner.graph.submit(desc);
+        let (id, ready) = self.inner.graph.submit_with(&permit, desc);
+        drop(permit);
         if ready {
             self.inner.queue.push(id);
         }
@@ -449,15 +514,39 @@ impl Runtime {
     /// batch members included, exactly the graph the equivalent one-by-one
     /// submissions build — and every immediately-ready task is pushed to
     /// the Ready Queue in id order.
-    pub fn try_submit_all(&self, mut descs: Vec<TaskDesc>) -> Result<Vec<TaskId>, SubmitError> {
+    pub fn try_submit_all(&self, descs: Vec<TaskDesc>) -> Result<Vec<TaskId>, SubmitError> {
+        self.try_submit_all_inner(descs, false)
+    }
+
+    /// [`Runtime::try_submit_all`] with a caller-supplied promise that no
+    /// two tasks **in the batch** conflict with each other (dependences on
+    /// earlier, unfinished tasks outside the batch are still derived). The
+    /// dependence pass then skips the per-member conflict bookkeeping —
+    /// O(batch · prior-live) instead of quadratic in the batch — which is
+    /// what makes wide independent waves (a serving tier's concurrent
+    /// requests, a fork-join wave) cheap to open. The promise is verified in
+    /// debug builds and trusted in release builds; a false promise produces
+    /// missing intra-batch dependences.
+    pub fn try_submit_all_independent(
+        &self,
+        descs: Vec<TaskDesc>,
+    ) -> Result<Vec<TaskId>, SubmitError> {
+        self.try_submit_all_inner(descs, true)
+    }
+
+    fn try_submit_all_inner(
+        &self,
+        mut descs: Vec<TaskDesc>,
+        independent: bool,
+    ) -> Result<Vec<TaskId>, SubmitError> {
         if descs.is_empty() {
             return Ok(Vec::new());
         }
         let start = self.inner.tracer.now_ns();
         {
             // One registry lock for the whole batch; each descriptor is
-            // still validated fully (signature, store, memo) before the
-            // next, so the first offending descriptor's error is returned.
+            // checked in staging order, so the first offending descriptor's
+            // error is returned.
             let registry = self.inner.registry.read();
             for desc in &descs {
                 let info =
@@ -469,19 +558,34 @@ impl Runtime {
                 if let Some(signature) = &info.signature {
                     check_signature(signature, &desc.accesses)?;
                 }
-                check_store(&self.inner.store, &desc.accesses)?;
                 if let Some(spec) = &desc.memo {
                     check_memo(spec, &desc.accesses)?;
                 }
             }
         }
+        // Permit over the union of the batch's regions, then the store
+        // check inside the critical section (same reasoning as
+        // `try_submit`: no region named here can retire before the batch is
+        // in the graph).
+        let permit = self.inner.graph.lock_submission(
+            descs
+                .iter()
+                .flat_map(|desc| desc.accesses.iter().map(|a| a.region)),
+        );
+        for desc in &descs {
+            check_store(&self.inner.store, &desc.accesses)?;
+        }
 
         let count = descs.len() as u64;
+        self.admit(count)?;
         for desc in &mut descs {
             desc.submitted_at_ns = start;
         }
-        self.inner.outstanding.fetch_add(count, Ordering::SeqCst);
-        let submitted = self.inner.graph.submit_batch(descs);
+        let submitted = self
+            .inner
+            .graph
+            .submit_batch_with(&permit, descs, independent);
+        drop(permit);
         let ready: Vec<TaskId> = submitted
             .iter()
             .filter(|(_, ready)| *ready)
@@ -532,7 +636,29 @@ impl Runtime {
         let mut snapshot = self.inner.stats.snapshot();
         snapshot.live_nodes = self.inner.graph.live_nodes();
         snapshot.retired_nodes = self.inner.graph.retired_count();
+        snapshot.live_index_regions = self.inner.graph.live_index_regions() as u64;
         snapshot
+    }
+
+    /// Deregisters a region: frees its data and drops it from the
+    /// dependence index. Returns the number of data bytes released.
+    ///
+    /// Rejected with [`DeregisterError::LiveAccessors`] while any submitted,
+    /// unfinished task accesses the region — drain first (a serving tier
+    /// calls this after the session's last request completes). The check and
+    /// the removal run under the region's submission-lock shard, so a
+    /// concurrent submitter either lands before the check (and blocks the
+    /// deregistration) or observes the region as retired
+    /// ([`SubmitError::RegionRetired`]); there is no window where a task
+    /// enters the graph naming a freed region. Deregistered ids are never
+    /// reused.
+    pub fn deregister_region(&self, id: impl Into<RegionId>) -> Result<usize, DeregisterError> {
+        let id = id.into();
+        let _permit = self.inner.graph.lock_submission([id]);
+        if self.inner.graph.region_has_live_accessors(id) {
+            return Err(DeregisterError::LiveAccessors(id));
+        }
+        self.inner.store.deregister(id)
     }
 
     /// One unified observability snapshot: the runtime counters, the
@@ -1250,6 +1376,307 @@ mod tests {
         // No submissions: taskwait returns immediately, repeatedly.
         rt.taskwait();
         rt.taskwait();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn full_live_window_rejects_with_overloaded_instead_of_queueing() {
+        use crate::submit::SubmitError;
+        // One worker, and a first task that blocks until released, so the
+        // window fills deterministically.
+        let gate = Arc::new(atm_sync::Event::new());
+        let gate_in_kernel = Arc::clone(&gate);
+        let rt = RuntimeBuilder::new().workers(1).max_live_tasks(3).build();
+        let regions: Vec<Region<f32>> = (0..8)
+            .map(|i| rt.store().register_zeros(format!("r{i}"), 1).unwrap())
+            .collect();
+        let blocker = rt.register_task_type(
+            TaskTypeBuilder::new("blocker", move |ctx| {
+                gate_in_kernel.wait();
+                ctx.out(0, &[1.0f32]);
+            })
+            .out::<f32>()
+            .build(),
+        );
+        let quick = rt.register_task_type(
+            TaskTypeBuilder::new("quick", |ctx| ctx.out(0, &[1.0f32]))
+                .out::<f32>()
+                .build(),
+        );
+        rt.task(blocker).writes(&regions[0]).submit().unwrap();
+        rt.task(quick).writes(&regions[1]).submit().unwrap();
+        rt.task(quick).writes(&regions[2]).submit().unwrap();
+        // The window (3) is now full: the runtime refuses to queue further
+        // work rather than buffering it unboundedly.
+        let err = rt.task(quick).writes(&regions[3]).submit().unwrap_err();
+        match err {
+            SubmitError::Overloaded { live, capacity } => {
+                assert_eq!(live, 3);
+                assert_eq!(capacity, 3);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // Batches are admitted all-or-nothing against the same window.
+        let batch_err = rt
+            .tasks(quick)
+            .next()
+            .writes(&regions[4])
+            .next()
+            .writes(&regions[5])
+            .submit_all()
+            .unwrap_err();
+        assert!(matches!(batch_err, SubmitError::Overloaded { .. }));
+        // Draining the window restores admission.
+        gate.signal();
+        rt.taskwait();
+        rt.task(quick).writes(&regions[3]).submit().unwrap();
+        rt.taskwait();
+        assert_eq!(rt.stats().submitted, 4);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn deregistration_is_rejected_while_accessors_are_live_then_frees_bytes() {
+        use crate::region::{DeregisterError, RegionStatus};
+        use crate::submit::SubmitError;
+        let gate = Arc::new(atm_sync::Event::new());
+        let gate_in_kernel = Arc::clone(&gate);
+        let rt = RuntimeBuilder::new().workers(1).build();
+        let r = rt.store().register_zeros::<f64>("victim", 128).unwrap();
+        let hold = rt.register_task_type(
+            TaskTypeBuilder::new("hold", move |ctx| {
+                gate_in_kernel.wait();
+                let v = ctx.arg::<f64>(0)[0];
+                ctx.out(0, &vec![v + 1.0; 128]);
+            })
+            .inout::<f64>()
+            .build(),
+        );
+        rt.task(hold).reads_writes(&r).submit().unwrap();
+        assert_eq!(
+            rt.deregister_region(r).unwrap_err(),
+            DeregisterError::LiveAccessors(r.id())
+        );
+        gate.signal();
+        rt.taskwait();
+        let bytes_before = rt.store().total_bytes();
+        let freed = rt.deregister_region(r).unwrap();
+        assert_eq!(freed, 128 * std::mem::size_of::<f64>());
+        assert_eq!(rt.store().total_bytes(), bytes_before - freed);
+        assert_eq!(rt.store().region_status(r), RegionStatus::Retired);
+        // Submission against the retired id reports the dedicated error,
+        // not a generic unknown-region one.
+        let err = rt.task(hold).reads_writes(&r).submit().unwrap_err();
+        match err {
+            SubmitError::RegionRetired { index, region } => {
+                assert_eq!(index, 0);
+                assert_eq!(region, r.id());
+            }
+            other => panic!("expected RegionRetired, got {other:?}"),
+        }
+        assert_eq!(
+            rt.deregister_region(r),
+            Err(DeregisterError::AlreadyRetired(r.id()))
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn live_index_regions_gauge_shrinks_after_deregistration() {
+        let rt = RuntimeBuilder::new().workers(2).build();
+        let touch = rt.register_task_type(
+            TaskTypeBuilder::new("touch", |ctx| ctx.out(0, &[1.0f32]))
+                .out::<f32>()
+                .build(),
+        );
+        for round in 0..4 {
+            let r = rt
+                .store()
+                .register_zeros::<f32>(format!("round{round}"), 1)
+                .unwrap();
+            rt.task(touch).writes(&r).submit().unwrap();
+            rt.taskwait();
+            rt.deregister_region(r).unwrap();
+            // The dependence index forgets the region along with the store:
+            // churning sessions does not grow the index.
+            assert!(
+                rt.stats().live_index_regions <= 1,
+                "index retained {} regions after churn round {round}",
+                rt.stats().live_index_regions
+            );
+        }
+        rt.shutdown();
+    }
+
+    /// Notify hook for the tests below: counts invocations per task.
+    struct CountingNotify {
+        fired: AtomicUsize,
+    }
+
+    impl CountingNotify {
+        /// The hook fires *after* the completing task left the outstanding
+        /// count, so `taskwait` returning does not yet order-before the last
+        /// notify — wait for the count itself (bounded).
+        fn wait_for(&self, expected: usize) -> usize {
+            for _ in 0..10_000 {
+                let fired = self.fired.load(Ordering::SeqCst);
+                if fired >= expected {
+                    return fired;
+                }
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+            self.fired.load(Ordering::SeqCst)
+        }
+    }
+
+    impl crate::task::TaskNotify for CountingNotify {
+        fn task_finished(&self, _worker: usize, _task: TaskId) {
+            self.fired.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn notify_fires_exactly_once_per_task_on_the_executed_path() {
+        let rt = RuntimeBuilder::new().workers(2).build();
+        let r = rt.store().register_zeros::<f64>("r", 1).unwrap();
+        let incr = rt.register_task_type(
+            TaskTypeBuilder::new("incr", |ctx| {
+                let v = ctx.arg::<f64>(0)[0];
+                ctx.out(0, &[v + 1.0]);
+            })
+            .inout::<f64>()
+            .build(),
+        );
+        let notify = Arc::new(CountingNotify {
+            fired: AtomicUsize::new(0),
+        });
+        for _ in 0..10 {
+            let desc = TaskDesc::new(incr, vec![Access::read_write(&r)])
+                .with_notify(Arc::clone(&notify) as Arc<dyn crate::task::TaskNotify>);
+            rt.try_submit(desc).unwrap();
+        }
+        rt.taskwait();
+        assert_eq!(notify.wait_for(10), 10);
+        rt.shutdown();
+    }
+
+    /// Interceptor that defers the second task it sees onto the next
+    /// executed task's completion — the smallest deterministic reproduction
+    /// of the IKT deferred path.
+    struct DeferSecond {
+        seen: AtomicUsize,
+        parked: Mutex<Vec<TaskId>>,
+    }
+
+    impl TaskInterceptor for DeferSecond {
+        fn before_execute(
+            &self,
+            task: TaskView<'_>,
+            _store: &DataStore,
+            _tracer: &Tracer,
+            _worker: usize,
+        ) -> Decision {
+            if self.seen.fetch_add(1, Ordering::SeqCst) == 1 {
+                self.parked.lock().push(task.id);
+                Decision::Deferred
+            } else {
+                Decision::Execute
+            }
+        }
+
+        fn after_execute(
+            &self,
+            _task: TaskView<'_>,
+            _store: &DataStore,
+            _tracer: &Tracer,
+            _worker: usize,
+            executed: bool,
+        ) -> Vec<TaskId> {
+            if executed {
+                std::mem::take(&mut *self.parked.lock())
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    #[test]
+    fn notify_fires_on_the_deferred_completion_path_too() {
+        // One FIFO worker makes the pop order deterministic: task 0
+        // executes (nothing parked yet), task 1 defers, task 2 executes and
+        // its completion finishes task 1 through `finish_task`.
+        let rt = RuntimeBuilder::new()
+            .workers(1)
+            .queue_mode(QueueMode::Fifo)
+            .interceptor(Arc::new(DeferSecond {
+                seen: AtomicUsize::new(0),
+                parked: Mutex::new(Vec::new()),
+            }))
+            .build();
+        let regions: Vec<Region<f32>> = (0..3)
+            .map(|i| rt.store().register_zeros(format!("r{i}"), 1).unwrap())
+            .collect();
+        let tt = rt.register_task_type(
+            TaskTypeBuilder::new("t", |ctx| ctx.out(0, &[1.0f32]))
+                .out::<f32>()
+                .build(),
+        );
+        let notify = Arc::new(CountingNotify {
+            fired: AtomicUsize::new(0),
+        });
+        for r in &regions {
+            let desc = TaskDesc::new(tt, vec![Access::write(r)])
+                .with_notify(Arc::clone(&notify) as Arc<dyn crate::task::TaskNotify>);
+            rt.try_submit(desc).unwrap();
+        }
+        rt.taskwait();
+        let stats = rt.stats();
+        assert_eq!(
+            stats.deferred, 1,
+            "the second task must take the deferred path"
+        );
+        assert_eq!(
+            notify.wait_for(3),
+            3,
+            "every task notifies exactly once, deferred completions included"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn concurrent_submitters_on_disjoint_regions_make_progress() {
+        let rt = RuntimeBuilder::new().workers(2).build();
+        let tt = rt.register_task_type(
+            TaskTypeBuilder::new("bump", |ctx| {
+                let v = ctx.arg::<f64>(0)[0];
+                ctx.out(0, &[v + 1.0]);
+            })
+            .inout::<f64>()
+            .build(),
+        );
+        let submitters = 4;
+        let per_submitter = 64;
+        let regions: Vec<Region<f64>> = (0..submitters)
+            .map(|i| rt.store().register_zeros(format!("lane{i}"), 1).unwrap())
+            .collect();
+        std::thread::scope(|scope| {
+            for region in &regions {
+                let rt = &rt;
+                scope.spawn(move || {
+                    for _ in 0..per_submitter {
+                        rt.task(tt).reads_writes(region).submit().unwrap();
+                    }
+                });
+            }
+        });
+        rt.taskwait();
+        for region in &regions {
+            assert_eq!(
+                rt.store().read(*region).lock().as_f64(),
+                &[per_submitter as f64]
+            );
+        }
+        assert_eq!(rt.stats().submitted, (submitters * per_submitter) as u64);
         rt.shutdown();
     }
 }

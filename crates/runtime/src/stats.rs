@@ -121,6 +121,11 @@ pub struct RuntimeStatsSnapshot {
     /// Graph nodes retired so far (finished, all successors finished, slab
     /// slot recycled).
     pub retired_nodes: u64,
+    /// Regions currently present in the dependence index (regions with an
+    /// accessor entry in the live-access maps). Bounded by the regions the
+    /// live task set actually touches — the observable half of region
+    /// retirement under session churn.
+    pub live_index_regions: u64,
 }
 
 impl RuntimeStatsSnapshot {

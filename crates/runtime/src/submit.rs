@@ -49,6 +49,26 @@ pub enum SubmitError {
         /// The offending region id.
         region: RegionId,
     },
+    /// An access names a region that was deregistered (e.g. a request
+    /// arriving after its session closed). Distinguished from
+    /// [`SubmitError::UnknownRegion`] so serving tiers can report a dead
+    /// session instead of a malformed request.
+    RegionRetired {
+        /// Position of the offending access.
+        index: usize,
+        /// The offending region id.
+        region: RegionId,
+    },
+    /// The runtime's live-task admission window is full
+    /// (see [`crate::RuntimeBuilder::max_live_tasks`]). Nothing was
+    /// submitted; the caller should back off and retry once in-flight work
+    /// drains — the runtime never queues beyond the window.
+    Overloaded {
+        /// Live (submitted but unfinished) tasks at rejection time.
+        live: u64,
+        /// The configured window.
+        capacity: u64,
+    },
     /// An access's declared element type disagrees with what the store
     /// holds for that region (e.g. a handle forged from a raw id, or taken
     /// from a different runtime's store).
@@ -105,6 +125,13 @@ impl std::fmt::Display for SubmitError {
             SubmitError::UnknownRegion { index, region } => {
                 write!(f, "access #{index} names {region:?}, which this store does not know")
             }
+            SubmitError::RegionRetired { index, region } => {
+                write!(f, "access #{index} names {region:?}, which was deregistered")
+            }
+            SubmitError::Overloaded { live, capacity } => write!(
+                f,
+                "the live-task window is full ({live} of {capacity}); retry after in-flight work drains"
+            ),
             SubmitError::RegionTypeMismatch { index, declared, stored } => write!(
                 f,
                 "access #{index} is declared as {declared} but the region holds {stored}"
@@ -189,16 +216,24 @@ pub(crate) fn check_memo(spec: &MemoSpec, accesses: &[Access]) -> Result<(), Sub
         .map_err(|error| SubmitError::InvalidMemoSpec { error })
 }
 
-/// Validates every access against the store: the region must exist and hold
-/// the element type the access declares.
+/// Validates every access against the store: the region must exist (and not
+/// have been deregistered) and hold the element type the access declares.
 pub(crate) fn check_store(store: &DataStore, accesses: &[Access]) -> Result<(), SubmitError> {
     // One registry lock for the whole access list; the cached element types
     // keep this off every region's data lock (submission is a hot path).
+    // Only the rejection path pays for a second lookup, to tell a retired
+    // region apart from one that never existed.
     let stored_types = store.try_elem_types(accesses.iter().map(|a| a.region));
     for (index, (access, stored)) in accesses.iter().zip(stored_types).enumerate() {
-        let stored = stored.ok_or(SubmitError::UnknownRegion {
-            index,
-            region: access.region,
+        let stored = stored.ok_or_else(|| match store.region_status(access.region) {
+            crate::region::RegionStatus::Retired => SubmitError::RegionRetired {
+                index,
+                region: access.region,
+            },
+            _ => SubmitError::UnknownRegion {
+                index,
+                region: access.region,
+            },
         })?;
         if stored != access.elem {
             return Err(SubmitError::RegionTypeMismatch {
@@ -308,6 +343,7 @@ impl<'rt> TaskBuilder<'rt> {
             accesses,
             memo,
             submitted_at_ns: 0,
+            notify: None,
         })
     }
 }
@@ -354,6 +390,7 @@ pub struct BatchBuilder<'rt> {
     default_type: Option<TaskTypeId>,
     staged: Vec<TaskDesc>,
     current: Option<TaskDesc>,
+    independent: bool,
 }
 
 impl<'rt> BatchBuilder<'rt> {
@@ -363,7 +400,20 @@ impl<'rt> BatchBuilder<'rt> {
             default_type,
             staged: Vec::new(),
             current: None,
+            independent: false,
         }
+    }
+
+    /// Declares that no two tasks **in this batch** conflict with each
+    /// other (none writes a byte range another member touches); dependences
+    /// on earlier, unfinished tasks outside the batch are still derived.
+    /// The dependence pass then skips the per-member conflict bookkeeping,
+    /// making wide independent waves cheap to open — see
+    /// [`Runtime::try_submit_all_independent`]. The declaration is verified
+    /// in debug builds and trusted in release builds.
+    pub fn independent(mut self) -> Self {
+        self.independent = true;
+        self
     }
 
     fn seal_current(&mut self) {
@@ -458,7 +508,11 @@ impl<'rt> BatchBuilder<'rt> {
     /// submitted. An empty batch is a no-op returning no ids.
     pub fn submit_all(mut self) -> Result<Vec<TaskId>, SubmitError> {
         self.seal_current();
-        self.runtime.try_submit_all(self.staged)
+        if self.independent {
+            self.runtime.try_submit_all_independent(self.staged)
+        } else {
+            self.runtime.try_submit_all(self.staged)
+        }
     }
 }
 

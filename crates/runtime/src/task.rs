@@ -318,9 +318,24 @@ impl TaskTypeBuilder {
     }
 }
 
+/// Observer of one task's completion, attached per submission through
+/// [`TaskDesc::with_notify`].
+///
+/// The runtime invokes [`TaskNotify::task_finished`] exactly once per task
+/// — after the task's successors were released and the outstanding count
+/// decremented, on whichever worker performed the completion (memoized
+/// bypasses and producer-completed deferred tasks included). This is the
+/// hook a serving tier uses to learn that a request's last task finished
+/// without polling or a global taskwait. Implementations must be cheap and
+/// must not submit tasks or block: they run on the worker's hot path.
+pub trait TaskNotify: Send + Sync {
+    /// Called once when the task completes, on the completing worker.
+    fn task_finished(&self, worker: usize, task: TaskId);
+}
+
 /// One task instance to submit: a task type plus its data accesses, and
 /// optionally a per-instance memoization opt-in.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct TaskDesc {
     /// The task type.
     pub task_type: TaskTypeId,
@@ -336,6 +351,24 @@ pub struct TaskDesc {
     /// (0 until then). Feeds the end-to-end task-latency histogram of the
     /// observability layer.
     pub submitted_at_ns: u64,
+    /// Completion observer, when the submitter wants one (see
+    /// [`TaskNotify`]).
+    pub notify: Option<Arc<dyn TaskNotify>>,
+}
+
+impl fmt::Debug for TaskDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskDesc")
+            .field("task_type", &self.task_type)
+            .field("accesses", &self.accesses)
+            .field("memo", &self.memo)
+            .field("submitted_at_ns", &self.submitted_at_ns)
+            .field(
+                "notify",
+                &self.notify.as_ref().map(|_| "Arc<dyn TaskNotify>"),
+            )
+            .finish()
+    }
 }
 
 impl TaskDesc {
@@ -346,6 +379,7 @@ impl TaskDesc {
             accesses,
             memo: None,
             submitted_at_ns: 0,
+            notify: None,
         }
     }
 
@@ -353,6 +387,13 @@ impl TaskDesc {
     #[must_use]
     pub fn with_memo(mut self, spec: impl Into<MemoSpec>) -> Self {
         self.memo = Some(spec.into());
+        self
+    }
+
+    /// Attaches a completion observer (see [`TaskNotify`]).
+    #[must_use]
+    pub fn with_notify(mut self, notify: Arc<dyn TaskNotify>) -> Self {
+        self.notify = Some(notify);
         self
     }
 

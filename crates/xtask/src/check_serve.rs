@@ -1,0 +1,116 @@
+//! `check-serve`: validates the `BENCH_serve.json` machine report produced
+//! by `atm-eval serve --json DIR`.
+//!
+//! The serving experiment's contract (see `crates/bench`): an open-loop
+//! sweep over at least three offered-load points, nonzero request-latency
+//! percentiles, a positive saturation throughput, and — because the top of
+//! the ladder is deliberately offered past worker capacity — a nonzero
+//! count of arrivals shed with `Overloaded`. A report that misses any of
+//! these means the service benchmark silently stopped exercising admission
+//! control, so CI fails on it.
+
+use crate::check_trace::{parse_json, Json};
+
+/// Validates the serving report text; returns a one-line summary on
+/// success and a description of the first violated contract on failure.
+pub fn check_serve(text: &str) -> Result<String, String> {
+    let root = parse_json(text)?;
+    if root.get("id").and_then(Json::as_str) != Some("serve") {
+        return Err("`id` must be \"serve\"".to_string());
+    }
+    let metrics = root
+        .get("metrics")
+        .ok_or_else(|| "no `metrics` object".to_string())?;
+    let num = |name: &str| -> Result<f64, String> {
+        metrics
+            .get(name)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("metric `{name}` missing or not a number"))
+    };
+
+    let mut points = 0usize;
+    while metrics.get(&format!("load{points}_offered_rps")).is_some() {
+        points += 1;
+    }
+    if points < 3 {
+        return Err(format!(
+            "the sweep must cover at least 3 offered-load points, found {points}"
+        ));
+    }
+    let p50 = num("request_p50_ns")?;
+    let p99 = num("request_p99_ns")?;
+    if p50 <= 0.0 || p99 < p50 {
+        return Err(format!(
+            "request percentiles must satisfy 0 < p50 <= p99, got p50 {p50} / p99 {p99}"
+        ));
+    }
+    let saturation = num("saturation_rps")?;
+    if saturation <= 0.0 {
+        return Err(format!("saturation_rps must be positive, got {saturation}"));
+    }
+    let shed = num("overload_rejected")?;
+    if shed <= 0.0 {
+        return Err(
+            "the top offered-load point shed nothing: the sweep never pushed the \
+             service past saturation, so admission control went unexercised"
+                .to_string(),
+        );
+    }
+    Ok(format!(
+        "{points} offered-load points, request p99 {p99:.0} ns, saturation \
+         {saturation:.0} req/s, {shed:.0} arrivals shed at overload"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(p99: f64, shed: f64) -> String {
+        format!(
+            r#"{{
+  "id": "serve",
+  "title": "Serving",
+  "metrics": {{
+    "load0_offered_rps": 1000,
+    "load1_offered_rps": 5000,
+    "load2_offered_rps": 40000,
+    "request_p50_ns": 111616,
+    "request_p99_ns": {p99},
+    "saturation_rps": 7435.1,
+    "overload_rejected": {shed}
+  }},
+  "csv_header": "offered_rps",
+  "rows": ["1000", "5000", "40000"]
+}}"#
+        )
+    }
+
+    #[test]
+    fn a_conforming_report_passes_with_a_summary() {
+        let summary = check_serve(&sample(17039360.0, 6458.0)).unwrap();
+        assert!(summary.contains("3 offered-load points"), "{summary}");
+        assert!(summary.contains("6458 arrivals shed"), "{summary}");
+    }
+
+    #[test]
+    fn zero_shed_or_inverted_percentiles_fail() {
+        let err = check_serve(&sample(17039360.0, 0.0)).unwrap_err();
+        assert!(err.contains("shed nothing"), "{err}");
+        let err = check_serve(&sample(1.0, 6458.0)).unwrap_err();
+        assert!(err.contains("p50 <= p99"), "{err}");
+    }
+
+    #[test]
+    fn missing_metrics_and_wrong_id_fail() {
+        assert!(check_serve("{\"id\": \"serve\"}")
+            .unwrap_err()
+            .contains("metrics"));
+        let wrong = sample(1.0, 1.0).replace("\"serve\"", "\"creation\"");
+        assert!(check_serve(&wrong).unwrap_err().contains("id"));
+        let missing = sample(17039360.0, 6458.0).replace("load2_offered_rps", "x");
+        assert!(check_serve(&missing)
+            .unwrap_err()
+            .contains("at least 3 offered-load points"));
+    }
+}

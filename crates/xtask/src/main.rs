@@ -10,12 +10,15 @@
 //!   hole in the model — so CI fails on it.
 //! * `check-trace FILE` validates a Chrome-trace file produced by
 //!   `atm-eval --trace` (see [`check_trace`]).
+//! * `check-serve FILE` validates the `BENCH_serve.json` machine report
+//!   produced by `atm-eval serve --json` (see [`check_serve`]).
 //!
 //! The lint is a line-based substring scan, deliberately dependency-free
 //! (no syn, no regex crate): false positives are possible in principle but
 //! have not occurred, and the failure message names the exact file:line to
 //! fix or exempt.
 
+mod check_serve;
 mod check_trace;
 
 use std::fmt::Write as _;
@@ -168,8 +171,33 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "check-serve" => {
+            let Some(path) = std::env::args().nth(2) else {
+                eprintln!("usage: cargo run -p xtask -- check-serve FILE");
+                return ExitCode::FAILURE;
+            };
+            let text = match std::fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(err) => {
+                    eprintln!("check-serve: cannot read {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match check_serve::check_serve(&text) {
+                Ok(summary) => {
+                    println!("check-serve: {path}: {summary}");
+                    ExitCode::SUCCESS
+                }
+                Err(err) => {
+                    eprintln!("check-serve: {path}: {err}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         other => {
-            eprintln!("unknown xtask command {other:?}; available: lint-sync check-trace");
+            eprintln!(
+                "unknown xtask command {other:?}; available: lint-sync check-trace check-serve"
+            );
             ExitCode::FAILURE
         }
     }
