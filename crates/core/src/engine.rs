@@ -406,7 +406,7 @@ impl AtmEngine {
                 worker,
                 DecisionRecord {
                     task_type: task.type_id.index() as u32,
-                    task_id: task.id.index() as u64,
+                    task_id: task.id.raw(),
                     decision,
                     metric_value: scalars.metric_value,
                     tau: scalars.tau,

@@ -24,11 +24,15 @@ pub enum LatencyMetric {
     /// End-to-end request latency of the serving tier: admission to the
     /// completion of the request's last task (see `atm-serve`).
     Request,
+    /// Worker time spent in one release cycle: finishing a task (plus its
+    /// producer-completed deferred waiters), publishing the released
+    /// successors to the ready queue and retiring the outstanding count.
+    Release,
 }
 
 impl LatencyMetric {
     /// Every metric, in display order.
-    pub const ALL: [LatencyMetric; 7] = [
+    pub const ALL: [LatencyMetric; 8] = [
         LatencyMetric::TaskLatency,
         LatencyMetric::Kernel,
         LatencyMetric::Submit,
@@ -36,6 +40,7 @@ impl LatencyMetric {
         LatencyMetric::StoreInsert,
         LatencyMetric::StoreEvict,
         LatencyMetric::Request,
+        LatencyMetric::Release,
     ];
 
     /// Stable snake_case name used in reports and JSON.
@@ -48,6 +53,7 @@ impl LatencyMetric {
             LatencyMetric::StoreInsert => "store_insert",
             LatencyMetric::StoreEvict => "store_evict",
             LatencyMetric::Request => "request",
+            LatencyMetric::Release => "release",
         }
     }
 
@@ -60,6 +66,7 @@ impl LatencyMetric {
             LatencyMetric::StoreInsert => 4,
             LatencyMetric::StoreEvict => 5,
             LatencyMetric::Request => 6,
+            LatencyMetric::Release => 7,
         }
     }
 }

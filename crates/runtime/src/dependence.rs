@@ -14,11 +14,16 @@
 //! finishing a task and releasing its successors — acquires **no graph-wide
 //! lock**:
 //!
-//! * task nodes live in a **sharded slab** (`id % NODE_SHARDS` picks the
-//!   shard; within a shard an id → slot index maps to a recyclable slot);
-//!   lookups take a brief per-shard read lock, inserts and slot frees a
-//!   per-shard write lock — and [`TaskGraph::submit_batch`] takes each
-//!   write lock **once per batch**, not once per task;
+//! * task nodes live in a **sharded slab** addressed by **generational
+//!   slot ids**: a [`TaskId`] packs the shard, the slot index within the
+//!   shard, and the slot's generation into one `u64` (see the [`TaskId`]
+//!   docs for the exact bit layout). A lookup is a bounds check plus a
+//!   generation compare — no hashing — under a brief per-shard read lock;
+//!   inserts and slot frees take a per-shard write lock, and
+//!   [`TaskGraph::submit_batch`] takes each write lock **once per batch**,
+//!   not once per task. Shards are chosen round-robin by the graph's
+//!   submission sequence counter, so consecutive submissions spread across
+//!   shards deterministically;
 //! * every node carries an **atomic `unresolved` counter** and an atomic
 //!   lifecycle state; releasing a successor is one `fetch_sub`;
 //! * the per-region **live-accessor index** is sharded by region id, so
@@ -43,10 +48,11 @@
 //! ([`TaskGraph::lock_submission`]). Two tasks that could ever conflict
 //! share a region, therefore a live-index shard, therefore a submission
 //! shard — so every conflicting pair is fully serialised, the later
-//! submitter draws the larger id (ids are assigned while the common shard
-//! is held and `next_id` is monotonic) and observes the earlier task's
-//! live accesses, which keeps every edge pointing from a smaller id to a
-//! larger one ([`TaskGraph::edges_respect_submission_order`]). Submitters
+//! submitter draws the larger **sequence number** (sequence numbers are
+//! assigned while the common shard is held and `next_seq` is monotonic)
+//! and observes the earlier task's live accesses, which keeps every edge
+//! pointing from an earlier submission to a later one
+//! ([`TaskGraph::edges_respect_submission_order`]). Submitters
 //! with disjoint shard sets — independent sessions of a serving tier —
 //! share no lock at all and proceed truly concurrently. Completions may
 //! come from any worker concurrently and never take a submission lock.
@@ -65,13 +71,15 @@
 //! successor edge (taken under the same successor lock that registers the
 //! edge). [`TaskGraph::finish_node`] releases the node's own hold and the
 //! holds it took on its predecessors; whoever releases the last hold frees
-//! the slot onto the shard's free list. Retired ids disappear from the
-//! id → slot index, so a stale lookup (e.g. a submitter that saw the task
-//! among the live accessors an instant before it finished) observes "gone =
-//! finished" instead of aliasing a recycled slot. This bounds the graph's
-//! steady-state memory by the *live* task window instead of the total
-//! submitted count — the [`TaskGraph::live_nodes`] / [`TaskGraph::retired_count`]
-//! gauges make that observable.
+//! the slot onto the shard's free list **and bumps the slot's generation**,
+//! so a stale lookup with a retired id (e.g. a submitter that saw the task
+//! among the live accessors an instant before it finished) fails the
+//! generation compare and observes "gone = finished" instead of aliasing
+//! the slot's next occupant — no ABA, with no id → slot map to maintain.
+//! This bounds the graph's steady-state memory by the *live* task window
+//! instead of the total submitted count — the [`TaskGraph::live_nodes`] /
+//! [`TaskGraph::retired_count`] gauges make that observable, and the slab
+//! holds **no per-id state at all** (a retired id occupies zero bytes).
 
 use crate::access::Access;
 use crate::region::RegionId;
@@ -81,8 +89,9 @@ use atm_sync::{Mutex, MutexGuard, RwLock};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
-/// Number of node-slab shards (spreads lookup read-locks across cache lines).
-const NODE_SHARDS: usize = 16;
+/// Number of node-slab shards (spreads lookup read-locks across cache
+/// lines). Fixed by the shard field of the [`TaskId`] bit layout.
+const NODE_SHARDS: usize = TaskId::SHARDS;
 /// Number of live-accessor shards (spreads per-region bookkeeping locks).
 const LIVE_SHARDS: usize = 16;
 
@@ -140,6 +149,10 @@ struct SuccessorSlot {
 #[derive(Debug)]
 pub struct TaskNode {
     id: TaskId,
+    /// Graph-wide submission sequence number (creation order). The packed
+    /// id deliberately carries no order information, so diagnostics and
+    /// figures that need creation-order rank read this instead.
+    seq: u64,
     desc: TaskDesc,
     unresolved: AtomicUsize,
     state: AtomicU8,
@@ -158,6 +171,13 @@ impl TaskNode {
     /// The task's id.
     pub fn id(&self) -> TaskId {
         self.id
+    }
+
+    /// The task's graph-wide submission sequence number (creation order,
+    /// the x axis of Figure 9). Unlike the packed id this is dense and
+    /// monotonic across the whole graph.
+    pub fn seq(&self) -> u64 {
+        self.seq
     }
 
     /// The task's descriptor (accesses, type, per-instance memo opt-in).
@@ -200,55 +220,85 @@ impl std::fmt::Debug for SubmissionPermit<'_> {
     }
 }
 
-/// One shard of the node slab: recyclable slots plus the id → slot index.
-/// Retired nodes leave the index and their slot goes onto the free list, so
-/// the slab's footprint follows the *live* task window, not the total
+/// One generational slot of the node slab. The generation counts how many
+/// times the slot has been recycled; an id minted against an older
+/// generation fails the compare in [`NodeShard::get`] and reads as retired.
+#[derive(Debug, Default)]
+struct Slot {
+    generation: u32,
+    node: Option<Arc<TaskNode>>,
+}
+
+/// One shard of the node slab: recyclable generational slots addressed
+/// directly by the slot field of the packed [`TaskId`] — there is no
+/// id → slot map to probe or to grow. Retiring a node vacates its slot,
+/// bumps the generation and pushes the slot onto the free list, so the
+/// shard's footprint follows the *live* task window, not the total
 /// submitted count.
 #[derive(Debug, Default)]
 struct NodeShard {
-    slots: Vec<Option<Arc<TaskNode>>>,
-    index: HashMap<u64, u32>,
+    slots: Vec<Slot>,
     free: Vec<u32>,
 }
 
 impl NodeShard {
-    fn insert(&mut self, node: Arc<TaskNode>) {
-        let id = node.id.0;
+    /// Allocates a slot (recycling the free list first), mints the packed
+    /// id from `(shard, slot, generation)` and constructs the node in
+    /// place. Called under the shard's write lock.
+    fn insert(&mut self, shard_index: usize, seq: u64, desc: TaskDesc) -> Arc<TaskNode> {
         let slot = match self.free.pop() {
-            Some(slot) => {
-                self.slots[slot as usize] = Some(node);
-                slot
-            }
+            Some(slot) => slot,
             None => {
-                self.slots.push(Some(node));
+                self.slots.push(Slot::default());
                 u32::try_from(self.slots.len() - 1).expect("slab shard exceeds u32 slots")
             }
         };
-        self.index.insert(id, slot);
+        let entry = &mut self.slots[slot as usize];
+        debug_assert!(entry.node.is_none(), "allocated slot must be vacant");
+        let node = Arc::new(TaskNode {
+            id: TaskId::pack(shard_index, slot, entry.generation),
+            seq,
+            desc,
+            unresolved: AtomicUsize::new(1),
+            state: AtomicU8::new(NodeState::WaitingDeps.as_u8()),
+            successors: Mutex::new(SuccessorSlot::default()),
+            retire_holds: AtomicUsize::new(1),
+            preds: Mutex::new(Vec::new()),
+        });
+        entry.node = Some(Arc::clone(&node));
+        node
     }
 
-    fn get(&self, id: u64) -> Option<Arc<TaskNode>> {
-        self.index.get(&id).map(|&slot| {
-            Arc::clone(
-                self.slots[slot as usize]
-                    .as_ref()
-                    .expect("indexed slot must be occupied"),
-            )
-        })
-    }
-
-    fn remove(&mut self, id: u64) {
-        if let Some(slot) = self.index.remove(&id) {
-            self.slots[slot as usize] = None;
-            self.free.push(slot);
+    /// The hot-path lookup: bounds check + generation compare + `Arc`
+    /// clone. A stale generation (the slot was recycled since the id was
+    /// minted) reads as `None` = retired = finished.
+    fn get(&self, slot: u32, generation: u32) -> Option<Arc<TaskNode>> {
+        let entry = self.slots.get(slot as usize)?;
+        if entry.generation != generation {
+            return None;
         }
+        entry.node.as_ref().map(Arc::clone)
+    }
+
+    /// Vacates a slot, bumps its generation (invalidating every id minted
+    /// against the old one) and recycles it. Called under the shard's
+    /// write lock by the releaser of the node's last retire hold.
+    fn remove(&mut self, slot: u32, generation: u32) {
+        let entry = &mut self.slots[slot as usize];
+        debug_assert_eq!(entry.generation, generation, "retiring a stale generation");
+        debug_assert!(entry.node.is_some(), "retiring a vacant slot");
+        entry.node = None;
+        entry.generation = entry.generation.wrapping_add(1) & TaskId::GEN_MASK;
+        self.free.push(slot);
     }
 }
 
 /// The Task Dependence Graph plus the per-region bookkeeping needed to build it.
 #[derive(Debug)]
 pub struct TaskGraph {
-    /// Sharded node slab: shard = `id % NODE_SHARDS`; slots are recycled as
+    /// Sharded node slab, addressed by the shard/slot/generation fields of
+    /// the packed [`TaskId`]. Shards are chosen round-robin by submission
+    /// sequence number; slots are recycled (with a generation bump) as
     /// nodes retire.
     shards: Vec<RwLock<NodeShard>>,
     /// Accesses of unfinished tasks, indexed per region and sharded by
@@ -260,7 +310,10 @@ pub struct TaskGraph {
     /// conflicting submitters always share a shard, disjoint ones never
     /// contend (see the module docs). Completions never take these.
     submission: Vec<Mutex<()>>,
-    next_id: AtomicU64,
+    /// Monotonic submission sequence counter: assigns each task its dense
+    /// creation-order rank ([`TaskNode::seq`]) and picks its slab shard
+    /// (`seq % NODE_SHARDS`).
+    next_seq: AtomicU64,
     finished: AtomicU64,
     retired: AtomicU64,
 }
@@ -275,7 +328,7 @@ impl Default for TaskGraph {
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             submission: (0..LIVE_SHARDS).map(|_| Mutex::new(())).collect(),
-            next_id: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
             finished: AtomicU64::new(0),
             retired: AtomicU64::new(0),
         }
@@ -290,7 +343,7 @@ impl TaskGraph {
 
     /// Number of tasks ever submitted.
     pub fn len(&self) -> usize {
-        self.next_id.load(Ordering::SeqCst) as usize
+        self.next_seq.load(Ordering::SeqCst) as usize
     }
 
     /// True when no task was ever submitted.
@@ -317,13 +370,17 @@ impl TaskGraph {
         // then over-counts the gauge instead of underflowing it (retired
         // can never exceed the submitted count it was read against).
         let retired = self.retired.load(Ordering::SeqCst);
-        self.next_id.load(Ordering::SeqCst).saturating_sub(retired)
+        self.next_seq.load(Ordering::SeqCst).saturating_sub(retired)
     }
 
     /// The node of a task, if it has not retired yet. `None` means the task
-    /// finished, all its successors finished, and its slot was recycled.
+    /// finished, all its successors finished, and its slot was recycled
+    /// (the generation compare fails for the stale id). A bounds check plus
+    /// a generation compare under the shard's read lock — no hash probe.
     pub fn try_node(&self, id: TaskId) -> Option<Arc<TaskNode>> {
-        self.shards[id.index() % NODE_SHARDS].read().get(id.0)
+        self.shards[id.shard()]
+            .read()
+            .get(id.slot(), id.generation())
     }
 
     /// The node of a task.
@@ -390,9 +447,9 @@ impl TaskGraph {
         debug_assert!(prev > 0, "retire hold released twice");
         if prev == 1 {
             debug_assert_eq!(node.state(), NodeState::Finished);
-            self.shards[node.id.index() % NODE_SHARDS]
+            self.shards[node.id.shard()]
                 .write()
-                .remove(node.id.0);
+                .remove(node.id.slot(), node.id.generation());
             self.retired.fetch_add(1, Ordering::SeqCst);
         }
     }
@@ -420,24 +477,18 @@ impl TaskGraph {
     /// descriptor against the store inside the same critical section, so a
     /// region cannot retire between the check and the insertion).
     pub fn submit_with(&self, _permit: &SubmissionPermit<'_>, desc: TaskDesc) -> (TaskId, bool) {
-        let id = TaskId(self.next_id.fetch_add(1, Ordering::SeqCst));
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        let shard_index = (seq as usize) % NODE_SHARDS;
 
         // Insert the node into the slab *before* registering edges: a
         // predecessor finishing mid-registration must be able to look the
         // node up. The submission guard (unresolved = 1) keeps the task
-        // from becoming ready until registration is complete.
-        let node = Arc::new(TaskNode {
-            id,
-            desc,
-            unresolved: AtomicUsize::new(1),
-            state: AtomicU8::new(NodeState::WaitingDeps.as_u8()),
-            successors: Mutex::new(SuccessorSlot::default()),
-            retire_holds: AtomicUsize::new(1),
-            preds: Mutex::new(Vec::new()),
-        });
-        self.shards[id.index() % NODE_SHARDS]
+        // from becoming ready until registration is complete. The id is
+        // minted inside the shard (it packs the slot the node lands in).
+        let node = self.shards[shard_index]
             .write()
-            .insert(Arc::clone(&node));
+            .insert(shard_index, seq, desc);
+        let id = node.id();
 
         // Collect unique predecessors among live (unfinished) accessors,
         // registering this task's own accesses as live in the same pass.
@@ -540,42 +591,37 @@ impl TaskGraph {
             !independent || Self::batch_is_internally_independent(&descs),
             "submit_batch_with(independent = true) on a batch with internal conflicts"
         );
-        let first = self.next_id.fetch_add(descs.len() as u64, Ordering::SeqCst);
+        let batch_len = descs.len();
+        let first = self.next_seq.fetch_add(batch_len as u64, Ordering::SeqCst);
 
-        // Create all nodes up front. The submission guard (unresolved = 1)
-        // keeps each task from becoming ready until its edges are wired.
-        let nodes: Vec<Arc<TaskNode>> = descs
-            .into_iter()
-            .enumerate()
-            .map(|(offset, desc)| {
-                Arc::new(TaskNode {
-                    id: TaskId(first + offset as u64),
-                    desc,
-                    unresolved: AtomicUsize::new(1),
-                    state: AtomicU8::new(NodeState::WaitingDeps.as_u8()),
-                    successors: Mutex::new(SuccessorSlot::default()),
-                    retire_holds: AtomicUsize::new(1),
-                    preds: Mutex::new(Vec::new()),
-                })
-            })
-            .collect();
-
-        // Slab insertion *before* edge registration (a predecessor finishing
-        // mid-registration must be able to look a batch member up), one
-        // write lock per touched shard.
+        // Slab insertion (which creates the nodes and mints their packed
+        // ids) happens *before* edge registration — a predecessor finishing
+        // mid-registration must be able to look a batch member up — with
+        // one write lock per touched shard. Members land in the same shards
+        // and draw the same ids as the equivalent one-by-one submissions
+        // (`seq % NODE_SHARDS`, slots recycled LIFO), which is what keeps
+        // the two paths property-testable against each other. The
+        // submission guard (unresolved = 1) keeps each task from becoming
+        // ready until its edges are wired.
+        let mut descs: Vec<Option<TaskDesc>> = descs.into_iter().map(Some).collect();
+        let mut nodes: Vec<Option<Arc<TaskNode>>> = (0..batch_len).map(|_| None).collect();
         for (shard_index, shard) in self.shards.iter().enumerate() {
-            let mut members = nodes
-                .iter()
-                .filter(|n| n.id.index() % NODE_SHARDS == shard_index)
+            let mut members = (0..batch_len)
+                .filter(|offset| ((first + *offset as u64) as usize) % NODE_SHARDS == shard_index)
                 .peekable();
             if members.peek().is_none() {
                 continue;
             }
             let mut shard = shard.write();
-            for node in members {
-                shard.insert(Arc::clone(node));
+            for offset in members {
+                let desc = descs[offset].take().expect("each descriptor moves once");
+                nodes[offset] = Some(shard.insert(shard_index, first + offset as u64, desc));
             }
         }
+        let nodes: Vec<Arc<TaskNode>> = nodes
+            .into_iter()
+            .map(|n| n.expect("every member was inserted"))
+            .collect();
 
         // Dependence pass: lock every touched live-index shard once, then
         // walk the batch in submission order — earlier batch members become
@@ -768,15 +814,29 @@ impl TaskGraph {
         self.finish_node(&self.node(id))
     }
 
+    /// Allocating convenience wrapper around
+    /// [`TaskGraph::finish_node_into`]: returns the newly-ready successors
+    /// in a fresh `Vec`. Tests and one-shot callers use this; the worker
+    /// hot path reuses a per-worker scratch buffer instead.
+    pub fn finish_node(&self, node: &TaskNode) -> Vec<TaskId> {
+        let mut newly_ready = Vec::new();
+        self.finish_node_into(node, &mut newly_ready);
+        newly_ready
+    }
+
     /// Completes a task: prunes its live accesses, releases its successors,
     /// releases its retirement holds (its own and those it took on its
-    /// predecessors) and returns the successors that became ready.
+    /// predecessors) and **appends** the successors that became ready to
+    /// `newly_ready` — the caller-owned scratch that lets a worker
+    /// aggregate the releases of a whole finish cycle (the executed task
+    /// plus its producer-completed deferred waiters) into one ready-queue
+    /// packet without allocating per finish.
     ///
     /// Takes no graph-wide lock: only the live-index shards of the regions
     /// this task touched, the node's own successor lock, one atomic
     /// decrement per successor — and, for each node this completion
     /// actually retires, one slab-shard write lock to free the slot.
-    pub fn finish_node(&self, node: &TaskNode) -> Vec<TaskId> {
+    pub fn finish_node_into(&self, node: &TaskNode, newly_ready: &mut Vec<TaskId>) {
         let id = node.id();
         let state = node.state();
         assert!(
@@ -805,7 +865,6 @@ impl TaskGraph {
             std::mem::take(&mut slot.list)
         };
 
-        let mut newly_ready = Vec::new();
         for succ in successors {
             // Successors with an unreleased edge cannot retire (their own
             // completion hold is still pending), so the lookup must succeed.
@@ -827,7 +886,6 @@ impl TaskGraph {
             self.release_retire_hold(pred);
         }
         self.release_retire_hold(node);
-        newly_ready
     }
 
     /// Current state of a task. Retired tasks (slot already recycled) are,
@@ -854,13 +912,23 @@ impl TaskGraph {
     }
 
     /// Checks the structural invariant that every edge goes from an earlier
-    /// submission to a later one — which makes the TDG acyclic by
-    /// construction. Used by tests.
+    /// submission (smaller [`TaskNode::seq`]) to a later one — which makes
+    /// the TDG acyclic by construction. Walks the resident nodes of every
+    /// shard; a successor that has already retired is skipped (retired =
+    /// finished, so the edge was consumed — a retired successor can still
+    /// appear in a live predecessor's list when the predecessor stays
+    /// resident on behalf of another unfinished successor). Used by tests.
     pub fn edges_respect_submission_order(&self) -> bool {
-        (0..self.len()).all(|i| {
-            self.successors(TaskId(i as u64))
-                .iter()
-                .all(|s| s.index() > i)
+        let mut resident: Vec<Arc<TaskNode>> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read();
+            resident.extend(shard.slots.iter().filter_map(|s| s.node.clone()));
+        }
+        resident.iter().all(|node| {
+            node.successors.lock().list.iter().all(|succ| {
+                self.try_node(*succ)
+                    .is_none_or(|succ_node| succ_node.seq() > node.seq())
+            })
         })
     }
 }
@@ -1095,25 +1163,73 @@ mod tests {
         let g = TaskGraph::new();
         // Drive many more tasks than slots through one chain; every task
         // must fit in the recycled slots of its retired predecessors.
+        let mut ids = Vec::new();
         for _ in 0..10 * NODE_SHARDS {
             let (t, _) = g.submit(desc(vec![Access::write(&r[0])]));
             g.mark_running(t);
             g.finish(t);
+            ids.push(t);
         }
         assert_eq!(g.live_nodes(), 0);
         assert_eq!(g.retired_count(), 10 * NODE_SHARDS as u64);
-        let resident: usize = (0..g.len())
-            .map(|i| usize::from(g.try_node(TaskId(i as u64)).is_some()))
-            .sum();
-        assert_eq!(resident, 0);
-        // The slab recycled slots instead of growing: every shard holds at
-        // most a handful of slots.
+        // Every retired id fails the generation compare: gone = finished.
+        for id in &ids {
+            assert!(g.try_node(*id).is_none());
+            assert_eq!(g.state(*id), NodeState::Finished);
+        }
+        // Recycling never mints the same id twice (the generation bump).
+        let distinct: BTreeSet<TaskId> = ids.iter().copied().collect();
+        assert_eq!(distinct.len(), ids.len());
+        // The slab recycled slots instead of growing — and with the id →
+        // slot map gone, shard memory is a handful of slots regardless of
+        // how many ids were ever submitted.
         for shard in &g.shards {
             assert!(
                 shard.read().slots.len() <= 2,
                 "slots must be recycled, not appended"
             );
         }
+    }
+
+    /// Slot-reuse/ABA regression: a slot recycled through several
+    /// generations must never let a stale id of a retired occupant alias
+    /// the slot's current occupant.
+    #[test]
+    fn stale_ids_of_recycled_slots_never_alias_the_new_occupant() {
+        let (_store, r) = store_with_regions(1);
+        let g = TaskGraph::new();
+        let mut retired = Vec::new();
+        // One full round of NODE_SHARDS submissions returns to the same
+        // shard and (LIFO free list, empty graph) the same slot — each
+        // round is one generation of that slot.
+        for generation in 0..4u32 {
+            let (t, _) = g.submit(desc(vec![Access::write(&r[0])]));
+            assert_eq!(t.generation(), generation);
+            assert_eq!(t.slot(), 0);
+            assert_eq!(t.shard(), 0);
+            g.mark_running(t);
+            g.finish(t);
+            retired.push(t);
+            for _ in 1..NODE_SHARDS {
+                let (filler, _) = g.submit(desc(vec![Access::write(&r[0])]));
+                g.mark_running(filler);
+                g.finish(filler);
+            }
+        }
+        // A live occupant of the recycled slot…
+        let (live, _) = g.submit(desc(vec![Access::write(&r[0])]));
+        assert_eq!((live.shard(), live.slot()), (0, 0));
+        // …is invisible through every stale generation of the same slot.
+        for stale in &retired {
+            assert_ne!(*stale, live);
+            assert!(g.try_node(*stale).is_none(), "{stale} must read as gone");
+            assert_eq!(g.state(*stale), NodeState::Finished);
+            assert_eq!(g.unresolved(*stale), 0);
+            assert!(g.successors(*stale).is_empty());
+        }
+        assert!(g.try_node(live).is_some());
+        g.mark_running(live);
+        g.finish(live);
     }
 
     #[test]
@@ -1132,11 +1248,13 @@ mod tests {
         let one_by_one: Vec<(TaskId, bool)> =
             program().into_iter().map(|d| singleton.submit(d)).collect();
         let as_batch = batched.submit_batch(program());
+        // Id allocation is deterministic (`seq % NODE_SHARDS` sharding,
+        // LIFO slot recycling), so two fresh graphs given the same program
+        // mint identical ids — which makes the graphs directly comparable.
         assert_eq!(one_by_one, as_batch);
-        for i in 0..4 {
-            let id = TaskId(i);
-            assert_eq!(singleton.successors(id), batched.successors(id), "{id}");
-            assert_eq!(singleton.unresolved(id), batched.unresolved(id), "{id}");
+        for (id, _) in &one_by_one {
+            assert_eq!(singleton.successors(*id), batched.successors(*id), "{id}");
+            assert_eq!(singleton.unresolved(*id), batched.unresolved(*id), "{id}");
         }
         assert!(batched.edges_respect_submission_order());
     }
@@ -1229,9 +1347,12 @@ mod tests {
         assert_eq!(g.len(), 200);
         assert!(g.edges_respect_submission_order());
         // Each inout chain serialises on its own region: member i waits on
-        // all i live earlier members, and ids grow along the chain.
+        // all i live earlier members, and submission sequence numbers grow
+        // along the chain (the packed ids themselves carry no order).
         for chain in &chains {
-            assert!(chain.windows(2).all(|w| w[0] < w[1]));
+            assert!(chain
+                .windows(2)
+                .all(|w| g.node(w[0]).seq() < g.node(w[1]).seq()));
             for (i, id) in chain.iter().enumerate() {
                 assert_eq!(g.unresolved(*id), i);
             }

@@ -102,7 +102,7 @@ pub use region::{
     DataStore, DeregisterError, Elem, ElemType, Region, RegionData, RegionId, RegionStatus,
     RegisterError,
 };
-pub use scheduler::{Observation, Runtime, RuntimeBuilder};
+pub use scheduler::{Affinity, Observation, Runtime, RuntimeBuilder};
 pub use stats::{RuntimeStats, RuntimeStatsSnapshot};
 pub use submit::{BatchBuilder, SubmitError, TaskBuilder};
 pub use task::{
@@ -121,7 +121,7 @@ pub mod prelude {
         DataStore, DeregisterError, Elem, ElemType, Region, RegionData, RegionId, RegionStatus,
         RegisterError,
     };
-    pub use crate::scheduler::{Runtime, RuntimeBuilder};
+    pub use crate::scheduler::{Affinity, Runtime, RuntimeBuilder};
     pub use crate::submit::{BatchBuilder, SubmitError, TaskBuilder};
     pub use crate::task::{
         TaskContext, TaskDesc, TaskId, TaskNotify, TaskSignature, TaskTypeBuilder, TaskTypeId,

@@ -87,8 +87,13 @@ impl FifoQueue {
         state.tasks.extend(ids.iter().copied());
         tracer.sample_ready_depth(worker, state.tasks.len());
         drop(state);
-        for _ in ids {
+        // One wakeup per *push*, not per task: a single task needs exactly
+        // one worker; a packet wakes everyone once instead of hammering the
+        // condvar once per id (each sleeper re-checks the queue anyway).
+        if ids.len() == 1 {
             self.condvar.notify_one();
+        } else {
+            self.condvar.notify_all();
         }
     }
 
@@ -648,7 +653,7 @@ mod tests {
                 thread::spawn(move || {
                     let mut got = Vec::new();
                     while let Popped::Task(id) = q.pop(w) {
-                        got.push(id.index() as u64);
+                        got.push(id.raw());
                     }
                     got
                 })

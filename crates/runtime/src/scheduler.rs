@@ -28,7 +28,7 @@
 //! clones. [`QueueMode::Fifo`] keeps the paper's single-queue behaviour
 //! (and its deterministic single-worker pop order) selectable per runtime.
 
-use crate::dependence::TaskGraph;
+use crate::dependence::{TaskGraph, TaskNode};
 use crate::interceptor::{Decision, NoopInterceptor, TaskInterceptor};
 use crate::ready_queue::{Popped, QueueMode, ReadyQueue};
 use crate::region::{DataStore, DeregisterError, RegionId};
@@ -42,10 +42,52 @@ use atm_obs::{
     DecisionSnapshot, EngineObservation, LatencyMetric, MetricsSnapshot, Observability,
     StoreObservation, TaskSpan,
 };
-use atm_sync::atomic::{AtomicU64, Ordering};
+use atm_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use atm_sync::{Condvar, Mutex, RwLock};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Worker-thread CPU placement policy (see [`RuntimeBuilder::affinity`]).
+///
+/// Pinning is dependency-free (a raw `sched_setaffinity` syscall on Linux
+/// x86_64/aarch64, confined to the `atm-affinity` crate) and degrades to a
+/// no-op on platforms without support: a worker whose pin fails simply runs
+/// unpinned. [`Runtime::pinned_workers`] reports how many pins stuck.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Affinity {
+    /// No pinning (the default): the OS scheduler places workers freely.
+    #[default]
+    None,
+    /// Pin worker `i` to CPU `i % available_parallelism` — one worker per
+    /// core while the pool fits, wrapping beyond that.
+    RoundRobin,
+    /// Pin worker `i` to `cpus[i % cpus.len()]` — explicit placement for
+    /// NUMA experiments. An empty list pins nothing.
+    Explicit(Vec<usize>),
+}
+
+impl Affinity {
+    /// The CPU `worker` should pin to under this policy, `None` when the
+    /// worker runs unpinned.
+    fn cpu_for(&self, worker: usize) -> Option<usize> {
+        match self {
+            Affinity::None => None,
+            Affinity::RoundRobin => {
+                let cores = std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1);
+                Some(worker % cores)
+            }
+            Affinity::Explicit(cpus) => {
+                if cpus.is_empty() {
+                    None
+                } else {
+                    Some(cpus[worker % cpus.len()])
+                }
+            }
+        }
+    }
+}
 
 /// Configuration and construction of a [`Runtime`].
 pub struct RuntimeBuilder {
@@ -55,6 +97,8 @@ pub struct RuntimeBuilder {
     interceptor: Arc<dyn TaskInterceptor>,
     observability: Option<Arc<Observability>>,
     max_live_tasks: Option<u64>,
+    affinity: Affinity,
+    aggregated_releases: bool,
 }
 
 impl Default for RuntimeBuilder {
@@ -74,7 +118,32 @@ impl RuntimeBuilder {
             interceptor: Arc::new(NoopInterceptor),
             observability: None,
             max_live_tasks: None,
+            affinity: Affinity::default(),
+            aggregated_releases: true,
         }
+    }
+
+    /// Sets the worker CPU placement policy (see [`Affinity`]). The default
+    /// is [`Affinity::None`]; pinning lets the `scaling` experiment
+    /// separate scheduler cost from cache/NUMA placement. Pins that the
+    /// platform cannot honour degrade to running unpinned.
+    #[must_use]
+    pub fn affinity(mut self, affinity: Affinity) -> Self {
+        self.affinity = affinity;
+        self
+    }
+
+    /// Toggles release aggregation (default `true`). When on, a worker
+    /// flushes all successors released by one finish cycle — the executed
+    /// task plus its producer-completed deferred waiters — as **one**
+    /// ready-queue packet: one bulk push, one batched sleeper wakeup, one
+    /// outstanding-counter decrement. `false` restores the pre-aggregation
+    /// behaviour (one push and wakeup per task) and exists as the
+    /// measurable baseline for the release-path benchmarks.
+    #[must_use]
+    pub fn aggregated_releases(mut self, aggregated: bool) -> Self {
+        self.aggregated_releases = aggregated;
+        self
     }
 
     /// Bounds the number of live (submitted but unfinished) tasks. A
@@ -151,6 +220,9 @@ impl RuntimeBuilder {
             workers: self.workers,
             obs: self.observability,
             max_live_tasks: self.max_live_tasks,
+            affinity: self.affinity,
+            aggregated_releases: self.aggregated_releases,
+            pinned_workers: AtomicUsize::new(0),
         });
         let handles = (0..self.workers)
             .map(|worker| {
@@ -186,6 +258,13 @@ struct Inner {
     /// Admission window: cap on `outstanding` enforced at submission (see
     /// [`RuntimeBuilder::max_live_tasks`]). `None` admits unconditionally.
     max_live_tasks: Option<u64>,
+    /// Worker CPU placement policy (see [`RuntimeBuilder::affinity`]).
+    affinity: Affinity,
+    /// Whether finish cycles flush releases as one packet (see
+    /// [`RuntimeBuilder::aggregated_releases`]).
+    aggregated_releases: bool,
+    /// How many worker threads successfully pinned themselves at startup.
+    pinned_workers: AtomicUsize,
 }
 
 impl Inner {
@@ -199,34 +278,88 @@ impl Inner {
         }
     }
 
-    /// Completes the task whose node the worker already holds: releases its
-    /// successors into the finishing `worker`'s queue and retires it from
-    /// the outstanding count. No global lock and no node lookup on this
-    /// path (in stealing mode).
-    fn finish_node(&self, worker: usize, node: &crate::dependence::TaskNode) {
-        let newly_ready = self.graph.finish_node(node);
-        self.retire(worker, &newly_ready);
-        // Completion hook last: by the time it runs, successors are released
-        // and the outstanding count reflects this task as finished, so a
-        // notify that signals "request done" observes a settled runtime.
-        if let Some(notify) = &node.desc().notify {
-            notify.task_finished(worker, node.id());
+    /// Completes one finish cycle: the task the worker just executed plus
+    /// every deferred task whose completion that execution produced.
+    ///
+    /// All successors released by the whole cycle accumulate in `packet`
+    /// (the worker's reusable scratch) and — under aggregation — flush as
+    /// **one** ready-queue push with one batched sleeper wakeup, followed by
+    /// **one** `outstanding` decrement covering every completed task. With
+    /// [`RuntimeBuilder::aggregated_releases`]`(false)` each task instead
+    /// pushes its own successors and decrements individually, reproducing
+    /// the pre-aggregation release path as a measurable baseline.
+    ///
+    /// Completion hooks run last, after the publish and the decrement, so a
+    /// notify that signals "request done" observes a settled runtime.
+    fn finish_cycle(
+        &self,
+        worker: usize,
+        executed: &Arc<TaskNode>,
+        completed_deferred: &[TaskId],
+        packet: &mut Vec<TaskId>,
+        deferred_nodes: &mut Vec<Arc<TaskNode>>,
+    ) {
+        packet.clear();
+        deferred_nodes.clear();
+        let cycle_start = self.obs_on().map(|_| self.tracer.now_ns());
+
+        self.graph.finish_node_into(executed, packet);
+        if !self.aggregated_releases {
+            self.queue.push_from(worker, packet);
+            packet.clear();
+            self.decrement_outstanding(1);
+        }
+        for &id in completed_deferred {
+            // Deferred tasks finish on their producer's worker; the worker
+            // does not hold their node, so look it up (and read the
+            // submission stamp) before retiring it.
+            let node = self.graph.node(id);
+            if let Some(obs) = self.obs_on() {
+                let finished = self.tracer.now_ns();
+                obs.record_latency(
+                    LatencyMetric::TaskLatency,
+                    worker,
+                    finished.saturating_sub(node.desc().submitted_at_ns),
+                );
+            }
+            self.graph.finish_node_into(&node, packet);
+            if !self.aggregated_releases {
+                self.queue.push_from(worker, packet);
+                packet.clear();
+                self.decrement_outstanding(1);
+            }
+            deferred_nodes.push(node);
+        }
+        if self.aggregated_releases {
+            self.queue.push_from(worker, packet);
+            self.decrement_outstanding(1 + completed_deferred.len() as u64);
+        }
+
+        if let Some(notify) = &executed.desc().notify {
+            notify.task_finished(worker, executed.id());
+        }
+        for node in deferred_nodes.iter() {
+            if let Some(notify) = &node.desc().notify {
+                notify.task_finished(worker, node.id());
+            }
+        }
+        if let Some(obs) = self.obs_on() {
+            let start = cycle_start.unwrap_or(0);
+            obs.record_latency(
+                LatencyMetric::Release,
+                worker,
+                self.tracer.now_ns().saturating_sub(start),
+            );
         }
     }
 
-    /// Completes a task by id (deferred tasks completed by their producer,
-    /// whose node the worker does not hold). Looks the node up first so the
-    /// deferred path reaches the completion hook too.
-    fn finish_task(&self, worker: usize, id: TaskId) {
-        let node = self.graph.node(id);
-        self.finish_node(worker, &node);
-    }
-
-    fn retire(&self, worker: usize, newly_ready: &[TaskId]) {
-        self.queue.push_from(worker, newly_ready);
-        let prev = self.outstanding.fetch_sub(1, Ordering::SeqCst);
-        debug_assert!(prev > 0, "finishing a task with no outstanding work");
-        if prev == 1 {
+    fn decrement_outstanding(&self, finished: u64) {
+        let prev = self.outstanding.fetch_sub(finished, Ordering::SeqCst);
+        debug_assert!(
+            prev >= finished,
+            "finishing {finished} tasks with only {prev} outstanding"
+        );
+        if prev == finished {
             // Serialise with a blocked taskwait: the waiter re-checks the
             // counter under `done_lock` before sleeping, so taking the lock
             // here guarantees the notify cannot be lost.
@@ -242,6 +375,18 @@ impl Inner {
 
 fn worker_loop(inner: &Arc<Inner>, worker: usize) {
     let stats = inner.stats.shard(worker);
+    // Pin before touching any work so the thread's cache working set builds
+    // on its final core. A failed pin is benign: the worker runs unpinned.
+    if let Some(cpu) = inner.affinity.cpu_for(worker) {
+        if atm_affinity::pin_current_thread(cpu).is_ok() {
+            inner.pinned_workers.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    // Reusable release scratch: successors released by a finish cycle and
+    // the nodes of producer-completed deferred tasks accumulate here, so
+    // the steady-state finish path allocates nothing.
+    let mut packet: Vec<TaskId> = Vec::new();
+    let mut deferred_nodes: Vec<Arc<TaskNode>> = Vec::new();
     loop {
         let idle_start = inner.tracer.now_ns();
         let popped = inner.queue.pop(worker);
@@ -314,28 +459,19 @@ fn worker_loop(inner: &Arc<Inner>, worker: usize) {
             );
             obs.record_span(TaskSpan {
                 worker,
-                task_id: id.index() as u64,
+                task_id: id.raw(),
                 task_type: desc.task_type.index() as u32,
                 start_ns: picked_up,
                 end_ns: finished,
             });
         }
-        inner.finish_node(worker, &node);
-        for deferred in completed_deferred {
-            // Deferred tasks finish on their producer's worker; read the
-            // submission stamp before the node retires.
-            if let Some(obs) = inner.obs_on() {
-                if let Some(node) = inner.graph.try_node(deferred) {
-                    let finished = inner.tracer.now_ns();
-                    obs.record_latency(
-                        LatencyMetric::TaskLatency,
-                        worker,
-                        finished.saturating_sub(node.desc().submitted_at_ns),
-                    );
-                }
-            }
-            inner.finish_task(worker, deferred);
-        }
+        inner.finish_cycle(
+            worker,
+            &node,
+            &completed_deferred,
+            &mut packet,
+            &mut deferred_nodes,
+        );
     }
 }
 
@@ -366,6 +502,16 @@ impl Runtime {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.inner.workers
+    }
+
+    /// How many workers successfully pinned themselves to a CPU under the
+    /// configured [`Affinity`] policy. Zero under [`Affinity::None`] or on
+    /// platforms without pinning support; a worker whose pin fails is not
+    /// counted but keeps running unpinned. Workers pin during startup, so
+    /// the count is settled once every worker has popped its first task —
+    /// in practice, read it after a [`Runtime::taskwait`].
+    pub fn pinned_workers(&self) -> usize {
+        self.inner.pinned_workers.load(Ordering::SeqCst)
     }
 
     /// The Ready Queue discipline this runtime was built with.
@@ -858,6 +1004,105 @@ mod tests {
         rt.shutdown();
     }
 
+    /// The unaggregated release path (one push and one decrement per task)
+    /// is kept as the measurable baseline for the aggregation benchmarks —
+    /// it must stay correct, including under fan-out (one writer releasing
+    /// many readers at once) and deferred completions' multi-task cycles.
+    #[test]
+    fn unaggregated_release_mode_computes_the_same_results() {
+        let rt = RuntimeBuilder::new()
+            .workers(4)
+            .aggregated_releases(false)
+            .build();
+        let src = rt.store().register_zeros::<f64>("src", 1).unwrap();
+        let outs: Vec<Region<f64>> = (0..16)
+            .map(|i| rt.store().register_zeros(format!("o{i}"), 1).unwrap())
+            .collect();
+        let produce = rt.register_task_type(
+            TaskTypeBuilder::new("produce", |ctx| ctx.out(0, &[21.0f64]))
+                .out::<f64>()
+                .build(),
+        );
+        let double = rt.register_task_type(
+            TaskTypeBuilder::new("double", |ctx| {
+                let x = ctx.arg::<f64>(0)[0];
+                ctx.out(1, &[x * 2.0]);
+            })
+            .arg::<f64>()
+            .out::<f64>()
+            .build(),
+        );
+        for _wave in 0..8 {
+            rt.task(produce).writes(&src).submit().unwrap();
+            for out in &outs {
+                rt.task(double).reads(&src).writes(out).submit().unwrap();
+            }
+        }
+        rt.taskwait();
+        for out in &outs {
+            assert_eq!(rt.store().read(*out).lock().as_f64(), &[42.0]);
+        }
+        assert_eq!(rt.stats().executed, 8 * 17);
+        rt.shutdown();
+    }
+
+    /// Round-robin affinity pins workers on supported platforms and
+    /// degrades to a no-op (not an error) everywhere else; either way the
+    /// runtime computes the same results.
+    #[test]
+    fn affinity_pins_workers_where_the_platform_allows() {
+        // Probe from a scratch thread so the test thread stays unpinned:
+        // CPU 0 may be outside this process's cpuset even on Linux.
+        let cpu0_pinnable = std::thread::spawn(|| atm_affinity::pin_current_thread(0).is_ok())
+            .join()
+            .unwrap();
+        let rt = RuntimeBuilder::new()
+            .workers(2)
+            .affinity(Affinity::RoundRobin)
+            .build();
+        let acc = rt.store().register_zeros::<f64>("acc", 1).unwrap();
+        let add_one = rt.register_task_type(
+            TaskTypeBuilder::new("add", |ctx| {
+                let v = ctx.arg::<f64>(0)[0];
+                ctx.out(0, &[v + 1.0]);
+            })
+            .inout::<f64>()
+            .build(),
+        );
+        for _ in 0..32 {
+            rt.task(add_one).reads_writes(&acc).submit().unwrap();
+        }
+        rt.taskwait();
+        assert_eq!(rt.store().read(acc).lock().as_f64(), &[32.0]);
+        let pinned = rt.pinned_workers();
+        assert!(pinned <= 2, "at most one pin per worker, got {pinned}");
+        if cpu0_pinnable {
+            // Worker 0 pins CPU 0 under round-robin, which the probe just
+            // proved pinnable from this process.
+            assert!(pinned >= 1, "CPU 0 is pinnable but no worker pinned");
+        }
+        rt.shutdown();
+    }
+
+    /// `Affinity::None` (the default) and an empty explicit CPU list must
+    /// not pin anything.
+    #[test]
+    fn default_affinity_pins_nothing() {
+        for affinity in [Affinity::None, Affinity::Explicit(vec![])] {
+            let rt = RuntimeBuilder::new().workers(2).affinity(affinity).build();
+            let r = rt.store().register_zeros::<f32>("r", 1).unwrap();
+            let tt = rt.register_task_type(
+                TaskTypeBuilder::new("fill", |ctx| ctx.out(0, &[1.0f32]))
+                    .out::<f32>()
+                    .build(),
+            );
+            rt.task(tt).writes(&r).submit().unwrap();
+            rt.taskwait();
+            assert_eq!(rt.pinned_workers(), 0);
+            rt.shutdown();
+        }
+    }
+
     #[test]
     fn stats_and_tracer_capture_execution() {
         let rt = RuntimeBuilder::new().workers(1).tracing(true).build();
@@ -1161,7 +1406,8 @@ mod tests {
             }
             let ids = batch.submit_all().unwrap();
             assert_eq!(ids.len(), 40);
-            assert!(ids.windows(2).all(|w| w[1].index() == w[0].index() + 1));
+            let distinct: std::collections::BTreeSet<_> = ids.iter().map(|id| id.raw()).collect();
+            assert_eq!(distinct.len(), 40, "batch ids must be distinct");
             rt.taskwait();
             assert_eq!(rt.store().read(acc).lock().as_f64(), &[40.0], "{mode:?}");
             let stats = rt.stats();

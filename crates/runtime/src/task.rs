@@ -40,21 +40,77 @@ impl TaskTypeId {
 
 /// Identifier of a submitted task instance.
 ///
-/// Ids are assigned in submission order, which is exactly the "task id"
-/// (task-creation order) used on the x axis of Figure 9.
+/// The `u64` is a **generational slot id**, packed as
+/// `(generation << 36) | (slot << 4) | shard`:
+///
+/// * bits `[0, 4)` — the node-slab **shard** the task's node lives in;
+/// * bits `[4, 36)` — the **slot index** inside that shard;
+/// * bits `[36, 64)` — the slot's **generation** at insertion time.
+///
+/// Looking a task up is therefore a bounds check plus a generation compare
+/// — no hash probe. When a node retires its slot is recycled with a bumped
+/// generation, so a stale id of a retired task fails the generation compare
+/// and resolves as "gone = finished" instead of aliasing the slot's new
+/// occupant (no ABA). Ids are *dense in neither value nor order*: treat
+/// them as opaque unique keys (the creation-order rank of Figure 9 comes
+/// from the runtime's own sequence counter, not from the id bits).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TaskId(pub(crate) u64);
 
 impl TaskId {
-    /// Raw creation-order index of the task.
-    pub fn index(self) -> usize {
-        self.0 as usize
+    /// Bits devoted to the node-slab shard (low bits).
+    pub(crate) const SHARD_BITS: u32 = 4;
+    /// Bits devoted to the slot index within a shard.
+    pub(crate) const SLOT_BITS: u32 = 32;
+    /// Bits devoted to the slot generation (high bits).
+    pub(crate) const GEN_BITS: u32 = 64 - Self::SHARD_BITS - Self::SLOT_BITS;
+    /// Number of node-slab shards addressable by the shard field. Public
+    /// because tests and diagnostics need to know how many consecutive
+    /// submissions revisit the same shard (submissions rotate round-robin).
+    pub const SHARD_COUNT: usize = 1 << Self::SHARD_BITS;
+    /// Crate-internal alias for [`TaskId::SHARD_COUNT`].
+    pub(crate) const SHARDS: usize = Self::SHARD_COUNT;
+    /// Wrap-around mask for slot generations.
+    pub(crate) const GEN_MASK: u32 = (1 << Self::GEN_BITS) - 1;
+
+    /// Packs a (shard, slot, generation) triple into an id.
+    pub(crate) fn pack(shard: usize, slot: u32, generation: u32) -> TaskId {
+        debug_assert!(shard < Self::SHARDS, "shard {shard} out of range");
+        debug_assert_eq!(generation & !Self::GEN_MASK, 0, "generation overflow");
+        TaskId(
+            ((generation as u64) << (Self::SHARD_BITS + Self::SLOT_BITS))
+                | ((slot as u64) << Self::SHARD_BITS)
+                | shard as u64,
+        )
     }
 
-    /// Builds a task id from a raw creation-order index. Intended for tests
-    /// and tooling.
-    pub fn from_raw(index: u64) -> Self {
-        TaskId(index)
+    /// The node-slab shard the task's node lives in.
+    pub(crate) fn shard(self) -> usize {
+        (self.0 & (Self::SHARDS as u64 - 1)) as usize
+    }
+
+    /// The slot index inside the shard.
+    pub(crate) fn slot(self) -> u32 {
+        (self.0 >> Self::SHARD_BITS) as u32
+    }
+
+    /// The slot generation the id was minted against.
+    pub(crate) fn generation(self) -> u32 {
+        (self.0 >> (Self::SHARD_BITS + Self::SLOT_BITS)) as u32
+    }
+
+    /// The raw packed id. A stable, process-unique join key (trace spans,
+    /// decision-log records, persisted reuse events) — **not** a dense
+    /// creation-order index; see the type docs for the bit layout.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a task id from its raw packed value (the inverse of
+    /// [`TaskId::raw`]). Intended for tests and tooling; ids obtained this
+    /// way are only meaningful against the runtime that assigned them.
+    pub fn from_raw(raw: u64) -> Self {
+        TaskId(raw)
     }
 }
 
@@ -411,7 +467,7 @@ impl TaskDesc {
 /// Read-only view of a task handed to interceptors (the ATM engine).
 #[derive(Clone, Copy)]
 pub struct TaskView<'a> {
-    /// The task instance id (creation order).
+    /// The task instance id (an opaque generational slot id).
     pub id: TaskId,
     /// The task type id.
     pub type_id: TaskTypeId,
@@ -696,6 +752,28 @@ mod tests {
         let _ = TaskTypeBuilder::new("t", |_| {})
             .variadic::<f32>(0)
             .arg::<f32>();
+    }
+
+    #[test]
+    fn task_id_packs_shard_slot_and_generation() {
+        let id = TaskId::pack(13, 0xDEAD_BEEF, 0x00AB_CDEF);
+        assert_eq!(id.shard(), 13);
+        assert_eq!(id.slot(), 0xDEAD_BEEF);
+        assert_eq!(id.generation(), 0x00AB_CDEF);
+        assert_eq!(TaskId::from_raw(id.raw()), id);
+        // The fields are disjoint: bumping the generation of the same slot
+        // yields a different id (this is what defeats ABA on slot reuse).
+        let stale = TaskId::pack(13, 0xDEAD_BEEF, 0x00AB_CDEE);
+        assert_ne!(stale, id);
+        assert_eq!(stale.shard(), id.shard());
+        assert_eq!(stale.slot(), id.slot());
+        // Generations wrap within their 28-bit field instead of bleeding
+        // into the slot bits.
+        let wrapped = (TaskId::GEN_MASK + 1) & TaskId::GEN_MASK;
+        assert_eq!(wrapped, 0);
+        let max_gen = TaskId::pack(0, 7, TaskId::GEN_MASK);
+        assert_eq!(max_gen.generation(), TaskId::GEN_MASK);
+        assert_eq!(max_gen.slot(), 7);
     }
 
     #[test]

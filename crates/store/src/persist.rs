@@ -232,7 +232,7 @@ fn write_snapshot<W: std::io::Write>(
         w.write_all(&(entry.key.task_type.index() as u32).to_le_bytes())?;
         w.write_all(&entry.key.hash.to_le_bytes())?;
         w.write_all(&entry.key.p_bits.to_le_bytes())?;
-        w.write_all(&(entry.producer.index() as u64).to_le_bytes())?;
+        w.write_all(&(entry.producer.raw()).to_le_bytes())?;
         w.write_all(&entry.benefit_ns.to_le_bytes())?;
         w.write_all(&(entry.outputs.len() as u32).to_le_bytes())?;
         for snapshot in entry.outputs.iter() {

@@ -342,7 +342,7 @@ impl MemoStore {
             shard,
             DecisionRecord {
                 task_type: key.task_type.index() as u32,
-                task_id: producer.index() as u64,
+                task_id: producer.raw(),
                 decision: MemoDecision::Eviction,
                 metric_value: bytes as f64,
                 tau: 0.0,
@@ -445,7 +445,7 @@ impl MemoStore {
                         shard,
                         DecisionRecord {
                             task_type: key.task_type.index() as u32,
-                            task_id: producer.index() as u64,
+                            task_id: producer.raw(),
                             decision: MemoDecision::AdmissionDenied,
                             metric_value: charged as f64,
                             tau: 0.0,

@@ -20,5 +20,7 @@
 mod event_reset;
 mod ikt_regression;
 mod release;
+mod release_packet;
 mod retirement;
 mod sleepers;
+mod slot_reuse;

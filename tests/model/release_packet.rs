@@ -1,0 +1,284 @@
+//! Protocol 5 — packeted release flush (the PR-9 aggregation).
+//!
+//! A finish cycle no longer publishes released successors one at a time:
+//! the worker accumulates every task the cycle readies into a packet and
+//! flushes once — count `pending` for the whole packet, land the tasks,
+//! claim up to packet-size sleepers off the stack and signal each, then
+//! retire the whole cycle from `outstanding` with a single decrement. The
+//! ordering teeth: the tasks must be *countable and visible before* any
+//! sleeper is claimed, because claiming spends the one-per-task wakeup
+//! budget; and the `outstanding` decrement must cover exactly the tasks
+//! the cycle finished, or a blocked taskwait returns early / never.
+//!
+//! The positive model runs one packeted flush against two looping
+//! consumers and a taskwait, asserting every released task is consumed
+//! exactly once and the waiter terminates, across bounded-exhaustive and
+//! seeded-random exploration. The negative model reorders the flush —
+//! wakeup first, tasks after — and the checker must find the schedule
+//! where the woken worker finds nothing, re-parks before the tasks land,
+//! and sleeps forever on a non-empty queue: the classic lost wakeup the
+//! flush ordering exists to prevent.
+
+use atm_sync::atomic::Ordering;
+use atm_sync::check::sync::{AtomicBool, AtomicUsize, Event, Mutex};
+use atm_sync::check::{thread, Checker, FailureKind};
+use std::sync::Arc;
+
+const WORKERS: usize = 2;
+/// Successors released by the one modelled finish cycle.
+const PACKET: usize = 3;
+
+struct PacketRuntime {
+    tasks: Mutex<Vec<u32>>,
+    pending: AtomicUsize,
+    closed: AtomicBool,
+    sleepers: Mutex<Vec<usize>>,
+    parker: [Event; WORKERS],
+    /// Submitted-but-unfinished count: the producer plus its successors.
+    outstanding: AtomicUsize,
+    done_lock: Mutex<()>,
+    done: Event,
+    /// Per-task consumption counts (exactly-once is the property).
+    consumed: Mutex<[u32; PACKET]>,
+}
+
+impl PacketRuntime {
+    fn new() -> Self {
+        PacketRuntime {
+            tasks: Mutex::new(Vec::new()),
+            pending: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            sleepers: Mutex::new(Vec::new()),
+            parker: [Event::new(), Event::new()],
+            // The producer task itself plus the successors it will release.
+            outstanding: AtomicUsize::new(1 + PACKET),
+            done_lock: Mutex::new(()),
+            done: Event::new(),
+            consumed: Mutex::new([0; PACKET]),
+        }
+    }
+
+    /// The shipped flush: count, land, wake (≤ packet-size claims), retire
+    /// the producer. `reordered` spends the wakeup budget *before* the
+    /// tasks are countable — the seeded bug.
+    fn flush_packet(&self, reordered: bool) {
+        if reordered {
+            self.wake(PACKET);
+            self.land();
+        } else {
+            self.land();
+            self.wake(PACKET);
+        }
+        // One decrement for the producer; the successors retire themselves
+        // as the consumers finish them.
+        self.retire(1);
+    }
+
+    fn land(&self) {
+        // Count and land under one lock: a consumer that observes the
+        // count can always pop the tasks once it takes the lock. (The real
+        // queue gets the same guarantee from its consumers' retry loop;
+        // the scripted negative model below has no loop to lean on.)
+        let mut tasks = self.tasks.lock();
+        self.pending.fetch_add(PACKET, Ordering::SeqCst);
+        for t in 0..PACKET as u32 {
+            tasks.push(t);
+        }
+    }
+
+    /// Batched wakeup: one claim per pushed task, stop when the stack runs
+    /// dry. A claimed sleeper is off the stack and *must* be signalled.
+    fn wake(&self, budget: usize) {
+        for _ in 0..budget {
+            let claimed = self.sleepers.lock().pop();
+            match claimed {
+                Some(w) => self.parker[w].signal(),
+                None => break,
+            }
+        }
+    }
+
+    /// Retires `n` finished tasks from `outstanding`; the final decrement
+    /// owns the taskwait wakeup (signalled under the lock the waiter
+    /// re-checks under, so it cannot be lost).
+    fn retire(&self, n: usize) {
+        let prev = self.outstanding.fetch_sub(n, Ordering::SeqCst);
+        assert!(prev >= n, "retired more tasks than outstanding");
+        if prev == n {
+            let _guard = self.done_lock.lock();
+            self.done.signal();
+        }
+    }
+
+    /// Consumer loop: pop, "execute", retire; park between, exit on close.
+    fn work(&self, me: usize) {
+        loop {
+            let popped = self.tasks.lock().pop();
+            if let Some(t) = popped {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                self.consumed.lock()[t as usize] += 1;
+                self.retire(1);
+                continue;
+            }
+            if self.closed.load(Ordering::SeqCst) && self.pending.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            // Announce the park (protocol 2's reset-then-publish), re-check,
+            // then wait on the sticky event.
+            {
+                let mut stack = self.sleepers.lock();
+                self.parker[me].reset();
+                stack.push(me);
+            }
+            if self.pending.load(Ordering::SeqCst) > 0 || self.closed.load(Ordering::SeqCst) {
+                let mut stack = self.sleepers.lock();
+                if let Some(at) = stack.iter().position(|&w| w == me) {
+                    stack.remove(at);
+                    drop(stack);
+                    thread::yield_now();
+                    continue;
+                }
+            }
+            self.parker[me].wait();
+        }
+    }
+}
+
+/// One finish cycle flushes a packet of `PACKET` successors at two looping
+/// consumers while the master blocks in taskwait; every schedule must end
+/// with each successor consumed exactly once and the waiter released.
+fn packet_model(reordered: bool) {
+    let rt = Arc::new(PacketRuntime::new());
+    let handles: Vec<_> = (0..WORKERS)
+        .map(|me| {
+            let rt = Arc::clone(&rt);
+            thread::spawn(move || rt.work(me))
+        })
+        .collect();
+    rt.flush_packet(reordered);
+    // Taskwait: the producer and all its successors must retire.
+    rt.done.wait();
+    assert_eq!(rt.outstanding.load(Ordering::SeqCst), 0);
+    // Shutdown: wake whoever is parked so the workers can exit.
+    rt.closed.store(true, Ordering::SeqCst);
+    let stranded = std::mem::take(&mut *rt.sleepers.lock());
+    for w in stranded {
+        rt.parker[w].signal();
+    }
+    for h in handles {
+        h.join();
+    }
+    let consumed = rt.consumed.lock();
+    assert_eq!(
+        *consumed, [1; PACKET],
+        "every task in the packet is consumed exactly once"
+    );
+    assert_eq!(rt.pending.load(Ordering::SeqCst), 0);
+}
+
+#[test]
+fn packeted_flush_is_exactly_once_under_bounded_exhaustive_search() {
+    let report = Checker::exhaustive()
+        .max_schedules(5_000)
+        .check(|| packet_model(false));
+    report.assert_passed();
+    assert!(report.schedules > 100, "expected a real exploration");
+}
+
+#[test]
+fn packeted_flush_survives_randomized_exploration() {
+    let report = Checker::random(0x9ACC_E77E, 300).check(|| packet_model(false));
+    report.assert_passed();
+}
+
+/// Drains and retires everything currently in the queue; returns how many
+/// tasks were consumed.
+fn drain_all(rt: &PacketRuntime) -> usize {
+    let mut drained = 0;
+    loop {
+        let popped = rt.tasks.lock().pop();
+        match popped {
+            Some(t) => {
+                rt.pending.fetch_sub(1, Ordering::SeqCst);
+                rt.consumed.lock()[t as usize] += 1;
+                rt.retire(1);
+                drained += 1;
+            }
+            None => return drained,
+        }
+    }
+}
+
+/// One scripted park round (announce, re-check, possibly withdraw-and-
+/// drain). Returns `true` when the worker drained work and is done,
+/// `false` when it should fall through to `wait`.
+fn scripted_park(rt: &PacketRuntime, me: usize) -> bool {
+    {
+        let mut stack = rt.sleepers.lock();
+        rt.parker[me].reset();
+        stack.push(me);
+    }
+    if rt.pending.load(Ordering::SeqCst) > 0 {
+        let mut stack = rt.sleepers.lock();
+        if let Some(at) = stack.iter().position(|&w| w == me) {
+            // Not claimed yet: withdraw and consume directly.
+            stack.remove(at);
+            drop(stack);
+            drain_all(rt);
+            return true;
+        }
+        // Already claimed: the signal is in flight (sticky), falling
+        // through to the wait cannot lose it.
+    }
+    false
+}
+
+/// The negative, scripted small enough to explore exhaustively: a single
+/// consumer against a flush whose wakeup runs *before* the tasks land. The
+/// bug window: the claimed worker wakes, finds nothing, re-parks — and the
+/// budget is already spent when the tasks finally land.
+fn reordered_flush_model() {
+    let rt = Arc::new(PacketRuntime::new());
+    let rt2 = Arc::clone(&rt);
+    let worker = thread::spawn(move || {
+        // Round 1: park; if woken, consume whatever landed.
+        if scripted_park(&rt2, 0) {
+            return;
+        }
+        rt2.parker[0].wait();
+        if drain_all(&rt2) > 0 {
+            return;
+        }
+        // Round 2: woken to an empty queue — park again. With the correct
+        // flush order this cannot happen; with the reordered flush this
+        // wait can be the one nobody ever signals.
+        if scripted_park(&rt2, 0) {
+            return;
+        }
+        rt2.parker[0].wait();
+        drain_all(&rt2);
+    });
+    rt.flush_packet(true);
+    rt.done.wait();
+    worker.join();
+    assert_eq!(*rt.consumed.lock(), [1; PACKET]);
+}
+
+#[test]
+fn waking_before_the_tasks_land_is_a_lost_wakeup() {
+    // Budget spent on a sleeper that re-parks before the tasks become
+    // visible: the queue ends non-empty with the consumer asleep and the
+    // taskwait blocked — a deadlock the checker must find and replay.
+    let report = Checker::exhaustive()
+        .max_schedules(100_000)
+        .check(reordered_flush_model);
+    assert_eq!(
+        report.failure_kind(),
+        Some(FailureKind::Deadlock),
+        "expected the lost-wakeup deadlock, got {:?}",
+        report.failure
+    );
+    let failure = report.failure.unwrap();
+    let replayed = Checker::exhaustive().replay(reordered_flush_model, &failure.schedule);
+    assert_eq!(replayed.failure_kind(), Some(FailureKind::Deadlock));
+}

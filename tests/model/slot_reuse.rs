@@ -1,0 +1,120 @@
+//! Regression — slot recycling and the ABA a stale `TaskId` could cause.
+//!
+//! PR 9 re-keyed the dependence graph: a `TaskId` packs shard, slot and a
+//! 28-bit generation, and a retired node's slot is recycled with its
+//! generation bumped. The invariant under test: an id minted for one
+//! occupant must **never** resolve to a later occupant of the same slot —
+//! a stale lookup fails the generation compare and reads as "gone =
+//! finished", the same answer a retired dense id gave before the rewrite.
+//!
+//! These tests drive the *real* `TaskGraph` (not a replica), recycling
+//! slots through several generations. The sequential regression churns a
+//! slot well past three generations and re-probes every retired id after
+//! every round; the checker model races a stale reader against the
+//! submissions that re-occupy its slot, so under `--cfg atm_check` the
+//! interleaving of the slab's own lock and generation ops is explored op
+//! by op.
+
+use atm_runtime::dependence::{NodeState, TaskGraph};
+use atm_runtime::{Access, DataStore, TaskDesc, TaskId, TaskTypeId};
+use atm_sync::check::{thread, Checker};
+use std::sync::Arc;
+
+fn submit_one(graph: &TaskGraph, store: &DataStore) -> TaskId {
+    let region = store.register_zeros::<f32>("r", 1).unwrap();
+    let (id, ready) = graph.submit(TaskDesc::new(
+        TaskTypeId::from_raw(0),
+        vec![Access::write(&region)],
+    ));
+    assert!(ready);
+    store.deregister(region).unwrap();
+    id
+}
+
+/// Sequential regression: 64 submit/finish rounds cycle every shard's
+/// slot 0 through four generations. After every round, every retired id
+/// must still read as finished and no freshly minted id may collide with
+/// a retired one.
+#[test]
+fn stale_ids_survive_three_plus_generations_of_slot_reuse() {
+    let store = DataStore::new();
+    let graph = TaskGraph::new();
+    let mut retired: Vec<TaskId> = Vec::new();
+    for round in 0..64 {
+        let id = submit_one(&graph, &store);
+        assert!(
+            retired.iter().all(|r| r.raw() != id.raw()),
+            "round {round}: a recycled slot re-minted a retired id ({id})"
+        );
+        graph.mark_running(id);
+        graph.finish(id);
+        retired.push(id);
+        for &stale in &retired {
+            assert!(
+                graph.try_node(stale).is_none(),
+                "round {round}: stale id {stale} resolved to a node"
+            );
+            assert_eq!(graph.state(stale), NodeState::Finished);
+        }
+        // One task in flight at a time: the slab recycles instead of
+        // growing, so the graph never holds more than that one node.
+        assert!(graph.live_nodes() <= 1);
+    }
+    assert_eq!(graph.retired_count(), 64);
+}
+
+/// The checker model: a reader holding a stale id probes the graph while
+/// another thread's submissions re-occupy (and re-retire) the stale id's
+/// slot. In every interleaving the stale id must read as finished — never
+/// as the new occupant, never as a panic inside the slab.
+fn stale_probe_race() {
+    let store = DataStore::new();
+    let graph = Arc::new(TaskGraph::new());
+    // Retire one victim; its slot is now on the free list, its id stale.
+    let victim = submit_one(&graph, &store);
+    graph.mark_running(victim);
+    graph.finish(victim);
+
+    let g2 = Arc::clone(&graph);
+    let recycler = thread::spawn(move || {
+        let store = DataStore::new();
+        // Enough submissions to wrap the shard rotation and re-occupy the
+        // victim's slot (and retire it again, bumping the generation twice).
+        for _ in 0..2 {
+            let ids: Vec<TaskId> = (0..TaskId::SHARD_COUNT)
+                .map(|_| submit_one(&g2, &store))
+                .collect();
+            for id in ids {
+                g2.mark_running(id);
+                g2.finish(id);
+            }
+        }
+    });
+    let g3 = Arc::clone(&graph);
+    let reader = thread::spawn(move || {
+        for _ in 0..3 {
+            assert!(
+                g3.try_node(victim).is_none(),
+                "stale id {victim} aliased a recycled occupant"
+            );
+            assert_eq!(g3.state(victim), NodeState::Finished);
+            thread::yield_now();
+        }
+    });
+    recycler.join();
+    reader.join();
+}
+
+#[test]
+fn a_stale_reader_never_aliases_the_recycled_slot() {
+    let report = Checker::exhaustive()
+        .max_schedules(2_000)
+        .check(stale_probe_race);
+    report.assert_passed();
+}
+
+#[test]
+fn a_stale_reader_never_aliases_under_randomized_exploration() {
+    let report = Checker::random(0x51A1_E1D5, 200).check(stale_probe_race);
+    report.assert_passed();
+}
