@@ -5,9 +5,15 @@
 use crate::measure::{geomean, EvalContext};
 use crate::report::Report;
 use atm_apps::{AppId, RunOptions, Scale};
-use atm_core::{AtmConfig, AtmEngine, MemoSpec, PolicyKind, StoreCountersSnapshot, ThtConfig};
+use atm_core::{
+    AtmConfig, AtmEngine, EntryKey, MemoSpec, MemoStore, OutputSnapshot, PolicyKind, StoreConfig,
+    StoreCountersSnapshot, ThtConfig,
+};
 use atm_obs::{LatencyMetric, MemoDecision, MetricsSnapshot, Observability};
-use atm_runtime::{Affinity, QueueMode, Region, RuntimeBuilder, TaskTypeBuilder, ThreadState};
+use atm_runtime::{
+    Affinity, QueueMode, Region, RegionData, RegionId, RuntimeBuilder, TaskId, TaskTypeBuilder,
+    TaskTypeId, ThreadState,
+};
 use atm_serve::{ServeConfig, ServeEngine, ServeError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -56,11 +62,15 @@ pub enum Experiment {
     /// sweep over multi-tenant sessions, reporting request p50/p99 latency
     /// and the admission-controlled saturation throughput.
     Serve,
+    /// Memo-path read microbenchmark: a multi-reader hit-storm on the memo
+    /// store, A/B-ing the lock-free seqlock read path against the
+    /// mutex-guarded baseline (`StoreConfig::locked_reads`).
+    Memopath,
 }
 
 impl Experiment {
     /// All experiments, in the order `atm-eval all` runs them.
-    pub const ALL: [Experiment; 17] = [
+    pub const ALL: [Experiment; 18] = [
         Experiment::Table1,
         Experiment::Table2,
         Experiment::Table3,
@@ -78,6 +88,7 @@ impl Experiment {
         Experiment::Scaling,
         Experiment::Creation,
         Experiment::Serve,
+        Experiment::Memopath,
     ];
 
     /// Command-line name.
@@ -100,6 +111,7 @@ impl Experiment {
             Experiment::Scaling => "scaling",
             Experiment::Creation => "creation",
             Experiment::Serve => "serve",
+            Experiment::Memopath => "memopath",
         }
     }
 
@@ -139,6 +151,9 @@ pub fn run_experiment(experiment: Experiment, ctx: &EvalContext) -> Report {
     let release = latency.get(LatencyMetric::Release);
     report.metric("release_p50_ns", release.p50() as f64);
     report.metric("release_p99_ns", release.p99() as f64);
+    let memo_lookup = latency.get(LatencyMetric::MemoLookup);
+    report.metric("memo_lookup_p50_ns", memo_lookup.p50() as f64);
+    report.metric("memo_lookup_p99_ns", memo_lookup.p99() as f64);
     report
 }
 
@@ -161,6 +176,7 @@ fn dispatch_experiment(experiment: Experiment, ctx: &EvalContext) -> Report {
         Experiment::Scaling => scaling(ctx),
         Experiment::Creation => creation(ctx),
         Experiment::Serve => serve(ctx),
+        Experiment::Memopath => memopath(ctx),
     }
 }
 
@@ -2280,6 +2296,142 @@ pub fn serve(ctx: &EvalContext) -> Report {
     report
 }
 
+struct MemopathRound {
+    lookups: u64,
+    hits: u64,
+    hits_per_sec: f64,
+}
+
+/// One timed hit-storm round for the memo-path experiment: `readers`
+/// threads hammer a 64-key hot set of a prefilled 2⁶ × 16 store for
+/// `duration`, timing every 64th lookup into `obs` (same sampling overhead
+/// in both modes, so the A/B stays fair). The hot set is never evicted, so
+/// every lookup hits and the rate isolates pure read-path cost.
+fn memopath_round(
+    locked_reads: bool,
+    readers: usize,
+    duration: Duration,
+    obs: Option<&Observability>,
+) -> MemopathRound {
+    const KEYS: usize = 512;
+    const HOT: usize = 64;
+    let mut config = StoreConfig::paper(6, 16);
+    config.locked_reads = locked_reads;
+    let store = MemoStore::new(config);
+    let keys: Vec<EntryKey> = (0..KEYS)
+        .map(|i| EntryKey::new(TaskTypeId::from_raw(0), i as u64, 1.0))
+        .collect();
+    for (i, key) in keys.iter().enumerate() {
+        let values = vec![i as f32; 16];
+        let outputs = Arc::new(vec![OutputSnapshot {
+            region: RegionId::from_raw(0),
+            elem_range: 0..values.len(),
+            data: RegionData::F32(values),
+        }]);
+        store.insert(*key, TaskId::from_raw(i as u64), outputs, 1_000);
+    }
+    let started = Instant::now();
+    let (lookups, hits) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..readers)
+            .map(|r| {
+                let store = &store;
+                let keys = &keys;
+                scope.spawn(move || {
+                    let mut lookups = 0u64;
+                    let mut hits = 0u64;
+                    // Stagger the readers across the hot set so they still
+                    // collide on the same buckets but not in lockstep.
+                    let mut i = r * (HOT / readers.max(1));
+                    while started.elapsed() < duration {
+                        for _ in 0..256 {
+                            let key = &keys[i % HOT];
+                            i += 1;
+                            let hit = if lookups & 63 == 0 {
+                                let probe = Instant::now();
+                                let hit = store.lookup(key).is_some();
+                                let ns = probe.elapsed().as_nanos() as u64;
+                                if let Some(obs) = obs {
+                                    obs.record_latency(LatencyMetric::MemoLookup, r, ns);
+                                }
+                                hit
+                            } else {
+                                store.lookup(key).is_some()
+                            };
+                            lookups += 1;
+                            hits += u64::from(hit);
+                        }
+                    }
+                    (lookups, hits)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("reader thread"))
+            .fold((0u64, 0u64), |acc, (l, h)| (acc.0 + l, acc.1 + h))
+    });
+    let wall_seconds = started.elapsed().as_secs_f64();
+    MemopathRound {
+        lookups,
+        hits,
+        hits_per_sec: hits as f64 / wall_seconds.max(1e-9),
+    }
+}
+
+/// The memo-path experiment: a multi-reader hit-storm A/B-ing the seqlock
+/// read path against the mutex-guarded baseline on an otherwise identical
+/// store, reporting aggregate hit throughput per mode and their ratio.
+pub fn memopath(ctx: &EvalContext) -> Report {
+    let mut report = Report::new(
+        "memopath",
+        "Memo-path reads — seqlock set-associative lookups vs the locked-bucket baseline",
+        "mode,readers,lookups,hits,hits_per_sec",
+    );
+    let readers = ctx.workers.clamp(1, 4);
+    let duration = match ctx.scale {
+        Scale::Tiny => Duration::from_millis(80),
+        _ => Duration::from_millis(250),
+    };
+    report.linef(format_args!(
+        "{readers} reader threads on a 64-key hot set (2^6 buckets x 16 ways, 512 resident), {} ms per mode:",
+        duration.as_millis()
+    ));
+    let obs = Observability::enabled();
+    let mut rates = [0.0f64; 2];
+    for (slot, (mode, locked)) in [("seqlock", false), ("locked", true)]
+        .into_iter()
+        .enumerate()
+    {
+        let round = memopath_round(locked, readers, duration, Some(&obs));
+        assert_eq!(
+            round.hits, round.lookups,
+            "the hot set is never evicted, every lookup must hit"
+        );
+        report.linef(format_args!(
+            "  {mode:<8} {:>12.0} hits/s   ({} lookups)",
+            round.hits_per_sec, round.lookups
+        ));
+        report.row(format!(
+            "{mode},{readers},{},{},{:.1}",
+            round.lookups, round.hits, round.hits_per_sec
+        ));
+        report.metric(format!("{mode}_hits_per_sec"), round.hits_per_sec);
+        report.metric(format!("{mode}_lookups"), round.lookups as f64);
+        report.metric(format!("{mode}_hits"), round.hits as f64);
+        rates[slot] = round.hits_per_sec;
+    }
+    if rates[1] > 0.0 {
+        report.metric("seqlock_over_locked", rates[0] / rates[1]);
+    }
+    report.line("Both modes run the same store geometry and the same sampling schedule;");
+    report.line("the ratio isolates read-path cost — a version-validated atomic probe plus");
+    report.line("a hazard-protected Arc clone versus taking the bucket writer mutex on");
+    report.line("every read. The acceptance test (ignored, run isolated) requires the");
+    report.line("seqlock path to win at >= 4 hardware threads.");
+    ctx.absorb_latency(&obs.metrics());
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2923,6 +3075,76 @@ mod tests {
              >= {:.0} req/s with p99 < 50 ms and <= 2% shed; (achieved_rps, \
              p99_ns, rejected) per attempt: {attempts:?}",
             0.5 * offered
+        );
+    }
+
+    /// The memopath report carries both modes' throughput, a finite A/B
+    /// ratio, and the sampled lookup-latency percentiles every experiment
+    /// now publishes next to the release percentiles.
+    #[test]
+    fn memopath_report_has_both_modes_and_lookup_percentiles() {
+        let ctx = EvalContext::new(Scale::Tiny, 2);
+        let report = memopath(&ctx);
+        assert_eq!(report.csv_rows.len(), 2, "one row per mode");
+        let metric = |name: &str| -> f64 {
+            report
+                .metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("metric {name} missing"))
+                .1
+        };
+        assert!(metric("seqlock_hits_per_sec") > 0.0);
+        assert!(metric("locked_hits_per_sec") > 0.0);
+        assert!(metric("seqlock_hits") > 0.0);
+        assert!(metric("locked_hits") > 0.0);
+        let ratio = metric("seqlock_over_locked");
+        assert!(ratio.is_finite() && ratio > 0.0);
+        // The sampled probes feed the shared latency accumulator that
+        // `run_experiment` turns into memo_lookup_p50/p99_ns.
+        let latency = ctx.take_latency();
+        let lookup = latency.get(LatencyMetric::MemoLookup);
+        assert!(lookup.count > 0);
+        assert!(lookup.p50() > 0 && lookup.p99() >= lookup.p50());
+    }
+
+    /// Acceptance criterion (the ISSUE's release gate): under a 4-reader
+    /// hit-storm the lock-free seqlock read path out-runs the mutex-guarded
+    /// baseline. A genuine contention comparison needs >= 4 hardware
+    /// threads; on smaller machines only completion is asserted. Like the
+    /// other wall-clock comparisons it is ignored in the parallel suite,
+    /// run isolated in CI, takes best-of-3 per mode and passes if the
+    /// seqlock path wins any of three attempts.
+    #[test]
+    #[ignore = "wall-clock comparison; run isolated: cargo test -- --ignored --test-threads=1"]
+    fn memopath_seqlock_beats_locked_reads() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let duration = Duration::from_millis(150);
+        if cores < 4 {
+            let round = memopath_round(false, 2, duration, None);
+            assert_eq!(round.hits, round.lookups);
+            assert!(round.hits_per_sec > 0.0);
+            return;
+        }
+        let best = |locked: bool| {
+            (0..3)
+                .map(|_| memopath_round(locked, 4, duration, None).hits_per_sec)
+                .fold(0.0f64, f64::max)
+        };
+        let mut attempts = Vec::new();
+        for _ in 0..3 {
+            let seqlock = best(false);
+            let locked = best(true);
+            assert!(seqlock > 0.0 && locked > 0.0);
+            if seqlock > locked {
+                return;
+            }
+            attempts.push((seqlock, locked));
+        }
+        panic!(
+            "lock-free reads must beat the locked baseline under a 4-reader \
+             hit-storm on {cores} cores; (seqlock, locked) hits/s per \
+             attempt: {attempts:?}"
         );
     }
 

@@ -19,7 +19,7 @@
 //!    outputs in the THT (`updateTHT&IKT()`).
 
 use crate::ikt::{InFlightKeyTable, Waiter};
-use crate::key::KeyGenerator;
+use crate::key::{KeyGenerator, KeyScratch};
 use crate::snapshot::{apply_snapshots_to, OutputSnapshot};
 use crate::stats::{AtmStats, AtmStatsSnapshot, ReuseEvent, TypeSummaries, TypeSummary};
 use crate::tht::{EntryKey, TaskHistoryTable, ThtConfig};
@@ -188,6 +188,7 @@ impl AtmConfig {
             byte_budget: self.byte_budget,
             max_entry_fraction: self.max_entry_fraction,
             policy: self.policy,
+            ..StoreConfig::default()
         }
     }
 }
@@ -208,25 +209,54 @@ struct TypeState {
 
 impl TypeState {
     /// One selection percentage per read access of `accesses`, in
-    /// declaration order: the spec's per-argument override where one was
-    /// declared, the type-wide `p` otherwise.
-    fn arg_precisions(&self, accesses: &[atm_runtime::Access], p: Percentage) -> Vec<Percentage> {
-        accesses
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| a.mode.is_read())
-            .map(|(index, _)| {
-                if !self.honor_overrides {
-                    return p;
-                }
-                match self.spec.precision_override(index) {
-                    Some(ArgPrecision::Exact) => Percentage::FULL,
-                    Some(ArgPrecision::Fraction(f)) => Percentage::from_fraction(f),
-                    None => p,
-                }
-            })
-            .collect()
+    /// declaration order, written into the reused `out` vector: the spec's
+    /// per-argument override where one was declared, the type-wide `p`
+    /// otherwise.
+    fn arg_precisions_into(
+        &self,
+        accesses: &[atm_runtime::Access],
+        p: Percentage,
+        out: &mut Vec<Percentage>,
+    ) {
+        out.clear();
+        out.extend(
+            accesses
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.mode.is_read())
+                .map(|(index, _)| {
+                    if !self.honor_overrides {
+                        return p;
+                    }
+                    match self.spec.precision_override(index) {
+                        Some(ArgPrecision::Exact) => Percentage::FULL,
+                        Some(ArgPrecision::Fraction(f)) => Percentage::from_fraction(f),
+                        None => p,
+                    }
+                }),
+        );
     }
+}
+
+/// Number of per-worker key-scratch slots the engine keeps. Workers index by
+/// `worker % KEY_SCRATCH_SLOTS`, so runtimes with more workers than slots
+/// share (the slot lock is uncontended in the common ≤16-worker case).
+const KEY_SCRATCH_SLOTS: usize = 16;
+
+/// One cache-line-isolated scratch slot: the reusable temporaries of the key
+/// pipeline for one worker, so the steady-state lookup path allocates
+/// nothing and workers never write a shared line.
+#[repr(align(128))]
+#[derive(Default)]
+struct ScratchSlot {
+    scratch: Mutex<WorkerScratch>,
+}
+
+/// The per-worker reusable buffers of `before_execute`'s key computation.
+#[derive(Default)]
+struct WorkerScratch {
+    precisions: Vec<Percentage>,
+    key: KeyScratch,
 }
 
 /// Bookkeeping attached to a task between `before_execute` and `after_execute`.
@@ -264,6 +294,8 @@ pub struct AtmEngine {
     stats: AtmStats,
     summaries: TypeSummaries,
     obs: Option<Arc<Observability>>,
+    /// Per-worker key-computation scratch (see [`ScratchSlot`]).
+    key_scratch: Box<[ScratchSlot]>,
 }
 
 impl AtmEngine {
@@ -278,6 +310,9 @@ impl AtmEngine {
             summaries: TypeSummaries::new(),
             config,
             obs: None,
+            key_scratch: (0..KEY_SCRATCH_SLOTS)
+                .map(|_| ScratchSlot::default())
+                .collect(),
         }
     }
 
@@ -580,11 +615,18 @@ impl TaskInterceptor for AtmEngine {
 
         // Hash-key computation (traced as its own state, Figure 7). Each
         // read argument is hashed at the type-wide `p` unless the type's
-        // spec pinned it to an explicit precision.
-        let precisions = state.arg_precisions(task.accesses, p);
+        // spec pinned it to an explicit precision. The temporaries live in
+        // this worker's scratch slot: warm lookups allocate nothing.
+        let mut slot = self.key_scratch[worker % KEY_SCRATCH_SLOTS].scratch.lock();
+        let ws = &mut *slot;
+        state.arg_precisions_into(task.accesses, p, &mut ws.precisions);
         let hash_start = tracer.now_ns();
-        let key_result = state.keygen.compute(store, task.accesses, &precisions);
+        let key_result =
+            state
+                .keygen
+                .compute_with_scratch(store, task.accesses, &ws.precisions, &mut ws.key);
         let hash_end = tracer.now_ns();
+        drop(slot);
         tracer.record(
             worker,
             ThreadState::HashKeyComputation,

@@ -14,11 +14,54 @@
 
 use crate::snapshot::elem_range_of;
 use atm_hash::shuffle::InputSpec;
-use atm_hash::{jenkins_hash64, ByteLayout, InputSampler, Percentage};
-use atm_runtime::{Access, DataStore};
+use atm_hash::{jenkins_hash64, ByteLayout, InputSampler, JenkinsStream, Percentage};
+use atm_runtime::{Access, DataStore, RegionData, RegionReadGuard};
 use atm_sync::Mutex;
+use atm_sync::RwLockReadGuard;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+#[cfg(debug_assertions)]
+use atm_sync::atomic::{AtomicU64, Ordering};
+
+/// Read accesses held in a fixed stack array on the sampled key path; more
+/// than this many read arguments falls back to heap-allocated guard vectors.
+const INLINE_READS: usize = 8;
+
+/// Reusable scratch for [`KeyGenerator::compute_with_scratch`]: every
+/// heap-backed temporary the key pipeline needs, owned by the caller (the
+/// engine keeps one per worker) so the steady-state lookup path performs no
+/// allocation — the vectors reach their high-water capacity during warm-up
+/// and are only cleared afterwards.
+#[derive(Debug, Default)]
+pub struct KeyScratch {
+    /// Element range of each read access, in declaration order.
+    ranges: Vec<std::ops::Range<usize>>,
+    /// `(elements, elem_width)` of each read access.
+    signature: LayoutSignature,
+    /// Gather buffer for the mixed-precision path (the one place the bytes
+    /// must be materialised: per-argument shuffles interleave arguments in
+    /// an order no single pass over the regions can stream).
+    bytes: Vec<u8>,
+}
+
+impl KeyScratch {
+    /// Creates an empty scratch; capacity grows on first use.
+    pub fn new() -> Self {
+        KeyScratch::default()
+    }
+
+    /// Capacities of every backing vector, for steady-state alloc tracking
+    /// (debug builds only — the release lookup path never inspects them).
+    #[cfg(debug_assertions)]
+    fn capacities(&self) -> (usize, usize, usize) {
+        (
+            self.ranges.capacity(),
+            self.signature.capacity(),
+            self.bytes.capacity(),
+        )
+    }
+}
 
 /// Shape of a task instance's inputs: `(elements, elem_width)` per read
 /// access. Task types normally have a fixed shape, but the paper explicitly
@@ -47,6 +90,12 @@ pub struct KeyGenerator {
     arg_samplers: Mutex<ArgSamplerCache>,
     type_aware: bool,
     seed: u64,
+    /// Debug-build odometer of allocation events on the key path: sampler
+    /// construction, scratch capacity growth, and the rare spill past
+    /// [`INLINE_READS`]. Steady state is *flat* — asserted by the
+    /// `lookup_path_allocations_go_flat_after_warmup` test.
+    #[cfg(debug_assertions)]
+    alloc_events: AtomicU64,
 }
 
 impl KeyGenerator {
@@ -59,8 +108,27 @@ impl KeyGenerator {
             arg_samplers: Mutex::new(HashMap::new()),
             type_aware,
             seed,
+            #[cfg(debug_assertions)]
+            alloc_events: AtomicU64::new(0),
         }
     }
+
+    /// Number of allocation events the key path has recorded (debug builds
+    /// only): sampler builds, scratch growth, inline-guard spills. A warm
+    /// generator computing keys over known shapes keeps this flat.
+    #[cfg(debug_assertions)]
+    pub fn alloc_events(&self) -> u64 {
+        self.alloc_events.load(Ordering::Relaxed)
+    }
+
+    #[cfg(debug_assertions)]
+    fn note_alloc(&self) {
+        self.alloc_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    fn note_alloc(&self) {}
 
     /// Whether type-aware selection is enabled.
     pub fn is_type_aware(&self) -> bool {
@@ -88,22 +156,56 @@ impl KeyGenerator {
         accesses: &[Access],
         precisions: &[Percentage],
     ) -> KeyResult {
-        let reads: Vec<&Access> = accesses.iter().filter(|a| a.mode.is_read()).collect();
+        let mut scratch = KeyScratch::new();
+        self.compute_with_scratch(store, accesses, precisions, &mut scratch)
+    }
+
+    /// [`compute`](Self::compute) with caller-owned scratch: the hot-path
+    /// variant the engine calls with its per-worker scratch, so the
+    /// steady-state lookup performs no heap allocation. Results are
+    /// bit-identical to `compute` — the scratch only changes *where* the
+    /// temporaries live, never what is hashed.
+    pub fn compute_with_scratch(
+        &self,
+        store: &DataStore,
+        accesses: &[Access],
+        precisions: &[Percentage],
+        scratch: &mut KeyScratch,
+    ) -> KeyResult {
+        #[cfg(debug_assertions)]
+        let caps_before = scratch.capacities();
+        let result = self.compute_inner(store, accesses, precisions, scratch);
+        #[cfg(debug_assertions)]
+        if scratch.capacities() != caps_before {
+            self.note_alloc();
+        }
+        result
+    }
+
+    fn compute_inner(
+        &self,
+        store: &DataStore,
+        accesses: &[Access],
+        precisions: &[Percentage],
+        scratch: &mut KeyScratch,
+    ) -> KeyResult {
+        scratch.ranges.clear();
+        scratch.signature.clear();
+        let mut total_bytes = 0usize;
+        for a in accesses.iter().filter(|a| a.mode.is_read()) {
+            let range = elem_range_of(store, a);
+            let width = a.elem.width();
+            total_bytes += range.len() * width;
+            scratch.signature.push((range.len(), width));
+            scratch.ranges.push(range);
+        }
         assert_eq!(
             precisions.len(),
-            reads.len(),
+            scratch.ranges.len(),
             "one precision per read access: got {} precisions for {} reads",
             precisions.len(),
-            reads.len()
+            scratch.ranges.len()
         );
-        let ranges: Vec<std::ops::Range<usize>> =
-            reads.iter().map(|a| elem_range_of(store, a)).collect();
-        let signature: LayoutSignature = ranges
-            .iter()
-            .zip(&reads)
-            .map(|(r, a)| (r.len(), a.elem.width()))
-            .collect();
-        let total_bytes: usize = signature.iter().map(|(n, w)| n * w).sum();
 
         if total_bytes == 0 {
             return KeyResult {
@@ -118,26 +220,33 @@ impl KeyGenerator {
         if precisions.windows(2).all(|w| w[0] == w[1]) {
             return self.compute_uniform_inner(
                 store,
-                &reads,
-                &ranges,
-                &signature,
+                accesses,
                 total_bytes,
                 precisions[0],
+                scratch,
             );
         }
 
         // Mixed precision: gather per argument — full segments contiguously,
-        // sampled segments through a per-argument significance shuffle.
-        let mut buf = Vec::new();
-        for (j, ((access, range), &p)) in reads.iter().zip(&ranges).zip(precisions).enumerate() {
-            let (elements, width) = signature[j];
+        // sampled segments through a per-argument significance shuffle. This
+        // is the one path that materialises bytes, into the reused scratch.
+        scratch.bytes.clear();
+        let buf = &mut scratch.bytes;
+        for (j, (access, &p)) in accesses
+            .iter()
+            .filter(|a| a.mode.is_read())
+            .zip(precisions)
+            .enumerate()
+        {
+            let (elements, width) = scratch.signature[j];
             if elements == 0 {
                 continue;
             }
+            let range = scratch.ranges[j].clone();
             let region = store.read(access.region);
             let guard = region.lock();
             if p.is_full() {
-                buf.extend_from_slice(&guard.bytes_in_elem_range(range.clone()));
+                guard.with_bytes_in_elem_range(range, |bytes| buf.extend_from_slice(bytes));
                 continue;
             }
             let sampler = self.arg_sampler_for(j, (elements, width));
@@ -147,7 +256,7 @@ impl KeyGenerator {
             }
         }
         KeyResult {
-            key: jenkins_hash64(&buf, self.seed),
+            key: jenkins_hash64(buf, self.seed),
             selected_bytes: buf.len(),
             total_bytes,
         }
@@ -166,48 +275,86 @@ impl KeyGenerator {
         self.compute(store, accesses, &vec![p; reads])
     }
 
+    /// Uniform-precision key: streams every selected byte straight through
+    /// the Jenkins block hasher — no gather buffer exists on this path.
     fn compute_uniform_inner(
         &self,
         store: &DataStore,
-        reads: &[&Access],
-        ranges: &[std::ops::Range<usize>],
-        signature: &LayoutSignature,
+        accesses: &[Access],
         total_bytes: usize,
         p: Percentage,
+        scratch: &mut KeyScratch,
     ) -> KeyResult {
-        // Full selection (exact memoization): hash the inputs contiguously
-        // without going through the index vector.
+        // Full selection (exact memoization): stream the inputs through the
+        // hasher segment by segment, one region guard live at a time.
         if p.is_full() {
-            let mut buf = Vec::with_capacity(total_bytes);
-            for (access, range) in reads.iter().zip(ranges) {
+            let mut stream = JenkinsStream::new(self.seed, total_bytes);
+            for (access, range) in accesses
+                .iter()
+                .filter(|a| a.mode.is_read())
+                .zip(&scratch.ranges)
+            {
                 let region = store.read(access.region);
                 let guard = region.lock();
-                buf.extend_from_slice(&guard.bytes_in_elem_range(range.clone()));
+                guard.with_bytes_in_elem_range(range.clone(), |bytes| stream.push_slice(bytes));
             }
             return KeyResult {
-                key: jenkins_hash64(&buf, self.seed),
+                key: stream.finish(),
                 selected_bytes: total_bytes,
                 total_bytes,
             };
         }
 
-        let sampler = self.sampler_for(signature);
+        let sampler = self.sampler_for(&scratch.signature);
         let selected = sampler.selected_indices(p);
-
-        // Gather the selected bytes directly from the typed region storage.
         let layout = sampler.layout();
-        let region_handles: Vec<_> = reads.iter().map(|a| store.read(a.region)).collect();
-        let guards: Vec<_> = region_handles.iter().map(|h| h.lock()).collect();
-        let mut buf = Vec::with_capacity(selected.len());
-        for &flat in selected {
-            let (segment, offset) = layout.locate(flat as usize);
-            let access = reads[segment];
-            let base_byte = ranges[segment].start * access.elem.width();
-            buf.push(guards[segment].byte_at(base_byte + offset));
+
+        // The shuffle visits bytes across *all* segments in selection order,
+        // so every read region must be locked at once. Up to INLINE_READS
+        // regions the handles and guards live on the stack; beyond that we
+        // spill to vectors (a counted allocation event).
+        let reads_len = scratch.ranges.len();
+        let mut stream = JenkinsStream::new(self.seed, selected.len());
+        if reads_len <= INLINE_READS {
+            let mut handles: [Option<RegionReadGuard<'_>>; INLINE_READS] = Default::default();
+            for (j, access) in accesses
+                .iter()
+                .filter(|a| a.mode.is_read())
+                .enumerate()
+                .take(INLINE_READS)
+            {
+                handles[j] = Some(store.read(access.region));
+            }
+            let mut guards: [Option<RwLockReadGuard<'_, RegionData>>; INLINE_READS] =
+                Default::default();
+            for (j, handle) in handles.iter().enumerate().take(reads_len) {
+                guards[j] = Some(handle.as_ref().expect("handle filled above").lock());
+            }
+            for &flat in selected {
+                let (segment, offset) = layout.locate(flat as usize);
+                let (_, width) = scratch.signature[segment];
+                let base_byte = scratch.ranges[segment].start * width;
+                let guard = guards[segment].as_ref().expect("guard filled above");
+                stream.push(guard.byte_at(base_byte + offset));
+            }
+        } else {
+            self.note_alloc();
+            let handles: Vec<_> = accesses
+                .iter()
+                .filter(|a| a.mode.is_read())
+                .map(|a| store.read(a.region))
+                .collect();
+            let guards: Vec<_> = handles.iter().map(|h| h.lock()).collect();
+            for &flat in selected {
+                let (segment, offset) = layout.locate(flat as usize);
+                let (_, width) = scratch.signature[segment];
+                let base_byte = scratch.ranges[segment].start * width;
+                stream.push(guards[segment].byte_at(base_byte + offset));
+            }
         }
         KeyResult {
-            key: jenkins_hash64(&buf, self.seed),
-            selected_bytes: buf.len(),
+            key: stream.finish(),
+            selected_bytes: selected.len(),
             total_bytes,
         }
     }
@@ -245,6 +392,7 @@ impl KeyGenerator {
         );
         let sampler = Arc::new(InputSampler::new(layout, self.type_aware, self.seed));
         samplers.insert(signature.clone(), Arc::clone(&sampler));
+        self.note_alloc();
         sampler
     }
 
@@ -263,6 +411,7 @@ impl KeyGenerator {
         let seed = self.seed ^ (arg as u64 + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93);
         let sampler = Arc::new(InputSampler::new(layout, self.type_aware, seed));
         samplers.insert((arg, shape), Arc::clone(&sampler));
+        self.note_alloc();
         sampler
     }
 }
@@ -508,6 +657,68 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn scratch_and_plain_compute_agree_on_every_path() {
+        // `compute_with_scratch` must be bit-identical to `compute` on the
+        // uniform-full, uniform-sampled and mixed-precision paths alike.
+        let store = DataStore::new();
+        let a = store.register_typed("a", vec![1.5f32; 300]).unwrap();
+        let b = store.register_typed("b", vec![9i64; 40]).unwrap();
+        let accesses = vec![Access::read(&a), Access::read(&b)];
+        let keygen = KeyGenerator::new(77, true);
+        let mut scratch = KeyScratch::new();
+        let cases: Vec<Vec<Percentage>> = vec![
+            vec![Percentage::FULL, Percentage::FULL],
+            vec![
+                Percentage::from_fraction(0.25),
+                Percentage::from_fraction(0.25),
+            ],
+            vec![Percentage::MIN, Percentage::MIN],
+            vec![Percentage::FULL, Percentage::MIN],
+            vec![Percentage::from_fraction(0.5), Percentage::FULL],
+        ];
+        for precisions in &cases {
+            let plain = keygen.compute(&store, &accesses, precisions);
+            let scratched =
+                keygen.compute_with_scratch(&store, &accesses, precisions, &mut scratch);
+            assert_eq!(plain, scratched, "precisions {precisions:?}");
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn lookup_path_allocations_go_flat_after_warmup() {
+        // The zero-steady-state-allocation claim: once the samplers are
+        // built and the per-worker scratch has reached its high-water
+        // capacity, repeated key computations record no further allocation
+        // events — on the uniform paths and the mixed gather path alike.
+        let store = DataStore::new();
+        let a = store.register_typed("a", vec![2.5f32; 512]).unwrap();
+        let b = store.register_typed("b", vec![3i32; 128]).unwrap();
+        let accesses = vec![Access::read(&a), Access::read(&b)];
+        let keygen = KeyGenerator::new(5, true);
+        let mut scratch = KeyScratch::new();
+        let uniform = [Percentage::from_fraction(0.25); 2];
+        let full = [Percentage::FULL; 2];
+        let mixed = [Percentage::FULL, Percentage::MIN];
+        for _ in 0..3 {
+            let _ = keygen.compute_with_scratch(&store, &accesses, &uniform, &mut scratch);
+            let _ = keygen.compute_with_scratch(&store, &accesses, &full, &mut scratch);
+            let _ = keygen.compute_with_scratch(&store, &accesses, &mixed, &mut scratch);
+        }
+        let warmed = keygen.alloc_events();
+        for _ in 0..1_000 {
+            let _ = keygen.compute_with_scratch(&store, &accesses, &uniform, &mut scratch);
+            let _ = keygen.compute_with_scratch(&store, &accesses, &full, &mut scratch);
+            let _ = keygen.compute_with_scratch(&store, &accesses, &mixed, &mut scratch);
+        }
+        assert_eq!(
+            keygen.alloc_events(),
+            warmed,
+            "steady-state lookups must not allocate"
+        );
     }
 
     #[test]

@@ -135,51 +135,119 @@ pub fn jenkins_hash64(data: &[u8], seed: u64) -> u64 {
     (u64::from(c) << 32) | u64::from(b)
 }
 
-/// Incremental 64-bit Jenkins hashing over scattered bytes.
+/// Incremental 64-bit Jenkins hashing over scattered bytes, in constant
+/// space.
 ///
-/// The ATM key generator does not materialise the selected input bytes into
-/// a contiguous buffer for very large inputs; instead it feeds them through
-/// this streaming wrapper, which buffers bytes into 12-byte lookup3 blocks.
+/// The ATM key generator feeds sampled input bytes through this stream as it
+/// walks the cached shuffle, instead of materialising them into a scratch
+/// buffer first. lookup3 folds the *total* input length into the initial
+/// state, so the stream must be constructed with the final byte count
+/// upfront — key generation always knows it (it is the sampled-byte count
+/// the precision dictates). The stream then consumes bytes through a single
+/// 12-byte block: full blocks are `mix`ed immediately, except the last one,
+/// which lookup3 routes through the `final` path. The result is bit-identical
+/// to [`jenkins_hash64`] over the concatenation of everything pushed.
 #[derive(Debug, Clone)]
 pub struct JenkinsStream {
-    buffer: Vec<u8>,
-    seed: u64,
+    a: u32,
+    b: u32,
+    c: u32,
+    /// The current (possibly final) 12-byte lookup3 block.
+    block: [u8; 12],
+    /// Valid bytes in `block`.
+    filled: usize,
+    /// Total bytes pushed so far; never exceeds `total`.
+    pushed: usize,
+    /// The exact number of bytes that will be pushed, declared upfront.
+    total: usize,
 }
 
 impl JenkinsStream {
-    /// Creates an empty stream with the given seed.
-    pub fn new(seed: u64) -> Self {
+    /// Creates a stream that will hash exactly `total_len` bytes with `seed`.
+    ///
+    /// # Panics
+    /// [`finish`](Self::finish) panics if fewer than `total_len` bytes were
+    /// pushed; [`push`](Self::push) panics on the byte that would exceed it.
+    pub fn new(seed: u64, total_len: usize) -> Self {
+        let pc = seed as u32;
+        let pb = (seed >> 32) as u32;
+        let a = 0xdead_beef_u32
+            .wrapping_add(total_len as u32)
+            .wrapping_add(pc);
         JenkinsStream {
-            buffer: Vec::with_capacity(64),
-            seed,
+            a,
+            b: a,
+            c: a.wrapping_add(pb),
+            block: [0; 12],
+            filled: 0,
+            pushed: 0,
+            total: total_len,
         }
     }
 
     /// Appends one byte to the stream.
     #[inline]
     pub fn push(&mut self, byte: u8) {
-        self.buffer.push(byte);
+        debug_assert!(
+            self.pushed < self.total,
+            "pushed more bytes than the declared total {}",
+            self.total
+        );
+        self.block[self.filled] = byte;
+        self.filled += 1;
+        self.pushed += 1;
+        // A full block is mixed immediately — unless it is the last block,
+        // which lookup3 sends through the `final` path instead (`while
+        // length > 12`, not `>=`, in the reference loop).
+        if self.filled == 12 && self.pushed < self.total {
+            self.a = self.a.wrapping_add(read_u32_padded(&self.block, 0));
+            self.b = self.b.wrapping_add(read_u32_padded(&self.block, 4));
+            self.c = self.c.wrapping_add(read_u32_padded(&self.block, 8));
+            mix(&mut self.a, &mut self.b, &mut self.c);
+            self.filled = 0;
+        }
     }
 
     /// Appends a slice of bytes to the stream.
     #[inline]
     pub fn push_slice(&mut self, bytes: &[u8]) {
-        self.buffer.extend_from_slice(bytes);
+        for &byte in bytes {
+            self.push(byte);
+        }
     }
 
     /// Number of bytes accumulated so far.
     pub fn len(&self) -> usize {
-        self.buffer.len()
+        self.pushed
     }
 
     /// True when no bytes have been pushed.
     pub fn is_empty(&self) -> bool {
-        self.buffer.is_empty()
+        self.pushed == 0
     }
 
     /// Finalises the stream into a 64-bit key.
+    ///
+    /// # Panics
+    /// Panics if the stream received fewer bytes than the total declared at
+    /// construction — the length is already folded into the hash state, so
+    /// finishing early would silently produce a key no oneshot hash of any
+    /// byte string matches.
     pub fn finish(&self) -> u64 {
-        jenkins_hash64(&self.buffer, self.seed)
+        assert_eq!(
+            self.pushed, self.total,
+            "stream finished after {} of {} declared bytes",
+            self.pushed, self.total
+        );
+        let (mut a, mut b, mut c) = (self.a, self.b, self.c);
+        // Final block: lookup3 skips the final mix entirely for empty input.
+        if self.filled > 0 {
+            a = a.wrapping_add(read_u32_padded_bounded(&self.block, 0, self.filled, 0));
+            b = b.wrapping_add(read_u32_padded_bounded(&self.block, 0, self.filled, 4));
+            c = c.wrapping_add(read_u32_padded_bounded(&self.block, 0, self.filled, 8));
+            final_mix(&mut a, &mut b, &mut c);
+        }
+        (u64::from(c) << 32) | u64::from(b)
     }
 }
 
@@ -257,13 +325,58 @@ mod tests {
     #[test]
     fn stream_matches_oneshot() {
         let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
-        let mut stream = JenkinsStream::new(42);
+        let mut stream = JenkinsStream::new(42, data.len());
         for chunk in data.chunks(7) {
             stream.push_slice(chunk);
         }
         assert_eq!(stream.finish(), jenkins_hash64(&data, 42));
         assert_eq!(stream.len(), data.len());
         assert!(!stream.is_empty());
+    }
+
+    #[test]
+    fn stream_matches_oneshot_at_every_block_boundary_and_chunking() {
+        // Bit-identity across the 12-byte block machinery: every length
+        // around the mix/final boundaries, pushed through every chunk size,
+        // must reproduce the oneshot hash exactly.
+        let data: Vec<u8> = (0..48u8)
+            .map(|i| i.wrapping_mul(37).wrapping_add(11))
+            .collect();
+        for len in 0..=data.len() {
+            let oneshot = jenkins_hash64(&data[..len], 0xA5A5_5A5A_DEAD_BEEF);
+            for chunk in 1..=13 {
+                let mut stream = JenkinsStream::new(0xA5A5_5A5A_DEAD_BEEF, len);
+                for piece in data[..len].chunks(chunk) {
+                    stream.push_slice(piece);
+                }
+                assert_eq!(
+                    stream.finish(),
+                    oneshot,
+                    "len {len} chunk {chunk} diverged from oneshot"
+                );
+            }
+            // Byte-at-a-time, the path the sampled key generator takes.
+            let mut stream = JenkinsStream::new(0xA5A5_5A5A_DEAD_BEEF, len);
+            for &byte in &data[..len] {
+                stream.push(byte);
+            }
+            assert_eq!(stream.finish(), oneshot, "len {len} byte-wise diverged");
+        }
+    }
+
+    #[test]
+    fn empty_stream_matches_empty_oneshot() {
+        let stream = JenkinsStream::new(7, 0);
+        assert!(stream.is_empty());
+        assert_eq!(stream.finish(), jenkins_hash64(&[], 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "declared bytes")]
+    fn finishing_short_of_the_declared_total_panics() {
+        let mut stream = JenkinsStream::new(0, 3);
+        stream.push(1);
+        let _ = stream.finish();
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod prng;
 pub mod sampler;
 pub mod shuffle;
 
-pub use jenkins::{hashlittle2, jenkins_hash64, one_at_a_time};
+pub use jenkins::{hashlittle2, jenkins_hash64, one_at_a_time, JenkinsStream};
 pub use prng::{SplitMix64, Xoshiro256StarStar};
 pub use sampler::{ByteLayout, InputSampler, SampledKey};
 pub use shuffle::{fisher_yates, significance_ordered_indices};

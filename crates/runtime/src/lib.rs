@@ -99,8 +99,8 @@ pub use memo::AtmTaskParams;
 pub use memo::{ArgPrecision, ErrorMetric, MemoPolicy, MemoSpec, MemoSpecError};
 pub use ready_queue::QueueMode;
 pub use region::{
-    DataStore, DeregisterError, Elem, ElemType, Region, RegionData, RegionId, RegionStatus,
-    RegisterError,
+    DataStore, DeregisterError, Elem, ElemType, Region, RegionData, RegionId, RegionReadGuard,
+    RegionStatus, RegisterError,
 };
 pub use scheduler::{Affinity, Observation, Runtime, RuntimeBuilder};
 pub use stats::{RuntimeStats, RuntimeStatsSnapshot};

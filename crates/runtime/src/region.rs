@@ -408,6 +408,28 @@ impl RegionData {
         }
     }
 
+    /// Streams the little-endian serialisation of the elements in
+    /// `elem_range` through `f` without allocating. `f` is called once per
+    /// element with that element's bytes (once with the whole sub-slice for
+    /// `U8` regions, whose storage already *is* its serialisation). The
+    /// concatenation of all callback slices equals
+    /// [`bytes_in_elem_range`](RegionData::bytes_in_elem_range) — this is
+    /// the zero-allocation path the ATM key generator hashes through.
+    #[inline]
+    pub fn with_bytes_in_elem_range(
+        &self,
+        elem_range: std::ops::Range<usize>,
+        mut f: impl FnMut(&[u8]),
+    ) {
+        match self {
+            RegionData::F32(v) => v[elem_range].iter().for_each(|x| f(&x.to_le_bytes())),
+            RegionData::F64(v) => v[elem_range].iter().for_each(|x| f(&x.to_le_bytes())),
+            RegionData::I32(v) => v[elem_range].iter().for_each(|x| f(&x.to_le_bytes())),
+            RegionData::I64(v) => v[elem_range].iter().for_each(|x| f(&x.to_le_bytes())),
+            RegionData::U8(v) => f(&v[elem_range]),
+        }
+    }
+
     /// Clones the elements in `elem_range` as a new [`RegionData`] of the
     /// same type. Used to snapshot ranged task outputs into the Task
     /// History Table.

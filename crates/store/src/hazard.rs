@@ -1,0 +1,265 @@
+//! Deferred reclamation for the store's lock-free read path.
+//!
+//! The seqlock buckets of [`crate::store::MemoStore`] publish each entry's
+//! outputs as an `Arc` whose strong count has been transferred into a raw
+//! pointer held in an `AtomicPtr` (CONCURRENCY.md, protocol 6). A reader that
+//! has seqlock-validated a slot still needs one more guarantee before it may
+//! touch that pointer's reference count: that a concurrent replacement has
+//! not already dropped the last strong count and freed the allocation. That
+//! guarantee is a **hazard pointer**:
+//!
+//! * Before validating, the reader publishes the pointer it intends to
+//!   dereference in one of the registry's cache-padded [`HazardSlot`]s
+//!   (`SeqCst` store), then re-reads the slot version (`SeqCst` load). If the
+//!   version still matches, the publication is ordered *before* the writer's
+//!   odd version bump in the sequentially consistent total order — so the
+//!   writer's post-unpublish hazard scan is guaranteed to observe it.
+//! * A writer that unpublishes a pointer calls [`HazardRegistry::retire`]:
+//!   it scans every hazard slot (`SeqCst` loads); a protected pointer is
+//!   parked in the limbo list *still holding its strong count* (so the
+//!   allocation — and its address — stay alive, which also rules out ABA),
+//!   an unprotected one is released immediately. Each retire also drains
+//!   limbo entries whose protection has since disappeared.
+//!
+//! A pointer can never become protected *after* it has been unpublished:
+//! readers only learn pointers from the slots themselves, and an unpublished
+//! pointer is no longer in any slot. Protection of a limbo entry therefore
+//! only ever disappears, and the list drains.
+//!
+//! This module is the **only** `unsafe` code in the crate: the raw-`Arc`
+//! strong-count transfers (`Arc::into_raw` at publish time lives in
+//! `store.rs`, every matching `increment_strong_count` / `from_raw` lives
+//! here or in `Drop`/export paths that hold the bucket writer lock) and the
+//! `Send` assertion on [`Retired`]. Everything else in the crate is safe
+//! code over these primitives.
+
+use crate::snapshot::OutputSnapshot;
+use atm_sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use atm_sync::{thread_ordinal, Mutex};
+use std::ptr;
+use std::sync::Arc;
+
+/// The payload type every hazard in this registry protects.
+pub(crate) type Outputs = Vec<OutputSnapshot>;
+
+/// Number of hazard slots per registry. Readers hash to a start slot by
+/// thread ordinal, so with a handful of worker threads each claim is one
+/// uncontended CAS on a thread-private cache line.
+const SLOTS: usize = 64;
+
+/// One cache-padded hazard slot: a claim flag plus the pointer the claiming
+/// reader is about to dereference.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct HazardSlot {
+    /// 0 = free, 1 = claimed by a reader.
+    claimed: AtomicU64,
+    /// The protected pointer (null = none published yet).
+    protected: AtomicPtr<Outputs>,
+}
+
+/// A retired pointer parked in limbo: it still owns one strong count, so the
+/// allocation stays alive (and its address cannot be recycled) until the
+/// protecting reader moves on.
+#[derive(Debug)]
+struct Retired(*mut Outputs);
+
+// SAFETY: `Retired` carries exactly one strong count of an
+// `Arc<Vec<OutputSnapshot>>`, whose payload is `Send + Sync`; moving the
+// raw pointer between threads is moving that (sendable) ownership.
+unsafe impl Send for Retired {}
+
+/// Per-store hazard-pointer registry.
+///
+/// Owned by the [`MemoStore`](crate::store::MemoStore) it serves: readers
+/// borrow the store for the whole lookup, so by the time the store (and with
+/// it this registry) is dropped, no hazard can still be published — which is
+/// what makes [`HazardRegistry::drain_all`] sound.
+#[derive(Debug)]
+pub(crate) struct HazardRegistry {
+    slots: Box<[HazardSlot]>,
+    limbo: Mutex<Vec<Retired>>,
+}
+
+impl HazardRegistry {
+    /// Creates an empty registry.
+    pub(crate) fn new() -> Self {
+        HazardRegistry {
+            slots: (0..SLOTS).map(|_| HazardSlot::default()).collect(),
+            limbo: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Claims a hazard slot for the calling reader, scanning from the
+    /// thread's hint slot. Returns `None` when every slot is claimed (more
+    /// than [`SLOTS`] concurrent readers); the caller falls back to a locked
+    /// read, which needs no hazard.
+    pub(crate) fn claim(&self) -> Option<HazardGuard<'_>> {
+        let start = thread_ordinal() % SLOTS;
+        for i in 0..SLOTS {
+            let slot = &self.slots[(start + i) % SLOTS];
+            if slot
+                .claimed
+                .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(HazardGuard { slot });
+            }
+        }
+        None
+    }
+
+    /// Retires a pointer a writer has just unpublished, transferring its one
+    /// remaining slot-owned strong count to the registry. Released
+    /// immediately unless a reader currently protects it, in which case it is
+    /// parked in limbo; previously parked pointers whose protection has
+    /// disappeared are released on the way.
+    pub(crate) fn retire(&self, ptr: *mut Outputs) {
+        debug_assert!(!ptr.is_null(), "retired a null pointer");
+        let mut limbo = self.limbo.lock();
+        limbo.push(Retired(ptr));
+        limbo.retain(|r| {
+            if self.is_protected(r.0) {
+                true
+            } else {
+                // SAFETY: `r.0` owns exactly one strong count (transferred by
+                // the retiring writer or parked by an earlier retire), and no
+                // reader protects it: a validated reader published its hazard
+                // before the writer's version bump (SC total order), so the
+                // scan that parked the pointer saw it, and a reader clears
+                // its hazard only after its own `increment_strong_count`
+                // (release/acquire via the SeqCst hazard store/load).
+                unsafe { drop(Arc::from_raw(r.0)) };
+                false
+            }
+        });
+    }
+
+    /// True while any hazard slot publishes `ptr`.
+    fn is_protected(&self, ptr: *mut Outputs) -> bool {
+        self.slots
+            .iter()
+            .any(|s| ptr::eq(s.protected.load(Ordering::SeqCst), ptr))
+    }
+
+    /// Releases every parked pointer unconditionally.
+    ///
+    /// Sound only with exclusive access (`&mut`, i.e. store drop): no reader
+    /// can borrow the store concurrently, so no hazard is published.
+    pub(crate) fn drain_all(&mut self) {
+        let mut limbo = self.limbo.lock();
+        for r in limbo.drain(..) {
+            // SAFETY: each parked pointer owns one strong count; exclusive
+            // access means no reader protects it.
+            unsafe { drop(Arc::from_raw(r.0)) };
+        }
+    }
+
+    /// Number of pointers currently parked in limbo (diagnostics/tests).
+    #[cfg(test)]
+    pub(crate) fn limbo_len(&self) -> usize {
+        self.limbo.lock().len()
+    }
+}
+
+/// An exclusively claimed hazard slot. Dropping the guard clears the
+/// published pointer and releases the slot.
+#[derive(Debug)]
+pub(crate) struct HazardGuard<'a> {
+    slot: &'a HazardSlot,
+}
+
+impl HazardGuard<'_> {
+    /// Publishes `ptr` as protected. Must happen *before* the validating
+    /// version re-read (protocol 6 step R3).
+    pub(crate) fn protect(&self, ptr: *mut Outputs) {
+        self.slot.protected.store(ptr, Ordering::SeqCst);
+    }
+}
+
+impl Drop for HazardGuard<'_> {
+    fn drop(&mut self) {
+        self.slot.protected.store(ptr::null_mut(), Ordering::SeqCst);
+        self.slot.claimed.store(0, Ordering::Release);
+    }
+}
+
+/// Clones the `Arc` behind a pointer that is protected (or otherwise pinned,
+/// e.g. by the bucket writer lock).
+///
+/// # Safety
+/// `ptr` must have come from `Arc::into_raw` and the caller must guarantee
+/// the allocation's strong count cannot reach zero for the duration of the
+/// call: either a published hazard validated against the slot's seqlock
+/// version, or the bucket writer lock (which excludes the only code that
+/// releases slot-owned counts).
+pub(crate) unsafe fn clone_protected(ptr: *mut Outputs) -> Arc<Outputs> {
+    // SAFETY: forwarded caller contract; increment-then-reconstruct leaves
+    // the slot's own strong count in place.
+    unsafe {
+        Arc::increment_strong_count(ptr);
+        Arc::from_raw(ptr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(values: Vec<OutputSnapshot>) -> (*mut Outputs, std::sync::Weak<Outputs>) {
+        let arc = Arc::new(values);
+        let weak = Arc::downgrade(&arc);
+        (Arc::into_raw(arc) as *mut Outputs, weak)
+    }
+
+    #[test]
+    fn unprotected_retire_frees_immediately() {
+        let registry = HazardRegistry::new();
+        let (ptr, weak) = raw(Vec::new());
+        registry.retire(ptr);
+        assert!(weak.upgrade().is_none(), "nothing protected the pointer");
+        assert_eq!(registry.limbo_len(), 0);
+    }
+
+    #[test]
+    fn protected_retire_parks_until_the_hazard_clears() {
+        let registry = HazardRegistry::new();
+        let (ptr, weak) = raw(Vec::new());
+        let guard = registry.claim().unwrap();
+        guard.protect(ptr);
+        registry.retire(ptr);
+        assert!(
+            weak.upgrade().is_some(),
+            "protected pointer must stay alive"
+        );
+        assert_eq!(registry.limbo_len(), 1);
+        drop(guard);
+        // The next retire drains the now-unprotected limbo entry.
+        let (other, other_weak) = raw(Vec::new());
+        registry.retire(other);
+        assert!(weak.upgrade().is_none());
+        assert!(other_weak.upgrade().is_none());
+        assert_eq!(registry.limbo_len(), 0);
+    }
+
+    #[test]
+    fn drain_all_releases_parked_pointers() {
+        let mut registry = HazardRegistry::new();
+        let (ptr, weak) = raw(Vec::new());
+        let guard = registry.claim().unwrap();
+        guard.protect(ptr);
+        registry.retire(ptr);
+        drop(guard);
+        registry.drain_all();
+        assert!(weak.upgrade().is_none());
+    }
+
+    #[test]
+    fn claim_exhaustion_returns_none() {
+        let registry = HazardRegistry::new();
+        let guards: Vec<_> = (0..64).map(|_| registry.claim().unwrap()).collect();
+        assert!(registry.claim().is_none(), "65th claim must fail over");
+        drop(guards);
+        assert!(registry.claim().is_some(), "released slots are reusable");
+    }
+}

@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+mod hazard;
 pub mod persist;
 pub mod policy;
 pub mod snapshot;

@@ -1,11 +1,11 @@
 //! The budgeted, policy-driven memo store.
 //!
 //! [`MemoStore`] generalises the paper's Task History Table (§III-A,
-//! Figure 1): a power-of-two array of lock-sharded buckets, each holding up
-//! to `ways` entries. On top of the paper's geometry it adds what a
+//! Figure 1): a power-of-two array of buckets, each a **true set-associative
+//! set** of `ways` fixed slots. On top of the paper's geometry it adds what a
 //! production memo table needs:
 //!
-//! * a **global byte budget** enforced across all shards — the THT could
+//! * a **global byte budget** enforced across all buckets — the THT could
 //!   only bound memory per bucket, which bounds nothing when the key
 //!   distribution is skewed;
 //! * **pluggable eviction** behind the [`EvictionPolicy`] trait (FIFO is the
@@ -16,17 +16,51 @@
 //! * **persistence** — see [`crate::persist`] for the versioned, checksummed
 //!   snapshot format behind [`MemoStore::save_to`] / [`MemoStore::load_from`].
 //!
+//! # Read path: seqlock slots, no lock
+//!
+//! Each slot is independently **seqlock-versioned**: writers (serialised on a
+//! per-bucket mutex) bump the slot's version to odd, mutate, publish the
+//! outputs pointer, and bump back to even; readers scan the bucket's slots
+//! with plain atomic loads, validating each slot's version around the reads.
+//! A hit clones the outputs `Arc` without taking any lock, protected by a
+//! hazard pointer (the private `hazard` module) so a concurrent replacement cannot free
+//! the allocation under the reader. The full protocol — and the model that
+//! checks it — is CONCURRENCY.md, protocol 6. The cost model: a miss is
+//! `ways` version loads plus key compares over a contiguous slot array (no
+//! pointer chasing, no shared-line writes); a hit adds one hazard CAS/store
+//! pair on a thread-private line and one `Arc` increment. Nothing on the read
+//! path writes to memory shared with other readers.
+//!
+//! `StoreConfig::locked_reads` keeps the old mutex-guarded read path
+//! available for A/B comparison (the `memopath` experiment) and as the
+//! fallback the seqlock path escapes to under writer starvation.
+//!
+//! Slots are preallocated: the default geometry (2⁸ buckets × 128 ways,
+//! ~96 B per slot) reserves ≈3 MiB up front, the price of fixed-position
+//! publication.
+//!
+//! # Counters
+//!
+//! Hot-path statistics never touch a shared cache line: hits, misses and
+//! saved-nanoseconds are striped over cache-padded shards indexed by thread
+//! ordinal; insertions, evictions, rejections and the entry count live in a
+//! padded per-bucket block owned by the writer path. [`MemoStore::counters`]
+//! sums them in one pass — see its documentation for the exact consistency
+//! model.
+//!
 //! Configured with [`PolicyKind::Fifo`] and no budget, the store behaves bit
 //! for bit like the original THT: same bucket indexing (low `N` bits of the
-//! hash), same per-bucket FIFO eviction, same newest-entry-wins lookup.
+//! hash), same per-bucket FIFO eviction, same arrival-order bookkeeping as
+//! the THT's per-bucket queue.
 
+use crate::hazard::{self, HazardRegistry};
 use crate::policy::{Candidate, EvictionPolicy, PolicyKind};
 use crate::snapshot::OutputSnapshot;
 use atm_obs::{DecisionRecord, LatencyMetric, MemoDecision, Observability};
 use atm_runtime::{TaskId, TaskTypeId};
-use atm_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use atm_sync::RwLock;
-use std::collections::VecDeque;
+use atm_sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use atm_sync::{thread_ordinal, Mutex};
+use std::ptr;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -61,8 +95,8 @@ impl EntryKey {
 /// Sizing and policy of a [`MemoStore`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StoreConfig {
-    /// Number of index bits: the store has `2^bucket_bits` lock-sharded
-    /// buckets. The paper reports that N = 8 avoids lock contention (§IV-B).
+    /// Number of index bits: the store has `2^bucket_bits` buckets. The
+    /// paper reports that N = 8 avoids lock contention (§IV-B).
     pub bucket_bits: u32,
     /// Maximum number of entries per bucket (the paper's associativity `M`).
     pub ways: usize,
@@ -75,6 +109,11 @@ pub struct StoreConfig {
     /// Eviction policy used for both the per-bucket `ways` cap and the
     /// global budget.
     pub policy: PolicyKind,
+    /// Route lookups through the per-bucket writer mutex instead of the
+    /// lock-free seqlock path. Same results, different cost model; exists
+    /// for A/B measurement (the `memopath` experiment) and as an escape
+    /// hatch.
+    pub locked_reads: bool,
 }
 
 impl Default for StoreConfig {
@@ -85,6 +124,7 @@ impl Default for StoreConfig {
             byte_budget: None,
             max_entry_fraction: 1.0,
             policy: PolicyKind::Fifo,
+            locked_reads: false,
         }
     }
 }
@@ -119,35 +159,173 @@ impl StoreConfig {
         self.policy = policy;
         self
     }
+
+    /// Selects mutex-guarded lookups instead of the seqlock read path.
+    #[must_use]
+    pub fn with_locked_reads(mut self) -> Self {
+        self.locked_reads = true;
+        self
+    }
 }
 
-/// One stored entry (internal representation).
-#[derive(Debug)]
-struct StoredEntry {
-    key: EntryKey,
-    producer: TaskId,
-    outputs: Arc<Vec<OutputSnapshot>>,
-    /// Bytes charged against the budget (metadata + container + payload).
-    charged_bytes: usize,
-    /// Logical clock at insertion.
-    inserted_seq: u64,
-    /// Logical clock of the latest hit; updated under the bucket's *read*
-    /// lock, hence atomic.
+/// Retries the seqlock read path grants a torn slot before giving up and
+/// taking the bucket's writer lock for one consistent pass.
+const SEQLOCK_RETRY_LIMIT: usize = 64;
+
+/// One fixed entry slot of a bucket (protocol 6's `Slot`).
+///
+/// Every field is an atomic so the lock-free read path can load them without
+/// UB while a writer mutates; consistency comes from the seqlock `version`,
+/// not from the individual loads. An **empty** slot is one whose `outputs`
+/// pointer is null — the key fields then hold stale bytes from the previous
+/// occupant, which is harmless because readers treat a null pointer as a
+/// mismatch. `arrival` reconstructs the THT's queue order: assigned at first
+/// publication, inherited by same-key replacement, refreshed when an
+/// eviction re-fills the slot with a new entry.
+#[derive(Debug, Default)]
+struct Slot {
+    /// Seqlock version: even = stable, odd = a writer is publishing.
+    version: AtomicU64,
+    hash: AtomicU64,
+    task_type: AtomicU64,
+    p_bits: AtomicU64,
+    producer: AtomicU64,
+    benefit_ns: AtomicU64,
+    charged_bytes: AtomicU64,
+    /// Logical clock at insertion (identity stamp for raced evictions).
+    inserted_seq: AtomicU64,
+    /// Logical clock of the latest hit (LRU bookkeeping; readers store it
+    /// without a version bump, see protocol 6 note on recency races).
     last_used_seq: AtomicU64,
-    /// Estimated kernel nanoseconds one hit on this entry saves.
-    benefit_ns: u64,
+    /// Queue-order stamp: the slot's position in the bucket's logical FIFO.
+    arrival: AtomicU64,
+    /// The published outputs: an `Arc` whose strong count the slot owns
+    /// (`Arc::into_raw` at publish, reclaimed through [`crate::hazard`]).
+    outputs: AtomicPtr<Vec<OutputSnapshot>>,
 }
 
-impl StoredEntry {
+impl Slot {
+    #[inline]
+    fn is_occupied(&self) -> bool {
+        !self.outputs.load(Ordering::Relaxed).is_null()
+    }
+
+    #[inline]
+    fn matches(&self, key: &EntryKey) -> bool {
+        self.hash.load(Ordering::Relaxed) == key.hash
+            && self.task_type.load(Ordering::Relaxed) == key.task_type.index() as u64
+            && self.p_bits.load(Ordering::Relaxed) == key.p_bits
+    }
+
+    /// Reconstructs the key. Caller holds the bucket writer lock.
+    fn key(&self) -> EntryKey {
+        EntryKey {
+            task_type: TaskTypeId::from_raw(self.task_type.load(Ordering::Relaxed) as u32),
+            hash: self.hash.load(Ordering::Relaxed),
+            p_bits: self.p_bits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Eviction-policy view of the slot. Caller holds the bucket writer lock.
     fn candidate(&self) -> Candidate {
         Candidate {
-            bytes: self.charged_bytes,
-            inserted_seq: self.inserted_seq,
+            bytes: self.charged_bytes.load(Ordering::Relaxed) as usize,
+            inserted_seq: self.inserted_seq.load(Ordering::Relaxed),
             last_used_seq: self.last_used_seq.load(Ordering::Relaxed),
-            benefit_ns: self.benefit_ns,
+            benefit_ns: self.benefit_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Makes the version odd: readers now retry. Caller holds the bucket
+    /// writer lock.
+    fn begin_publish(&self) {
+        let v = self.version.fetch_add(1, Ordering::SeqCst);
+        debug_assert_eq!(v & 1, 0, "begin_publish on a slot already mid-publish");
+    }
+
+    /// Makes the version even again: the mutated slot is readable.
+    fn end_publish(&self) {
+        let v = self.version.fetch_add(1, Ordering::SeqCst);
+        debug_assert_eq!(v & 1, 1, "end_publish without begin_publish");
+    }
+
+    /// Writes the entry fields (everything but `arrival` and the outputs
+    /// pointer). Caller holds the writer lock and an odd version.
+    fn write_entry(
+        &self,
+        key: &EntryKey,
+        producer: TaskId,
+        charged: usize,
+        seq: u64,
+        benefit: u64,
+    ) {
+        self.hash.store(key.hash, Ordering::Relaxed);
+        self.task_type
+            .store(key.task_type.index() as u64, Ordering::Relaxed);
+        self.p_bits.store(key.p_bits, Ordering::Relaxed);
+        self.producer.store(producer.raw(), Ordering::Relaxed);
+        self.charged_bytes.store(charged as u64, Ordering::Relaxed);
+        self.inserted_seq.store(seq, Ordering::Relaxed);
+        self.last_used_seq.store(seq, Ordering::Relaxed);
+        self.benefit_ns.store(benefit, Ordering::Relaxed);
+    }
+}
+
+/// Writer-path statistics of one bucket, on their own cache line so bucket
+/// writers never contend with neighbours (or with readers) over counters.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct BucketStats {
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    rejected_admissions: AtomicU64,
+    /// Occupied slots; exact, maintained under the bucket writer lock.
+    entries: AtomicU64,
+}
+
+/// One set-associative bucket: `ways` seqlock slots plus the mutex that
+/// serialises writers (readers never touch it on the seqlock path).
+#[derive(Debug)]
+struct Bucket {
+    writer: Mutex<()>,
+    slots: Box<[Slot]>,
+    stats: BucketStats,
+}
+
+impl Bucket {
+    fn new(ways: usize) -> Self {
+        Bucket {
+            writer: Mutex::new(()),
+            slots: (0..ways).map(|_| Slot::default()).collect(),
+            stats: BucketStats::default(),
         }
     }
 }
+
+/// Read-path statistics stripe: one cache line per shard, indexed by thread
+/// ordinal, so concurrent readers hitting the same bucket (or even the same
+/// entry) never write the same line.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct ReaderShard {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    saved_ns: AtomicU64,
+}
+
+/// Number of reader stripes. More than any sane worker count; collisions
+/// merely share a line, they do not miscount.
+const READER_SHARDS: usize = 64;
+
+/// A cache-padded `AtomicU64` (the global logical clock).
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct PaddedU64(AtomicU64);
+
+/// A cache-padded `AtomicUsize` (resident bytes, eviction cursor).
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct PaddedUsize(AtomicUsize);
 
 /// A successful lookup.
 #[derive(Debug, Clone)]
@@ -245,23 +423,24 @@ pub fn entry_charge_bytes(outputs: &[OutputSnapshot]) -> usize {
     meta + container + payload
 }
 
-/// The sharded, budgeted memo store.
+/// The set-associative, budgeted memo store.
 #[derive(Debug)]
 pub struct MemoStore {
-    buckets: Vec<RwLock<VecDeque<StoredEntry>>>,
+    buckets: Vec<Bucket>,
     config: StoreConfig,
     policy: Box<dyn EvictionPolicy>,
-    /// Logical clock ticked on every insertion and hit.
-    clock: AtomicU64,
+    /// Cached `policy.uses_recency()` so the read path skips the dyn call.
+    track_recency: bool,
+    /// Logical clock ticked on every insertion and (for recency policies)
+    /// every hit. Deliberately one global padded cell rather than per-bucket:
+    /// budget eviction compares `inserted_seq` *across* buckets, which needs
+    /// one totally ordered clock domain.
+    clock: PaddedU64,
     /// Rotating start bucket for budget evictions.
-    evict_cursor: AtomicUsize,
-    resident_bytes: AtomicUsize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
-    rejected_admissions: AtomicU64,
-    saved_ns: AtomicU64,
+    evict_cursor: PaddedUsize,
+    resident_bytes: PaddedUsize,
+    reader_stats: Box<[ReaderShard]>,
+    hazards: HazardRegistry,
     /// Observability handle (attached post-construction, see
     /// [`MemoStore::set_observability`]). Store-side decision events are
     /// stamped on `obs_origin`'s clock — monotonic, but not aligned with
@@ -288,21 +467,19 @@ impl MemoStore {
             "max_entry_fraction must be in (0, 1]"
         );
         let buckets = (0..(1usize << config.bucket_bits))
-            .map(|_| RwLock::new(VecDeque::new()))
+            .map(|_| Bucket::new(config.ways))
             .collect();
+        let track_recency = policy.uses_recency();
         MemoStore {
             buckets,
             config,
             policy,
-            clock: AtomicU64::new(0),
-            evict_cursor: AtomicUsize::new(0),
-            resident_bytes: AtomicUsize::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            rejected_admissions: AtomicU64::new(0),
-            saved_ns: AtomicU64::new(0),
+            track_recency,
+            clock: PaddedU64::default(),
+            evict_cursor: PaddedUsize::default(),
+            resident_bytes: PaddedUsize::default(),
+            reader_stats: (0..READER_SHARDS).map(|_| ReaderShard::default()).collect(),
+            hazards: HazardRegistry::new(),
             obs: None,
             obs_origin: Instant::now(),
         }
@@ -374,36 +551,128 @@ impl MemoStore {
     }
 
     fn tick(&self) -> u64 {
-        self.clock.fetch_add(1, Ordering::Relaxed)
+        self.clock.0.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Looks up an entry with exactly this key. Takes the bucket's read
-    /// lock, so concurrent lookups proceed in parallel. A hit refreshes the
-    /// entry's recency stamp (LRU bookkeeping).
+    #[inline]
+    fn reader_shard(&self) -> &ReaderShard {
+        &self.reader_stats[thread_ordinal() % READER_SHARDS]
+    }
+
+    /// Looks up an entry with exactly this key.
+    ///
+    /// On the default path this takes **no lock**: each slot of the key's
+    /// bucket is read under its seqlock version (protocol 6), and a hit
+    /// clones the outputs `Arc` under hazard-pointer protection. Concurrent
+    /// lookups — even of the same entry — share no written cache line. With
+    /// [`StoreConfig::locked_reads`] the lookup instead takes the bucket's
+    /// writer mutex (the A/B baseline). A hit refreshes the entry's recency
+    /// stamp (LRU bookkeeping).
     ///
     /// A hit does *not* accrue `saved_ns`: the caller may still execute the
     /// task (dynamic-ATM training, output-shape mismatch), so it reports
     /// genuinely avoided work separately via [`MemoStore::note_saved`].
     pub fn lookup(&self, key: &EntryKey) -> Option<MemoHit> {
-        let track_recency = self.policy.uses_recency();
-        let bucket = self.buckets[self.bucket_of(key)].read();
-        let found = bucket.iter().rev().find(|e| e.key == *key).map(|e| {
-            if track_recency {
-                e.last_used_seq.store(self.tick(), Ordering::Relaxed);
-            }
-            MemoHit {
-                producer: e.producer,
-                outputs: Arc::clone(&e.outputs),
-                benefit_ns: e.benefit_ns,
-            }
-        });
-        drop(bucket);
-        if found.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        let bucket = &self.buckets[self.bucket_of(key)];
+        let found = if self.config.locked_reads {
+            self.lookup_locked(bucket, key)
         } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.lookup_seqlock(bucket, key)
+        };
+        let shard = self.reader_shard();
+        if found.is_some() {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shard.misses.fetch_add(1, Ordering::Relaxed);
         }
         found
+    }
+
+    /// Protocol 6 reader: per-slot seqlock validation, hazard-protected
+    /// `Arc` clone, no lock.
+    fn lookup_seqlock(&self, bucket: &Bucket, key: &EntryKey) -> Option<MemoHit> {
+        'slots: for slot in bucket.slots.iter() {
+            let mut attempts = 0usize;
+            loop {
+                if attempts > SEQLOCK_RETRY_LIMIT {
+                    // Writer starvation (or hazard exhaustion below): one
+                    // locked pass is always consistent.
+                    return self.lookup_locked(bucket, key);
+                }
+                attempts += 1;
+                // R1: snapshot the version; odd means a writer is mid-publish.
+                let v1 = slot.version.load(Ordering::Acquire);
+                if v1 & 1 != 0 {
+                    std::hint::spin_loop();
+                    continue;
+                }
+                // R2: read the key fields and the outputs pointer.
+                let matches = slot.matches(key);
+                let producer = slot.producer.load(Ordering::Relaxed);
+                let benefit_ns = slot.benefit_ns.load(Ordering::Relaxed);
+                let ptr = slot.outputs.load(Ordering::Acquire);
+                if ptr.is_null() || !matches {
+                    if slot.version.load(Ordering::Acquire) == v1 {
+                        // Stable empty-or-mismatch: this slot is not ours.
+                        continue 'slots;
+                    }
+                    continue; // torn read: retry this slot
+                }
+                // R3: publish the hazard, then revalidate. A validated
+                // version proves (in the SeqCst total order) the hazard
+                // store precedes any unpublishing writer's version bump,
+                // so that writer's hazard scan will see it (see hazard.rs).
+                let Some(guard) = self.hazards.claim() else {
+                    return self.lookup_locked(bucket, key);
+                };
+                guard.protect(ptr);
+                if slot.version.load(Ordering::SeqCst) != v1 {
+                    continue; // torn: guard drops, clearing the hazard
+                }
+                // SAFETY: hazard published and validated as above, so the
+                // allocation cannot be freed before the guard clears.
+                let outputs = unsafe { hazard::clone_protected(ptr) };
+                drop(guard);
+                if self.track_recency {
+                    // Plain store, no version bump: a racing replacement can
+                    // at worst donate one freshness tick to the slot's new
+                    // occupant — an LRU approximation, never a safety issue.
+                    slot.last_used_seq.store(self.tick(), Ordering::Relaxed);
+                }
+                return Some(MemoHit {
+                    producer: TaskId::from_raw(producer),
+                    outputs,
+                    benefit_ns,
+                });
+            }
+        }
+        None
+    }
+
+    /// The mutex-guarded read path: the A/B baseline and the seqlock
+    /// fallback. Holding the bucket writer lock excludes publication, so
+    /// slots can be read directly and the `Arc` cloned without a hazard.
+    fn lookup_locked(&self, bucket: &Bucket, key: &EntryKey) -> Option<MemoHit> {
+        let _writer = bucket.writer.lock();
+        for slot in bucket.slots.iter() {
+            let ptr = slot.outputs.load(Ordering::Acquire);
+            if ptr.is_null() || !slot.matches(key) {
+                continue;
+            }
+            // SAFETY: the bucket writer lock is held, so no writer can
+            // unpublish and retire `ptr` concurrently; the slot keeps its
+            // strong count alive for the duration.
+            let outputs = unsafe { hazard::clone_protected(ptr) };
+            if self.track_recency {
+                slot.last_used_seq.store(self.tick(), Ordering::Relaxed);
+            }
+            return Some(MemoHit {
+                producer: TaskId::from_raw(slot.producer.load(Ordering::Relaxed)),
+                outputs,
+                benefit_ns: slot.benefit_ns.load(Ordering::Relaxed),
+            });
+        }
+        None
     }
 
     /// Records that a hit actually replaced an execution, crediting the
@@ -411,7 +680,9 @@ impl MemoStore {
     /// engine only when the kernel was genuinely skipped — a training-phase
     /// or shape-mismatched hit executes anyway and saves nothing.
     pub fn note_saved(&self, benefit_ns: u64) {
-        self.saved_ns.fetch_add(benefit_ns, Ordering::Relaxed);
+        self.reader_shard()
+            .saved_ns
+            .fetch_add(benefit_ns, Ordering::Relaxed);
     }
 
     /// Stores the outputs of a completed task.
@@ -422,9 +693,9 @@ impl MemoStore {
     /// policy and the `saved_ns` counter.
     ///
     /// An entry with the same key is replaced in place (its bytes are
-    /// released first, so nothing is double-counted). When the bucket
-    /// exceeds `ways` or the store exceeds its byte budget, the policy
-    /// picks victims until both bounds hold again.
+    /// released first, so nothing is double-counted; the slot keeps its
+    /// queue position). When the bucket is full or the store exceeds its
+    /// byte budget, the policy picks victims until both bounds hold again.
     pub fn insert(
         &self,
         key: EntryKey,
@@ -435,11 +706,15 @@ impl MemoStore {
         let observing = self.obs_on().is_some();
         let insert_start = observing.then(Instant::now);
         let shard = self.bucket_of(&key);
+        let bucket = &self.buckets[shard];
         let charged = entry_charge_bytes(&outputs);
         if let Some(budget) = self.config.byte_budget {
             let cap = (budget as f64 * self.config.max_entry_fraction) as usize;
             if charged > cap {
-                self.rejected_admissions.fetch_add(1, Ordering::Relaxed);
+                bucket
+                    .stats
+                    .rejected_admissions
+                    .fetch_add(1, Ordering::Relaxed);
                 if let Some(obs) = self.obs_on() {
                     obs.record_decision(
                         shard,
@@ -462,58 +737,97 @@ impl MemoStore {
             }
         }
         let seq = self.tick();
-        let entry = StoredEntry {
-            key,
-            producer,
-            outputs,
-            charged_bytes: charged,
-            inserted_seq: seq,
-            last_used_seq: AtomicU64::new(seq),
-            benefit_ns,
-        };
+        // The slot will own one strong count of the outputs.
+        let new_ptr = Arc::into_raw(outputs) as *mut Vec<OutputSnapshot>;
 
         // Count the bytes *before* the entry becomes visible: a concurrent
         // budget eviction may remove the entry (and subtract its charge)
-        // the moment the bucket lock drops, and the counter must never
+        // the moment the writer lock drops, and the counter must never
         // see a subtraction for bytes that were not yet added (usize
         // wrap-around would read as "over budget" and flush the store).
-        self.resident_bytes.fetch_add(charged, Ordering::Relaxed);
+        self.resident_bytes.0.fetch_add(charged, Ordering::Relaxed);
         let mut freed = 0usize;
         let mut evicted = 0u64;
         let mut self_evicted = false;
         let mut evicted_entries: Vec<(EntryKey, TaskId, usize)> = Vec::new();
-        let mut bucket = self.buckets[shard].write();
-        let replaced = if let Some(pos) = bucket.iter().position(|e| e.key == key) {
-            freed += bucket[pos].charged_bytes;
-            bucket[pos] = entry;
+
+        let writer = bucket.writer.lock();
+        let slots = &bucket.slots;
+        let replaced = if let Some(slot) = slots.iter().find(|s| s.is_occupied() && s.matches(&key))
+        {
+            // Same key: replace in place, keeping the slot's queue position.
+            freed += slot.charged_bytes.load(Ordering::Relaxed) as usize;
+            slot.begin_publish();
+            slot.write_entry(&key, producer, charged, seq, benefit_ns);
+            let old = slot.outputs.swap(new_ptr, Ordering::SeqCst);
+            slot.end_publish();
+            self.hazards.retire(old);
             true
+        } else if let Some(slot) = slots.iter().find(|s| !s.is_occupied()) {
+            // Free slot: publish the new entry at the back of the queue.
+            slot.begin_publish();
+            slot.write_entry(&key, producer, charged, seq, benefit_ns);
+            slot.arrival.store(seq, Ordering::Relaxed);
+            let old = slot.outputs.swap(new_ptr, Ordering::SeqCst);
+            debug_assert!(old.is_null(), "free slot held a pointer");
+            slot.end_publish();
+            bucket.stats.entries.fetch_add(1, Ordering::Relaxed);
+            false
         } else {
-            bucket.push_back(entry);
-            while bucket.len() > self.config.ways {
-                let candidates: Vec<Candidate> =
-                    bucket.iter().map(StoredEntry::candidate).collect();
-                let victim = self.policy.victim(&candidates).min(bucket.len() - 1);
-                if let Some(old) = bucket.remove(victim) {
-                    freed += old.charged_bytes;
-                    evicted += 1;
-                    // The new entry can itself be the least valuable of the
-                    // full bucket; report that honestly instead of claiming
-                    // a resident insertion.
-                    self_evicted |= old.inserted_seq == seq;
-                    if observing {
-                        evicted_entries.push((old.key, old.producer, old.charged_bytes));
-                    }
+            // Full bucket: ask the policy for a victim among the residents
+            // (in queue order) plus the incoming entry (at the back).
+            let mut order: Vec<usize> = (0..slots.len()).collect();
+            order.sort_by_key(|&i| slots[i].arrival.load(Ordering::Relaxed));
+            let mut candidates: Vec<Candidate> =
+                order.iter().map(|&i| slots[i].candidate()).collect();
+            candidates.push(Candidate {
+                bytes: charged,
+                inserted_seq: seq,
+                last_used_seq: seq,
+                benefit_ns,
+            });
+            let victim = self.policy.victim(&candidates).min(candidates.len() - 1);
+            evicted += 1;
+            if victim == order.len() {
+                // The new entry can itself be the least valuable of the
+                // full bucket; report that honestly instead of claiming
+                // a resident insertion. It was never published, so the
+                // strong count comes straight back.
+                freed += charged;
+                self_evicted = true;
+                if observing {
+                    evicted_entries.push((key, producer, charged));
                 }
+                // SAFETY: `new_ptr` came from `Arc::into_raw` above and was
+                // never published, so this is the only owner of that count.
+                unsafe { drop(Arc::from_raw(new_ptr)) };
+            } else {
+                let slot = &slots[order[victim]];
+                let vbytes = slot.charged_bytes.load(Ordering::Relaxed) as usize;
+                freed += vbytes;
+                if observing {
+                    evicted_entries.push((
+                        slot.key(),
+                        TaskId::from_raw(slot.producer.load(Ordering::Relaxed)),
+                        vbytes,
+                    ));
+                }
+                slot.begin_publish();
+                slot.write_entry(&key, producer, charged, seq, benefit_ns);
+                slot.arrival.store(seq, Ordering::Relaxed);
+                let old = slot.outputs.swap(new_ptr, Ordering::SeqCst);
+                slot.end_publish();
+                self.hazards.retire(old);
             }
             false
         };
-        drop(bucket);
+        drop(writer);
 
-        self.insertions.fetch_add(1, Ordering::Relaxed);
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        bucket.stats.insertions.fetch_add(1, Ordering::Relaxed);
+        bucket.stats.evictions.fetch_add(evicted, Ordering::Relaxed);
         // `freed` covers only entries that were visible in the bucket, so
         // their charges are already in the counter.
-        self.resident_bytes.fetch_sub(freed, Ordering::Relaxed);
+        self.resident_bytes.0.fetch_sub(freed, Ordering::Relaxed);
         self.enforce_budget();
         if let Some(obs) = self.obs_on() {
             for (ekey, eproducer, ebytes) in &evicted_entries {
@@ -533,7 +847,7 @@ impl MemoStore {
         }
     }
 
-    /// Evicts entries (policy-chosen, sampled across shards) until the
+    /// Evicts entries (policy-chosen, sampled across buckets) until the
     /// resident bytes fit the budget again.
     fn enforce_budget(&self) {
         let Some(budget) = self.config.byte_budget else {
@@ -546,7 +860,7 @@ impl MemoStore {
         // counter transiently includes an entry another thread has charged
         // but not yet published).
         let mut fruitless = 0;
-        while self.resident_bytes.load(Ordering::Relaxed) > budget && fruitless < 8 {
+        while self.resident_bytes.0.load(Ordering::Relaxed) > budget && fruitless < 8 {
             let round_start = self.obs_on().map(|_| Instant::now());
             if self.evict_round(budget) {
                 fruitless = 0;
@@ -566,18 +880,25 @@ impl MemoStore {
     /// true when at least one entry was removed.
     fn evict_round(&self, budget: usize) -> bool {
         let n = self.buckets.len();
-        let start = self.evict_cursor.fetch_add(1, Ordering::Relaxed) % n;
+        let start = self.evict_cursor.0.fetch_add(1, Ordering::Relaxed) % n;
         let mut gathered: Vec<(usize, EntryKey, Candidate)> = Vec::new();
         let mut sampled = 0usize;
         for step in 0..n {
             let b = (start + step) % n;
-            let bucket = self.buckets[b].read();
-            if bucket.is_empty() {
+            let bucket = &self.buckets[b];
+            let writer = bucket.writer.lock();
+            let mut entries: Vec<(u64, EntryKey, Candidate)> = bucket
+                .slots
+                .iter()
+                .filter(|s| s.is_occupied())
+                .map(|s| (s.arrival.load(Ordering::Relaxed), s.key(), s.candidate()))
+                .collect();
+            drop(writer);
+            if entries.is_empty() {
                 continue;
             }
-            for e in bucket.iter() {
-                gathered.push((b, e.key, e.candidate()));
-            }
+            entries.sort_by_key(|e| e.0); // queue order, as the policy expects
+            gathered.extend(entries.into_iter().map(|(_, key, cand)| (b, key, cand)));
             sampled += 1;
             if sampled >= EVICTION_SAMPLE_BUCKETS {
                 break;
@@ -585,39 +906,45 @@ impl MemoStore {
         }
 
         let mut evicted_any = false;
-        while !gathered.is_empty() && self.resident_bytes.load(Ordering::Relaxed) > budget {
+        while !gathered.is_empty() && self.resident_bytes.0.load(Ordering::Relaxed) > budget {
             let candidates: Vec<Candidate> = gathered.iter().map(|g| g.2).collect();
             let idx = self.policy.victim(&candidates).min(candidates.len() - 1);
             let (b, key, cand) = gathered.swap_remove(idx);
-            let mut bucket = self.buckets[b].write();
-            let pos = bucket
-                .iter()
-                .position(|e| e.key == key && e.inserted_seq == cand.inserted_seq);
+            let bucket = &self.buckets[b];
+            let writer = bucket.writer.lock();
+            let slot = bucket.slots.iter().find(|s| {
+                s.is_occupied()
+                    && s.matches(&key)
+                    && s.inserted_seq.load(Ordering::Relaxed) == cand.inserted_seq
+            });
             // A raced-away victim just drops out of the sample.
-            if let Some(pos) = pos {
-                let removed = bucket.remove(pos).expect("position is in range");
-                drop(bucket);
-                self.resident_bytes
-                    .fetch_sub(removed.charged_bytes, Ordering::Relaxed);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+            if let Some(slot) = slot {
+                let bytes = slot.charged_bytes.load(Ordering::Relaxed) as usize;
+                let producer = TaskId::from_raw(slot.producer.load(Ordering::Relaxed));
+                slot.begin_publish();
+                let old = slot.outputs.swap(ptr::null_mut(), Ordering::SeqCst);
+                slot.end_publish();
+                self.hazards.retire(old);
+                bucket.stats.entries.fetch_sub(1, Ordering::Relaxed);
+                bucket.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                drop(writer);
+                self.resident_bytes.0.fetch_sub(bytes, Ordering::Relaxed);
                 evicted_any = true;
                 if let Some(obs) = self.obs_on() {
-                    self.record_eviction(
-                        obs,
-                        b,
-                        &removed.key,
-                        removed.producer,
-                        removed.charged_bytes,
-                    );
+                    self.record_eviction(obs, b, &key, producer, bytes);
                 }
             }
         }
         evicted_any
     }
 
-    /// Total number of stored entries (diagnostic; takes every bucket lock).
+    /// Total number of stored entries (from the per-bucket entry counters,
+    /// no locks).
     pub fn len(&self) -> usize {
-        self.buckets.iter().map(|b| b.read().len()).sum()
+        self.buckets
+            .iter()
+            .map(|b| b.stats.entries.load(Ordering::Relaxed) as usize)
+            .sum()
     }
 
     /// True when the store holds no entries.
@@ -629,52 +956,107 @@ impl MemoStore {
     /// and outputs), the main contributor to the ATM memory overhead of
     /// Table III.
     pub fn memory_bytes(&self) -> usize {
-        self.resident_bytes.load(Ordering::Relaxed)
+        self.resident_bytes.0.load(Ordering::Relaxed)
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot: one pass over the per-bucket writer blocks plus one
+    /// pass over the reader stripes.
+    ///
+    /// **Consistency model.** Every individual counter is exact and
+    /// monotone (gauges — `entries`, `resident_bytes` — are exact values,
+    /// not monotone). The snapshot as a whole is *not* linearizable across
+    /// counters: it is assembled while other threads run, so transient
+    /// cross-counter skew (e.g. an insertion counted whose entry is not yet
+    /// in `entries`) is possible. Quiescent snapshots — taken while no
+    /// lookup or insert is in flight, which is how every report in this
+    /// workspace reads them — are exact in all fields.
     pub fn counters(&self) -> StoreCountersSnapshot {
-        StoreCountersSnapshot {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            rejected_admissions: self.rejected_admissions.load(Ordering::Relaxed),
-            saved_ns: self.saved_ns.load(Ordering::Relaxed),
-            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
-            entries: self.len(),
+        let mut snap = StoreCountersSnapshot {
+            resident_bytes: self.resident_bytes.0.load(Ordering::Relaxed),
+            ..Default::default()
+        };
+        for bucket in &self.buckets {
+            snap.insertions += bucket.stats.insertions.load(Ordering::Relaxed);
+            snap.evictions += bucket.stats.evictions.load(Ordering::Relaxed);
+            snap.rejected_admissions += bucket.stats.rejected_admissions.load(Ordering::Relaxed);
+            snap.entries += bucket.stats.entries.load(Ordering::Relaxed) as usize;
         }
+        for shard in self.reader_stats.iter() {
+            snap.hits += shard.hits.load(Ordering::Relaxed);
+            snap.misses += shard.misses.load(Ordering::Relaxed);
+            snap.saved_ns += shard.saved_ns.load(Ordering::Relaxed);
+        }
+        snap
     }
 
-    /// All resident entries, in bucket order then insertion order. This is
-    /// the view the persistence layer serialises.
+    /// All resident entries, in bucket order then queue (arrival) order —
+    /// the same sequence the old deque-bucket store produced. This is the
+    /// view the persistence layer serialises.
     pub fn export(&self) -> Vec<ExportedEntry> {
         let mut out = Vec::new();
         for bucket in &self.buckets {
-            let bucket = bucket.read();
-            for e in bucket.iter() {
-                out.push(ExportedEntry {
-                    key: e.key,
-                    producer: e.producer,
-                    benefit_ns: e.benefit_ns,
-                    outputs: Arc::clone(&e.outputs),
-                });
-            }
+            let writer = bucket.writer.lock();
+            let mut entries: Vec<(u64, ExportedEntry)> = bucket
+                .slots
+                .iter()
+                .filter(|s| s.is_occupied())
+                .map(|s| {
+                    let ptr = s.outputs.load(Ordering::Acquire);
+                    // SAFETY: the bucket writer lock is held, so the slot's
+                    // strong count stays alive for the clone.
+                    let outputs = unsafe { hazard::clone_protected(ptr) };
+                    (
+                        s.arrival.load(Ordering::Relaxed),
+                        ExportedEntry {
+                            key: s.key(),
+                            producer: TaskId::from_raw(s.producer.load(Ordering::Relaxed)),
+                            benefit_ns: s.benefit_ns.load(Ordering::Relaxed),
+                            outputs,
+                        },
+                    )
+                })
+                .collect();
+            drop(writer);
+            entries.sort_by_key(|e| e.0);
+            out.extend(entries.into_iter().map(|e| e.1));
         }
         out
+    }
+}
+
+impl Drop for MemoStore {
+    fn drop(&mut self) {
+        for bucket in &self.buckets {
+            for slot in bucket.slots.iter() {
+                let ptr = slot.outputs.swap(ptr::null_mut(), Ordering::SeqCst);
+                if !ptr.is_null() {
+                    // SAFETY: `&mut self` — no reader can borrow the store,
+                    // so no hazard protects the pointer, and each occupied
+                    // slot owns exactly one strong count.
+                    unsafe { drop(Arc::from_raw(ptr)) };
+                }
+            }
+        }
+        self.hazards.drain_all();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use atm_runtime::{Access, DataStore};
+    use atm_runtime::{RegionData, RegionId};
 
-    fn snapshot(store: &DataStore, values: &[f32]) -> Arc<Vec<OutputSnapshot>> {
-        let r = store
-            .register_typed(format!("out{}", store.len()), values.to_vec())
-            .unwrap();
-        Arc::new(vec![OutputSnapshot::capture(store, &Access::write(&r))])
+    /// Builds the stored outputs directly. The previous helper registered a
+    /// fresh `DataStore` region per call and then had
+    /// `OutputSnapshot::capture` copy the values back out of it — two
+    /// allocations and a full clone of every value slice per stored entry,
+    /// for regions the store never dereferences.
+    fn snapshot(values: &[f32]) -> Arc<Vec<OutputSnapshot>> {
+        Arc::new(vec![OutputSnapshot {
+            region: RegionId::from_raw(0),
+            elem_range: 0..values.len(),
+            data: RegionData::F32(values.to_vec()),
+        }])
     }
 
     fn key(hash: u64) -> EntryKey {
@@ -696,14 +1078,13 @@ mod tests {
 
     #[test]
     fn same_key_insert_replaces_without_double_counting() {
-        let data = DataStore::new();
         let store = MemoStore::new(one_bucket(PolicyKind::Fifo, 8));
-        store.insert(key(1), producer(0), snapshot(&data, &[1.0; 64]), 0);
+        store.insert(key(1), producer(0), snapshot(&[1.0; 64]), 0);
         let after_first = store.memory_bytes();
         assert!(after_first > 0);
         // Same key again: the entry is replaced in place, the old bytes are
         // released, and nothing is evicted.
-        let outcome = store.insert(key(1), producer(1), snapshot(&data, &[2.0; 64]), 0);
+        let outcome = store.insert(key(1), producer(1), snapshot(&[2.0; 64]), 0);
         assert_eq!(outcome, InsertOutcome::Replaced);
         assert_eq!(store.len(), 1);
         assert_eq!(
@@ -722,8 +1103,7 @@ mod tests {
 
     #[test]
     fn charge_includes_container_overhead() {
-        let data = DataStore::new();
-        let outputs = snapshot(&data, &[0.0; 100]);
+        let outputs = snapshot(&[0.0; 100]);
         let charge = entry_charge_bytes(&outputs);
         let payload = 400; // 100 f32
         assert!(
@@ -734,7 +1114,6 @@ mod tests {
 
     #[test]
     fn global_budget_is_enforced_across_shards() {
-        let data = DataStore::new();
         // 16 buckets, generous ways: only the global budget can evict.
         let config = StoreConfig {
             bucket_bits: 4,
@@ -745,7 +1124,7 @@ mod tests {
         let store = MemoStore::new(config);
         for i in 0..64u64 {
             // Distinct buckets (low bits vary).
-            store.insert(key(i), producer(i), snapshot(&data, &[i as f32; 256]), 0);
+            store.insert(key(i), producer(i), snapshot(&[i as f32; 256]), 0);
         }
         assert!(
             store.memory_bytes() <= 8 * 1024,
@@ -759,31 +1138,29 @@ mod tests {
 
     #[test]
     fn admission_control_rejects_oversized_entries() {
-        let data = DataStore::new();
         let config = StoreConfig::default()
             .with_byte_budget(4096)
             .with_max_entry_fraction(0.25);
         let store = MemoStore::new(config);
         // 2048 payload bytes > 25% of 4096.
-        let outcome = store.insert(key(1), producer(0), snapshot(&data, &[1.0; 512]), 0);
+        let outcome = store.insert(key(1), producer(0), snapshot(&[1.0; 512]), 0);
         assert_eq!(outcome, InsertOutcome::Rejected);
         assert!(store.is_empty());
         assert_eq!(store.counters().rejected_admissions, 1);
         // A small entry is admitted.
-        let outcome = store.insert(key(2), producer(0), snapshot(&data, &[1.0; 8]), 0);
+        let outcome = store.insert(key(2), producer(0), snapshot(&[1.0; 8]), 0);
         assert_eq!(outcome, InsertOutcome::Inserted);
         assert_eq!(store.counters().insertions, 1);
     }
 
     #[test]
     fn lru_keeps_recently_hit_entries_under_pressure() {
-        let data = DataStore::new();
         let store = MemoStore::new(one_bucket(PolicyKind::Lru, 2));
-        store.insert(key(1), producer(1), snapshot(&data, &[1.0]), 0);
-        store.insert(key(2), producer(2), snapshot(&data, &[2.0]), 0);
+        store.insert(key(1), producer(1), snapshot(&[1.0]), 0);
+        store.insert(key(2), producer(2), snapshot(&[2.0]), 0);
         // Touch entry 1 so entry 2 becomes the LRU victim.
         assert!(store.lookup(&key(1)).is_some());
-        store.insert(key(3), producer(3), snapshot(&data, &[3.0]), 0);
+        store.insert(key(3), producer(3), snapshot(&[3.0]), 0);
         assert!(
             store.lookup(&key(1)).is_some(),
             "recently used must survive"
@@ -794,13 +1171,12 @@ mod tests {
 
     #[test]
     fn self_evicting_insert_is_reported_not_claimed_resident() {
-        let data = DataStore::new();
         let store = MemoStore::new(one_bucket(PolicyKind::CostAware, 2));
         // Two high-density residents fill the bucket…
-        store.insert(key(1), producer(1), snapshot(&data, &[1.0; 2]), 1_000_000);
-        store.insert(key(2), producer(2), snapshot(&data, &[2.0; 2]), 1_000_000);
+        store.insert(key(1), producer(1), snapshot(&[1.0; 2]), 1_000_000);
+        store.insert(key(2), producer(2), snapshot(&[2.0; 2]), 1_000_000);
         // …so a low-density newcomer is its own victim.
-        let outcome = store.insert(key(3), producer(3), snapshot(&data, &[3.0; 512]), 10);
+        let outcome = store.insert(key(3), producer(3), snapshot(&[3.0; 512]), 10);
         assert_eq!(outcome, InsertOutcome::Evicted);
         assert!(!outcome.is_resident());
         assert!(store.lookup(&key(3)).is_none());
@@ -814,13 +1190,12 @@ mod tests {
 
     #[test]
     fn cost_aware_keeps_high_benefit_density_entries() {
-        let data = DataStore::new();
         let store = MemoStore::new(one_bucket(PolicyKind::CostAware, 2));
         // Expensive kernel, small output: high benefit density.
-        store.insert(key(1), producer(1), snapshot(&data, &[1.0; 2]), 1_000_000);
+        store.insert(key(1), producer(1), snapshot(&[1.0; 2]), 1_000_000);
         // Cheap kernel, large output: low benefit density.
-        store.insert(key(2), producer(2), snapshot(&data, &[2.0; 512]), 1_000);
-        store.insert(key(3), producer(3), snapshot(&data, &[3.0; 2]), 500_000);
+        store.insert(key(2), producer(2), snapshot(&[2.0; 512]), 1_000);
+        store.insert(key(3), producer(3), snapshot(&[3.0; 2]), 500_000);
         assert!(
             store.lookup(&key(1)).is_some(),
             "high-density entry must survive"
@@ -833,13 +1208,12 @@ mod tests {
 
     #[test]
     fn fifo_with_unlimited_budget_matches_the_paper_tht() {
-        let data = DataStore::new();
         let store = MemoStore::new(one_bucket(PolicyKind::Fifo, 2));
         for hash_high in 0..4u64 {
             store.insert(
                 key(hash_high << 32),
                 producer(hash_high),
-                snapshot(&data, &[hash_high as f32]),
+                snapshot(&[hash_high as f32]),
                 0,
             );
         }
@@ -854,9 +1228,8 @@ mod tests {
 
     #[test]
     fn saved_ns_counts_only_reported_bypasses() {
-        let data = DataStore::new();
         let store = MemoStore::new(StoreConfig::default());
-        store.insert(key(9), producer(0), snapshot(&data, &[1.0]), 750);
+        store.insert(key(9), producer(0), snapshot(&[1.0]), 750);
         // A lookup alone saves nothing — the caller may execute anyway.
         let hit = store.lookup(&key(9)).unwrap();
         assert_eq!(store.counters().saved_ns, 0);
@@ -880,16 +1253,67 @@ mod tests {
     }
 
     #[test]
+    fn locked_reads_sees_the_same_entries() {
+        let store = MemoStore::new(StoreConfig {
+            locked_reads: true,
+            ..one_bucket(PolicyKind::Lru, 4)
+        });
+        store.insert(key(1), producer(1), snapshot(&[1.0; 4]), 100);
+        store.insert(key(2), producer(2), snapshot(&[2.0; 4]), 200);
+        let hit = store.lookup(&key(2)).unwrap();
+        assert_eq!(hit.producer, producer(2));
+        assert_eq!(hit.benefit_ns, 200);
+        assert_eq!(hit.outputs[0].data.as_f32(), &[2.0; 4]);
+        assert!(store.lookup(&key(3)).is_none());
+        let counters = store.counters();
+        assert_eq!((counters.hits, counters.misses), (1, 1));
+    }
+
+    #[test]
+    fn concurrent_readers_survive_replacement_storms() {
+        // Hammer one key with concurrent replacements while readers spin on
+        // the seqlock path: every hit must observe a fully published entry
+        // (uniform payload, matching producer parity).
+        let store = MemoStore::new(one_bucket(PolicyKind::Fifo, 2));
+        store.insert(key(7), producer(0), snapshot(&[0.0; 32]), 0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    for _ in 0..20_000 {
+                        if let Some(hit) = store.lookup(&key(7)) {
+                            let values = hit.outputs[0].data.as_f32();
+                            let first = values[0];
+                            assert!(values.iter().all(|v| *v == first), "torn payload");
+                            assert_eq!(
+                                hit.producer,
+                                producer(first as u64),
+                                "producer and payload must publish atomically"
+                            );
+                        }
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for i in 1..=2_000u64 {
+                    store.insert(key(7), producer(i), snapshot(&[i as f32; 32]), 0);
+                }
+            });
+        });
+        let hit = store.lookup(&key(7)).unwrap();
+        assert_eq!(hit.producer, producer(2_000));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
     fn observability_records_latencies_and_store_decisions() {
-        let data = DataStore::new();
         let obs = Arc::new(Observability::enabled());
         let mut store = MemoStore::new(one_bucket(PolicyKind::Fifo, 1));
         store.set_observability(Arc::clone(&obs));
 
         // Two distinct keys into a 1-way bucket: the second insert evicts
         // the first (FIFO).
-        store.insert(key(1), producer(0), snapshot(&data, &[1.0; 8]), 0);
-        store.insert(key(2), producer(1), snapshot(&data, &[2.0; 8]), 0);
+        store.insert(key(1), producer(0), snapshot(&[1.0; 8]), 0);
+        store.insert(key(2), producer(1), snapshot(&[2.0; 8]), 0);
 
         let decisions = obs.decisions();
         assert_eq!(decisions.count(0, MemoDecision::Eviction), 1);
@@ -907,19 +1331,18 @@ mod tests {
             ..one_bucket(PolicyKind::Fifo, 8)
         });
         capped.set_observability(Arc::clone(&obs));
-        let outcome = capped.insert(key(3), producer(7), snapshot(&data, &[3.0; 64]), 0);
+        let outcome = capped.insert(key(3), producer(7), snapshot(&[3.0; 64]), 0);
         assert_eq!(outcome, InsertOutcome::Rejected);
         assert_eq!(obs.decisions().count(0, MemoDecision::AdmissionDenied), 1);
     }
 
     #[test]
     fn disabled_observability_leaves_the_store_silent() {
-        let data = DataStore::new();
         let obs = Arc::new(Observability::disabled());
         let mut store = MemoStore::new(one_bucket(PolicyKind::Fifo, 1));
         store.set_observability(Arc::clone(&obs));
-        store.insert(key(1), producer(0), snapshot(&data, &[1.0; 8]), 0);
-        store.insert(key(2), producer(1), snapshot(&data, &[2.0; 8]), 0);
+        store.insert(key(1), producer(0), snapshot(&[1.0; 8]), 0);
+        store.insert(key(2), producer(1), snapshot(&[2.0; 8]), 0);
         assert_eq!(obs.decisions().total(), 0);
         assert_eq!(obs.metrics().get(LatencyMetric::StoreInsert).count, 0);
     }

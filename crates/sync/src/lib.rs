@@ -36,6 +36,9 @@
 pub mod atomic;
 pub mod check;
 pub mod raw;
+pub mod thread_id;
+
+pub use thread_id::thread_ordinal;
 
 #[cfg(not(atm_check))]
 pub use raw::{Condvar, Event, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};

@@ -1,0 +1,124 @@
+//! `check-memopath`: validates the `BENCH_memopath.json` machine report
+//! produced by `atm-eval memopath --json DIR`.
+//!
+//! The memo-path experiment's contract (see `crates/bench`): both read
+//! modes ran (nonzero hits on the seqlock path and on the locked baseline),
+//! the A/B ratio `seqlock_over_locked` is present and finite, and the
+//! sampled lookup percentiles satisfy `0 < p50 <= p99`. A report that
+//! misses any of these means the A/B silently degenerated — one mode never
+//! ran, or the latency sampling broke — so CI fails on it. The ratio's
+//! *value* is deliberately not gated here: which mode wins depends on the
+//! runner's core count, and the performance claim itself is enforced by the
+//! ignored acceptance test on >= 4 hardware threads.
+
+use crate::check_trace::{parse_json, Json};
+
+/// Validates the memopath report text; returns a one-line summary on
+/// success and a description of the first violated contract on failure.
+pub fn check_memopath(text: &str) -> Result<String, String> {
+    let root = parse_json(text)?;
+    if root.get("id").and_then(Json::as_str) != Some("memopath") {
+        return Err("`id` must be \"memopath\"".to_string());
+    }
+    let metrics = root
+        .get("metrics")
+        .ok_or_else(|| "no `metrics` object".to_string())?;
+    let num = |name: &str| -> Result<f64, String> {
+        metrics
+            .get(name)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("metric `{name}` missing or not a number"))
+    };
+
+    for mode in ["seqlock", "locked"] {
+        let hits = num(&format!("{mode}_hits"))?;
+        if hits <= 0.0 {
+            return Err(format!(
+                "the {mode} round recorded no hits: its hit-storm never ran"
+            ));
+        }
+        let rate = num(&format!("{mode}_hits_per_sec"))?;
+        if !(rate > 0.0 && rate.is_finite()) {
+            return Err(format!(
+                "{mode}_hits_per_sec must be positive and finite, got {rate}"
+            ));
+        }
+    }
+    let ratio = num("seqlock_over_locked")?;
+    if !(ratio > 0.0 && ratio.is_finite()) {
+        return Err(format!(
+            "seqlock_over_locked must be positive and finite, got {ratio}"
+        ));
+    }
+    let p50 = num("memo_lookup_p50_ns")?;
+    let p99 = num("memo_lookup_p99_ns")?;
+    if !(p50 > 0.0 && p99 >= p50) {
+        return Err(format!(
+            "sampled lookup percentiles must satisfy 0 < p50 <= p99, got p50 {p50} / p99 {p99}"
+        ));
+    }
+    Ok(format!(
+        "seqlock/locked hit-rate ratio {ratio:.2}, lookup p50 {p50:.0} ns / p99 {p99:.0} ns"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(locked_hits: f64, ratio: &str, p50: f64, p99: f64) -> String {
+        format!(
+            r#"{{
+  "id": "memopath",
+  "title": "Memo-path reads",
+  "metrics": {{
+    "seqlock_hits_per_sec": 19682324.1,
+    "seqlock_lookups": 1575936,
+    "seqlock_hits": 1575936,
+    "locked_hits_per_sec": 23054006.9,
+    "locked_lookups": {locked_hits},
+    "locked_hits": {locked_hits},
+    "seqlock_over_locked": {ratio},
+    "memo_lookup_p50_ns": {p50},
+    "memo_lookup_p99_ns": {p99}
+  }},
+  "csv_header": "mode,readers,lookups,hits,hits_per_sec",
+  "rows": ["seqlock,4,1575936,1575936,19682324.1", "locked,4,1845760,1845760,23054006.9"]
+}}"#
+        )
+    }
+
+    #[test]
+    fn a_conforming_report_passes_with_a_summary() {
+        let summary = check_memopath(&sample(1845760.0, "0.85", 71.0, 103.0)).unwrap();
+        assert!(summary.contains("ratio 0.85"), "{summary}");
+        assert!(summary.contains("p50 71 ns"), "{summary}");
+    }
+
+    #[test]
+    fn zero_hits_or_bad_ratio_fail() {
+        let err = check_memopath(&sample(0.0, "0.85", 71.0, 103.0)).unwrap_err();
+        assert!(err.contains("locked round recorded no hits"), "{err}");
+        let err = check_memopath(&sample(1845760.0, "0", 71.0, 103.0)).unwrap_err();
+        assert!(err.contains("seqlock_over_locked"), "{err}");
+    }
+
+    #[test]
+    fn missing_or_inverted_percentiles_fail() {
+        let err = check_memopath(&sample(1845760.0, "0.85", 103.0, 71.0)).unwrap_err();
+        assert!(err.contains("0 < p50 <= p99"), "{err}");
+        let missing = sample(1845760.0, "0.85", 71.0, 103.0).replace("memo_lookup_p50_ns", "x");
+        assert!(check_memopath(&missing)
+            .unwrap_err()
+            .contains("memo_lookup_p50_ns"));
+    }
+
+    #[test]
+    fn wrong_id_and_missing_metrics_fail() {
+        let wrong = sample(1845760.0, "0.85", 71.0, 103.0).replace("\"memopath\"", "\"serve\"");
+        assert!(check_memopath(&wrong).unwrap_err().contains("id"));
+        assert!(check_memopath("{\"id\": \"memopath\"}")
+            .unwrap_err()
+            .contains("metrics"));
+    }
+}

@@ -1,6 +1,7 @@
-//! `atm-check` model suite: the runtime's four load-bearing hand-rolled
-//! protocols, encoded as small models and explored by the deterministic
-//! model checker in `atm_sync::check`.
+//! `atm-check` model suite: the workspace's load-bearing hand-rolled
+//! protocols (six, at last count — see CONCURRENCY.md's inventory),
+//! encoded as small models and explored by the deterministic model
+//! checker in `atm_sync::check`.
 //!
 //! Each protocol gets (at least) a *positive* model — the shipped
 //! discipline, asserted quiescent and race-free across the explored
@@ -22,5 +23,6 @@ mod ikt_regression;
 mod release;
 mod release_packet;
 mod retirement;
+mod seqlock_bucket;
 mod sleepers;
 mod slot_reuse;

@@ -1,0 +1,241 @@
+//! Protocol 6 — seqlock slot publication and hazard-pointer reclamation
+//! (the lock-free memo-store read path).
+//!
+//! The store's buckets are fixed arrays of seqlock-versioned slots: a
+//! writer bumps the slot's version to odd, rewrites the fields, bumps it
+//! back to even; a reader loads the version (retrying odd), reads the
+//! fields, and accepts them only if a re-read of the version is unchanged.
+//! The replaced outputs pointer is not freed while any reader holds it in a
+//! hazard slot. Two disciplines, two model pairs:
+//!
+//! * **Tear-free publication.** The positive model runs two readers
+//!   against a writer republishing a two-field payload whose invariant
+//!   (`hi == 2 * lo`) only holds within one publication; every *accepted*
+//!   read must satisfy it, across bounded-exhaustive and seeded-random
+//!   exploration. The negative model drops the version bumps — the only
+//!   thing that orders the field accesses — and models the payload as
+//!   plain (non-atomic) data, exactly what the fields would be if the
+//!   version handshake were not there: the checker must find the
+//!   unsynchronised overlap as a [`FailureKind::DataRace`] and replay it.
+//!
+//! * **Hazard reclamation.** A reader publishes the pointer it is about to
+//!   dereference in a hazard slot and revalidates afterwards; the writer
+//!   retires a replaced pointer only if no hazard protects it. The
+//!   positive model asserts a protected pointer is never freed under the
+//!   reader's feet; the negative writer skips the hazard scan and frees
+//!   unconditionally, and the checker must find the use-after-free (the
+//!   model's assert, a [`FailureKind::Panic`]) and replay it.
+
+use atm_sync::atomic::Ordering;
+use atm_sync::check::sync::{AtomicU64, Data, Mutex};
+use atm_sync::check::{thread, Checker, FailureKind};
+use std::sync::Arc;
+
+/// One slot: a seqlock version over a two-word payload whose halves must
+/// be observed from the same publication.
+struct SlotModel {
+    version: AtomicU64,
+    lo: AtomicU64,
+    hi: AtomicU64,
+}
+
+/// Publishes generation `g` the shipped way: odd bump, field writes, even
+/// bump.
+fn publish(slot: &SlotModel, g: u64) {
+    let v = slot.version.fetch_add(1, Ordering::SeqCst);
+    assert!(
+        v.is_multiple_of(2),
+        "writers serialise; the version was stable"
+    );
+    slot.lo.store(g, Ordering::Relaxed);
+    slot.hi.store(2 * g, Ordering::Relaxed);
+    slot.version.fetch_add(1, Ordering::SeqCst);
+}
+
+/// One bounded read attempt: returns the payload only if the version was
+/// even and unchanged around the field reads (the accept path).
+fn try_read(slot: &SlotModel) -> Option<(u64, u64)> {
+    let v1 = slot.version.load(Ordering::Acquire);
+    if !v1.is_multiple_of(2) {
+        return None;
+    }
+    let lo = slot.lo.load(Ordering::Relaxed);
+    let hi = slot.hi.load(Ordering::Relaxed);
+    if slot.version.load(Ordering::SeqCst) != v1 {
+        return None;
+    }
+    Some((lo, hi))
+}
+
+/// Two readers race a writer republishing the slot twice; every accepted
+/// read must come from exactly one publication.
+fn seqlock_model() {
+    let slot = Arc::new(SlotModel {
+        version: AtomicU64::new(0),
+        lo: AtomicU64::new(0),
+        hi: AtomicU64::new(0),
+    });
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || {
+                for _ in 0..2 {
+                    if let Some((lo, hi)) = try_read(&slot) {
+                        assert_eq!(hi, 2 * lo, "a torn slot was accepted");
+                    }
+                }
+            })
+        })
+        .collect();
+    publish(&slot, 1);
+    publish(&slot, 2);
+    for r in readers {
+        r.join();
+    }
+    assert_eq!(slot.version.load(Ordering::SeqCst), 4);
+}
+
+#[test]
+fn seqlock_reads_are_tear_free_under_bounded_exhaustive_search() {
+    let report = Checker::exhaustive()
+        .max_schedules(5_000)
+        .check(seqlock_model);
+    report.assert_passed();
+    assert!(report.schedules > 100, "expected a real exploration");
+}
+
+#[test]
+fn seqlock_reads_survive_randomized_exploration() {
+    let report = Checker::random(0x5E9_10CC, 300).check(seqlock_model);
+    report.assert_passed();
+}
+
+/// The negative: the version bumps are dropped, so nothing orders the
+/// field accesses — which is exactly what the fields are without the
+/// handshake, so the model stores them as plain [`Data`]. The reader still
+/// runs its validation and *passes* it (the version never moves off 0):
+/// the torn-read window the discipline exists to close.
+fn dropped_bump_model() {
+    let version = Arc::new(AtomicU64::new(0));
+    let payload = Arc::new(Data::new(0u64));
+    let reader = {
+        let version = Arc::clone(&version);
+        let payload = Arc::clone(&payload);
+        thread::spawn(move || {
+            let v1 = version.load(Ordering::Acquire);
+            if !v1.is_multiple_of(2) {
+                return;
+            }
+            let value = payload.get();
+            if version.load(Ordering::SeqCst) == v1 {
+                // "Accepted" — yet nothing ordered the read above against
+                // the writer's plain write.
+                let _ = value;
+            }
+        })
+    };
+    payload.set(7);
+    reader.join();
+}
+
+#[test]
+fn dropping_the_version_bump_is_a_data_race() {
+    let report = Checker::exhaustive()
+        .max_schedules(100_000)
+        .check(dropped_bump_model);
+    assert_eq!(
+        report.failure_kind(),
+        Some(FailureKind::DataRace),
+        "expected the unsynchronised field access, got {:?}",
+        report.failure
+    );
+    let failure = report.failure.unwrap();
+    let replayed = Checker::exhaustive().replay(dropped_bump_model, &failure.schedule);
+    assert_eq!(replayed.failure_kind(), Some(FailureKind::DataRace));
+}
+
+/// Hazard reclamation, shrunk to its decision point: `published` holds the
+/// current "pointer" (a nonzero id), the reader parks the id it read in
+/// `hazard` and revalidates, the writer swaps in a replacement and frees
+/// the old id only if no hazard protects it.
+struct ReclaimModel {
+    published: AtomicU64,
+    hazard: AtomicU64,
+    freed: Mutex<Vec<u64>>,
+}
+
+impl ReclaimModel {
+    fn new() -> Self {
+        ReclaimModel {
+            published: AtomicU64::new(1),
+            hazard: AtomicU64::new(0),
+            freed: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The reader side of protocol 6's R3: protect, revalidate, deref.
+    fn read(&self) {
+        let p = self.published.load(Ordering::SeqCst);
+        self.hazard.store(p, Ordering::SeqCst);
+        if self.published.load(Ordering::SeqCst) != p {
+            // Revalidation failed: the slot moved on; never dereference.
+            self.hazard.store(0, Ordering::SeqCst);
+            return;
+        }
+        // Dereference: the pointer we validated must not have been freed.
+        assert!(
+            !self.freed.lock().contains(&p),
+            "dereferenced a freed pointer"
+        );
+        self.hazard.store(0, Ordering::SeqCst);
+    }
+
+    /// The writer side: replace, then retire the old pointer — scanning
+    /// the hazard slots first unless the seeded bug (`skip_scan`) is on.
+    /// A protected pointer simply stays parked (the real store's limbo
+    /// list); the model needs only "not freed now".
+    fn replace(&self, skip_scan: bool) {
+        let old = self.published.swap(2, Ordering::SeqCst);
+        if skip_scan || self.hazard.load(Ordering::SeqCst) != old {
+            self.freed.lock().push(old);
+        }
+    }
+}
+
+fn reclaim_model(skip_scan: bool) {
+    let model = Arc::new(ReclaimModel::new());
+    let reader = {
+        let model = Arc::clone(&model);
+        thread::spawn(move || model.read())
+    };
+    model.replace(skip_scan);
+    reader.join();
+}
+
+#[test]
+fn hazard_protected_pointers_are_never_freed() {
+    let report = Checker::exhaustive()
+        .max_schedules(5_000)
+        .check(|| reclaim_model(false));
+    report.assert_passed();
+    assert!(report.schedules > 10, "expected a real exploration");
+    Checker::random(0x4A2A_12D5, 300)
+        .check(|| reclaim_model(false))
+        .assert_passed();
+}
+
+#[test]
+fn skipping_the_hazard_scan_is_a_use_after_free() {
+    let report = Checker::exhaustive()
+        .max_schedules(100_000)
+        .check(|| reclaim_model(true));
+    assert_eq!(
+        report.failure_kind(),
+        Some(FailureKind::Panic),
+        "expected the use-after-free assert, got {:?}",
+        report.failure
+    );
+    let failure = report.failure.unwrap();
+    let replayed = Checker::exhaustive().replay(|| reclaim_model(true), &failure.schedule);
+    assert_eq!(replayed.failure_kind(), Some(FailureKind::Panic));
+}
